@@ -1,0 +1,97 @@
+// Command jarvis-agent runs a data source agent: it generates (or would
+// ingest) monitoring data, executes the query's source-side replica
+// within a CPU budget under the adaptive Jarvis runtime, and ships
+// drains, partial aggregates and watermarks to a stream processor.
+//
+// Usage:
+//
+//	jarvis-agent -sp 127.0.0.1:7700 -id 1 -query s2s -budget 0.6 -epochs 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"jarvis/internal/core"
+	"jarvis/internal/experiments"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/transport"
+	"jarvis/internal/workload"
+)
+
+func main() {
+	spAddr := flag.String("sp", "127.0.0.1:7700", "stream processor address")
+	id := flag.Uint("id", 1, "source id")
+	queryName := flag.String("query", "s2s", "query to run (s2s|t2t|log)")
+	budget := flag.Float64("budget", 0.6, "CPU budget as a fraction of one core")
+	epochs := flag.Int("epochs", 60, "epochs to run (0 = forever)")
+	realtime := flag.Bool("realtime", false, "pace epochs at one per second of wall time")
+	flag.Parse()
+
+	if err := run(*spAddr, uint32(*id), *queryName, *budget, *epochs, *realtime); err != nil {
+		fmt.Fprintln(os.Stderr, "jarvis-agent:", err)
+		os.Exit(1)
+	}
+}
+
+func run(spAddr string, id uint32, queryName string, budget float64, epochs int, realtime bool) error {
+	q, rate, err := experiments.QueryByName(queryName)
+	if err != nil {
+		return err
+	}
+	src, err := core.NewSource(q, core.SourceOptions{
+		BudgetFrac: budget,
+		RateMbps:   rate,
+		Adapt:      true,
+	})
+	if err != nil {
+		return err
+	}
+	shipper, closeFn, err := transport.Dial(id, spAddr)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+
+	next := mkGenerator(queryName, uint64(id))
+	fmt.Printf("jarvis-agent %d: %s at %.1f Mbps, budget %.0f%%, sp %s\n",
+		id, q.Name, rate, budget*100, spAddr)
+
+	for e := 0; epochs == 0 || e < epochs; e++ {
+		start := time.Now()
+		res, err := src.RunEpoch(next(1_000_000))
+		if err != nil {
+			return err
+		}
+		if err := shipper.ShipEpoch(res); err != nil {
+			return err
+		}
+		if e%10 == 0 {
+			lf := src.LoadFactors()
+			fmt.Printf("  epoch %3d  phase %-8v budget used %5.1f%%  factors %.2f  out %6.2f Mbps\n",
+				e, src.Phase(), res.BudgetUsedFrac*100, lf, float64(res.TotalOutBytes())*8/1e6)
+		}
+		if realtime {
+			if d := time.Second - time.Since(start); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	return nil
+}
+
+// mkGenerator returns an epoch-batch generator for the chosen query.
+func mkGenerator(queryName string, seed uint64) func(durMicros int64) telemetry.Batch {
+	switch queryName {
+	case "log", "loganalytics":
+		gen := workload.NewLogGen(workload.DefaultLogConfig(seed))
+		return gen.NextWindow
+	default:
+		cfg := workload.DefaultPingConfig(seed)
+		cfg.SrcIP = 0x0A000000 + uint32(seed)
+		gen := workload.NewPingGen(cfg)
+		return gen.NextWindow
+	}
+}

@@ -1,0 +1,145 @@
+// Command jarvis-sim runs the epoch-level convergence simulator: a
+// single data source under a scripted resource scenario, tracing the
+// Jarvis runtime's phases and states per epoch (the raw data behind
+// Fig. 8).
+//
+// Usage:
+//
+//	jarvis-sim -query s2s -budget 0.1 -epochs 30 \
+//	    -event 3:budget=0.9 -event 18:budget=0.6 -variant jarvis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"jarvis/internal/experiments"
+	"jarvis/internal/runtime"
+	"jarvis/internal/sim"
+)
+
+type eventFlags []string
+
+func (e *eventFlags) String() string     { return strings.Join(*e, ",") }
+func (e *eventFlags) Set(v string) error { *e = append(*e, v); return nil }
+
+func main() {
+	queryName := flag.String("query", "s2s", "query to simulate (s2s|t2t|log)")
+	budget := flag.Float64("budget", 0.1, "initial CPU budget fraction")
+	epochs := flag.Int("epochs", 30, "epochs to simulate")
+	variant := flag.String("variant", "jarvis", "runtime variant (jarvis|lponly|nolpinit)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	var events eventFlags
+	flag.Var(&events, "event", "scripted change, e.g. 3:budget=0.9 or 12:opcost=2x3.0 (epoch:kind=value)")
+	flag.Parse()
+
+	if err := run(*queryName, *budget, *epochs, *variant, *seed, events); err != nil {
+		fmt.Fprintln(os.Stderr, "jarvis-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queryName string, budget float64, epochs int, variant string, seed uint64, eventSpecs []string) error {
+	q, rate, err := experiments.QueryByName(queryName)
+	if err != nil {
+		return err
+	}
+	cfg := sim.DefaultNodeConfig(q, rate, budget)
+	cfg.Seed = seed
+	node, err := sim.NewNode(cfg)
+	if err != nil {
+		return err
+	}
+	var rc runtime.Config
+	switch strings.ToLower(variant) {
+	case "jarvis":
+		rc = runtime.Defaults()
+	case "lponly":
+		rc = runtime.LPOnly()
+	case "nolpinit":
+		rc = runtime.NoLPInit()
+	default:
+		return fmt.Errorf("unknown variant %q", variant)
+	}
+	events, err := parseEvents(eventSpecs)
+	if err != nil {
+		return err
+	}
+	trace, err := sim.Run(node, rc, epochs, events)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query %s, rate %.1f Mbps, %d epochs, variant %s\n", q.Name, rate, epochs, variant)
+	fmt.Println("epoch  state      phase    tput(Mbps)  out(Mbps)  lat(s)  factors")
+	for _, e := range trace {
+		fmt.Printf("%5d  %-9v  %-7v  %9.2f  %8.2f  %6.2f  %s\n",
+			e.Epoch, e.State, e.Phase, e.ThroughputMbps, e.OutMbps, e.LatencySec,
+			fmtFactors(e.Factors))
+	}
+	return nil
+}
+
+func parseEvents(specs []string) ([]sim.Event, error) {
+	var out []sim.Event
+	for _, spec := range specs {
+		epochStr, rest, ok := strings.Cut(spec, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad event %q (want epoch:kind=value)", spec)
+		}
+		epoch, err := strconv.Atoi(epochStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad event epoch in %q: %w", spec, err)
+		}
+		kind, value, ok := strings.Cut(rest, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad event body %q", rest)
+		}
+		ev := sim.Event{Epoch: epoch}
+		switch kind {
+		case "budget":
+			v, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return nil, err
+			}
+			ev.BudgetFrac = &v
+		case "rate":
+			v, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return nil, err
+			}
+			ev.RateMbps = &v
+		case "opcost": // opcost=<opIdx>x<factor>
+			idxStr, facStr, ok := strings.Cut(value, "x")
+			if !ok {
+				return nil, fmt.Errorf("bad opcost %q (want IDXxFACTOR)", value)
+			}
+			idx, err := strconv.Atoi(idxStr)
+			if err != nil {
+				return nil, err
+			}
+			fac, err := strconv.ParseFloat(facStr, 64)
+			if err != nil {
+				return nil, err
+			}
+			ev.ScaleOpCost = map[int]float64{idx: fac}
+		case "reset":
+			ev.ResetFactors = true
+			ev.ClearBacklog = value == "all"
+		default:
+			return nil, fmt.Errorf("unknown event kind %q", kind)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+func fmtFactors(f []float64) string {
+	parts := make([]string, len(f))
+	for i, v := range f {
+		parts[i] = fmt.Sprintf("%.2f", v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,97 @@
+// Command jarvis-sp runs a stream processor node: it listens for agent
+// connections, merges their drained records and partial aggregates, and
+// prints final query results as they complete.
+//
+// Usage:
+//
+//	jarvis-sp -listen :7700 -query s2s -sources 1,2,3
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"jarvis/internal/core"
+	"jarvis/internal/experiments"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", ":7700", "address to accept agents on")
+	query := flag.String("query", "s2s", "query to run (s2s|t2t|log)")
+	sources := flag.String("sources", "1", "comma-separated source ids to wait for")
+	flag.Parse()
+
+	if err := run(*listen, *query, *sources); err != nil {
+		fmt.Fprintln(os.Stderr, "jarvis-sp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, queryName, sources string) error {
+	q, _, err := experiments.QueryByName(queryName)
+	if err != nil {
+		return err
+	}
+	proc, err := core.NewProcessor(q)
+	if err != nil {
+		return err
+	}
+	rc := transport.NewReceiver(proc.Engine())
+	for _, tok := range strings.Split(sources, ",") {
+		id, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad source id %q: %w", tok, err)
+		}
+		rc.RegisterSource(uint32(id))
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("jarvis-sp: %s on %s, waiting for sources [%s]\n", q.Name, ln.Addr(), sources)
+
+	srv := transport.NewServer(rc)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	go func() {
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				rows := rc.Advance()
+				if len(rows) > 0 {
+					printRows(rows)
+				}
+			}
+		}
+	}()
+
+	return srv.Serve(ctx, ln)
+}
+
+func printRows(rows telemetry.Batch) {
+	for i, r := range rows {
+		if i >= 5 {
+			fmt.Printf("  ... and %d more rows\n", len(rows)-5)
+			break
+		}
+		if row, ok := r.Data.(*telemetry.AggRow); ok {
+			fmt.Printf("  window %d  key %-18s count %-6d avg %.0f min %.0f max %.0f\n",
+				row.Window, row.Key.String(), row.Count, row.Avg(), row.Min, row.Max)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package jarvis_test
+
+import (
+	"fmt"
+
+	"jarvis"
+)
+
+// The canonical loop: one adaptive source feeding one processor. The
+// source starts with zero load factors (everything drains), detects the
+// idle condition, profiles, and settles on a plan that fits its budget.
+func ExampleNewPingmeshSource() {
+	src, gen, err := jarvis.NewPingmeshSource(1, 0.60)
+	if err != nil {
+		panic(err)
+	}
+	proc, err := jarvis.NewProcessor(src.Query())
+	if err != nil {
+		panic(err)
+	}
+	proc.RegisterSource(1)
+
+	rows := 0
+	for epoch := 0; epoch < 15; epoch++ {
+		res, err := src.RunEpoch(gen.NextWindow(1_000_000))
+		if err != nil {
+			panic(err)
+		}
+		if err := proc.Consume(1, res); err != nil {
+			panic(err)
+		}
+		rows += len(proc.Results())
+	}
+	fmt.Println("aggregate rows:", rows > 0)
+	fmt.Println("adapted:", src.LoadFactors()[0] > 0)
+	// Output:
+	// aggregate rows: true
+	// adapted: true
+}
+
+// Declaring a custom monitoring query with the builder: a filter the
+// optimizer can reason about, then a per-key aggregation. Rules R-1..R-4
+// decide how much of it may run on data sources.
+func ExampleNewQuery() {
+	q := jarvis.NewQuery("hot-paths").
+		WithRefRate(26.2, 86).
+		Window(10_000_000_000, 1). // 10 s in nanoseconds for time.Duration
+		FilterExpr("errors-only", jarvis.Eq(jarvis.Fld("errCode"), jarvis.NumLit(0)), 13, 0.86).
+		GroupAgg("rtt", jarvis.ProbePairKeyFn, jarvis.ProbeRTTFn, 71, 0.3)
+	if err := q.Validate(); err != nil {
+		panic(err)
+	}
+	fmt.Println("operators:", len(q.Ops))
+	// Output:
+	// operators: 3
+}

@@ -1,0 +1,125 @@
+// Cluster example: a stream processor and three data source agents run
+// as separate goroutines connected over loopback TCP — the same wire
+// protocol cmd/jarvis-sp and cmd/jarvis-agent speak across machines.
+// Each agent adapts independently to its own CPU budget; the SP merges
+// watermarks across all three streams and emits exact results.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"jarvis"
+	"jarvis/internal/transport"
+)
+
+const (
+	agents = 3
+	epochs = 16
+)
+
+func main() {
+	query := jarvis.S2SProbe()
+	proc, err := jarvis.NewProcessor(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rc := transport.NewReceiver(proc.Engine())
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("loopback unavailable: %v", err)
+	}
+	srv := transport.NewServer(rc)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = srv.Serve(ctx, ln) }()
+	fmt.Printf("SP listening on %s\n", ln.Addr())
+
+	budgets := []float64{0.9, 0.5, 0.3}
+	var wg sync.WaitGroup
+	for i := 0; i < agents; i++ {
+		id := uint32(i + 1)
+		rc.RegisterSource(id)
+		wg.Add(1)
+		go func(id uint32, budget float64) {
+			defer wg.Done()
+			if err := runAgent(ln.Addr().String(), id, budget); err != nil {
+				log.Printf("agent %d: %v", id, err)
+			}
+		}(id, budgets[i])
+	}
+
+	// Collect merged results while agents run.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	rows := 0
+	for {
+		select {
+		case <-done:
+			// Drain what's left.
+			time.Sleep(100 * time.Millisecond)
+			rows += printRows(rc.Advance(), rows)
+			fmt.Printf("\nmerged %d aggregate rows from %d agents over TCP\n", rows, agents)
+			fmt.Printf("SP received %.2f MB (%d frames)\n", float64(rc.BytesIn())/1e6, rc.Frames())
+			_ = srv.Close()
+			return
+		case <-time.After(50 * time.Millisecond):
+			rows += printRows(rc.Advance(), rows)
+		}
+	}
+}
+
+func runAgent(addr string, id uint32, budget float64) error {
+	src, err := jarvis.NewSource(jarvis.S2SProbe(), jarvis.SourceOptions{
+		BudgetFrac: budget,
+		RateMbps:   26.2,
+		Adapt:      true,
+	})
+	if err != nil {
+		return err
+	}
+	shipper, closeFn, err := transport.Dial(id, addr)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+
+	cfg := jarvis.DefaultPingConfig(uint64(id) * 17)
+	cfg.SrcIP = 0x0A000000 + id
+	gen := jarvis.NewPingGen(cfg)
+	for e := 0; e < epochs; e++ {
+		var batch jarvis.Batch
+		if e < 11 {
+			batch = gen.NextWindow(1_000_000)
+		} else {
+			src.ObserveTime(int64(e+1) * 1_000_000) // quiet tail closes windows
+		}
+		res, err := src.RunEpoch(batch)
+		if err != nil {
+			return err
+		}
+		if err := shipper.ShipEpoch(res); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("agent %d (budget %2.0f%%): final load factors %.2f\n",
+		id, budget*100, src.LoadFactors())
+	return nil
+}
+
+func printRows(batch jarvis.Batch, already int) int {
+	for i, r := range batch {
+		if already+i >= 6 {
+			break
+		}
+		row := r.Data.(*jarvis.AggRow)
+		fmt.Printf("  result: window %d pair %s count %d avg %.0fµs\n",
+			row.Window, row.Key.String(), row.Count, row.Avg())
+	}
+	return len(batch)
+}

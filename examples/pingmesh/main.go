@@ -1,0 +1,89 @@
+// Pingmesh monitoring scenario (paper Scenario 1): several servers probe
+// their peers and an operator watches for network issues. Each source
+// node has a different — and changing — CPU budget left over by its
+// foreground services; the Jarvis runtime on every node independently
+// re-partitions the query, and the stream processor raises alerts when a
+// server pair's latency exceeds the 5 ms SLA threshold.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jarvis"
+)
+
+const (
+	sources     = 4
+	epochs      = 40
+	alertMicros = 5000 // 5 ms SLA threshold
+)
+
+func main() {
+	bb, err := jarvis.NewBuildingBlock(jarvis.S2SProbe(), sources, jarvis.SourceOptions{
+		BudgetFrac: 0.8,
+		RateMbps:   26.2,
+		Adapt:      true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Heterogeneous budgets: node 0 is nearly idle, node 3 is busy.
+	budgets := []float64{0.9, 0.6, 0.4, 0.2}
+	for i, src := range bb.Sources {
+		src.SetBudget(budgets[i])
+	}
+
+	// One generator per node, with a few anomalous peers each.
+	gens := make([]interface {
+		NextWindow(int64) jarvis.Batch
+	}, sources)
+	for i := range gens {
+		cfg := jarvis.DefaultPingConfig(uint64(i + 1))
+		cfg.SrcIP = 0x0A000000 + uint32(i+1)
+		cfg.AnomalousPairFrac = 0.005
+		gens[i] = jarvis.NewPingGen(cfg)
+	}
+
+	fmt.Println("Pingmesh monitoring: 4 sources with budgets 90/60/40/20% of a core")
+	alerts := 0
+	for epoch := 0; epoch < epochs; epoch++ {
+		// Foreground load spike on node 0 at epoch 20: its budget drops.
+		if epoch == 20 {
+			fmt.Println("--- epoch 20: foreground burst on node 0, budget 90% -> 30% ---")
+			bb.Sources[0].SetBudget(0.30)
+		}
+		batches := make([]jarvis.Batch, sources)
+		for i, g := range gens {
+			batches[i] = g.NextWindow(1_000_000)
+		}
+		rows, err := bb.RunEpoch(batches)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rows {
+			row := r.Data.(*jarvis.AggRow)
+			if row.Max > alertMicros {
+				alerts++
+				if alerts <= 5 {
+					fmt.Printf("  ALERT window %d: pair %s max RTT %.1f ms (avg %.2f ms over %d probes)\n",
+						row.Window, row.Key.String(), row.Max/1000, row.Avg()/1000, row.Count)
+				}
+			}
+		}
+		if epoch%8 == 0 || epoch == 21 || epoch == 25 {
+			fmt.Printf("epoch %2d:", epoch)
+			for i, src := range bb.Sources {
+				res := src.LastResult()
+				fmt.Printf("  n%d[%v use=%2.0f%% out=%4.1fMbps]",
+					i, src.Phase(), res.BudgetUsedFrac*100, float64(res.TotalOutBytes())*8/1e6)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("\n%d SLA alerts raised; every node kept its query stable under its own budget.\n", alerts)
+	fmt.Printf("SP ingress: %.1f MB total (vs %.1f MB raw input without near-data processing)\n",
+		float64(bb.Proc.IngressBytes())/1e6,
+		float64(sources*epochs)*26.2/8)
+}

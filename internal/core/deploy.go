@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"jarvis/internal/plan"
+	"jarvis/internal/runtime"
+	"jarvis/internal/topology"
+)
+
+// DeployedBlock pairs a building block with its topology assignment.
+type DeployedBlock struct {
+	Block      *BuildingBlock
+	Deployment topology.Deployment
+}
+
+// Deploy instantiates runnable building blocks from a resource directory
+// (Fig. 4(a)'s query manager path: optimize → rules → deploy). Each
+// source gets its directory-declared budget and rate; the per-source
+// boundary comes from rules R-1..R-4.
+func Deploy(dir *topology.Directory, q *plan.Query, rt *RuntimeConfigOpt) ([]*DeployedBlock, error) {
+	qm, err := topology.NewQueryManager(dir)
+	if err != nil {
+		return nil, err
+	}
+	deployments, err := qm.Deploy(q)
+	if err != nil {
+		return nil, err
+	}
+	var out []*DeployedBlock
+	for _, dep := range deployments {
+		proc, err := NewProcessor(dep.Query)
+		if err != nil {
+			return nil, err
+		}
+		block := &BuildingBlock{Proc: proc}
+		for i, assign := range dep.Sources {
+			opts := SourceOptions{
+				BudgetFrac: assign.Node.BudgetFrac,
+				RateMbps:   assign.Node.RateMbps,
+				Adapt:      true,
+			}
+			if rt != nil {
+				opts.Runtime = &rt.Config
+				opts.Adapt = rt.Adapt
+			}
+			src, err := NewSource(dep.Query, opts)
+			if err != nil {
+				return nil, fmt.Errorf("core: deploy source %d: %w", assign.Node.ID, err)
+			}
+			block.Sources = append(block.Sources, src)
+			proc.RegisterSource(uint32(i + 1))
+		}
+		out = append(out, &DeployedBlock{Block: block, Deployment: dep})
+	}
+	return out, nil
+}
+
+// RuntimeConfigOpt optionally overrides the runtime configuration for
+// deployed sources.
+type RuntimeConfigOpt struct {
+	Config runtime.Config
+	Adapt  bool
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"jarvis/internal/plan"
+	"jarvis/internal/stream"
+	"jarvis/internal/telemetry"
+)
+
+// Hierarchy is the full monitoring tree of Fig. 4(b): several core
+// building blocks (an intermediate SP plus its data sources) under one
+// root SP. Each intermediate SP computes complete results for its own
+// sources; because the query's aggregates are mergeable (rule R-1), the
+// root merges the per-block rows into the global answer without
+// reprocessing records. Building blocks never communicate with each
+// other — the property that lets the system scale by adding blocks
+// (§IV-A).
+type Hierarchy struct {
+	query  *plan.Query
+	blocks []*BuildingBlock
+	root   *stream.SPEngine
+	// rootStage is where per-block rows enter the root replica: the
+	// stateful aggregation they must merge into.
+	rootStage int
+}
+
+// NewHierarchy builds `blocks` building blocks of `sourcesPerBlock`
+// sources each, plus the root SP.
+func NewHierarchy(q *plan.Query, blocks, sourcesPerBlock int, opts SourceOptions) (*Hierarchy, error) {
+	if blocks < 1 || sourcesPerBlock < 1 {
+		return nil, fmt.Errorf("core: hierarchy needs at least one block and source")
+	}
+	opt, err := plan.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	root, err := stream.NewSPEngine(opt)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{query: opt, root: root, rootStage: mergeStage(opt)}
+	for b := 0; b < blocks; b++ {
+		bb, err := NewBuildingBlock(q, sourcesPerBlock, opts)
+		if err != nil {
+			return nil, err
+		}
+		h.blocks = append(h.blocks, bb)
+		root.RegisterSource(uint32(b + 1))
+	}
+	return h, nil
+}
+
+// mergeStage finds the last stateful operator: per-block final rows must
+// merge into its root replica. A fully stateless query simply relays.
+func mergeStage(q *plan.Query) int {
+	stage := len(q.Ops)
+	ops, err := q.Instantiate()
+	if err != nil {
+		return stage
+	}
+	for i := len(ops) - 1; i >= 0; i-- {
+		if ops[i].Stateful() {
+			return i
+		}
+	}
+	return stage
+}
+
+// Blocks returns the building blocks (for configuring budgets).
+func (h *Hierarchy) Blocks() []*BuildingBlock { return h.blocks }
+
+// RunEpoch drives every block with its sources' batches (indexed
+// [block][source]) and merges the blocks' outputs at the root, returning
+// globally complete result rows.
+func (h *Hierarchy) RunEpoch(batches [][]telemetry.Batch) (telemetry.Batch, error) {
+	for b, bb := range h.blocks {
+		var blockBatches []telemetry.Batch
+		if b < len(batches) {
+			blockBatches = batches[b]
+		}
+		rows, err := bb.RunEpoch(blockBatches)
+		if err != nil {
+			return nil, fmt.Errorf("core: block %d: %w", b, err)
+		}
+		if len(rows) > 0 {
+			if err := h.root.Ingest(h.rootStage, rows); err != nil {
+				return nil, fmt.Errorf("core: root ingest block %d: %w", b, err)
+			}
+		}
+		// The block's watermark is the min across its sources.
+		wm := int64(-1)
+		for _, src := range bb.Sources {
+			srcWM := src.LastResult().Watermark
+			if wm < 0 || srcWM < wm {
+				wm = srcWM
+			}
+		}
+		if wm >= 0 {
+			h.root.ObserveWatermark(uint32(b+1), wm)
+		}
+	}
+	return h.root.Advance(), nil
+}
+
+// RootIngressBytes is the volume the root received from the blocks —
+// tiny relative to raw input because each level aggregates.
+func (h *Hierarchy) RootIngressBytes() int64 { return h.root.IngressBytes() }

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"jarvis/internal/stream"
+	"jarvis/internal/telemetry"
+)
+
+// MultiQueryNode runs several queries on one data source node, each with
+// its own dedicated Jarvis runtime instance, and divides the node's CPU
+// among them with the max-min fair allocation policy the paper adopts
+// (§IV-E): every query gets an equal share; shares a query cannot use
+// (its demand is lower) are redistributed to the ones that can.
+type MultiQueryNode struct {
+	// TotalCores is the node's compute in cores (t2.medium = 2).
+	totalCores float64
+	sources    []*Source
+	names      []string
+	// demand tracks each query's recent budget appetite for the max-min
+	// redistribution (EWMA of used budget).
+	demand []float64
+}
+
+// NewMultiQueryNode creates an empty node with the given core count.
+func NewMultiQueryNode(totalCores float64) (*MultiQueryNode, error) {
+	if totalCores <= 0 {
+		return nil, fmt.Errorf("core: non-positive core count %v", totalCores)
+	}
+	return &MultiQueryNode{totalCores: totalCores}, nil
+}
+
+// AddQuery deploys another query instance on the node. The source starts
+// with the current fair share as its budget.
+func (n *MultiQueryNode) AddQuery(src *Source, name string) {
+	n.sources = append(n.sources, src)
+	n.names = append(n.names, name)
+	n.demand = append(n.demand, 0)
+	n.rebalance()
+}
+
+// Queries returns the number of deployed query instances.
+func (n *MultiQueryNode) Queries() int { return len(n.sources) }
+
+// Source returns the i-th query's source.
+func (n *MultiQueryNode) Source(i int) *Source { return n.sources[i] }
+
+// Budgets returns the current per-query budget fractions.
+func (n *MultiQueryNode) Budgets() []float64 {
+	out := make([]float64, len(n.sources))
+	for i, s := range n.sources {
+		out[i] = s.Budget()
+	}
+	return out
+}
+
+// RunEpoch executes one epoch for every query (index-aligned batches)
+// and then rebalances budgets max-min fairly based on observed demand.
+func (n *MultiQueryNode) RunEpoch(batches []telemetry.Batch) ([]stream.EpochResult, error) {
+	results := make([]stream.EpochResult, len(n.sources))
+	for i, src := range n.sources {
+		var batch telemetry.Batch
+		if i < len(batches) {
+			batch = batches[i]
+		}
+		res, err := src.RunEpoch(batch)
+		if err != nil {
+			return nil, fmt.Errorf("core: query %s: %w", n.names[i], err)
+		}
+		results[i] = res
+		// Demand estimate: what the query consumed, nudged upward when it
+		// exhausted its share (it likely wants more).
+		used := res.BudgetUsedFrac * src.Budget()
+		if res.BudgetUsedFrac > 0.98 {
+			used *= 1.25
+		}
+		const alpha = 0.5
+		n.demand[i] = alpha*used + (1-alpha)*n.demand[i]
+	}
+	n.rebalance()
+	return results, nil
+}
+
+// rebalance applies max-min fairness: start from equal shares; queries
+// whose demand is below their share donate the surplus, redistributed
+// equally among the still-hungry queries until no surplus remains.
+func (n *MultiQueryNode) rebalance() {
+	k := len(n.sources)
+	if k == 0 {
+		return
+	}
+	share := make([]float64, k)
+	capped := make([]bool, k)
+	remaining := n.totalCores
+	hungry := k
+	// Iterate: hand each uncapped query an equal slice; cap those whose
+	// demand is met; repeat with the leftovers.
+	for iter := 0; iter < k+1 && hungry > 0 && remaining > 1e-9; iter++ {
+		slice := remaining / float64(hungry)
+		progressed := false
+		for i := 0; i < k; i++ {
+			if capped[i] {
+				continue
+			}
+			want := n.demand[i]
+			if want <= 0 {
+				want = slice // no signal yet: take the fair slice
+			}
+			need := want - share[i]
+			if need <= slice+1e-12 && need >= 0 {
+				grant := need
+				share[i] += grant
+				remaining -= grant
+				capped[i] = true
+				hungry--
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Everyone still hungry: split evenly and stop.
+			slice = remaining / float64(hungry)
+			for i := 0; i < k; i++ {
+				if !capped[i] {
+					share[i] += slice
+					remaining -= slice
+				}
+			}
+			break
+		}
+	}
+	// Any leftover goes evenly to all queries (headroom for bursts).
+	if remaining > 1e-9 {
+		extra := remaining / float64(k)
+		for i := range share {
+			share[i] += extra
+		}
+	}
+	for i, src := range n.sources {
+		// A single query instance cannot use more than one core
+		// (rule R-4 bars intra-operator parallelism on sources).
+		b := share[i]
+		if b > 1 {
+			b = 1
+		}
+		src.SetBudget(b)
+	}
+}

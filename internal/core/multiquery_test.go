@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"jarvis/internal/plan"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/workload"
+)
+
+func addS2S(t *testing.T, n *MultiQueryNode, name string) {
+	t.Helper()
+	src, err := NewSource(plan.S2SProbe(), SourceOptions{
+		BudgetFrac: 1, RateMbps: workload.PingmeshMbps10x, Adapt: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.AddQuery(src, name)
+}
+
+func TestMultiQueryValidation(t *testing.T) {
+	if _, err := NewMultiQueryNode(0); err == nil {
+		t.Fatal("zero cores must fail")
+	}
+}
+
+func TestMultiQueryEqualSharesInitially(t *testing.T) {
+	n, err := NewMultiQueryNode(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addS2S(t, n, "q1")
+	addS2S(t, n, "q2")
+	addS2S(t, n, "q3")
+	if n.Queries() != 3 {
+		t.Fatal("query count")
+	}
+	budgets := n.Budgets()
+	var total float64
+	for _, b := range budgets {
+		if b <= 0 || b > 1 {
+			t.Fatalf("budget out of range: %v", budgets)
+		}
+		total += b
+	}
+	if total > 2.0+1e-6 {
+		t.Fatalf("budgets exceed the node's cores: %v", budgets)
+	}
+}
+
+func TestMultiQueryFairnessUnderLoad(t *testing.T) {
+	// Two S2SProbe instances (≈85% demand each) on one core: neither can
+	// get a full core, both should end up near 50%.
+	n, err := NewMultiQueryNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addS2S(t, n, "a")
+	addS2S(t, n, "b")
+	gens := []*workload.PingGen{
+		workload.NewPingGen(workload.DefaultPingConfig(1)),
+		workload.NewPingGen(workload.DefaultPingConfig(2)),
+	}
+	for e := 0; e < 20; e++ {
+		batches := make([]telemetry.Batch, 2)
+		for i, g := range gens {
+			batches[i] = g.NextWindow(1_000_000)
+		}
+		if _, err := n.RunEpoch(batches); err != nil {
+			t.Fatal(err)
+		}
+	}
+	budgets := n.Budgets()
+	if budgets[0]+budgets[1] > 1.0+1e-6 {
+		t.Fatalf("oversubscribed: %v", budgets)
+	}
+	ratio := budgets[0] / budgets[1]
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("shares should be near-equal under equal demand: %v", budgets)
+	}
+}
+
+func TestMultiQuerySurplusRedistribution(t *testing.T) {
+	// A light LogAnalytics (≈31%) next to a heavy S2SProbe (≈85%) on one
+	// core: the log query's surplus should flow to the heavy one.
+	n, err := NewMultiQueryNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := NewSource(plan.S2SProbe(), SourceOptions{
+		BudgetFrac: 0.5, RateMbps: workload.PingmeshMbps10x, Adapt: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := NewSource(plan.LogAnalytics(), SourceOptions{
+		BudgetFrac: 0.5, RateMbps: workload.LogMbps10x, Adapt: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.AddQuery(heavy, "s2s")
+	n.AddQuery(light, "log")
+
+	ping := workload.NewPingGen(workload.DefaultPingConfig(3))
+	logs := workload.NewLogGen(workload.DefaultLogConfig(4))
+	for e := 0; e < 25; e++ {
+		if _, err := n.RunEpoch([]telemetry.Batch{
+			ping.NextWindow(1_000_000),
+			logs.NextWindow(1_000_000),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	budgets := n.Budgets()
+	if budgets[0] <= budgets[1] {
+		t.Fatalf("heavy query should get more than the light one: %v", budgets)
+	}
+	if budgets[0] < 0.55 {
+		t.Fatalf("surplus not redistributed to the heavy query: %v", budgets)
+	}
+	if budgets[0]+budgets[1] > 1.0+1e-6 {
+		t.Fatalf("oversubscribed: %v", budgets)
+	}
+}
+
+func TestMultiQueryBudgetCapAtOneCore(t *testing.T) {
+	// One query on a 2-core node: R-4 caps a single instance at 1 core.
+	n, err := NewMultiQueryNode(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addS2S(t, n, "solo")
+	if b := n.Budgets()[0]; b > 1 {
+		t.Fatalf("single-query budget %v exceeds one core", b)
+	}
+	if n.Source(0) == nil {
+		t.Fatal("source accessor")
+	}
+}

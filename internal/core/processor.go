@@ -1,0 +1,111 @@
+package core
+
+import (
+	"jarvis/internal/plan"
+	"jarvis/internal/stream"
+	"jarvis/internal/telemetry"
+)
+
+// Processor is the stream-processor side of a core building block: the
+// query's replicated operators plus multi-source watermark merging. Feed
+// it with each source's epoch results (in process) or wire frames (via
+// transport.Receiver, which wraps the same engine).
+type Processor struct {
+	query  *plan.Query
+	engine *stream.SPEngine
+}
+
+// NewProcessor builds the SP replica for a query.
+func NewProcessor(q *plan.Query) (*Processor, error) {
+	opt, err := plan.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := stream.NewSPEngine(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Processor{query: opt, engine: engine}, nil
+}
+
+// Engine exposes the underlying SP engine (for transport.Receiver).
+func (p *Processor) Engine() *stream.SPEngine { return p.engine }
+
+// RegisterSource announces a source before its first epoch.
+func (p *Processor) RegisterSource(id uint32) { p.engine.RegisterSource(id) }
+
+// Consume ingests one source's epoch result: drains enter the stages
+// their proxies guarded, results enter the result stage, and the
+// source's watermark advances the merge.
+func (p *Processor) Consume(source uint32, res stream.EpochResult) error {
+	for stage, batch := range res.Drains {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := p.engine.Ingest(stage, batch); err != nil {
+			return err
+		}
+	}
+	if len(res.Results) > 0 {
+		if err := p.engine.Ingest(res.ResultStage, res.Results); err != nil {
+			return err
+		}
+	}
+	p.engine.ObserveWatermark(source, res.Watermark)
+	return nil
+}
+
+// Results flushes closed windows across all merged sources and returns
+// the final query output rows produced since the last call.
+func (p *Processor) Results() telemetry.Batch { return p.engine.Advance() }
+
+// IngressBytes reports the network volume received from sources.
+func (p *Processor) IngressBytes() int64 { return p.engine.IngressBytes() }
+
+// CPUMicros reports the SP-side compute consumed.
+func (p *Processor) CPUMicros() float64 { return p.engine.CPUMicros() }
+
+// BuildingBlock wires one Processor to n in-process Sources — the
+// paper's unit of scalability (§IV-A). It is the easiest way to run
+// Jarvis end to end without a network.
+type BuildingBlock struct {
+	Proc    *Processor
+	Sources []*Source
+}
+
+// NewBuildingBlock creates a processor and n sources for the query.
+func NewBuildingBlock(q *plan.Query, n int, opts SourceOptions) (*BuildingBlock, error) {
+	proc, err := NewProcessor(q)
+	if err != nil {
+		return nil, err
+	}
+	bb := &BuildingBlock{Proc: proc}
+	for i := 0; i < n; i++ {
+		src, err := NewSource(q, opts)
+		if err != nil {
+			return nil, err
+		}
+		bb.Sources = append(bb.Sources, src)
+		proc.RegisterSource(uint32(i + 1))
+	}
+	return bb, nil
+}
+
+// RunEpoch drives every source with its batch (index-aligned) and feeds
+// the processor, returning any final rows that became complete.
+func (bb *BuildingBlock) RunEpoch(batches []telemetry.Batch) (telemetry.Batch, error) {
+	for i, src := range bb.Sources {
+		var batch telemetry.Batch
+		if i < len(batches) {
+			batch = batches[i]
+		}
+		res, err := src.RunEpoch(batch)
+		if err != nil {
+			return nil, err
+		}
+		if err := bb.Proc.Consume(uint32(i+1), res); err != nil {
+			return nil, err
+		}
+	}
+	return bb.Proc.Results(), nil
+}

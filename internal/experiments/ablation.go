@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"jarvis/internal/plan"
+	"jarvis/internal/runtime"
+	"jarvis/internal/sim"
+	"jarvis/internal/workload"
+)
+
+// AblationRow is one variant's closed-loop convergence measurement.
+type AblationRow struct {
+	Name string
+	// Epochs to stability from a cold start at the given budget, or -1.
+	Epochs int
+	// Profiles counts profiling epochs spent.
+	Profiles int
+}
+
+// AblationResult covers the design choices DESIGN.md calls out: LP
+// initialization, binary-search vs linear fine-tuning, and the priority
+// definition.
+type AblationResult struct {
+	BudgetPct int
+	Rows      []AblationRow
+}
+
+// Ablation measures cold-start convergence of the runtime variants on
+// S2SProbe at the given budget.
+func Ablation(budgetFrac float64) (*AblationResult, error) {
+	variants := []struct {
+		name string
+		cfg  runtime.Config
+	}{
+		{"Jarvis (LP + binary fine-tune)", runtime.Defaults()},
+		{"LP only", runtime.LPOnly()},
+		{"w/o LP-init (binary)", runtime.NoLPInit()},
+		{"w/o LP-init (linear steps)", func() runtime.Config {
+			c := runtime.NoLPInit()
+			c.LinearStepping = true
+			return c
+		}()},
+		{"priority = cost x relay", func() runtime.Config {
+			c := runtime.Defaults()
+			c.PriorityByCostRelay = true
+			return c
+		}()},
+	}
+	res := &AblationResult{BudgetPct: int(budgetFrac*100 + 0.5)}
+	for _, v := range variants {
+		node, err := sim.NewNode(sim.DefaultNodeConfig(
+			plan.S2SProbe(), workload.PingmeshMbps10x, budgetFrac))
+		if err != nil {
+			return nil, err
+		}
+		trace, err := sim.Run(node, v.cfg, 60, nil)
+		if err != nil {
+			return nil, err
+		}
+		profiles := 0
+		for _, e := range trace {
+			if e.Profiled {
+				profiles++
+			}
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Name:     v.name,
+			Epochs:   trace.ConvergenceEpochs(0, 3),
+			Profiles: profiles,
+		})
+	}
+	return res, nil
+}
+
+// String renders the comparison.
+func (r *AblationResult) String() string {
+	var t table
+	t.title(fmt.Sprintf("Ablations: cold-start convergence, S2SProbe @%d%% CPU (60-epoch cap)", r.BudgetPct))
+	t.line(fmt.Sprintf("%-32s %8s %9s", "variant", "epochs", "profiles"))
+	for _, row := range r.Rows {
+		epochs := fmt.Sprintf("%d", row.Epochs)
+		if row.Epochs < 0 {
+			epochs = "never"
+		}
+		t.line(fmt.Sprintf("%-32s %8s %9d", row.Name, epochs, row.Profiles))
+	}
+	return t.String()
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"jarvis/internal/partition"
+	"jarvis/internal/plan"
+)
+
+// Fig10Setting is one panel of Fig. 10: an input-rate scaling with its
+// per-node CPU budget (§VI-E: 55% at 10×, 30% at 5×, 5% at 1×).
+type Fig10Setting struct {
+	Name       string
+	RateMbps   float64
+	BudgetFrac float64
+	MaxNodes   int
+	Step       int
+}
+
+// Fig10Settings are the paper's three scalings.
+var Fig10Settings = []Fig10Setting{
+	{"10x", 26.2, 0.55, 48, 4},
+	{"5x", 13.1, 0.30, 100, 5},
+	{"1x", 2.62, 0.05, 280, 20},
+}
+
+// Fig10Row is one node-count point.
+type Fig10Row struct {
+	Nodes    int
+	Jarvis   float64
+	BestOP   float64
+	Expected float64
+}
+
+// Fig10Result is one panel.
+type Fig10Result struct {
+	Setting Fig10Setting
+	Rows    []Fig10Row
+	// JarvisMaxNodes/BestOPMaxNodes: the largest node counts each policy
+	// sustains at full expected throughput (within 1%).
+	JarvisMaxNodes int
+	BestOPMaxNodes int
+}
+
+// Fig10 sweeps the number of data sources feeding one SP for one scaling
+// (Fig. 10(a)–(c)), comparing Jarvis with Best-OP against the expected
+// N×rate line. The SP's aggregate ingress (AggBWMbps) is shared across
+// nodes on top of the per-source cap.
+func Fig10(set Fig10Setting) (*Fig10Result, error) {
+	res := &Fig10Result{Setting: set}
+	sc := partition.Scenario{
+		Query:         plan.S2SProbe(),
+		RateMbps:      set.RateMbps,
+		BudgetFrac:    set.BudgetFrac,
+		BandwidthMbps: PerSourceBWMbps,
+	}
+	// The sustained node count is where the aggregate curve knees: the
+	// last node whose addition still contributes at least half its input
+	// rate (beyond it, the shared SP link is saturated and extra sources
+	// only redistribute bandwidth).
+	sustained := func(st partition.Strategy) int {
+		prev := 0.0
+		last := 0
+		for n := 1; n <= set.MaxNodes+set.Step; n++ {
+			tp, err := partition.AggregateThroughput(st, sc, n, AggBWMbps)
+			if err != nil {
+				return last
+			}
+			if tp-prev >= 0.5*set.RateMbps {
+				last = n
+			}
+			prev = tp
+		}
+		return last
+	}
+	res.JarvisMaxNodes = sustained(partition.Jarvis)
+	res.BestOPMaxNodes = sustained(partition.BestOP)
+
+	for n := set.Step; n <= set.MaxNodes; n += set.Step {
+		j, err := partition.AggregateThroughput(partition.Jarvis, sc, n, AggBWMbps)
+		if err != nil {
+			return nil, err
+		}
+		b, err := partition.AggregateThroughput(partition.BestOP, sc, n, AggBWMbps)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig10Row{
+			Nodes:    n,
+			Jarvis:   j,
+			BestOP:   b,
+			Expected: set.RateMbps * float64(n),
+		})
+	}
+	return res, nil
+}
+
+// Fig10All regenerates all three panels.
+func Fig10All() ([]*Fig10Result, error) {
+	var out []*Fig10Result
+	for _, set := range Fig10Settings {
+		r, err := Fig10(set)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// String renders the panel.
+func (r *Fig10Result) String() string {
+	var t table
+	t.title(fmt.Sprintf("Fig.10 (%s): aggregate TPut (Mbps) vs #sources (rate %.2f, CPU %.0f%%)",
+		r.Setting.Name, r.Setting.RateMbps, r.Setting.BudgetFrac*100))
+	t.row("nodes", "Jarvis", "Best-OP", "Expected")
+	for _, row := range r.Rows {
+		t.row(row.Nodes, row.Jarvis, row.BestOP, row.Expected)
+	}
+	t.line(fmt.Sprintf("max sources at full rate: Jarvis %d, Best-OP %d (+%.0f%%)",
+		r.JarvisMaxNodes, r.BestOPMaxNodes,
+		100*(float64(r.JarvisMaxNodes)/float64(maxInt(r.BestOPMaxNodes, 1))-1)))
+	return t.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

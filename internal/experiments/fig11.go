@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"jarvis/internal/partition"
+	"jarvis/internal/plan"
+)
+
+// Fig11Setting is one input scaling of the multi-query experiment
+// (§VI-F): per-query CPU demand follows the rate (55% at 10×, 30% at 5×,
+// 5% at 1×).
+type Fig11Setting struct {
+	Name       string
+	RateMbps   float64
+	DemandFrac float64
+	MaxQueries int
+}
+
+// Fig11Settings are the paper's three scalings.
+var Fig11Settings = []Fig11Setting{
+	{"10x", 26.2, 0.55, 6},
+	{"5x", 13.1, 0.30, 10},
+	{"1x", 2.62, 0.05, 28},
+}
+
+// PerQueryOverheadFrac models the fixed cost of running one more query
+// instance on the node (its runtime, dataflow plumbing and
+// serialization) — ~2% of a core, consistent with the per-query counts
+// the paper reports at 1× scaling.
+const PerQueryOverheadFrac = 0.02
+
+// Fig11Row is one query-count point for one core count.
+type Fig11Row struct {
+	Queries int
+	// AggTPut maps core count (1, 2) → aggregate throughput (Mbps).
+	AggTPut map[int]float64
+}
+
+// Fig11Result is one panel of Fig. 11.
+type Fig11Result struct {
+	Setting Fig11Setting
+	Rows    []Fig11Row
+	// Supported maps core count → the largest query count still served
+	// at (nearly) full per-query rate.
+	Supported map[int]int
+}
+
+// Fig11 computes aggregate throughput when multiple S2SProbe instances
+// share a source node. Each instance runs fixed load factors sized to
+// DemandFrac (the paper pins per-query CPU via fixed factors); the fair
+// allocator gives each query an equal share of the node's cores. When
+// the shares fall below the per-query demand the whole agent process is
+// CPU starved, so every instance slows proportionally.
+func Fig11(set Fig11Setting) (*Fig11Result, error) {
+	res := &Fig11Result{Setting: set, Supported: map[int]int{}}
+	q := plan.S2SProbe()
+	factors, err := partition.JarvisLPFactors(q, set.DemandFrac, set.RateMbps, 0)
+	if err != nil {
+		return nil, err
+	}
+	perQuery := set.DemandFrac + PerQueryOverheadFrac
+	for k := 1; k <= set.MaxQueries; k++ {
+		row := Fig11Row{Queries: k, AggTPut: map[int]float64{}}
+		for _, cores := range []int{1, 2} {
+			share := float64(cores) / float64(k)
+			phi := 1.0
+			if share < perQuery {
+				phi = share / perQuery
+			}
+			// Per-query throughput at its fair share; network per query
+			// uses the standard per-source cap.
+			o, err := partition.Evaluate(partition.Scenario{
+				Query:         q,
+				RateMbps:      set.RateMbps,
+				BudgetFrac:    set.DemandFrac, // factors already fit this
+				BandwidthMbps: PerSourceBWMbps,
+			}, factors)
+			if err != nil {
+				return nil, err
+			}
+			row.AggTPut[cores] = o.ThroughputMbps * phi * float64(k)
+			if phi >= 0.99 {
+				if row.Queries > res.Supported[cores] {
+					res.Supported[cores] = row.Queries
+				}
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig11All regenerates all three panels.
+func Fig11All() ([]*Fig11Result, error) {
+	var out []*Fig11Result
+	for _, set := range Fig11Settings {
+		r, err := Fig11(set)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// String renders the panel.
+func (r *Fig11Result) String() string {
+	var t table
+	t.title(fmt.Sprintf("Fig.11 (%s): aggregate TPut (Mbps) vs #queries (per-query demand %.0f%%)",
+		r.Setting.Name, r.Setting.DemandFrac*100))
+	t.row("queries", "1 core", "2 cores")
+	for _, row := range r.Rows {
+		t.row(row.Queries, row.AggTPut[1], row.AggTPut[2])
+	}
+	t.line(fmt.Sprintf("queries at full rate: %d (1 core), %d (2 cores)",
+		r.Supported[1], r.Supported[2]))
+	return t.String()
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"jarvis/internal/partition"
+	"jarvis/internal/plan"
+	"jarvis/internal/workload"
+)
+
+// Fig3Result reproduces the motivating comparison of Fig. 3: S2SProbe on
+// a source with an 80% CPU budget, operator-level vs data-level
+// partitioning.
+type Fig3Result struct {
+	BudgetFrac float64
+	// OperatorLevel is the Best-OP outcome (coarse {0,1} factors).
+	OperatorLevel partition.Outcome
+	// DataLevel is the Jarvis outcome (fractional factors).
+	DataLevel partition.Outcome
+	// DataFactors are Jarvis' load factors.
+	DataFactors []float64
+	// TrafficRatio = operator-level traffic / data-level traffic (the
+	// paper reports 2.4×).
+	TrafficRatio float64
+}
+
+// Fig3 runs the comparison.
+func Fig3() (*Fig3Result, error) {
+	sc := partition.Scenario{
+		Query:         plan.S2SProbe(),
+		RateMbps:      workload.PingmeshMbps10x,
+		BudgetFrac:    0.80,
+		BandwidthMbps: 0, // the illustration compares raw traffic
+	}
+	opl, _, err := partition.EvaluateStrategy(partition.BestOP, sc)
+	if err != nil {
+		return nil, err
+	}
+	dl, factors, err := partition.EvaluateStrategy(partition.Jarvis, sc)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{
+		BudgetFrac:    0.80,
+		OperatorLevel: opl,
+		DataLevel:     dl,
+		DataFactors:   factors,
+	}
+	if dl.OutMbps > 0 {
+		res.TrafficRatio = opl.OutMbps / dl.OutMbps
+	}
+	return res, nil
+}
+
+// String renders the comparison like the figure's annotations.
+func (r *Fig3Result) String() string {
+	var t table
+	t.title("Fig.3: operator-level vs data-level partitioning (S2SProbe, 80% CPU)")
+	t.line(fmt.Sprintf("operator-level: traffic %6.2f Mbps, CPU need %5.1f%%",
+		r.OperatorLevel.OutMbps, r.OperatorLevel.CPUDemandFrac*100))
+	t.line(fmt.Sprintf("data-level:     traffic %6.2f Mbps, CPU need %5.1f%%  factors %v",
+		r.DataLevel.OutMbps, r.DataLevel.CPUDemandFrac*100, r.DataFactors))
+	t.line(fmt.Sprintf("traffic reduction: %.1fx lower with data-level partitioning (paper: 2.4x)",
+		r.TrafficRatio))
+	return t.String()
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"jarvis/internal/runtime"
+)
+
+// OverheadResult measures the Jarvis runtime's own compute cost: the
+// paper reports "less than 1% of a single core during Profile and Adapt
+// phases" (§VI-B).
+type OverheadResult struct {
+	// LPInitMicros is the cost of one LP initialization (Profile→Adapt).
+	LPInitMicros float64
+	// EpochPct is the runtime's share of a core assuming one adaptation
+	// decision per 1 s epoch.
+	EpochPct float64
+	Iters    int
+}
+
+// Overhead times LPInit on the S2SProbe estimates.
+func Overhead() (*OverheadResult, error) {
+	est := runtime.Estimates{
+		CostPct:   []float64{1, 13, 71},
+		Relay:     []float64{1, 0.86, 0.30},
+		BudgetPct: 60,
+	}
+	const iters = 2000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := runtime.LPInit(est, 0); err != nil {
+			return nil, err
+		}
+	}
+	per := float64(time.Since(start).Microseconds()) / iters
+	return &OverheadResult{
+		LPInitMicros: per,
+		EpochPct:     per / 1e6 * 100, // one decision per 1 s epoch
+		Iters:        iters,
+	}, nil
+}
+
+// String renders the measurement.
+func (r *OverheadResult) String() string {
+	var t table
+	t.title("§VI-B: Jarvis runtime overhead")
+	t.line(fmt.Sprintf("LP init + plan: %.1f µs per decision (%d iters)", r.LPInitMicros, r.Iters))
+	t.line(fmt.Sprintf("per 1 s epoch:  %.4f%% of one core (paper: <1%%)", r.EpochPct))
+	return t.String()
+}

@@ -1,0 +1,249 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChainProblem is the data-level partitioning LP of Eq. 3 in the paper.
+// A query pipeline has M operators Op_1..Op_M. Operator i has relay ratio
+// R[i-1] (output/input size ratio, in [0,1]) and per-record compute cost
+// C[i-1] ≥ 0 (fraction of the epoch budget consumed by one incoming
+// record). Budget is the compute available per injected record, i.e. the
+// paper's C/Nr.
+//
+// The decision variables are effective load factors e_i = Π_{j≤i} p_j:
+//
+//	minimize   Σ_i (Π_{j<i} r_j)·(e_{i-1} − e_i)      (drained records)
+//	s.t.       Σ_i (Π_{j<i} r_j)·e_i·c_i ≤ Budget
+//	           0 ≤ e_i ≤ e_{i-1},  e_0 = 1
+type ChainProblem struct {
+	R      []float64
+	C      []float64
+	Budget float64
+}
+
+// ChainSolution is the solved partitioning plan.
+type ChainSolution struct {
+	// E are the effective load factors e_1..e_M.
+	E []float64
+	// P are the per-proxy load factors p_i = e_i/e_{i-1} (1 where the
+	// upstream is fully drained and the value is immaterial).
+	P []float64
+	// Drained is the objective value: the fraction of (relay-weighted)
+	// records drained from the data source.
+	Drained float64
+	// BudgetUsed is Σ w_i·e_i·c_i, the compute consumed per record.
+	BudgetUsed float64
+}
+
+func (cp ChainProblem) validate() error {
+	if len(cp.R) == 0 || len(cp.R) != len(cp.C) {
+		return fmt.Errorf("%w: need equal, nonzero R/C lengths (got %d/%d)",
+			ErrBadProblem, len(cp.R), len(cp.C))
+	}
+	for i := range cp.R {
+		if cp.R[i] < 0 || cp.R[i] > 1 || math.IsNaN(cp.R[i]) {
+			return fmt.Errorf("%w: relay ratio %d = %v outside [0,1]", ErrBadProblem, i, cp.R[i])
+		}
+		if cp.C[i] < 0 || math.IsNaN(cp.C[i]) || math.IsInf(cp.C[i], 0) {
+			return fmt.Errorf("%w: cost %d = %v negative or non-finite", ErrBadProblem, i, cp.C[i])
+		}
+	}
+	if cp.Budget < 0 || math.IsNaN(cp.Budget) {
+		return fmt.Errorf("%w: budget %v", ErrBadProblem, cp.Budget)
+	}
+	return nil
+}
+
+// Weights returns w_i = Π_{j<i} r_j for i = 1..M (w_1 = 1).
+func (cp ChainProblem) Weights() []float64 {
+	w := make([]float64, len(cp.R))
+	acc := 1.0
+	for i := range cp.R {
+		w[i] = acc
+		acc *= cp.R[i]
+	}
+	return w
+}
+
+// Evaluate computes the drained fraction and budget use for a given vector
+// of effective load factors (not necessarily optimal). Used by tests and
+// by baselines that fix e directly.
+func (cp ChainProblem) Evaluate(e []float64) (drained, budgetUsed float64) {
+	w := cp.Weights()
+	prev := 1.0
+	for i := range e {
+		drained += w[i] * (prev - e[i])
+		budgetUsed += w[i] * e[i] * cp.C[i]
+		prev = e[i]
+	}
+	return drained, budgetUsed
+}
+
+// SolveChain computes an optimal plan exploiting the chain structure.
+// Substituting δ_k = e_k − e_{k+1} (δ_M = e_M) turns Eq. 3 into
+//
+//	maximize Σ_k Γ_k δ_k   s.t.  Σ_k δ_k ≤ 1,  Σ_k A_k δ_k ≤ Budget,  δ ≥ 0
+//
+// with Γ_k = Σ_{i≤k} γ_i (prefix gain) and A_k = Σ_{i≤k} w_i c_i (prefix
+// cost). An LP with two constraints has an optimum with at most two
+// nonzero δ's, so enumerating singletons and pairs is exact and O(M²).
+func SolveChain(cp ChainProblem) (ChainSolution, error) {
+	if err := cp.validate(); err != nil {
+		return ChainSolution{}, err
+	}
+	m := len(cp.R)
+	w := cp.Weights()
+
+	// γ_i: marginal gain of raising e_i alone; Γ_k and A_k: prefix sums.
+	gamma := make([]float64, m)
+	for i := 0; i < m-1; i++ {
+		gamma[i] = w[i] - w[i+1]
+	}
+	gamma[m-1] = w[m-1]
+	G := make([]float64, m) // Γ_k
+	A := make([]float64, m) // A_k
+	accG, accA := 0.0, 0.0
+	for k := 0; k < m; k++ {
+		accG += gamma[k]
+		accA += w[k] * cp.C[k]
+		G[k] = accG
+		A[k] = accA
+	}
+
+	bestObj := 0.0
+	bestDelta := make([]float64, m)
+
+	try := func(delta []float64) {
+		obj := 0.0
+		for k := range delta {
+			obj += G[k] * delta[k]
+		}
+		if obj > bestObj+eps {
+			bestObj = obj
+			copy(bestDelta, delta)
+		}
+	}
+
+	tmp := make([]float64, m)
+	// Singletons: put as much as possible on one k.
+	for k := 0; k < m; k++ {
+		for i := range tmp {
+			tmp[i] = 0
+		}
+		d := 1.0
+		if A[k] > eps {
+			d = math.Min(1, cp.Budget/A[k])
+		}
+		tmp[k] = d
+		try(tmp)
+	}
+	// Pairs: both constraints binding.
+	for k := 0; k < m; k++ {
+		for l := k + 1; l < m; l++ {
+			det := A[l] - A[k]
+			if math.Abs(det) <= eps {
+				continue
+			}
+			dk := (A[l] - cp.Budget) / det
+			dl := (cp.Budget - A[k]) / det
+			if dk < -eps || dl < -eps || dk+dl > 1+eps {
+				continue
+			}
+			for i := range tmp {
+				tmp[i] = 0
+			}
+			tmp[k] = math.Max(0, dk)
+			tmp[l] = math.Max(0, dl)
+			try(tmp)
+		}
+	}
+
+	// Reconstruct e from δ: e_i = Σ_{k≥i} δ_k.
+	e := make([]float64, m)
+	suffix := 0.0
+	for i := m - 1; i >= 0; i-- {
+		suffix += bestDelta[i]
+		e[i] = math.Min(1, suffix)
+	}
+	sol := ChainSolution{E: e, P: LoadFactors(e)}
+	sol.Drained, sol.BudgetUsed = cp.Evaluate(e)
+	return sol, nil
+}
+
+// LoadFactors converts effective load factors e into per-proxy load
+// factors p (p_i = e_i / e_{i-1}). When the upstream is fully drained
+// (e_{i-1} = 0) the ratio is undefined and p_i is set to 0 so stragglers
+// drain too.
+func LoadFactors(e []float64) []float64 {
+	p := make([]float64, len(e))
+	prev := 1.0
+	for i := range e {
+		if prev <= eps {
+			p[i] = 0
+		} else {
+			p[i] = clamp01(e[i] / prev)
+		}
+		prev = e[i]
+	}
+	return p
+}
+
+// EffectiveFactors is the inverse of LoadFactors: e_i = Π_{j≤i} p_j.
+func EffectiveFactors(p []float64) []float64 {
+	e := make([]float64, len(p))
+	acc := 1.0
+	for i := range p {
+		acc *= clamp01(p[i])
+		e[i] = acc
+	}
+	return e
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ToProblem lowers the chain LP into the general simplex form so the two
+// solvers can be cross-checked: variables are e_1..e_M, objective
+// maximizes Σ γ_i e_i (we negate for minimization), constraints are the
+// budget row plus the chain rows e_i − e_{i-1} ≤ 0 and e_1 ≤ 1.
+func (cp ChainProblem) ToProblem() Problem {
+	m := len(cp.R)
+	w := cp.Weights()
+	c := make([]float64, m)
+	for i := 0; i < m-1; i++ {
+		c[i] = -(w[i] - w[i+1])
+	}
+	c[m-1] = -w[m-1]
+
+	var rows [][]float64
+	var rhs []float64
+	budget := make([]float64, m)
+	for i := 0; i < m; i++ {
+		budget[i] = w[i] * cp.C[i]
+	}
+	rows = append(rows, budget)
+	rhs = append(rhs, cp.Budget)
+
+	e1 := make([]float64, m)
+	e1[0] = 1
+	rows = append(rows, e1)
+	rhs = append(rhs, 1)
+
+	for i := 1; i < m; i++ {
+		row := make([]float64, m)
+		row[i] = 1
+		row[i-1] = -1
+		rows = append(rows, row)
+		rhs = append(rhs, 0)
+	}
+	return Problem{C: c, A: rows, B: rhs}
+}

@@ -1,0 +1,244 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// s2sChain is the calibrated S2SProbe pipeline: W (cheap, relay 1),
+// F (13% CPU, relay 0.86), G+R (relay 0.3). Costs are per-record fractions
+// of the budget at the experiment's input rate.
+func s2sChain(budget float64) ChainProblem {
+	return ChainProblem{
+		R:      []float64{1.0, 0.86, 0.30},
+		C:      []float64{0.01, 0.13, 0.715 / 0.86},
+		Budget: budget,
+	}
+}
+
+func TestSolveChainFullBudget(t *testing.T) {
+	sol, err := SolveChain(s2sChain(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ample budget: run everything locally.
+	for i, e := range sol.E {
+		if math.Abs(e-1) > 1e-6 {
+			t.Fatalf("e[%d] = %v, want 1 (solution %+v)", i, e, sol)
+		}
+	}
+	if sol.Drained > 1e-6 {
+		t.Fatalf("drained = %v, want 0", sol.Drained)
+	}
+}
+
+func TestSolveChainZeroBudget(t *testing.T) {
+	sol, err := SolveChain(s2sChain(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range sol.E {
+		if e > 1e-9 {
+			t.Fatalf("e[%d] = %v, want 0", i, e)
+		}
+	}
+	if math.Abs(sol.Drained-1) > 1e-6 {
+		t.Fatalf("drained = %v, want 1 (everything drains at the head)", sol.Drained)
+	}
+}
+
+func TestSolveChain80PercentBudget(t *testing.T) {
+	// The Fig. 3 scenario: 80% budget cannot run the full pipeline
+	// (needs ≈85%), so G+R must process a partial share while W and F run
+	// fully — the signature data-level partitioning outcome.
+	sol, err := SolveChain(s2sChain(0.80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some of G+R's input must be processed locally (the signature
+	// data-level outcome: operator-level partitioning could not run G+R
+	// at all within 80%).
+	if sol.E[2] <= 0.8 || sol.E[2] >= 1 {
+		t.Fatalf("G+R share = %v, want partial in (0.8, 1)", sol.E[2])
+	}
+	if sol.BudgetUsed > 0.80+1e-6 {
+		t.Fatalf("budget exceeded: %v", sol.BudgetUsed)
+	}
+	// Budget should be fully used (no idle waste).
+	if sol.BudgetUsed < 0.80-1e-6 {
+		t.Fatalf("budget underused: %v", sol.BudgetUsed)
+	}
+	// The LP plan must be at least as good as the paper's illustrative
+	// "run W,F fully, G+R partially" plan.
+	cp := s2sChain(0.80)
+	x := (0.80 - 0.01 - 0.13) / (0.86 * (0.715 / 0.86)) // e3 when e1=e2=1
+	paperDrain, paperUsed := cp.Evaluate([]float64{1, 1, x})
+	if paperUsed > 0.80+1e-9 {
+		t.Fatalf("reference plan infeasible: used %v", paperUsed)
+	}
+	if sol.Drained > paperDrain+1e-9 {
+		t.Fatalf("LP drained %v > reference plan %v", sol.Drained, paperDrain)
+	}
+}
+
+func TestSolveChainZeroCosts(t *testing.T) {
+	sol, err := SolveChain(ChainProblem{R: []float64{1, 1}, C: []float64{0, 0}, Budget: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sol.E {
+		if math.Abs(e-1) > 1e-9 {
+			t.Fatalf("free operators should run fully: %+v", sol)
+		}
+	}
+}
+
+func TestSolveChainValidation(t *testing.T) {
+	bad := []ChainProblem{
+		{},
+		{R: []float64{0.5}, C: nil},
+		{R: []float64{1.5}, C: []float64{1}, Budget: 1},
+		{R: []float64{0.5}, C: []float64{-1}, Budget: 1},
+		{R: []float64{0.5}, C: []float64{1}, Budget: -1},
+		{R: []float64{math.NaN()}, C: []float64{1}, Budget: 1},
+	}
+	for i, cp := range bad {
+		if _, err := SolveChain(cp); !errors.Is(err, ErrBadProblem) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestLoadFactorsRoundTrip(t *testing.T) {
+	e := []float64{1, 0.9, 0.45, 0.45, 0}
+	p := LoadFactors(e)
+	back := EffectiveFactors(p)
+	for i := range e {
+		if math.Abs(back[i]-e[i]) > 1e-9 {
+			t.Fatalf("e[%d]: %v -> %v", i, e[i], back[i])
+		}
+	}
+}
+
+func TestLoadFactorsDrainedUpstream(t *testing.T) {
+	p := LoadFactors([]float64{0, 0, 0})
+	if p[0] != 0 || p[1] != 0 || p[2] != 0 {
+		t.Fatalf("p = %v", p)
+	}
+}
+
+// Property: SolveChain matches the general simplex on random instances.
+func TestSolveChainMatchesSimplex(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed+99))
+		m := 1 + rng.IntN(5)
+		cp := ChainProblem{
+			R:      make([]float64, m),
+			C:      make([]float64, m),
+			Budget: rng.Float64() * 1.2,
+		}
+		for i := 0; i < m; i++ {
+			cp.R[i] = rng.Float64()
+			cp.C[i] = rng.Float64()
+		}
+		chain, err := SolveChain(cp)
+		if err != nil {
+			return false
+		}
+		x, obj, err := Solve(cp.ToProblem())
+		if err != nil {
+			return false
+		}
+		// Simplex minimizes -(gain); total drain = w_1 + obj.
+		simplexDrain := 1.0 + obj
+		if math.Abs(chain.Drained-simplexDrain) > 1e-6 {
+			t.Logf("seed %d: chain drain %v, simplex drain %v (e=%v, x=%v)",
+				seed, chain.Drained, simplexDrain, chain.E, x)
+			return false
+		}
+		// Feasibility of the chain solution.
+		_, used := cp.Evaluate(chain.E)
+		if used > cp.Budget+1e-6 {
+			return false
+		}
+		prev := 1.0
+		for _, e := range chain.E {
+			if e > prev+1e-9 || e < -1e-9 {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SolveChain is at least as good as a dense grid search.
+func TestSolveChainBeatsGridSearch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		cp := ChainProblem{
+			R:      []float64{rng.Float64(), rng.Float64()},
+			C:      []float64{rng.Float64(), rng.Float64()},
+			Budget: rng.Float64(),
+		}
+		sol, err := SolveChain(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const steps = 40
+		best := math.Inf(1)
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= i; j++ {
+				e := []float64{float64(i) / steps, float64(j) / steps}
+				d, used := cp.Evaluate(e)
+				if used <= cp.Budget+1e-12 && d < best {
+					best = d
+				}
+			}
+		}
+		if sol.Drained > best+1e-6 {
+			t.Fatalf("trial %d: chain %v worse than grid %v (cp=%+v)", trial, sol.Drained, best, cp)
+		}
+	}
+}
+
+func TestEvaluateMatchesDefinition(t *testing.T) {
+	cp := s2sChain(0.8)
+	e := []float64{1, 0.5, 0.25}
+	drained, used := cp.Evaluate(e)
+	// Manual: w = [1, 1, 0.86]
+	// drained = 1*(1-1) + 1*(1-0.5) + 0.86*(0.5-0.25) = 0.715
+	if math.Abs(drained-0.715) > 1e-9 {
+		t.Fatalf("drained = %v", drained)
+	}
+	wantUsed := 1*1*0.01 + 1*0.5*0.13 + 0.86*0.25*(0.715/0.86)
+	if math.Abs(used-wantUsed) > 1e-9 {
+		t.Fatalf("used = %v, want %v", used, wantUsed)
+	}
+}
+
+func BenchmarkSolveChain(b *testing.B) {
+	cp := s2sChain(0.6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveChain(cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexEq3(b *testing.B) {
+	p := s2sChain(0.6).ToProblem()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package lp provides the linear-programming machinery behind
+// StepWise-Adapt's model-based step. The paper transforms the non-convex
+// data-level partitioning problem (Eq. 2) into a linear program over
+// effective load factors e_i (Eq. 3); this package offers
+//
+//   - a general dense two-phase simplex solver (Solve), and
+//   - a specialized O(M²) greedy solver for the Eq. 3 chain structure
+//     (SolveChain), cross-validated against the simplex in tests.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the solvers.
+var (
+	// ErrInfeasible indicates the constraint set has no solution.
+	ErrInfeasible = errors.New("lp: infeasible")
+	// ErrUnbounded indicates the objective is unbounded below.
+	ErrUnbounded = errors.New("lp: unbounded")
+	// ErrBadProblem indicates malformed inputs (dimension mismatch, NaN).
+	ErrBadProblem = errors.New("lp: malformed problem")
+)
+
+const eps = 1e-9
+
+// Problem is a linear program in standard computational form:
+//
+//	minimize    cᵀx
+//	subject to  A x ≤ b
+//	            x ≥ 0
+//
+// Equality constraints can be expressed as two opposing inequalities.
+type Problem struct {
+	C []float64   // objective coefficients, length n
+	A [][]float64 // constraint matrix, m rows of length n
+	B []float64   // right-hand sides, length m
+}
+
+func (p *Problem) validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return fmt.Errorf("%w: empty objective", ErrBadProblem)
+	}
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("%w: %d constraint rows but %d rhs entries", ErrBadProblem, len(p.A), len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("%w: row %d has %d cols, want %d", ErrBadProblem, i, len(row), n)
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: non-finite coefficient in row %d", ErrBadProblem, i)
+			}
+		}
+	}
+	for _, v := range p.C {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: non-finite objective coefficient", ErrBadProblem)
+		}
+	}
+	for _, v := range p.B {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: non-finite rhs", ErrBadProblem)
+		}
+	}
+	return nil
+}
+
+// Solve runs a two-phase dense simplex with Bland's anti-cycling rule and
+// returns an optimal x and objective value.
+func Solve(p Problem) (x []float64, obj float64, err error) {
+	if err := p.validate(); err != nil {
+		return nil, 0, err
+	}
+	n := len(p.C)
+	m := len(p.A)
+
+	// Build tableau with slack variables: columns [x (n) | s (m) | rhs].
+	// Rows [constraints (m) | objective | phase-1 objective].
+	cols := n + m + 1
+	t := make([][]float64, m+2)
+	for i := range t {
+		t[i] = make([]float64, cols)
+	}
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		copy(t[i], p.A[i])
+		t[i][n+i] = 1
+		t[i][cols-1] = p.B[i]
+		basis[i] = n + i
+		// Normalize negative rhs by multiplying the row by -1; the slack
+		// then has coefficient -1, so the basis needs an artificial
+		// variable. To keep the implementation simple we use the "big-M
+		// free" two-phase method below instead: phase 1 minimizes the sum
+		// of infeasibilities driven by rows with negative rhs.
+	}
+	for j := 0; j < n; j++ {
+		t[m][j] = p.C[j]
+	}
+
+	// Phase 1: if any rhs is negative, the all-slack basis is infeasible.
+	// We pivot to feasibility using the standard dual-simplex-style
+	// approach: repeatedly select a row with negative rhs and pivot on a
+	// negative coefficient in that row.
+	for iter := 0; ; iter++ {
+		if iter > 10000 {
+			return nil, 0, fmt.Errorf("%w: phase-1 iteration limit", ErrInfeasible)
+		}
+		r := -1
+		for i := 0; i < m; i++ {
+			if t[i][cols-1] < -eps {
+				r = i
+				break
+			}
+		}
+		if r == -1 {
+			break // feasible
+		}
+		c := -1
+		for j := 0; j < n+m; j++ {
+			if t[r][j] < -eps {
+				c = j
+				break
+			}
+		}
+		if c == -1 {
+			return nil, 0, ErrInfeasible
+		}
+		pivot(t, basis, r, c)
+	}
+
+	// Phase 2: primal simplex with Bland's rule.
+	for iter := 0; ; iter++ {
+		if iter > 20000 {
+			return nil, 0, fmt.Errorf("%w: phase-2 iteration limit", ErrBadProblem)
+		}
+		// Entering column: first with negative reduced cost (Bland).
+		c := -1
+		for j := 0; j < n+m; j++ {
+			if t[m][j] < -eps {
+				c = j
+				break
+			}
+		}
+		if c == -1 {
+			break // optimal
+		}
+		// Leaving row: min ratio, ties by smallest basis index (Bland).
+		r := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][c] > eps {
+				ratio := t[i][cols-1] / t[i][c]
+				if ratio < best-eps || (math.Abs(ratio-best) <= eps && (r == -1 || basis[i] < basis[r])) {
+					best = ratio
+					r = i
+				}
+			}
+		}
+		if r == -1 {
+			return nil, 0, ErrUnbounded
+		}
+		pivot(t, basis, r, c)
+	}
+
+	x = make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = t[i][cols-1]
+		}
+	}
+	return x, -t[m][cols-1], nil
+}
+
+// pivot performs a Gauss-Jordan pivot on tableau element (r, c), updating
+// the objective row too.
+func pivot(t [][]float64, basis []int, r, c int) {
+	cols := len(t[0])
+	pv := t[r][c]
+	for j := 0; j < cols; j++ {
+		t[r][j] /= pv
+	}
+	for i := range t {
+		if i == r {
+			continue
+		}
+		f := t[i][c]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < cols; j++ {
+			t[i][j] -= f * t[r][j]
+		}
+	}
+	basis[r] = c
+}

@@ -1,0 +1,114 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSolveSimple2D(t *testing.T) {
+	// max x+y s.t. x ≤ 2, y ≤ 3, x+y ≤ 4  → min -(x+y), opt -4.
+	p := Problem{
+		C: []float64{-1, -1},
+		A: [][]float64{{1, 0}, {0, 1}, {1, 1}},
+		B: []float64{2, 3, 4},
+	}
+	x, obj, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-(-4)) > 1e-6 {
+		t.Fatalf("obj = %v, want -4", obj)
+	}
+	if math.Abs(x[0]+x[1]-4) > 1e-6 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Degenerate vertex at origin; Bland's rule must not cycle.
+	p := Problem{
+		C: []float64{-1, -1, -1},
+		A: [][]float64{
+			{1, 1, 0},
+			{1, 0, 1},
+			{0, 1, 1},
+			{1, 1, 1},
+		},
+		B: []float64{1, 1, 1, 1.5},
+	}
+	x, obj, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-(-1.5)) > 1e-6 {
+		t.Fatalf("obj = %v x = %v", obj, x)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := Problem{
+		C: []float64{-1},
+		A: [][]float64{{-1}},
+		B: []float64{0},
+	}
+	if _, _, err := Solve(p); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want unbounded", err)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x ≤ -1 with x ≥ 0 is infeasible.
+	p := Problem{
+		C: []float64{1},
+		A: [][]float64{{1}},
+		B: []float64{-1},
+	}
+	if _, _, err := Solve(p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want infeasible", err)
+	}
+}
+
+func TestSolveNegativeRHSFeasible(t *testing.T) {
+	// -x ≤ -1 means x ≥ 1; min x → 1.
+	p := Problem{
+		C: []float64{1},
+		A: [][]float64{{-1}, {1}},
+		B: []float64{-1, 5},
+	}
+	x, obj, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-1) > 1e-6 || math.Abs(x[0]-1) > 1e-6 {
+		t.Fatalf("x = %v obj = %v", x, obj)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	cases := []Problem{
+		{},
+		{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}},
+		{C: []float64{math.NaN()}, A: nil, B: nil},
+		{C: []float64{1}, A: [][]float64{{math.Inf(1)}}, B: []float64{1}},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{math.NaN()}},
+	}
+	for i, p := range cases {
+		if _, _, err := Solve(p); !errors.Is(err, ErrBadProblem) {
+			t.Errorf("case %d: err = %v, want bad problem", i, err)
+		}
+	}
+}
+
+func TestSolveZeroObjective(t *testing.T) {
+	p := Problem{
+		C: []float64{0, 0},
+		A: [][]float64{{1, 1}},
+		B: []float64{1},
+	}
+	_, obj, err := Solve(p)
+	if err != nil || obj != 0 {
+		t.Fatalf("obj = %v err = %v", obj, err)
+	}
+}

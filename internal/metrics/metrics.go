@@ -1,0 +1,139 @@
+// Package metrics provides the measurement utilities the evaluation
+// harness reports with: percentile estimation over latency samples,
+// throughput accumulators, and CDFs for the estimation-error analysis of
+// Fig. 9.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of samples using linear
+// interpolation between closest ranks. It returns NaN for empty input.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median is Percentile(samples, 0.5).
+func Median(samples []float64) float64 { return Percentile(samples, 0.5) }
+
+// Max returns the maximum sample (NaN for empty input).
+func Max(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	max := samples[0]
+	for _, v := range samples[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// CDF is an empirical cumulative distribution over a sample set.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF (copies and sorts the samples).
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// At returns P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Inverse returns the smallest x with P(X ≤ x) ≥ q.
+func (c *CDF) Inverse(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return c.sorted[idx]
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// Throughput accumulates (bytes, duration) pairs and reports Mbps.
+type Throughput struct {
+	bytes  int64
+	micros int64
+}
+
+// Add records bytes transferred/processed over a duration in
+// microseconds.
+func (t *Throughput) Add(bytes int64, micros int64) {
+	t.bytes += bytes
+	t.micros += micros
+}
+
+// Mbps returns the accumulated average rate (0 before any time passed).
+func (t *Throughput) Mbps() float64 {
+	if t.micros == 0 {
+		return 0
+	}
+	return float64(t.bytes) * 8 / float64(t.micros)
+}
+
+// Bytes returns the accumulated byte count.
+func (t *Throughput) Bytes() int64 { return t.bytes }
+
+// Reset clears the accumulator.
+func (t *Throughput) Reset() { t.bytes, t.micros = 0, 0 }
+
+// FormatMbps renders a rate for tables ("12.34 Mbps").
+func FormatMbps(v float64) string { return fmt.Sprintf("%.2f Mbps", v) }

@@ -1,0 +1,221 @@
+package operator
+
+import (
+	"sort"
+
+	"jarvis/internal/telemetry"
+)
+
+// GroupAgg implements GroupApply + Aggregate over tumbling windows with
+// incrementally updatable aggregates (count/sum/avg/min/max), the class
+// rule R-1 admits on data sources.
+//
+// It accepts two input shapes:
+//
+//   - raw records: keyFn/valFn extract the group key and the aggregated
+//     value;
+//   - *telemetry.AggRow payloads: partial aggregates from an upstream
+//     replica of this same operator, merged into local state.
+//
+// Windows close when Flush is called with a watermark at or past the
+// window end; each group then emits one AggRow record.
+type GroupAgg struct {
+	name      string
+	windowDur int64
+	keyFn     func(telemetry.Record) telemetry.GroupKey
+	valFn     func(telemetry.Record) float64
+	// state: window id → key → row
+	state map[int64]map[telemetry.GroupKey]*telemetry.AggRow
+}
+
+// NewGroupAgg creates a grouping/aggregation operator. windowDurMicros
+// must match the upstream Window operator so flushed window ids map to
+// the correct end times.
+func NewGroupAgg(name string, windowDurMicros int64,
+	keyFn func(telemetry.Record) telemetry.GroupKey,
+	valFn func(telemetry.Record) float64) *GroupAgg {
+	if windowDurMicros <= 0 {
+		panic("operator: group window duration must be positive")
+	}
+	return &GroupAgg{
+		name:      name,
+		windowDur: windowDurMicros,
+		keyFn:     keyFn,
+		valFn:     valFn,
+		state:     make(map[int64]map[telemetry.GroupKey]*telemetry.AggRow),
+	}
+}
+
+// Name implements Operator.
+func (g *GroupAgg) Name() string { return g.name }
+
+// Kind implements Operator.
+func (g *GroupAgg) Kind() Kind { return KindGroupAgg }
+
+// Stateful implements Operator.
+func (g *GroupAgg) Stateful() bool { return true }
+
+// Reset implements Operator.
+func (g *GroupAgg) Reset() {
+	g.state = make(map[int64]map[telemetry.GroupKey]*telemetry.AggRow)
+}
+
+// GroupCount returns the number of open groups in a window (cost-model
+// input: hash size drives G+R cost).
+func (g *GroupAgg) GroupCount(window int64) int { return len(g.state[window]) }
+
+// OpenWindows returns the ids of windows with unflushed state, ascending.
+func (g *GroupAgg) OpenWindows() []int64 {
+	out := make([]int64, 0, len(g.state))
+	for w := range g.state {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Process implements Operator.
+func (g *GroupAgg) Process(rec telemetry.Record, emit Emit) {
+	if row, ok := rec.Data.(*telemetry.AggRow); ok {
+		g.mergePartial(rec.Window, row)
+		return
+	}
+	key := g.keyFn(rec)
+	val := g.valFn(rec)
+	win := g.state[rec.Window]
+	if win == nil {
+		win = make(map[telemetry.GroupKey]*telemetry.AggRow)
+		g.state[rec.Window] = win
+	}
+	row := win[key]
+	if row == nil {
+		r := telemetry.NewAggRow(key, rec.Window, val)
+		win[key] = &r
+		return
+	}
+	row.Observe(val)
+}
+
+func (g *GroupAgg) mergePartial(window int64, partial *telemetry.AggRow) {
+	if partial.Window != 0 {
+		window = partial.Window
+	}
+	win := g.state[window]
+	if win == nil {
+		win = make(map[telemetry.GroupKey]*telemetry.AggRow)
+		g.state[window] = win
+	}
+	row := win[partial.Key]
+	if row == nil {
+		cp := *partial
+		cp.Window = window
+		win[partial.Key] = &cp
+		return
+	}
+	row.Merge(*partial)
+}
+
+// Flush implements Operator: emits and clears every window whose end time
+// is at or before the watermark. Output records are sorted by (window,
+// key) for determinism.
+func (g *GroupAgg) Flush(watermark int64, emit Emit) {
+	for _, w := range g.OpenWindows() {
+		end := (w + 1) * g.windowDur
+		if end > watermark {
+			continue
+		}
+		g.emitWindow(w, end, emit)
+		delete(g.state, w)
+	}
+}
+
+// Drain emits every open window's partial state as AggRow records without
+// waiting for the watermark, then clears the state. Used when the data
+// source checkpoints or hands partial state to the stream processor
+// (paper §IV-E fault tolerance, §V stateful relay).
+func (g *GroupAgg) Drain(emit Emit) {
+	for _, w := range g.OpenWindows() {
+		end := (w + 1) * g.windowDur
+		g.emitWindow(w, end, emit)
+		delete(g.state, w)
+	}
+}
+
+// SnapshotWindow emits copies of a window's partial rows without
+// clearing state — checkpointing support (paper §IV-E): the emitted rows
+// can reconstruct the window on another node while this one keeps
+// aggregating.
+func (g *GroupAgg) SnapshotWindow(w int64, emit Emit) {
+	g.emitWindow(w, (w+1)*g.windowDur, emit)
+}
+
+func (g *GroupAgg) emitWindow(w, end int64, emit Emit) {
+	win := g.state[w]
+	keys := make([]telemetry.GroupKey, 0, len(win))
+	for k := range win {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Num != keys[j].Num {
+			return keys[i].Num < keys[j].Num
+		}
+		return keys[i].Str < keys[j].Str
+	})
+	for _, k := range keys {
+		emit(telemetry.NewAggRecord(*win[k], end))
+	}
+}
+
+// Key and value extractors for the paper's queries.
+
+// ProbePairKey groups PingProbes by (srcIP, dstIP) — S2SProbe.
+func ProbePairKey(rec telemetry.Record) telemetry.GroupKey {
+	return telemetry.NumKey(rec.Data.(*telemetry.PingProbe).PairKey())
+}
+
+// ProbeRTT extracts a probe's RTT in microseconds.
+func ProbeRTT(rec telemetry.Record) float64 {
+	return float64(rec.Data.(*telemetry.PingProbe).RTTMicros)
+}
+
+// ToRPairKey groups ToRProbes by (srcToR, dstToR) — T2TProbe.
+func ToRPairKey(rec telemetry.Record) telemetry.GroupKey {
+	return telemetry.NumKey(rec.Data.(*telemetry.ToRProbe).PairKey())
+}
+
+// ToRRTT extracts a joined probe's RTT in microseconds.
+func ToRRTT(rec telemetry.Record) float64 {
+	return float64(rec.Data.(*telemetry.ToRProbe).RTTMicros)
+}
+
+// JobStatsKey groups parsed log stats by (tenant, statName, bucket) —
+// LogAnalytics.
+func JobStatsKey(rec telemetry.Record) telemetry.GroupKey {
+	j := rec.Data.(*telemetry.JobStats)
+	return telemetry.StrKey(j.Tenant + "|" + j.StatName + "|" + itoa(j.Bucket))
+}
+
+// JobStatsOne returns 1: the LogAnalytics aggregate is a count.
+func JobStatsOne(telemetry.Record) float64 { return 1 }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,270 @@
+package operator
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"jarvis/internal/telemetry"
+)
+
+const winDur = 10_000_000 // 10 s in microseconds
+
+func probeRec(ts int64, src, dst, rtt uint32) telemetry.Record {
+	r := telemetry.NewProbeRecord(&telemetry.PingProbe{
+		Timestamp: ts, SrcIP: src, DstIP: dst, RTTMicros: rtt,
+	})
+	r.Window = ts / winDur
+	return r
+}
+
+func TestGroupAggBasic(t *testing.T) {
+	g := NewGroupAgg("g", winDur, ProbePairKey, ProbeRTT)
+	var out telemetry.Batch
+	g.Process(probeRec(1_000_000, 1, 2, 100), collect(&out))
+	g.Process(probeRec(2_000_000, 1, 2, 300), collect(&out))
+	g.Process(probeRec(3_000_000, 1, 3, 50), collect(&out))
+	if len(out) != 0 {
+		t.Fatal("nothing should emit before flush")
+	}
+	if g.GroupCount(0) != 2 {
+		t.Fatalf("group count = %d", g.GroupCount(0))
+	}
+
+	// Watermark before window end: still nothing.
+	g.Flush(5_000_000, collect(&out))
+	if len(out) != 0 {
+		t.Fatal("window should stay open")
+	}
+
+	g.Flush(winDur, collect(&out))
+	if len(out) != 2 {
+		t.Fatalf("flushed %d rows, want 2", len(out))
+	}
+	row := out[0].Data.(*telemetry.AggRow)
+	if row.Count != 2 || row.Min != 100 || row.Max != 300 || row.Avg() != 200 {
+		t.Fatalf("row = %+v", row)
+	}
+	if out[0].Time != winDur {
+		t.Fatalf("emitted record time = %d, want window end", out[0].Time)
+	}
+	if g.GroupCount(0) != 0 {
+		t.Fatal("window state should be cleared")
+	}
+}
+
+func TestGroupAggMultiWindow(t *testing.T) {
+	g := NewGroupAgg("g", winDur, ProbePairKey, ProbeRTT)
+	var out telemetry.Batch
+	g.Process(probeRec(1_000_000, 1, 2, 10), collect(&out))
+	g.Process(probeRec(11_000_000, 1, 2, 20), collect(&out))
+	g.Process(probeRec(21_000_000, 1, 2, 30), collect(&out))
+	if got := g.OpenWindows(); len(got) != 3 {
+		t.Fatalf("open windows = %v", got)
+	}
+	g.Flush(2*winDur, collect(&out)) // closes windows 0 and 1
+	if len(out) != 2 {
+		t.Fatalf("flushed %d rows", len(out))
+	}
+	if got := g.OpenWindows(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("open windows after flush = %v", got)
+	}
+}
+
+func TestGroupAggMergePartials(t *testing.T) {
+	// Simulate SP-side G+R receiving a partial AggRow drained from the
+	// source plus raw records for the same group.
+	g := NewGroupAgg("g", winDur, ProbePairKey, ProbeRTT)
+	var out telemetry.Batch
+
+	partial := telemetry.NewAggRow(telemetry.NumKey((1<<32)|2), 0, 500)
+	partial.Observe(700)
+	g.Process(telemetry.NewAggRecord(partial, winDur), collect(&out))
+	g.Process(probeRec(1_000_000, 1, 2, 300), collect(&out))
+
+	g.Flush(winDur, collect(&out))
+	if len(out) != 1 {
+		t.Fatalf("flushed %d rows", len(out))
+	}
+	row := out[0].Data.(*telemetry.AggRow)
+	if row.Count != 3 || row.Min != 300 || row.Max != 700 {
+		t.Fatalf("merged row = %+v", row)
+	}
+}
+
+func TestGroupAggMergePartialNewGroup(t *testing.T) {
+	g := NewGroupAgg("g", winDur, ProbePairKey, ProbeRTT)
+	var out telemetry.Batch
+	partial := telemetry.NewAggRow(telemetry.NumKey(42), 1, 9)
+	g.Process(telemetry.NewAggRecord(partial, 2*winDur), collect(&out))
+	g.Flush(2*winDur, collect(&out))
+	if len(out) != 1 || out[0].Data.(*telemetry.AggRow).Count != 1 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestGroupAggDrain(t *testing.T) {
+	g := NewGroupAgg("g", winDur, ProbePairKey, ProbeRTT)
+	var out telemetry.Batch
+	g.Process(probeRec(1_000_000, 1, 2, 10), collect(&out))
+	g.Process(probeRec(11_000_000, 1, 2, 20), collect(&out))
+	g.Drain(collect(&out))
+	if len(out) != 2 {
+		t.Fatalf("drained %d rows", len(out))
+	}
+	if len(g.OpenWindows()) != 0 {
+		t.Fatal("drain must clear state")
+	}
+	// Drained partials fold back losslessly.
+	g2 := NewGroupAgg("g2", winDur, ProbePairKey, ProbeRTT)
+	for _, r := range out {
+		g2.Process(r, collect(&telemetry.Batch{}))
+	}
+	var final telemetry.Batch
+	g2.Flush(3*winDur, collect(&final))
+	if len(final) != 2 {
+		t.Fatalf("refolded %d rows", len(final))
+	}
+}
+
+func TestGroupAggReset(t *testing.T) {
+	g := NewGroupAgg("g", winDur, ProbePairKey, ProbeRTT)
+	g.Process(probeRec(1, 1, 2, 10), func(telemetry.Record) {})
+	g.Reset()
+	if len(g.OpenWindows()) != 0 {
+		t.Fatal("reset must clear state")
+	}
+	if g.Kind() != KindGroupAgg || !g.Stateful() {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestGroupAggPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGroupAgg("g", 0, ProbePairKey, ProbeRTT)
+}
+
+// Property: splitting a stream between two replicas (source + SP) and
+// merging partials yields exactly the same rows as one replica seeing
+// everything — the paper's lossless data-level partitioning invariant.
+func TestGroupAggPartitionLossless(t *testing.T) {
+	f := func(seed uint64, splitPct uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := 50 + rng.IntN(200)
+		records := make(telemetry.Batch, n)
+		for i := range records {
+			records[i] = probeRec(
+				int64(rng.IntN(3*winDur)),
+				uint32(rng.IntN(4)), uint32(rng.IntN(4)),
+				uint32(rng.IntN(10000)))
+		}
+		p := float64(splitPct%101) / 100
+
+		// Reference: single replica.
+		ref := NewGroupAgg("ref", winDur, ProbePairKey, ProbeRTT)
+		for _, r := range records {
+			ref.Process(r, func(telemetry.Record) {})
+		}
+		var want telemetry.Batch
+		ref.Flush(4*winDur, collect(&want))
+
+		// Partitioned: src processes share p, drains the rest raw; src
+		// partials drain to SP at epoch end.
+		src := NewGroupAgg("src", winDur, ProbePairKey, ProbeRTT)
+		sp := NewGroupAgg("sp", winDur, ProbePairKey, ProbeRTT)
+		none := func(telemetry.Record) {}
+		for _, r := range records {
+			if rng.Float64() < p {
+				src.Process(r, none)
+			} else {
+				sp.Process(r, none)
+			}
+		}
+		src.Drain(func(r telemetry.Record) { sp.Process(r, none) })
+		var got telemetry.Batch
+		sp.Flush(4*winDur, collect(&got))
+
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			a := want[i].Data.(*telemetry.AggRow)
+			b := got[i].Data.(*telemetry.AggRow)
+			if a.Key != b.Key || a.Count != b.Count || a.Min != b.Min ||
+				a.Max != b.Max || abs(a.Sum-b.Sum) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestLogStatsKeyAndCount(t *testing.T) {
+	g := NewGroupAgg("g", winDur, JobStatsKey, JobStatsOne)
+	var out telemetry.Batch
+	mk := func(tenant string, bucket int) telemetry.Record {
+		return telemetry.Record{
+			Time:   1_000_000,
+			Window: 0,
+			Data:   &telemetry.JobStats{Tenant: tenant, StatName: "cpu util", Bucket: bucket},
+		}
+	}
+	g.Process(mk("a", 3), collect(&out))
+	g.Process(mk("a", 3), collect(&out))
+	g.Process(mk("b", 3), collect(&out))
+	g.Flush(winDur, collect(&out))
+	if len(out) != 2 {
+		t.Fatalf("rows = %d", len(out))
+	}
+	for _, r := range out {
+		row := r.Data.(*telemetry.AggRow)
+		switch row.Key.Str {
+		case "a|cpu util|3":
+			if row.Count != 2 {
+				t.Fatalf("a count = %d", row.Count)
+			}
+		case "b|cpu util|3":
+			if row.Count != 1 {
+				t.Fatalf("b count = %d", row.Count)
+			}
+		default:
+			t.Fatalf("unexpected key %q", row.Key.Str)
+		}
+	}
+}
+
+func TestToRKeyExtractors(t *testing.T) {
+	rec := telemetry.Record{Data: &telemetry.ToRProbe{SrcToR: 1, DstToR: 2, RTTMicros: 77}}
+	if ToRPairKey(rec).Num != (1<<32)|2 {
+		t.Fatal("ToRPairKey wrong")
+	}
+	if ToRRTT(rec) != 77 {
+		t.Fatal("ToRRTT wrong")
+	}
+}
+
+func BenchmarkGroupAggProcess(b *testing.B) {
+	g := NewGroupAgg("g", winDur, ProbePairKey, ProbeRTT)
+	recs := make(telemetry.Batch, 1024)
+	for i := range recs {
+		recs[i] = probeRec(int64(i)*1000, uint32(i%64), uint32(i%128), uint32(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Process(recs[i%len(recs)], func(telemetry.Record) {})
+	}
+}

@@ -1,0 +1,100 @@
+package operator
+
+import "jarvis/internal/telemetry"
+
+// Join joins the stream with a static table via a user lookup function
+// (paper Listing 2: joining probes with the IP→ToR map). The lookup may
+// drop records whose key misses the table, matching inner-join semantics.
+type Join struct {
+	name      string
+	tableSize int
+	fn        func(telemetry.Record) (telemetry.Record, bool)
+}
+
+// NewJoin creates a join operator. tableSize is the static table's entry
+// count; the cost model uses it to scale hash-probe cost (paper §VI-C
+// grows the table 10× to stress the join).
+func NewJoin(name string, tableSize int, fn func(telemetry.Record) (telemetry.Record, bool)) *Join {
+	return &Join{name: name, tableSize: tableSize, fn: fn}
+}
+
+// Name implements Operator.
+func (j *Join) Name() string { return j.name }
+
+// Kind implements Operator.
+func (j *Join) Kind() Kind { return KindJoin }
+
+// TableSize returns the static table's entry count.
+func (j *Join) TableSize() int { return j.tableSize }
+
+// SetTableSize updates the recorded table size (experiments resize the
+// table at runtime to change the join cost).
+func (j *Join) SetTableSize(n int) { j.tableSize = n }
+
+// Process implements Operator.
+func (j *Join) Process(rec telemetry.Record, emit Emit) {
+	if out, ok := j.fn(rec); ok {
+		emit(out)
+	}
+}
+
+// Flush implements Operator.
+func (j *Join) Flush(int64, Emit) {}
+
+// Stateful implements Operator. Joins with a static table keep no
+// cross-record state (rule R-3 excludes stream-stream joins from source
+// placement; static-table joins are allowed).
+func (j *Join) Stateful() bool { return false }
+
+// Reset implements Operator.
+func (j *Join) Reset() {}
+
+// NewSrcToRJoin builds the first T2TProbe join: PingProbe → probe
+// annotated with the source ToR. Records whose source IP misses the table
+// are dropped.
+func NewSrcToRJoin(name string, table *telemetry.ToRTable) *Join {
+	return NewJoin(name, table.Len(), func(rec telemetry.Record) (telemetry.Record, bool) {
+		p, ok := rec.Data.(*telemetry.PingProbe)
+		if !ok {
+			return rec, false
+		}
+		tor, ok := table.Lookup(p.SrcIP)
+		if !ok {
+			return rec, false
+		}
+		out := rec
+		out.Data = &srcToRProbe{probe: p, srcToR: tor}
+		return out, true
+	})
+}
+
+// srcToRProbe is the intermediate record between the two T2TProbe joins.
+type srcToRProbe struct {
+	probe  *telemetry.PingProbe
+	srcToR uint32
+}
+
+// NewDstToRJoin builds the second T2TProbe join, which also performs the
+// projection onto (srcToR, dstToR, rtt): the output is smaller than the
+// input, which is why the join still reduces data (paper §VI-B).
+func NewDstToRJoin(name string, table *telemetry.ToRTable) *Join {
+	return NewJoin(name, table.Len(), func(rec telemetry.Record) (telemetry.Record, bool) {
+		sp, ok := rec.Data.(*srcToRProbe)
+		if !ok {
+			return rec, false
+		}
+		tor, ok := table.Lookup(sp.probe.DstIP)
+		if !ok {
+			return rec, false
+		}
+		out := rec
+		out.Data = &telemetry.ToRProbe{
+			Timestamp: sp.probe.Timestamp,
+			SrcToR:    sp.srcToR,
+			DstToR:    tor,
+			RTTMicros: sp.probe.RTTMicros,
+		}
+		out.WireSize = telemetry.ToRProbeWireSize
+		return out, true
+	})
+}

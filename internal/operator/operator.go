@@ -1,0 +1,207 @@
+// Package operator implements the streaming primitives of Jarvis queries:
+// Window (W), Filter (F), Map (M), Join with a static table (J) and
+// GroupApply+Aggregate (G+R) with incrementally updatable, mergeable
+// aggregates (paper §II-A, rule R-1).
+//
+// Operators are single-goroutine state machines: the engine drives them
+// with Process (one record at a time, emitting zero or more outputs) and
+// Flush (event-time watermark advance, releasing closed windows). The
+// same operator implementation runs on the data source and, replicated,
+// on the stream processor; G+R accepts both raw records and partial
+// AggRow records so that source-side partial state merges losslessly into
+// the SP-side state — the property that enables data-level partitioning
+// of stateful operators.
+package operator
+
+import (
+	"fmt"
+
+	"jarvis/internal/telemetry"
+)
+
+// Kind classifies an operator for planning rules and cost profiling.
+type Kind int
+
+// Operator kinds (paper §II-A).
+const (
+	KindWindow Kind = iota
+	KindFilter
+	KindMap
+	KindJoin
+	KindGroupAgg
+)
+
+// String renders the kind using the paper's single-letter notation.
+func (k Kind) String() string {
+	switch k {
+	case KindWindow:
+		return "W"
+	case KindFilter:
+		return "F"
+	case KindMap:
+		return "M"
+	case KindJoin:
+		return "J"
+	case KindGroupAgg:
+		return "G+R"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Emit receives operator output records.
+type Emit func(telemetry.Record)
+
+// StatefulDrainer is implemented by stateful operators that can hand all
+// partial state downstream immediately (the stateful drain path, §V).
+type StatefulDrainer interface {
+	Drain(Emit)
+}
+
+// Checkpointable is implemented by stateful operators whose per-window
+// state can be snapshotted non-destructively (§IV-E fault tolerance).
+type Checkpointable interface {
+	OpenWindows() []int64
+	SnapshotWindow(w int64, emit Emit)
+}
+
+// Operator is one vertex of the query DAG.
+type Operator interface {
+	// Name is a unique, human-readable operator name within the query.
+	Name() string
+	// Kind classifies the operator.
+	Kind() Kind
+	// Process consumes one record and emits any immediate outputs.
+	Process(rec telemetry.Record, emit Emit)
+	// Flush advances the event-time watermark, emitting results of any
+	// windows that closed. Stateless operators ignore it.
+	Flush(watermark int64, emit Emit)
+	// Stateful reports whether the operator accumulates cross-record
+	// state (relevant for drain routing and checkpointing).
+	Stateful() bool
+	// Reset drops all accumulated state (used between experiment runs).
+	Reset()
+}
+
+// Window assigns records to fixed-size tumbling windows by event time.
+// It is pass-through otherwise.
+type Window struct {
+	name string
+	dur  int64 // window length, microseconds
+}
+
+// NewWindow creates a tumbling-window operator of the given duration in
+// microseconds (the paper's queries use 10 s).
+func NewWindow(name string, durMicros int64) *Window {
+	if durMicros <= 0 {
+		panic("operator: window duration must be positive")
+	}
+	return &Window{name: name, dur: durMicros}
+}
+
+// Name implements Operator.
+func (w *Window) Name() string { return w.name }
+
+// Kind implements Operator.
+func (w *Window) Kind() Kind { return KindWindow }
+
+// Duration returns the window length in microseconds.
+func (w *Window) Duration() int64 { return w.dur }
+
+// WindowOf returns the window id for an event time.
+func (w *Window) WindowOf(micros int64) int64 {
+	id := micros / w.dur
+	if micros < 0 && micros%w.dur != 0 {
+		id--
+	}
+	return id
+}
+
+// WindowEnd returns the exclusive end time of a window id.
+func (w *Window) WindowEnd(id int64) int64 { return (id + 1) * w.dur }
+
+// Process implements Operator.
+func (w *Window) Process(rec telemetry.Record, emit Emit) {
+	rec.Window = w.WindowOf(rec.Time)
+	emit(rec)
+}
+
+// Flush implements Operator (no-op: windows close downstream).
+func (w *Window) Flush(int64, Emit) {}
+
+// Stateful implements Operator.
+func (w *Window) Stateful() bool { return false }
+
+// Reset implements Operator.
+func (w *Window) Reset() {}
+
+// Filter drops records failing a predicate.
+type Filter struct {
+	name string
+	pred func(telemetry.Record) bool
+}
+
+// NewFilter creates a filter operator.
+func NewFilter(name string, pred func(telemetry.Record) bool) *Filter {
+	return &Filter{name: name, pred: pred}
+}
+
+// Name implements Operator.
+func (f *Filter) Name() string { return f.name }
+
+// Kind implements Operator.
+func (f *Filter) Kind() Kind { return KindFilter }
+
+// Process implements Operator.
+func (f *Filter) Process(rec telemetry.Record, emit Emit) {
+	if f.pred(rec) {
+		emit(rec)
+	}
+}
+
+// Flush implements Operator.
+func (f *Filter) Flush(int64, Emit) {}
+
+// Stateful implements Operator.
+func (f *Filter) Stateful() bool { return false }
+
+// Reset implements Operator.
+func (f *Filter) Reset() {}
+
+// Map applies a user transformation emitting zero or more records per
+// input (flat-map semantics cover parsing one log line into several
+// JobStats records).
+type Map struct {
+	name string
+	fn   func(telemetry.Record, Emit)
+}
+
+// NewMap creates a map operator from a flat-map function.
+func NewMap(name string, fn func(telemetry.Record, Emit)) *Map {
+	return &Map{name: name, fn: fn}
+}
+
+// NewMap1 creates a map operator from a one-to-one transformation.
+func NewMap1(name string, fn func(telemetry.Record) telemetry.Record) *Map {
+	return &Map{name: name, fn: func(rec telemetry.Record, emit Emit) {
+		emit(fn(rec))
+	}}
+}
+
+// Name implements Operator.
+func (m *Map) Name() string { return m.name }
+
+// Kind implements Operator.
+func (m *Map) Kind() Kind { return KindMap }
+
+// Process implements Operator.
+func (m *Map) Process(rec telemetry.Record, emit Emit) { m.fn(rec, emit) }
+
+// Flush implements Operator.
+func (m *Map) Flush(int64, Emit) {}
+
+// Stateful implements Operator.
+func (m *Map) Stateful() bool { return false }
+
+// Reset implements Operator.
+func (m *Map) Reset() {}

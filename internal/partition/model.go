@@ -1,0 +1,159 @@
+package partition
+
+import (
+	"fmt"
+
+	"jarvis/internal/plan"
+)
+
+// Scenario describes one data source node's operating point.
+type Scenario struct {
+	Query *plan.Query
+	// RateMbps is the node's input data rate.
+	RateMbps float64
+	// BudgetFrac is the CPU budget as a fraction of one core.
+	BudgetFrac float64
+	// BandwidthMbps is the network share available to this query from
+	// this node toward the stream processor.
+	BandwidthMbps float64
+	// Boundary caps source placement (0 = whole pipeline).
+	Boundary int
+}
+
+// Outcome is the analytic steady state of a node under fixed load
+// factors. The model captures the two bottlenecks of §VI-B: CPU (the
+// pipeline's demand against the budget) and network (drained plus result
+// traffic against the bandwidth share). Sustainable throughput is the
+// input rate scaled by the tighter bottleneck; queues absorb the excess
+// in reality, which shows up as unbounded latency, not loss.
+type Outcome struct {
+	// ThroughputMbps is the sustainable end-to-end processing rate.
+	ThroughputMbps float64
+	// OutMbps is the node's outbound traffic when ingesting at full rate
+	// (drained + results).
+	OutMbps float64
+	// DrainMbps and ResultMbps decompose OutMbps.
+	DrainMbps  float64
+	ResultMbps float64
+	// CPUDemandFrac is the compute the factors ask for at full rate.
+	CPUDemandFrac float64
+	// CPUBound and NetBound flag which bottleneck binds (both false when
+	// the node keeps up).
+	CPUBound bool
+	NetBound bool
+}
+
+// Evaluate computes the steady-state outcome for fixed load factors.
+func Evaluate(s Scenario, factors []float64) (Outcome, error) {
+	q := s.Query
+	if q == nil {
+		return Outcome{}, fmt.Errorf("partition: scenario has no query")
+	}
+	if len(factors) != len(q.Ops) {
+		return Outcome{}, fmt.Errorf("partition: %d factors for %d operators",
+			len(factors), len(q.Ops))
+	}
+	boundary := s.Boundary
+	if boundary <= 0 || boundary > len(q.Ops) {
+		boundary = len(q.Ops)
+	}
+	scale := rateScale(q, s.RateMbps)
+
+	flow := s.RateMbps // bytes-rate entering the next proxy, Mbps
+	var drain, cpu float64
+	e := 1.0
+	for i, op := range q.Ops {
+		p := factors[i]
+		if i >= boundary {
+			p = 0
+		}
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		fwd := flow * p
+		drain += flow - fwd
+		e *= p
+		cpu += e * op.CostPct / 100 * scale
+		flow = fwd * op.RelayBytes
+	}
+	result := flow
+
+	out := Outcome{
+		OutMbps:       drain + result,
+		DrainMbps:     drain,
+		ResultMbps:    result,
+		CPUDemandFrac: cpu,
+	}
+
+	// CPU shortage slows only the forwarded share: records drained at the
+	// head never touch the local pipeline and keep flowing to the SP at
+	// full rate, so a head split retires its drained share regardless of
+	// the local budget.
+	phiCPU := 1.0
+	if cpu > s.BudgetFrac {
+		phiCPU = s.BudgetFrac / cpu
+	}
+	p0 := clampFactor(factors, 0, boundary)
+	headDrainIn := 1 - p0
+	headDrainMbps := s.RateMbps * headDrainIn
+	retiredIn := headDrainIn + phiCPU*(1-headDrainIn)
+	outAtCPU := headDrainMbps + phiCPU*(out.OutMbps-headDrainMbps)
+
+	phiNet := 1.0
+	if s.BandwidthMbps > 0 && outAtCPU > s.BandwidthMbps {
+		phiNet = s.BandwidthMbps / outAtCPU
+	}
+	out.CPUBound = phiCPU < 1 && retiredIn*phiNet <= phiCPU || (phiCPU < 1 && phiNet == 1)
+	out.NetBound = phiNet < 1
+	out.ThroughputMbps = s.RateMbps * retiredIn * phiNet
+	return out, nil
+}
+
+func clampFactor(factors []float64, i, boundary int) float64 {
+	if i >= boundary || i >= len(factors) {
+		return 0
+	}
+	p := factors[i]
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// EvaluateStrategy combines Factors and Evaluate.
+func EvaluateStrategy(st Strategy, s Scenario) (Outcome, []float64, error) {
+	factors, err := Factors(st, s.Query, s.BudgetFrac, s.RateMbps, s.Boundary)
+	if err != nil {
+		return Outcome{}, nil, err
+	}
+	o, err := Evaluate(s, factors)
+	return o, factors, err
+}
+
+// AggregateThroughput sums the sustainable throughput of n identical
+// sources sharing an aggregate SP link of aggBWMbps on top of the
+// per-source cap (Fig. 10's setup: the per-node share shrinks as nodes
+// are added).
+func AggregateThroughput(st Strategy, s Scenario, n int, aggBWMbps float64) (float64, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	per := s
+	if aggBWMbps > 0 {
+		share := aggBWMbps / float64(n)
+		if per.BandwidthMbps <= 0 || share < per.BandwidthMbps {
+			per.BandwidthMbps = share
+		}
+	}
+	o, _, err := EvaluateStrategy(st, per)
+	if err != nil {
+		return 0, err
+	}
+	return o.ThroughputMbps * float64(n), nil
+}

@@ -1,0 +1,193 @@
+// Package partition implements the query-partitioning strategies the
+// paper evaluates (§VI-A "Baseline systems") and an analytic steady-state
+// model of a data source node used by the experiment harness:
+//
+//   - All-SP: the query runs entirely on the stream processor
+//     (Gigascope-style).
+//   - All-Src: the query runs entirely on the data source.
+//   - Filter-Src: static operator-level partitioning running only the
+//     leading filtering operators on the source (Everflow-style).
+//   - Best-OP: dynamic operator-level partitioning choosing the best
+//     boundary that fits the compute budget (Sonata-style).
+//   - LB-DP: query-level data partitioning splitting the input stream
+//     between source and SP proportionally to available compute
+//     (M3-style load balancing).
+//   - Jarvis: data-level partitioning via the Eq. 3 LP (the runtime's
+//     fine-tuning refines it further in closed loop).
+package partition
+
+import (
+	"fmt"
+
+	"jarvis/internal/lp"
+	"jarvis/internal/operator"
+	"jarvis/internal/plan"
+)
+
+// Strategy identifies a partitioning policy.
+type Strategy int
+
+// The evaluated strategies.
+const (
+	AllSP Strategy = iota
+	AllSrc
+	FilterSrc
+	BestOP
+	LBDP
+	Jarvis
+)
+
+// Strategies lists all policies in the paper's presentation order.
+var Strategies = []Strategy{AllSrc, AllSP, FilterSrc, BestOP, LBDP, Jarvis}
+
+// SPShareFrac is the stream processor's compute share available to one
+// query from one data source, as a fraction of one core: 64 cores shared
+// by 250 sources × 20 queries, scaled 10× with the data rates (§VI-A).
+// LB-DP balances against this capacity.
+const SPShareFrac = 64.0 / (250 * 20) * 10
+
+func (s Strategy) String() string {
+	switch s {
+	case AllSP:
+		return "All-SP"
+	case AllSrc:
+		return "All-Src"
+	case FilterSrc:
+		return "Filter-Src"
+	case BestOP:
+		return "Best-OP"
+	case LBDP:
+		return "LB-DP"
+	case Jarvis:
+		return "Jarvis"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Factors computes the load factors a strategy deploys on a data source
+// with the given CPU budget (fraction of one core) and input rate.
+// boundary caps source placement (plan rules); 0 means the whole
+// pipeline. All strategies are expressed in the load-factor formalism:
+// operator-level plans use {0,1} factors, data-level plans use fractions.
+func Factors(s Strategy, q *plan.Query, budgetFrac, rateMbps float64, boundary int) ([]float64, error) {
+	m := len(q.Ops)
+	if m == 0 {
+		return nil, fmt.Errorf("partition: empty query")
+	}
+	if boundary <= 0 || boundary > m {
+		boundary = m
+	}
+	out := make([]float64, m)
+	switch s {
+	case AllSP:
+		return out, nil
+
+	case AllSrc:
+		for i := 0; i < boundary; i++ {
+			out[i] = 1
+		}
+		return out, nil
+
+	case FilterSrc:
+		// Run the prefix up to and including the first Filter.
+		cut := 0
+		for i, op := range q.Ops {
+			if op.Kind == operator.KindFilter {
+				cut = i + 1
+				break
+			}
+		}
+		if cut > boundary {
+			cut = boundary
+		}
+		for i := 0; i < cut; i++ {
+			out[i] = 1
+		}
+		return out, nil
+
+	case BestOP:
+		// Deepest boundary whose prefix demand fits the budget at the
+		// current rate (the operator-level solver; records past the
+		// boundary drain).
+		scale := rateScale(q, rateMbps)
+		best := 0
+		for b := 1; b <= boundary; b++ {
+			if plan.PrefixCostPct(q, b)/100*scale <= budgetFrac+1e-12 {
+				best = b
+			}
+		}
+		for i := 0; i < best; i++ {
+			out[i] = 1
+		}
+		return out, nil
+
+	case LBDP:
+		// Query-level split: a share of the input runs the whole local
+		// pipeline, the rest ships raw to the SP. M3's goal is to
+		// *balance* compute load across the instances, so the split is
+		// proportional to the capacities on either side — the source's
+		// budget against the SP's per-query per-source compute share —
+		// not sized to traffic or to fit the budget. Balancing can
+		// therefore oversubscribe the source (hurting throughput) or
+		// ship data a traffic-minimizing plan would have kept local
+		// (paper §VI-B: "its goal is to balance the compute load").
+		share := budgetFrac / (budgetFrac + SPShareFrac)
+		if share > 1 {
+			share = 1
+		}
+		out[0] = share
+		for i := 1; i < boundary; i++ {
+			out[i] = 1
+		}
+		return out, nil
+
+	case Jarvis:
+		// Model-based plan from the calibrated hints (the closed-loop
+		// runtime refines this online; experiments that only need the
+		// steady state use the LP directly).
+		return JarvisLPFactors(q, budgetFrac, rateMbps, boundary)
+
+	default:
+		return nil, fmt.Errorf("partition: unknown strategy %d", int(s))
+	}
+}
+
+// JarvisLPFactors solves the Eq. 3 chain LP with the query's calibrated
+// cost hints at the given rate.
+func JarvisLPFactors(q *plan.Query, budgetFrac, rateMbps float64, boundary int) ([]float64, error) {
+	m := len(q.Ops)
+	if boundary <= 0 || boundary > m {
+		boundary = m
+	}
+	scale := rateScale(q, rateMbps)
+	cp := lp.ChainProblem{
+		R:      make([]float64, boundary),
+		C:      make([]float64, boundary),
+		Budget: budgetFrac,
+	}
+	w := 1.0
+	for i := 0; i < boundary; i++ {
+		cp.R[i] = q.Ops[i].RelayBytes
+		if w <= 1e-9 {
+			w = 1e-9
+		}
+		cp.C[i] = q.Ops[i].CostPct / 100 * scale / w
+		w *= q.Ops[i].RelayBytes
+	}
+	sol, err := lp.SolveChain(cp)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, m)
+	copy(out, sol.P)
+	return out, nil
+}
+
+// rateScale converts the calibration-rate cost hints to the current rate.
+func rateScale(q *plan.Query, rateMbps float64) float64 {
+	if q.RefRateMbps <= 0 || rateMbps <= 0 {
+		return 1
+	}
+	return rateMbps / q.RefRateMbps
+}

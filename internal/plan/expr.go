@@ -1,0 +1,314 @@
+// Package plan implements Jarvis' query-plan generation pipeline
+// (paper §IV-B): a declarative builder in the style of Listings 1–3, a
+// logical plan with classic optimizations (constant folding, predicate
+// pushdown), the operator-eligibility rules R-1..R-4, control-proxy
+// insertion, and compilation to a physical operator pipeline.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"jarvis/internal/telemetry"
+)
+
+// Value is the result of evaluating an expression: either a number or a
+// string.
+type Value struct {
+	F     float64
+	S     string
+	IsStr bool
+}
+
+// NumValue builds a numeric value.
+func NumValue(f float64) Value { return Value{F: f} }
+
+// StrValue builds a string value.
+func StrValue(s string) Value { return Value{S: s, IsStr: true} }
+
+// Truthy interprets a value as a boolean: nonzero number or nonempty
+// string.
+func (v Value) Truthy() bool {
+	if v.IsStr {
+		return v.S != ""
+	}
+	return v.F != 0
+}
+
+// FieldGetter resolves a field name against a record. It reports false
+// when the record's payload lacks the field.
+type FieldGetter func(rec telemetry.Record, name string) (Value, bool)
+
+// Expr is a boolean/arithmetic expression over record fields, used by
+// filter predicates so the optimizer can reason about them (fold
+// constants, compute referenced fields for pushdown).
+type Expr interface {
+	// Eval evaluates the expression against a record.
+	Eval(rec telemetry.Record, get FieldGetter) (Value, error)
+	// Fields appends the names of fields the expression references.
+	Fields(dst []string) []string
+	// Fold returns an equivalent expression with constant subtrees
+	// evaluated.
+	Fold() Expr
+	// String renders the expression for plan explanations.
+	String() string
+}
+
+// constExpr is a literal.
+type constExpr struct{ v Value }
+
+// Num is a numeric literal expression.
+func Num(f float64) Expr { return constExpr{NumValue(f)} }
+
+// Str is a string literal expression.
+func Str(s string) Expr { return constExpr{StrValue(s)} }
+
+// Bool is a boolean literal (1/0 numeric).
+func Bool(b bool) Expr {
+	if b {
+		return Num(1)
+	}
+	return Num(0)
+}
+
+func (c constExpr) Eval(telemetry.Record, FieldGetter) (Value, error) { return c.v, nil }
+func (c constExpr) Fields(dst []string) []string                      { return dst }
+func (c constExpr) Fold() Expr                                        { return c }
+func (c constExpr) String() string {
+	if c.v.IsStr {
+		return fmt.Sprintf("%q", c.v.S)
+	}
+	return trimFloat(c.v.F)
+}
+
+// fieldExpr references a record field by name.
+type fieldExpr struct{ name string }
+
+// Field references a record field (e.g. "errCode", "rtt").
+func Field(name string) Expr { return fieldExpr{name} }
+
+func (f fieldExpr) Eval(rec telemetry.Record, get FieldGetter) (Value, error) {
+	if get == nil {
+		return Value{}, fmt.Errorf("plan: no field getter for %q", f.name)
+	}
+	v, ok := get(rec, f.name)
+	if !ok {
+		return Value{}, fmt.Errorf("plan: record %T has no field %q", rec.Data, f.name)
+	}
+	return v, nil
+}
+func (f fieldExpr) Fields(dst []string) []string { return append(dst, f.name) }
+func (f fieldExpr) Fold() Expr                   { return f }
+func (f fieldExpr) String() string               { return f.name }
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "=="
+	case NE:
+		return "!="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+type cmpExpr struct {
+	op   CmpOp
+	l, r Expr
+}
+
+// Cmp builds a comparison expression.
+func Cmp(op CmpOp, l, r Expr) Expr { return cmpExpr{op, l, r} }
+
+// Eq is shorthand for Cmp(EQ, l, r).
+func Eq(l, r Expr) Expr { return Cmp(EQ, l, r) }
+
+// Gt is shorthand for Cmp(GT, l, r).
+func Gt(l, r Expr) Expr { return Cmp(GT, l, r) }
+
+func (c cmpExpr) Eval(rec telemetry.Record, get FieldGetter) (Value, error) {
+	lv, err := c.l.Eval(rec, get)
+	if err != nil {
+		return Value{}, err
+	}
+	rv, err := c.r.Eval(rec, get)
+	if err != nil {
+		return Value{}, err
+	}
+	var cmp int
+	if lv.IsStr || rv.IsStr {
+		if !lv.IsStr || !rv.IsStr {
+			return Value{}, fmt.Errorf("plan: comparing string with number in %s", c)
+		}
+		cmp = strings.Compare(lv.S, rv.S)
+	} else {
+		switch {
+		case lv.F < rv.F:
+			cmp = -1
+		case lv.F > rv.F:
+			cmp = 1
+		}
+	}
+	var ok bool
+	switch c.op {
+	case EQ:
+		ok = cmp == 0
+	case NE:
+		ok = cmp != 0
+	case LT:
+		ok = cmp < 0
+	case LE:
+		ok = cmp <= 0
+	case GT:
+		ok = cmp > 0
+	case GE:
+		ok = cmp >= 0
+	}
+	return NumValue(b2f(ok)), nil
+}
+func (c cmpExpr) Fields(dst []string) []string { return c.r.Fields(c.l.Fields(dst)) }
+func (c cmpExpr) Fold() Expr {
+	l, r := c.l.Fold(), c.r.Fold()
+	if lc, ok := l.(constExpr); ok {
+		if rc, ok := r.(constExpr); ok {
+			v, err := (cmpExpr{c.op, lc, rc}).Eval(telemetry.Record{}, nil)
+			if err == nil {
+				return constExpr{v}
+			}
+		}
+	}
+	return cmpExpr{c.op, l, r}
+}
+func (c cmpExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", c.l, c.op, c.r)
+}
+
+// LogicOp is a boolean connective.
+type LogicOp int
+
+// Boolean connectives.
+const (
+	AndOp LogicOp = iota
+	OrOp
+)
+
+type logicExpr struct {
+	op   LogicOp
+	l, r Expr
+}
+
+// And builds a conjunction.
+func And(l, r Expr) Expr { return logicExpr{AndOp, l, r} }
+
+// Or builds a disjunction.
+func Or(l, r Expr) Expr { return logicExpr{OrOp, l, r} }
+
+func (x logicExpr) Eval(rec telemetry.Record, get FieldGetter) (Value, error) {
+	lv, err := x.l.Eval(rec, get)
+	if err != nil {
+		return Value{}, err
+	}
+	// Short circuit.
+	if x.op == AndOp && !lv.Truthy() {
+		return NumValue(0), nil
+	}
+	if x.op == OrOp && lv.Truthy() {
+		return NumValue(1), nil
+	}
+	rv, err := x.r.Eval(rec, get)
+	if err != nil {
+		return Value{}, err
+	}
+	return NumValue(b2f(rv.Truthy())), nil
+}
+func (x logicExpr) Fields(dst []string) []string { return x.r.Fields(x.l.Fields(dst)) }
+func (x logicExpr) Fold() Expr {
+	l, r := x.l.Fold(), x.r.Fold()
+	if lc, ok := l.(constExpr); ok {
+		if x.op == AndOp {
+			if !lc.v.Truthy() {
+				return Num(0)
+			}
+			return r
+		}
+		if lc.v.Truthy() {
+			return Num(1)
+		}
+		return r
+	}
+	if rc, ok := r.(constExpr); ok {
+		if x.op == AndOp {
+			if !rc.v.Truthy() {
+				return Num(0)
+			}
+			return l
+		}
+		if rc.v.Truthy() {
+			return Num(1)
+		}
+		return l
+	}
+	return logicExpr{x.op, l, r}
+}
+func (x logicExpr) String() string {
+	op := "&&"
+	if x.op == OrOp {
+		op = "||"
+	}
+	return fmt.Sprintf("(%s %s %s)", x.l, op, x.r)
+}
+
+// notExpr negates a boolean expression.
+type notExpr struct{ e Expr }
+
+// Not negates an expression.
+func Not(e Expr) Expr { return notExpr{e} }
+
+func (n notExpr) Eval(rec telemetry.Record, get FieldGetter) (Value, error) {
+	v, err := n.e.Eval(rec, get)
+	if err != nil {
+		return Value{}, err
+	}
+	return NumValue(b2f(!v.Truthy())), nil
+}
+func (n notExpr) Fields(dst []string) []string { return n.e.Fields(dst) }
+func (n notExpr) Fold() Expr {
+	e := n.e.Fold()
+	if c, ok := e.(constExpr); ok {
+		return constExpr{NumValue(b2f(!c.v.Truthy()))}
+	}
+	return notExpr{e}
+}
+func (n notExpr) String() string { return fmt.Sprintf("!%s", n.e) }
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}

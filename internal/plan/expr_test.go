@@ -1,0 +1,169 @@
+package plan
+
+import (
+	"testing"
+
+	"jarvis/internal/telemetry"
+)
+
+func probe(errCode, rtt uint32) telemetry.Record {
+	return telemetry.NewProbeRecord(&telemetry.PingProbe{ErrCode: errCode, RTTMicros: rtt})
+}
+
+func evalBool(t *testing.T, e Expr, rec telemetry.Record) bool {
+	t.Helper()
+	v, err := e.Eval(rec, GetField)
+	if err != nil {
+		t.Fatalf("eval %s: %v", e, err)
+	}
+	return v.Truthy()
+}
+
+func TestCmpOperators(t *testing.T) {
+	rec := probe(0, 500)
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Eq(Field("errCode"), Num(0)), true},
+		{Cmp(NE, Field("errCode"), Num(0)), false},
+		{Cmp(LT, Field("rtt"), Num(1000)), true},
+		{Cmp(LE, Field("rtt"), Num(500)), true},
+		{Gt(Field("rtt"), Num(499)), true},
+		{Cmp(GE, Field("rtt"), Num(501)), false},
+	}
+	for _, c := range cases {
+		if got := evalBool(t, c.e, rec); got != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestLogicShortCircuit(t *testing.T) {
+	rec := probe(0, 500)
+	// Right side references a missing field; short circuit avoids the
+	// error.
+	e := Or(Eq(Field("errCode"), Num(0)), Field("nosuch"))
+	if !evalBool(t, e, rec) {
+		t.Fatal("or should short-circuit to true")
+	}
+	e = And(Eq(Field("errCode"), Num(1)), Field("nosuch"))
+	if evalBool(t, e, rec) {
+		t.Fatal("and should short-circuit to false")
+	}
+	// Not.
+	if evalBool(t, Not(Bool(true)), rec) {
+		t.Fatal("!true must be false")
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	rec := probe(0, 0)
+	if _, err := Field("nosuch").Eval(rec, GetField); err == nil {
+		t.Fatal("missing field should error")
+	}
+	if _, err := Field("x").Eval(rec, nil); err == nil {
+		t.Fatal("nil getter should error")
+	}
+	if _, err := Eq(Str("a"), Num(1)).Eval(rec, GetField); err == nil {
+		t.Fatal("mixed-type comparison should error")
+	}
+	if _, err := Eq(Field("nosuch"), Num(1)).Eval(rec, GetField); err == nil {
+		t.Fatal("cmp should propagate lhs error")
+	}
+	if _, err := Eq(Num(1), Field("nosuch")).Eval(rec, GetField); err == nil {
+		t.Fatal("cmp should propagate rhs error")
+	}
+}
+
+func TestStringComparison(t *testing.T) {
+	rec := telemetry.Record{Data: &telemetry.JobStats{Tenant: "abc"}}
+	if !evalBool(t, Eq(Field("tenant"), Str("abc")), rec) {
+		t.Fatal("tenant == abc")
+	}
+	if !evalBool(t, Cmp(LT, Field("tenant"), Str("abd")), rec) {
+		t.Fatal("abc < abd")
+	}
+}
+
+func TestFold(t *testing.T) {
+	cases := []struct {
+		e, want Expr
+	}{
+		{Eq(Num(1), Num(1)), Num(1)},
+		{Eq(Num(1), Num(2)), Num(0)},
+		{And(Bool(true), Field("x")), Field("x")},
+		{And(Bool(false), Field("x")), Num(0)},
+		{Or(Bool(true), Field("x")), Num(1)},
+		{Or(Bool(false), Field("x")), Field("x")},
+		{And(Field("x"), Bool(true)), Field("x")},
+		{And(Field("x"), Bool(false)), Num(0)},
+		{Or(Field("x"), Bool(false)), Field("x")},
+		{Or(Field("x"), Bool(true)), Num(1)},
+		{Not(Bool(false)), Num(1)},
+		{Not(Field("x")), Not(Field("x"))},
+		{Eq(Field("x"), Num(1)), Eq(Field("x"), Num(1))},
+	}
+	for _, c := range cases {
+		if got := c.e.Fold(); got.String() != c.want.String() {
+			t.Errorf("Fold(%s) = %s, want %s", c.e, got, c.want)
+		}
+	}
+}
+
+func TestFieldsCollection(t *testing.T) {
+	e := And(Eq(Field("a"), Num(1)), Or(Gt(Field("b"), Num(2)), Not(Field("c"))))
+	fields := e.Fields(nil)
+	want := map[string]bool{"a": true, "b": true, "c": true}
+	if len(fields) != 3 {
+		t.Fatalf("fields = %v", fields)
+	}
+	for _, f := range fields {
+		if !want[f] {
+			t.Fatalf("unexpected field %q", f)
+		}
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := And(Eq(Field("errCode"), Num(0)), Not(Gt(Field("rtt"), Num(5000))))
+	want := "((errCode == 0) && !(rtt > 5000))"
+	if got := e.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	if got := Str("x").String(); got != `"x"` {
+		t.Fatalf("str literal = %q", got)
+	}
+}
+
+func TestGetFieldCoverage(t *testing.T) {
+	recs := []struct {
+		rec    telemetry.Record
+		fields []string
+	}{
+		{telemetry.NewProbeRecord(&telemetry.PingProbe{}),
+			[]string{"errCode", "srcIp", "dstIp", "srcCluster", "dstCluster", "rtt", "timestamp"}},
+		{telemetry.Record{Data: &telemetry.ToRProbe{}},
+			[]string{"srcToR", "dstToR", "rtt", "timestamp"}},
+		{telemetry.NewLogRecord(0, "x"), []string{"raw", "timestamp"}},
+		{telemetry.Record{Data: &telemetry.JobStats{}},
+			[]string{"tenant", "statName", "stat", "bucket", "timestamp"}},
+		{telemetry.NewAggRecord(telemetry.NewAggRow(telemetry.NumKey(1), 0, 5), 0),
+			[]string{"count", "sum", "min", "max", "avg", "key"}},
+	}
+	for _, c := range recs {
+		for _, f := range c.fields {
+			if _, ok := GetField(c.rec, f); !ok {
+				t.Errorf("%T missing field %q", c.rec.Data, f)
+			}
+		}
+		if _, ok := GetField(c.rec, "definitely-not-a-field"); ok {
+			t.Errorf("%T resolved a bogus field", c.rec.Data)
+		}
+		for _, f := range []string{"_time", "_window", "_size"} {
+			if _, ok := GetField(c.rec, f); !ok {
+				t.Errorf("header field %q missing", f)
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package plan
+
+import (
+	"strings"
+
+	"jarvis/internal/telemetry"
+)
+
+// GetField is the default FieldGetter covering the repo's payload types.
+// Field names follow the paper's listings (errCode, srcIp, dstIp, rtt,
+// raw, tenant, statName, stat, bucket, srcToR, dstToR, count, sum, min,
+// max, avg).
+func GetField(rec telemetry.Record, name string) (Value, bool) {
+	switch p := rec.Data.(type) {
+	case *telemetry.PingProbe:
+		switch name {
+		case "errCode":
+			return NumValue(float64(p.ErrCode)), true
+		case "srcIp":
+			return NumValue(float64(p.SrcIP)), true
+		case "dstIp":
+			return NumValue(float64(p.DstIP)), true
+		case "srcCluster":
+			return NumValue(float64(p.SrcCluster)), true
+		case "dstCluster":
+			return NumValue(float64(p.DstCluster)), true
+		case "rtt":
+			return NumValue(float64(p.RTTMicros)), true
+		case "timestamp":
+			return NumValue(float64(p.Timestamp)), true
+		}
+	case *telemetry.ToRProbe:
+		switch name {
+		case "srcToR":
+			return NumValue(float64(p.SrcToR)), true
+		case "dstToR":
+			return NumValue(float64(p.DstToR)), true
+		case "rtt":
+			return NumValue(float64(p.RTTMicros)), true
+		case "timestamp":
+			return NumValue(float64(p.Timestamp)), true
+		}
+	case *telemetry.LogLine:
+		switch name {
+		case "raw":
+			return StrValue(p.Raw), true
+		case "timestamp":
+			return NumValue(float64(p.Timestamp)), true
+		}
+	case *telemetry.JobStats:
+		switch name {
+		case "tenant":
+			return StrValue(p.Tenant), true
+		case "statName":
+			return StrValue(p.StatName), true
+		case "stat":
+			return NumValue(p.Stat), true
+		case "bucket":
+			return NumValue(float64(p.Bucket)), true
+		case "timestamp":
+			return NumValue(float64(p.Timestamp)), true
+		}
+	case *telemetry.AggRow:
+		switch name {
+		case "count":
+			return NumValue(float64(p.Count)), true
+		case "sum":
+			return NumValue(p.Sum), true
+		case "min":
+			return NumValue(p.Min), true
+		case "max":
+			return NumValue(p.Max), true
+		case "avg":
+			return NumValue(p.Avg()), true
+		case "key":
+			return StrValue(p.Key.String()), true
+		}
+	}
+	// Generic record header fields.
+	switch name {
+	case "_time":
+		return NumValue(float64(rec.Time)), true
+	case "_window":
+		return NumValue(float64(rec.Window)), true
+	case "_size":
+		return NumValue(float64(rec.WireSize)), true
+	}
+	return Value{}, false
+}
+
+// ContainsAny reports whether the lowercase form of s contains any of the
+// patterns; the LogAnalytics filter uses it (Listing 3's
+// patterns.anyMatch). Exposed so the experiments and examples share one
+// implementation with the compiled query.
+func ContainsAny(s string, patterns []string) bool {
+	for _, p := range patterns {
+		if strings.Contains(s, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,148 @@
+package plan
+
+import (
+	"fmt"
+
+	"jarvis/internal/operator"
+)
+
+// Optimize applies the logical optimizations of §IV-B — constant folding
+// on filter predicates and predicate pushdown — returning a rewritten
+// copy. Rewrites are semantics-preserving:
+//
+//   - constant folding: filter predicates with constant subtrees are
+//     simplified; a filter folded to constant-true is removed, and a
+//     filter folded to constant-false short-circuits the query (kept, as
+//     the degenerate drop-all filter).
+//   - predicate pushdown: a Filter is moved before an adjacent upstream
+//     Map when the Map declares (via PreservesFields) that every field
+//     the predicate reads passes through it unmodified. Earlier filtering
+//     reduces the data the Map must touch.
+func Optimize(q *Query) (*Query, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	out := q.Clone()
+
+	// Constant folding.
+	ops := out.Ops[:0]
+	for _, op := range out.Ops {
+		if op.Kind == operator.KindFilter && op.Pred != nil {
+			op.Pred = op.Pred.Fold()
+			if c, ok := op.Pred.(constExpr); ok && c.v.Truthy() {
+				continue // always-true filter: drop the operator
+			}
+		}
+		ops = append(ops, op)
+	}
+	out.Ops = ops
+	if len(out.Ops) == 0 {
+		return nil, fmt.Errorf("plan: optimization removed every operator from %q", q.Name)
+	}
+
+	// Predicate pushdown to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for i := 1; i < len(out.Ops); i++ {
+			f := out.Ops[i]
+			m := out.Ops[i-1]
+			if f.Kind != operator.KindFilter || f.Pred == nil {
+				continue
+			}
+			if m.Kind != operator.KindMap {
+				continue
+			}
+			if !fieldsPreserved(f.Pred, m.PreservesFields) {
+				continue
+			}
+			out.Ops[i-1], out.Ops[i] = f, m
+			changed = true
+		}
+	}
+	return out, nil
+}
+
+func fieldsPreserved(pred Expr, preserved []string) bool {
+	fields := pred.Fields(nil)
+	if len(fields) == 0 {
+		return true
+	}
+	set := make(map[string]bool, len(preserved))
+	for _, p := range preserved {
+		set[p] = true
+	}
+	for _, f := range fields {
+		if !set[f] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rules configures the operator-eligibility rules R-1..R-4 (§IV-B).
+// R-1..R-3 apply everywhere; R-4 applies only on data sources, where
+// intra-operator parallelism is pointless under a constrained budget.
+type Rules struct {
+	// ApplyR4 excludes operators with Parallelism > 1 (set on data
+	// sources, unset on intermediate stream processors).
+	ApplyR4 bool
+}
+
+// SourceRules is the rule set for data source nodes.
+func SourceRules() Rules { return Rules{ApplyR4: true} }
+
+// SPRules is the rule set for intermediate stream processors.
+func SPRules() Rules { return Rules{ApplyR4: false} }
+
+// EligiblePrefix returns the number of leading operators deployable on a
+// node under the rule set: the first ineligible operator caps the prefix
+// (everything after it must run upstream toward the root).
+func EligiblePrefix(q *Query, r Rules) int {
+	for i, op := range q.Ops {
+		if !eligible(op, r) {
+			return i
+		}
+	}
+	return len(q.Ops)
+}
+
+// IneligibleReason explains why operator i cannot run on the node, or ""
+// if it can.
+func IneligibleReason(op OpSpec, r Rules) string {
+	switch {
+	case op.Kind == operator.KindGroupAgg && !op.IncrementalAgg:
+		return "R-1: aggregation is not incrementally updatable"
+	case op.CrossSourceState:
+		return "R-2: requires state aggregated across data sources"
+	case op.StreamJoin:
+		return "R-3: stateful stream-stream join"
+	case r.ApplyR4 && op.Parallelism > 1:
+		return "R-4: multiple physical operators per logical operator"
+	}
+	return ""
+}
+
+func eligible(op OpSpec, r Rules) bool { return IneligibleReason(op, r) == "" }
+
+// Explain renders a human-readable plan summary with the eligible
+// boundary, used by cmd tools and examples.
+func Explain(q *Query, r Rules) string {
+	prefix := EligiblePrefix(q, r)
+	s := fmt.Sprintf("query %s (boundary cap: %d/%d operators on source)\n", q.Name, prefix, len(q.Ops))
+	for i, op := range q.Ops {
+		place := "source-eligible"
+		if i >= prefix {
+			place = "stream processor only"
+		}
+		detail := ""
+		if op.Pred != nil {
+			detail = " pred=" + op.Pred.String()
+		}
+		if reason := IneligibleReason(op, r); reason != "" {
+			detail += " [" + reason + "]"
+		}
+		s += fmt.Sprintf("  %2d. %-18s cost=%5.2f%% relay=%.2f  %s%s\n",
+			i, op.String(), op.CostPct, op.RelayBytes, place, detail)
+	}
+	return s
+}

@@ -1,0 +1,174 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"jarvis/internal/operator"
+	"jarvis/internal/telemetry"
+)
+
+func TestOptimizeConstantFoldRemovesTrueFilter(t *testing.T) {
+	q := NewQuery("fold").
+		Window(10_000_000_000, 1).
+		FilterExpr("always", Or(Bool(true), Field("errCode")), 1, 1).
+		FilterExpr("real", Eq(Field("errCode"), Num(0)), 1, 0.86)
+	opt, err := Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Ops) != 2 {
+		t.Fatalf("ops after fold = %d, want 2 (true filter removed)", len(opt.Ops))
+	}
+	if opt.Ops[1].Name != "real" {
+		t.Fatalf("remaining filter = %q", opt.Ops[1].Name)
+	}
+}
+
+func TestOptimizeKeepsFalseFilter(t *testing.T) {
+	q := NewQuery("false").
+		FilterExpr("never", And(Bool(false), Field("x")), 1, 0)
+	opt, err := Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Ops) != 1 {
+		t.Fatal("false filter must be kept (drop-all semantics)")
+	}
+}
+
+func TestOptimizePushdown(t *testing.T) {
+	// Map preserves errCode; the filter on errCode should move before it.
+	q := NewQuery("push").
+		Map("annotate", func(rec telemetry.Record, emit operator.Emit) { emit(rec) },
+			[]string{"errCode"}, 5, 1).
+		FilterExpr("errFilter", Eq(Field("errCode"), Num(0)), 1, 0.86)
+	opt, err := Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Ops[0].Kind != operator.KindFilter || opt.Ops[1].Kind != operator.KindMap {
+		t.Fatalf("pushdown did not happen: %v, %v", opt.Ops[0], opt.Ops[1])
+	}
+}
+
+func TestOptimizeNoPushdownWhenFieldNotPreserved(t *testing.T) {
+	q := NewQuery("nopush").
+		Map("rewrite", func(rec telemetry.Record, emit operator.Emit) { emit(rec) },
+			[]string{"rtt"}, 5, 1).
+		FilterExpr("errFilter", Eq(Field("errCode"), Num(0)), 1, 0.86)
+	opt, err := Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Ops[0].Kind != operator.KindMap {
+		t.Fatal("filter must not move past a map that rewrites its field")
+	}
+}
+
+func TestOptimizePushdownChain(t *testing.T) {
+	// Filter should bubble past two preserving maps to the front.
+	emitSame := func(rec telemetry.Record, emit operator.Emit) { emit(rec) }
+	q := NewQuery("chain").
+		Map("m1", emitSame, []string{"errCode"}, 1, 1).
+		Map("m2", emitSame, []string{"errCode"}, 1, 1).
+		FilterExpr("f", Eq(Field("errCode"), Num(0)), 1, 0.86)
+	opt, err := Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Ops[0].Kind != operator.KindFilter {
+		t.Fatalf("filter should reach the front: %v", opt.Ops)
+	}
+}
+
+func TestOptimizeErrorsOnEmpty(t *testing.T) {
+	q := NewQuery("onlytrue").FilterExpr("t", Bool(true), 1, 1)
+	if _, err := Optimize(q); err == nil {
+		t.Fatal("optimizing away every operator must error")
+	}
+	if _, err := Optimize(NewQuery("empty")); err == nil {
+		t.Fatal("invalid query must error")
+	}
+}
+
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	q := NewQuery("immut").
+		Map("m", func(rec telemetry.Record, emit operator.Emit) { emit(rec) },
+			[]string{"errCode"}, 1, 1).
+		FilterExpr("f", Eq(Field("errCode"), Num(0)), 1, 0.86)
+	if _, err := Optimize(q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Ops[0].Kind != operator.KindMap {
+		t.Fatal("Optimize mutated its input")
+	}
+}
+
+func TestEligiblePrefixRules(t *testing.T) {
+	// R-1: non-incremental aggregation.
+	q := S2SProbe()
+	q.Ops[2].IncrementalAgg = false
+	if got := EligiblePrefix(q, SourceRules()); got != 2 {
+		t.Fatalf("R-1 prefix = %d, want 2", got)
+	}
+	q.Ops[2].IncrementalAgg = true
+	if got := EligiblePrefix(q, SourceRules()); got != 3 {
+		t.Fatalf("prefix = %d, want 3", got)
+	}
+
+	// R-2: cross-source state.
+	q2 := S2SProbe()
+	q2.Ops[1].CrossSourceState = true
+	if got := EligiblePrefix(q2, SourceRules()); got != 1 {
+		t.Fatalf("R-2 prefix = %d, want 1", got)
+	}
+
+	// R-3: stream join.
+	q3 := S2SProbe()
+	q3.Ops[1].StreamJoin = true
+	if got := EligiblePrefix(q3, SPRules()); got != 1 {
+		t.Fatalf("R-3 prefix = %d (applies to SPs too)", got)
+	}
+
+	// R-4: parallel operators, data source only.
+	q4 := S2SProbe()
+	q4.Ops[2].Parallelism = 4
+	if got := EligiblePrefix(q4, SourceRules()); got != 2 {
+		t.Fatalf("R-4 source prefix = %d, want 2", got)
+	}
+	if got := EligiblePrefix(q4, SPRules()); got != 3 {
+		t.Fatalf("R-4 must not apply on SP: %d", got)
+	}
+}
+
+func TestIneligibleReasonText(t *testing.T) {
+	op := OpSpec{Kind: operator.KindGroupAgg}
+	if r := IneligibleReason(op, SourceRules()); !strings.Contains(r, "R-1") {
+		t.Fatalf("reason = %q", r)
+	}
+	op = OpSpec{CrossSourceState: true}
+	if r := IneligibleReason(op, SourceRules()); !strings.Contains(r, "R-2") {
+		t.Fatalf("reason = %q", r)
+	}
+	op = OpSpec{StreamJoin: true}
+	if r := IneligibleReason(op, SourceRules()); !strings.Contains(r, "R-3") {
+		t.Fatalf("reason = %q", r)
+	}
+	op = OpSpec{Parallelism: 2}
+	if r := IneligibleReason(op, SourceRules()); !strings.Contains(r, "R-4") {
+		t.Fatalf("reason = %q", r)
+	}
+	if r := IneligibleReason(OpSpec{Parallelism: 1, IncrementalAgg: true, Kind: operator.KindGroupAgg}, SourceRules()); r != "" {
+		t.Fatalf("eligible op got reason %q", r)
+	}
+}
+
+func TestExplainRenders(t *testing.T) {
+	s := Explain(S2SProbe(), SourceRules())
+	for _, want := range []string{"S2SProbe", "W(win0)", "F(errFilter)", "G+R(latAgg)", "source-eligible"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("explain missing %q:\n%s", want, s)
+		}
+	}
+}

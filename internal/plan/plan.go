@@ -1,0 +1,279 @@
+package plan
+
+import (
+	"fmt"
+	"time"
+
+	"jarvis/internal/operator"
+	"jarvis/internal/telemetry"
+)
+
+// OpSpec is one logical operator in a query: enough information to
+// instantiate the physical operator, apply optimizer rewrites, check the
+// source-eligibility rules and seed the cost model.
+type OpSpec struct {
+	Name string
+	Kind operator.Kind
+
+	// WindowDur is the tumbling window length (KindWindow), microseconds.
+	WindowDur int64
+
+	// Pred is an optimizable filter predicate; PredFn an opaque one.
+	// Exactly one is set for KindFilter.
+	Pred   Expr
+	PredFn func(telemetry.Record) bool
+
+	// MapFn implements KindMap. PreservesFields lists fields the map is
+	// guaranteed not to alter, enabling predicate pushdown through it.
+	MapFn           func(telemetry.Record, operator.Emit)
+	PreservesFields []string
+
+	// JoinFn implements KindJoin; TableSize is the static table's entry
+	// count (drives the join's hash-probe cost).
+	JoinFn    func(telemetry.Record) (telemetry.Record, bool)
+	TableSize int
+
+	// KeyFn/ValFn implement KindGroupAgg.
+	KeyFn func(telemetry.Record) telemetry.GroupKey
+	ValFn func(telemetry.Record) float64
+	// IncrementalAgg marks the aggregation as incrementally updatable
+	// (rule R-1); exact quantiles would set it false.
+	IncrementalAgg bool
+	// Quantile, when non-nil, makes the grouping aggregate an
+	// approximate-quantile sketch instead of count/sum/min/max — the
+	// mergeable alternative rule R-1 admits for percentile queries.
+	Quantile *QuantileSpec
+
+	// CrossSourceState marks operators that need state merged across data
+	// sources before they run (rule R-2).
+	CrossSourceState bool
+	// StreamJoin marks stateful stream-stream joins (rule R-3).
+	StreamJoin bool
+	// Parallelism is the number of physical instances per logical
+	// operator (rule R-4 keeps >1 off data sources).
+	Parallelism int
+
+	// CostPct is the calibrated CPU cost (percent of one reference core)
+	// this operator consumes when the whole query processes its full
+	// input at the reference rate — i.e. the operator's actual share
+	// with upstream relay reduction already applied, so query demand is
+	// ΣCostPct. The simulator treats it as ground truth; the live engine
+	// charges proportional token costs; Jarvis' profiler estimates it
+	// online.
+	CostPct float64
+	// RelayBytes is the operator's output/input ratio in bytes when it
+	// processes its full input (the paper's relay ratio r).
+	RelayBytes float64
+}
+
+func (s OpSpec) String() string { return fmt.Sprintf("%s(%s)", s.Kind, s.Name) }
+
+// Query is a declarative monitoring query: an ordered operator pipeline
+// (after rules R-1..R-4 restrict source placement, the paper's scope is
+// operator chains; see §IV-B).
+type Query struct {
+	Name string
+	Ops  []OpSpec
+	// RefRateMbps is the input rate the CostPct hints were calibrated at.
+	RefRateMbps float64
+	// RecordBytes is the nominal input record size.
+	RecordBytes int
+}
+
+// NewQuery starts a query builder.
+func NewQuery(name string) *Query { return &Query{Name: name} }
+
+// WithRefRate records the calibration rate for the cost hints.
+func (q *Query) WithRefRate(mbps float64, recordBytes int) *Query {
+	q.RefRateMbps = mbps
+	q.RecordBytes = recordBytes
+	return q
+}
+
+// Window appends a tumbling-window operator.
+func (q *Query) Window(d time.Duration, costPct float64) *Query {
+	q.Ops = append(q.Ops, OpSpec{
+		Name: fmt.Sprintf("win%d", len(q.Ops)), Kind: operator.KindWindow,
+		WindowDur: d.Microseconds(), CostPct: costPct, RelayBytes: 1, Parallelism: 1,
+	})
+	return q
+}
+
+// FilterExpr appends an optimizer-visible filter.
+func (q *Query) FilterExpr(name string, pred Expr, costPct, relay float64) *Query {
+	q.Ops = append(q.Ops, OpSpec{
+		Name: name, Kind: operator.KindFilter, Pred: pred,
+		CostPct: costPct, RelayBytes: relay, Parallelism: 1,
+	})
+	return q
+}
+
+// FilterFunc appends an opaque filter (no pushdown through or past it).
+func (q *Query) FilterFunc(name string, pred func(telemetry.Record) bool, costPct, relay float64) *Query {
+	q.Ops = append(q.Ops, OpSpec{
+		Name: name, Kind: operator.KindFilter, PredFn: pred,
+		CostPct: costPct, RelayBytes: relay, Parallelism: 1,
+	})
+	return q
+}
+
+// Map appends a transformation. preserves lists fields left intact.
+func (q *Query) Map(name string, fn func(telemetry.Record, operator.Emit), preserves []string, costPct, relay float64) *Query {
+	q.Ops = append(q.Ops, OpSpec{
+		Name: name, Kind: operator.KindMap, MapFn: fn,
+		PreservesFields: preserves, CostPct: costPct, RelayBytes: relay, Parallelism: 1,
+	})
+	return q
+}
+
+// Join appends a static-table join.
+func (q *Query) Join(name string, tableSize int, fn func(telemetry.Record) (telemetry.Record, bool), costPct, relay float64) *Query {
+	q.Ops = append(q.Ops, OpSpec{
+		Name: name, Kind: operator.KindJoin, JoinFn: fn, TableSize: tableSize,
+		CostPct: costPct, RelayBytes: relay, Parallelism: 1,
+	})
+	return q
+}
+
+// GroupAgg appends a grouping/aggregation with incrementally updatable
+// aggregates.
+func (q *Query) GroupAgg(name string, keyFn func(telemetry.Record) telemetry.GroupKey,
+	valFn func(telemetry.Record) float64, costPct, relay float64) *Query {
+	q.Ops = append(q.Ops, OpSpec{
+		Name: name, Kind: operator.KindGroupAgg, KeyFn: keyFn, ValFn: valFn,
+		IncrementalAgg: true, CostPct: costPct, RelayBytes: relay, Parallelism: 1,
+	})
+	return q
+}
+
+// QuantileSpec configures an approximate-quantile aggregation: an
+// equi-width histogram sketch over [Lo, Hi) with Buckets cells (quantile
+// error ≤ one bucket width).
+type QuantileSpec struct {
+	Lo, Hi  float64
+	Buckets int
+}
+
+// GroupQuantile appends a grouping that aggregates approximate quantiles
+// (rule R-1's mergeable class; the exact-quantile variant would be
+// ineligible for data sources).
+func (q *Query) GroupQuantile(name string, keyFn func(telemetry.Record) telemetry.GroupKey,
+	valFn func(telemetry.Record) float64, spec QuantileSpec, costPct, relay float64) *Query {
+	q.Ops = append(q.Ops, OpSpec{
+		Name: name, Kind: operator.KindGroupAgg, KeyFn: keyFn, ValFn: valFn,
+		IncrementalAgg: true, Quantile: &spec,
+		CostPct: costPct, RelayBytes: relay, Parallelism: 1,
+	})
+	return q
+}
+
+// Validate checks structural invariants: a window before any grouping,
+// exactly one predicate form per filter, positive costs.
+func (q *Query) Validate() error {
+	if q.Name == "" {
+		return fmt.Errorf("plan: query has no name")
+	}
+	if len(q.Ops) == 0 {
+		return fmt.Errorf("plan: query %q has no operators", q.Name)
+	}
+	haveWindow := false
+	var windowDur int64
+	for i, op := range q.Ops {
+		switch op.Kind {
+		case operator.KindWindow:
+			if op.WindowDur <= 0 {
+				return fmt.Errorf("plan: %s has non-positive window", op)
+			}
+			haveWindow = true
+			windowDur = op.WindowDur
+		case operator.KindFilter:
+			if (op.Pred == nil) == (op.PredFn == nil) {
+				return fmt.Errorf("plan: %s needs exactly one of Pred/PredFn", op)
+			}
+		case operator.KindMap:
+			if op.MapFn == nil {
+				return fmt.Errorf("plan: %s has no MapFn", op)
+			}
+		case operator.KindJoin:
+			if op.JoinFn == nil {
+				return fmt.Errorf("plan: %s has no JoinFn", op)
+			}
+		case operator.KindGroupAgg:
+			if op.KeyFn == nil || op.ValFn == nil {
+				return fmt.Errorf("plan: %s needs KeyFn and ValFn", op)
+			}
+			if !haveWindow {
+				return fmt.Errorf("plan: %s appears before any Window", op)
+			}
+		}
+		if op.CostPct < 0 || op.RelayBytes < 0 || op.RelayBytes > 1.0001 {
+			return fmt.Errorf("plan: op %d (%s) has bad cost/relay hints", i, op)
+		}
+	}
+	_ = windowDur
+	return nil
+}
+
+// WindowDur returns the query's window duration in microseconds (0 if the
+// query has no window operator).
+func (q *Query) WindowDur() int64 {
+	for _, op := range q.Ops {
+		if op.Kind == operator.KindWindow {
+			return op.WindowDur
+		}
+	}
+	return 0
+}
+
+// Clone deep-copies the query's spec slice (closures are shared).
+func (q *Query) Clone() *Query {
+	out := *q
+	out.Ops = make([]OpSpec, len(q.Ops))
+	copy(out.Ops, q.Ops)
+	return &out
+}
+
+// Instantiate builds fresh physical operators for the whole pipeline.
+// Each call returns independent operator state, so the same query can be
+// instantiated on a data source and replicated on the stream processor.
+func (q *Query) Instantiate() ([]operator.Operator, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	windowDur := q.WindowDur()
+	ops := make([]operator.Operator, 0, len(q.Ops))
+	for _, spec := range q.Ops {
+		switch spec.Kind {
+		case operator.KindWindow:
+			ops = append(ops, operator.NewWindow(spec.Name, spec.WindowDur))
+		case operator.KindFilter:
+			pred := spec.PredFn
+			if pred == nil {
+				expr := spec.Pred
+				pred = func(rec telemetry.Record) bool {
+					v, err := expr.Eval(rec, GetField)
+					return err == nil && v.Truthy()
+				}
+			}
+			ops = append(ops, operator.NewFilter(spec.Name, pred))
+		case operator.KindMap:
+			ops = append(ops, operator.NewMap(spec.Name, spec.MapFn))
+		case operator.KindJoin:
+			ops = append(ops, operator.NewJoin(spec.Name, spec.TableSize, spec.JoinFn))
+		case operator.KindGroupAgg:
+			dur := windowDur
+			if dur == 0 {
+				dur = 10 * int64(time.Second/time.Microsecond)
+			}
+			if qs := spec.Quantile; qs != nil {
+				ops = append(ops, operator.NewGroupQuantile(spec.Name, dur,
+					spec.KeyFn, spec.ValFn, qs.Lo, qs.Hi, qs.Buckets))
+			} else {
+				ops = append(ops, operator.NewGroupAgg(spec.Name, dur, spec.KeyFn, spec.ValFn))
+			}
+		default:
+			return nil, fmt.Errorf("plan: unknown kind %v", spec.Kind)
+		}
+	}
+	return ops, nil
+}

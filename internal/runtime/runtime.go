@@ -1,0 +1,316 @@
+// Package runtime implements the Jarvis runtime: the per-query,
+// per-data-source controller that keeps query execution stable by
+// refining the data-level partitioning plan (paper §IV-C, §IV-D).
+//
+// The runtime is a state machine (Fig. 6):
+//
+//	Startup → Probe → (congested/idle for DetectEpochs) → Profile →
+//	Adapt (LP init + iterative fine-tuning) → stable → Probe
+//
+// It is fully decentralized: one Runtime instance per query per data
+// source, interacting only with the local control proxies through the
+// Observation/Action protocol — no coordination with the stream processor
+// or a central planner.
+package runtime
+
+import (
+	"fmt"
+
+	"jarvis/internal/stream"
+)
+
+// Phase is the runtime's operational phase (Fig. 6).
+type Phase int
+
+// Runtime phases.
+const (
+	// PhaseStartup initializes all load factors to zero.
+	PhaseStartup Phase = iota
+	// PhaseProbe watches proxy states, waiting for instability.
+	PhaseProbe
+	// PhaseProfile diagnoses the plan: per-operator cost/relay estimates.
+	PhaseProfile
+	// PhaseAdapt computes and fine-tunes a new partitioning plan.
+	PhaseAdapt
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseStartup:
+		return "startup"
+	case PhaseProbe:
+		return "probe"
+	case PhaseProfile:
+		return "profile"
+	case PhaseAdapt:
+		return "adapt"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Config tunes the runtime. The zero value is completed by Defaults.
+type Config struct {
+	// DetectEpochs is how many consecutive non-stable epochs trigger
+	// adaptation (paper: three, to absorb scheduling noise).
+	DetectEpochs int
+	// UseLPInit enables the model-based LP initialization (disabling it
+	// gives the paper's "w/o LP-init" model-agnostic baseline).
+	UseLPInit bool
+	// FineTune enables the model-agnostic iterative refinement (disabling
+	// it gives the paper's "LP only" model-based baseline).
+	FineTune bool
+	// Granularity is the discretization of load factors during binary
+	// search (1/Granularity steps).
+	Granularity int
+	// PriorityByCostRelay weighs operator priority by compute cost as
+	// well as relay ratio (the ablation the paper leaves to future work).
+	PriorityByCostRelay bool
+	// LinearStepping replaces the binary search with fixed-granularity
+	// steps (ablation: the paper adds binary search "to further improve
+	// convergence time").
+	LinearStepping bool
+}
+
+// Defaults returns the paper's configuration: 3 detect epochs, LP init
+// plus fine-tuning, 1/16 load-factor granularity.
+func Defaults() Config {
+	return Config{DetectEpochs: 3, UseLPInit: true, FineTune: true, Granularity: 16}
+}
+
+// LPOnly returns the model-based-only configuration (§VI-C "LP only").
+func LPOnly() Config {
+	c := Defaults()
+	c.FineTune = false
+	return c
+}
+
+// NoLPInit returns the model-agnostic-only configuration (§VI-C
+// "w/o LP-init").
+func NoLPInit() Config {
+	c := Defaults()
+	c.UseLPInit = false
+	return c
+}
+
+// Observation is one epoch's view of the query, assembled by the
+// execution substrate (live engine or simulator).
+type Observation struct {
+	// Stats are the per-proxy epoch statistics, in pipeline order.
+	Stats []stream.ProxyStats
+	// LoadFactors are the proxies' current load factors.
+	LoadFactors []float64
+	// SpareBudgetFrac is the unused fraction of the epoch's CPU budget.
+	SpareBudgetFrac float64
+	// RelayObserved optionally carries measured per-operator relay ratios
+	// (bytes out / bytes in); used for fine-tuning priorities. May be nil,
+	// in which case priorities fall back to Estimates or plan hints.
+	RelayObserved []float64
+	// Boundary is the number of leading operators allowed on the source.
+	Boundary int
+}
+
+// Action is the runtime's instruction for the next epoch.
+type Action struct {
+	// Phase the runtime is in after this step (for tracing/plots).
+	Phase Phase
+	// SetLoadFactors, when non-nil, must be applied before the next epoch.
+	SetLoadFactors []float64
+	// Profile requests a profiling epoch; the caller must run it and feed
+	// the estimates to OnProfile.
+	Profile bool
+}
+
+// Estimates is the Profile phase's output (paper §IV-C: per-operator
+// compute cost, per-operator data reduction, available budget).
+type Estimates struct {
+	// CostPct[i] estimates operator i's CPU share (percent of a core) to
+	// process its full relay-scaled input at the current rate.
+	CostPct []float64
+	// Relay[i] estimates operator i's output/input byte ratio.
+	Relay []float64
+	// BudgetPct is the compute available to the query, percent of a core.
+	BudgetPct float64
+	// Quality[i] in (0,1] is the fraction of operator i's input that was
+	// actually profiled; low quality means noisy estimates (the effect
+	// that makes "LP only" fail to stabilize in Fig. 8).
+	Quality []float64
+}
+
+// Runtime is the per-query Jarvis runtime instance.
+type Runtime struct {
+	cfg   Config
+	phase Phase
+
+	detect  int    // non-stable probe epochs within the sliding window
+	history []bool // last few probe epochs: true = non-stable
+
+	est     *Estimates
+	tuner   *fineTuner
+	lastObs Observation
+
+	// convergence bookkeeping
+	epochsInAdapt int
+	stableStreak  int
+}
+
+// New creates a runtime in the Startup phase.
+func New(cfg Config) *Runtime {
+	if cfg.DetectEpochs <= 0 {
+		cfg.DetectEpochs = 3
+	}
+	if cfg.Granularity <= 1 {
+		cfg.Granularity = 16
+	}
+	return &Runtime{cfg: cfg, phase: PhaseStartup}
+}
+
+// Phase returns the current phase.
+func (rt *Runtime) Phase() Phase { return rt.phase }
+
+// Config returns the runtime's configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// OnEpoch consumes one epoch observation and returns the next action.
+func (rt *Runtime) OnEpoch(obs Observation) Action {
+	rt.lastObs = obs
+	switch rt.phase {
+	case PhaseStartup:
+		// Initialize every proxy to zero (all records drain) and start
+		// probing immediately: an idle signal will trigger adaptation.
+		rt.phase = PhaseProbe
+		zero := make([]float64, len(obs.LoadFactors))
+		return Action{Phase: PhaseProbe, SetLoadFactors: zero}
+
+	case PhaseProbe:
+		// Detection: DetectEpochs non-stable epochs within a short
+		// sliding window (the paper uses three epochs; the window
+		// tolerates signals that flicker around the thresholds without
+		// missing a persistent change).
+		state := stream.QueryState(obs.Stats)
+		window := rt.cfg.DetectEpochs + 2
+		rt.history = append(rt.history, state != stream.StateStable)
+		if len(rt.history) > window {
+			rt.history = rt.history[len(rt.history)-window:]
+		}
+		rt.detect = 0
+		for _, bad := range rt.history {
+			if bad {
+				rt.detect++
+			}
+		}
+		if rt.detect < rt.cfg.DetectEpochs {
+			return Action{Phase: PhaseProbe}
+		}
+		rt.detect = 0
+		rt.history = nil
+		if rt.cfg.UseLPInit {
+			rt.phase = PhaseProfile
+			return Action{Phase: PhaseProfile, Profile: true}
+		}
+		// Model-agnostic path: adapt from the current factors directly.
+		rt.enterAdapt(obs)
+		return rt.adaptStep(obs)
+
+	case PhaseProfile:
+		// Waiting for OnProfile; keep probing semantics if the caller
+		// sends another epoch first.
+		return Action{Phase: PhaseProfile, Profile: true}
+
+	case PhaseAdapt:
+		rt.epochsInAdapt++
+		return rt.adaptStep(obs)
+	}
+	return Action{Phase: rt.phase}
+}
+
+// OnProfile consumes profiling estimates and produces the Adapt action
+// holding the LP-initialized load factors (or hands straight to
+// fine-tuning when LP init is disabled).
+func (rt *Runtime) OnProfile(est Estimates) (Action, error) {
+	if rt.phase != PhaseProfile {
+		return Action{}, fmt.Errorf("runtime: OnProfile in phase %v", rt.phase)
+	}
+	if len(est.CostPct) != len(est.Relay) {
+		return Action{}, fmt.Errorf("runtime: estimate lengths differ (%d cost, %d relay)",
+			len(est.CostPct), len(est.Relay))
+	}
+	rt.est = &est
+	rt.enterAdapt(rt.lastObs)
+
+	factors, err := LPInit(est, rt.lastObs.Boundary)
+	if err != nil {
+		return Action{}, err
+	}
+	if !rt.cfg.FineTune {
+		// LP only: apply the model's plan and return to probing.
+		rt.phase = PhaseProbe
+		return Action{Phase: PhaseProbe, SetLoadFactors: factors}, nil
+	}
+	// Apply the LP plan, then fine-tune from it on subsequent epochs.
+	rt.tuner.restartFrom(factors)
+	return Action{Phase: PhaseAdapt, SetLoadFactors: factors}, nil
+}
+
+// enterAdapt initializes the fine tuner for a new adaptation round.
+func (rt *Runtime) enterAdapt(obs Observation) {
+	rt.phase = PhaseAdapt
+	rt.epochsInAdapt = 0
+	rt.stableStreak = 0
+	rt.tuner = newFineTuner(rt.cfg, rt.priorities(obs), obs.Boundary)
+	rt.tuner.restartFrom(obs.LoadFactors)
+}
+
+// adaptStep advances fine-tuning one epoch. The plan is only accepted
+// after two consecutive stable epochs, so a signal flickering around the
+// congestion threshold keeps being tuned rather than declared converged.
+func (rt *Runtime) adaptStep(obs Observation) Action {
+	state := stream.QueryState(obs.Stats)
+	next, done := rt.tuner.step(state, obs.LoadFactors)
+	if !done {
+		rt.stableStreak = 0
+		return Action{Phase: PhaseAdapt, SetLoadFactors: next}
+	}
+	if state != stream.StateStable {
+		// The tuner has no move left in this direction; hand control
+		// back to probing rather than spinning in Adapt.
+		rt.phase = PhaseProbe
+		rt.detect = 0
+		rt.history = nil
+		return Action{Phase: PhaseProbe, SetLoadFactors: next}
+	}
+	rt.stableStreak++
+	if rt.stableStreak < 2 {
+		return Action{Phase: PhaseAdapt, SetLoadFactors: next}
+	}
+	rt.phase = PhaseProbe
+	rt.detect = 0
+	rt.history = nil
+	return Action{Phase: PhaseProbe, SetLoadFactors: next}
+}
+
+// priorities derives the fine-tuning priority ordering. Operators with
+// lower relay ratios get higher priority (they shed more network bytes
+// per unit of compute); the CostRelay ablation divides by compute cost.
+func (rt *Runtime) priorities(obs Observation) []float64 {
+	n := len(obs.LoadFactors)
+	relay := make([]float64, n)
+	for i := range relay {
+		relay[i] = 1 // neutral default
+	}
+	switch {
+	case rt.est != nil && len(rt.est.Relay) == n:
+		copy(relay, rt.est.Relay)
+	case len(obs.RelayObserved) == n:
+		copy(relay, obs.RelayObserved)
+	}
+	prio := make([]float64, n)
+	for i := range prio {
+		// Smaller score = higher priority.
+		prio[i] = relay[i]
+		if rt.cfg.PriorityByCostRelay && rt.est != nil && i < len(rt.est.CostPct) && rt.est.CostPct[i] > 0 {
+			prio[i] = relay[i] * rt.est.CostPct[i]
+		}
+	}
+	return prio
+}

@@ -1,0 +1,585 @@
+package runtime
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"jarvis/internal/stream"
+)
+
+// fakeQuery is an analytic closed-loop model of a query pipeline used to
+// exercise the runtime without the full engine: given true per-operator
+// costs (percent of a core, relay-scaled input), relay ratios and a CPU
+// budget, it classifies the query state reached under a set of load
+// factors exactly like the engine's threshold logic would.
+type fakeQuery struct {
+	cost   []float64 // true CostPct per operator
+	relay  []float64
+	budget float64 // percent of a core
+	// thresholds mirror the engine's DrainedThres/IdleThres behaviour.
+	congestSlack float64 // demand may exceed budget by this factor
+	idleSlack    float64 // idle if spare fraction exceeds this
+
+	factors []float64
+}
+
+func newFakeQuery(cost, relay []float64, budgetPct float64) *fakeQuery {
+	return &fakeQuery{
+		cost: cost, relay: relay, budget: budgetPct,
+		congestSlack: 1.02, idleSlack: 0.20,
+		factors: make([]float64, len(cost)),
+	}
+}
+
+// demand returns the CPU percent consumed under the current factors.
+func (f *fakeQuery) demand() float64 {
+	e := 1.0
+	total := 0.0
+	for i := range f.cost {
+		e *= f.factors[i]
+		total += e * f.cost[i]
+	}
+	return total
+}
+
+// state classifies the query exactly once per epoch.
+func (f *fakeQuery) state() stream.ProxyState {
+	d := f.demand()
+	switch {
+	case d > f.budget*f.congestSlack:
+		return stream.StateCongested
+	case f.budget > 0 && (f.budget-d)/f.budget > f.idleSlack && f.anyBelowOne():
+		return stream.StateIdle
+	default:
+		return stream.StateStable
+	}
+}
+
+func (f *fakeQuery) anyBelowOne() bool {
+	for _, p := range f.factors {
+		if p < 1-1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+// observe builds the runtime Observation for the current epoch.
+func (f *fakeQuery) observe() Observation {
+	st := f.state()
+	stats := make([]stream.ProxyStats, len(f.cost))
+	for i := range stats {
+		stats[i].State = stream.StateStable
+	}
+	// Project the query-level state onto proxies the way the engine
+	// would: congestion at the most expensive running operator; idleness
+	// everywhere.
+	switch st {
+	case stream.StateCongested:
+		worst, wcost := 0, -1.0
+		for i := range f.cost {
+			if f.factors[i] > 0 && f.cost[i] > wcost {
+				worst, wcost = i, f.cost[i]
+			}
+		}
+		stats[worst].State = stream.StateCongested
+	case stream.StateIdle:
+		for i := range stats {
+			stats[i].State = stream.StateIdle
+		}
+	}
+	spare := 0.0
+	if f.budget > 0 {
+		spare = math.Max(0, (f.budget-f.demand())/f.budget)
+	}
+	return Observation{
+		Stats:           stats,
+		LoadFactors:     append([]float64(nil), f.factors...),
+		SpareBudgetFrac: spare,
+		RelayObserved:   append([]float64(nil), f.relay...),
+		Boundary:        len(f.cost),
+	}
+}
+
+// estimates produces profiling output, optionally corrupted with relative
+// noise on expensive operators (the budget was too small to run them on
+// every record).
+func (f *fakeQuery) estimates(noise float64, rng *rand.Rand) Estimates {
+	est := Estimates{
+		CostPct:   append([]float64(nil), f.cost...),
+		Relay:     append([]float64(nil), f.relay...),
+		BudgetPct: f.budget,
+		Quality:   make([]float64, len(f.cost)),
+	}
+	for i := range est.Quality {
+		est.Quality[i] = 1
+	}
+	if noise > 0 {
+		// Systematic bias: the most expensive operator cannot be profiled
+		// on all records within the epoch budget, so its cost is
+		// consistently underestimated (the paper's Fig. 8 failure mode for
+		// "LP only"). A small random component models scheduling jitter.
+		worst, wcost := 0, -1.0
+		for i, c := range f.cost {
+			if c > wcost {
+				worst, wcost = i, c
+			}
+		}
+		est.CostPct[worst] *= 1 - noise
+		est.Quality[worst] = 1 - noise
+		if rng != nil {
+			for i := range est.CostPct {
+				est.CostPct[i] *= 1 + 0.05*(2*rng.Float64()-1)
+			}
+		}
+	}
+	return est
+}
+
+// drive runs the closed loop for at most maxEpochs, returning the number
+// of epochs from the *first* epoch until the runtime settles back into
+// Probe with a stable query, or -1 if it never does.
+func drive(t *testing.T, rt *Runtime, f *fakeQuery, maxEpochs int, noise float64, seed uint64) int {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	stableRun := 0
+	for epoch := 1; epoch <= maxEpochs; epoch++ {
+		act := rt.OnEpoch(f.observe())
+		if act.SetLoadFactors != nil {
+			copy(f.factors, act.SetLoadFactors)
+		}
+		if act.Profile {
+			pact, err := rt.OnProfile(f.estimates(noise, rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pact.SetLoadFactors != nil {
+				copy(f.factors, pact.SetLoadFactors)
+			}
+		}
+		if rt.Phase() == PhaseProbe && f.state() == stream.StateStable {
+			stableRun++
+			if stableRun >= 2 {
+				return epoch
+			}
+		} else {
+			stableRun = 0
+		}
+	}
+	return -1
+}
+
+func s2sFake(budget float64) *fakeQuery {
+	return newFakeQuery([]float64{1, 13, 71}, []float64{1, 0.86, 0.30}, budget)
+}
+
+func TestLPInitMatchesBudget(t *testing.T) {
+	est := Estimates{
+		CostPct:   []float64{1, 13, 71},
+		Relay:     []float64{1, 0.86, 0.30},
+		BudgetPct: 80,
+	}
+	factors, err := LPInit(est, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resulting demand must not exceed the budget and must nearly use it.
+	e := 1.0
+	demand := 0.0
+	for i, p := range factors {
+		e *= p
+		demand += e * est.CostPct[i]
+	}
+	if demand > 80.01 {
+		t.Fatalf("LP init demand %v exceeds budget", demand)
+	}
+	if demand < 79 {
+		t.Fatalf("LP init demand %v wastes budget", demand)
+	}
+}
+
+func TestLPInitBoundary(t *testing.T) {
+	est := Estimates{
+		CostPct:   []float64{1, 13, 71},
+		Relay:     []float64{1, 0.86, 0.30},
+		BudgetPct: 100,
+	}
+	factors, err := LPInit(est, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if factors[2] != 0 {
+		t.Fatalf("boundary op factor = %v, want 0", factors[2])
+	}
+	if factors[0] < 0.99 || factors[1] < 0.99 {
+		t.Fatalf("prefix should run fully: %v", factors)
+	}
+}
+
+func TestLPInitErrors(t *testing.T) {
+	if _, err := LPInit(Estimates{}, 0); err == nil {
+		t.Fatal("empty estimates must error")
+	}
+}
+
+func TestRuntimeStartupToProbe(t *testing.T) {
+	rt := New(Defaults())
+	if rt.Phase() != PhaseStartup {
+		t.Fatal("must start in Startup")
+	}
+	f := s2sFake(80)
+	f.factors = []float64{0.5, 0.5, 0.5}
+	act := rt.OnEpoch(f.observe())
+	if rt.Phase() != PhaseProbe {
+		t.Fatalf("phase = %v", rt.Phase())
+	}
+	for _, p := range act.SetLoadFactors {
+		if p != 0 {
+			t.Fatal("startup must zero the load factors")
+		}
+	}
+}
+
+func TestRuntimeDetectNeedsThreeEpochs(t *testing.T) {
+	rt := New(Defaults())
+	f := s2sFake(80) // factors zero → idle
+	rt.OnEpoch(f.observe())
+	profiles := 0
+	for i := 0; i < 3; i++ {
+		act := rt.OnEpoch(f.observe())
+		if act.Profile {
+			profiles++
+			if i != 2 {
+				t.Fatalf("profiled after %d non-stable epochs, want 3", i+1)
+			}
+		}
+	}
+	if profiles != 1 {
+		t.Fatalf("profiles = %d", profiles)
+	}
+}
+
+func TestRuntimeConvergesWithLPInit(t *testing.T) {
+	rt := New(Defaults())
+	f := s2sFake(80)
+	epochs := drive(t, rt, f, 40, 0, 1)
+	if epochs < 0 {
+		t.Fatalf("did not converge; factors=%v demand=%v", f.factors, f.demand())
+	}
+	// Accurate profile: LP lands in the stable band immediately, so
+	// convergence is detect (3) + profile/adapt within a few epochs.
+	if epochs > 10 {
+		t.Fatalf("converged in %d epochs, want fast with LP init", epochs)
+	}
+	if f.demand() > 80*1.02 {
+		t.Fatalf("final demand %v exceeds budget", f.demand())
+	}
+}
+
+func TestRuntimeConvergesWithoutLPInit(t *testing.T) {
+	rt := New(NoLPInit())
+	f := s2sFake(80)
+	epochs := drive(t, rt, f, 80, 0, 2)
+	if epochs < 0 {
+		t.Fatalf("did not converge; factors=%v demand=%v state=%v", f.factors, f.demand(), f.state())
+	}
+	if f.demand() > 80*1.02 {
+		t.Fatalf("final demand %v exceeds budget", f.demand())
+	}
+	// The model-agnostic path must still make good use of the budget.
+	if f.demand() < 40 {
+		t.Fatalf("final demand %v leaves the budget badly underused", f.demand())
+	}
+}
+
+func TestRuntimeLPInitFasterThanWithout(t *testing.T) {
+	withLP := drive(t, New(Defaults()), s2sFake(80), 80, 0, 3)
+	withoutLP := drive(t, New(NoLPInit()), s2sFake(80), 80, 0, 3)
+	if withLP < 0 || withoutLP < 0 {
+		t.Fatalf("convergence failed: %d, %d", withLP, withoutLP)
+	}
+	if withLP > withoutLP {
+		t.Fatalf("LP init (%d epochs) should not be slower than without (%d)", withLP, withoutLP)
+	}
+}
+
+func TestRuntimeBudgetDropTriggersReadaptation(t *testing.T) {
+	rt := New(Defaults())
+	f := s2sFake(90)
+	if drive(t, rt, f, 40, 0, 4) < 0 {
+		t.Fatal("initial convergence failed")
+	}
+	f.budget = 60 // resource drop → congestion
+	epochs := drive(t, rt, f, 60, 0, 5)
+	if epochs < 0 {
+		t.Fatalf("no reconvergence after budget drop; demand=%v state=%v", f.demand(), f.state())
+	}
+	if f.demand() > 60*1.02 {
+		t.Fatalf("demand %v exceeds shrunken budget", f.demand())
+	}
+}
+
+func TestRuntimeBudgetRiseTriggersReadaptation(t *testing.T) {
+	rt := New(Defaults())
+	f := s2sFake(30)
+	if drive(t, rt, f, 60, 0, 6) < 0 {
+		t.Fatal("initial convergence failed")
+	}
+	before := f.demand()
+	f.budget = 90
+	if drive(t, rt, f, 60, 0, 7) < 0 {
+		t.Fatalf("no reconvergence after budget rise; demand=%v", f.demand())
+	}
+	if f.demand() <= before {
+		t.Fatalf("demand should grow with budget: %v → %v", before, f.demand())
+	}
+}
+
+func TestRuntimeLPOnlyWithNoisyProfileStruggles(t *testing.T) {
+	// With heavily corrupted estimates and no fine-tuning, LP-only keeps
+	// missing the stable band (the Fig. 8 failure mode); Jarvis with
+	// fine-tuning recovers.
+	lpOnlyFailures := 0
+	jarvisFailures := 0
+	for seed := uint64(0); seed < 10; seed++ {
+		if drive(t, New(LPOnly()), s2sFake(70), 40, 0.4, seed) < 0 {
+			lpOnlyFailures++
+		}
+		if drive(t, New(Defaults()), s2sFake(70), 60, 0.4, seed) < 0 {
+			jarvisFailures++
+		}
+	}
+	if jarvisFailures > 0 {
+		t.Fatalf("Jarvis failed to converge %d/10 noisy runs", jarvisFailures)
+	}
+	if lpOnlyFailures < 8 {
+		t.Fatalf("LP-only should keep missing the stable band under biased profiling, failed only %d/10", lpOnlyFailures)
+	}
+}
+
+func TestRuntimeOnProfileWrongPhase(t *testing.T) {
+	rt := New(Defaults())
+	if _, err := rt.OnProfile(Estimates{}); err == nil {
+		t.Fatal("OnProfile outside Profile phase must error")
+	}
+}
+
+func TestRuntimeOnProfileBadEstimates(t *testing.T) {
+	rt := New(Defaults())
+	f := s2sFake(80)
+	rt.OnEpoch(f.observe())
+	for i := 0; i < 3; i++ {
+		rt.OnEpoch(f.observe())
+	}
+	if rt.Phase() != PhaseProfile {
+		t.Fatalf("phase = %v", rt.Phase())
+	}
+	if _, err := rt.OnProfile(Estimates{CostPct: []float64{1}, Relay: []float64{1, 1}}); err == nil {
+		t.Fatal("mismatched estimate lengths must error")
+	}
+}
+
+func TestRuntimeConfigs(t *testing.T) {
+	if !Defaults().UseLPInit || !Defaults().FineTune {
+		t.Fatal("defaults")
+	}
+	if LPOnly().FineTune {
+		t.Fatal("LPOnly must disable fine-tuning")
+	}
+	if NoLPInit().UseLPInit {
+		t.Fatal("NoLPInit must disable LP init")
+	}
+	rt := New(Config{})
+	if rt.Config().DetectEpochs != 3 || rt.Config().Granularity != 16 {
+		t.Fatalf("zero config not normalized: %+v", rt.Config())
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	want := map[Phase]string{
+		PhaseStartup: "startup", PhaseProbe: "probe",
+		PhaseProfile: "profile", PhaseAdapt: "adapt", Phase(9): "phase(9)",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Fatalf("%d → %q", int(p), p.String())
+		}
+	}
+}
+
+func TestFineTunerDirectBehaviour(t *testing.T) {
+	cfg := Defaults()
+	ft := newFineTuner(cfg, []float64{1, 0.86, 0.30}, 3)
+	ft.restartFrom([]float64{0, 0, 0})
+	// Idle: the tuner raises the highest-priority operator (lowest relay,
+	// index 2) toward 1 first.
+	next, done := ft.step(stream.StateIdle, []float64{0, 0, 0})
+	if done {
+		t.Fatal("should not be done while idle")
+	}
+	if next[2] != 1 {
+		t.Fatalf("first probe should jump op 2 to max: %v", next)
+	}
+	// Stable: accepts.
+	_, done = ft.step(stream.StateStable, next)
+	if !done {
+		t.Fatal("stable must finish the round")
+	}
+}
+
+func TestFineTunerCongestionLowersLowPriorityFirst(t *testing.T) {
+	cfg := Defaults()
+	ft := newFineTuner(cfg, []float64{1, 0.86, 0.30}, 3)
+	start := []float64{1, 1, 1}
+	ft.restartFrom(start)
+	next, done := ft.step(stream.StateCongested, start)
+	if done {
+		t.Fatal("not done while congested")
+	}
+	// Lowest priority = highest relay = op 0.
+	if next[0] >= 1 {
+		t.Fatalf("op 0 should be lowered first: %v", next)
+	}
+	if next[2] != 1 {
+		t.Fatalf("op 2 must not be touched yet: %v", next)
+	}
+}
+
+func TestFineTunerBinarySearchConverges(t *testing.T) {
+	// One-op pipeline with a hidden feasibility threshold at 0.6: the
+	// bracket must converge near it within log2(16)+2 probes.
+	cfg := Defaults()
+	ft := newFineTuner(cfg, []float64{0.5}, 1)
+	ft.restartFrom([]float64{0})
+	cur := []float64{0}
+	probes := 0
+	for i := 0; i < 12; i++ {
+		var state stream.ProxyState
+		switch {
+		case cur[0] > 0.6+1e-9:
+			state = stream.StateCongested
+		case cur[0] < 0.55:
+			state = stream.StateIdle
+		default:
+			state = stream.StateStable
+		}
+		next, done := ft.step(state, cur)
+		if done {
+			if cur[0] > 0.6+1e-9 || cur[0] < 0.5 {
+				t.Fatalf("settled at %v, want ≈0.6", cur[0])
+			}
+			if probes > 7 {
+				t.Fatalf("took %d probes", probes)
+			}
+			return
+		}
+		cur = next
+		probes++
+	}
+	t.Fatalf("no convergence; cur=%v", cur)
+}
+
+// Property: for random feasible pipelines the full Jarvis loop always
+// converges within a bounded number of epochs and never oversubscribes
+// the budget at the end.
+func TestRuntimeConvergenceProperty(t *testing.T) {
+	trials := 0
+	for seed := uint64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		m := 2 + rng.IntN(4)
+		cost := make([]float64, m)
+		relay := make([]float64, m)
+		for i := 0; i < m; i++ {
+			cost[i] = 1 + rng.Float64()*60
+			relay[i] = 0.05 + rng.Float64()*0.95
+		}
+		budget := 15 + rng.Float64()*85
+		f := newFakeQuery(cost, relay, budget)
+		rt := New(Defaults())
+		epochs := drive(t, rt, f, 120, 0, seed)
+		if epochs < 0 {
+			// Some configurations have no stable band at this
+			// granularity; the loop must still keep demand within budget.
+			if f.demand() > budget*1.05 {
+				t.Fatalf("seed %d: non-converged AND oversubscribed (demand %v, budget %v)",
+					seed, f.demand(), budget)
+			}
+			continue
+		}
+		trials++
+		if f.demand() > budget*1.05 {
+			t.Fatalf("seed %d: converged but oversubscribed (demand %v, budget %v)",
+				seed, f.demand(), budget)
+		}
+	}
+	if trials < 25 {
+		t.Fatalf("only %d/40 random configurations converged", trials)
+	}
+}
+
+// The ablation configurations must also drive the loop correctly.
+func TestRuntimeAblationConfigsConverge(t *testing.T) {
+	for _, cfg := range []Config{
+		func() Config { c := NoLPInit(); c.LinearStepping = true; return c }(),
+		func() Config { c := Defaults(); c.PriorityByCostRelay = true; return c }(),
+	} {
+		f := s2sFake(80)
+		rt := New(cfg)
+		epochs := drive(t, rt, f, 120, 0, 5)
+		if epochs < 0 {
+			t.Fatalf("config %+v did not converge (demand %v)", cfg, f.demand())
+		}
+		if f.demand() > 80*1.05 {
+			t.Fatalf("config %+v oversubscribed: %v", cfg, f.demand())
+		}
+	}
+}
+
+func TestLPInitClampsBadEstimates(t *testing.T) {
+	// NaN/overrange relays and negative costs are sanitized, not fatal.
+	est := Estimates{
+		CostPct:   []float64{-5, 13, 71},
+		Relay:     []float64{math.NaN(), 1.7, 0.3},
+		BudgetPct: 50,
+	}
+	factors, err := LPInit(est, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range factors {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("unsanitized factors: %v", factors)
+		}
+	}
+}
+
+func TestFineTunerSnapGrid(t *testing.T) {
+	ft := newFineTuner(Defaults(), []float64{1}, 0) // boundary clamps to len
+	if ft.boundary != 1 {
+		t.Fatalf("boundary clamp = %d", ft.boundary)
+	}
+	cases := map[float64]float64{-0.2: 0, 0.49: 0.5, 1.3: 1, 0.04: 0.0625}
+	for in, want := range cases {
+		if got := ft.snap(in); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("snap(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestFineTunerLinearStepsBothDirections(t *testing.T) {
+	cfg := Defaults()
+	cfg.LinearStepping = true
+	ft := newFineTuner(cfg, []float64{0.5}, 1)
+	ft.restartFrom([]float64{0.5})
+	up, done := ft.step(stream.StateIdle, []float64{0.5})
+	if done || up[0] <= 0.5 {
+		t.Fatalf("linear raise = %v", up)
+	}
+	ft2 := newFineTuner(cfg, []float64{0.5}, 1)
+	ft2.restartFrom([]float64{0.5})
+	down, done := ft2.step(stream.StateCongested, []float64{0.5})
+	if done || down[0] >= 0.5 {
+		t.Fatalf("linear lower = %v", down)
+	}
+}

@@ -1,0 +1,283 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"jarvis/internal/lp"
+	"jarvis/internal/stream"
+)
+
+// LPInit computes the model-based initial load factors (StepWise-Adapt
+// step 1): it lowers the profiling estimates into the Eq. 3 chain LP and
+// converts the optimal effective load factors into per-proxy factors.
+// Operators at or past the boundary are pinned to zero.
+func LPInit(est Estimates, boundary int) ([]float64, error) {
+	m := len(est.CostPct)
+	if m == 0 {
+		return nil, fmt.Errorf("runtime: empty estimates")
+	}
+	if boundary <= 0 || boundary > m {
+		boundary = m
+	}
+	// Build the chain problem over the deployable prefix. The LP's c_i is
+	// per-record cost relative to the budget: with CostPct meaning "% of
+	// a core for the full relay-scaled input", the constraint
+	// Σ w_i·e_i·c_i ≤ B/Nr reduces to Σ e_i·CostPct_i/100 ≤ BudgetPct/100
+	// when c_i = (CostPct_i/100)/w_i (see internal/lp docs).
+	cp := lp.ChainProblem{
+		R:      make([]float64, boundary),
+		C:      make([]float64, boundary),
+		Budget: est.BudgetPct / 100,
+	}
+	w := 1.0
+	for i := 0; i < boundary; i++ {
+		r := clamp01(est.Relay[i])
+		cp.R[i] = r
+		cost := est.CostPct[i]
+		if cost < 0 {
+			cost = 0
+		}
+		if w <= 1e-9 {
+			w = 1e-9
+		}
+		cp.C[i] = cost / 100 / w
+		w *= r
+	}
+	sol, err := lp.SolveChain(cp)
+	if err != nil {
+		return nil, err
+	}
+	factors := make([]float64, m)
+	copy(factors, sol.P)
+	for i := boundary; i < m; i++ {
+		factors[i] = 0
+	}
+	return factors, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// fineTuner is StepWise-Adapt step 2: a model-agnostic controller that
+// adjusts one operator's load factor at a time, prioritizing operators by
+// data-reduction potential (an FFD-inspired ordering, §IV-D) and binary
+// searching over discretized load-factor values.
+//
+// An active search keeps a bracket [lo, hi): lo is the largest value
+// observed feasible (not congested), hi the smallest observed congested
+// (the sentinel hiUnknown means none yet). Observations move the bracket
+// regardless of the direction that initiated the search, so overshoots
+// converge instead of oscillating.
+type fineTuner struct {
+	gran     float64
+	linear   bool      // ablation: fixed steps instead of binary search
+	prio     []float64 // smaller = higher priority
+	boundary int
+
+	factors []float64
+
+	active bool
+	op     int
+	dir    int // +1 raising, -1 lowering (for exhaustion bookkeeping)
+	lo, hi float64
+
+	// exhaustedUp/Down: operators already settled in that direction this
+	// adaptation round.
+	exhaustedUp   map[int]bool
+	exhaustedDown map[int]bool
+}
+
+const hiUnknown = 2.0
+
+func newFineTuner(cfg Config, prio []float64, boundary int) *fineTuner {
+	if boundary <= 0 || boundary > len(prio) {
+		boundary = len(prio)
+	}
+	return &fineTuner{
+		gran:          1 / float64(cfg.Granularity),
+		linear:        cfg.LinearStepping,
+		prio:          prio,
+		boundary:      boundary,
+		exhaustedUp:   make(map[int]bool),
+		exhaustedDown: make(map[int]bool),
+	}
+}
+
+// restartFrom seeds the tuner with the factors currently applied.
+func (ft *fineTuner) restartFrom(factors []float64) {
+	ft.factors = append([]float64(nil), factors...)
+	ft.active = false
+	ft.exhaustedUp = make(map[int]bool)
+	ft.exhaustedDown = make(map[int]bool)
+}
+
+// step consumes the query state observed under the current factors and
+// returns the factors to apply next. done=true means the plan is stable.
+func (ft *fineTuner) step(state stream.ProxyState, current []float64) ([]float64, bool) {
+	if len(current) == len(ft.factors) {
+		copy(ft.factors, current)
+	}
+
+	if ft.active {
+		probed := ft.factors[ft.op]
+		switch state {
+		case stream.StateStable:
+			// The probe landed in the stable band: accept it.
+			ft.active = false
+			return ft.out(), true
+		case stream.StateIdle:
+			ft.lo = probed
+			if probed >= 1-1e-9 {
+				ft.settle(1, +1)
+			}
+		case stream.StateCongested:
+			ft.hi = probed
+		}
+		if ft.active {
+			if ft.bracketClosed() {
+				// Apply the best known-feasible value and observe.
+				ft.settle(ft.lo, ft.dir)
+				return ft.out(), false
+			}
+			ft.factors[ft.op] = ft.nextProbe()
+			return ft.out(), false
+		}
+		// Fell through: search settled; choose what to do from state.
+	}
+
+	switch state {
+	case stream.StateStable:
+		return ft.out(), true
+	case stream.StateIdle:
+		if !ft.pick(+1) {
+			return ft.out(), true
+		}
+	case stream.StateCongested:
+		if !ft.pick(-1) {
+			return ft.out(), true
+		}
+	}
+	ft.factors[ft.op] = ft.nextProbe()
+	return ft.out(), false
+}
+
+func (ft *fineTuner) out() []float64 {
+	return append([]float64(nil), ft.factors...)
+}
+
+func (ft *fineTuner) bracketClosed() bool {
+	hi := ft.hi
+	if hi > 1 {
+		hi = 1
+	}
+	return hi-ft.lo <= ft.gran+1e-12
+}
+
+// nextProbe proposes the next trial value inside the bracket: the FFD
+// flavour jumps straight to 1 while no congestion has been observed,
+// then bisects.
+func (ft *fineTuner) nextProbe() float64 {
+	if ft.linear {
+		// Ablation: walk one granularity step at a time toward the
+		// unexplored side of the bracket.
+		if ft.dir > 0 {
+			return ft.snap(ft.factors[ft.op] + ft.gran)
+		}
+		return ft.snap(ft.factors[ft.op] - ft.gran)
+	}
+	if ft.hi >= hiUnknown {
+		return 1
+	}
+	mid := ft.snap((ft.lo + ft.hi) / 2)
+	if mid <= ft.lo {
+		mid = ft.snap(ft.lo + ft.gran)
+	}
+	if mid >= ft.hi {
+		mid = ft.snap(ft.hi - ft.gran)
+	}
+	if mid < 0 {
+		mid = 0
+	}
+	return mid
+}
+
+// pick selects the next operator to tune: highest priority (lowest score)
+// when raising, lowest priority when lowering, among operators whose load
+// factor can still move in that direction this round.
+func (ft *fineTuner) pick(dir int) bool {
+	type cand struct {
+		idx   int
+		score float64
+	}
+	var cands []cand
+	for i := 0; i < ft.boundary; i++ {
+		p := ft.factors[i]
+		if dir > 0 && p < 1-1e-9 && !ft.exhaustedUp[i] {
+			cands = append(cands, cand{i, ft.prio[i]})
+		}
+		if dir < 0 && p > 1e-9 && !ft.exhaustedDown[i] {
+			cands = append(cands, cand{i, ft.prio[i]})
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].score != cands[b].score {
+			if dir > 0 {
+				return cands[a].score < cands[b].score // raise best reducer first
+			}
+			return cands[a].score > cands[b].score // lower worst reducer first
+		}
+		// Ties: deeper operators first when raising (their upstream is
+		// already feeding them), shallower first when lowering.
+		if dir > 0 {
+			return cands[a].idx > cands[b].idx
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	ft.active = true
+	ft.op = cands[0].idx
+	ft.dir = dir
+	cur := ft.factors[ft.op]
+	if dir > 0 {
+		ft.lo, ft.hi = cur, hiUnknown
+	} else {
+		ft.lo, ft.hi = 0, cur
+	}
+	return true
+}
+
+// settle fixes the active operator's factor, records the direction as
+// exhausted for this round, and ends the search.
+func (ft *fineTuner) settle(p float64, dir int) {
+	ft.factors[ft.op] = ft.snap(p)
+	if dir > 0 {
+		ft.exhaustedUp[ft.op] = true
+	} else {
+		ft.exhaustedDown[ft.op] = true
+	}
+	ft.active = false
+}
+
+// snap discretizes a load factor to the tuner's granularity grid.
+func (ft *fineTuner) snap(p float64) float64 {
+	steps := math.Round(p / ft.gran)
+	v := steps * ft.gran
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

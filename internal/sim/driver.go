@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"jarvis/internal/runtime"
+	"jarvis/internal/stream"
+)
+
+// Event is a scripted change to the simulated node at a given epoch —
+// the resource-condition changes of §VI-C (budget shifts, join-table
+// growth, manual resets).
+type Event struct {
+	// Epoch at which the event fires (0-based, before the epoch runs).
+	Epoch int
+	// BudgetFrac, when non-nil, sets a new CPU budget.
+	BudgetFrac *float64
+	// RateMbps, when non-nil, sets a new input rate.
+	RateMbps *float64
+	// ScaleOpCost multiplies the true cost of operators (index → factor),
+	// e.g. the T2T join table growing 10×.
+	ScaleOpCost map[int]float64
+	// ResetFactors zeroes the load factors (the paper's manual reset at
+	// epoch 18 of Fig. 8(b)).
+	ResetFactors bool
+	// ClearBacklog drops accumulated queues alongside a reset.
+	ClearBacklog bool
+}
+
+// Budget is a convenience for building budget events.
+func Budget(frac float64) *float64 { return &frac }
+
+// TraceEntry records one epoch of a closed-loop run.
+type TraceEntry struct {
+	Epoch          int
+	State          stream.ProxyState
+	Phase          runtime.Phase
+	Profiled       bool
+	Factors        []float64
+	ThroughputMbps float64
+	OutMbps        float64
+	LatencySec     float64
+	SpareBudget    float64
+}
+
+// Trace is a full closed-loop run.
+type Trace []TraceEntry
+
+// Run drives the node with a Jarvis runtime for the given number of
+// epochs, applying scripted events. It returns the per-epoch trace.
+func Run(node *Node, cfg runtime.Config, epochs int, events []Event) (Trace, error) {
+	rt := runtime.New(cfg)
+	trace := make(Trace, 0, epochs)
+	byEpoch := map[int][]Event{}
+	for _, ev := range events {
+		byEpoch[ev.Epoch] = append(byEpoch[ev.Epoch], ev)
+	}
+	for e := 0; e < epochs; e++ {
+		for _, ev := range byEpoch[e] {
+			applyEvent(node, ev)
+		}
+		rep := node.RunEpoch()
+		act := rt.OnEpoch(node.Observation(rep))
+		profiled := false
+		if act.SetLoadFactors != nil {
+			if err := node.SetFactors(act.SetLoadFactors); err != nil {
+				return nil, err
+			}
+		}
+		if act.Profile {
+			profiled = true
+			pact, err := rt.OnProfile(node.Profile())
+			if err != nil {
+				return nil, err
+			}
+			if pact.SetLoadFactors != nil {
+				if err := node.SetFactors(pact.SetLoadFactors); err != nil {
+					return nil, err
+				}
+			}
+		}
+		trace = append(trace, TraceEntry{
+			Epoch:          e,
+			State:          rep.State,
+			Phase:          act.Phase,
+			Profiled:       profiled,
+			Factors:        node.Factors(),
+			ThroughputMbps: rep.ThroughputMbps,
+			OutMbps:        rep.OutMbps,
+			LatencySec:     rep.LatencySec,
+			SpareBudget:    rep.SpareBudgetFrac,
+		})
+	}
+	return trace, nil
+}
+
+// RunFixed drives the node with fixed load factors (baseline strategies)
+// for the given number of epochs.
+func RunFixed(node *Node, factors []float64, epochs int, events []Event) (Trace, error) {
+	if err := node.SetFactors(factors); err != nil {
+		return nil, err
+	}
+	byEpoch := map[int][]Event{}
+	for _, ev := range events {
+		byEpoch[ev.Epoch] = append(byEpoch[ev.Epoch], ev)
+	}
+	trace := make(Trace, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		for _, ev := range byEpoch[e] {
+			applyEvent(node, ev)
+		}
+		rep := node.RunEpoch()
+		trace = append(trace, TraceEntry{
+			Epoch:          e,
+			State:          rep.State,
+			Factors:        node.Factors(),
+			ThroughputMbps: rep.ThroughputMbps,
+			OutMbps:        rep.OutMbps,
+			LatencySec:     rep.LatencySec,
+			SpareBudget:    rep.SpareBudgetFrac,
+		})
+	}
+	return trace, nil
+}
+
+func applyEvent(node *Node, ev Event) {
+	if ev.BudgetFrac != nil {
+		node.SetBudget(*ev.BudgetFrac)
+	}
+	if ev.RateMbps != nil {
+		node.SetRate(*ev.RateMbps)
+	}
+	for i, f := range ev.ScaleOpCost {
+		node.ScaleOpCost(i, f)
+	}
+	if ev.ResetFactors {
+		zero := make([]float64, len(node.factors))
+		_ = node.SetFactors(zero)
+	}
+	if ev.ClearBacklog {
+		node.ResetState()
+	}
+}
+
+// ConvergedAt returns the first epoch at or after 'from' where the query
+// is stable and remains stable for 'hold' consecutive epochs, or -1.
+func (t Trace) ConvergedAt(from, hold int) int {
+	if hold < 1 {
+		hold = 1
+	}
+	run := 0
+	for _, e := range t {
+		if e.Epoch < from {
+			continue
+		}
+		if e.State == stream.StateStable {
+			run++
+			if run >= hold {
+				return e.Epoch - hold + 1
+			}
+		} else {
+			run = 0
+		}
+	}
+	return -1
+}
+
+// ConvergenceEpochs counts epochs from a change to reconvergence
+// (inclusive of detection epochs), or -1 if the run never restabilizes.
+func (t Trace) ConvergenceEpochs(changeEpoch, hold int) int {
+	at := t.ConvergedAt(changeEpoch, hold)
+	if at < 0 {
+		return -1
+	}
+	return at - changeEpoch
+}
+
+// MeanThroughput averages throughput over [from, to).
+func (t Trace) MeanThroughput(from, to int) float64 {
+	var sum float64
+	n := 0
+	for _, e := range t {
+		if e.Epoch >= from && e.Epoch < to {
+			sum += e.ThroughputMbps
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Latencies collects per-epoch latencies over [from, to).
+func (t Trace) Latencies(from, to int) []float64 {
+	var out []float64
+	for _, e := range t {
+		if e.Epoch >= from && e.Epoch < to {
+			out = append(out, e.LatencySec)
+		}
+	}
+	return out
+}

@@ -1,0 +1,485 @@
+// Package sim is a deterministic epoch-level simulator of a Jarvis data
+// source node. It models the same quantities as the live engine — per-
+// operator flows, a CPU budget, per-stage queues, drain traffic, an
+// uplink with finite bandwidth, and proxy state classification — but
+// advances them analytically per epoch, which makes scripted resource-
+// change scenarios (Fig. 8), latency studies (§VI-E) and operator-count
+// sweeps cheap and exactly reproducible.
+//
+// The simulator also implements the profiling model of §IV-C: during a
+// Profile epoch each operator is measured on the share of its input that
+// fits in its slice of the budget; operators too expensive to run on all
+// records within the epoch get low-quality (biased) estimates — the
+// effect that makes "LP only" fail to stabilize in Fig. 8.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"jarvis/internal/plan"
+	"jarvis/internal/runtime"
+	"jarvis/internal/stream"
+)
+
+// NodeConfig configures a simulated data source node.
+type NodeConfig struct {
+	Query       *plan.Query
+	RateMbps    float64
+	BudgetFrac  float64
+	EpochMicros int64
+	// BandwidthMbps is the node's uplink share for this query.
+	BandwidthMbps float64
+	// DrainedThres/IdleThres mirror the engine thresholds (§IV-C).
+	DrainedThres float64
+	IdleThres    float64
+	Boundary     int
+	Seed         uint64
+	// ProfileBias controls how strongly low profiling quality corrupts
+	// cost estimates (0 disables the error model).
+	ProfileBias float64
+	// DrainBacklog lets control proxies relieve pending backlogs through
+	// the drain path once they exceed the DrainedThres tolerance (the
+	// paper's lossless backpressure; §IV-C). Baselines without a drain
+	// path at every operator (All-Src, LB-DP) disable it.
+	DrainBacklog bool
+}
+
+// DefaultNodeConfig mirrors the evaluation setup for a query at a rate.
+func DefaultNodeConfig(q *plan.Query, rateMbps, budgetFrac float64) NodeConfig {
+	return NodeConfig{
+		Query:         q,
+		RateMbps:      rateMbps,
+		BudgetFrac:    budgetFrac,
+		EpochMicros:   1_000_000,
+		BandwidthMbps: 20.48,
+		DrainedThres:  0.10,
+		IdleThres:     0.20,
+		Seed:          1,
+		ProfileBias:   1.0,
+		DrainBacklog:  true,
+	}
+}
+
+// EpochReport is one simulated epoch's outcome.
+type EpochReport struct {
+	// Stats per proxy (counts are bytes: ratios are what matters).
+	Stats []stream.ProxyStats
+	// State is the query-level classification.
+	State stream.ProxyState
+	// SpareBudgetFrac is the unused budget fraction.
+	SpareBudgetFrac float64
+	// DrainMbps/ResultMbps/OutMbps are this epoch's outbound rates
+	// (offered to the uplink, before bandwidth limiting).
+	DrainMbps  float64
+	ResultMbps float64
+	OutMbps    float64
+	// SentMbps is what the uplink actually carried.
+	SentMbps float64
+	// ThroughputMbps is the input-equivalent data retired end-to-end this
+	// epoch (input minus backlog growth).
+	ThroughputMbps float64
+	// LatencySec estimates the epoch processing latency including
+	// compute and network backlogs (§VI-E's metric).
+	LatencySec float64
+	// BacklogInputMbps is the accumulated backlog in input-equivalent
+	// rate terms.
+	BacklogInputMbps float64
+}
+
+// Node simulates one data source running one query.
+type Node struct {
+	cfg     NodeConfig
+	factors []float64
+
+	costPerByte []float64 // µs per byte entering op i (ground truth)
+	relay       []float64 // bytes out / bytes in (ground truth)
+
+	queues    []float64 // pending bytes per stage
+	queuesIn  []float64 // same backlog in input-equivalent bytes
+	inbox     []float64 // bytes emitted last epoch, arriving this epoch
+	inboxIn   []float64
+	netQueue  float64 // pending uplink bytes
+	netQueueI float64 // input-equivalent of netQueue
+
+	lastArrive []float64 // per-stage arrivals last epoch (profiling)
+	rng        *rand.Rand
+	epoch      int
+}
+
+// NewNode builds a simulated node.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	q := cfg.Query
+	if q == nil {
+		return nil, fmt.Errorf("sim: no query")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.RefRateMbps <= 0 || q.RecordBytes <= 0 {
+		return nil, fmt.Errorf("sim: query %q missing calibration", q.Name)
+	}
+	if cfg.EpochMicros <= 0 {
+		return nil, fmt.Errorf("sim: non-positive epoch")
+	}
+	if cfg.Boundary <= 0 || cfg.Boundary > len(q.Ops) {
+		cfg.Boundary = len(q.Ops)
+	}
+	m := len(q.Ops)
+	n := &Node{
+		cfg:         cfg,
+		factors:     make([]float64, m),
+		costPerByte: make([]float64, m),
+		relay:       make([]float64, m),
+		queues:      make([]float64, m),
+		queuesIn:    make([]float64, m),
+		inbox:       make([]float64, m+1),
+		inboxIn:     make([]float64, m+1),
+		lastArrive:  make([]float64, m),
+		rng:         rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xA5A5A5A5)),
+	}
+	refBytesPerSec := q.RefRateMbps * 1e6 / 8
+	w := 1.0
+	for i, op := range q.Ops {
+		if w <= 1e-12 {
+			w = 1e-12
+		}
+		n.costPerByte[i] = op.CostPct / 100 * 1e6 / (refBytesPerSec * w)
+		n.relay[i] = op.RelayBytes
+		w *= op.RelayBytes
+	}
+	return n, nil
+}
+
+// Factors returns the node's current load factors.
+func (n *Node) Factors() []float64 { return append([]float64(nil), n.factors...) }
+
+// SetFactors applies a new data-level partitioning plan.
+func (n *Node) SetFactors(f []float64) error {
+	if len(f) != len(n.factors) {
+		return fmt.Errorf("sim: %d factors for %d operators", len(f), len(n.factors))
+	}
+	for i, p := range f {
+		if i >= n.cfg.Boundary {
+			p = 0
+		}
+		n.factors[i] = clamp01(p)
+	}
+	return nil
+}
+
+// SetBudget changes the CPU budget fraction (resource availability).
+func (n *Node) SetBudget(frac float64) { n.cfg.BudgetFrac = math.Max(0, frac) }
+
+// Budget returns the CPU budget fraction.
+func (n *Node) Budget() float64 { return n.cfg.BudgetFrac }
+
+// SetRate changes the input data rate (resource demand shifts).
+func (n *Node) SetRate(mbps float64) { n.cfg.RateMbps = math.Max(0, mbps) }
+
+// ScaleOpCost multiplies operator i's true cost (e.g. a join's static
+// table grows 10×, §VI-C).
+func (n *Node) ScaleOpCost(i int, factor float64) {
+	if i >= 0 && i < len(n.costPerByte) && factor > 0 {
+		n.costPerByte[i] *= factor
+	}
+}
+
+// Boundary returns the node's placement boundary.
+func (n *Node) Boundary() int { return n.cfg.Boundary }
+
+// ResetState clears all queues (used when an experiment hard-resets).
+func (n *Node) ResetState() {
+	for i := range n.queues {
+		n.queues[i] = 0
+		n.queuesIn[i] = 0
+	}
+	for i := range n.inbox {
+		n.inbox[i] = 0
+		n.inboxIn[i] = 0
+	}
+	n.netQueue = 0
+	n.netQueueI = 0
+}
+
+// RunEpoch advances the simulation one epoch in two phases:
+//
+//  1. Routing: each proxy splits its arrivals (the input for stage 0,
+//     last epoch's upstream emissions otherwise) into a forwarded share
+//     that joins the stage queue and a drained share that heads for the
+//     uplink.
+//  2. Processing: the CPU budget is granted downstream-first — the
+//     backpressure discipline of a real dataflow engine, where upstream
+//     operators stall rather than burn compute on records the bottleneck
+//     cannot absorb. Emissions become next epoch's arrivals.
+func (n *Node) RunEpoch() EpochReport {
+	m := len(n.factors)
+	epochSec := float64(n.cfg.EpochMicros) / 1e6
+	inBytes := n.cfg.RateMbps * 1e6 / 8 * epochSec
+	budget := n.cfg.BudgetFrac * float64(n.cfg.EpochMicros)
+
+	rep := EpochReport{Stats: make([]stream.ProxyStats, m)}
+	prevBacklog := n.backlogInputEq() + inBytes
+
+	// The epoch is simulated in sub-rounds so stages interleave like the
+	// live depth-first engine rather than in one coarse stage-ordered
+	// pass (which would manufacture multi-epoch phase oscillations).
+	const rounds = 8
+	var drainBytes, drainIn, resultBytes, resultIn float64
+	for i := range n.lastArrive {
+		n.lastArrive[i] = 0
+	}
+	rem := 0.0
+	for r := 0; r < rounds; r++ {
+		rem += budget / rounds
+
+		// Routing.
+		for i := 0; i < m; i++ {
+			arrive := n.inbox[i]
+			arriveIn := n.inboxIn[i]
+			if i == 0 {
+				arrive += inBytes / rounds
+				arriveIn += inBytes / rounds
+			}
+			n.inbox[i], n.inboxIn[i] = 0, 0
+			n.lastArrive[i] += arrive
+
+			p := n.factors[i]
+			if i >= n.cfg.Boundary {
+				p = 0
+			}
+			fwd := arrive * p
+			dr := arrive - fwd
+			drainBytes += dr
+			if arrive > 0 {
+				drainIn += arriveIn * (dr / arrive)
+				n.queuesIn[i] += arriveIn * (fwd / arrive)
+			}
+			n.queues[i] += fwd
+			rep.Stats[i].In += int(arrive)
+			rep.Stats[i].Forwarded += int(fwd)
+			rep.Stats[i].Drained += int(dr)
+			rep.Stats[i].DrainedBytes += int64(dr)
+		}
+
+		// Processing, downstream first (backpressure budget priority).
+		for i := m - 1; i >= 0; i-- {
+			proc := n.queues[i]
+			if n.costPerByte[i] > 0 {
+				can := rem / n.costPerByte[i]
+				if can < proc {
+					proc = can
+				}
+			}
+			procIn := 0.0
+			if n.queues[i] > 0 {
+				procIn = n.queuesIn[i] * (proc / n.queues[i])
+			}
+			n.queues[i] -= proc
+			n.queuesIn[i] -= procIn
+			rem -= proc * n.costPerByte[i]
+			if rem < 0 {
+				rem = 0
+			}
+			n.inbox[i+1] += proc * n.relay[i]
+			n.inboxIn[i+1] += procIn
+			rep.Stats[i].Processed += int(proc)
+		}
+		resultBytes += n.inbox[m]
+		resultIn += n.inboxIn[m]
+		n.inbox[m], n.inboxIn[m] = 0, 0
+	}
+	for i := 0; i < m; i++ {
+		rep.Stats[i].Pending = int(n.queues[i])
+	}
+
+	// Classify proxies.
+	spare := 0.0
+	if budget > 0 {
+		spare = rem / budget
+	}
+	wRelay := 1.0
+	for i := 0; i < m; i++ {
+		st := &rep.Stats[i]
+		inRec := math.Max(float64(st.In), 1)
+		// An operator is idle when the node has spare compute, nothing is
+		// queued for it, and either its proxy withholds records (p < 1)
+		// or its upstream starves it (arrivals far below the full flow) —
+		// the paper's "operator stays empty" condition.
+		starved := n.lastArrive[i] < 0.5*inBytes*wRelay
+		switch {
+		case float64(st.Pending) > n.cfg.DrainedThres*inRec:
+			st.State = stream.StateCongested
+		case spare > n.cfg.IdleThres && st.Pending == 0 && i < n.cfg.Boundary &&
+			(n.factors[i] < 1 || starved):
+			st.State = stream.StateIdle
+		default:
+			st.State = stream.StateStable
+		}
+		wRelay *= n.relay[i]
+	}
+	rep.State = stream.QueryState(rep.Stats[:n.cfg.Boundary])
+	rep.SpareBudgetFrac = spare
+
+	// Backlog relief (classification already happened): proxies drain
+	// pending records beyond the DrainedThres tolerance to the SP, so
+	// backlogs stay bounded and losslessly handled while the congestion
+	// signal keeps firing while the overload persists.
+	if n.cfg.DrainBacklog {
+		for i := 0; i < m; i++ {
+			tolerated := n.cfg.DrainedThres * n.lastArrive[i]
+			if n.queues[i] > tolerated {
+				excess := n.queues[i] - tolerated
+				exIn := 0.0
+				if n.queues[i] > 0 {
+					exIn = n.queuesIn[i] * (excess / n.queues[i])
+				}
+				n.queues[i] = tolerated
+				n.queuesIn[i] -= exIn
+				drainBytes += excess
+				drainIn += exIn
+			}
+		}
+	}
+
+	// Uplink.
+	bwBytes := n.cfg.BandwidthMbps * 1e6 / 8 * epochSec
+	offered := drainBytes + resultBytes + n.netQueue
+	offeredIn := drainIn + resultIn + n.netQueueI
+	sent := offered
+	if bwBytes > 0 && sent > bwBytes {
+		sent = bwBytes
+	}
+	frac := 1.0
+	if offered > 0 {
+		frac = sent / offered
+	}
+	n.netQueue = offered - sent
+	n.netQueueI = offeredIn * (1 - frac)
+
+	rep.DrainMbps = drainBytes * 8 / 1e6 / epochSec
+	rep.ResultMbps = resultBytes * 8 / 1e6 / epochSec
+	rep.OutMbps = rep.DrainMbps + rep.ResultMbps
+	rep.SentMbps = sent * 8 / 1e6 / epochSec
+
+	// Throughput: input retired end-to-end = input − backlog growth.
+	backlog := n.backlogInputEq()
+	retired := prevBacklog - backlog
+	if retired < 0 {
+		retired = 0
+	}
+	rep.ThroughputMbps = retired * 8 / 1e6 / epochSec
+	rep.BacklogInputMbps = backlog * 8 / 1e6 / epochSec
+
+	// Epoch processing latency (§VI-E): the wall time until the epoch's
+	// results are delivered — transfer time of what was sent plus the
+	// time to clear network and compute backlogs at current service
+	// rates. A queued byte at stage i still owes the whole downstream
+	// pipeline: cost-to-finish dc_i = c_i + r_i·dc_{i+1}.
+	lat := 0.0
+	if bwBytes > 0 {
+		lat += (sent + n.netQueue) / bwBytes * epochSec
+	}
+	if budget > 0 {
+		dc := make([]float64, m+1)
+		for i := m - 1; i >= 0; i-- {
+			dc[i] = n.costPerByte[i] + n.relay[i]*dc[i+1]
+		}
+		cpuBacklogMicros := 0.0
+		for i := range n.queues {
+			cpuBacklogMicros += n.queues[i] * dc[i]
+		}
+		lat += cpuBacklogMicros / budget * epochSec
+	}
+	rep.LatencySec = lat
+
+	n.epoch++
+	return rep
+}
+
+func (n *Node) backlogInputEq() float64 {
+	total := n.netQueueI
+	for _, q := range n.queuesIn {
+		total += q
+	}
+	for i := 0; i < len(n.inboxIn)-1; i++ {
+		total += n.inboxIn[i]
+	}
+	return total
+}
+
+// Observation converts an epoch report into the runtime's protocol.
+func (n *Node) Observation(rep EpochReport) runtime.Observation {
+	return runtime.Observation{
+		Stats:           rep.Stats,
+		LoadFactors:     n.Factors(),
+		SpareBudgetFrac: rep.SpareBudgetFrac,
+		RelayObserved:   append([]float64(nil), n.relay...),
+		Boundary:        n.cfg.Boundary,
+	}
+}
+
+// Profile runs the §IV-C profiling model: each operator gets an equal
+// slice of the epoch budget and is measured on however much of its input
+// fits. Low coverage biases the cost estimate downward (the operator's
+// fixed-cost fraction dominates what little was measured) with jitter —
+// reproducing the inaccurate profiles that break "LP only" in Fig. 8.
+func (n *Node) Profile() runtime.Estimates {
+	m := len(n.factors)
+	est := runtime.Estimates{
+		CostPct:   make([]float64, m),
+		Relay:     make([]float64, m),
+		BudgetPct: n.cfg.BudgetFrac * 100,
+		Quality:   make([]float64, m),
+	}
+	slice := n.cfg.BudgetFrac * float64(n.cfg.EpochMicros) / float64(m)
+	epochSec := float64(n.cfg.EpochMicros) / 1e6
+	// Arrivals at full deployment (what the profiler wants to measure):
+	// the full input scaled by upstream relays.
+	arrive := n.cfg.RateMbps * 1e6 / 8 * epochSec
+	for i := 0; i < m; i++ {
+		measurable := arrive
+		if n.costPerByte[i] > 0 {
+			can := slice / n.costPerByte[i]
+			if can < measurable {
+				measurable = can
+			}
+		}
+		quality := 1.0
+		if arrive > 0 {
+			quality = measurable / arrive
+		}
+		est.Quality[i] = quality
+
+		trueCost := n.costPerByte[i] * arrive / float64(n.cfg.EpochMicros) * 100
+		bias := 1.0
+		if quality < 1 && n.cfg.ProfileBias > 0 {
+			// Partial coverage underestimates the per-record cost: cache
+			// warm-up and hash growth costs of the unmeasured tail are
+			// missed. Interpolate toward a 45% underestimate at q→0.
+			bias = 1 - n.cfg.ProfileBias*0.45*(1-quality)
+			bias *= 1 + 0.06*(2*n.rng.Float64()-1)
+		}
+		est.CostPct[i] = trueCost * bias
+
+		relayJitter := 1.0
+		if quality < 1 && n.cfg.ProfileBias > 0 {
+			relayJitter = 1 + 0.10*(1-quality)*(2*n.rng.Float64()-1)
+		}
+		est.Relay[i] = clamp01(n.relay[i] * relayJitter)
+
+		arrive *= n.relay[i] // profiled output feeds the next operator
+	}
+	return est
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

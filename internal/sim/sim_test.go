@@ -1,0 +1,373 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"jarvis/internal/partition"
+	"jarvis/internal/plan"
+	"jarvis/internal/runtime"
+	"jarvis/internal/stream"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/workload"
+)
+
+func s2sNode(t *testing.T, budget float64) *Node {
+	t.Helper()
+	n, err := NewNode(DefaultNodeConfig(plan.S2SProbe(), workload.PingmeshMbps10x, budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNodeValidation(t *testing.T) {
+	if _, err := NewNode(NodeConfig{}); err == nil {
+		t.Fatal("nil query must error")
+	}
+	cfg := DefaultNodeConfig(plan.S2SProbe(), 26.2, 1)
+	cfg.EpochMicros = 0
+	if _, err := NewNode(cfg); err == nil {
+		t.Fatal("zero epoch must error")
+	}
+	q := plan.S2SProbe()
+	q.RefRateMbps = 0
+	if _, err := NewNode(DefaultNodeConfig(q, 26.2, 1)); err == nil {
+		t.Fatal("missing calibration must error")
+	}
+}
+
+func TestNodeAllLocalStable(t *testing.T) {
+	n := s2sNode(t, 1.0)
+	_ = n.SetFactors([]float64{1, 1, 1})
+	var rep EpochReport
+	for i := 0; i < 5; i++ {
+		rep = n.RunEpoch()
+	}
+	if rep.State != stream.StateStable {
+		t.Fatalf("state = %v", rep.State)
+	}
+	// Demand 85% → spare ≈ 15%.
+	if math.Abs(rep.SpareBudgetFrac-0.15) > 0.02 {
+		t.Fatalf("spare = %v", rep.SpareBudgetFrac)
+	}
+	if math.Abs(rep.ThroughputMbps-26.2) > 0.1 {
+		t.Fatalf("throughput = %v", rep.ThroughputMbps)
+	}
+	// Traffic = aggregates only: 26.2 × 0.86 × 0.30 ≈ 6.76.
+	if math.Abs(rep.OutMbps-6.76) > 0.1 {
+		t.Fatalf("out = %v", rep.OutMbps)
+	}
+}
+
+func TestNodeZeroFactorsDrainEverything(t *testing.T) {
+	n := s2sNode(t, 1.0)
+	rep := n.RunEpoch()
+	if math.Abs(rep.DrainMbps-26.2) > 0.01 {
+		t.Fatalf("drain = %v", rep.DrainMbps)
+	}
+	// Idle: spare budget with p<1 everywhere.
+	if rep.State != stream.StateIdle {
+		t.Fatalf("state = %v", rep.State)
+	}
+	// Uplink is 20.48 < 26.2: throughput capped by the network.
+	for i := 0; i < 20; i++ {
+		rep = n.RunEpoch()
+	}
+	if math.Abs(rep.ThroughputMbps-20.48) > 0.5 {
+		t.Fatalf("net-bound throughput = %v", rep.ThroughputMbps)
+	}
+	if rep.LatencySec < 1 {
+		t.Fatalf("latency should grow with net backlog: %v", rep.LatencySec)
+	}
+}
+
+func TestNodeCongestionUnderTightBudget(t *testing.T) {
+	// All-Src semantics: no drain path, backlog accumulates.
+	cfg := DefaultNodeConfig(plan.S2SProbe(), workload.PingmeshMbps10x, 0.3)
+	cfg.DrainBacklog = false
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = n.SetFactors([]float64{1, 1, 1})
+	var rep EpochReport
+	var mean float64
+	const epochs = 30
+	for i := 0; i < epochs; i++ {
+		rep = n.RunEpoch()
+		if i >= 10 {
+			mean += rep.ThroughputMbps
+		}
+	}
+	mean /= epochs - 10
+	if rep.State != stream.StateCongested {
+		t.Fatalf("state = %v", rep.State)
+	}
+	// Sustainable throughput ≈ rate × budget/demand = 26.2×0.3/0.85.
+	want := 26.2 * 0.3 / 0.85
+	if math.Abs(mean-want) > 1.5 {
+		t.Fatalf("throughput = %v, want ≈%v", mean, want)
+	}
+	if rep.LatencySec < 2 {
+		t.Fatalf("latency should blow up under congestion: %v", rep.LatencySec)
+	}
+}
+
+func TestNodeMatchesAnalyticModel(t *testing.T) {
+	// The simulator's steady state must agree with partition.Evaluate.
+	for _, budget := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		for _, st := range partition.Strategies {
+			if st == partition.Jarvis {
+				continue // closed-loop, compared elsewhere
+			}
+			q := plan.S2SProbe()
+			factors, err := partition.Factors(st, q, budget, 26.2, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := partition.Scenario{
+				Query: q, RateMbps: 26.2, BudgetFrac: budget, BandwidthMbps: 20.48,
+			}
+			want, err := partition.Evaluate(sc, factors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultNodeConfig(q, 26.2, budget)
+			cfg.DrainBacklog = false // baselines lack per-op drain relief
+			n, err := NewNode(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = n.SetFactors(factors)
+			var tput float64
+			const warm, meas = 40, 30
+			for i := 0; i < warm; i++ {
+				n.RunEpoch()
+			}
+			for i := 0; i < meas; i++ {
+				tput += n.RunEpoch().ThroughputMbps
+			}
+			tput /= meas
+			if math.Abs(tput-want.ThroughputMbps) > 0.08*26.2 {
+				t.Fatalf("%v @%v: sim %v vs analytic %v", st, budget, tput, want.ThroughputMbps)
+			}
+		}
+	}
+}
+
+func TestProfileAccurateWhenAmple(t *testing.T) {
+	n := s2sNode(t, 1.0)
+	est := n.Profile()
+	// With a full core, W and F profile perfectly.
+	if est.Quality[0] < 0.99 || est.CostPct[0] > 1.5 {
+		t.Fatalf("W estimate: %+v", est)
+	}
+	if math.Abs(est.CostPct[1]-13) > 1.5 {
+		t.Fatalf("F cost estimate = %v", est.CostPct[1])
+	}
+	// G+R needs 71%; a 1/3 slice of 100% covers ~47% of its input →
+	// quality < 1 and a low-biased estimate.
+	if est.Quality[2] > 0.6 {
+		t.Fatalf("G+R quality = %v, want < 0.6", est.Quality[2])
+	}
+	if est.CostPct[2] >= 71 {
+		t.Fatalf("G+R estimate %v should be biased low", est.CostPct[2])
+	}
+	if est.BudgetPct != 100 {
+		t.Fatalf("budget = %v", est.BudgetPct)
+	}
+}
+
+func TestProfileQualityDropsWithBudget(t *testing.T) {
+	hi := s2sNode(t, 1.0).Profile()
+	lo := s2sNode(t, 0.3).Profile()
+	if lo.Quality[2] >= hi.Quality[2] {
+		t.Fatalf("G+R quality should fall with budget: %v vs %v", lo.Quality[2], hi.Quality[2])
+	}
+}
+
+func TestProfileBiasDisabled(t *testing.T) {
+	cfg := DefaultNodeConfig(plan.S2SProbe(), 26.2, 0.5)
+	cfg.ProfileBias = 0
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := n.Profile()
+	if math.Abs(est.CostPct[2]-71) > 0.5 {
+		t.Fatalf("unbiased G+R estimate = %v, want 71", est.CostPct[2])
+	}
+}
+
+func TestClosedLoopConvergesAndAdapts(t *testing.T) {
+	// The Fig. 8(a) scenario: start at 10%, jump to 90% at epoch 3, drop
+	// to 60% at epoch 18.
+	n := s2sNode(t, 0.10)
+	trace, err := Run(n, runtime.Defaults(), 35, []Event{
+		{Epoch: 3, BudgetFrac: Budget(0.90)},
+		{Epoch: 18, BudgetFrac: Budget(0.60)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Converges after the first change within the paper's budget
+	// (≈3 detect + profile + adapt ≤ 7 epochs of instability).
+	c1 := trace.ConvergenceEpochs(3, 3)
+	if c1 < 0 || c1 > 10 {
+		t.Fatalf("first change convergence = %d epochs", c1)
+	}
+	c2 := trace.ConvergenceEpochs(18, 3)
+	if c2 < 0 || c2 > 10 {
+		t.Fatalf("second change convergence = %d epochs", c2)
+	}
+	// After converging at 90%, throughput ≈ full input rate.
+	if tp := trace.MeanThroughput(14, 18); math.Abs(tp-26.2) > 1.5 {
+		t.Fatalf("throughput at 90%% budget = %v", tp)
+	}
+	// Factors respect the reduced budget at the end.
+	last := trace[len(trace)-1]
+	demand := 0.0
+	e := 1.0
+	costs := []float64{1, 13, 71}
+	for i, p := range last.Factors {
+		e *= p
+		demand += e * costs[i]
+	}
+	if demand > 66 {
+		t.Fatalf("final demand %v exceeds 60%% budget band", demand)
+	}
+}
+
+func TestClosedLoopJarvisBeatsLPOnlyOnT2T(t *testing.T) {
+	// Fig. 8(b): with the join table at 500, profiling the expensive J on
+	// a slice of the budget is inaccurate; LP-only keeps missing while
+	// full Jarvis stabilizes via fine-tuning.
+	mkNode := func(seed uint64) *Node {
+		ips := make([]uint32, 500)
+		for i := range ips {
+			ips[i] = uint32(i + 1)
+		}
+		q := plan.T2TProbe(telemetry.NewToRTable(ips, 20))
+		cfg := DefaultNodeConfig(q, workload.PingmeshMbps10x, 1.0)
+		cfg.Seed = seed
+		n, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	jarvisOK, lpOnlyOK := 0, 0
+	for seed := uint64(1); seed <= 5; seed++ {
+		tr, err := Run(mkNode(seed), runtime.Defaults(), 40, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.ConvergedAt(0, 3) >= 0 {
+			jarvisOK++
+		}
+		tr, err = Run(mkNode(seed), runtime.LPOnly(), 40, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.ConvergedAt(0, 3) >= 0 {
+			lpOnlyOK++
+		}
+	}
+	if jarvisOK < 4 {
+		t.Fatalf("Jarvis stabilized only %d/5 T2T runs", jarvisOK)
+	}
+	if lpOnlyOK > jarvisOK {
+		t.Fatalf("LP-only (%d/5) should not beat Jarvis (%d/5)", lpOnlyOK, jarvisOK)
+	}
+}
+
+func TestRunFixedBaseline(t *testing.T) {
+	n := s2sNode(t, 0.55)
+	factors, _ := partition.Factors(partition.BestOP, plan.S2SProbe(), 0.55, 26.2, 0)
+	tr, err := RunFixed(n, factors, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best-OP at 55% runs W+F; traffic 22.5 Mbps exceeds the 20.48 link.
+	last := tr[len(tr)-1]
+	if math.Abs(last.OutMbps-22.5) > 0.5 {
+		t.Fatalf("Best-OP out = %v", last.OutMbps)
+	}
+	if tp := tr.MeanThroughput(10, 20); tp > 24.5 {
+		t.Fatalf("Best-OP should be network capped: %v", tp)
+	}
+}
+
+func TestEventsApply(t *testing.T) {
+	n := s2sNode(t, 0.5)
+	_, err := RunFixed(n, []float64{1, 1, 1}, 5, []Event{
+		{Epoch: 1, RateMbps: floatPtr(13.1)},
+		{Epoch: 2, ScaleOpCost: map[int]float64{2: 2}},
+		{Epoch: 3, ResetFactors: true, ClearBacklog: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.cfg.RateMbps != 13.1 {
+		t.Fatal("rate event not applied")
+	}
+	for _, p := range n.Factors() {
+		if p != 0 {
+			t.Fatal("reset event not applied")
+		}
+	}
+	if n.backlogInputEq() != 0 {
+		t.Fatal("backlog not cleared")
+	}
+}
+
+func floatPtr(v float64) *float64 { return &v }
+
+func TestTraceHelpers(t *testing.T) {
+	tr := Trace{
+		{Epoch: 0, State: stream.StateIdle, ThroughputMbps: 10, LatencySec: 1},
+		{Epoch: 1, State: stream.StateStable, ThroughputMbps: 20, LatencySec: 2},
+		{Epoch: 2, State: stream.StateStable, ThroughputMbps: 30, LatencySec: 3},
+		{Epoch: 3, State: stream.StateCongested, ThroughputMbps: 0, LatencySec: 9},
+	}
+	if got := tr.ConvergedAt(0, 2); got != 1 {
+		t.Fatalf("ConvergedAt = %d", got)
+	}
+	if got := tr.ConvergenceEpochs(0, 2); got != 1 {
+		t.Fatalf("ConvergenceEpochs = %d", got)
+	}
+	if got := tr.ConvergenceEpochs(3, 2); got != -1 {
+		t.Fatalf("never-stable = %d", got)
+	}
+	if got := tr.MeanThroughput(1, 3); got != 25 {
+		t.Fatalf("MeanThroughput = %v", got)
+	}
+	if got := tr.Latencies(0, 2); len(got) != 2 || got[1] != 2 {
+		t.Fatalf("Latencies = %v", got)
+	}
+	if Trace(nil).MeanThroughput(0, 5) != 0 {
+		t.Fatal("empty trace mean")
+	}
+}
+
+func TestBoundaryEnforcedInSim(t *testing.T) {
+	cfg := DefaultNodeConfig(plan.S2SProbe(), 26.2, 1.0)
+	cfg.Boundary = 2
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = n.SetFactors([]float64{1, 1, 1})
+	if f := n.Factors(); f[2] != 0 {
+		t.Fatalf("boundary not enforced: %v", f)
+	}
+	var rep EpochReport
+	for i := 0; i < 6; i++ { // pipelined stages need a few epochs to fill
+		rep = n.RunEpoch()
+	}
+	// Everything crossing the boundary drains: out ≈ 22.5 (0.86 of 26.2).
+	if math.Abs(rep.OutMbps-22.5) > 0.5 {
+		t.Fatalf("out = %v", rep.OutMbps)
+	}
+}

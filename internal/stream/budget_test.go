@@ -1,0 +1,59 @@
+package stream
+
+import "testing"
+
+func TestTokenBucketBasics(t *testing.T) {
+	b := NewTokenBucket(100)
+	if b.Capacity() != 100 || b.Tokens() != 100 {
+		t.Fatalf("init: %+v", b)
+	}
+	if !b.TryConsume(60) {
+		t.Fatal("consume 60 of 100 should succeed")
+	}
+	if b.TryConsume(50) {
+		t.Fatal("consume 50 of 40 should fail")
+	}
+	if b.Used() != 60 {
+		t.Fatalf("used = %v", b.Used())
+	}
+	if b.SpareFraction() != 0.4 {
+		t.Fatalf("spare = %v", b.SpareFraction())
+	}
+	b.Refill()
+	if b.Tokens() != 100 {
+		t.Fatal("refill failed")
+	}
+}
+
+func TestTokenBucketSetCapacity(t *testing.T) {
+	b := NewTokenBucket(100)
+	b.SetCapacity(50)
+	if b.Tokens() != 50 {
+		t.Fatalf("tokens after shrink = %v", b.Tokens())
+	}
+	b.SetCapacity(200)
+	if b.Tokens() != 50 {
+		t.Fatal("grow must not mint tokens mid-epoch")
+	}
+	b.Refill()
+	if b.Tokens() != 200 {
+		t.Fatal("refill to new capacity")
+	}
+	b.SetCapacity(-5)
+	if b.Capacity() != 0 || b.SpareFraction() != 0 {
+		t.Fatal("negative capacity should clamp to zero")
+	}
+}
+
+func TestTokenBucketEdgeCases(t *testing.T) {
+	b := NewTokenBucket(-10)
+	if b.Capacity() != 0 {
+		t.Fatal("negative capacity clamp")
+	}
+	if b.TryConsume(-1) {
+		t.Fatal("negative cost must fail")
+	}
+	if !b.TryConsume(0) {
+		t.Fatal("zero cost should succeed even on empty bucket")
+	}
+}

@@ -1,0 +1,138 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"jarvis/internal/operator"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/wire"
+)
+
+// Checkpointing (paper §IV-E): a data source periodically snapshots the
+// intermediate state its stateful operators accumulated for the current
+// window, so that after a source failure the stream processor can finish
+// the window from the checkpoint instead of losing the partial
+// aggregates. Snapshots serialize to the same wire format as drained
+// records — a checkpoint is literally "the partial rows that would have
+// been drained", tagged with the operator stage that must absorb them.
+
+// Checkpoint is a snapshot of a pipeline's stateful operator state.
+type Checkpoint struct {
+	// Epoch stamps when the snapshot was taken.
+	Epoch int64
+	// Watermark is the pipeline's low watermark at snapshot time.
+	Watermark int64
+	// Stages maps operator stage → partial aggregate rows.
+	Stages map[int]telemetry.Batch
+}
+
+// Checkpoint captures the pipeline's stateful operator state without
+// disturbing it (state is copied, not drained). The paper notes
+// checkpoint frequency trades network traffic for recovery cost; callers
+// choose when to invoke this.
+func (p *Pipeline) Checkpoint(epoch int64) *Checkpoint {
+	cp := &Checkpoint{
+		Epoch:     epoch,
+		Watermark: p.watermark,
+		Stages:    make(map[int]telemetry.Batch),
+	}
+	for i := 0; i < p.opts.Boundary; i++ {
+		g, ok := p.ops[i].(operator.Checkpointable)
+		if !ok {
+			continue
+		}
+		var rows telemetry.Batch
+		for _, w := range g.OpenWindows() {
+			g.SnapshotWindow(w, func(r telemetry.Record) { rows = append(rows, r) })
+		}
+		if len(rows) > 0 {
+			cp.Stages[i] = rows
+		}
+	}
+	return cp
+}
+
+// Encode serializes the checkpoint with the wire codec (one frame per
+// stage; StreamID carries the stage, Source carries the epoch low bits).
+func (cp *Checkpoint) Encode(w io.Writer) error {
+	fw := wire.NewFrameWriter(w)
+	// Header frame: watermark + epoch via a watermark record.
+	hdr := telemetry.Record{
+		Time:     cp.Watermark,
+		WireSize: 17,
+		Data:     &wire.Watermark{Time: cp.Watermark},
+	}
+	if err := fw.WriteFrame(wire.Frame{
+		StreamID: ^uint32(0),
+		Source:   uint32(cp.Epoch),
+		Records:  telemetry.Batch{hdr},
+	}); err != nil {
+		return err
+	}
+	for stage, rows := range cp.Stages {
+		if err := fw.WriteFrame(wire.Frame{
+			StreamID: uint32(stage),
+			Source:   uint32(cp.Epoch),
+			Records:  rows,
+		}); err != nil {
+			return err
+		}
+	}
+	return fw.Flush()
+}
+
+// DecodeCheckpoint reads a checkpoint previously written by Encode.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	fr := wire.NewFrameReader(r)
+	first, err := fr.ReadFrame()
+	if err != nil {
+		return nil, fmt.Errorf("stream: checkpoint header: %w", err)
+	}
+	if first.StreamID != ^uint32(0) || len(first.Records) != 1 {
+		return nil, fmt.Errorf("stream: malformed checkpoint header")
+	}
+	wm, ok := first.Records[0].Data.(*wire.Watermark)
+	if !ok {
+		return nil, fmt.Errorf("stream: checkpoint header is not a watermark")
+	}
+	cp := &Checkpoint{
+		Epoch:     int64(first.Source),
+		Watermark: wm.Time,
+		Stages:    make(map[int]telemetry.Batch),
+	}
+	for {
+		f, err := fr.ReadFrame()
+		if err == io.EOF {
+			return cp, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		cp.Stages[int(f.StreamID)] = f.Records
+	}
+}
+
+// Bytes serializes the checkpoint to a buffer.
+func (cp *Checkpoint) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := cp.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore folds a checkpoint into an SP engine: each stage's partial
+// rows merge into the replicated operator, exactly like drained partial
+// aggregates would (§V). Use after a source failure to finish its
+// in-flight windows.
+func (e *SPEngine) Restore(source uint32, cp *Checkpoint) error {
+	for stage, rows := range cp.Stages {
+		if err := e.Ingest(stage, rows); err != nil {
+			return fmt.Errorf("stream: restore stage %d: %w", stage, err)
+		}
+	}
+	e.ObserveWatermark(source, cp.Watermark)
+	return nil
+}

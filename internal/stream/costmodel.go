@@ -1,0 +1,81 @@
+package stream
+
+import (
+	"fmt"
+
+	"jarvis/internal/operator"
+	"jarvis/internal/plan"
+	"jarvis/internal/workload"
+)
+
+// CostModel converts the query's calibrated CostPct hints into per-record
+// core-microsecond charges. The hints state "this operator uses X% of one
+// core when processing its full input at the reference rate"; dividing by
+// the records/second arriving at the operator at that rate yields
+// microseconds per record — a rate-independent charge the token bucket
+// applies per record.
+//
+// The simulator uses the same arithmetic, so live-engine runs and
+// simulated runs agree by construction; the live engine exists to prove
+// the mechanism end to end (queues, proxies, drains, merges), not to
+// re-measure the calibration.
+type CostModel struct {
+	// PerRecordMicros[i] is the token charge for one record entering
+	// operator i.
+	PerRecordMicros []float64
+}
+
+// NewCostModel derives per-record charges from a query's cost hints.
+// Operator i's reference arrival rate is the query's reference input
+// rate scaled by the relay products of its upstream operators.
+func NewCostModel(q *plan.Query) (*CostModel, error) {
+	if q.RecordBytes <= 0 || q.RefRateMbps <= 0 {
+		return nil, fmt.Errorf("stream: query %q missing reference-rate calibration", q.Name)
+	}
+	refInput := workload.RecordsPerSec(q.RefRateMbps, q.RecordBytes)
+	cm := &CostModel{PerRecordMicros: make([]float64, len(q.Ops))}
+	w := 1.0
+	for i, op := range q.Ops {
+		refArrivals := refInput * w
+		if refArrivals <= 0 {
+			return nil, fmt.Errorf("stream: operator %d unreachable (zero relay)", i)
+		}
+		cm.PerRecordMicros[i] = op.CostPct / 100 * 1e6 / refArrivals
+		w *= op.RelayBytes
+		if w <= 0 {
+			w = 1e-12
+		}
+	}
+	return cm, nil
+}
+
+// Cost returns the token charge for one record entering operator i.
+func (cm *CostModel) Cost(i int) float64 { return cm.PerRecordMicros[i] }
+
+// ScaleOp multiplies operator i's per-record cost by factor (used when a
+// join's static table grows at runtime, §VI-C).
+func (cm *CostModel) ScaleOp(i int, factor float64) {
+	if factor > 0 {
+		cm.PerRecordMicros[i] *= factor
+	}
+}
+
+// DemandPct estimates the CPU percent of one core the whole pipeline
+// needs to process its full input at rateMbps (the analytic counterpart
+// of plan.TotalCostPct, rate-scaled: halving the input rate halves the
+// demand, as in Fig. 10's 5× and 1× settings).
+func DemandPct(q *plan.Query, rateMbps float64) float64 {
+	if q.RefRateMbps <= 0 {
+		return 0
+	}
+	return plan.TotalCostPct(q) * rateMbps / q.RefRateMbps
+}
+
+// OperatorNames lists the operator names in pipeline order (for reports).
+func OperatorNames(ops []operator.Operator) []string {
+	out := make([]string, len(ops))
+	for i, op := range ops {
+		out[i] = op.Name()
+	}
+	return out
+}

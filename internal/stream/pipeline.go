@@ -1,0 +1,393 @@
+package stream
+
+import (
+	"fmt"
+	"jarvis/internal/operator"
+	"jarvis/internal/plan"
+	"jarvis/internal/telemetry"
+)
+
+// Options configures a data-source pipeline.
+type Options struct {
+	// EpochMicros is the epoch length (paper evaluates with 1 s).
+	EpochMicros int64
+	// BudgetFrac is the CPU budget as a fraction of one core.
+	BudgetFrac float64
+	// DrainedThres tolerates this fraction of an epoch's arrivals as
+	// pending records before a proxy signals congestion (§IV-C).
+	DrainedThres float64
+	// IdleThres tolerates this fraction of spare epoch budget before a
+	// proxy signals idleness (§IV-C).
+	IdleThres float64
+	// MaxQueuePerStage bounds each operator queue; overflow is drained to
+	// the stream processor (lossless bounded backpressure).
+	MaxQueuePerStage int
+	// Boundary caps how many leading operators run locally (from the
+	// plan rules); proxies beyond it drain everything.
+	Boundary int
+}
+
+// DefaultOptions mirrors the paper's evaluation setup: 1 s epochs,
+// DrainedThres 10% and IdleThres 20%.
+func DefaultOptions(budgetFrac float64, boundary int) Options {
+	return Options{
+		EpochMicros:      1_000_000,
+		BudgetFrac:       budgetFrac,
+		DrainedThres:     0.10,
+		IdleThres:        0.20,
+		MaxQueuePerStage: 1 << 18,
+		Boundary:         boundary,
+	}
+}
+
+// EpochResult reports one epoch of pipeline execution.
+type EpochResult struct {
+	// Stats holds per-proxy counters and states, one per local operator.
+	Stats []ProxyStats
+	// Drains[i] holds records drained at proxy i; they must be delivered
+	// to the stream processor's replica of operator i.
+	Drains []telemetry.Batch
+	// Results are records emitted past the last local operator.
+	Results telemetry.Batch
+	// ResultStage is the SP-side operator index Results should enter:
+	// the last local operator's own index when it is stateful (partial
+	// aggregates merge into the replica), one past it otherwise.
+	ResultStage int
+	// Watermark is the event-time low watermark after this epoch: all
+	// records at or before it have been fully processed or drained.
+	Watermark int64
+	// BudgetUsedFrac is the fraction of the epoch budget consumed.
+	BudgetUsedFrac float64
+	// SpareBudgetFrac = 1 − BudgetUsedFrac (0 when the budget is 0).
+	SpareBudgetFrac float64
+	// DrainedBytes and ResultBytes are the epoch's outbound volumes.
+	DrainedBytes int64
+	ResultBytes  int64
+}
+
+// TotalOutBytes is the epoch's total network transfer from the source.
+func (r *EpochResult) TotalOutBytes() int64 { return r.DrainedBytes + r.ResultBytes }
+
+// QueryState classifies the whole pipeline per §IV-C: congested if any
+// proxy is congested, idle if all are idle, stable otherwise.
+func QueryState(stats []ProxyStats) ProxyState {
+	if len(stats) == 0 {
+		return StateStable
+	}
+	allIdle := true
+	for _, s := range stats {
+		if s.State == StateCongested {
+			return StateCongested
+		}
+		if s.State != StateIdle {
+			allIdle = false
+		}
+	}
+	if allIdle {
+		return StateIdle
+	}
+	return StateStable
+}
+
+// Pipeline executes the source-side replica of a query: operators with a
+// control proxy in front of each, a token-bucket CPU budget, bounded
+// queues and drain paths.
+type Pipeline struct {
+	query   *plan.Query
+	ops     []operator.Operator
+	proxies []*Proxy
+	queues  []telemetry.Batch
+	bucket  *TokenBucket
+	cm      *CostModel
+	opts    Options
+
+	maxEventSeen int64
+	watermark    int64
+
+	// epoch scratch, reset by RunEpoch
+	drains  []telemetry.Batch
+	results telemetry.Batch
+}
+
+// NewPipeline compiles a query into a source pipeline. The query should
+// already be optimized (plan.Optimize); control proxies are inserted
+// between all adjacent operators per §IV-B.
+func NewPipeline(q *plan.Query, opts Options) (*Pipeline, error) {
+	ops, err := q.Instantiate()
+	if err != nil {
+		return nil, err
+	}
+	if opts.EpochMicros <= 0 {
+		return nil, fmt.Errorf("stream: non-positive epoch")
+	}
+	if opts.Boundary <= 0 || opts.Boundary > len(ops) {
+		opts.Boundary = len(ops)
+	}
+	cm, err := NewCostModel(q)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		query:   q,
+		ops:     ops,
+		proxies: make([]*Proxy, len(ops)),
+		queues:  make([]telemetry.Batch, len(ops)),
+		bucket:  NewTokenBucket(opts.BudgetFrac * float64(opts.EpochMicros)),
+		cm:      cm,
+		opts:    opts,
+	}
+	for i := range p.proxies {
+		p.proxies[i] = NewProxy(i) // load factors start at zero (Startup)
+	}
+	return p, nil
+}
+
+// Query returns the compiled query.
+func (p *Pipeline) Query() *plan.Query { return p.query }
+
+// Operators exposes the physical operators (read-only use).
+func (p *Pipeline) Operators() []operator.Operator { return p.ops }
+
+// CostModel exposes the pipeline's cost model (experiments rescale join
+// costs through it).
+func (p *Pipeline) CostModel() *CostModel { return p.cm }
+
+// SetBudget changes the CPU budget fraction between epochs.
+func (p *Pipeline) SetBudget(frac float64) {
+	p.opts.BudgetFrac = frac
+	p.bucket.SetCapacity(frac * float64(p.opts.EpochMicros))
+}
+
+// Budget returns the current CPU budget fraction.
+func (p *Pipeline) Budget() float64 { return p.opts.BudgetFrac }
+
+// LoadFactors returns the current per-proxy load factors.
+func (p *Pipeline) LoadFactors() []float64 {
+	out := make([]float64, len(p.proxies))
+	for i, px := range p.proxies {
+		out[i] = px.LoadFactor()
+	}
+	return out
+}
+
+// SetLoadFactors reconfigures all proxies (the runtime's Adapt action).
+// Proxies at or past the boundary are forced to zero.
+func (p *Pipeline) SetLoadFactors(factors []float64) error {
+	if len(factors) != len(p.proxies) {
+		return fmt.Errorf("stream: %d load factors for %d proxies", len(factors), len(p.proxies))
+	}
+	for i, f := range factors {
+		if i >= p.opts.Boundary {
+			f = 0
+		}
+		p.proxies[i].SetLoadFactor(f)
+	}
+	return nil
+}
+
+// Boundary returns the number of leading operators allowed to run
+// locally.
+func (p *Pipeline) Boundary() int { return p.opts.Boundary }
+
+// PendingTotal returns the number of records queued across all stages.
+func (p *Pipeline) PendingTotal() int {
+	n := 0
+	for _, q := range p.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// RunEpoch executes one epoch: drains or processes carried-over pending
+// records first, then the epoch's input batch, then advances the
+// watermark and flushes closed windows. Lossless: every input record is
+// either processed locally, queued, or drained to the SP.
+func (p *Pipeline) RunEpoch(input telemetry.Batch) EpochResult {
+	p.bucket.Refill()
+	p.drains = make([]telemetry.Batch, len(p.ops))
+	p.results = nil
+
+	// Carryover: process pending records queued in earlier epochs (they
+	// were already committed to local processing).
+	for i := range p.queues {
+		pending := p.queues[i]
+		p.queues[i] = nil
+		for k, rec := range pending {
+			if !p.processAt(i, rec) {
+				// Budget exhausted: requeue this record and the rest.
+				p.queues[i] = append(p.queues[i], pending[k:]...)
+				break
+			}
+		}
+	}
+
+	// New arrivals.
+	for _, rec := range input {
+		if rec.Time > p.maxEventSeen {
+			p.maxEventSeen = rec.Time
+		}
+		p.routeAndFeed(0, rec)
+	}
+
+	// Watermark: the smallest event time still unprocessed locally, or
+	// the max seen if no backlog.
+	wm := p.maxEventSeen
+	for _, q := range p.queues {
+		if len(q) > 0 && q[0].Time-1 < wm {
+			wm = q[0].Time - 1
+		}
+	}
+	if wm > p.watermark {
+		p.watermark = wm
+	}
+
+	// Flush closed windows in stateful operators (within the boundary).
+	for i := 0; i < p.opts.Boundary; i++ {
+		if !p.ops[i].Stateful() {
+			continue
+		}
+		i := i
+		p.ops[i].Flush(p.watermark, func(out telemetry.Record) {
+			p.emitDownstream(i, out)
+		})
+	}
+
+	res := EpochResult{
+		Stats:       make([]ProxyStats, len(p.proxies)),
+		Drains:      p.drains,
+		Results:     p.results,
+		ResultStage: p.resultStage(),
+		Watermark:   p.watermark,
+	}
+	if capacity := p.bucket.Capacity(); capacity > 0 {
+		res.BudgetUsedFrac = p.bucket.Used() / capacity
+		res.SpareBudgetFrac = p.bucket.SpareFraction()
+	}
+	spare := res.SpareBudgetFrac
+	for i, px := range p.proxies {
+		res.Stats[i] = px.EndEpoch(len(p.queues[i]), spare, p.opts.DrainedThres, p.opts.IdleThres)
+	}
+	for _, d := range p.drains {
+		res.DrainedBytes += d.TotalBytes()
+	}
+	res.ResultBytes = p.results.TotalBytes()
+	return res
+}
+
+func (p *Pipeline) resultStage() int {
+	last := p.opts.Boundary - 1
+	if last >= 0 && last < len(p.ops) && p.ops[last].Stateful() {
+		return last
+	}
+	return p.opts.Boundary
+}
+
+// routeAndFeed lets proxy i decide a record's fate and processes it
+// depth-first through the local chain when forwarded.
+func (p *Pipeline) routeAndFeed(i int, rec telemetry.Record) {
+	if i >= p.opts.Boundary || i >= len(p.ops) {
+		// Past the local boundary: everything continues on the SP.
+		p.emitPast(i, rec)
+		return
+	}
+	// Bounded queue: overflow is drained losslessly.
+	if len(p.queues[i]) >= p.opts.MaxQueuePerStage {
+		p.forceDrain(i, rec)
+		return
+	}
+	if !p.proxies[i].Route(rec) {
+		p.drains[i] = append(p.drains[i], rec)
+		return
+	}
+	if !p.processAt(i, rec) {
+		// Forwarded but out of budget: it waits in the stage queue.
+		p.queues[i] = append(p.queues[i], rec)
+	}
+}
+
+// processAt runs one committed record through operator i, feeding
+// emissions downstream. It reports false when the budget is exhausted
+// (the record is NOT consumed).
+func (p *Pipeline) processAt(i int, rec telemetry.Record) bool {
+	if !p.bucket.TryConsume(p.cm.Cost(i)) {
+		return false
+	}
+	p.proxies[i].NoteProcessed()
+	p.ops[i].Process(rec, func(out telemetry.Record) {
+		p.emitDownstream(i, out)
+	})
+	return true
+}
+
+// emitDownstream forwards operator i's output to stage i+1 (or results).
+func (p *Pipeline) emitDownstream(i int, rec telemetry.Record) {
+	if i+1 >= p.opts.Boundary {
+		p.results = append(p.results, rec)
+		return
+	}
+	p.routeAndFeed(i+1, rec)
+}
+
+// emitPast handles a record that crossed the boundary without local
+// processing: it drains at the boundary proxy position.
+func (p *Pipeline) emitPast(i int, rec telemetry.Record) {
+	stage := i
+	if stage >= len(p.ops) {
+		p.results = append(p.results, rec)
+		return
+	}
+	p.drains[stage] = append(p.drains[stage], rec)
+}
+
+// forceDrain drains a record that could not be queued, keeping the proxy
+// accounting consistent (counted as arrived and drained).
+func (p *Pipeline) forceDrain(i int, rec telemetry.Record) {
+	px := p.proxies[i]
+	px.stats.In++
+	px.stats.Drained++
+	px.stats.DrainedBytes += int64(rec.WireSize)
+	p.drains[i] = append(p.drains[i], rec)
+}
+
+// DrainState asks every stateful local operator to hand its partial state
+// downstream immediately (checkpoint support, §IV-E). The emitted rows
+// are returned tagged with the operator index they must merge into on the
+// SP.
+func (p *Pipeline) DrainState() map[int]telemetry.Batch {
+	out := make(map[int]telemetry.Batch)
+	for i := 0; i < p.opts.Boundary; i++ {
+		d, ok := p.ops[i].(operator.StatefulDrainer)
+		if !ok {
+			continue
+		}
+		var rows telemetry.Batch
+		d.Drain(func(r telemetry.Record) { rows = append(rows, r) })
+		if len(rows) > 0 {
+			out[i] = rows
+		}
+	}
+	return out
+}
+
+// Watermark returns the pipeline's current low watermark.
+func (p *Pipeline) Watermark() int64 { return p.watermark }
+
+// ObserveTime advances event-time progress without records (an idle
+// source's heartbeat), so windows can close during quiet periods.
+func (p *Pipeline) ObserveTime(t int64) {
+	if t > p.maxEventSeen {
+		p.maxEventSeen = t
+	}
+}
+
+// DemandFraction estimates the fraction of one core the pipeline needs to
+// process everything locally at recPerSec input (diagnostics).
+func (p *Pipeline) DemandFraction(recPerSec float64) float64 {
+	w := 1.0
+	demand := 0.0
+	for i, op := range p.query.Ops {
+		demand += recPerSec * w * p.cm.Cost(i)
+		w *= op.RelayBytes
+	}
+	return demand / 1e6
+}

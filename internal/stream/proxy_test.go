@@ -1,0 +1,129 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"jarvis/internal/telemetry"
+)
+
+func TestProxyRouteFractionExact(t *testing.T) {
+	f := func(pct uint8) bool {
+		p := float64(pct%101) / 100
+		px := NewProxy(0)
+		px.SetLoadFactor(p)
+		const n = 1000
+		fwd := 0
+		for i := 0; i < n; i++ {
+			if px.Route(telemetry.Record{WireSize: 86}) {
+				fwd++
+			}
+		}
+		// Error diffusion keeps the realized fraction within 1 record.
+		return math.Abs(float64(fwd)-p*n) <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProxyStatsAndBytes(t *testing.T) {
+	px := NewProxy(3)
+	if px.Stage() != 3 {
+		t.Fatal("stage")
+	}
+	px.SetLoadFactor(0.5)
+	for i := 0; i < 10; i++ {
+		px.Route(telemetry.Record{WireSize: 100})
+	}
+	s := px.EndEpoch(0, 0, 0.1, 0.2)
+	if s.In != 10 || s.Forwarded != 5 || s.Drained != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.DrainedBytes != 500 {
+		t.Fatalf("drained bytes = %d", s.DrainedBytes)
+	}
+	// Counters reset after EndEpoch.
+	s2 := px.EndEpoch(0, 0, 0.1, 0.2)
+	if s2.In != 0 {
+		t.Fatal("EndEpoch must reset counters")
+	}
+}
+
+func TestProxyClamping(t *testing.T) {
+	px := NewProxy(0)
+	px.SetLoadFactor(2)
+	if px.LoadFactor() != 1 {
+		t.Fatal("clamp high")
+	}
+	px.SetLoadFactor(-1)
+	if px.LoadFactor() != 0 {
+		t.Fatal("clamp low")
+	}
+}
+
+func TestProxyStateClassification(t *testing.T) {
+	mk := func(p float64, n int) *Proxy {
+		px := NewProxy(0)
+		px.SetLoadFactor(p)
+		for i := 0; i < n; i++ {
+			px.Route(telemetry.Record{WireSize: 1})
+		}
+		return px
+	}
+	// Congested: pending beyond DrainedThres of arrivals.
+	s := mk(1, 100).EndEpoch(20, 0, 0.1, 0.2)
+	if s.State != StateCongested {
+		t.Fatalf("state = %v, want congested", s.State)
+	}
+	// Pending within tolerance: stable.
+	s = mk(1, 100).EndEpoch(5, 0, 0.1, 0.2)
+	if s.State != StateStable {
+		t.Fatalf("state = %v, want stable", s.State)
+	}
+	// Idle: spare budget, empty queue, p < 1.
+	s = mk(0.5, 100).EndEpoch(0, 0.5, 0.1, 0.2)
+	if s.State != StateIdle {
+		t.Fatalf("state = %v, want idle", s.State)
+	}
+	// p == 1 cannot be idle (nothing more to take).
+	s = mk(1, 100).EndEpoch(0, 0.5, 0.1, 0.2)
+	if s.State != StateStable {
+		t.Fatalf("state = %v, want stable at p=1", s.State)
+	}
+	// Spare below IdleThres: stable.
+	s = mk(0.5, 100).EndEpoch(0, 0.1, 0.1, 0.2)
+	if s.State != StateStable {
+		t.Fatalf("state = %v, want stable below IdleThres", s.State)
+	}
+}
+
+func TestProxyStateStrings(t *testing.T) {
+	if StateStable.String() != "stable" || StateIdle.String() != "idle" ||
+		StateCongested.String() != "congested" || ProxyState(9).String() != "unknown" {
+		t.Fatal("state strings")
+	}
+}
+
+func TestQueryStateAggregation(t *testing.T) {
+	if QueryState(nil) != StateStable {
+		t.Fatal("empty stats should be stable")
+	}
+	mk := func(states ...ProxyState) []ProxyStats {
+		out := make([]ProxyStats, len(states))
+		for i, s := range states {
+			out[i].State = s
+		}
+		return out
+	}
+	if QueryState(mk(StateStable, StateCongested, StateIdle)) != StateCongested {
+		t.Fatal("any congested → congested")
+	}
+	if QueryState(mk(StateIdle, StateIdle)) != StateIdle {
+		t.Fatal("all idle → idle")
+	}
+	if QueryState(mk(StateIdle, StateStable)) != StateStable {
+		t.Fatal("mixed idle/stable → stable")
+	}
+}

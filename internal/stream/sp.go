@@ -1,0 +1,165 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"jarvis/internal/operator"
+	"jarvis/internal/plan"
+	"jarvis/internal/telemetry"
+)
+
+// SPEngine is the stream-processor-side replica of a query. It ingests
+// drained records (tagged with the operator they must enter) and partial
+// aggregates from many data sources, merges event-time progress across
+// their streams (minimum watermark, as Flink does — paper §V), and emits
+// final query results.
+//
+// Stream processors are provisioned with dedicated cores (the paper's
+// m5a.16xlarge); the engine therefore executes everything it ingests and
+// reports consumed CPU rather than capping it.
+type SPEngine struct {
+	query *plan.Query
+	ops   []operator.Operator
+	cm    *CostModel
+
+	// watermarks per source node; the effective watermark is their min.
+	sourceWM map[uint32]int64
+
+	results telemetry.Batch
+
+	// accounting
+	cpuMicros    float64
+	ingestBytes  int64
+	ingestCount  int64
+	resultsCount int64
+}
+
+// NewSPEngine builds the SP replica for a query.
+func NewSPEngine(q *plan.Query) (*SPEngine, error) {
+	ops, err := q.Instantiate()
+	if err != nil {
+		return nil, err
+	}
+	cm, err := NewCostModel(q)
+	if err != nil {
+		return nil, err
+	}
+	return &SPEngine{
+		query:    q,
+		ops:      ops,
+		cm:       cm,
+		sourceWM: make(map[uint32]int64),
+	}, nil
+}
+
+// Ingest feeds a batch from a source into the pipeline at the given
+// operator stage. Partial AggRow records entering a stateful stage merge
+// into its state; raw records flow through the remaining operators.
+func (e *SPEngine) Ingest(stage int, batch telemetry.Batch) error {
+	if stage < 0 || stage > len(e.ops) {
+		return fmt.Errorf("stream: ingest stage %d out of range [0,%d]", stage, len(e.ops))
+	}
+	for _, rec := range batch {
+		e.ingestBytes += int64(rec.WireSize)
+		e.ingestCount++
+		e.feed(stage, rec)
+	}
+	return nil
+}
+
+func (e *SPEngine) feed(stage int, rec telemetry.Record) {
+	if stage >= len(e.ops) {
+		e.results = append(e.results, rec)
+		e.resultsCount++
+		return
+	}
+	e.cpuMicros += e.cm.Cost(stage)
+	e.ops[stage].Process(rec, func(out telemetry.Record) {
+		e.feed(stage+1, out)
+	})
+}
+
+// RegisterSource announces a source before its first watermark so the
+// effective watermark (a minimum across sources) does not run ahead while
+// the source is quiet. Registration is idempotent and never regresses an
+// observed watermark.
+func (e *SPEngine) RegisterSource(source uint32) {
+	if _, ok := e.sourceWM[source]; !ok {
+		e.sourceWM[source] = 0
+	}
+}
+
+// ObserveWatermark records event-time progress for one source stream.
+// Control proxies replicate watermarks onto drain paths, so every
+// source's drain and result streams share the source's watermark.
+func (e *SPEngine) ObserveWatermark(source uint32, wm int64) {
+	if cur, ok := e.sourceWM[source]; !ok || wm > cur {
+		e.sourceWM[source] = wm
+	}
+}
+
+// EffectiveWatermark returns the minimum watermark across all known
+// sources (0 when none are registered).
+func (e *SPEngine) EffectiveWatermark() int64 {
+	first := true
+	var min int64
+	for _, wm := range e.sourceWM {
+		if first || wm < min {
+			min = wm
+			first = false
+		}
+	}
+	return min
+}
+
+// Advance flushes stateful operators up to the effective watermark,
+// cascading through downstream operators, and returns the final records
+// emitted by the query since the last call.
+func (e *SPEngine) Advance() telemetry.Batch {
+	wm := e.EffectiveWatermark()
+	for i, op := range e.ops {
+		if !op.Stateful() {
+			continue
+		}
+		i := i
+		op.Flush(wm, func(out telemetry.Record) {
+			e.feed(i+1, out)
+		})
+	}
+	out := e.results
+	e.results = nil
+	return out
+}
+
+// CPUMicros returns the total compute consumed by the SP replica.
+func (e *SPEngine) CPUMicros() float64 { return e.cpuMicros }
+
+// IngressBytes returns the total bytes ingested from sources.
+func (e *SPEngine) IngressBytes() int64 { return e.ingestBytes }
+
+// IngressRecords returns the number of records ingested.
+func (e *SPEngine) IngressRecords() int64 { return e.ingestCount }
+
+// Sources lists the registered source ids, ascending.
+func (e *SPEngine) Sources() []uint32 {
+	out := make([]uint32, 0, len(e.sourceWM))
+	for s := range e.sourceWM {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reset clears all operator state and accounting (between experiments).
+func (e *SPEngine) Reset() {
+	for _, op := range e.ops {
+		op.Reset()
+	}
+	e.sourceWM = make(map[uint32]int64)
+	e.results = nil
+	e.cpuMicros = 0
+	e.ingestBytes = 0
+	e.ingestCount = 0
+	e.resultsCount = 0
+}

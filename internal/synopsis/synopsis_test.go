@@ -1,0 +1,181 @@
+package synopsis
+
+import (
+	"math"
+	"testing"
+
+	"jarvis/internal/telemetry"
+	"jarvis/internal/workload"
+)
+
+func TestWSPRate(t *testing.T) {
+	gen := workload.NewPingGen(workload.DefaultPingConfig(1))
+	batch := gen.Next(20000)
+	for _, rate := range []float64{0.2, 0.5, 0.8} {
+		w := NewWSP(rate, 42)
+		kept := len(w.Sample(batch))
+		got := float64(kept) / float64(len(batch))
+		if math.Abs(got-rate) > 0.02 {
+			t.Fatalf("rate %v realized %v", rate, got)
+		}
+		if w.Rate() != rate {
+			t.Fatal("rate accessor")
+		}
+	}
+}
+
+func TestWSPClamp(t *testing.T) {
+	if NewWSP(-1, 1).Rate() != 0 || NewWSP(2, 1).Rate() != 1 {
+		t.Fatal("rate clamping")
+	}
+	all := NewWSP(1, 1)
+	batch := telemetry.Batch{{Time: 1}, {Time: 2}}
+	if len(all.Sample(batch)) != 2 {
+		t.Fatal("rate 1 must keep everything")
+	}
+	none := NewWSP(0, 1)
+	if len(none.Sample(batch)) != 0 {
+		t.Fatal("rate 0 must keep nothing")
+	}
+}
+
+func TestWSPPreservesMeanApproximately(t *testing.T) {
+	gen := workload.NewPingGen(workload.DefaultPingConfig(3))
+	batch := gen.Next(50000)
+	mean := func(b telemetry.Batch) float64 {
+		var sum float64
+		for _, r := range b {
+			sum += float64(r.Data.(*telemetry.PingProbe).RTTMicros)
+		}
+		return sum / float64(len(b))
+	}
+	full := mean(batch)
+	sampled := mean(NewWSP(0.5, 7).Sample(batch))
+	if math.Abs(sampled-full)/full > 0.1 {
+		t.Fatalf("sampled mean %v deviates from %v", sampled, full)
+	}
+}
+
+func TestWSPMissesSparseAnomalies(t *testing.T) {
+	// The §VI-D effect: sparse high-latency pairs disappear at low
+	// sampling rates, so alerts are missed.
+	cfg := workload.DefaultPingConfig(5)
+	cfg.Peers = 2000
+	cfg.AnomalousPairFrac = 0.01
+	gen := workload.NewPingGen(cfg)
+	batch := gen.Next(2 * cfg.Peers) // two probes per pair
+
+	alertPairs := func(b telemetry.Batch) map[uint64]bool {
+		out := map[uint64]bool{}
+		for _, r := range b {
+			p := r.Data.(*telemetry.PingProbe)
+			if p.RTTMicros > workload.AlertThresholdMicros {
+				out[p.PairKey()] = true
+			}
+		}
+		return out
+	}
+	full := alertPairs(batch)
+	if len(full) == 0 {
+		t.Fatal("no ground-truth alerts generated")
+	}
+	low := alertPairs(NewWSP(0.2, 9).Sample(batch))
+	missed := 0
+	for k := range full {
+		if !low[k] {
+			missed++
+		}
+	}
+	missRate := float64(missed) / float64(len(full))
+	if missRate < 0.3 {
+		t.Fatalf("0.2 sampling missed only %v of alerts; expected many (2 probes/pair)", missRate)
+	}
+}
+
+func TestReservoirFillsAndBounds(t *testing.T) {
+	r := NewReservoir(10, 3)
+	for i := 0; i < 1000; i++ {
+		r.Add(telemetry.Record{Time: int64(i)})
+	}
+	if len(r.Items()) != 10 {
+		t.Fatalf("reservoir size = %d", len(r.Items()))
+	}
+	if r.Seen() != 1000 {
+		t.Fatalf("seen = %d", r.Seen())
+	}
+	if NewReservoir(0, 1).k != 1 {
+		t.Fatal("k clamp")
+	}
+}
+
+func TestReservoirApproxUniform(t *testing.T) {
+	// Each element should appear with probability k/n; check first- vs
+	// second-half balance across many trials.
+	const k, n, trials = 5, 100, 400
+	firstHalf := 0
+	for seed := uint64(0); seed < trials; seed++ {
+		r := NewReservoir(k, seed)
+		for i := 0; i < n; i++ {
+			r.Add(telemetry.Record{Time: int64(i)})
+		}
+		for _, rec := range r.Items() {
+			if rec.Time < n/2 {
+				firstHalf++
+			}
+		}
+	}
+	frac := float64(firstHalf) / float64(trials*k)
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("first-half fraction = %v, want ≈0.5", frac)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(0, 100, 20)
+	for i := 0; i < 10000; i++ {
+		h.Observe(float64(i % 100))
+	}
+	if h.Count() != 10000 {
+		t.Fatal("count")
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		got := h.ApproxQuantile(q)
+		want := q * 100
+		if math.Abs(got-want) > 5 { // within one bucket
+			t.Fatalf("q%.1f = %v, want ≈%v", q, got, want)
+		}
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Observe(-5) // underflow
+	h.Observe(15) // overflow
+	h.Observe(5)
+	if got := h.ApproxQuantile(0); got != 0 {
+		t.Fatalf("underflow quantile = %v", got)
+	}
+	if got := h.ApproxQuantile(1); got != 10 {
+		t.Fatalf("overflow quantile = %v", got)
+	}
+	if !math.IsNaN(NewHistogram(0, 10, 5).ApproxQuantile(0.5)) {
+		t.Fatal("empty histogram should be NaN")
+	}
+	// Degenerate constructor inputs.
+	d := NewHistogram(5, 5, 0)
+	d.Observe(5)
+	if d.Count() != 1 {
+		t.Fatal("degenerate histogram must still count")
+	}
+	// Quantile clamping.
+	if h.ApproxQuantile(-1) != 0 || h.ApproxQuantile(2) != 10 {
+		t.Fatal("quantile clamping")
+	}
+}
+
+func TestTransferBytes(t *testing.T) {
+	batch := telemetry.Batch{{WireSize: 100}, {WireSize: 100}}
+	if got := TransferBytes(batch, 0.25); got != 50 {
+		t.Fatalf("transfer = %d", got)
+	}
+}

@@ -1,0 +1,115 @@
+package telemetry
+
+import "strconv"
+
+// GroupKey identifies one group within a GroupApply operator. Keys are
+// produced by key-extractor functions supplied with the query; they must
+// be cheap to compute and comparable.
+type GroupKey struct {
+	// Num is used by numeric keys (e.g. packed (srcIP,dstIP)).
+	Num uint64
+	// Str is used by string keys (e.g. "tenant|stat|bucket"). Empty for
+	// purely numeric keys.
+	Str string
+}
+
+// NumKey builds a numeric group key.
+func NumKey(n uint64) GroupKey { return GroupKey{Num: n} }
+
+// StrKey builds a string group key.
+func StrKey(s string) GroupKey { return GroupKey{Str: s} }
+
+// String renders the key for output rows.
+func (k GroupKey) String() string {
+	if k.Str != "" {
+		return k.Str
+	}
+	return strconv.FormatUint(k.Num, 16)
+}
+
+// AggRow is the output of a GroupApply+Aggregate operator for one group in
+// one window. It is *mergeable*: partial rows computed on a data source can
+// be merged with partial rows computed on the stream processor, which is
+// what makes data-level partitioning of stateful operators lossless
+// (paper §V, "stateful operators relay output to the corresponding operator
+// on stream processor, for merging the accumulated state").
+type AggRow struct {
+	Key    GroupKey
+	Window int64
+	Count  int64
+	Sum    float64
+	Min    float64
+	Max    float64
+}
+
+// NewAggRow starts a row from a single observation.
+func NewAggRow(key GroupKey, window int64, v float64) AggRow {
+	return AggRow{Key: key, Window: window, Count: 1, Sum: v, Min: v, Max: v}
+}
+
+// Observe folds one more observation into the row.
+func (a *AggRow) Observe(v float64) {
+	if a.Count == 0 {
+		a.Min, a.Max = v, v
+	} else {
+		if v < a.Min {
+			a.Min = v
+		}
+		if v > a.Max {
+			a.Max = v
+		}
+	}
+	a.Count++
+	a.Sum += v
+}
+
+// Merge folds another partial row for the same (key, window) into the row.
+// Merging is commutative and associative, the invariant exercised by the
+// property tests.
+func (a *AggRow) Merge(b AggRow) {
+	if b.Count == 0 {
+		return
+	}
+	if a.Count == 0 {
+		*a = b
+		return
+	}
+	if b.Min < a.Min {
+		a.Min = b.Min
+	}
+	if b.Max > a.Max {
+		a.Max = b.Max
+	}
+	a.Count += b.Count
+	a.Sum += b.Sum
+}
+
+// Avg returns the running average (0 for an empty row).
+func (a *AggRow) Avg() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// AggRowWireSize is the accounting size of one emitted aggregate row:
+// key (8 B or string), window id, count, sum, min, max plus envelope.
+func (a *AggRow) AggRowWireSize() int {
+	keyLen := 8
+	if a.Key.Str != "" {
+		keyLen = len(a.Key.Str)
+	}
+	return keyLen + 8 + 8 + 8 + 8 + 8 + 16
+}
+
+// NewAggRecord wraps an aggregate row in a stream Record, stamped with the
+// window-end event time.
+func NewAggRecord(row AggRow, windowEndMicros int64) Record {
+	r := row
+	return Record{
+		Time:     windowEndMicros,
+		WireSize: r.AggRowWireSize(),
+		Window:   row.Window,
+		Data:     &r,
+	}
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggRowObserve(t *testing.T) {
+	a := NewAggRow(NumKey(1), 5, 10)
+	a.Observe(20)
+	a.Observe(5)
+	if a.Count != 3 || a.Sum != 35 || a.Min != 5 || a.Max != 20 {
+		t.Fatalf("row = %+v", a)
+	}
+	if got := a.Avg(); math.Abs(got-35.0/3) > 1e-12 {
+		t.Fatalf("Avg = %v", got)
+	}
+}
+
+func TestAggRowObserveFromEmpty(t *testing.T) {
+	var a AggRow
+	a.Observe(3)
+	if a.Count != 1 || a.Min != 3 || a.Max != 3 {
+		t.Fatalf("row = %+v", a)
+	}
+	if (&AggRow{}).Avg() != 0 {
+		t.Fatal("empty Avg should be 0")
+	}
+}
+
+func TestAggRowMergeIdentity(t *testing.T) {
+	a := NewAggRow(NumKey(1), 0, 7)
+	b := a
+	a.Merge(AggRow{}) // empty right identity
+	if a != b {
+		t.Fatalf("merge with empty changed row: %+v", a)
+	}
+	var c AggRow
+	c.Merge(b) // empty left identity
+	if c != b {
+		t.Fatalf("empty.Merge(x) != x: %+v", c)
+	}
+}
+
+// Property: merging partial aggregates in any split equals aggregating the
+// whole stream at once. This is the invariant that makes Jarvis' data-level
+// partitioning of G+R lossless.
+func TestAggRowMergeEqualsDirect(t *testing.T) {
+	f := func(seed int64, n uint8, split uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, int(n)+1)
+		for i := range vals {
+			vals[i] = rng.Float64() * 100
+		}
+		k := int(split) % len(vals)
+
+		var direct AggRow
+		for _, v := range vals {
+			direct.Observe(v)
+		}
+		var left, right AggRow
+		for _, v := range vals[:k] {
+			left.Observe(v)
+		}
+		for _, v := range vals[k:] {
+			right.Observe(v)
+		}
+		left.Merge(right)
+		return left.Count == direct.Count &&
+			math.Abs(left.Sum-direct.Sum) < 1e-9 &&
+			left.Min == direct.Min && left.Max == direct.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Merge is commutative.
+func TestAggRowMergeCommutative(t *testing.T) {
+	f := func(a1, a2, b1, b2 float64) bool {
+		if anyNaN(a1, a2, b1, b2) {
+			return true
+		}
+		for _, v := range []float64{a1, a2, b1, b2} {
+			if math.Abs(v) > 1e300 { // avoid overflow-to-Inf artifacts
+				return true
+			}
+		}
+		var x, y AggRow
+		x.Observe(a1)
+		x.Observe(a2)
+		y.Observe(b1)
+		y.Observe(b2)
+		xy, yx := x, y
+		xy.Merge(y)
+		yx.Merge(x)
+		return xy.Count == yx.Count &&
+			math.Abs(xy.Sum-yx.Sum) < 1e-9 &&
+			xy.Min == yx.Min && xy.Max == yx.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func anyNaN(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGroupKeyString(t *testing.T) {
+	if got := NumKey(255).String(); got != "ff" {
+		t.Fatalf("NumKey string = %q", got)
+	}
+	if got := StrKey("a|b").String(); got != "a|b" {
+		t.Fatalf("StrKey string = %q", got)
+	}
+}
+
+func TestNewAggRecord(t *testing.T) {
+	row := NewAggRow(NumKey(9), 3, 1.5)
+	rec := NewAggRecord(row, 12345)
+	if rec.Time != 12345 || rec.Window != 3 {
+		t.Fatalf("rec = %+v", rec)
+	}
+	got := rec.Data.(*AggRow)
+	if got.Key != NumKey(9) || got.Count != 1 {
+		t.Fatalf("payload = %+v", got)
+	}
+	if rec.WireSize != got.AggRowWireSize() {
+		t.Fatalf("WireSize = %d", rec.WireSize)
+	}
+	// Mutating the original row must not affect the record payload.
+	row.Observe(2)
+	if got.Count != 1 {
+		t.Fatal("record payload aliases caller's row")
+	}
+}
+
+func TestAggRowWireSizeStringKey(t *testing.T) {
+	r := AggRow{Key: StrKey("tenant|cpu|3")}
+	if got := r.AggRowWireSize(); got != len("tenant|cpu|3")+8+8+8+8+8+16 {
+		t.Fatalf("wire size = %d", got)
+	}
+}

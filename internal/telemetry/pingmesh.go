@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Wire sizes taken from the paper (§II-B): a Pingmesh probe record is 86 B
+// on the wire including framing overhead; the listed fields are 32 B and
+// the remainder is envelope/metadata, which we account for as a constant.
+const (
+	// PingProbeWireSize is the on-wire size of one probe record.
+	PingProbeWireSize = 86
+	// ToRProbeWireSize is the size of a probe after the two IP→ToR joins
+	// and projection onto (srcToR, dstToR, rtt): three 4 B fields plus the
+	// same envelope overhead as a probe minus the dropped fields.
+	ToRProbeWireSize = 66
+)
+
+// PingProbe is one Pingmesh latency probe between a pair of servers
+// (paper §II-B: timestamp 8B, src IP 4B, src cluster 4B, dst IP 4B,
+// dst cluster 4B, RTT 4B, error code 4B).
+type PingProbe struct {
+	Timestamp  int64  // probe time, microseconds
+	SrcIP      uint32 // IPv4 as big-endian uint32
+	SrcCluster uint32
+	DstIP      uint32
+	DstCluster uint32
+	RTTMicros  uint32 // round-trip time in microseconds
+	ErrCode    uint32 // 0 = success
+}
+
+// OK reports whether the probe completed without error. The S2SProbe and
+// T2TProbe queries filter on ErrCode == 0.
+func (p *PingProbe) OK() bool { return p.ErrCode == 0 }
+
+// PairKey returns the grouping key for (srcIP, dstIP).
+func (p *PingProbe) PairKey() uint64 {
+	return uint64(p.SrcIP)<<32 | uint64(p.DstIP)
+}
+
+// Addr renders an IPv4 uint32 for debugging output.
+func Addr(ip uint32) string {
+	var b [4]byte
+	b[0] = byte(ip >> 24)
+	b[1] = byte(ip >> 16)
+	b[2] = byte(ip >> 8)
+	b[3] = byte(ip)
+	return netip.AddrFrom4(b).String()
+}
+
+func (p *PingProbe) String() string {
+	return fmt.Sprintf("probe %s->%s rtt=%dus err=%d",
+		Addr(p.SrcIP), Addr(p.DstIP), p.RTTMicros, p.ErrCode)
+}
+
+// NewProbeRecord wraps a probe in a stream Record with the canonical wire
+// size.
+func NewProbeRecord(p *PingProbe) Record {
+	return Record{Time: p.Timestamp, WireSize: PingProbeWireSize, Data: p}
+}
+
+// ToRProbe is the result of joining a PingProbe with the IP→ToR mapping
+// table (T2TProbe query, Listing 2) and projecting onto the fields needed
+// downstream.
+type ToRProbe struct {
+	Timestamp int64
+	SrcToR    uint32
+	DstToR    uint32
+	RTTMicros uint32
+}
+
+// PairKey returns the grouping key for (srcToR, dstToR).
+func (p *ToRProbe) PairKey() uint64 {
+	return uint64(p.SrcToR)<<32 | uint64(p.DstToR)
+}
+
+// ToRTable maps server IPv4 addresses to top-of-rack switch identifiers.
+// It is the static join table of the T2TProbe query; its size drives the
+// join operator's hash-probe cost (paper §VI-C varies it 50 → 500 → 5000).
+type ToRTable struct {
+	m map[uint32]uint32
+}
+
+// NewToRTable builds a table that assigns the given IPs round-robin to
+// torCount switches. Deterministic so experiments are reproducible.
+func NewToRTable(ips []uint32, torCount int) *ToRTable {
+	if torCount < 1 {
+		torCount = 1
+	}
+	t := &ToRTable{m: make(map[uint32]uint32, len(ips))}
+	for i, ip := range ips {
+		t.m[ip] = uint32(i % torCount)
+	}
+	return t
+}
+
+// Lookup returns the ToR id for ip and whether the ip is known.
+func (t *ToRTable) Lookup(ip uint32) (uint32, bool) {
+	tor, ok := t.m[ip]
+	return tor, ok
+}
+
+// Len returns the number of entries (the static table size that scales the
+// join cost).
+func (t *ToRTable) Len() int { return len(t.m) }
+
+// IPs returns all keys in unspecified order (used by generators/tests).
+func (t *ToRTable) IPs() []uint32 {
+	out := make([]uint32, 0, len(t.m))
+	for ip := range t.m {
+		out = append(out, ip)
+	}
+	return out
+}

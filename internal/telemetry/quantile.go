@@ -1,0 +1,115 @@
+package telemetry
+
+import "fmt"
+
+// QuantileRow is a mergeable approximate-quantile sketch for one group in
+// one window: a fixed equi-width histogram over [Lo, Hi) with overflow
+// and underflow cells. Merging is bucket-wise addition, making the
+// aggregation incrementally updatable (rule R-1's admissible class) and
+// therefore partitionable across a data source and the stream processor.
+type QuantileRow struct {
+	Key    GroupKey
+	Window int64
+	Lo, Hi float64
+	// Counts has len(buckets)+2 cells: [underflow, b0..bN-1, overflow].
+	Counts []int64
+	Total  int64
+}
+
+// NewQuantileRow creates an empty sketch.
+func NewQuantileRow(key GroupKey, window int64, lo, hi float64, buckets int) *QuantileRow {
+	if buckets < 1 {
+		buckets = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &QuantileRow{
+		Key: key, Window: window, Lo: lo, Hi: hi,
+		Counts: make([]int64, buckets+2),
+	}
+}
+
+// Buckets returns the number of interior cells.
+func (q *QuantileRow) Buckets() int { return len(q.Counts) - 2 }
+
+// Observe adds one value.
+func (q *QuantileRow) Observe(v float64) {
+	q.Total++
+	n := q.Buckets()
+	switch {
+	case v < q.Lo:
+		q.Counts[0]++
+	case v >= q.Hi:
+		q.Counts[n+1]++
+	default:
+		idx := int((v - q.Lo) / (q.Hi - q.Lo) * float64(n))
+		if idx >= n {
+			idx = n - 1
+		}
+		q.Counts[idx+1]++
+	}
+}
+
+// Merge folds another sketch with the same shape into this one.
+func (q *QuantileRow) Merge(other *QuantileRow) error {
+	if other.Lo != q.Lo || other.Hi != q.Hi || len(other.Counts) != len(q.Counts) {
+		return fmt.Errorf("telemetry: incompatible quantile sketches (%v,%v,%d) vs (%v,%v,%d)",
+			q.Lo, q.Hi, len(q.Counts), other.Lo, other.Hi, len(other.Counts))
+	}
+	for i, c := range other.Counts {
+		q.Counts[i] += c
+	}
+	q.Total += other.Total
+	return nil
+}
+
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) by linear interpolation
+// within the containing bucket; error is bounded by one bucket width.
+func (q *QuantileRow) Quantile(p float64) float64 {
+	if q.Total == 0 {
+		return q.Lo
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(q.Total)
+	acc := 0.0
+	n := q.Buckets()
+	width := (q.Hi - q.Lo) / float64(n)
+	for i, c := range q.Counts {
+		next := acc + float64(c)
+		if next >= target && c > 0 {
+			switch i {
+			case 0:
+				return q.Lo
+			case n + 1:
+				return q.Hi
+			default:
+				frac := (target - acc) / float64(c)
+				return q.Lo + (float64(i-1)+frac)*width
+			}
+		}
+		acc = next
+	}
+	return q.Hi
+}
+
+// Clone deep-copies the sketch.
+func (q *QuantileRow) Clone() *QuantileRow {
+	cp := *q
+	cp.Counts = append([]int64(nil), q.Counts...)
+	return &cp
+}
+
+// WireSize is the accounting size of the serialized sketch.
+func (q *QuantileRow) WireSize() int {
+	keyLen := 8
+	if q.Key.Str != "" {
+		keyLen = len(q.Key.Str)
+	}
+	return keyLen + 8 + 8 + 8 + 8 + len(q.Counts)*4 + 16
+}

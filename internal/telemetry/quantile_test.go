@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileRowObserveAndQuantile(t *testing.T) {
+	q := NewQuantileRow(NumKey(1), 2, 0, 1000, 100)
+	for i := 0; i < 1000; i++ {
+		q.Observe(float64(i))
+	}
+	if q.Total != 1000 || q.Buckets() != 100 {
+		t.Fatalf("sketch: total=%d buckets=%d", q.Total, q.Buckets())
+	}
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		got := q.Quantile(p)
+		want := p * 1000
+		if math.Abs(got-want) > 10+1 { // one bucket width
+			t.Fatalf("q%.2f = %v, want ≈%v", p, got, want)
+		}
+	}
+}
+
+// Property: merged sketches answer quantiles exactly like a single sketch
+// over the union, and within one bucket width of the exact quantile.
+func TestQuantileRowMergeProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, split uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := 20 + int(nRaw)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64() * 500
+		}
+		k := int(split) % n
+
+		whole := NewQuantileRow(NumKey(1), 0, 0, 500, 50)
+		left := NewQuantileRow(NumKey(1), 0, 0, 500, 50)
+		right := NewQuantileRow(NumKey(1), 0, 0, 500, 50)
+		for i, v := range vals {
+			whole.Observe(v)
+			if i < k {
+				left.Observe(v)
+			} else {
+				right.Observe(v)
+			}
+		}
+		if err := left.Merge(right); err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		width := 500.0 / 50
+		// Sample spacing dominates the sketch error for small n: allow a
+		// few ranks of slack on top of the bucket-width bound.
+		for _, p := range []float64{0.1, 0.5, 0.9} {
+			if left.Quantile(p) != whole.Quantile(p) {
+				return false
+			}
+			rank := int(p * float64(n-1))
+			lo := sorted[maxInt(0, rank-2)] - 2*width
+			hi := sorted[minInt(n-1, rank+2)] + 2*width
+			if got := whole.Quantile(p); got < lo || got > hi {
+				return false
+			}
+		}
+		return left.Total == whole.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestQuantileRowCloneAndWireSize(t *testing.T) {
+	q := NewQuantileRow(StrKey("t|x"), 1, 0, 10, 4)
+	q.Observe(3)
+	c := q.Clone()
+	c.Observe(7)
+	if q.Total != 1 || c.Total != 2 {
+		t.Fatal("clone must not share state")
+	}
+	if q.WireSize() != len("t|x")+8+8+8+8+6*4+16 {
+		t.Fatalf("wire size = %d", q.WireSize())
+	}
+	numKeyed := NewQuantileRow(NumKey(5), 1, 0, 10, 4)
+	if numKeyed.WireSize() != 8+8+8+8+8+6*4+16 {
+		t.Fatalf("num-keyed wire size = %d", numKeyed.WireSize())
+	}
+}
+
+func TestQuantileRowMergeShapeMismatch(t *testing.T) {
+	a := NewQuantileRow(NumKey(1), 0, 0, 10, 4)
+	for _, b := range []*QuantileRow{
+		NewQuantileRow(NumKey(1), 0, 1, 10, 4), // lo differs
+		NewQuantileRow(NumKey(1), 0, 0, 20, 4), // hi differs
+		NewQuantileRow(NumKey(1), 0, 0, 10, 8), // buckets differ
+	} {
+		if err := a.Merge(b); err == nil {
+			t.Fatal("incompatible merge must error")
+		}
+	}
+}
+
+func TestQuantileRowEmptyAndClamp(t *testing.T) {
+	q := NewQuantileRow(NumKey(1), 0, 5, 15, 2)
+	if q.Quantile(0.5) != 5 {
+		t.Fatal("empty sketch returns Lo")
+	}
+	q.Observe(0)  // underflow
+	q.Observe(99) // overflow
+	if q.Quantile(-0.5) != 5 || q.Quantile(1.5) != 15 {
+		t.Fatal("quantile clamping")
+	}
+	// Degenerate constructor.
+	d := NewQuantileRow(NumKey(1), 0, 7, 7, 0)
+	if d.Buckets() != 1 || d.Hi <= d.Lo {
+		t.Fatalf("degenerate: %+v", d)
+	}
+}
+
+func TestPingProbeString(t *testing.T) {
+	p := &PingProbe{SrcIP: 0x0A000001, DstIP: 0x0A000002, RTTMicros: 99, ErrCode: 1}
+	s := p.String()
+	for _, want := range []string{"10.0.0.1", "10.0.0.2", "rtt=99", "err=1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package telemetry defines the record model flowing through Jarvis
+// pipelines: generic stream records plus the concrete monitoring schemas
+// used by the paper's workloads (Pingmesh network probes and LogAnalytics
+// text logs).
+//
+// A Record carries an event time, an accounting wire size (bytes the record
+// would occupy on the network, used for all traffic accounting in the
+// engine, the simulator and the experiments) and a typed payload.
+package telemetry
+
+import "time"
+
+// Record is the unit of data that flows between operators. Operators
+// transform the payload and adjust WireSize; control proxies route whole
+// records either to the local downstream operator or to the drain path.
+type Record struct {
+	// Time is the event time in microseconds since the Unix epoch.
+	Time int64
+	// WireSize is the serialized size of the record in bytes. All network
+	// transfer accounting uses this field.
+	WireSize int
+	// Window is the identifier of the tumbling window this record was
+	// assigned to by a Window operator; zero means unassigned.
+	Window int64
+	// Data is the typed payload (*PingProbe, *ToRProbe, *LogLine,
+	// *JobStats, *AggRow, ...).
+	Data any
+}
+
+// Micros converts a time.Time to the event-time representation used by
+// Record.Time.
+func Micros(t time.Time) int64 { return t.UnixMicro() }
+
+// TimeOf converts an event time back into a time.Time.
+func TimeOf(micros int64) time.Time { return time.UnixMicro(micros) }
+
+// Batch is a slice of records processed together during one epoch.
+type Batch []Record
+
+// TotalBytes returns the sum of wire sizes across the batch.
+func (b Batch) TotalBytes() int64 {
+	var n int64
+	for i := range b {
+		n += int64(b[i].WireSize)
+	}
+	return n
+}
+
+// MinTime returns the smallest event time in the batch, or 0 for an empty
+// batch.
+func (b Batch) MinTime() int64 {
+	if len(b) == 0 {
+		return 0
+	}
+	min := b[0].Time
+	for i := 1; i < len(b); i++ {
+		if b[i].Time < min {
+			min = b[i].Time
+		}
+	}
+	return min
+}
+
+// MaxTime returns the largest event time in the batch, or 0 for an empty
+// batch.
+func (b Batch) MaxTime() int64 {
+	if len(b) == 0 {
+		return 0
+	}
+	max := b[0].Time
+	for i := 1; i < len(b); i++ {
+		if b[i].Time > max {
+			max = b[i].Time
+		}
+	}
+	return max
+}
+
+// Split partitions the batch into (head, tail) where head contains the
+// first n records. n is clamped to [0, len(b)].
+func (b Batch) Split(n int) (Batch, Batch) {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(b) {
+		n = len(b)
+	}
+	return b[:n], b[n:]
+}
+
+// Clone returns a copy of the batch slice (payload pointers are shared;
+// records themselves are value-copied).
+func (b Batch) Clone() Batch {
+	out := make(Batch, len(b))
+	copy(out, b)
+	return out
+}

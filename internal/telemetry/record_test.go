@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMicrosRoundTrip(t *testing.T) {
+	now := time.Now().Truncate(time.Microsecond)
+	if got := TimeOf(Micros(now)); !got.Equal(now) {
+		t.Fatalf("round trip: got %v want %v", got, now)
+	}
+}
+
+func TestBatchTotalBytes(t *testing.T) {
+	b := Batch{
+		{WireSize: 86},
+		{WireSize: 66},
+		{WireSize: 0},
+	}
+	if got := b.TotalBytes(); got != 152 {
+		t.Fatalf("TotalBytes = %d, want 152", got)
+	}
+	if got := Batch(nil).TotalBytes(); got != 0 {
+		t.Fatalf("empty TotalBytes = %d, want 0", got)
+	}
+}
+
+func TestBatchMinMaxTime(t *testing.T) {
+	b := Batch{{Time: 30}, {Time: 10}, {Time: 20}}
+	if got := b.MinTime(); got != 10 {
+		t.Fatalf("MinTime = %d, want 10", got)
+	}
+	if got := b.MaxTime(); got != 30 {
+		t.Fatalf("MaxTime = %d, want 30", got)
+	}
+	var empty Batch
+	if empty.MinTime() != 0 || empty.MaxTime() != 0 {
+		t.Fatal("empty batch min/max should be 0")
+	}
+}
+
+func TestBatchSplit(t *testing.T) {
+	b := Batch{{Time: 1}, {Time: 2}, {Time: 3}}
+	cases := []struct {
+		n          int
+		lenH, lenT int
+	}{
+		{-1, 0, 3},
+		{0, 0, 3},
+		{2, 2, 1},
+		{3, 3, 0},
+		{99, 3, 0},
+	}
+	for _, c := range cases {
+		h, tl := b.Split(c.n)
+		if len(h) != c.lenH || len(tl) != c.lenT {
+			t.Errorf("Split(%d) = (%d,%d), want (%d,%d)", c.n, len(h), len(tl), c.lenH, c.lenT)
+		}
+	}
+}
+
+func TestBatchSplitPreservesAll(t *testing.T) {
+	f := func(times []int64, n int) bool {
+		b := make(Batch, len(times))
+		for i, ts := range times {
+			b[i] = Record{Time: ts, WireSize: 1}
+		}
+		h, tl := b.Split(n)
+		return len(h)+len(tl) == len(b) && h.TotalBytes()+tl.TotalBytes() == b.TotalBytes()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchClone(t *testing.T) {
+	b := Batch{{Time: 1, WireSize: 5}}
+	c := b.Clone()
+	c[0].Time = 99
+	if b[0].Time != 1 {
+		t.Fatal("Clone must not alias the original slice")
+	}
+}
+
+func TestPingProbeKeyAndOK(t *testing.T) {
+	p := &PingProbe{SrcIP: 0x0A000001, DstIP: 0x0A000002, ErrCode: 0}
+	if !p.OK() {
+		t.Fatal("ErrCode 0 should be OK")
+	}
+	if got := p.PairKey(); got != 0x0A000001_0A000002 {
+		t.Fatalf("PairKey = %x", got)
+	}
+	p.ErrCode = 7
+	if p.OK() {
+		t.Fatal("nonzero ErrCode should not be OK")
+	}
+}
+
+func TestAddrRendering(t *testing.T) {
+	if got := Addr(0x0A010203); got != "10.1.2.3" {
+		t.Fatalf("Addr = %q", got)
+	}
+}
+
+func TestNewProbeRecordWireSize(t *testing.T) {
+	p := &PingProbe{Timestamp: 123}
+	r := NewProbeRecord(p)
+	if r.WireSize != PingProbeWireSize {
+		t.Fatalf("WireSize = %d, want %d", r.WireSize, PingProbeWireSize)
+	}
+	if r.Time != 123 {
+		t.Fatalf("Time = %d, want 123", r.Time)
+	}
+}
+
+func TestToRTable(t *testing.T) {
+	ips := []uint32{1, 2, 3, 4, 5}
+	tab := NewToRTable(ips, 2)
+	if tab.Len() != 5 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	tor, ok := tab.Lookup(3)
+	if !ok || tor != 0 {
+		t.Fatalf("Lookup(3) = %d,%v want 0,true", tor, ok)
+	}
+	if _, ok := tab.Lookup(99); ok {
+		t.Fatal("Lookup(99) should miss")
+	}
+	if got := len(tab.IPs()); got != 5 {
+		t.Fatalf("IPs len = %d", got)
+	}
+	// torCount < 1 is clamped.
+	tab2 := NewToRTable(ips, 0)
+	for _, ip := range ips {
+		if tor, _ := tab2.Lookup(ip); tor != 0 {
+			t.Fatal("clamped table should map everything to ToR 0")
+		}
+	}
+}
+
+func TestToRProbePairKey(t *testing.T) {
+	p := &ToRProbe{SrcToR: 3, DstToR: 9}
+	if got := p.PairKey(); got != (3<<32)|9 {
+		t.Fatalf("PairKey = %x", got)
+	}
+}

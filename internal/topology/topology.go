@@ -1,0 +1,262 @@
+// Package topology models the monitoring pipeline architecture of
+// Fig. 4: a resource directory of data source and stream processor
+// nodes arranged in a tree, the "core building block" (a parent SP and
+// its child sources), and the query manager that optimizes and deploys a
+// query across a building block.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"jarvis/internal/plan"
+)
+
+// Role classifies a node in the monitoring tree.
+type Role int
+
+// Node roles (Fig. 4(b)).
+const (
+	// RoleSource is a leaf data source node (a monitored server).
+	RoleSource Role = iota
+	// RoleIntermediateSP aggregates a set of sources (level 1..H-1).
+	RoleIntermediateSP
+	// RoleRootSP computes the final query output.
+	RoleRootSP
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleSource:
+		return "source"
+	case RoleIntermediateSP:
+		return "intermediate-sp"
+	case RoleRootSP:
+		return "root-sp"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// NodeInfo describes one node in the resource directory.
+type NodeInfo struct {
+	ID     uint32
+	Role   Role
+	Parent uint32 // 0 for the root
+	// Cores is the node's core count (SPs are provisioned, sources
+	// over-provisioned).
+	Cores int
+	// BudgetFrac is the CPU fraction available to monitoring on a source.
+	BudgetFrac float64
+	// RateMbps is the source's data generation rate.
+	RateMbps float64
+	// Addr is the node's network address (agents/SP transports).
+	Addr string
+}
+
+// Directory is the resource manager's view of the deployment (Fig. 4(a)).
+type Directory struct {
+	nodes map[uint32]NodeInfo
+}
+
+// NewDirectory creates an empty resource directory.
+func NewDirectory() *Directory {
+	return &Directory{nodes: make(map[uint32]NodeInfo)}
+}
+
+// Register adds or updates a node. ID 0 is reserved.
+func (d *Directory) Register(n NodeInfo) error {
+	if n.ID == 0 {
+		return fmt.Errorf("topology: node id 0 is reserved")
+	}
+	d.nodes[n.ID] = n
+	return nil
+}
+
+// Get looks a node up.
+func (d *Directory) Get(id uint32) (NodeInfo, bool) {
+	n, ok := d.nodes[id]
+	return n, ok
+}
+
+// Len returns the number of registered nodes.
+func (d *Directory) Len() int { return len(d.nodes) }
+
+// Children returns the ids of nodes whose parent is id, ascending.
+func (d *Directory) Children(id uint32) []uint32 {
+	var out []uint32
+	for _, n := range d.nodes {
+		if n.Parent == id && n.ID != id {
+			out = append(out, n.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Sources returns all data source nodes, ascending by id.
+func (d *Directory) Sources() []NodeInfo {
+	var out []NodeInfo
+	for _, n := range d.nodes {
+		if n.Role == RoleSource {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Root returns the root SP, if registered.
+func (d *Directory) Root() (NodeInfo, bool) {
+	for _, n := range d.nodes {
+		if n.Role == RoleRootSP {
+			return n, true
+		}
+	}
+	return NodeInfo{}, false
+}
+
+// Validate checks tree invariants: exactly one root, every non-root has a
+// registered parent, sources are leaves, and the parent graph is acyclic.
+func (d *Directory) Validate() error {
+	roots := 0
+	for _, n := range d.nodes {
+		if n.Role == RoleRootSP {
+			roots++
+			if n.Parent != 0 {
+				return fmt.Errorf("topology: root %d has a parent", n.ID)
+			}
+			continue
+		}
+		p, ok := d.nodes[n.Parent]
+		if !ok {
+			return fmt.Errorf("topology: node %d has unknown parent %d", n.ID, n.Parent)
+		}
+		if p.Role == RoleSource {
+			return fmt.Errorf("topology: source %d cannot parent node %d", p.ID, n.ID)
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("topology: %d roots, want exactly 1", roots)
+	}
+	// Acyclicity: walk up from every node.
+	for _, n := range d.nodes {
+		seen := map[uint32]bool{}
+		cur := n
+		for cur.Role != RoleRootSP {
+			if seen[cur.ID] {
+				return fmt.Errorf("topology: cycle through node %d", cur.ID)
+			}
+			seen[cur.ID] = true
+			next, ok := d.nodes[cur.Parent]
+			if !ok {
+				break
+			}
+			cur = next
+		}
+	}
+	return nil
+}
+
+// BuildingBlock is the unit the paper optimizes: one parent SP and its
+// child data sources (§IV-A: "the combination of data source nodes and
+// the common parent node constitutes a core building block").
+type BuildingBlock struct {
+	SP      NodeInfo
+	Sources []NodeInfo
+}
+
+// BuildingBlocks partitions the tree into core building blocks, one per
+// SP that directly parents at least one source.
+func (d *Directory) BuildingBlocks() []BuildingBlock {
+	var out []BuildingBlock
+	for _, n := range d.nodes {
+		if n.Role == RoleSource {
+			continue
+		}
+		var sources []NodeInfo
+		for _, cid := range d.Children(n.ID) {
+			c := d.nodes[cid]
+			if c.Role == RoleSource {
+				sources = append(sources, c)
+			}
+		}
+		if len(sources) > 0 {
+			out = append(out, BuildingBlock{SP: n, Sources: sources})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SP.ID < out[j].SP.ID })
+	return out
+}
+
+// Assignment is one node's share of a deployed query.
+type Assignment struct {
+	Node NodeInfo
+	// Boundary is the number of leading operators the node may run
+	// (sources) or must be able to resume from (SPs run everything).
+	Boundary int
+}
+
+// Deployment is the output of the query manager for one building block.
+type Deployment struct {
+	Query   *plan.Query // optimized
+	SP      Assignment
+	Sources []Assignment
+}
+
+// QueryManager is Fig. 4(a)'s query manager: optimizer plus deployer over
+// the resource directory.
+type QueryManager struct {
+	dir *Directory
+}
+
+// NewQueryManager builds a manager over a validated directory.
+func NewQueryManager(dir *Directory) (*QueryManager, error) {
+	if err := dir.Validate(); err != nil {
+		return nil, err
+	}
+	return &QueryManager{dir: dir}, nil
+}
+
+// Deploy optimizes the query and assigns boundaries for every building
+// block: sources get the rule-constrained prefix (R-1..R-4 with R-4),
+// SPs the full pipeline.
+func (qm *QueryManager) Deploy(q *plan.Query) ([]Deployment, error) {
+	opt, err := plan.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	blocks := qm.dir.BuildingBlocks()
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("topology: no building blocks to deploy on")
+	}
+	srcBoundary := plan.EligiblePrefix(opt, plan.SourceRules())
+	spBoundary := plan.EligiblePrefix(opt, plan.SPRules())
+	var out []Deployment
+	for _, b := range blocks {
+		dep := Deployment{
+			Query: opt,
+			SP:    Assignment{Node: b.SP, Boundary: spBoundary},
+		}
+		for _, s := range b.Sources {
+			dep.Sources = append(dep.Sources, Assignment{Node: s, Boundary: srcBoundary})
+		}
+		out = append(out, dep)
+	}
+	return out, nil
+}
+
+// StarTopology builds the common evaluation layout: one root SP with n
+// sources, each with the given budget and rate.
+func StarTopology(n int, budgetFrac, rateMbps float64) *Directory {
+	d := NewDirectory()
+	_ = d.Register(NodeInfo{ID: 1, Role: RoleRootSP, Cores: 64, Addr: "sp-root"})
+	for i := 0; i < n; i++ {
+		_ = d.Register(NodeInfo{
+			ID: uint32(i + 2), Role: RoleSource, Parent: 1,
+			Cores: 1, BudgetFrac: budgetFrac, RateMbps: rateMbps,
+			Addr: fmt.Sprintf("src-%03d", i),
+		})
+	}
+	return d
+}

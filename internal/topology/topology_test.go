@@ -1,0 +1,192 @@
+package topology
+
+import (
+	"testing"
+
+	"jarvis/internal/plan"
+)
+
+func TestDirectoryBasics(t *testing.T) {
+	d := NewDirectory()
+	if err := d.Register(NodeInfo{ID: 0}); err == nil {
+		t.Fatal("id 0 must be rejected")
+	}
+	if err := d.Register(NodeInfo{ID: 1, Role: RoleRootSP}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(NodeInfo{ID: 2, Role: RoleSource, Parent: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatal("len")
+	}
+	n, ok := d.Get(2)
+	if !ok || n.Parent != 1 {
+		t.Fatalf("get: %+v %v", n, ok)
+	}
+	if _, ok := d.Get(99); ok {
+		t.Fatal("missing node found")
+	}
+	if kids := d.Children(1); len(kids) != 1 || kids[0] != 2 {
+		t.Fatalf("children = %v", kids)
+	}
+	if srcs := d.Sources(); len(srcs) != 1 || srcs[0].ID != 2 {
+		t.Fatalf("sources = %v", srcs)
+	}
+	root, ok := d.Root()
+	if !ok || root.ID != 1 {
+		t.Fatal("root lookup")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	// Valid star.
+	d := StarTopology(3, 0.5, 26.2)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No root.
+	d2 := NewDirectory()
+	_ = d2.Register(NodeInfo{ID: 1, Role: RoleSource, Parent: 1})
+	if err := d2.Validate(); err == nil {
+		t.Fatal("rootless tree must fail")
+	}
+
+	// Two roots.
+	d3 := NewDirectory()
+	_ = d3.Register(NodeInfo{ID: 1, Role: RoleRootSP})
+	_ = d3.Register(NodeInfo{ID: 2, Role: RoleRootSP})
+	if err := d3.Validate(); err == nil {
+		t.Fatal("double root must fail")
+	}
+
+	// Unknown parent.
+	d4 := NewDirectory()
+	_ = d4.Register(NodeInfo{ID: 1, Role: RoleRootSP})
+	_ = d4.Register(NodeInfo{ID: 2, Role: RoleSource, Parent: 77})
+	if err := d4.Validate(); err == nil {
+		t.Fatal("unknown parent must fail")
+	}
+
+	// Source as parent.
+	d5 := NewDirectory()
+	_ = d5.Register(NodeInfo{ID: 1, Role: RoleRootSP})
+	_ = d5.Register(NodeInfo{ID: 2, Role: RoleSource, Parent: 1})
+	_ = d5.Register(NodeInfo{ID: 3, Role: RoleSource, Parent: 2})
+	if err := d5.Validate(); err == nil {
+		t.Fatal("source parent must fail")
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	// Root ← two intermediate SPs ← sources (Fig. 4(b)).
+	d := NewDirectory()
+	_ = d.Register(NodeInfo{ID: 1, Role: RoleRootSP})
+	_ = d.Register(NodeInfo{ID: 2, Role: RoleIntermediateSP, Parent: 1})
+	_ = d.Register(NodeInfo{ID: 3, Role: RoleIntermediateSP, Parent: 1})
+	for i := uint32(0); i < 4; i++ {
+		parent := uint32(2)
+		if i >= 2 {
+			parent = 3
+		}
+		_ = d.Register(NodeInfo{ID: 10 + i, Role: RoleSource, Parent: parent})
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	blocks := d.BuildingBlocks()
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	for _, b := range blocks {
+		if b.SP.Role != RoleIntermediateSP || len(b.Sources) != 2 {
+			t.Fatalf("block = %+v", b)
+		}
+	}
+}
+
+func TestQueryManagerDeploy(t *testing.T) {
+	d := StarTopology(4, 0.6, 26.2)
+	qm, err := NewQueryManager(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps, err := qm.Deploy(plan.S2SProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) != 1 {
+		t.Fatalf("deployments = %d", len(deps))
+	}
+	dep := deps[0]
+	if len(dep.Sources) != 4 {
+		t.Fatalf("sources = %d", len(dep.Sources))
+	}
+	// S2SProbe is fully source-eligible.
+	for _, a := range dep.Sources {
+		if a.Boundary != 3 {
+			t.Fatalf("source boundary = %d", a.Boundary)
+		}
+	}
+	if dep.SP.Boundary != 3 {
+		t.Fatalf("sp boundary = %d", dep.SP.Boundary)
+	}
+}
+
+func TestQueryManagerDeployR4(t *testing.T) {
+	d := StarTopology(1, 0.6, 26.2)
+	qm, _ := NewQueryManager(d)
+	q := plan.S2SProbe()
+	q.Ops[2].Parallelism = 4 // R-4: SP may parallelize, sources may not
+	deps, err := qm.Deploy(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := deps[0].Sources[0].Boundary; got != 2 {
+		t.Fatalf("source boundary = %d, want 2", got)
+	}
+	if got := deps[0].SP.Boundary; got != 3 {
+		t.Fatalf("sp boundary = %d, want 3", got)
+	}
+}
+
+func TestQueryManagerErrors(t *testing.T) {
+	d := NewDirectory()
+	_ = d.Register(NodeInfo{ID: 1, Role: RoleRootSP})
+	qm, err := NewQueryManager(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qm.Deploy(plan.S2SProbe()); err == nil {
+		t.Fatal("no building blocks must fail")
+	}
+	if _, err := qm.Deploy(plan.NewQuery("bad")); err == nil {
+		t.Fatal("invalid query must fail")
+	}
+	bad := NewDirectory()
+	if _, err := NewQueryManager(bad); err == nil {
+		t.Fatal("invalid directory must fail")
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	if RoleSource.String() != "source" || RoleIntermediateSP.String() != "intermediate-sp" ||
+		RoleRootSP.String() != "root-sp" || Role(9).String() != "role(9)" {
+		t.Fatal("role strings")
+	}
+}
+
+func TestStarTopologyShape(t *testing.T) {
+	d := StarTopology(250, 0.05, 2.62)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Sources()) != 250 {
+		t.Fatal("source count")
+	}
+	blocks := d.BuildingBlocks()
+	if len(blocks) != 1 || len(blocks[0].Sources) != 250 {
+		t.Fatal("building block shape")
+	}
+}

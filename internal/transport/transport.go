@@ -1,0 +1,158 @@
+// Package transport carries Jarvis traffic between data source agents
+// and stream processors: length-prefixed frames of records (the Kryo
+// substitute in internal/wire) over any byte stream, usually TCP.
+//
+// Per §V, each drained record must reach the SP-side replica of the
+// operator its control proxy guards, and watermarks are replicated onto
+// the drain paths so the SP can merge event-time progress across all of
+// a source's streams. Frames therefore carry the SP-side stage id; a
+// reserved stream id carries watermarks.
+package transport
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"jarvis/internal/stream"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/wire"
+)
+
+// WatermarkStreamID tags frames that carry event-time progress instead
+// of data records.
+const WatermarkStreamID = ^uint32(0)
+
+// Shipper serializes a source pipeline's epoch output onto a byte
+// stream.
+type Shipper struct {
+	source uint32
+	fw     *wire.FrameWriter
+
+	// accounting
+	bytesOut int64
+	frames   int64
+}
+
+// NewShipper creates a shipper for the given source id writing to w.
+func NewShipper(source uint32, w io.Writer) *Shipper {
+	return &Shipper{source: source, fw: wire.NewFrameWriter(w)}
+}
+
+// ShipEpoch transmits one epoch's drains, results and watermark. It
+// flushes so the SP observes complete epochs.
+func (s *Shipper) ShipEpoch(res stream.EpochResult) error {
+	for stage, batch := range res.Drains {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := s.ship(uint32(stage), batch); err != nil {
+			return err
+		}
+	}
+	if len(res.Results) > 0 {
+		if err := s.ship(uint32(res.ResultStage), res.Results); err != nil {
+			return err
+		}
+	}
+	wmRec := telemetry.Record{Time: res.Watermark, WireSize: 17, Data: &wire.Watermark{Time: res.Watermark}}
+	if err := s.ship(WatermarkStreamID, telemetry.Batch{wmRec}); err != nil {
+		return err
+	}
+	return s.fw.Flush()
+}
+
+func (s *Shipper) ship(streamID uint32, batch telemetry.Batch) error {
+	err := s.fw.WriteFrame(wire.Frame{StreamID: streamID, Source: s.source, Records: batch})
+	if err != nil {
+		return fmt.Errorf("transport: ship stream %d: %w", streamID, err)
+	}
+	s.frames++
+	s.bytesOut += batch.TotalBytes()
+	return nil
+}
+
+// BytesOut returns the payload bytes shipped (wire-size accounting).
+func (s *Shipper) BytesOut() int64 { return s.bytesOut }
+
+// Frames returns the number of frames shipped.
+func (s *Shipper) Frames() int64 { return s.frames }
+
+// Receiver feeds frames from source connections into a shared SP engine.
+// It is safe for concurrent use by one goroutine per connection.
+type Receiver struct {
+	mu     sync.Mutex
+	engine *stream.SPEngine
+
+	bytesIn int64
+	frames  int64
+}
+
+// NewReceiver wraps an SP engine.
+func NewReceiver(engine *stream.SPEngine) *Receiver {
+	return &Receiver{engine: engine}
+}
+
+// HandleStream consumes frames from r until EOF, ingesting records and
+// watermarks. It returns nil on clean EOF.
+func (rc *Receiver) HandleStream(r io.Reader) error {
+	fr := wire.NewFrameReader(r)
+	for {
+		f, err := fr.ReadFrame()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("transport: read frame: %w", err)
+		}
+		if err := rc.consume(f); err != nil {
+			return err
+		}
+	}
+}
+
+func (rc *Receiver) consume(f wire.Frame) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.frames++
+	rc.bytesIn += f.Records.TotalBytes()
+	if f.StreamID == WatermarkStreamID {
+		for _, rec := range f.Records {
+			if wm, ok := rec.Data.(*wire.Watermark); ok {
+				rc.engine.ObserveWatermark(f.Source, wm.Time)
+			}
+		}
+		return nil
+	}
+	return rc.engine.Ingest(int(f.StreamID), f.Records)
+}
+
+// RegisterSource pre-registers a source so watermark merging waits for
+// it (call before the source's first frame).
+func (rc *Receiver) RegisterSource(id uint32) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.engine.RegisterSource(id)
+}
+
+// Advance flushes the engine up to the merged watermark and returns new
+// final results.
+func (rc *Receiver) Advance() telemetry.Batch {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.engine.Advance()
+}
+
+// BytesIn returns payload bytes received.
+func (rc *Receiver) BytesIn() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.bytesIn
+}
+
+// Frames returns the number of frames received.
+func (rc *Receiver) Frames() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.frames
+}

@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"jarvis/internal/plan"
+	"jarvis/internal/stream"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/workload"
+)
+
+// runSourceOverPipe runs a source pipeline for the given epochs, shipping
+// every epoch over an in-memory pipe into an SP receiver, and returns the
+// final rows for window 0.
+func runSourceOverPipe(t *testing.T, factors []float64) map[telemetry.GroupKey]telemetry.AggRow {
+	t.Helper()
+	q := plan.S2SProbe()
+	src, err := stream.NewPipeline(q, stream.DefaultOptions(1.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = src.SetLoadFactors(factors)
+	engine, err := stream.NewSPEngine(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReceiver(engine)
+	rc.RegisterSource(7)
+
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- rc.HandleStream(server) }()
+
+	shipper := NewShipper(7, client)
+	gen := workload.NewPingGen(workload.DefaultPingConfig(21))
+	for e := 0; e < 14; e++ {
+		var batch telemetry.Batch
+		if e < 10 {
+			batch = gen.NextWindow(1_000_000)
+		} else {
+			src.ObserveTime(int64(e+1) * 1_000_000)
+		}
+		res := src.RunEpoch(batch)
+		if err := shipper.ShipEpoch(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = client.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	rows := map[telemetry.GroupKey]telemetry.AggRow{}
+	for _, rec := range rc.Advance() {
+		row := rec.Data.(*telemetry.AggRow)
+		if row.Window != 0 {
+			continue
+		}
+		if prev, ok := rows[row.Key]; ok {
+			prev.Merge(*row)
+			rows[row.Key] = prev
+		} else {
+			rows[row.Key] = *row
+		}
+	}
+	return rows
+}
+
+func TestShipOverPipeEquivalence(t *testing.T) {
+	allSP := runSourceOverPipe(t, []float64{0, 0, 0})
+	split := runSourceOverPipe(t, []float64{1, 1, 0.5})
+	if len(allSP) == 0 {
+		t.Fatal("no rows")
+	}
+	if len(split) != len(allSP) {
+		t.Fatalf("rows: %d vs %d", len(split), len(allSP))
+	}
+	for k, want := range allSP {
+		got, ok := split[k]
+		if !ok || got.Count != want.Count || got.Min != want.Min || got.Max != want.Max {
+			t.Fatalf("group %v: %+v vs %+v", k, got, want)
+		}
+	}
+}
+
+func TestShipperAccounting(t *testing.T) {
+	client, server := net.Pipe()
+	go func() {
+		buf := make([]byte, 1<<16)
+		for {
+			if _, err := server.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	sh := NewShipper(1, client)
+	res := stream.EpochResult{
+		Drains: []telemetry.Batch{
+			{telemetry.NewProbeRecord(&telemetry.PingProbe{Timestamp: 1})},
+		},
+		ResultStage: 1,
+		Watermark:   5,
+	}
+	if err := sh.ShipEpoch(res); err != nil {
+		t.Fatal(err)
+	}
+	if sh.Frames() != 2 { // one drain + one watermark
+		t.Fatalf("frames = %d", sh.Frames())
+	}
+	if sh.BytesOut() != telemetry.PingProbeWireSize+17 { // drain + watermark
+		t.Fatalf("bytes = %d", sh.BytesOut())
+	}
+	_ = client.Close()
+}
+
+func TestReceiverWatermarkRouting(t *testing.T) {
+	engine, err := stream.NewSPEngine(plan.S2SProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReceiver(engine)
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- rc.HandleStream(server) }()
+
+	sh := NewShipper(3, client)
+	rec := telemetry.NewProbeRecord(&telemetry.PingProbe{Timestamp: 1_000_000, SrcIP: 1, DstIP: 2, RTTMicros: 50})
+	res := stream.EpochResult{
+		Drains:      []telemetry.Batch{{rec}},
+		ResultStage: 3,
+		Watermark:   20_000_000,
+	}
+	if err := sh.ShipEpoch(res); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	out := rc.Advance()
+	if len(out) != 1 {
+		t.Fatalf("rows = %d", len(out))
+	}
+	if rc.Frames() != 2 || rc.BytesIn() != telemetry.PingProbeWireSize+17 {
+		t.Fatalf("accounting: frames=%d bytes=%d", rc.Frames(), rc.BytesIn())
+	}
+}
+
+func TestReceiverBadStage(t *testing.T) {
+	engine, _ := stream.NewSPEngine(plan.S2SProbe())
+	rc := NewReceiver(engine)
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- rc.HandleStream(server) }()
+	sh := NewShipper(1, client)
+	rec := telemetry.NewProbeRecord(&telemetry.PingProbe{})
+	res := stream.EpochResult{
+		Drains:      nil,
+		Results:     telemetry.Batch{rec},
+		ResultStage: 99, // invalid stage
+		Watermark:   1,
+	}
+	_ = sh.ShipEpoch(res)
+	_ = client.Close()
+	if err := <-done; err == nil {
+		t.Fatal("invalid stage should propagate an error")
+	}
+}
+
+func TestTCPServerEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	q := plan.S2SProbe()
+	engine, err := stream.NewSPEngine(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReceiver(engine)
+	srv := NewServer(rc)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(ctx, ln)
+	}()
+
+	// Two agents ship concurrently.
+	var agents sync.WaitGroup
+	for id := uint32(1); id <= 2; id++ {
+		rc.RegisterSource(id)
+		agents.Add(1)
+		go func(id uint32) {
+			defer agents.Done()
+			sh, closeFn, err := Dial(id, ln.Addr().String())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer closeFn()
+			src, err := stream.NewPipeline(q, stream.DefaultOptions(1.0, 0))
+			if err != nil {
+				t.Errorf("pipeline: %v", err)
+				return
+			}
+			_ = src.SetLoadFactors([]float64{1, 1, 1})
+			cfg := workload.DefaultPingConfig(uint64(id) * 31)
+			cfg.SrcIP = 0x0A000000 + id
+			gen := workload.NewPingGen(cfg)
+			for e := 0; e < 13; e++ {
+				var batch telemetry.Batch
+				if e < 10 {
+					batch = gen.NextWindow(1_000_000)
+				} else {
+					src.ObserveTime(int64(e+1) * 1_000_000)
+				}
+				if err := sh.ShipEpoch(src.RunEpoch(batch)); err != nil {
+					t.Errorf("ship: %v", err)
+					return
+				}
+			}
+		}(id)
+	}
+	agents.Wait()
+
+	// Wait for the server to drain both connections.
+	deadline := time.Now().Add(5 * time.Second)
+	var rows telemetry.Batch
+	for time.Now().Before(deadline) {
+		rows = append(rows, rc.Advance()...)
+		if len(rows) > 0 && rc.Frames() >= 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no merged results from TCP agents")
+	}
+	_ = srv.Close()
+	cancel()
+	wg.Wait()
+}

@@ -1,0 +1,280 @@
+// Package wire implements the binary serialization used between data
+// source agents and stream processors. The paper uses the Kryo framework;
+// we substitute a compact, dependency-free codec: each record is a type
+// tag byte followed by fixed-width fields (encoding/binary, big endian)
+// and uvarint-prefixed strings.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"jarvis/internal/telemetry"
+)
+
+// Type tags identifying the payload kind on the wire.
+const (
+	TagPingProbe   byte = 0x01
+	TagToRProbe    byte = 0x02
+	TagLogLine     byte = 0x03
+	TagJobStats    byte = 0x04
+	TagAggRow      byte = 0x05
+	TagWatermark   byte = 0x06
+	TagQuantileRow byte = 0x07
+)
+
+// ErrUnknownTag is returned when decoding a record with an unregistered
+// type tag.
+var ErrUnknownTag = errors.New("wire: unknown type tag")
+
+// ErrShortBuffer is returned when a payload is truncated.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// Watermark is a control message announcing event-time progress on a
+// stream. Control proxies replicate watermarks onto the drain path so the
+// stream processor can merge streams correctly (paper §V).
+type Watermark struct {
+	Time int64 // event-time low watermark, microseconds
+}
+
+// EncodeRecord appends the serialized form of rec to dst and returns the
+// extended slice. The record's event time, window id and payload are
+// preserved; WireSize is recomputed from the payload on decode.
+func EncodeRecord(dst []byte, rec telemetry.Record) ([]byte, error) {
+	switch p := rec.Data.(type) {
+	case *telemetry.PingProbe:
+		dst = append(dst, TagPingProbe)
+		dst = appendHeader(dst, rec)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.Timestamp))
+		dst = binary.BigEndian.AppendUint32(dst, p.SrcIP)
+		dst = binary.BigEndian.AppendUint32(dst, p.SrcCluster)
+		dst = binary.BigEndian.AppendUint32(dst, p.DstIP)
+		dst = binary.BigEndian.AppendUint32(dst, p.DstCluster)
+		dst = binary.BigEndian.AppendUint32(dst, p.RTTMicros)
+		dst = binary.BigEndian.AppendUint32(dst, p.ErrCode)
+		return dst, nil
+	case *telemetry.ToRProbe:
+		dst = append(dst, TagToRProbe)
+		dst = appendHeader(dst, rec)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.Timestamp))
+		dst = binary.BigEndian.AppendUint32(dst, p.SrcToR)
+		dst = binary.BigEndian.AppendUint32(dst, p.DstToR)
+		dst = binary.BigEndian.AppendUint32(dst, p.RTTMicros)
+		return dst, nil
+	case *telemetry.LogLine:
+		dst = append(dst, TagLogLine)
+		dst = appendHeader(dst, rec)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.Timestamp))
+		dst = appendString(dst, p.Raw)
+		return dst, nil
+	case *telemetry.JobStats:
+		dst = append(dst, TagJobStats)
+		dst = appendHeader(dst, rec)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.Timestamp))
+		dst = appendString(dst, p.Tenant)
+		dst = appendString(dst, p.StatName)
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(p.Stat))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(p.Bucket)))
+		return dst, nil
+	case *telemetry.AggRow:
+		dst = append(dst, TagAggRow)
+		dst = appendHeader(dst, rec)
+		dst = binary.BigEndian.AppendUint64(dst, p.Key.Num)
+		dst = appendString(dst, p.Key.Str)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.Window))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.Count))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(p.Sum))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(p.Min))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(p.Max))
+		return dst, nil
+	case *telemetry.QuantileRow:
+		dst = append(dst, TagQuantileRow)
+		dst = appendHeader(dst, rec)
+		dst = binary.BigEndian.AppendUint64(dst, p.Key.Num)
+		dst = appendString(dst, p.Key.Str)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.Window))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(p.Lo))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(p.Hi))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.Total))
+		dst = binary.AppendUvarint(dst, uint64(len(p.Counts)))
+		for _, c := range p.Counts {
+			dst = binary.AppendUvarint(dst, uint64(c))
+		}
+		return dst, nil
+	case *Watermark:
+		dst = append(dst, TagWatermark)
+		dst = appendHeader(dst, rec)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.Time))
+		return dst, nil
+	default:
+		return nil, fmt.Errorf("wire: cannot encode payload type %T", rec.Data)
+	}
+}
+
+func appendHeader(dst []byte, rec telemetry.Record) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(rec.Time))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(rec.Window))
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.buf) {
+		r.err = ErrShortBuffer
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.err = ErrShortBuffer
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, k := binary.Uvarint(r.buf[r.off:])
+	if k <= 0 {
+		r.err = ErrShortBuffer
+		return 0
+	}
+	r.off += k
+	return v
+}
+
+func (r *reader) str() string {
+	if r.err != nil {
+		return ""
+	}
+	n, k := binary.Uvarint(r.buf[r.off:])
+	if k <= 0 {
+		r.err = ErrShortBuffer
+		return ""
+	}
+	r.off += k
+	if n > uint64(len(r.buf)-r.off) {
+		r.err = ErrShortBuffer
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// DecodeRecord parses one record from buf, returning the record and the
+// number of bytes consumed. WireSize is restored to the schema's canonical
+// accounting size.
+func DecodeRecord(buf []byte) (telemetry.Record, int, error) {
+	if len(buf) == 0 {
+		return telemetry.Record{}, 0, ErrShortBuffer
+	}
+	r := &reader{buf: buf, off: 1}
+	rec := telemetry.Record{}
+	rec.Time = int64(r.u64())
+	rec.Window = int64(r.u64())
+	switch buf[0] {
+	case TagPingProbe:
+		p := &telemetry.PingProbe{}
+		p.Timestamp = int64(r.u64())
+		p.SrcIP = r.u32()
+		p.SrcCluster = r.u32()
+		p.DstIP = r.u32()
+		p.DstCluster = r.u32()
+		p.RTTMicros = r.u32()
+		p.ErrCode = r.u32()
+		rec.Data = p
+		rec.WireSize = telemetry.PingProbeWireSize
+	case TagToRProbe:
+		p := &telemetry.ToRProbe{}
+		p.Timestamp = int64(r.u64())
+		p.SrcToR = r.u32()
+		p.DstToR = r.u32()
+		p.RTTMicros = r.u32()
+		rec.Data = p
+		rec.WireSize = telemetry.ToRProbeWireSize
+	case TagLogLine:
+		p := &telemetry.LogLine{}
+		p.Timestamp = int64(r.u64())
+		p.Raw = r.str()
+		rec.Data = p
+		rec.WireSize = len(p.Raw)
+	case TagJobStats:
+		p := &telemetry.JobStats{}
+		p.Timestamp = int64(r.u64())
+		p.Tenant = r.str()
+		p.StatName = r.str()
+		p.Stat = math.Float64frombits(r.u64())
+		p.Bucket = int(int32(r.u32()))
+		rec.Data = p
+		rec.WireSize = p.JobStatsWireSize()
+	case TagAggRow:
+		p := &telemetry.AggRow{}
+		p.Key.Num = r.u64()
+		p.Key.Str = r.str()
+		p.Window = int64(r.u64())
+		p.Count = int64(r.u64())
+		p.Sum = math.Float64frombits(r.u64())
+		p.Min = math.Float64frombits(r.u64())
+		p.Max = math.Float64frombits(r.u64())
+		rec.Data = p
+		rec.WireSize = p.AggRowWireSize()
+	case TagQuantileRow:
+		p := &telemetry.QuantileRow{}
+		p.Key.Num = r.u64()
+		p.Key.Str = r.str()
+		p.Window = int64(r.u64())
+		p.Lo = math.Float64frombits(r.u64())
+		p.Hi = math.Float64frombits(r.u64())
+		p.Total = int64(r.u64())
+		n := r.uvarint()
+		if r.err == nil && n > uint64(len(buf)) {
+			return telemetry.Record{}, 0, ErrShortBuffer
+		}
+		if r.err == nil {
+			p.Counts = make([]int64, n)
+			for i := range p.Counts {
+				p.Counts[i] = int64(r.uvarint())
+			}
+		}
+		rec.Data = p
+		rec.WireSize = p.WireSize()
+	case TagWatermark:
+		p := &Watermark{}
+		p.Time = int64(r.u64())
+		rec.Data = p
+		rec.WireSize = 17
+	default:
+		return telemetry.Record{}, 0, fmt.Errorf("%w: 0x%02x", ErrUnknownTag, buf[0])
+	}
+	if r.err != nil {
+		return telemetry.Record{}, 0, r.err
+	}
+	return rec, r.off, nil
+}

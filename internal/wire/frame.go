@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"jarvis/internal/telemetry"
+)
+
+// MaxFrameSize bounds a single frame to protect against corrupt length
+// prefixes. A frame holds one epoch's batch for one stream; 64 MiB is far
+// above any realistic epoch.
+const MaxFrameSize = 64 << 20
+
+// FrameWriter writes length-prefixed frames, each containing a batch of
+// encoded records for one logical stream (identified by StreamID).
+type FrameWriter struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewFrameWriter wraps w in a buffered frame writer.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: bufio.NewWriter(w)}
+}
+
+// Frame is one unit of transfer: a batch of records destined for the
+// stream-processor-side control proxy identified by StreamID (paper §V:
+// "control proxy attaches an identifier for the operator on stream
+// processor that should receive records for further processing").
+type Frame struct {
+	// StreamID names the SP-side operator/proxy that must consume the
+	// batch: index of the drain stage in the deployed plan.
+	StreamID uint32
+	// Source identifies the data source node the frame came from.
+	Source uint32
+	// Records is the batch payload.
+	Records telemetry.Batch
+}
+
+// WriteFrame encodes and writes one frame. It does not flush; call Flush
+// at epoch boundaries.
+func (fw *FrameWriter) WriteFrame(f Frame) error {
+	fw.buf = fw.buf[:0]
+	fw.buf = binary.BigEndian.AppendUint32(fw.buf, f.StreamID)
+	fw.buf = binary.BigEndian.AppendUint32(fw.buf, f.Source)
+	fw.buf = binary.BigEndian.AppendUint32(fw.buf, uint32(len(f.Records)))
+	var err error
+	for _, rec := range f.Records {
+		fw.buf, err = EncodeRecord(fw.buf, rec)
+		if err != nil {
+			return err
+		}
+	}
+	if len(fw.buf) > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", len(fw.buf), MaxFrameSize)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(fw.buf)))
+	if _, err := fw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = fw.w.Write(fw.buf)
+	return err
+}
+
+// Flush flushes buffered frames to the underlying writer.
+func (fw *FrameWriter) Flush() error { return fw.w.Flush() }
+
+// FrameReader reads frames written by FrameWriter.
+type FrameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps r in a buffered frame reader.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReader(r)}
+}
+
+// ReadFrame reads and decodes the next frame. It returns io.EOF cleanly at
+// end of stream.
+func (fr *FrameReader) ReadFrame() (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return Frame{}, fmt.Errorf("wire: frame length %d exceeds max %d", n, MaxFrameSize)
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	fr.buf = fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	if n < 12 {
+		return Frame{}, ErrShortBuffer
+	}
+	f := Frame{
+		StreamID: binary.BigEndian.Uint32(fr.buf[0:]),
+		Source:   binary.BigEndian.Uint32(fr.buf[4:]),
+	}
+	count := binary.BigEndian.Uint32(fr.buf[8:])
+	off := 12
+	f.Records = make(telemetry.Batch, 0, count)
+	for i := uint32(0); i < count; i++ {
+		rec, k, err := DecodeRecord(fr.buf[off:])
+		if err != nil {
+			return Frame{}, fmt.Errorf("wire: record %d/%d: %w", i, count, err)
+		}
+		off += k
+		f.Records = append(f.Records, rec)
+	}
+	return f, nil
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"jarvis/internal/telemetry"
+)
+
+// Paper constants for the LogAnalytics workload (§VI-A): guided by Chi's
+// report of 10s of PB/day across 200 K nodes, each node generates
+// 0.62 MBps = 4.96 Mbps of text logs, scaled 10× for experiments.
+const (
+	LogMbps1x  = 4.96
+	LogMbps10x = 49.6
+)
+
+// LogConfig configures a LogAnalytics text-log generator.
+type LogConfig struct {
+	Seed uint64
+	// Tenants is the number of distinct tenant names.
+	Tenants int
+	// MatchRate is the fraction of lines containing one of the query's
+	// patterns (tenant/job/cpu/memory); the rest are unrelated chatter
+	// filtered out by the pattern-match Filter.
+	MatchRate float64
+	// StartMicros and IntervalMicros pace event time like PingConfig.
+	StartMicros    int64
+	IntervalMicros int64
+}
+
+// DefaultLogConfig matches the evaluation setup: mostly matching lines
+// (the query's filter-out rate is low, which is why Filter-Src stays
+// network bound in Fig. 7(c)).
+func DefaultLogConfig(seed uint64) LogConfig {
+	return LogConfig{
+		Seed:           seed,
+		Tenants:        64,
+		MatchRate:      0.9,
+		StartMicros:    0,
+		IntervalMicros: int64(1e6 / RecordsPerSec(LogMbps10x, AvgLogLineBytes)),
+	}
+}
+
+// AvgLogLineBytes is the approximate average emitted line length, used to
+// convert between line rates and Mbps.
+const AvgLogLineBytes = 130
+
+// LogGen generates deterministic LogAnalytics lines.
+type LogGen struct {
+	cfg     LogConfig
+	rng     *rand.Rand
+	next    int64
+	tenants []string
+}
+
+// NewLogGen builds a generator with a fixed tenant population.
+func NewLogGen(cfg LogConfig) *LogGen {
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 64
+	}
+	if cfg.IntervalMicros <= 0 {
+		cfg.IntervalMicros = 1
+	}
+	g := &LogGen{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xDA442D24)),
+		next: cfg.StartMicros,
+	}
+	g.tenants = make([]string, cfg.Tenants)
+	for i := range g.tenants {
+		g.tenants[i] = fmt.Sprintf("tenant-%03d", i)
+	}
+	return g
+}
+
+// Tenants returns the tenant population (ground truth for tests).
+func (g *LogGen) Tenants() []string { return g.tenants }
+
+// Next emits the next n log records.
+func (g *LogGen) Next(n int) telemetry.Batch {
+	out := make(telemetry.Batch, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.one())
+	}
+	return out
+}
+
+// NextWindow emits all lines with event time in [cur, cur+durMicros).
+func (g *LogGen) NextWindow(durMicros int64) telemetry.Batch {
+	end := g.next + durMicros
+	var out telemetry.Batch
+	for g.next < end {
+		out = append(out, g.one())
+	}
+	return out
+}
+
+func (g *LogGen) one() telemetry.Record {
+	ts := g.next
+	g.next += g.cfg.IntervalMicros
+	var line string
+	if g.rng.Float64() < g.cfg.MatchRate {
+		tenant := g.tenants[g.rng.IntN(len(g.tenants))]
+		// Zipf-ish job time: mostly short, occasionally long jobs.
+		jobMs := int(g.rng.ExpFloat64() * 40)
+		cpu := g.rng.Float64() * 100
+		mem := g.rng.Float64() * 100
+		// Mixed case and padding exercise the query's trim+lowercase Map.
+		line = fmt.Sprintf("  Tenant Name=%s, Job Running Time=%d, CPU Util=%.1f, Memory Util=%.1f  ",
+			tenant, jobMs, cpu, mem)
+	} else {
+		line = fmt.Sprintf("kernel: eth0 link state change seq=%d flags=0x%x",
+			g.rng.Int32(), g.rng.Int32())
+	}
+	// Pad to keep average line size near AvgLogLineBytes so Mbps
+	// accounting matches the configured rate.
+	if pad := AvgLogLineBytes - len(line) - 10; pad > 0 {
+		line += " #" + strings.Repeat("x", pad)
+	}
+	return telemetry.NewLogRecord(ts, line)
+}
+
+// Patterns are the substrings the LogAnalytics query greps for
+// (Listing 3); matching is done on the lowercased line.
+var Patterns = []string{"tenant name", "job running time", "cpu util", "memory util"}
+
+// MatchesPatterns reports whether a (lowercased) line contains any query
+// pattern.
+func MatchesPatterns(line string) bool {
+	for _, p := range Patterns {
+		if strings.Contains(line, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"jarvis/internal/telemetry"
+)
+
+func TestRecordsPerSecRoundTrip(t *testing.T) {
+	rps := RecordsPerSec(26.2, 86)
+	if math.Abs(MbpsOf(rps, 86)-26.2) > 1e-9 {
+		t.Fatalf("round trip failed: %v", MbpsOf(rps, 86))
+	}
+	// 26.2 Mbps of 86 B records ≈ 38081 rec/s (paper's arithmetic).
+	if math.Abs(rps-38081.4) > 1 {
+		t.Fatalf("rps = %v, want ≈38081", rps)
+	}
+}
+
+func TestPingGenDeterministic(t *testing.T) {
+	cfg := DefaultPingConfig(7)
+	a := NewPingGen(cfg).Next(100)
+	b := NewPingGen(cfg).Next(100)
+	for i := range a {
+		pa, pb := a[i].Data.(*telemetry.PingProbe), b[i].Data.(*telemetry.PingProbe)
+		if *pa != *pb {
+			t.Fatalf("record %d differs: %+v vs %+v", i, pa, pb)
+		}
+	}
+}
+
+func TestPingGenErrRate(t *testing.T) {
+	cfg := DefaultPingConfig(1)
+	g := NewPingGen(cfg)
+	const n = 50000
+	batch := g.Next(n)
+	errs := 0
+	for _, r := range batch {
+		if !r.Data.(*telemetry.PingProbe).OK() {
+			errs++
+		}
+	}
+	rate := float64(errs) / n
+	if math.Abs(rate-0.14) > 0.01 {
+		t.Fatalf("error rate = %v, want ≈0.14 (the paper's filter-out rate)", rate)
+	}
+}
+
+func TestPingGenEventTimeMonotone(t *testing.T) {
+	g := NewPingGen(DefaultPingConfig(3))
+	batch := g.Next(1000)
+	for i := 1; i < len(batch); i++ {
+		if batch[i].Time <= batch[i-1].Time {
+			t.Fatalf("time not increasing at %d", i)
+		}
+	}
+	if batch[0].Data.(*telemetry.PingProbe).Timestamp != batch[0].Time {
+		t.Fatal("record time must equal probe timestamp")
+	}
+}
+
+func TestPingGenWireSizeAndRate(t *testing.T) {
+	cfg := DefaultPingConfig(5)
+	g := NewPingGen(cfg)
+	dur := int64(1e6) // one second of event time
+	batch := g.NextWindow(dur)
+	mbps := float64(batch.TotalBytes()) * 8 / 1e6
+	if math.Abs(mbps-PingmeshMbps10x) > 1.0 {
+		t.Fatalf("generated %v Mbps, want ≈%v", mbps, PingmeshMbps10x)
+	}
+	for _, r := range batch {
+		if r.WireSize != telemetry.PingProbeWireSize {
+			t.Fatalf("wire size %d", r.WireSize)
+		}
+	}
+}
+
+func TestPingGenAnomalies(t *testing.T) {
+	cfg := DefaultPingConfig(11)
+	cfg.Peers = 5000
+	cfg.AnomalousPairFrac = 0.02
+	g := NewPingGen(cfg)
+	got := float64(g.AnomalousCount()) / float64(cfg.Peers)
+	if math.Abs(got-0.02) > 0.01 {
+		t.Fatalf("anomalous frac = %v", got)
+	}
+	// Probe one full sweep: anomalous peers must mostly exceed the alert
+	// threshold, healthy peers mostly not.
+	batch := g.Next(cfg.Peers)
+	var hiAnom, anom, hiHealthy, healthy int
+	for i, r := range batch {
+		p := r.Data.(*telemetry.PingProbe)
+		if g.Anomalous(i) {
+			anom++
+			if p.RTTMicros > AlertThresholdMicros {
+				hiAnom++
+			}
+		} else {
+			healthy++
+			if p.RTTMicros > AlertThresholdMicros {
+				hiHealthy++
+			}
+		}
+	}
+	if anom == 0 {
+		t.Fatal("no anomalous pairs sampled")
+	}
+	if frac := float64(hiAnom) / float64(anom); frac < 0.8 {
+		t.Fatalf("only %v of anomalous probes exceed threshold", frac)
+	}
+	if frac := float64(hiHealthy) / float64(healthy); frac > 0.01 {
+		t.Fatalf("%v of healthy probes exceed threshold", frac)
+	}
+}
+
+func TestPingGenPeerRoundRobin(t *testing.T) {
+	cfg := DefaultPingConfig(2)
+	cfg.Peers = 10
+	g := NewPingGen(cfg)
+	batch := g.Next(20)
+	for i, r := range batch {
+		want := g.PeerIP(i % 10)
+		if got := r.Data.(*telemetry.PingProbe).DstIP; got != want {
+			t.Fatalf("probe %d dst = %x, want %x", i, got, want)
+		}
+	}
+}
+
+func TestSkewedNodeRates(t *testing.T) {
+	rates := SkewedNodeRates(10000, 42)
+	low := 0
+	for _, r := range rates {
+		if r <= 0 || r > 1 {
+			t.Fatalf("rate %v out of range", r)
+		}
+		if r <= 0.5 {
+			low++
+		}
+	}
+	frac := float64(low) / float64(len(rates))
+	if math.Abs(frac-0.58) > 0.03 {
+		t.Fatalf("%v of nodes at ≤50%% of max rate, want ≈0.58", frac)
+	}
+	// Deterministic.
+	again := SkewedNodeRates(10000, 42)
+	for i := range rates {
+		if rates[i] != again[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestLogGenDeterministicAndRate(t *testing.T) {
+	cfg := DefaultLogConfig(9)
+	a := NewLogGen(cfg).Next(50)
+	b := NewLogGen(cfg).Next(50)
+	for i := range a {
+		if a[i].Data.(*telemetry.LogLine).Raw != b[i].Data.(*telemetry.LogLine).Raw {
+			t.Fatalf("line %d differs", i)
+		}
+	}
+	g := NewLogGen(cfg)
+	batch := g.NextWindow(1e6)
+	mbps := float64(batch.TotalBytes()) * 8 / 1e6
+	if math.Abs(mbps-LogMbps10x) > 6 {
+		t.Fatalf("generated %v Mbps, want ≈%v", mbps, LogMbps10x)
+	}
+}
+
+func TestLogGenMatchRateAndParse(t *testing.T) {
+	cfg := DefaultLogConfig(4)
+	cfg.MatchRate = 0.9
+	g := NewLogGen(cfg)
+	batch := g.Next(5000)
+	matched := 0
+	for _, r := range batch {
+		line := strings.ToLower(strings.TrimSpace(r.Data.(*telemetry.LogLine).Raw))
+		if MatchesPatterns(line) {
+			matched++
+			// Strip generator padding before parsing, like the query's
+			// parse Map does via split.
+			core := line
+			if i := strings.Index(core, " #"); i >= 0 {
+				core = core[:i]
+			}
+			stats, err := telemetry.ParseJobStats(r.Time, core)
+			if err != nil {
+				t.Fatalf("parse %q: %v", core, err)
+			}
+			if len(stats) != 3 {
+				t.Fatalf("got %d stats from %q", len(stats), core)
+			}
+		}
+	}
+	rate := float64(matched) / float64(len(batch))
+	if math.Abs(rate-0.9) > 0.02 {
+		t.Fatalf("match rate %v, want ≈0.9", rate)
+	}
+}
+
+func TestLogGenTenantsStable(t *testing.T) {
+	g := NewLogGen(DefaultLogConfig(1))
+	if len(g.Tenants()) != 64 {
+		t.Fatalf("tenants = %d", len(g.Tenants()))
+	}
+}
+
+func TestMatchesPatterns(t *testing.T) {
+	if !MatchesPatterns("blah cpu util=5") {
+		t.Fatal("should match cpu util")
+	}
+	if MatchesPatterns("kernel: link up") {
+		t.Fatal("should not match chatter")
+	}
+}
