@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"jarvis"
+	"jarvis/internal/benchcase"
 	"jarvis/internal/experiments"
 	"jarvis/internal/lp"
 	"jarvis/internal/partition"
@@ -292,19 +293,46 @@ func BenchmarkLPSolvers(b *testing.B) {
 
 // --- Engine micro-benchmarks ---
 
-func BenchmarkPipelineEpoch(b *testing.B) {
-	pipe, err := stream.NewPipeline(plan.S2SProbe(), stream.DefaultOptions(1.0, 0))
+func benchPipelineEpoch(b *testing.B, legacy, recycle bool) {
+	pipe, batch, err := benchcase.PipelineEpoch(legacy)
 	if err != nil {
 		b.Fatal(err)
 	}
-	_ = pipe.SetLoadFactors([]float64{1, 1, 1})
-	gen := workload.NewPingGen(workload.DefaultPingConfig(1))
+	b.SetBytes(batch.TotalBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := pipe.RunEpoch(batch)
+		if recycle {
+			res.Recycle()
+		}
+	}
+}
+
+// BenchmarkPipelineEpoch measures the default batch-vectorized epoch
+// loop (the canonical setup lives in internal/benchcase, shared with
+// jarvis-bench -exp micro). The Legacy variant runs the record-at-a-time
+// reference path for the A/B comparison; the Recycled variant
+// additionally returns epoch buffers to the pool, as the in-process
+// Processor does.
+func BenchmarkPipelineEpoch(b *testing.B)         { benchPipelineEpoch(b, false, false) }
+func BenchmarkPipelineEpochRecycled(b *testing.B) { benchPipelineEpoch(b, false, true) }
+func BenchmarkPipelineEpochLegacy(b *testing.B)   { benchPipelineEpoch(b, true, false) }
+
+func BenchmarkSPIngest(b *testing.B) {
+	engine, err := stream.NewSPEngine(plan.S2SProbe())
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewPingGen(workload.DefaultPingConfig(2))
 	batch := gen.NextWindow(1_000_000)
 	b.SetBytes(batch.TotalBytes())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pipe.RunEpoch(batch)
+		if err := engine.Ingest(0, batch); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -321,14 +349,10 @@ func BenchmarkSimEpoch(b *testing.B) {
 }
 
 func BenchmarkEndToEndBuildingBlock(b *testing.B) {
-	bb, err := jarvis.NewBuildingBlock(jarvis.S2SProbe(), 1, jarvis.SourceOptions{
-		BudgetFrac: 0.8, RateMbps: 26.2, Adapt: true,
-	})
+	bb, batch, err := benchcase.EndToEnd()
 	if err != nil {
 		b.Fatal(err)
 	}
-	gen := workload.NewPingGen(workload.DefaultPingConfig(5))
-	batch := telemetryBatch(gen.NextWindow(1_000_000))
 	b.SetBytes(batch.TotalBytes())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -337,5 +361,3 @@ func BenchmarkEndToEndBuildingBlock(b *testing.B) {
 		}
 	}
 }
-
-func telemetryBatch(b jarvis.Batch) jarvis.Batch { return b }

@@ -1,7 +1,10 @@
 // Command jarvis-bench regenerates the paper's evaluation tables and
 // figures (§VI). Run everything with -exp all, or name a single
 // experiment: fig3, fig7, fig8, fig9, fig10, fig11, latency, opcount,
-// overhead.
+// overhead. `-exp micro` runs the engine micro-benchmarks
+// (BenchmarkPipelineEpoch, BenchmarkEndToEndBuildingBlock) and writes a
+// machine-readable BENCH_<n>.json so the perf trajectory is tracked
+// across PRs.
 package main
 
 import (
@@ -13,10 +16,18 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all|fig3|fig7|fig8|fig9|fig10|fig11|latency|opcount|ablation|overhead)")
+	exp := flag.String("exp", "all", "experiment to run (all|fig3|fig7|fig8|fig9|fig10|fig11|latency|opcount|ablation|overhead|micro)")
 	seed := flag.Uint64("seed", 7, "seed for randomized workloads")
+	benchOut := flag.String("benchout", "BENCH_1.json", "output file for -exp micro results")
 	flag.Parse()
 
+	if *exp == "micro" {
+		if err := runMicro(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "jarvis-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "jarvis-bench:", err)
 		os.Exit(1)

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"jarvis/internal/benchcase"
+	"jarvis/internal/telemetry"
+)
+
+// BenchRecord is one micro-benchmark's machine-readable result.
+type BenchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	Iterations  int     `json:"iterations"`
+}
+
+// runMicro executes the canonical engine micro-benchmarks (the exact
+// setups of the repository's BenchmarkPipelineEpoch and
+// BenchmarkEndToEndBuildingBlock, via internal/benchcase, plus the
+// legacy record path for the A/B ratio) and writes them to outPath as
+// JSON.
+func runMicro(outPath string) error {
+	records := []BenchRecord{}
+	for _, c := range []struct {
+		name   string
+		legacy bool
+	}{
+		{"BenchmarkPipelineEpoch", false},
+		{"BenchmarkPipelineEpochLegacy", true},
+	} {
+		pipe, batch, err := benchcase.PipelineEpoch(c.legacy)
+		if err != nil {
+			return err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pipe.RunEpoch(batch)
+			}
+		})
+		records = append(records, record(c.name, batch.TotalBytes(), r))
+	}
+
+	bb, batch, err := benchcase.EndToEnd()
+	if err != nil {
+		return err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bb.RunEpoch([]telemetry.Batch{batch}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	records = append(records, record("BenchmarkEndToEndBuildingBlock", batch.TotalBytes(), r))
+
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	for _, r := range records {
+		fmt.Printf("%-32s %12.0f ns/op %10d B/op %8d allocs/op %8.1f MB/s\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.MBPerSec)
+	}
+	fmt.Println("wrote", outPath)
+	return nil
+}
+
+func record(name string, totalBytes int64, r testing.BenchmarkResult) BenchRecord {
+	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+	mbps := 0.0
+	if nsPerOp > 0 {
+		mbps = float64(totalBytes) / nsPerOp * 1e9 / 1e6
+	}
+	return BenchRecord{
+		Name:        name,
+		NsPerOp:     nsPerOp,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		MBPerSec:    mbps,
+		Iterations:  r.N,
+	}
+}

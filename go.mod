@@ -1,0 +1,3 @@
+module jarvis
+
+go 1.24

@@ -1,0 +1,46 @@
+// Package benchcase defines the canonical engine micro-benchmark
+// workloads in one place, shared by the repository benchmarks
+// (bench_test.go) and cmd/jarvis-bench's machine-readable `-exp micro`
+// mode, so BENCH_<n>.json always measures exactly the same setups as
+// `go test -bench`.
+package benchcase
+
+import (
+	"jarvis/internal/core"
+	"jarvis/internal/plan"
+	"jarvis/internal/stream"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/workload"
+)
+
+// PipelineEpoch builds the standard source-pipeline benchmark: S2SProbe
+// with a full budget, all load factors at 1, fed one second of Pingmesh
+// data at the paper's 10× rate. legacy selects the record-at-a-time
+// reference path.
+func PipelineEpoch(legacy bool) (*stream.Pipeline, telemetry.Batch, error) {
+	opts := stream.DefaultOptions(1.0, 0)
+	opts.RecordAtATime = legacy
+	pipe, err := stream.NewPipeline(plan.S2SProbe(), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := pipe.SetLoadFactors([]float64{1, 1, 1}); err != nil {
+		return nil, nil, err
+	}
+	gen := workload.NewPingGen(workload.DefaultPingConfig(1))
+	return pipe, gen.NextWindow(1_000_000), nil
+}
+
+// EndToEnd builds the standard building-block benchmark: one adaptive
+// S2SProbe source at 80% budget plus its processor, fed one second of
+// Pingmesh data.
+func EndToEnd() (*core.BuildingBlock, telemetry.Batch, error) {
+	bb, err := core.NewBuildingBlock(plan.S2SProbe(), 1, core.SourceOptions{
+		BudgetFrac: 0.8, RateMbps: 26.2, Adapt: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	gen := workload.NewPingGen(workload.DefaultPingConfig(5))
+	return bb, gen.NextWindow(1_000_000), nil
+}

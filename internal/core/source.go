@@ -109,7 +109,12 @@ func (s *Source) ObserveTime(micros int64) { s.pipeline.ObserveTime(micros) }
 // returned EpochResult carries everything that must ship to the SP.
 func (s *Source) RunEpoch(input telemetry.Batch) (stream.EpochResult, error) {
 	res := s.pipeline.RunEpoch(input)
+	// Keep only the scalar view: the caller owns the epoch's drain and
+	// result buffers (and typically recycles them via Processor.Consume),
+	// so LastResult must not alias pool-owned memory.
 	s.lastResult = res
+	s.lastResult.Drains = nil
+	s.lastResult.Results = nil
 	s.epochs++
 	if !s.opts.Adapt {
 		return res, nil
@@ -165,7 +170,10 @@ func (s *Source) profile(res stream.EpochResult) runtime.Estimates {
 	return est
 }
 
-// LastResult returns the most recent epoch's result.
+// LastResult returns the most recent epoch's result with the record
+// buffers dropped: stats, watermark and byte/budget accounting are
+// retained, Drains/Results are nil (they belong to the epoch's consumer
+// and may already have been recycled).
 func (s *Source) LastResult() stream.EpochResult { return s.lastResult }
 
 // Epochs returns how many epochs have run.

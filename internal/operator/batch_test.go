@@ -1,0 +1,191 @@
+package operator
+
+import (
+	"reflect"
+	"testing"
+
+	"jarvis/internal/telemetry"
+)
+
+// probeBatch builds a deterministic test batch of raw probes.
+func probeBatch(n int) telemetry.Batch {
+	out := make(telemetry.Batch, 0, n)
+	for i := 0; i < n; i++ {
+		p := &telemetry.PingProbe{
+			Timestamp: int64(i) * 1000,
+			SrcIP:     0x0A000001,
+			DstIP:     0x0B000000 + uint32(i%7),
+			RTTMicros: uint32(100 + i%50),
+			ErrCode:   uint32(i % 3),
+		}
+		out = append(out, telemetry.NewProbeRecord(p))
+	}
+	return out
+}
+
+// recordPath runs a batch through Process record by record — the
+// reference the vectorized path must match.
+func recordPath(op Operator, in telemetry.Batch) telemetry.Batch {
+	var out telemetry.Batch
+	emit := func(r telemetry.Record) { out = append(out, r) }
+	for i := range in {
+		op.Process(in[i], emit)
+	}
+	return out
+}
+
+// plainOperator hides an operator's BatchProcessor implementation so
+// AsBatchProcessor must fall back to the record adapter.
+type plainOperator struct{ Operator }
+
+func assertBatchMatchesRecord(t *testing.T, mk func() Operator, in telemetry.Batch) {
+	t.Helper()
+	ref := recordPath(mk(), in)
+
+	vec := mk()
+	bp := AsBatchProcessor(vec)
+	if _, isAdapter := bp.(*recordAdapter); isAdapter {
+		t.Fatalf("%T must implement BatchProcessor natively", vec)
+	}
+	var got telemetry.Batch
+	bp.ProcessBatch(in, &got)
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("vectorized path diverges: %d vs %d records", len(ref), len(got))
+	}
+
+	// The generic adapter must also reproduce the record path.
+	ad := AsBatchProcessor(plainOperator{mk()})
+	if _, isAdapter := ad.(*recordAdapter); !isAdapter {
+		t.Fatal("wrapped operator should use the record adapter")
+	}
+	var viaAdapter telemetry.Batch
+	ad.ProcessBatch(in, &viaAdapter)
+	if !reflect.DeepEqual(ref, viaAdapter) {
+		t.Fatal("record adapter diverges from Process")
+	}
+}
+
+func TestWindowProcessBatch(t *testing.T) {
+	in := probeBatch(500)
+	assertBatchMatchesRecord(t, func() Operator {
+		return NewWindow("w", 10_000)
+	}, in)
+	// Input records must stay untouched (the batch path may not mutate
+	// shared input slices).
+	for i := range in {
+		if in[i].Window != 0 {
+			t.Fatal("ProcessBatch mutated its input")
+		}
+	}
+}
+
+func TestFilterProcessBatch(t *testing.T) {
+	assertBatchMatchesRecord(t, func() Operator {
+		return NewFilter("f", func(r telemetry.Record) bool {
+			return r.Data.(*telemetry.PingProbe).ErrCode == 0
+		})
+	}, probeBatch(500))
+}
+
+func TestMapProcessBatch(t *testing.T) {
+	// Flat-map: emits 0, 1 or 2 records per input.
+	assertBatchMatchesRecord(t, func() Operator {
+		return NewMap("m", func(r telemetry.Record, emit Emit) {
+			p := r.Data.(*telemetry.PingProbe)
+			switch p.ErrCode {
+			case 0:
+				emit(r)
+				emit(r)
+			case 1:
+				emit(r)
+			}
+		})
+	}, probeBatch(500))
+}
+
+func TestJoinProcessBatch(t *testing.T) {
+	table := telemetry.NewToRTable([]uint32{0x0A000001}, 4)
+	assertBatchMatchesRecord(t, func() Operator {
+		return NewSrcToRJoin("j", table)
+	}, probeBatch(500))
+}
+
+func groupAggState(g *GroupAgg) telemetry.Batch {
+	var rows telemetry.Batch
+	g.Drain(func(r telemetry.Record) { rows = append(rows, r) })
+	return rows
+}
+
+func TestGroupAggProcessBatch(t *testing.T) {
+	in := probeBatch(1000)
+	// Window-assign first so grouping state lands in real windows.
+	w := NewWindow("w", 10_000)
+	var windowed telemetry.Batch
+	w.ProcessBatch(in, &windowed)
+
+	ref := NewGroupAgg("g", 10_000, ProbePairKey, ProbeRTT)
+	for i := range windowed {
+		ref.Process(windowed[i], func(telemetry.Record) {})
+	}
+	vec := NewGroupAgg("g", 10_000, ProbePairKey, ProbeRTT)
+	var none telemetry.Batch
+	vec.ProcessBatch(windowed, &none)
+	if len(none) != 0 {
+		t.Fatal("G+R must not emit from ProcessBatch")
+	}
+	if !reflect.DeepEqual(groupAggState(ref), groupAggState(vec)) {
+		t.Fatal("vectorized G+R state diverges from record path")
+	}
+}
+
+func TestGroupQuantileProcessBatch(t *testing.T) {
+	in := probeBatch(1000)
+	w := NewWindow("w", 10_000)
+	var windowed telemetry.Batch
+	w.ProcessBatch(in, &windowed)
+
+	mk := func() *GroupQuantile {
+		return NewGroupQuantile("q", 10_000, ProbePairKey, ProbeRTT, 0, 1000, 50)
+	}
+	ref := mk()
+	for i := range windowed {
+		ref.Process(windowed[i], func(telemetry.Record) {})
+	}
+	vec := mk()
+	var none telemetry.Batch
+	vec.ProcessBatch(windowed, &none)
+	if len(none) != 0 {
+		t.Fatal("quantile must not emit from ProcessBatch")
+	}
+	var refRows, vecRows telemetry.Batch
+	ref.Drain(func(r telemetry.Record) { refRows = append(refRows, r) })
+	vec.Drain(func(r telemetry.Record) { vecRows = append(vecRows, r) })
+	if !reflect.DeepEqual(refRows, vecRows) {
+		t.Fatal("vectorized quantile state diverges from record path")
+	}
+}
+
+// TestGroupAggBatchMergesPartials covers the second input shape: AggRow
+// partials from a source replica merging through the batch path.
+func TestGroupAggBatchMergesPartials(t *testing.T) {
+	up := NewGroupAgg("up", 10_000, ProbePairKey, ProbeRTT)
+	w := NewWindow("w", 10_000)
+	var windowed telemetry.Batch
+	w.ProcessBatch(probeBatch(400), &windowed)
+	up.ProcessBatch(windowed, nil)
+	var partials telemetry.Batch
+	up.Drain(func(r telemetry.Record) { partials = append(partials, r) })
+	if len(partials) == 0 {
+		t.Fatal("no partials")
+	}
+
+	ref := NewGroupAgg("d", 10_000, ProbePairKey, ProbeRTT)
+	for i := range partials {
+		ref.Process(partials[i], func(telemetry.Record) {})
+	}
+	vec := NewGroupAgg("d", 10_000, ProbePairKey, ProbeRTT)
+	vec.ProcessBatch(partials, nil)
+	if !reflect.DeepEqual(groupAggState(ref), groupAggState(vec)) {
+		t.Fatal("partial merge diverges between paths")
+	}
+}

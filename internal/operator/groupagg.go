@@ -96,6 +96,33 @@ func (g *GroupAgg) Process(rec telemetry.Record, emit Emit) {
 	row.Observe(val)
 }
 
+// ProcessBatch implements BatchProcessor. G+R never emits from Process
+// (results leave via Flush), so the batch path is pure state update with
+// no per-record closure.
+func (g *GroupAgg) ProcessBatch(in telemetry.Batch, _ *telemetry.Batch) {
+	for i := range in {
+		rec := in[i]
+		if row, ok := rec.Data.(*telemetry.AggRow); ok {
+			g.mergePartial(rec.Window, row)
+			continue
+		}
+		key := g.keyFn(rec)
+		val := g.valFn(rec)
+		win := g.state[rec.Window]
+		if win == nil {
+			win = make(map[telemetry.GroupKey]*telemetry.AggRow)
+			g.state[rec.Window] = win
+		}
+		row := win[key]
+		if row == nil {
+			r := telemetry.NewAggRow(key, rec.Window, val)
+			win[key] = &r
+			continue
+		}
+		row.Observe(val)
+	}
+}
+
 func (g *GroupAgg) mergePartial(window int64, partial *telemetry.AggRow) {
 	if partial.Window != 0 {
 		window = partial.Window

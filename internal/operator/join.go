@@ -38,6 +38,16 @@ func (j *Join) Process(rec telemetry.Record, emit Emit) {
 	}
 }
 
+// ProcessBatch implements BatchProcessor: probes the static table for
+// every record in one loop, appending hits.
+func (j *Join) ProcessBatch(in telemetry.Batch, out *telemetry.Batch) {
+	for i := range in {
+		if rec, ok := j.fn(in[i]); ok {
+			*out = append(*out, rec)
+		}
+	}
+}
+
 // Flush implements Operator.
 func (j *Join) Flush(int64, Emit) {}
 

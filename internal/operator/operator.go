@@ -52,6 +52,40 @@ func (k Kind) String() string {
 // Emit receives operator output records.
 type Emit func(telemetry.Record)
 
+// BatchProcessor is the vectorized execution interface: one call consumes
+// a whole batch and appends every output to *out, amortizing dispatch and
+// emit-closure cost across the batch. All built-in operators implement
+// it; ProcessBatch(in, out) must be observably equivalent to calling
+// Process(in[i], emit) for each record in order, with emit appending to
+// *out. Implementations must not mutate the input slice's elements.
+type BatchProcessor interface {
+	ProcessBatch(in telemetry.Batch, out *telemetry.Batch)
+}
+
+// AsBatchProcessor returns the operator's vectorized path, wrapping
+// record-at-a-time operators in a generic adapter so third-party
+// Operator implementations keep working on the batch engine.
+func AsBatchProcessor(op Operator) BatchProcessor {
+	if bp, ok := op.(BatchProcessor); ok {
+		return bp
+	}
+	return &recordAdapter{op: op}
+}
+
+// recordAdapter drives a plain Operator record by record, sharing one
+// emit closure across the whole batch.
+type recordAdapter struct {
+	op Operator
+}
+
+// ProcessBatch implements BatchProcessor.
+func (a *recordAdapter) ProcessBatch(in telemetry.Batch, out *telemetry.Batch) {
+	emit := func(rec telemetry.Record) { *out = append(*out, rec) }
+	for i := range in {
+		a.op.Process(in[i], emit)
+	}
+}
+
 // StatefulDrainer is implemented by stateful operators that can hand all
 // partial state downstream immediately (the stateful drain path, §V).
 type StatefulDrainer interface {
@@ -126,6 +160,16 @@ func (w *Window) Process(rec telemetry.Record, emit Emit) {
 	emit(rec)
 }
 
+// ProcessBatch implements BatchProcessor: window assignment is a pure
+// per-record field write, so the batch path is a single tight loop.
+func (w *Window) ProcessBatch(in telemetry.Batch, out *telemetry.Batch) {
+	for i := range in {
+		rec := in[i]
+		rec.Window = w.WindowOf(rec.Time)
+		*out = append(*out, rec)
+	}
+}
+
 // Flush implements Operator (no-op: windows close downstream).
 func (w *Window) Flush(int64, Emit) {}
 
@@ -156,6 +200,15 @@ func (f *Filter) Kind() Kind { return KindFilter }
 func (f *Filter) Process(rec telemetry.Record, emit Emit) {
 	if f.pred(rec) {
 		emit(rec)
+	}
+}
+
+// ProcessBatch implements BatchProcessor.
+func (f *Filter) ProcessBatch(in telemetry.Batch, out *telemetry.Batch) {
+	for i := range in {
+		if f.pred(in[i]) {
+			*out = append(*out, in[i])
+		}
 	}
 }
 
@@ -196,6 +249,15 @@ func (m *Map) Kind() Kind { return KindMap }
 
 // Process implements Operator.
 func (m *Map) Process(rec telemetry.Record, emit Emit) { m.fn(rec, emit) }
+
+// ProcessBatch implements BatchProcessor: the flat-map function runs per
+// record, but one emit closure is shared across the whole batch.
+func (m *Map) ProcessBatch(in telemetry.Batch, out *telemetry.Batch) {
+	emit := func(rec telemetry.Record) { *out = append(*out, rec) }
+	for i := range in {
+		m.fn(in[i], emit)
+	}
+}
 
 // Flush implements Operator.
 func (m *Map) Flush(int64, Emit) {}

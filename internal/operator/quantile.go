@@ -86,6 +86,30 @@ func (g *GroupQuantile) Process(rec telemetry.Record, emit Emit) {
 	row.Observe(g.valFn(rec))
 }
 
+// ProcessBatch implements BatchProcessor: like GroupAgg, sketch updates
+// never emit, so the batch path is a closure-free state loop.
+func (g *GroupQuantile) ProcessBatch(in telemetry.Batch, _ *telemetry.Batch) {
+	for i := range in {
+		rec := in[i]
+		if row, ok := rec.Data.(*telemetry.QuantileRow); ok {
+			g.mergePartial(rec.Window, row)
+			continue
+		}
+		win := g.state[rec.Window]
+		if win == nil {
+			win = make(map[telemetry.GroupKey]*telemetry.QuantileRow)
+			g.state[rec.Window] = win
+		}
+		key := g.keyFn(rec)
+		row := win[key]
+		if row == nil {
+			row = telemetry.NewQuantileRow(key, rec.Window, g.lo, g.hi, g.buckets)
+			win[key] = row
+		}
+		row.Observe(g.valFn(rec))
+	}
+}
+
 func (g *GroupQuantile) mergePartial(window int64, partial *telemetry.QuantileRow) {
 	if partial.Window != 0 {
 		window = partial.Window

@@ -56,6 +56,36 @@ func (b *TokenBucket) TryConsume(cost float64) bool {
 	return true
 }
 
+// FitCount returns how many records at the given per-record cost the
+// remaining tokens cover, capped at limit. A non-positive cost fits any
+// number of records (the batch path's counterpart of TryConsume(0)).
+func (b *TokenBucket) FitCount(cost float64, limit int) int {
+	if cost <= 0 {
+		return limit
+	}
+	n := int(b.tokens / cost)
+	if n > limit {
+		n = limit
+	}
+	// Guard float rounding so ConsumeN never overdraws.
+	for n > 0 && float64(n)*cost > b.tokens {
+		n--
+	}
+	return n
+}
+
+// ConsumeN withdraws n records' worth of tokens in one amortized charge.
+// Callers size n with FitCount first.
+func (b *TokenBucket) ConsumeN(cost float64, n int) {
+	if cost <= 0 || n <= 0 {
+		return
+	}
+	b.tokens -= float64(n) * cost
+	if b.tokens < 0 {
+		b.tokens = 0
+	}
+}
+
 // Used returns the tokens consumed so far this epoch.
 func (b *TokenBucket) Used() float64 { return b.capacity - b.tokens }
 

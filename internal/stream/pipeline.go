@@ -2,6 +2,8 @@ package stream
 
 import (
 	"fmt"
+	"sync"
+
 	"jarvis/internal/operator"
 	"jarvis/internal/plan"
 	"jarvis/internal/telemetry"
@@ -25,6 +27,14 @@ type Options struct {
 	// Boundary caps how many leading operators run locally (from the
 	// plan rules); proxies beyond it drain everything.
 	Boundary int
+	// RecordAtATime selects the legacy depth-first record execution loop
+	// instead of the default batch-vectorized one. Both paths implement
+	// the same routing, budget and drain semantics; with budget to spare
+	// they produce identical epoch results (see TestBatchRecordParity).
+	// The record path exists as the semantic reference and for A/B
+	// benchmarking; the batch path amortizes dispatch, charges the cost
+	// model per batch and reuses pooled epoch buffers.
+	RecordAtATime bool
 }
 
 // DefaultOptions mirrors the paper's evaluation setup: 1 s epochs,
@@ -68,6 +78,63 @@ type EpochResult struct {
 // TotalOutBytes is the epoch's total network transfer from the source.
 func (r *EpochResult) TotalOutBytes() int64 { return r.DrainedBytes + r.ResultBytes }
 
+// Recycle returns the epoch's drain and result buffers to the shared
+// batch pool and drops the references, so the next epoch reuses their
+// backing arrays instead of allocating. Call it only once every record
+// has been consumed (the in-process Processor recycles after SP ingest);
+// the scalar fields stay valid, the batches do not.
+func (r *EpochResult) Recycle() {
+	for i := range r.Drains {
+		if r.Drains[i] != nil {
+			telemetry.PutBatch(r.Drains[i])
+			r.Drains[i] = nil
+		}
+	}
+	putDrainSet(r.Drains)
+	r.Drains = nil
+	if r.Results != nil {
+		telemetry.PutBatch(r.Results)
+		r.Results = nil
+	}
+}
+
+// drainSetFree recycles the per-epoch []Batch drain headers (one slot per
+// operator) behind a small bounded freelist shared by all pipelines.
+var (
+	drainSetMu   sync.Mutex
+	drainSetFree [][]telemetry.Batch
+)
+
+func getDrainSet(n int) []telemetry.Batch {
+	drainSetMu.Lock()
+	for i := len(drainSetFree) - 1; i >= 0; i-- {
+		if cap(drainSetFree[i]) < n {
+			continue // leave smaller headers for smaller pipelines
+		}
+		d := drainSetFree[i]
+		last := len(drainSetFree) - 1
+		drainSetFree[i] = drainSetFree[last]
+		drainSetFree = drainSetFree[:last]
+		drainSetMu.Unlock()
+		d = d[:n]
+		clear(d)
+		return d
+	}
+	drainSetMu.Unlock()
+	return make([]telemetry.Batch, n)
+}
+
+func putDrainSet(d []telemetry.Batch) {
+	if cap(d) == 0 {
+		return
+	}
+	drainSetMu.Lock()
+	if len(drainSetFree) < 64 {
+		drainSetFree = append(drainSetFree, d[:0])
+	}
+	drainSetMu.Unlock()
+}
+
 // QueryState classifies the whole pipeline per §IV-C: congested if any
 // proxy is congested, idle if all are idle, stable otherwise.
 func QueryState(stats []ProxyStats) ProxyState {
@@ -91,15 +158,20 @@ func QueryState(stats []ProxyStats) ProxyState {
 
 // Pipeline executes the source-side replica of a query: operators with a
 // control proxy in front of each, a token-bucket CPU budget, bounded
-// queues and drain paths.
+// queues and drain paths. Execution is batch-vectorized by default: each
+// epoch drives whole batches stage by stage through the proxies (which
+// still decide drain-vs-forward per record) into the operators'
+// BatchProcessor path, with budget charged per batch and all epoch
+// buffers drawn from pools.
 type Pipeline struct {
-	query   *plan.Query
-	ops     []operator.Operator
-	proxies []*Proxy
-	queues  []telemetry.Batch
-	bucket  *TokenBucket
-	cm      *CostModel
-	opts    Options
+	query    *plan.Query
+	ops      []operator.Operator
+	batchOps []operator.BatchProcessor
+	proxies  []*Proxy
+	queues   []telemetry.Batch
+	bucket   *TokenBucket
+	cm       *CostModel
+	opts     Options
 
 	maxEventSeen int64
 	watermark    int64
@@ -107,6 +179,12 @@ type Pipeline struct {
 	// epoch scratch, reset by RunEpoch
 	drains  []telemetry.Batch
 	results telemetry.Batch
+
+	// persistent stage scratch for the batch path (ping-pong wave
+	// buffers plus the per-stage forwarded run), reused across epochs.
+	scratchA telemetry.Batch
+	scratchB telemetry.Batch
+	fwd      telemetry.Batch
 }
 
 // NewPipeline compiles a query into a source pipeline. The query should
@@ -128,16 +206,18 @@ func NewPipeline(q *plan.Query, opts Options) (*Pipeline, error) {
 		return nil, err
 	}
 	p := &Pipeline{
-		query:   q,
-		ops:     ops,
-		proxies: make([]*Proxy, len(ops)),
-		queues:  make([]telemetry.Batch, len(ops)),
-		bucket:  NewTokenBucket(opts.BudgetFrac * float64(opts.EpochMicros)),
-		cm:      cm,
-		opts:    opts,
+		query:    q,
+		ops:      ops,
+		batchOps: make([]operator.BatchProcessor, len(ops)),
+		proxies:  make([]*Proxy, len(ops)),
+		queues:   make([]telemetry.Batch, len(ops)),
+		bucket:   NewTokenBucket(opts.BudgetFrac * float64(opts.EpochMicros)),
+		cm:       cm,
+		opts:     opts,
 	}
 	for i := range p.proxies {
 		p.proxies[i] = NewProxy(i) // load factors start at zero (Startup)
+		p.batchOps[i] = operator.AsBatchProcessor(ops[i])
 	}
 	return p, nil
 }
@@ -204,9 +284,144 @@ func (p *Pipeline) PendingTotal() int {
 // either processed locally, queued, or drained to the SP.
 func (p *Pipeline) RunEpoch(input telemetry.Batch) EpochResult {
 	p.bucket.Refill()
-	p.drains = make([]telemetry.Batch, len(p.ops))
-	p.results = nil
+	if p.opts.RecordAtATime {
+		p.drains = make([]telemetry.Batch, len(p.ops))
+		p.results = nil
+		p.runEpochRecord(input)
+	} else {
+		p.drains = getDrainSet(len(p.ops))
+		p.results = telemetry.GetBatch()
+		p.runEpochBatch(input)
+	}
+	return p.finishEpoch()
+}
 
+// runEpochBatch is the vectorized execution loop: records move through
+// the local chain as whole waves, one stage at a time. Proxies still
+// route per record (error diffusion needs the record sequence), but
+// forwarded runs are charged to the budget and pushed through the
+// operator in one ProcessBatch call, and every stage reuses persistent
+// scratch buffers. Stage-at-a-time scheduling feeds each operator the
+// same record sequence as the legacy depth-first loop, so with budget to
+// spare the two paths produce identical epochs; they only distribute a
+// mid-epoch budget exhaustion differently across stages (both remain
+// lossless and congestion-visible).
+func (p *Pipeline) runEpochBatch(input telemetry.Batch) {
+	b := p.opts.Boundary
+	curr, next := p.scratchA[:0], p.scratchB[:0]
+
+	// Carryover: records queued in earlier epochs were already committed
+	// to local processing; their emissions cascade through the chain and
+	// are routed at each downstream proxy before that stage's own queue
+	// runs, mirroring the legacy order.
+	for i := 0; i < b; i++ {
+		out := &next
+		if i+1 >= b {
+			out = &p.results
+		}
+		p.fwd = p.routeBatch(i, curr, p.fwd[:0])
+		n1 := p.processBatchAt(i, p.fwd, out)
+		pending := p.queues[i]
+		n2 := p.processBatchAt(i, pending, out)
+		q := append(pending[:0], pending[n2:]...)
+		p.queues[i] = append(q, p.fwd[n1:]...)
+		if i+1 < b {
+			curr, next = next, curr[:0]
+		}
+	}
+
+	// New arrivals.
+	for i := range input {
+		if input[i].Time > p.maxEventSeen {
+			p.maxEventSeen = input[i].Time
+		}
+	}
+	wave := input
+	for i := 0; i < b; i++ {
+		var out *telemetry.Batch
+		if i+1 >= b {
+			out = &p.results
+		} else {
+			next = next[:0]
+			out = &next
+		}
+		p.fwd = p.routeBatch(i, wave, p.fwd[:0])
+		n := p.processBatchAt(i, p.fwd, out)
+		if n < len(p.fwd) {
+			p.queues[i] = append(p.queues[i], p.fwd[n:]...)
+		}
+		if i+1 < b {
+			curr, next = next, curr
+			wave = curr
+		}
+	}
+	p.scratchA, p.scratchB = curr, next
+}
+
+// routeBatch routes one stage's arrivals: drained records append to the
+// stage's drain buffer, forwarded records to fwd (returned). Records
+// beyond what the budget can process plus what the stage queue can hold
+// are force-drained without consulting Route, exactly like the legacy
+// per-record overflow check.
+func (p *Pipeline) routeBatch(i int, in telemetry.Batch, fwd telemetry.Batch) telemetry.Batch {
+	if len(in) == 0 {
+		return fwd
+	}
+	px := p.proxies[i]
+	room := p.opts.MaxQueuePerStage - len(p.queues[i])
+	if room < 0 {
+		room = 0
+	}
+	// Forwarded records beyond this bound could neither be processed
+	// (budget) nor queued (bounded stage queue): they must force-drain.
+	maxFwd := p.bucket.FitCount(p.cm.Cost(i), len(in)) + room
+	for k := range in {
+		if len(fwd) >= maxFwd {
+			px.NoteForcedDrain(in[k].WireSize)
+			p.appendDrain(i, in[k])
+			continue
+		}
+		if px.Route(in[k]) {
+			fwd = append(fwd, in[k])
+		} else {
+			p.appendDrain(i, in[k])
+		}
+	}
+	return fwd
+}
+
+// processBatchAt charges the budget for as many of in's records as fit,
+// runs that prefix through operator i in one vectorized call, and
+// returns how many were consumed; the caller queues the remainder.
+func (p *Pipeline) processBatchAt(i int, in telemetry.Batch, out *telemetry.Batch) int {
+	if len(in) == 0 {
+		return 0
+	}
+	cost := p.cm.Cost(i)
+	n := p.bucket.FitCount(cost, len(in))
+	if n == 0 {
+		return 0
+	}
+	p.bucket.ConsumeN(cost, n)
+	p.proxies[i].NoteProcessedN(n)
+	p.batchOps[i].ProcessBatch(in[:n], out)
+	return n
+}
+
+// appendDrain adds one record to stage i's drain buffer, lazily drawing
+// the buffer from the shared pool on the first drain of the epoch.
+func (p *Pipeline) appendDrain(i int, rec telemetry.Record) {
+	if p.drains[i] == nil {
+		p.drains[i] = telemetry.GetBatch()
+	}
+	p.drains[i] = append(p.drains[i], rec)
+}
+
+// runEpochRecord is the legacy record-at-a-time execution loop: each
+// record traverses the local chain depth-first through per-record
+// routing, budget charges and emit closures. Kept as the semantic
+// reference for the batch path and for A/B benchmarks.
+func (p *Pipeline) runEpochRecord(input telemetry.Batch) {
 	// Carryover: process pending records queued in earlier epochs (they
 	// were already committed to local processing).
 	for i := range p.queues {
@@ -228,7 +443,12 @@ func (p *Pipeline) RunEpoch(input telemetry.Batch) EpochResult {
 		}
 		p.routeAndFeed(0, rec)
 	}
+}
 
+// finishEpoch advances the watermark, flushes closed windows and builds
+// the epoch's result from the per-proxy stats and drain buffers. Shared
+// by both execution paths.
+func (p *Pipeline) finishEpoch() EpochResult {
 	// Watermark: the smallest event time still unprocessed locally, or
 	// the max seen if no backlog.
 	wm := p.maxEventSeen
@@ -242,6 +462,8 @@ func (p *Pipeline) RunEpoch(input telemetry.Batch) EpochResult {
 	}
 
 	// Flush closed windows in stateful operators (within the boundary).
+	// Flush volumes are small (aggregate rows per closed window), so both
+	// paths share the record-at-a-time cascade.
 	for i := 0; i < p.opts.Boundary; i++ {
 		if !p.ops[i].Stateful() {
 			continue
@@ -296,7 +518,7 @@ func (p *Pipeline) routeAndFeed(i int, rec telemetry.Record) {
 		return
 	}
 	if !p.proxies[i].Route(rec) {
-		p.drains[i] = append(p.drains[i], rec)
+		p.appendDrain(i, rec)
 		return
 	}
 	if !p.processAt(i, rec) {
@@ -336,17 +558,15 @@ func (p *Pipeline) emitPast(i int, rec telemetry.Record) {
 		p.results = append(p.results, rec)
 		return
 	}
-	p.drains[stage] = append(p.drains[stage], rec)
+	p.appendDrain(stage, rec)
 }
 
 // forceDrain drains a record that could not be queued, keeping the proxy
-// accounting consistent (counted as arrived and drained).
+// accounting consistent (counted as arrived and drained) through the
+// proxy's own API.
 func (p *Pipeline) forceDrain(i int, rec telemetry.Record) {
-	px := p.proxies[i]
-	px.stats.In++
-	px.stats.Drained++
-	px.stats.DrainedBytes += int64(rec.WireSize)
-	p.drains[i] = append(p.drains[i], rec)
+	p.proxies[i].NoteForcedDrain(rec.WireSize)
+	p.appendDrain(i, rec)
 }
 
 // DrainState asks every stateful local operator to hand its partial state

@@ -103,6 +103,19 @@ func (px *Proxy) Route(rec telemetry.Record) bool {
 // forwarded record within budget.
 func (px *Proxy) NoteProcessed() { px.stats.Processed++ }
 
+// NoteProcessedN records n forwarded records consumed within budget in
+// one amortized update (the batch path's counterpart of NoteProcessed).
+func (px *Proxy) NoteProcessedN(n int) { px.stats.Processed += n }
+
+// NoteForcedDrain accounts for a record the pipeline drained without
+// consulting Route — its stage queue was full — keeping the proxy's
+// arrived/drained counters consistent without exposing the stats field.
+func (px *Proxy) NoteForcedDrain(bytes int) {
+	px.stats.In++
+	px.stats.Drained++
+	px.stats.DrainedBytes += int64(bytes)
+}
+
 // EndEpoch classifies the proxy given queue occupancy and the node's
 // spare budget, returns the epoch's stats, and resets counters for the
 // next epoch. pending is the downstream queue length now; spareBudget is

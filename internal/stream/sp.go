@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"jarvis/internal/operator"
 	"jarvis/internal/plan"
@@ -18,15 +19,25 @@ import (
 // Stream processors are provisioned with dedicated cores (the paper's
 // m5a.16xlarge); the engine therefore executes everything it ingests and
 // reports consumed CPU rather than capping it.
+//
+// All exported methods are safe for concurrent use: an engine may be fed
+// by transport connections and the sharded Processor at once, each with
+// their own locking discipline, so the engine serializes internally.
 type SPEngine struct {
-	query *plan.Query
-	ops   []operator.Operator
-	cm    *CostModel
+	mu       sync.Mutex
+	query    *plan.Query
+	ops      []operator.Operator
+	batchOps []operator.BatchProcessor
+	cm       *CostModel
 
 	// watermarks per source node; the effective watermark is their min.
 	sourceWM map[uint32]int64
 
 	results telemetry.Batch
+
+	// ingest scratch (ping-pong wave buffers), reused across batches.
+	scratchA telemetry.Batch
+	scratchB telemetry.Batch
 
 	// accounting
 	cpuMicros    float64
@@ -45,25 +56,61 @@ func NewSPEngine(q *plan.Query) (*SPEngine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SPEngine{
+	e := &SPEngine{
 		query:    q,
 		ops:      ops,
+		batchOps: make([]operator.BatchProcessor, len(ops)),
 		cm:       cm,
 		sourceWM: make(map[uint32]int64),
-	}, nil
+	}
+	for i, op := range ops {
+		e.batchOps[i] = operator.AsBatchProcessor(op)
+	}
+	return e, nil
 }
 
 // Ingest feeds a batch from a source into the pipeline at the given
 // operator stage. Partial AggRow records entering a stateful stage merge
-// into its state; raw records flow through the remaining operators.
+// into its state; raw records flow through the remaining operators. The
+// whole batch moves stage by stage through the operators' vectorized
+// path, charging the cost model once per stage; each operator sees the
+// same record sequence as record-at-a-time feeding, so the outputs are
+// identical.
 func (e *SPEngine) Ingest(stage int, batch telemetry.Batch) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if stage < 0 || stage > len(e.ops) {
 		return fmt.Errorf("stream: ingest stage %d out of range [0,%d]", stage, len(e.ops))
 	}
-	for _, rec := range batch {
-		e.ingestBytes += int64(rec.WireSize)
-		e.ingestCount++
-		e.feed(stage, rec)
+	if len(batch) == 0 {
+		return nil
+	}
+	e.ingestBytes += batch.TotalBytes()
+	e.ingestCount += int64(len(batch))
+	wave, next := batch, e.scratchA[:0]
+	for i := stage; i < len(e.ops); i++ {
+		e.cpuMicros += e.cm.Cost(i) * float64(len(wave))
+		next = next[:0]
+		e.batchOps[i].ProcessBatch(wave, &next)
+		if i == stage {
+			// The caller's batch stays untouched; from here on the two
+			// scratch buffers ping-pong.
+			wave, next = next, e.scratchB[:0]
+		} else {
+			wave, next = next, wave
+		}
+		if len(wave) == 0 {
+			break
+		}
+	}
+	if len(wave) > 0 {
+		e.results = append(e.results, wave...)
+		e.resultsCount += int64(len(wave))
+	}
+	if stage < len(e.ops) {
+		// After at least one stage, wave and next are the two (possibly
+		// grown) scratch arrays; keep their capacity for the next batch.
+		e.scratchA, e.scratchB = wave[:0], next[:0]
 	}
 	return nil
 }
@@ -85,6 +132,8 @@ func (e *SPEngine) feed(stage int, rec telemetry.Record) {
 // the source is quiet. Registration is idempotent and never regresses an
 // observed watermark.
 func (e *SPEngine) RegisterSource(source uint32) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if _, ok := e.sourceWM[source]; !ok {
 		e.sourceWM[source] = 0
 	}
@@ -94,14 +143,32 @@ func (e *SPEngine) RegisterSource(source uint32) {
 // Control proxies replicate watermarks onto drain paths, so every
 // source's drain and result streams share the source's watermark.
 func (e *SPEngine) ObserveWatermark(source uint32, wm int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if cur, ok := e.sourceWM[source]; !ok || wm > cur {
 		e.sourceWM[source] = wm
+	}
+}
+
+// SourceWatermarks invokes f for every registered source's current
+// watermark (iteration order unspecified).
+func (e *SPEngine) SourceWatermarks(f func(source uint32, wm int64)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for s, wm := range e.sourceWM {
+		f(s, wm)
 	}
 }
 
 // EffectiveWatermark returns the minimum watermark across all known
 // sources (0 when none are registered).
 func (e *SPEngine) EffectiveWatermark() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.effectiveWMLocked()
+}
+
+func (e *SPEngine) effectiveWMLocked() int64 {
 	first := true
 	var min int64
 	for _, wm := range e.sourceWM {
@@ -117,7 +184,22 @@ func (e *SPEngine) EffectiveWatermark() int64 {
 // cascading through downstream operators, and returns the final records
 // emitted by the query since the last call.
 func (e *SPEngine) Advance() telemetry.Batch {
-	wm := e.EffectiveWatermark()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.advanceToLocked(e.effectiveWMLocked())
+}
+
+// AdvanceTo flushes stateful operators up to an explicit watermark and
+// returns the final records emitted since the last call. The concurrent
+// Processor uses it to flush its shard replicas at the globally merged
+// watermark instead of each shard's local minimum.
+func (e *SPEngine) AdvanceTo(wm int64) telemetry.Batch {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.advanceToLocked(wm)
+}
+
+func (e *SPEngine) advanceToLocked(wm int64) telemetry.Batch {
 	for i, op := range e.ops {
 		if !op.Stateful() {
 			continue
@@ -133,16 +215,30 @@ func (e *SPEngine) Advance() telemetry.Batch {
 }
 
 // CPUMicros returns the total compute consumed by the SP replica.
-func (e *SPEngine) CPUMicros() float64 { return e.cpuMicros }
+func (e *SPEngine) CPUMicros() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cpuMicros
+}
 
 // IngressBytes returns the total bytes ingested from sources.
-func (e *SPEngine) IngressBytes() int64 { return e.ingestBytes }
+func (e *SPEngine) IngressBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ingestBytes
+}
 
 // IngressRecords returns the number of records ingested.
-func (e *SPEngine) IngressRecords() int64 { return e.ingestCount }
+func (e *SPEngine) IngressRecords() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ingestCount
+}
 
 // Sources lists the registered source ids, ascending.
 func (e *SPEngine) Sources() []uint32 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := make([]uint32, 0, len(e.sourceWM))
 	for s := range e.sourceWM {
 		out = append(out, s)
@@ -153,6 +249,8 @@ func (e *SPEngine) Sources() []uint32 {
 
 // Reset clears all operator state and accounting (between experiments).
 func (e *SPEngine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, op := range e.ops {
 		op.Reset()
 	}

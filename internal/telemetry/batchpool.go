@@ -1,0 +1,65 @@
+package telemetry
+
+import "sync"
+
+// Reset truncates the batch in place, keeping its backing array so the
+// capacity is reused by the next epoch.
+func (b *Batch) Reset() { *b = (*b)[:0] }
+
+// BatchPool recycles Batch backing arrays across epochs. The hot path of
+// the engine (drain buffers, result buffers, SP ingest scratch) acquires
+// batches here instead of allocating per epoch, so steady-state epochs
+// run allocation-free once the pool is warm. It is safe for concurrent
+// use.
+type BatchPool struct {
+	pool sync.Pool
+}
+
+// NewBatchPool creates an empty pool. Batches handed out start with the
+// given capacity when the pool has nothing to reuse.
+func NewBatchPool(capHint int) *BatchPool {
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &BatchPool{pool: sync.Pool{New: func() any {
+		b := make(Batch, 0, capHint)
+		return &b
+	}}}
+}
+
+// Get returns an empty batch, reusing a recycled backing array when one
+// is available.
+func (p *BatchPool) Get() Batch {
+	b := p.pool.Get().(*Batch)
+	out := *b
+	*b = nil
+	boxPool.Put(b)
+	out.Reset()
+	return out
+}
+
+// Put recycles a batch's backing array. The caller must not touch the
+// batch afterwards: any Get may hand the same memory to another epoch.
+func (p *BatchPool) Put(b Batch) {
+	if cap(b) == 0 {
+		return
+	}
+	b.Reset()
+	box := boxPool.Get().(*Batch)
+	*box = b
+	p.pool.Put(box)
+}
+
+// boxPool recycles the *Batch headers used to move slices through
+// sync.Pool without a fresh allocation on every Put.
+var boxPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// defaultBatchPool backs the package-level helpers shared by the stream
+// engine and the stream-processor side.
+var defaultBatchPool = NewBatchPool(256)
+
+// GetBatch returns an empty batch from the shared pool.
+func GetBatch() Batch { return defaultBatchPool.Get() }
+
+// PutBatch recycles a batch into the shared pool.
+func PutBatch(b Batch) { defaultBatchPool.Put(b) }
