@@ -1,11 +1,20 @@
 // Command jarvis-agent runs a data source agent: it generates (or would
 // ingest) monitoring data, executes the query's source-side replica
 // within a CPU budget under the adaptive Jarvis runtime, and ships
-// drains, partial aggregates and watermarks to a stream processor.
+// drains, partial aggregates and watermarks to a stream processor over
+// the sequenced, replayable transport — epochs buffer while the SP is
+// unreachable and replay on reconnect, so every epoch is applied exactly
+// once.
+//
+// With -checkpoint-dir the agent also takes epoch-aligned durable
+// snapshots of its pipeline state, load factors and replay buffer every
+// -checkpoint-every epochs, and resumes from the newest snapshot after a
+// restart.
 //
 // Usage:
 //
-//	jarvis-agent -sp 127.0.0.1:7700 -id 1 -query s2s -budget 0.6 -epochs 60
+//	jarvis-agent -sp 127.0.0.1:7700 -id 1 -query s2s -budget 0.6 -epochs 60 \
+//	    -checkpoint-dir /var/lib/jarvis/agent1
 package main
 
 import (
@@ -14,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"jarvis/internal/checkpoint"
 	"jarvis/internal/core"
 	"jarvis/internal/experiments"
 	"jarvis/internal/telemetry"
@@ -28,15 +38,17 @@ func main() {
 	budget := flag.Float64("budget", 0.6, "CPU budget as a fraction of one core")
 	epochs := flag.Int("epochs", 60, "epochs to run (0 = forever)")
 	realtime := flag.Bool("realtime", false, "pace epochs at one per second of wall time")
+	ckptDir := flag.String("checkpoint-dir", "", "durable snapshot directory (empty = no checkpointing)")
+	ckptEvery := flag.Int("checkpoint-every", checkpoint.DefaultEvery, "epochs between durable snapshots")
 	flag.Parse()
 
-	if err := run(*spAddr, uint32(*id), *queryName, *budget, *epochs, *realtime); err != nil {
+	if err := run(*spAddr, uint32(*id), *queryName, *budget, *epochs, *realtime, *ckptDir, *ckptEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "jarvis-agent:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spAddr string, id uint32, queryName string, budget float64, epochs int, realtime bool) error {
+func run(spAddr string, id uint32, queryName string, budget float64, epochs int, realtime bool, ckptDir string, ckptEvery int) error {
 	q, rate, err := experiments.QueryByName(queryName)
 	if err != nil {
 		return err
@@ -49,29 +61,64 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 	if err != nil {
 		return err
 	}
-	shipper, closeFn, err := transport.Dial(id, spAddr)
-	if err != nil {
-		return err
+	ship := transport.NewDurableShipper(id, 0)
+
+	var arec *checkpoint.AgentRecovery
+	resume := uint64(0)
+	if ckptDir != "" {
+		store, err := checkpoint.OpenStore(ckptDir)
+		if err != nil {
+			return err
+		}
+		arec = checkpoint.NewAgentRecovery(store, ckptEvery, src, ship)
+		var restored bool
+		resume, restored, err = arec.Restore()
+		if err != nil {
+			return err
+		}
+		if restored {
+			fmt.Printf("jarvis-agent %d: resumed from snapshot after epoch %d (%d unacked epochs buffered)\n",
+				id, resume, ship.Seq()-ship.Acked())
+		}
 	}
-	defer closeFn()
 
 	next := mkGenerator(queryName, uint64(id))
+	// The synthetic generator is deterministic: fast-forward it past the
+	// epochs the snapshot already covers (a real agent would resume its
+	// upstream ingest instead).
+	for e := uint64(0); e < resume; e++ {
+		next(1_000_000)
+	}
+	if err := ship.Connect(spAddr); err != nil {
+		fmt.Fprintf(os.Stderr, "jarvis-agent %d: SP unreachable (%v), buffering epochs\n", id, err)
+	}
 	fmt.Printf("jarvis-agent %d: %s at %.1f Mbps, budget %.0f%%, sp %s\n",
 		id, q.Name, rate, budget*100, spAddr)
 
-	for e := 0; epochs == 0 || e < epochs; e++ {
+	for e := int(resume); epochs == 0 || e < epochs; e++ {
 		start := time.Now()
 		res, err := src.RunEpoch(next(1_000_000))
 		if err != nil {
 			return err
 		}
-		if err := shipper.ShipEpoch(res); err != nil {
+		if !ship.Connected() {
+			if err := ship.Connect(spAddr); err == nil {
+				fmt.Printf("  reconnected to %s, replayed through epoch %d\n", spAddr, ship.Seq())
+			}
+		}
+		if err := ship.ShipEpoch(res); err != nil {
 			return err
+		}
+		if arec != nil {
+			if err := arec.AfterEpoch(ship.Seq()); err != nil {
+				return err
+			}
 		}
 		if e%10 == 0 {
 			lf := src.LoadFactors()
-			fmt.Printf("  epoch %3d  phase %-8v budget used %5.1f%%  factors %.2f  out %6.2f Mbps\n",
-				e, src.Phase(), res.BudgetUsedFrac*100, lf, float64(res.TotalOutBytes())*8/1e6)
+			fmt.Printf("  epoch %3d  phase %-8v budget used %5.1f%%  factors %.2f  out %6.2f Mbps  acked %d/%d\n",
+				e, src.Phase(), res.BudgetUsedFrac*100, lf, float64(res.TotalOutBytes())*8/1e6,
+				ship.Acked(), ship.Seq())
 		}
 		if realtime {
 			if d := time.Second - time.Since(start); d > 0 {
@@ -79,6 +126,7 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 			}
 		}
 	}
+	fmt.Printf("jarvis-agent %d: done; transport counters: %s\n", id, ship.Counters())
 	return nil
 }
 

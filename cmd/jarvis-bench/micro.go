@@ -1,13 +1,18 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"testing"
 
 	"jarvis/internal/benchcase"
+	"jarvis/internal/checkpoint"
+	"jarvis/internal/plan"
+	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
+	"jarvis/internal/transport"
 )
 
 // BenchRecord is one micro-benchmark's machine-readable result.
@@ -61,6 +66,12 @@ func runMicro(outPath string) error {
 	})
 	records = append(records, record("BenchmarkEndToEndBuildingBlock", batch.TotalBytes(), r))
 
+	ckpt, err := checkpointBenchmarks()
+	if err != nil {
+		return err
+	}
+	records = append(records, ckpt...)
+
 	data, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
 		return err
@@ -75,6 +86,111 @@ func runMicro(outPath string) error {
 	}
 	fmt.Println("wrote", outPath)
 	return nil
+}
+
+// checkpointBenchmarks measures the fault-tolerance subsystem's hot
+// paths: the full per-epoch durable snapshot (what -checkpoint-every 1
+// costs on top of an epoch — the ≤5%-of-epoch-time budget), the restore
+// path, and applying one replayed epoch on the SP.
+func checkpointBenchmarks() ([]BenchRecord, error) {
+	records := []BenchRecord{}
+
+	// Snapshot: Pipeline.Checkpoint + encode + atomic durable save, the
+	// exact work AgentRecovery.AfterEpoch does each cadence.
+	pipe, err := benchcase.WarmPipeline(3)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "jarvis-bench-ckpt-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := checkpoint.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snapBytes int64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cp := pipe.Checkpoint(int64(i))
+			snap := &checkpoint.Snapshot{
+				Seq:       uint64(i),
+				Watermark: cp.Watermark,
+				Stages:    cp.Stages,
+				Factors:   pipe.LoadFactors(),
+			}
+			if _, err := store.Save(snap); err != nil {
+				b.Fatal(err)
+			}
+			if snapBytes == 0 {
+				var buf bytes.Buffer
+				_ = snap.Encode(&buf)
+				snapBytes = int64(buf.Len())
+			}
+		}
+	})
+	saveRec := record("BenchmarkCheckpointSave", snapBytes, r)
+	records = append(records, saveRec)
+	// The per-epoch snapshot overhead at the default cadence — the number
+	// the ≤5%-of-epoch-time budget is checked against.
+	records = append(records, BenchRecord{
+		Name:       fmt.Sprintf("BenchmarkCheckpointSavePerEpoch@every=%d", checkpoint.DefaultEvery),
+		NsPerOp:    saveRec.NsPerOp / float64(checkpoint.DefaultEvery),
+		Iterations: saveRec.Iterations,
+	})
+
+	// Restore: decode the newest snapshot and fold it into a pipeline.
+	snap, ok, err := store.Latest()
+	if err != nil || !ok {
+		return nil, fmt.Errorf("no snapshot to restore (err=%v)", err)
+	}
+	var enc bytes.Buffer
+	if err := snap.Encode(&enc); err != nil {
+		return nil, err
+	}
+	fresh, err := stream.NewPipeline(plan.S2SProbe(), stream.DefaultOptions(1.0, 0))
+	if err != nil {
+		return nil, err
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got, err := checkpoint.DecodeSnapshot(bytes.NewReader(enc.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cp := &stream.Checkpoint{Epoch: int64(got.Seq), Watermark: got.Watermark, Stages: got.Stages}
+			if err := fresh.RestoreCheckpoint(cp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	records = append(records, record("BenchmarkCheckpointRestore", int64(enc.Len()), r))
+
+	// Replay: apply one encoded epoch to an SP engine through the
+	// receiver (the per-epoch cost of catching up after a restart).
+	_, epochBytes, err := benchcase.ShippedEpoch()
+	if err != nil {
+		return nil, err
+	}
+	engine, err := stream.NewSPEngine(plan.S2SProbe())
+	if err != nil {
+		return nil, err
+	}
+	rc := transport.NewReceiver(engine)
+	rc.RegisterSource(1)
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := rc.HandleStream(bytes.NewReader(epochBytes)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	records = append(records, record("BenchmarkEpochReplay", int64(len(epochBytes)), r))
+	return records, nil
 }
 
 func record(name string, totalBytes int64, r testing.BenchmarkResult) BenchRecord {

@@ -2,9 +2,18 @@
 // connections, merges their drained records and partial aggregates, and
 // prints final query results as they complete.
 //
+// With -checkpoint-dir the SP runs the recovery subsystem: sequenced
+// epochs are applied exactly once, engine state is snapshotted durably
+// every -checkpoint-every applied epochs (agents are acked — and may
+// prune their replay buffers — only after the covering snapshot is
+// durable), results flow through an exactly-once result log, and on
+// startup the newest consistent snapshot is restored so reconnecting
+// agents replay only what the snapshot does not cover.
+//
 // Usage:
 //
-//	jarvis-sp -listen :7700 -query s2s -sources 1,2,3
+//	jarvis-sp -listen :7700 -query s2s -sources 1,2,3 \
+//	    -checkpoint-dir /var/lib/jarvis/sp -checkpoint-every 4
 package main
 
 import (
@@ -14,10 +23,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
+	"jarvis/internal/checkpoint"
 	"jarvis/internal/core"
 	"jarvis/internal/experiments"
 	"jarvis/internal/telemetry"
@@ -28,15 +39,17 @@ func main() {
 	listen := flag.String("listen", ":7700", "address to accept agents on")
 	query := flag.String("query", "s2s", "query to run (s2s|t2t|log)")
 	sources := flag.String("sources", "1", "comma-separated source ids to wait for")
+	ckptDir := flag.String("checkpoint-dir", "", "durable snapshot directory (empty = no checkpointing)")
+	ckptEvery := flag.Int("checkpoint-every", checkpoint.DefaultEvery, "applied epochs between durable snapshots")
 	flag.Parse()
 
-	if err := run(*listen, *query, *sources); err != nil {
+	if err := run(*listen, *query, *sources, *ckptDir, *ckptEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "jarvis-sp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, queryName, sources string) error {
+func run(listen, queryName, sources, ckptDir string, ckptEvery int) error {
 	q, _, err := experiments.QueryByName(queryName)
 	if err != nil {
 		return err
@@ -46,6 +59,29 @@ func run(listen, queryName, sources string) error {
 		return err
 	}
 	rc := transport.NewReceiver(proc.Engine())
+
+	var rm *checkpoint.SPRecovery
+	if ckptDir != "" {
+		store, err := checkpoint.OpenStore(ckptDir)
+		if err != nil {
+			return err
+		}
+		rlog, err := checkpoint.OpenResultLog(filepath.Join(ckptDir, "results.log"))
+		if err != nil {
+			return err
+		}
+		defer rlog.Close()
+		rm = checkpoint.NewSPRecovery(store, rlog, proc.Engine(), rc, ckptEvery)
+		restored, err := rm.Restore()
+		if err != nil {
+			return err
+		}
+		if restored {
+			fmt.Printf("jarvis-sp: restored snapshot (result log at %d rows, watermark %d µs)\n",
+				rlog.Rows(), rlog.EmittedWM())
+		}
+	}
+
 	for _, tok := range strings.Split(sources, ",") {
 		id, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 32)
 		if err != nil {
@@ -64,17 +100,36 @@ func run(listen, queryName, sources string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	advance := func() (telemetry.Batch, error) {
+		if rm != nil {
+			return rm.Advance()
+		}
+		return rc.Advance(), nil
+	}
 	go func() {
 		ticker := time.NewTicker(time.Second)
 		defer ticker.Stop()
 		for {
 			select {
 			case <-ctx.Done():
+				if rm != nil {
+					// Final snapshot so a clean shutdown loses nothing.
+					if err := rm.Snapshot(); err != nil {
+						fmt.Fprintln(os.Stderr, "jarvis-sp: final snapshot:", err)
+					}
+				}
+				fmt.Printf("jarvis-sp: transport counters: %s\n", rc.Counters())
 				return
 			case <-ticker.C:
-				rows := rc.Advance()
+				// Advance may return rows AND an error (rows durably logged
+				// but the follow-up snapshot failed): always print what was
+				// emitted — the result log will not hand these rows back.
+				rows, err := advance()
 				if len(rows) > 0 {
 					printRows(rows)
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "jarvis-sp:", err)
 				}
 			}
 		}

@@ -1,8 +1,13 @@
 // Cluster example: a stream processor and three data source agents run
 // as separate goroutines connected over loopback TCP — the same wire
-// protocol cmd/jarvis-sp and cmd/jarvis-agent speak across machines.
-// Each agent adapts independently to its own CPU budget; the SP merges
-// watermarks across all three streams and emits exact results.
+// protocol cmd/jarvis-sp and cmd/jarvis-agent speak across machines —
+// with the fault-tolerance subsystem enabled end to end. Each agent
+// ships sequenced epochs through a durable shipper (bounded replay
+// buffer, hello/ack resume); the SP applies them exactly once, snapshots
+// its engine durably every few epochs and logs results exactly once.
+// Mid-run the SP is killed and restarted from its snapshot directory:
+// the agents buffer while it is down, replay on reconnect, and the final
+// merged results are exactly what an uninterrupted run would produce.
 package main
 
 import (
@@ -10,71 +15,145 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"jarvis"
+	"jarvis/internal/checkpoint"
 	"jarvis/internal/transport"
 )
 
 const (
-	agents = 3
-	epochs = 16
+	agents     = 3
+	epochs     = 16
+	dataEpochs = 11
 )
 
-func main() {
-	query := jarvis.S2SProbe()
-	proc, err := jarvis.NewProcessor(query)
+// spNode is one SP incarnation over a persistent checkpoint directory.
+type spNode struct {
+	rc     *transport.Receiver
+	rm     *checkpoint.SPRecovery
+	rlog   *checkpoint.ResultLog
+	srv    *transport.Server
+	addr   string
+	cancel context.CancelFunc
+}
+
+func startSP(dir string) (*spNode, error) {
+	proc, err := jarvis.NewProcessor(jarvis.S2SProbe())
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
+	}
+	store, err := checkpoint.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	rlog, err := checkpoint.OpenResultLog(filepath.Join(dir, "results.log"))
+	if err != nil {
+		return nil, err
 	}
 	rc := transport.NewReceiver(proc.Engine())
-
+	rm := checkpoint.NewSPRecovery(store, rlog, proc.Engine(), rc, 4)
+	if restored, err := rm.Restore(); err != nil {
+		return nil, err
+	} else if restored {
+		fmt.Printf("SP restarted from snapshot (result log already holds %d rows)\n", rlog.Rows())
+	}
+	for id := uint32(1); id <= agents; id++ {
+		rc.RegisterSource(id)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatalf("loopback unavailable: %v", err)
+		return nil, err
 	}
 	srv := transport.NewServer(rc)
 	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
 	go func() { _ = srv.Serve(ctx, ln) }()
-	fmt.Printf("SP listening on %s\n", ln.Addr())
+	return &spNode{rc: rc, rm: rm, rlog: rlog, srv: srv, addr: ln.Addr().String(), cancel: cancel}, nil
+}
+
+func (sp *spNode) stop() {
+	sp.cancel()
+	_ = sp.srv.Close()
+	_ = sp.rlog.Close()
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "jarvis-cluster-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sp, err := startSP(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SP listening on %s (snapshots in %s)\n", sp.addr, dir)
+
+	// addrCh broadcasts the current SP address to agents across restarts.
+	var addrMu sync.Mutex
+	spAddr := sp.addr
+	getAddr := func() string { addrMu.Lock(); defer addrMu.Unlock(); return spAddr }
+	setAddr := func(a string) { addrMu.Lock(); spAddr = a; addrMu.Unlock() }
 
 	budgets := []float64{0.9, 0.5, 0.3}
 	var wg sync.WaitGroup
 	for i := 0; i < agents; i++ {
 		id := uint32(i + 1)
-		rc.RegisterSource(id)
 		wg.Add(1)
 		go func(id uint32, budget float64) {
 			defer wg.Done()
-			if err := runAgent(ln.Addr().String(), id, budget); err != nil {
+			if err := runAgent(getAddr, id, budget); err != nil {
 				log.Printf("agent %d: %v", id, err)
 			}
 		}(id, budgets[i])
 	}
 
-	// Collect merged results while agents run.
+	// Collect results while agents run — and kill the SP partway through.
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
 	rows := 0
+	killAt := time.After(400 * time.Millisecond)
+	var downUntil <-chan time.Time
 	for {
 		select {
+		case <-killAt:
+			fmt.Println("\n*** killing the SP mid-run ***")
+			sp.stop()
+			killAt = nil
+			downUntil = time.After(300 * time.Millisecond)
+		case <-downUntil:
+			sp, err = startSP(dir)
+			if err != nil {
+				log.Fatal(err)
+			}
+			setAddr(sp.addr)
+			fmt.Printf("*** SP back on %s; agents will reconnect and replay ***\n\n", sp.addr)
+			downUntil = nil
 		case <-done:
-			// Drain what's left.
-			time.Sleep(100 * time.Millisecond)
-			rows += printRows(rc.Advance(), rows)
-			fmt.Printf("\nmerged %d aggregate rows from %d agents over TCP\n", rows, agents)
-			fmt.Printf("SP received %.2f MB (%d frames)\n", float64(rc.BytesIn())/1e6, rc.Frames())
-			_ = srv.Close()
+			time.Sleep(200 * time.Millisecond)
+			if out, err := sp.rm.Advance(); err == nil {
+				rows += printRows(out, rows)
+			}
+			fmt.Printf("\nresult log: %d rows, every row exactly once despite the restart\n", sp.rlog.Rows())
+			fmt.Printf("SP transport counters: %s\n", sp.rc.Counters())
+			sp.stop()
 			return
 		case <-time.After(50 * time.Millisecond):
-			rows += printRows(rc.Advance(), rows)
+			if downUntil != nil {
+				continue // SP is down; don't advance the stopped incarnation
+			}
+			if out, err := sp.rm.Advance(); err == nil {
+				rows += printRows(out, rows)
+			}
 		}
 	}
 }
 
-func runAgent(addr string, id uint32, budget float64) error {
+func runAgent(getAddr func() string, id uint32, budget float64) error {
 	src, err := jarvis.NewSource(jarvis.S2SProbe(), jarvis.SourceOptions{
 		BudgetFrac: budget,
 		RateMbps:   26.2,
@@ -83,18 +162,18 @@ func runAgent(addr string, id uint32, budget float64) error {
 	if err != nil {
 		return err
 	}
-	shipper, closeFn, err := transport.Dial(id, addr)
-	if err != nil {
+	ship := transport.NewDurableShipper(id, 0)
+	if err := ship.Connect(getAddr()); err != nil {
 		return err
 	}
-	defer closeFn()
+	defer ship.Close()
 
 	cfg := jarvis.DefaultPingConfig(uint64(id) * 17)
 	cfg.SrcIP = 0x0A000000 + id
 	gen := jarvis.NewPingGen(cfg)
 	for e := 0; e < epochs; e++ {
 		var batch jarvis.Batch
-		if e < 11 {
+		if e < dataEpochs {
 			batch = gen.NextWindow(1_000_000)
 		} else {
 			src.ObserveTime(int64(e+1) * 1_000_000) // quiet tail closes windows
@@ -103,12 +182,18 @@ func runAgent(addr string, id uint32, budget float64) error {
 		if err != nil {
 			return err
 		}
-		if err := shipper.ShipEpoch(res); err != nil {
+		if !ship.Connected() {
+			if err := ship.Connect(getAddr()); err == nil {
+				fmt.Printf("agent %d: reconnected, replaying unacked epochs\n", id)
+			}
+		}
+		if err := ship.ShipEpoch(res); err != nil {
 			return err
 		}
+		time.Sleep(60 * time.Millisecond) // pace the demo so the outage lands mid-run
 	}
-	fmt.Printf("agent %d (budget %2.0f%%): final load factors %.2f\n",
-		id, budget*100, src.LoadFactors())
+	fmt.Printf("agent %d (budget %2.0f%%): final load factors %.2f, %d/%d epochs acked\n",
+		id, budget*100, src.LoadFactors(), ship.Acked(), ship.Seq())
 	return nil
 }
 

@@ -6,10 +6,13 @@
 package benchcase
 
 import (
+	"bytes"
+
 	"jarvis/internal/core"
 	"jarvis/internal/plan"
 	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
+	"jarvis/internal/transport"
 	"jarvis/internal/workload"
 )
 
@@ -43,4 +46,42 @@ func EndToEnd() (*core.BuildingBlock, telemetry.Batch, error) {
 	}
 	gen := workload.NewPingGen(workload.DefaultPingConfig(5))
 	return bb, gen.NextWindow(1_000_000), nil
+}
+
+// WarmPipeline returns the PipelineEpoch pipeline after several epochs
+// of input, so its G+R stage carries realistic open-window state — the
+// setup for the snapshot/restore micro-benchmarks.
+func WarmPipeline(epochs int) (*stream.Pipeline, error) {
+	pipe, batch, err := PipelineEpoch(false)
+	if err != nil {
+		return nil, err
+	}
+	gen := workload.NewPingGen(workload.DefaultPingConfig(1))
+	for i := 0; i < epochs; i++ {
+		pipe.RunEpoch(batch)
+		batch = gen.NextWindow(1_000_000)
+	}
+	return pipe, nil
+}
+
+// ShippedEpoch returns one drain-heavy epoch (all load factors at zero,
+// so the full raw batch ships to the SP) plus the same epoch encoded as
+// wire frames — the input for the replay-apply micro-benchmark, sized
+// like the epochs a recovering SP actually re-applies.
+func ShippedEpoch() (stream.EpochResult, []byte, error) {
+	pipe, err := stream.NewPipeline(plan.S2SProbe(), stream.DefaultOptions(1.0, 0))
+	if err != nil {
+		return stream.EpochResult{}, nil, err
+	}
+	if err := pipe.SetLoadFactors([]float64{0, 0, 0}); err != nil {
+		return stream.EpochResult{}, nil, err
+	}
+	gen := workload.NewPingGen(workload.DefaultPingConfig(1))
+	res := pipe.RunEpoch(gen.NextWindow(1_000_000))
+	var buf bytes.Buffer
+	sh := transport.NewShipper(1, &buf)
+	if err := sh.ShipEpoch(res); err != nil {
+		return stream.EpochResult{}, nil, err
+	}
+	return res, buf.Bytes(), nil
 }

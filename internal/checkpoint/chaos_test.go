@@ -1,0 +1,313 @@
+package checkpoint
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"jarvis/internal/core"
+	"jarvis/internal/plan"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/transport"
+	"jarvis/internal/wire"
+	"jarvis/internal/workload"
+)
+
+// The kill-and-restart chaos runs (§IV-E acceptance): on each of the
+// paper's three queries, a source agent ships sequenced epochs over real
+// TCP to an SP running the full recovery stack (durable snapshots every
+// 2 applied epochs, exactly-once result log). One run kills the SP
+// mid-stream and restarts it from its snapshot dir (the agent replays
+// unacked epochs); another kills the agent between ship and snapshot and
+// restarts it from its own dir (the driver re-feeds input from the
+// resumed epoch, and the SP's sequence dedup discards the re-shipped
+// duplicate). In both cases the durable result log must be byte-identical
+// to an uninterrupted run.
+
+const (
+	chaosDataEpochs  = 10
+	chaosTotalEpochs = 14
+	spKillEpoch      = 7 // after this epoch's advance the SP dies...
+	spRestartEpoch   = 10
+	agentKillEpoch   = 6 // ...or the agent dies right after shipping this epoch
+)
+
+type chaosCase struct {
+	name  string
+	query func() *plan.Query
+	gen   func() func(int64) telemetry.Batch
+}
+
+// chaosTable covers the ping generator's source IP and a peer subset, so
+// T2TProbe's joins both hit and miss (same shape as the parity tests).
+func chaosTable() *telemetry.ToRTable {
+	cfg := workload.DefaultPingConfig(7)
+	ips := []uint32{cfg.SrcIP}
+	for i := 0; i < 2000; i++ {
+		ips = append(ips, 0x0B000000+uint32(i))
+	}
+	return telemetry.NewToRTable(ips, 40)
+}
+
+func chaosCases() []chaosCase {
+	pingGen := func() func(int64) telemetry.Batch {
+		g := workload.NewPingGen(workload.DefaultPingConfig(7))
+		return g.NextWindow
+	}
+	return []chaosCase{
+		{name: "S2SProbe", query: plan.S2SProbe, gen: pingGen},
+		{name: "T2TProbe", query: func() *plan.Query { return plan.T2TProbe(chaosTable()) }, gen: pingGen},
+		{name: "LogAnalytics", query: plan.LogAnalytics, gen: func() func(int64) telemetry.Batch {
+			g := workload.NewLogGen(workload.DefaultLogConfig(7))
+			return g.NextWindow
+		}},
+	}
+}
+
+// chaosSP is one SP incarnation: engine + receiver + recovery manager
+// serving on a loopback listener.
+type chaosSP struct {
+	rc     *transport.Receiver
+	rm     *SPRecovery
+	rlog   *ResultLog
+	srv    *transport.Server
+	addr   string
+	cancel context.CancelFunc
+}
+
+func startSP(t *testing.T, q *plan.Query, dir string) *chaosSP {
+	t.Helper()
+	proc, err := core.NewProcessor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlog, err := OpenResultLog(filepath.Join(dir, "results.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := transport.NewReceiver(proc.Engine())
+	rm := NewSPRecovery(store, rlog, proc.Engine(), rc, 2)
+	if _, err := rm.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	rc.RegisterSource(1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	srv := transport.NewServer(rc)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { _ = srv.Serve(ctx, ln) }()
+	return &chaosSP{rc: rc, rm: rm, rlog: rlog, srv: srv, addr: ln.Addr().String(), cancel: cancel}
+}
+
+func (sp *chaosSP) stop() {
+	sp.cancel()
+	_ = sp.srv.Close()
+	_ = sp.rlog.Close()
+}
+
+// chaosAgent is one agent incarnation: source + durable shipper +
+// recovery manager, resumed from its snapshot dir.
+type chaosAgent struct {
+	src    *core.Source
+	ship   *transport.DurableShipper
+	arec   *AgentRecovery
+	gen    func(int64) telemetry.Batch
+	resume uint64
+}
+
+func startAgent(t *testing.T, tc chaosCase, dir string) *chaosAgent {
+	t.Helper()
+	src, err := core.NewSource(tc.query(), core.SourceOptions{
+		BudgetFrac: 4.0, // ample: no mid-epoch budget exhaustion
+		RateMbps:   workload.PingmeshMbps10x,
+		Adapt:      false, // fixed routing: deterministic re-execution
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := make([]float64, len(src.Query().Ops))
+	for i := range ones {
+		ones[i] = 1
+	}
+	if err := src.SetLoadFactors(ones); err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship := transport.NewDurableShipper(1, 64)
+	arec := NewAgentRecovery(store, 1, src, ship)
+	resume, _, err := arec.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the deterministic input stream and fast-forward past the
+	// epochs the snapshot already covers.
+	gen := tc.gen()
+	for e := uint64(1); e <= resume && e <= chaosDataEpochs; e++ {
+		gen(1_000_000)
+	}
+	return &chaosAgent{src: src, ship: ship, arec: arec, gen: gen, resume: resume}
+}
+
+func waitApplied(t *testing.T, rc *transport.Receiver, source uint32, seq uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for rc.AppliedSeq(source) < seq {
+		if time.Now().After(deadline) {
+			t.Fatalf("SP never applied epoch %d (at %d)", seq, rc.AppliedSeq(source))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// chaosRun executes one full run and returns the result log's rows.
+// kill is "", "sp" or "agent".
+func chaosRun(t *testing.T, tc chaosCase, kill string) telemetry.Batch {
+	t.Helper()
+	spDir, agDir := t.TempDir(), t.TempDir()
+	sp := startSP(t, tc.query(), spDir)
+	agent := startAgent(t, tc, agDir)
+	if err := agent.ship.Connect(sp.addr); err != nil {
+		t.Fatal(err)
+	}
+
+	spKilled, agentKilled := false, false
+	spUp := true
+	e := agent.resume + 1
+	for e <= chaosTotalEpochs {
+		var input telemetry.Batch
+		if e <= chaosDataEpochs {
+			input = agent.gen(1_000_000)
+		} else {
+			agent.src.ObserveTime(int64(e) * 1_000_000)
+		}
+		res, err := agent.src.RunEpoch(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agent.ship.ShipEpoch(res); err != nil {
+			t.Fatal(err)
+		}
+
+		if kill == "agent" && e == agentKillEpoch && !agentKilled {
+			// Crash between ship and snapshot: the new incarnation resumes
+			// from the previous epoch's snapshot and re-runs this epoch;
+			// the SP discards the re-shipped duplicate by sequence.
+			agentKilled = true
+			_ = agent.ship.Close()
+			agent = startAgent(t, tc, agDir)
+			if spUp {
+				if err := agent.ship.Connect(sp.addr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			e = agent.resume + 1
+			continue
+		}
+
+		if err := agent.arec.AfterEpoch(e); err != nil {
+			t.Fatal(err)
+		}
+		if spUp {
+			waitApplied(t, sp.rc, 1, agent.ship.Seq())
+			if _, err := sp.rm.Advance(); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		if kill == "sp" && e == spKillEpoch && !spKilled {
+			spKilled = true
+			spUp = false
+			sp.stop()
+		}
+		if kill == "sp" && e == spRestartEpoch-1 && spKilled && !spUp {
+			// Restart from the snapshot dir; the agent reconnects and
+			// replays every epoch past the SP's durable frontier.
+			sp = startSP(t, tc.query(), spDir)
+			if err := agent.ship.Connect(sp.addr); err != nil {
+				t.Fatal(err)
+			}
+			spUp = true
+			waitApplied(t, sp.rc, 1, agent.ship.Seq())
+			if _, err := sp.rm.Advance(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e++
+	}
+
+	// Sanity: the fault actually exercised the recovery machinery.
+	switch kill {
+	case "sp":
+		if got := agent.ship.Counters().Get(transport.CtrReconnects); got < 2 {
+			t.Fatalf("sp-kill run reconnected %d times, want ≥ 2", got)
+		}
+	case "agent":
+		if got := sp.rc.Counters().Get(transport.CtrEpochsReplayed); got < 1 {
+			t.Fatalf("agent-kill run deduplicated %d epochs, want ≥ 1", got)
+		}
+	}
+	if agent.ship.Dropped() != 0 {
+		t.Fatalf("replay buffer evicted %d unacked epochs", agent.ship.Dropped())
+	}
+
+	sp.stop()
+	rows, err := ReadResultLog(filepath.Join(spDir, "results.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// canonicalBytes renders rows as their concatenated wire encodings, so
+// "byte-identical results" is checked independent of frame boundaries.
+func canonicalBytes(t *testing.T, rows telemetry.Batch) []byte {
+	t.Helper()
+	var buf []byte
+	var err error
+	for _, rec := range rows {
+		buf, err = wire.EncodeRecord(buf, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf
+}
+
+func TestChaosKillRestartByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos runs are not short")
+	}
+	for _, tc := range chaosCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := chaosRun(t, tc, "")
+			if len(ref) == 0 {
+				t.Fatal("uninterrupted run produced no results — chaos comparison is vacuous")
+			}
+			refBytes := canonicalBytes(t, ref)
+
+			spRows := chaosRun(t, tc, "sp")
+			if !bytes.Equal(refBytes, canonicalBytes(t, spRows)) {
+				t.Fatalf("SP kill-and-restart diverged: %d rows vs %d reference rows",
+					len(spRows), len(ref))
+			}
+
+			agRows := chaosRun(t, tc, "agent")
+			if !bytes.Equal(refBytes, canonicalBytes(t, agRows)) {
+				t.Fatalf("agent kill-and-restart diverged: %d rows vs %d reference rows",
+					len(agRows), len(ref))
+			}
+		})
+	}
+}

@@ -1,0 +1,199 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jarvis/internal/telemetry"
+	"jarvis/internal/transport"
+)
+
+func sampleSnapshot() *Snapshot {
+	agg := telemetry.NewAggRow(telemetry.NumKey(42), 0, 17)
+	agg.Observe(3)
+	return &Snapshot{
+		Seq:       9,
+		Watermark: 9_000_000,
+		EmittedWM: 8_000_000,
+		Acked:     7,
+		Stages: map[int]telemetry.Batch{
+			2: {telemetry.NewAggRecord(agg, 10_000_000)},
+		},
+		Sources: map[uint32]SourceState{
+			1: {Watermark: 9_000_000, AppliedSeq: 9},
+			2: {Watermark: 8_500_000, AppliedSeq: 8},
+		},
+		Factors: []float64{1, 0.5, 0.25},
+		Pending: []transport.PendingEpoch{
+			{Seq: 8, Data: []byte{1, 2, 3}},
+			{Seq: 9, Data: []byte{4, 5}},
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := sampleSnapshot()
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != snap.Seq || got.Watermark != snap.Watermark || got.EmittedWM != snap.EmittedWM || got.Acked != snap.Acked {
+		t.Fatalf("header: %+v", got)
+	}
+	if len(got.Stages) != 1 || len(got.Stages[2]) != 1 {
+		t.Fatalf("stages: %+v", got.Stages)
+	}
+	a := snap.Stages[2][0].Data.(*telemetry.AggRow)
+	b := got.Stages[2][0].Data.(*telemetry.AggRow)
+	if *a != *b {
+		t.Fatalf("stage row: %+v vs %+v", a, b)
+	}
+	if len(got.Sources) != 2 || got.Sources[2].AppliedSeq != 8 || got.Sources[1].Watermark != 9_000_000 {
+		t.Fatalf("sources: %+v", got.Sources)
+	}
+	if len(got.Factors) != 3 || got.Factors[1] != 0.5 {
+		t.Fatalf("factors: %v", got.Factors)
+	}
+	if len(got.Pending) != 2 || got.Pending[1].Seq != 9 || !bytes.Equal(got.Pending[0].Data, []byte{1, 2, 3}) {
+		t.Fatalf("pending: %+v", got.Pending)
+	}
+}
+
+func TestStoreSaveLatest(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Latest(); err != nil || ok {
+		t.Fatalf("fresh store: ok=%v err=%v", ok, err)
+	}
+	first := sampleSnapshot()
+	first.Seq = 3
+	if _, err := st.Save(first); err != nil {
+		t.Fatal(err)
+	}
+	second := sampleSnapshot()
+	second.Seq = 6
+	name, err := st.Save(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Latest()
+	if err != nil || !ok || got.Seq != 6 {
+		t.Fatalf("latest: ok=%v err=%v snap=%+v", ok, err, got)
+	}
+
+	// Reopening resumes ids and still finds the newest snapshot.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ = st2.Latest()
+	if !ok || got.Seq != 6 {
+		t.Fatalf("latest after reopen: %+v", got)
+	}
+
+	// Corrupting the newest file falls back to the previous snapshot.
+	if err := os.WriteFile(filepath.Join(dir, name), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err = st2.Latest()
+	if err != nil || !ok || got.Seq != 3 {
+		t.Fatalf("fallback: ok=%v err=%v snap=%+v", ok, err, got)
+	}
+}
+
+func resultRow(key uint64, window, endMicros int64, v float64) telemetry.Record {
+	agg := telemetry.NewAggRow(telemetry.NumKey(key), window, v)
+	return telemetry.NewAggRecord(agg, endMicros)
+}
+
+func TestResultLogExactlyOnce(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	l, err := OpenResultLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, err := l.Append(telemetry.Batch{resultRow(1, 0, 10, 5), resultRow(2, 0, 10, 6)})
+	if err != nil || len(kept) != 2 {
+		t.Fatalf("first append: kept=%d err=%v", len(kept), err)
+	}
+	// A replayed duplicate batch (same window end) is fully suppressed.
+	kept, err = l.Append(telemetry.Batch{resultRow(1, 0, 10, 5), resultRow(2, 0, 10, 6)})
+	if err != nil || len(kept) != 0 {
+		t.Fatalf("duplicate append: kept=%d err=%v", len(kept), err)
+	}
+	// A mixed batch keeps only the new window.
+	kept, err = l.Append(telemetry.Batch{resultRow(1, 0, 10, 5), resultRow(1, 1, 20, 7)})
+	if err != nil || len(kept) != 1 || kept[0].Time != 20 {
+		t.Fatalf("mixed append: kept=%+v err=%v", kept, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen recovers the high-water mark; duplicates stay suppressed.
+	l2, err := OpenResultLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.EmittedWM() != 20 || l2.Rows() != 3 {
+		t.Fatalf("recovered wm=%d rows=%d", l2.EmittedWM(), l2.Rows())
+	}
+	kept, err = l2.Append(telemetry.Batch{resultRow(1, 1, 20, 7)})
+	if err != nil || len(kept) != 0 {
+		t.Fatalf("append after reopen: kept=%d err=%v", len(kept), err)
+	}
+	_ = l2.Close()
+
+	rows, err := ReadResultLog(path)
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("read back: rows=%d err=%v", len(rows), err)
+	}
+}
+
+func TestResultLogTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	l, err := OpenResultLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(telemetry.Batch{resultRow(1, 0, 10, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Close()
+	// Simulate a crash mid-append: garbage half-frame at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 1, 0, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	l2, err := OpenResultLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Rows() != 1 || l2.EmittedWM() != 10 {
+		t.Fatalf("after torn tail: rows=%d wm=%d", l2.Rows(), l2.EmittedWM())
+	}
+	// The log is appendable again after truncation.
+	kept, err := l2.Append(telemetry.Batch{resultRow(1, 1, 20, 9)})
+	if err != nil || len(kept) != 1 {
+		t.Fatalf("append after truncate: kept=%d err=%v", len(kept), err)
+	}
+	_ = l2.Close()
+	rows, err := ReadResultLog(path)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("read back: rows=%d err=%v", len(rows), err)
+	}
+}

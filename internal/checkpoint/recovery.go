@@ -1,0 +1,242 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"jarvis/internal/stream"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/transport"
+)
+
+// DefaultEvery is the default snapshot cadence in epochs: with the
+// paper's 1 s epochs, a durable snapshot roughly every half minute.
+// Full-state snapshots cost a few ms at evaluation scale (see
+// BenchmarkCheckpointSave), so this cadence amortizes the overhead to
+// ~2-3% of engine epoch time, and the durable shipper's default replay
+// buffer (DefaultMaxPending, 2× this cadence) keeps every epoch between
+// snapshots replayable.
+const DefaultEvery = 32
+
+// Agent is the source-side surface the recovery manager needs. Both
+// *stream.Pipeline and *core.Source implement it.
+type Agent interface {
+	// Checkpoint snapshots the stateful operators' open-window state
+	// non-destructively.
+	Checkpoint(epoch int64) *stream.Checkpoint
+	// RestoreCheckpoint folds a checkpoint back into the operators and
+	// resumes the watermark.
+	RestoreCheckpoint(cp *stream.Checkpoint) error
+	// LoadFactors/SetLoadFactors capture and restore proxy routing, so a
+	// restarted agent replays epochs with identical routing decisions.
+	LoadFactors() []float64
+	SetLoadFactors([]float64) error
+}
+
+// AgentRecovery takes epoch-aligned snapshots of a source agent — its
+// pipeline state, load factors, and the durable shipper's sequence
+// counters and replay buffer — and restores the newest one on startup.
+//
+// Exactly-once across an agent restart: the agent resumes from snapshot
+// epoch R, the driver re-feeds input from epoch R+1, and any epoch the
+// crashed incarnation already shipped is discarded by the SP's sequence
+// dedup. Re-run epochs must re-ship identical content for SP state to
+// stay consistent, which holds when re-execution is deterministic from
+// the snapshot: fixed load factors (restored from the snapshot) or
+// adaptation disabled, and a budget that does not force mid-epoch
+// drops. With -checkpoint-every 1 the re-run window is at most the
+// single epoch in flight at the crash.
+type AgentRecovery struct {
+	store *Store
+	every uint64
+	agent Agent
+	ship  *transport.DurableShipper
+}
+
+// NewAgentRecovery wires a recovery manager to an agent. every is the
+// snapshot cadence in epochs (minimum 1); ship may be nil for agents
+// that consume epochs in process.
+func NewAgentRecovery(store *Store, every int, agent Agent, ship *transport.DurableShipper) *AgentRecovery {
+	if every < 1 {
+		every = 1
+	}
+	return &AgentRecovery{store: store, every: uint64(every), agent: agent, ship: ship}
+}
+
+// Restore loads the newest consistent snapshot into the agent (and the
+// shipper's replay buffer) and returns the epoch to resume after. ok is
+// false when the store is empty (fresh start: resume after epoch 0).
+func (r *AgentRecovery) Restore() (resumeEpoch uint64, ok bool, err error) {
+	snap, ok, err := r.store.Latest()
+	if err != nil || !ok {
+		return 0, false, err
+	}
+	cp := &stream.Checkpoint{Epoch: int64(snap.Seq), Watermark: snap.Watermark, Stages: snap.Stages}
+	if err := r.agent.RestoreCheckpoint(cp); err != nil {
+		return 0, false, fmt.Errorf("checkpoint: restore agent state: %w", err)
+	}
+	if len(snap.Factors) > 0 {
+		if err := r.agent.SetLoadFactors(snap.Factors); err != nil {
+			return 0, false, fmt.Errorf("checkpoint: restore load factors: %w", err)
+		}
+	}
+	if r.ship != nil {
+		r.ship.RestoreState(snap.Seq, snap.Acked, snap.Pending)
+	}
+	return snap.Seq, true, nil
+}
+
+// AfterEpoch snapshots the agent when the cadence is due. Call it after
+// every RunEpoch+ShipEpoch pair with the epoch's sequence number.
+func (r *AgentRecovery) AfterEpoch(epoch uint64) error {
+	if epoch%r.every != 0 {
+		return nil
+	}
+	cp := r.agent.Checkpoint(int64(epoch))
+	snap := &Snapshot{
+		Seq:       epoch,
+		Watermark: cp.Watermark,
+		Stages:    cp.Stages,
+		Factors:   r.agent.LoadFactors(),
+	}
+	if r.ship != nil {
+		snap.Seq, snap.Acked, snap.Pending = r.ship.State()
+	}
+	if _, err := r.store.Save(snap); err != nil {
+		return fmt.Errorf("checkpoint: save agent snapshot: %w", err)
+	}
+	return nil
+}
+
+// SPRecovery takes epoch-aligned snapshots of a stream processor — the
+// engine's stateful operators, per-source watermarks and applied epoch
+// sequences — restores the newest one on startup, and routes emitted
+// rows through the exactly-once result log. After each durable snapshot
+// it acknowledges the covered epochs to the connected agents, which
+// prune their replay buffers; epochs applied since the last snapshot
+// stay replayable and are deduplicated by sequence when a restarted SP
+// receives them again.
+type SPRecovery struct {
+	store  *Store
+	log    *ResultLog
+	engine *stream.SPEngine
+	rc     *transport.Receiver
+	every  uint64
+
+	snapAt   uint64 // progress measure (sum of applied seqs) at last snapshot
+	haveSnap bool
+}
+
+// NewSPRecovery wires a recovery manager to an SP engine and its
+// receiver. every is the snapshot cadence in applied epochs (minimum 1,
+// summed across sources); log may be nil to skip result logging. The
+// receiver is switched to manual (durability-gated) acks.
+func NewSPRecovery(store *Store, log *ResultLog, engine *stream.SPEngine, rc *transport.Receiver, every int) *SPRecovery {
+	if every < 1 {
+		every = 1
+	}
+	rc.SetManualAck(true)
+	return &SPRecovery{store: store, log: log, engine: engine, rc: rc, every: uint64(every)}
+}
+
+// Restore loads the newest consistent snapshot into the engine and the
+// receiver's dedup state. ok is false on a fresh store.
+func (r *SPRecovery) Restore() (ok bool, err error) {
+	snap, ok, err := r.store.Latest()
+	if err != nil || !ok {
+		return false, err
+	}
+	for stage, rows := range snap.Stages {
+		if err := r.engine.Ingest(stage, rows); err != nil {
+			return false, fmt.Errorf("checkpoint: restore stage %d: %w", stage, err)
+		}
+	}
+	var total uint64
+	for src, st := range snap.Sources {
+		r.engine.RegisterSource(src)
+		r.engine.ObserveWatermark(src, st.Watermark)
+		r.rc.SetApplied(src, st.AppliedSeq)
+		total += st.AppliedSeq
+	}
+	r.snapAt = total
+	r.haveSnap = true
+	return true, nil
+}
+
+// Advance flushes the engine to the merged watermark, routes new rows
+// through the result log (suppressing replayed duplicates), and takes a
+// snapshot plus agent acks when the cadence is due. The returned rows
+// are exactly the not-previously-emitted ones.
+func (r *SPRecovery) Advance() (telemetry.Batch, error) {
+	rows := r.rc.Advance()
+	if r.log != nil {
+		kept, err := r.log.Append(rows)
+		if err != nil {
+			return nil, err
+		}
+		rows = kept
+	}
+	if err := r.MaybeSnapshot(); err != nil {
+		return rows, err
+	}
+	return rows, nil
+}
+
+// MaybeSnapshot takes a durable snapshot and acks it to the agents when
+// at least `every` epochs were applied since the last one.
+func (r *SPRecovery) MaybeSnapshot() error {
+	return r.snapshot(false)
+}
+
+// Snapshot unconditionally takes a durable snapshot (e.g. on shutdown).
+func (r *SPRecovery) Snapshot() error {
+	return r.snapshot(true)
+}
+
+func (r *SPRecovery) snapshot(force bool) error {
+	var snap *Snapshot
+	var seqs map[uint32]uint64
+	// Freeze pauses epoch application so the captured operator state,
+	// watermarks and sequence numbers are one consistent cut.
+	r.rc.Freeze(func(applied map[uint32]uint64) {
+		var total uint64
+		for _, seq := range applied {
+			total += seq
+		}
+		if !force && r.haveSnap && total-r.snapAt < r.every {
+			return
+		}
+		if !force && !r.haveSnap && total < r.every {
+			return
+		}
+		seqs = applied
+		snap = &Snapshot{
+			Seq:       total,
+			Watermark: r.engine.EffectiveWatermark(),
+			Stages:    r.engine.SnapshotStages(),
+			Sources:   make(map[uint32]SourceState),
+		}
+		if r.log != nil {
+			snap.EmittedWM = r.log.EmittedWM()
+		}
+		r.engine.SourceWatermarks(func(src uint32, wm int64) {
+			snap.Sources[src] = SourceState{Watermark: wm, AppliedSeq: applied[src]}
+		})
+		for src, seq := range applied {
+			if _, seen := snap.Sources[src]; !seen {
+				snap.Sources[src] = SourceState{AppliedSeq: seq}
+			}
+		}
+		r.snapAt = total
+		r.haveSnap = true
+	})
+	if snap == nil {
+		return nil
+	}
+	if _, err := r.store.Save(snap); err != nil {
+		return fmt.Errorf("checkpoint: save SP snapshot: %w", err)
+	}
+	// Only now — with the snapshot durable — may agents prune their
+	// replay buffers up to the covered epochs.
+	r.rc.AckSeqs(seqs)
+	return nil
+}

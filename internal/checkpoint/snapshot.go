@@ -1,0 +1,172 @@
+// Package checkpoint is Jarvis' fault-tolerance subsystem (§IV-E): a
+// snapshot codec over the wire frame format, a durable append-only
+// snapshot store with an epoch-sequence manifest, an exactly-once result
+// log, and recovery managers that take epoch-aligned snapshots of a
+// source pipeline (agent side) or SP engine (stream-processor side) and
+// restore the newest consistent one on startup.
+//
+// Together with transport's sequenced shipping (DurableShipper hello/
+// epoch-end/ack protocol, bounded replay buffer, receiver-side sequence
+// dedup) this gives end-to-end exactly-once epoch application across
+// agent and SP restarts: every epoch an agent produces is applied to SP
+// state exactly once, and every result row reaches the durable result
+// log exactly once.
+//
+// Durability model: snapshots are written atomically (temp file + rename
+// after a full write) and recorded in an append-only manifest; the store
+// survives process crashes and restarts. Fsync is optional (Store.Sync)
+// for deployments that must also survive machine crashes.
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"jarvis/internal/telemetry"
+	"jarvis/internal/transport"
+	"jarvis/internal/wire"
+)
+
+// SourceState is one source's progress inside an SP snapshot.
+type SourceState struct {
+	// Watermark is the source's observed event-time watermark.
+	Watermark int64
+	// AppliedSeq is the last epoch sequence applied for the source.
+	AppliedSeq uint64
+}
+
+// Snapshot is one epoch-aligned capture of recoverable state. Agent
+// snapshots carry Stages/Factors/Pending (+ Seq/Acked from the shipper);
+// SP snapshots carry Stages/Sources/EmittedWM.
+type Snapshot struct {
+	// Seq is the epoch sequence the snapshot covers: the agent's last
+	// shipped epoch, or the sum of per-source applied sequences on the SP
+	// (a monotone progress measure used for cadence).
+	Seq uint64
+	// Watermark is the low watermark at capture time.
+	Watermark int64
+	// EmittedWM is the watermark through which results were already
+	// emitted to the durable result log (SP side).
+	EmittedWM int64
+	// Acked is the newest epoch the SP had acknowledged durable (agent
+	// side).
+	Acked uint64
+	// Stages maps operator stage → snapshotted rows (partial aggregates,
+	// buffered join misses).
+	Stages map[int]telemetry.Batch
+	// Sources maps source id → progress (SP side).
+	Sources map[uint32]SourceState
+	// Factors are the pipeline's per-proxy load factors (agent side).
+	Factors []float64
+	// Pending is the agent's replay buffer: encoded unacked epochs.
+	Pending []transport.PendingEpoch
+}
+
+// Encode serializes the snapshot as wire frames: a SnapshotHeader
+// control frame, one data frame per stage, a SourceState control frame,
+// a LoadFactors control frame and one ReplayEpoch control frame per
+// pending epoch.
+func (s *Snapshot) Encode(w io.Writer) error {
+	return s.encodeTo(wire.NewFrameWriter(w))
+}
+
+// encodeTo writes the snapshot through an existing frame writer (already
+// redirected at the destination), letting callers reuse its buffers.
+func (s *Snapshot) encodeTo(fw *wire.FrameWriter) error {
+	ctl := func(data any, size int) error {
+		rec := telemetry.Record{WireSize: size, Data: data}
+		return fw.WriteFrame(wire.Frame{StreamID: wire.ControlStreamID, Records: telemetry.Batch{rec}})
+	}
+	hdr := &wire.SnapshotHeader{Seq: s.Seq, Watermark: s.Watermark, EmittedWM: s.EmittedWM, Acked: s.Acked}
+	if err := ctl(hdr, 49); err != nil {
+		return err
+	}
+	stages := make([]int, 0, len(s.Stages))
+	for st := range s.Stages {
+		stages = append(stages, st)
+	}
+	sort.Ints(stages)
+	for _, st := range stages {
+		if err := fw.WriteFrame(wire.Frame{StreamID: uint32(st), Records: s.Stages[st]}); err != nil {
+			return fmt.Errorf("checkpoint: encode stage %d: %w", st, err)
+		}
+	}
+	if len(s.Sources) > 0 {
+		ids := make([]uint32, 0, len(s.Sources))
+		for id := range s.Sources {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		recs := make(telemetry.Batch, 0, len(ids))
+		for _, id := range ids {
+			st := s.Sources[id]
+			recs = append(recs, telemetry.Record{WireSize: 37, Data: &wire.SourceState{
+				Source: id, Watermark: st.Watermark, AppliedSeq: st.AppliedSeq,
+			}})
+		}
+		if err := fw.WriteFrame(wire.Frame{StreamID: wire.ControlStreamID, Records: recs}); err != nil {
+			return err
+		}
+	}
+	if len(s.Factors) > 0 {
+		if err := ctl(&wire.LoadFactors{Factors: s.Factors}, 18+8*len(s.Factors)); err != nil {
+			return err
+		}
+	}
+	for _, p := range s.Pending {
+		if err := ctl(&wire.ReplayEpoch{Seq: p.Seq, Data: p.Data}, 26+len(p.Data)); err != nil {
+			return fmt.Errorf("checkpoint: encode replay epoch %d: %w", p.Seq, err)
+		}
+	}
+	return fw.Flush()
+}
+
+// DecodeSnapshot reads a snapshot written by Encode.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	fr := wire.NewFrameReader(r)
+	first, err := fr.ReadFrame()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: snapshot header: %w", err)
+	}
+	if first.StreamID != wire.ControlStreamID || len(first.Records) != 1 {
+		return nil, fmt.Errorf("checkpoint: malformed snapshot header frame")
+	}
+	hdr, ok := first.Records[0].Data.(*wire.SnapshotHeader)
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: snapshot opens with %T, want header", first.Records[0].Data)
+	}
+	s := &Snapshot{
+		Seq:       hdr.Seq,
+		Watermark: hdr.Watermark,
+		EmittedWM: hdr.EmittedWM,
+		Acked:     hdr.Acked,
+		Stages:    make(map[int]telemetry.Batch),
+		Sources:   make(map[uint32]SourceState),
+	}
+	for {
+		f, err := fr.ReadFrame()
+		if err == io.EOF {
+			return s, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if f.StreamID != wire.ControlStreamID {
+			s.Stages[int(f.StreamID)] = f.Records
+			continue
+		}
+		for _, rec := range f.Records {
+			switch c := rec.Data.(type) {
+			case *wire.SourceState:
+				s.Sources[c.Source] = SourceState{Watermark: c.Watermark, AppliedSeq: c.AppliedSeq}
+			case *wire.LoadFactors:
+				s.Factors = c.Factors
+			case *wire.ReplayEpoch:
+				s.Pending = append(s.Pending, transport.PendingEpoch{Seq: c.Seq, Data: c.Data})
+			default:
+				return nil, fmt.Errorf("checkpoint: unexpected control record %T in snapshot", rec.Data)
+			}
+		}
+	}
+}

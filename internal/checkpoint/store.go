@@ -1,0 +1,171 @@
+package checkpoint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"jarvis/internal/wire"
+)
+
+// manifestName is the append-only index of snapshots in a store
+// directory. Each line records one fully written snapshot:
+//
+//	v1 <id> <file> <seq> <watermark>
+//
+// A snapshot file is renamed into place before its manifest line is
+// appended, so every listed entry is complete; Latest still verifies by
+// decoding and walks backwards past any entry that fails.
+const manifestName = "MANIFEST"
+
+// Store is a durable append-only snapshot store rooted at one directory.
+type Store struct {
+	dir string
+	// Sync forces fsync on every save, surviving machine crashes at a
+	// latency cost. Off by default: snapshots then survive process
+	// crashes and restarts (the recovery subsystem's target fault model).
+	Sync bool
+
+	nextID uint64
+	// fw is reused across saves so the megabyte-scale frame buffer is
+	// grown once, not per snapshot.
+	fw *wire.FrameWriter
+}
+
+// OpenStore opens (creating if needed) a snapshot store directory.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: open store: %w", err)
+	}
+	s := &Store{dir: dir, nextID: 1}
+	entries, err := s.entries()
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.id >= s.nextID {
+			s.nextID = e.id + 1
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+type manifestEntry struct {
+	id   uint64
+	file string
+	seq  uint64
+	wm   int64
+}
+
+func (s *Store) entries() ([]manifestEntry, error) {
+	f, err := os.Open(filepath.Join(s.dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read manifest: %w", err)
+	}
+	defer f.Close()
+	var out []manifestEntry
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e manifestEntry
+		var version string
+		if _, err := fmt.Sscanf(line, "%s %d %s %d %d", &version, &e.id, &e.file, &e.seq, &e.wm); err != nil || version != "v1" {
+			continue // torn tail line or unknown version: skip
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// Save writes a snapshot atomically (temp file, rename, manifest
+// append) and returns the snapshot file's name.
+func (s *Store) Save(snap *Snapshot) (string, error) {
+	name := fmt.Sprintf("snap-%08d.ckpt", s.nextID)
+	tmp := filepath.Join(s.dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if s.fw == nil {
+		s.fw = wire.NewFrameWriter(f)
+	} else {
+		s.fw.Reset(f)
+	}
+	if err := snap.encodeTo(s.fw); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return "", fmt.Errorf("checkpoint: encode snapshot: %w", err)
+	}
+	if s.Sync {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			_ = os.Remove(tmp)
+			return "", err
+		}
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return "", err
+	}
+	final := filepath.Join(s.dir, name)
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return "", err
+	}
+	mf, err := os.OpenFile(filepath.Join(s.dir, manifestName), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return "", err
+	}
+	_, werr := fmt.Fprintf(mf, "v1 %d %s %d %d\n", s.nextID, name, snap.Seq, snap.Watermark)
+	if werr == nil && s.Sync {
+		werr = mf.Sync()
+	}
+	if cerr := mf.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return "", werr
+	}
+	s.nextID++
+	return name, nil
+}
+
+// Latest loads the newest consistent snapshot: the last manifest entry
+// whose file exists and decodes. It returns ok == false when the store
+// holds no usable snapshot.
+func (s *Store) Latest() (*Snapshot, bool, error) {
+	entries, err := s.entries()
+	if err != nil {
+		return nil, false, err
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		f, err := os.Open(filepath.Join(s.dir, filepath.Base(entries[i].file)))
+		if err != nil {
+			continue
+		}
+		snap, derr := DecodeSnapshot(bufio.NewReader(f))
+		_ = f.Close()
+		if derr != nil {
+			continue // corrupt/torn snapshot: fall back to the previous one
+		}
+		return snap, true, nil
+	}
+	return nil, false, nil
+}
+
+// Snapshots returns how many manifest entries the store records.
+func (s *Store) Snapshots() (int, error) {
+	entries, err := s.entries()
+	return len(entries), err
+}

@@ -170,6 +170,21 @@ func (s *Source) profile(res stream.EpochResult) runtime.Estimates {
 	return est
 }
 
+// Checkpoint snapshots the pipeline's stateful operator state
+// non-destructively (§IV-E), stamped with the given epoch. Pair with
+// RestoreCheckpoint via checkpoint.AgentRecovery for durable,
+// epoch-aligned agent snapshots.
+func (s *Source) Checkpoint(epoch int64) *stream.Checkpoint {
+	return s.pipeline.Checkpoint(epoch)
+}
+
+// RestoreCheckpoint folds a checkpoint back into the pipeline after a
+// restart: operator state merges in and the watermark resumes where the
+// snapshot left it.
+func (s *Source) RestoreCheckpoint(cp *stream.Checkpoint) error {
+	return s.pipeline.RestoreCheckpoint(cp)
+}
+
 // LastResult returns the most recent epoch's result with the record
 // buffers dropped: stats, watermark and byte/budget accounting are
 // retained, Drains/Results are nil (they belong to the epoch's consumer

@@ -1,7 +1,9 @@
 package operator
 
 import (
+	"slices"
 	"sort"
+	"strings"
 
 	"jarvis/internal/telemetry"
 )
@@ -171,26 +173,93 @@ func (g *GroupAgg) Drain(emit Emit) {
 // SnapshotWindow emits copies of a window's partial rows without
 // clearing state — checkpointing support (paper §IV-E): the emitted rows
 // can reconstruct the window on another node while this one keeps
-// aggregating.
+// aggregating. Unlike Flush, snapshot rows are unsorted: they restore by
+// merging into a replica's hash state, where order is irrelevant, and
+// skipping the sort keeps the per-epoch checkpoint overhead low.
 func (g *GroupAgg) SnapshotWindow(w int64, emit Emit) {
-	g.emitWindow(w, (w+1)*g.windowDur, emit)
+	g.emitRows(w, (w+1)*g.windowDur, false, emit)
 }
 
 func (g *GroupAgg) emitWindow(w, end int64, emit Emit) {
+	g.emitRows(w, end, true, emit)
+}
+
+func (g *GroupAgg) emitRows(w, end int64, sorted bool, emit Emit) {
 	win := g.state[w]
+	// One pass over the map copies every row into an arena — no
+	// per-group heap AggRow and no second map lookup after sorting (a
+	// row's Key always equals its map key). Flush and snapshot emit tens
+	// of thousands of rows per window; this path dominates checkpoint
+	// cost.
+	arena := make([]telemetry.AggRow, 0, len(win))
+	for _, row := range win {
+		arena = append(arena, *row)
+	}
+	if sorted {
+		sortAggRows(arena)
+	}
+	for i := range arena {
+		emit(telemetry.Record{
+			Time:     end,
+			WireSize: arena[i].AggRowWireSize(),
+			Window:   arena[i].Window,
+			Data:     &arena[i],
+		})
+	}
+}
+
+// sortAggRows orders rows by key (Num, Str); string comparison is
+// skipped entirely when no key carries a string (the common case for
+// probe queries).
+func sortAggRows(arena []telemetry.AggRow) {
+	numericOnly := true
+	for i := range arena {
+		if arena[i].Key.Str != "" {
+			numericOnly = false
+			break
+		}
+	}
+	if numericOnly {
+		slices.SortFunc(arena, func(a, b telemetry.AggRow) int {
+			switch {
+			case a.Key.Num < b.Key.Num:
+				return -1
+			case a.Key.Num > b.Key.Num:
+				return 1
+			default:
+				return 0
+			}
+		})
+		return
+	}
+	slices.SortFunc(arena, func(a, b telemetry.AggRow) int {
+		switch {
+		case a.Key.Num < b.Key.Num:
+			return -1
+		case a.Key.Num > b.Key.Num:
+			return 1
+		}
+		return strings.Compare(a.Key.Str, b.Key.Str)
+	})
+}
+
+// sortedKeys returns a window's group keys ordered by (Num, Str) — the
+// shared helper for operators that emit via per-key clones.
+func sortedKeys[V any](win map[telemetry.GroupKey]V) []telemetry.GroupKey {
 	keys := make([]telemetry.GroupKey, 0, len(win))
 	for k := range win {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Num != keys[j].Num {
-			return keys[i].Num < keys[j].Num
+	slices.SortFunc(keys, func(a, b telemetry.GroupKey) int {
+		switch {
+		case a.Num < b.Num:
+			return -1
+		case a.Num > b.Num:
+			return 1
 		}
-		return keys[i].Str < keys[j].Str
+		return strings.Compare(a.Str, b.Str)
 	})
-	for _, k := range keys {
-		emit(telemetry.NewAggRecord(*win[k], end))
-	}
+	return keys
 }
 
 // Key and value extractors for the paper's queries.

@@ -1,14 +1,29 @@
 package operator
 
-import "jarvis/internal/telemetry"
+import (
+	"sort"
+
+	"jarvis/internal/telemetry"
+)
 
 // Join joins the stream with a static table via a user lookup function
 // (paper Listing 2: joining probes with the IP→ToR map). The lookup may
 // drop records whose key misses the table, matching inner-join semantics.
+//
+// With BufferMisses enabled the join becomes stateful: records whose key
+// misses the table are retained per window and re-probed when the window
+// closes (the table may have gained entries — e.g. a ToR map refreshed
+// mid-window), and the buffered state is Checkpointable/Drainable so it
+// survives checkpoint/recovery instead of being silently dropped.
 type Join struct {
 	name      string
 	tableSize int
 	fn        func(telemetry.Record) (telemetry.Record, bool)
+
+	// Miss buffering (optional): window duration for re-probe scheduling
+	// and the per-window pending records. bufferDur == 0 disables it.
+	bufferDur int64
+	pending   map[int64]telemetry.Batch
 }
 
 // NewJoin creates a join operator. tableSize is the static table's entry
@@ -31,10 +46,29 @@ func (j *Join) TableSize() int { return j.tableSize }
 // table at runtime to change the join cost).
 func (j *Join) SetTableSize(n int) { j.tableSize = n }
 
+// BufferMisses enables per-window retention of records whose lookup
+// misses the table. windowDurMicros must match the upstream Window
+// operator so buffered records re-probe exactly when their window
+// closes. Returns the join for chaining.
+func (j *Join) BufferMisses(windowDurMicros int64) *Join {
+	if windowDurMicros <= 0 {
+		panic("operator: join buffer window duration must be positive")
+	}
+	j.bufferDur = windowDurMicros
+	if j.pending == nil {
+		j.pending = make(map[int64]telemetry.Batch)
+	}
+	return j
+}
+
 // Process implements Operator.
 func (j *Join) Process(rec telemetry.Record, emit Emit) {
 	if out, ok := j.fn(rec); ok {
 		emit(out)
+		return
+	}
+	if j.bufferDur > 0 {
+		j.pending[rec.Window] = append(j.pending[rec.Window], rec)
 	}
 }
 
@@ -44,20 +78,76 @@ func (j *Join) ProcessBatch(in telemetry.Batch, out *telemetry.Batch) {
 	for i := range in {
 		if rec, ok := j.fn(in[i]); ok {
 			*out = append(*out, rec)
+		} else if j.bufferDur > 0 {
+			j.pending[in[i].Window] = append(j.pending[in[i].Window], in[i])
 		}
 	}
 }
 
-// Flush implements Operator.
-func (j *Join) Flush(int64, Emit) {}
+// Flush implements Operator. With miss buffering enabled, windows closed
+// by the watermark re-probe their buffered records once: hits emit,
+// remaining misses are dropped (inner-join semantics).
+func (j *Join) Flush(watermark int64, emit Emit) {
+	if j.bufferDur == 0 {
+		return
+	}
+	for _, w := range j.OpenWindows() {
+		if (w+1)*j.bufferDur > watermark {
+			continue
+		}
+		for _, rec := range j.pending[w] {
+			if out, ok := j.fn(rec); ok {
+				emit(out)
+			}
+		}
+		delete(j.pending, w)
+	}
+}
 
 // Stateful implements Operator. Joins with a static table keep no
 // cross-record state (rule R-3 excludes stream-stream joins from source
-// placement; static-table joins are allowed).
-func (j *Join) Stateful() bool { return false }
+// placement; static-table joins are allowed) unless miss buffering is
+// enabled.
+func (j *Join) Stateful() bool { return j.bufferDur > 0 }
 
 // Reset implements Operator.
-func (j *Join) Reset() {}
+func (j *Join) Reset() {
+	if j.pending != nil {
+		j.pending = make(map[int64]telemetry.Batch)
+	}
+}
+
+// OpenWindows returns the windows holding buffered misses, ascending
+// (Checkpointable; empty without miss buffering).
+func (j *Join) OpenWindows() []int64 {
+	out := make([]int64, 0, len(j.pending))
+	for w := range j.pending {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i] < out[k] })
+	return out
+}
+
+// SnapshotWindow emits copies of a window's buffered miss records without
+// clearing them (Checkpointable). The raw records re-enter a replica of
+// this join on restore and are re-probed there.
+func (j *Join) SnapshotWindow(w int64, emit Emit) {
+	for _, rec := range j.pending[w] {
+		emit(rec)
+	}
+}
+
+// Drain hands every buffered miss downstream immediately as raw records
+// and clears the buffer (StatefulDrainer): the SP replica of the join
+// re-probes them against its own copy of the table.
+func (j *Join) Drain(emit Emit) {
+	for _, w := range j.OpenWindows() {
+		for _, rec := range j.pending[w] {
+			emit(rec)
+		}
+		delete(j.pending, w)
+	}
+}
 
 // NewSrcToRJoin builds the first T2TProbe join: PingProbe → probe
 // annotated with the source ToR. Records whose source IP misses the table

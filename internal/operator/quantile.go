@@ -161,9 +161,20 @@ func (g *GroupQuantile) Drain(emit Emit) {
 func (g *GroupQuantile) OpenWindows() []int64 { return g.openWindows() }
 
 // SnapshotWindow emits copies of a window's partial sketches without
-// clearing state (Checkpointable).
+// clearing state (Checkpointable). Snapshot rows are unsorted — they
+// restore by merging into replica hash state, where order is irrelevant.
 func (g *GroupQuantile) SnapshotWindow(w int64, emit Emit) {
-	g.emitWindow(w, (w+1)*g.windowDur, emit)
+	win := g.state[w]
+	end := (w + 1) * g.windowDur
+	for _, row := range win {
+		cp := row.Clone()
+		emit(telemetry.Record{
+			Time:     end,
+			Window:   w,
+			WireSize: cp.WireSize(),
+			Data:     cp,
+		})
+	}
 }
 
 func (g *GroupQuantile) openWindows() []int64 {
@@ -177,16 +188,7 @@ func (g *GroupQuantile) openWindows() []int64 {
 
 func (g *GroupQuantile) emitWindow(w, end int64, emit Emit) {
 	win := g.state[w]
-	keys := make([]telemetry.GroupKey, 0, len(win))
-	for k := range win {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Num != keys[j].Num {
-			return keys[i].Num < keys[j].Num
-		}
-		return keys[i].Str < keys[j].Str
-	})
+	keys := sortedKeys(win)
 	for _, k := range keys {
 		row := win[k].Clone()
 		emit(telemetry.Record{
@@ -197,3 +199,7 @@ func (g *GroupQuantile) emitWindow(w, end int64, emit Emit) {
 		})
 	}
 }
+
+// GroupCount returns the number of open groups in a window (cost-model
+// and snapshot-capacity hint, like GroupAgg.GroupCount).
+func (g *GroupQuantile) GroupCount(window int64) int { return len(g.state[window]) }

@@ -43,15 +43,35 @@ func (p *Pipeline) Checkpoint(epoch int64) *Checkpoint {
 		if !ok {
 			continue
 		}
-		var rows telemetry.Batch
-		for _, w := range g.OpenWindows() {
-			g.SnapshotWindow(w, func(r telemetry.Record) { rows = append(rows, r) })
-		}
-		if len(rows) > 0 {
+		if rows := snapshotOp(g); len(rows) > 0 {
 			cp.Stages[i] = rows
 		}
 	}
 	return cp
+}
+
+// groupCounter is implemented by stateful operators that can report a
+// window's group count (a capacity hint for snapshot batches).
+type groupCounter interface {
+	GroupCount(window int64) int
+}
+
+// snapshotOp captures one Checkpointable operator's open windows into a
+// single batch, presized when the operator can report group counts.
+func snapshotOp(g operator.Checkpointable) telemetry.Batch {
+	windows := g.OpenWindows()
+	var rows telemetry.Batch
+	if gc, ok := g.(groupCounter); ok {
+		total := 0
+		for _, w := range windows {
+			total += gc.GroupCount(w)
+		}
+		rows = make(telemetry.Batch, 0, total)
+	}
+	for _, w := range windows {
+		g.SnapshotWindow(w, func(r telemetry.Record) { rows = append(rows, r) })
+	}
+	return rows
 }
 
 // Encode serializes the checkpoint with the wire codec (one frame per
@@ -121,6 +141,57 @@ func (cp *Checkpoint) Bytes() ([]byte, error) {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// RestoreCheckpoint folds a checkpoint back into this pipeline's own
+// operators after a restart: each stage's rows re-enter the operator that
+// snapshotted them (partial aggregates merge, buffered join misses
+// re-buffer) and the watermark resumes where the snapshot left it.
+// Records an operator emits while absorbing its state (e.g. a buffered
+// join miss that now hits) are queued at the next stage; they re-enter
+// normal budgeted execution on the following epoch.
+func (p *Pipeline) RestoreCheckpoint(cp *Checkpoint) error {
+	for stage, rows := range cp.Stages {
+		if stage < 0 || stage >= len(p.ops) {
+			return fmt.Errorf("stream: restore stage %d out of range [0,%d)", stage, len(p.ops))
+		}
+		emit := func(out telemetry.Record) {
+			if stage+1 < p.opts.Boundary {
+				p.queues[stage+1] = append(p.queues[stage+1], out)
+			} else {
+				p.restored = append(p.restored, out)
+			}
+		}
+		for _, rec := range rows {
+			p.ops[stage].Process(rec, emit)
+		}
+	}
+	if cp.Watermark > p.watermark {
+		p.watermark = cp.Watermark
+	}
+	if cp.Watermark > p.maxEventSeen {
+		p.maxEventSeen = cp.Watermark
+	}
+	return nil
+}
+
+// SnapshotStages copies every Checkpointable operator's open-window state
+// without disturbing it — the SP-side counterpart of Pipeline.Checkpoint,
+// used by the recovery manager to take epoch-aligned engine snapshots.
+func (e *SPEngine) SnapshotStages() map[int]telemetry.Batch {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[int]telemetry.Batch)
+	for i, op := range e.ops {
+		g, ok := op.(operator.Checkpointable)
+		if !ok {
+			continue
+		}
+		if rows := snapshotOp(g); len(rows) > 0 {
+			out[i] = rows
+		}
+	}
+	return out
 }
 
 // Restore folds a checkpoint into an SP engine: each stage's partial

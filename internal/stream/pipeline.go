@@ -180,6 +180,10 @@ type Pipeline struct {
 	drains  []telemetry.Batch
 	results telemetry.Batch
 
+	// restored holds records a RestoreCheckpoint emitted past the local
+	// chain; the next epoch's results lead with them.
+	restored telemetry.Batch
+
 	// persistent stage scratch for the batch path (ping-pong wave
 	// buffers plus the per-stage forwarded run), reused across epochs.
 	scratchA telemetry.Batch
@@ -287,10 +291,14 @@ func (p *Pipeline) RunEpoch(input telemetry.Batch) EpochResult {
 	if p.opts.RecordAtATime {
 		p.drains = make([]telemetry.Batch, len(p.ops))
 		p.results = nil
+		p.results = append(p.results, p.restored...)
+		p.restored = nil
 		p.runEpochRecord(input)
 	} else {
 		p.drains = getDrainSet(len(p.ops))
 		p.results = telemetry.GetBatch()
+		p.results = append(p.results, p.restored...)
+		p.restored = nil
 		p.runEpochBatch(input)
 	}
 	return p.finishEpoch()

@@ -1,0 +1,329 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"jarvis/internal/metrics"
+	"jarvis/internal/stream"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/wire"
+)
+
+// DefaultMaxPending bounds the replay buffer: with the default 1 s
+// epochs it rides out about a minute of SP downtime or ack lag before
+// the oldest unacked epoch must be evicted.
+const DefaultMaxPending = 64
+
+// PendingEpoch is one fully encoded, not-yet-durable epoch in a
+// DurableShipper's replay buffer.
+type PendingEpoch struct {
+	Seq  uint64
+	Data []byte
+}
+
+// clonePending deep-copies a pending slice so snapshots and restores
+// never alias the shipper's live buffer.
+func clonePending(in []PendingEpoch) []PendingEpoch {
+	out := make([]PendingEpoch, len(in))
+	for i, p := range in {
+		out[i] = PendingEpoch{Seq: p.Seq, Data: append([]byte(nil), p.Data...)}
+	}
+	return out
+}
+
+// DurableShipper is the sequenced, replayable counterpart of Shipper: it
+// numbers every epoch, keeps each one in a bounded replay buffer until
+// the SP acknowledges it durable, and on (re)connect performs the
+// Hello/Ack handshake and replays everything after the SP's durable
+// frontier. Together with the receiver's sequence dedup this applies
+// every epoch exactly once across agent and SP restarts.
+//
+// Shipping never fails on a broken connection — epochs are buffered and
+// the shipper reports Connected() == false until the caller reconnects.
+// All methods are safe for concurrent use.
+type DurableShipper struct {
+	source   uint32
+	max      int
+	counters *metrics.CounterSet
+
+	mu      sync.Mutex // guards all state below
+	wmu     sync.Mutex // serializes writes to conn (never held with mu)
+	conn    io.WriteCloser
+	seq     uint64 // last assigned epoch sequence
+	acked   uint64 // newest sequence the SP reported durable
+	pending []PendingEpoch
+	dropped int64
+
+	encBuf bytes.Buffer
+}
+
+// NewDurableShipper creates a disconnected shipper for a source id.
+// maxPending bounds the replay buffer (0 selects DefaultMaxPending).
+func NewDurableShipper(source uint32, maxPending int) *DurableShipper {
+	if maxPending <= 0 {
+		maxPending = DefaultMaxPending
+	}
+	return &DurableShipper{source: source, max: maxPending, counters: metrics.NewCounterSet()}
+}
+
+// Counters exposes the shipper's health counters.
+func (d *DurableShipper) Counters() *metrics.CounterSet { return d.counters }
+
+// Source returns the shipper's source id.
+func (d *DurableShipper) Source() uint32 { return d.source }
+
+// encodeEpoch serializes one epoch — drains, results, watermark and the
+// EpochEnd commit marker — into a standalone byte string that can be
+// written (and re-written on replay) as-is.
+func (d *DurableShipper) encodeEpoch(seq uint64, res stream.EpochResult) ([]byte, error) {
+	d.encBuf.Reset()
+	fw := wire.NewFrameWriter(&d.encBuf)
+	for stage, batch := range res.Drains {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := fw.WriteFrame(wire.Frame{StreamID: uint32(stage), Source: d.source, Records: batch}); err != nil {
+			return nil, err
+		}
+	}
+	if len(res.Results) > 0 {
+		if err := fw.WriteFrame(wire.Frame{StreamID: uint32(res.ResultStage), Source: d.source, Records: res.Results}); err != nil {
+			return nil, err
+		}
+	}
+	wmRec := telemetry.Record{Time: res.Watermark, WireSize: 17, Data: &wire.Watermark{Time: res.Watermark}}
+	if err := fw.WriteFrame(wire.Frame{StreamID: WatermarkStreamID, Source: d.source, Records: telemetry.Batch{wmRec}}); err != nil {
+		return nil, err
+	}
+	endRec := telemetry.Record{WireSize: 33, Data: &wire.EpochEnd{Seq: seq, Watermark: res.Watermark}}
+	if err := fw.WriteFrame(wire.Frame{StreamID: wire.ControlStreamID, Source: d.source, Records: telemetry.Batch{endRec}}); err != nil {
+		return nil, err
+	}
+	if err := fw.Flush(); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), d.encBuf.Bytes()...), nil
+}
+
+// ShipEpoch assigns the epoch the next sequence number, buffers it for
+// replay and, when connected, writes it out. A write failure only marks
+// the connection broken — the epoch stays buffered for the next
+// reconnect.
+//
+// The whole operation runs under the write lock: sequence assignment and
+// the wire write must not reorder against a concurrent reconnect's
+// replay, or the receiver would see a higher sequence first and discard
+// the replayed epochs as duplicates.
+func (d *DurableShipper) ShipEpoch(res stream.EpochResult) error {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	d.mu.Lock()
+	d.seq++
+	data, err := d.encodeEpoch(d.seq, res)
+	if err != nil {
+		d.seq--
+		d.mu.Unlock()
+		return fmt.Errorf("transport: encode epoch: %w", err)
+	}
+	d.pending = append(d.pending, PendingEpoch{Seq: d.seq, Data: data})
+	for len(d.pending) > d.max {
+		d.pending = d.pending[1:]
+		d.dropped++
+		d.counters.Inc(CtrEpochsDropped)
+	}
+	conn := d.conn
+	d.mu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	if _, werr := conn.Write(data); werr != nil {
+		d.disconnect(conn)
+	}
+	return nil
+}
+
+// Connect dials the SP and performs the resume handshake.
+func (d *DurableShipper) Connect(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if err := d.ConnectConn(conn); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	return nil
+}
+
+// ConnectConn adopts an established connection: it sends Hello, waits
+// for the SP's durable-frontier ack, prunes the replay buffer up to it,
+// replays everything after it, and starts the background ack reader.
+func (d *DurableShipper) ConnectConn(conn io.ReadWriteCloser) error {
+	var hello bytes.Buffer
+	fw := wire.NewFrameWriter(&hello)
+	d.mu.Lock()
+	rec := telemetry.Record{WireSize: 29, Data: &wire.Hello{Source: d.source, Seq: d.seq}}
+	d.mu.Unlock()
+	if err := fw.WriteFrame(wire.Frame{StreamID: wire.ControlStreamID, Source: d.source, Records: telemetry.Batch{rec}}); err != nil {
+		return err
+	}
+	if err := fw.Flush(); err != nil {
+		return err
+	}
+	if _, err := conn.Write(hello.Bytes()); err != nil {
+		return fmt.Errorf("transport: hello: %w", err)
+	}
+	fr := wire.NewFrameReader(conn)
+	ack, err := readAck(fr)
+	if err != nil {
+		return fmt.Errorf("transport: hello ack: %w", err)
+	}
+
+	// Take the write lock for the whole swap-and-replay: no concurrent
+	// ShipEpoch may interleave a newer epoch ahead of the replayed ones
+	// (the receiver would then discard the replay as stale duplicates).
+	d.wmu.Lock()
+	d.mu.Lock()
+	if old := d.conn; old != nil {
+		d.conn = nil
+		_ = old.Close()
+	}
+	d.pruneLocked(ack.Seq)
+	replay := clonePending(d.pending)
+	d.conn = conn
+	d.mu.Unlock()
+
+	d.counters.Inc(CtrReconnects)
+	for _, p := range replay {
+		if _, err := conn.Write(p.Data); err != nil {
+			d.wmu.Unlock()
+			d.disconnect(conn)
+			return fmt.Errorf("transport: replay epoch %d: %w", p.Seq, err)
+		}
+	}
+	d.wmu.Unlock()
+	go d.readAcks(conn, fr)
+	return nil
+}
+
+// readAck scans frames until the first Ack control record.
+func readAck(fr *wire.FrameReader) (*wire.Ack, error) {
+	for {
+		f, err := fr.ReadFrame()
+		if err != nil {
+			return nil, err
+		}
+		if f.StreamID != wire.ControlStreamID {
+			continue
+		}
+		for _, rec := range f.Records {
+			if ack, ok := rec.Data.(*wire.Ack); ok {
+				return ack, nil
+			}
+		}
+	}
+}
+
+// readAcks consumes the SP's ack stream for one connection, pruning the
+// replay buffer as the durable frontier advances.
+func (d *DurableShipper) readAcks(conn io.WriteCloser, fr *wire.FrameReader) {
+	for {
+		ack, err := readAck(fr)
+		if err != nil {
+			d.disconnect(conn)
+			return
+		}
+		d.mu.Lock()
+		d.pruneLocked(ack.Seq)
+		d.mu.Unlock()
+	}
+}
+
+func (d *DurableShipper) pruneLocked(seq uint64) {
+	if seq > d.acked {
+		d.acked = seq
+	}
+	i := 0
+	for i < len(d.pending) && d.pending[i].Seq <= d.acked {
+		i++
+	}
+	d.pending = d.pending[i:]
+}
+
+func (d *DurableShipper) disconnect(conn io.WriteCloser) {
+	d.mu.Lock()
+	was := d.conn == conn
+	if was {
+		d.conn = nil
+	}
+	d.mu.Unlock()
+	if was {
+		_ = conn.Close()
+		d.counters.Inc(CtrConnsClosed)
+	}
+}
+
+// Connected reports whether a live connection is attached.
+func (d *DurableShipper) Connected() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.conn != nil
+}
+
+// Seq returns the last assigned epoch sequence number.
+func (d *DurableShipper) Seq() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seq
+}
+
+// Acked returns the newest sequence the SP reported durable.
+func (d *DurableShipper) Acked() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.acked
+}
+
+// Dropped returns how many unacked epochs the bounded buffer evicted
+// (each is a hole replay cannot fill; size the buffer to the snapshot
+// cadence to keep this zero).
+func (d *DurableShipper) Dropped() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dropped
+}
+
+// State copies the shipper's durable state — sequence counters and the
+// replay buffer — for inclusion in an agent snapshot.
+func (d *DurableShipper) State() (seq, acked uint64, pending []PendingEpoch) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seq, d.acked, clonePending(d.pending)
+}
+
+// RestoreState reloads the durable state captured by State. Call before
+// Connect on a freshly constructed shipper.
+func (d *DurableShipper) RestoreState(seq, acked uint64, pending []PendingEpoch) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.seq = seq
+	d.acked = acked
+	d.pending = clonePending(pending)
+}
+
+// Close detaches and closes the current connection (buffered epochs are
+// kept).
+func (d *DurableShipper) Close() error {
+	d.mu.Lock()
+	conn := d.conn
+	d.conn = nil
+	d.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	return nil
+}

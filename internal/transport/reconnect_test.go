@@ -1,0 +1,228 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"jarvis/internal/plan"
+	"jarvis/internal/stream"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/workload"
+)
+
+// startTestServer spins a receiver+server on loopback and returns the
+// address plus a stopper.
+func startTestServer(t *testing.T, rc *Receiver) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	srv := NewServer(rc)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(ctx, ln)
+	}()
+	return ln.Addr().String(), func() {
+		cancel()
+		_ = srv.Close()
+		wg.Wait()
+	}
+}
+
+// TestDurableShipperReconnectExactlyOnce runs the sequenced protocol
+// across repeated server kills with shipping and acking racing the
+// reconnects (the -race target for the reconnect paths): every epoch
+// must be applied exactly once, in order, despite replays.
+func TestDurableShipperReconnectExactlyOnce(t *testing.T) {
+	q := plan.S2SProbe()
+	engine, err := stream.NewSPEngine(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReceiver(engine)
+	rc.RegisterSource(9)
+	addr, stop := startTestServer(t, rc)
+
+	src, err := stream.NewPipeline(q, stream.DefaultOptions(4.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = src.SetLoadFactors([]float64{1, 1, 1})
+	gen := workload.NewPingGen(workload.DefaultPingConfig(33))
+	ship := NewDurableShipper(9, 128)
+	if err := ship.ConnectConn(mustDial(t, addr)); err != nil {
+		t.Fatal(err)
+	}
+
+	const epochs = 24
+	for e := 1; e <= epochs; e++ {
+		var batch telemetry.Batch
+		if e <= 10 {
+			batch = gen.NextWindow(1_000_000)
+		} else {
+			src.ObserveTime(int64(e) * 1_000_000)
+		}
+		if err := ship.ShipEpoch(src.RunEpoch(batch)); err != nil {
+			t.Fatal(err)
+		}
+		switch e {
+		case 6, 14:
+			// Kill the server mid-stream; epochs buffer while down.
+			stop()
+		case 9, 17:
+			// New server over the same engine: replay must dedup by seq.
+			addr, stop = startTestServer(t, rc)
+			if err := ship.Connect(addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for rc.AppliedSeq(9) < epochs {
+		if time.Now().After(deadline) {
+			t.Fatalf("applied %d/%d epochs", rc.AppliedSeq(9), epochs)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := rc.Counters().Get(CtrEpochsApplied); got != epochs {
+		t.Fatalf("epochs applied = %d, want %d (dedup broken?)", got, epochs)
+	}
+	if ship.Dropped() != 0 {
+		t.Fatalf("replay buffer evicted %d epochs", ship.Dropped())
+	}
+	if rows := rc.Advance(); len(rows) == 0 {
+		t.Fatal("no results after reconnect run")
+	}
+	// Acks flow once the run settles: the shipper's pending buffer drains.
+	for ship.Acked() < epochs {
+		if time.Now().After(deadline) {
+			t.Fatalf("acked %d/%d epochs", ship.Acked(), epochs)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop()
+}
+
+func mustDial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// TestDurableShipperConcurrentShipAndReconnect races ShipEpoch against
+// Connect/Close cycles from another goroutine (pure -race fodder; the
+// assertions are liveness, not totals, since epochs may legitimately
+// drop from the bounded buffer while disconnected for long stretches).
+func TestDurableShipperConcurrentShipAndReconnect(t *testing.T) {
+	engine, err := stream.NewSPEngine(plan.S2SProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReceiver(engine)
+	rc.RegisterSource(5)
+	addr, stop := startTestServer(t, rc)
+	defer func() { stop() }()
+
+	ship := NewDurableShipper(5, 16)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = ship.Connect(addr)
+			time.Sleep(time.Millisecond)
+			_ = ship.Close()
+		}
+	}()
+
+	src, err := stream.NewPipeline(plan.S2SProbe(), stream.DefaultOptions(4.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = src.SetLoadFactors([]float64{1, 1, 1})
+	gen := workload.NewPingGen(workload.DefaultPingConfig(44))
+	for e := 0; e < 30; e++ {
+		if err := ship.ShipEpoch(src.RunEpoch(gen.NextWindow(100_000))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if ship.Seq() != 30 {
+		t.Fatalf("seq = %d, want 30", ship.Seq())
+	}
+}
+
+// TestReceiverHelloAckRoundTrip pins the handshake: a second connection
+// for the same source resumes from the durable frontier announced in the
+// hello ack.
+func TestReceiverHelloAckRoundTrip(t *testing.T) {
+	engine, err := stream.NewSPEngine(plan.S2SProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReceiver(engine)
+	rc.RegisterSource(2)
+	addr, stop := startTestServer(t, rc)
+	defer stop()
+
+	src, err := stream.NewPipeline(plan.S2SProbe(), stream.DefaultOptions(4.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = src.SetLoadFactors([]float64{1, 1, 1})
+	gen := workload.NewPingGen(workload.DefaultPingConfig(11))
+
+	ship := NewDurableShipper(2, 32)
+	if err := ship.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	for e := 1; e <= 4; e++ {
+		if err := ship.ShipEpoch(src.RunEpoch(gen.NextWindow(1_000_000))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for ship.Acked() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("acked %d/4", ship.Acked())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// A reconnecting shipper with a stale buffer replays; the receiver
+	// dedups and re-acks the frontier.
+	stale := NewDurableShipper(2, 32)
+	seq, acked, pending := ship.State()
+	stale.RestoreState(seq, 0, pending) // pretend no ack ever arrived
+	_ = acked
+	if err := stale.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	for stale.Acked() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stale shipper acked %d/4", stale.Acked())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := rc.Counters().Get(CtrEpochsApplied); got != 4 {
+		t.Fatalf("applied = %d, want 4", got)
+	}
+}

@@ -45,11 +45,17 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			return fmt.Errorf("transport: accept: %w", err)
 		}
 		s.track(conn)
+		s.rc.counters.Inc(CtrConnsAccepted)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer s.untrack(conn)
-			_ = s.rc.HandleStream(conn)
+			defer s.rc.counters.Inc(CtrConnsClosed)
+			if err := s.rc.HandleConn(conn); err != nil {
+				// The counter records what the old code dropped silently;
+				// the connection is closed and the agent will reconnect.
+				s.rc.counters.Inc(CtrConnErrors)
+			}
 		}()
 	}
 }

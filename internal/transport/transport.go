@@ -7,6 +7,17 @@
 // the drain paths so the SP can merge event-time progress across all of
 // a source's streams. Frames therefore carry the SP-side stage id; a
 // reserved stream id carries watermarks.
+//
+// Two shipping disciplines coexist on the same wire format:
+//
+//   - Legacy: a Shipper writes epoch frames fire-and-forget; the
+//     receiver applies each frame as it arrives.
+//   - Sequenced (fault tolerance, §IV-E): a DurableShipper opens with a
+//     Hello, numbers every epoch, and terminates it with an EpochEnd
+//     commit marker. The receiver stages a connection's frames until the
+//     marker, applies the epoch atomically exactly once (duplicates from
+//     replay are discarded whole), and acknowledges durability back to
+//     the agent so it can prune its bounded replay buffer.
 package transport
 
 import (
@@ -14,6 +25,7 @@ import (
 	"io"
 	"sync"
 
+	"jarvis/internal/metrics"
 	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/wire"
@@ -23,8 +35,29 @@ import (
 // of data records.
 const WatermarkStreamID = ^uint32(0)
 
+// Health counter names exposed through metrics.CounterSet (see
+// Receiver.Counters, Server and DurableShipper).
+const (
+	CtrConnsAccepted  = "conns_accepted"
+	CtrConnsClosed    = "conns_closed"
+	CtrRecvErrors     = "recv_errors"
+	CtrFramesIn       = "frames_in"
+	CtrEpochsApplied  = "epochs_applied"
+	CtrEpochsReplayed = "epochs_replayed" // duplicate epochs discarded by seq dedup
+	CtrAcksSent       = "acks_sent"
+	CtrEpochsDropped  = "epochs_dropped" // unacked epochs evicted from a full replay buffer
+	CtrReconnects     = "reconnects"
+	CtrConnErrors     = "conn_errors"   // connections that ended with a transport error
+	CtrSourceResets   = "source_resets" // fresh agent incarnations that reset a dedup frontier
+)
+
+// maxStagedFrames bounds one connection's frames between EpochEnd
+// markers, protecting the SP from a peer that never commits.
+const maxStagedFrames = 1 << 16
+
 // Shipper serializes a source pipeline's epoch output onto a byte
-// stream.
+// stream (the legacy fire-and-forget discipline; see DurableShipper for
+// the sequenced, replayable one).
 type Shipper struct {
 	source uint32
 	fw     *wire.FrameWriter
@@ -81,8 +114,17 @@ func (s *Shipper) Frames() int64 { return s.frames }
 // Receiver feeds frames from source connections into a shared SP engine.
 // It is safe for concurrent use by one goroutine per connection.
 type Receiver struct {
-	mu     sync.Mutex
-	engine *stream.SPEngine
+	mu       sync.Mutex
+	engine   *stream.SPEngine
+	counters *metrics.CounterSet
+
+	// Sequenced-connection state: per-source applied and durably-acked
+	// epoch sequence numbers, plus the ack writer of each source's live
+	// connection.
+	applied   map[uint32]uint64
+	durable   map[uint32]uint64
+	writers   map[uint32]*ackWriter
+	manualAck bool
 
 	bytesIn int64
 	frames  int64
@@ -90,32 +132,215 @@ type Receiver struct {
 
 // NewReceiver wraps an SP engine.
 func NewReceiver(engine *stream.SPEngine) *Receiver {
-	return &Receiver{engine: engine}
+	return &Receiver{
+		engine:   engine,
+		counters: metrics.NewCounterSet(),
+		applied:  make(map[uint32]uint64),
+		durable:  make(map[uint32]uint64),
+		writers:  make(map[uint32]*ackWriter),
+	}
+}
+
+// Counters exposes the receiver's health counters (shared with the
+// Server wrapping it).
+func (rc *Receiver) Counters() *metrics.CounterSet { return rc.counters }
+
+// SetManualAck switches acknowledgement to the recovery manager: epochs
+// are acked only after a durable snapshot covers them (AckSeqs), instead
+// of immediately on application. Call before serving connections.
+func (rc *Receiver) SetManualAck(v bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.manualAck = v
+}
+
+// ackWriter serializes control-frame writes on one connection (epoch
+// handling and recovery-manager acks run on different goroutines).
+type ackWriter struct {
+	mu sync.Mutex
+	fw *wire.FrameWriter
+}
+
+func (w *ackWriter) sendAck(source uint32, seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec := telemetry.Record{WireSize: 29, Data: &wire.Ack{Source: source, Seq: seq}}
+	if err := w.fw.WriteFrame(wire.Frame{StreamID: wire.ControlStreamID, Source: source, Records: telemetry.Batch{rec}}); err != nil {
+		return err
+	}
+	return w.fw.Flush()
 }
 
 // HandleStream consumes frames from r until EOF, ingesting records and
-// watermarks. It returns nil on clean EOF.
+// watermarks. It returns nil on clean EOF. Legacy entry point for
+// read-only streams; sequenced connections (Hello/EpochEnd/acks) need
+// HandleConn.
 func (rc *Receiver) HandleStream(r io.Reader) error {
-	fr := wire.NewFrameReader(r)
+	return rc.HandleConn(readOnlyConn{r})
+}
+
+type readOnlyConn struct{ io.Reader }
+
+func (readOnlyConn) Write(p []byte) (int, error) {
+	return 0, fmt.Errorf("transport: connection is read-only, cannot ack")
+}
+
+// HandleConn consumes frames from conn until EOF. Plain data frames are
+// ingested immediately (legacy shippers); once a Hello arrives the
+// connection switches to the sequenced discipline: frames are staged and
+// applied atomically, exactly once, at each EpochEnd marker, and acks
+// flow back on the same connection.
+func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
+	fr := wire.NewFrameReader(conn)
+	var (
+		aw        *ackWriter
+		src       uint32
+		sequenced bool
+		staged    []wire.Frame
+	)
+	defer func() {
+		if sequenced {
+			rc.dropWriter(src, aw)
+		}
+	}()
 	for {
 		f, err := fr.ReadFrame()
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
+			rc.counters.Inc(CtrRecvErrors)
 			return fmt.Errorf("transport: read frame: %w", err)
 		}
+		rc.noteFrame(f)
+		if f.StreamID == wire.ControlStreamID {
+			for _, rec := range f.Records {
+				switch c := rec.Data.(type) {
+				case *wire.Hello:
+					if sequenced {
+						rc.dropWriter(src, aw)
+					}
+					src, sequenced = c.Source, true
+					staged = staged[:0]
+					aw = &ackWriter{fw: wire.NewFrameWriter(conn)}
+					seq := rc.registerConn(src, c.Seq, aw)
+					if err := aw.sendAck(src, seq); err != nil {
+						rc.counters.Inc(CtrRecvErrors)
+						return fmt.Errorf("transport: hello ack: %w", err)
+					}
+					rc.counters.Inc(CtrAcksSent)
+				case *wire.EpochEnd:
+					if !sequenced {
+						rc.counters.Inc(CtrRecvErrors)
+						return fmt.Errorf("transport: epoch end before hello")
+					}
+					ackSeq, ack, err := rc.commitEpoch(src, c, staged)
+					staged = staged[:0]
+					if err != nil {
+						return err
+					}
+					if ack {
+						if err := aw.sendAck(src, ackSeq); err == nil {
+							rc.counters.Inc(CtrAcksSent)
+						}
+					}
+				}
+			}
+			continue
+		}
+		if sequenced {
+			if len(staged) >= maxStagedFrames {
+				rc.counters.Inc(CtrRecvErrors)
+				return fmt.Errorf("transport: %d frames staged without an epoch commit", len(staged))
+			}
+			staged = append(staged, f)
+			continue
+		}
 		if err := rc.consume(f); err != nil {
+			rc.counters.Inc(CtrRecvErrors)
 			return err
 		}
 	}
 }
 
+func (rc *Receiver) noteFrame(f wire.Frame) {
+	rc.mu.Lock()
+	rc.frames++
+	rc.bytesIn += f.Records.TotalBytes()
+	rc.mu.Unlock()
+	rc.counters.Inc(CtrFramesIn)
+}
+
+// registerConn records the connection serving a source and returns the
+// sequence number to ack in the Hello reply (newest durable epoch).
+//
+// A Hello carrying Seq == 0 from a source we have already applied epochs
+// for is a fresh incarnation (an agent restarted without a checkpoint
+// dir): its numbering restarts at 1, so keeping the old frontier would
+// silently discard everything it ships. The dedup frontier resets — the
+// previous incarnation's epochs stay applied, so cross-incarnation
+// semantics degrade to at-least-once, which beats silent loss. A
+// restored agent (Seq > 0) keeps the frontier and replays into it.
+func (rc *Receiver) registerConn(src uint32, helloSeq uint64, aw *ackWriter) uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.engine.RegisterSource(src)
+	rc.writers[src] = aw
+	if helloSeq == 0 && rc.applied[src] > 0 {
+		rc.applied[src] = 0
+		rc.durable[src] = 0
+		rc.counters.Inc(CtrSourceResets)
+	}
+	return rc.durable[src]
+}
+
+func (rc *Receiver) dropWriter(src uint32, aw *ackWriter) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.writers[src] == aw {
+		delete(rc.writers, src)
+	}
+}
+
+// commitEpoch applies one staged epoch atomically and exactly once.
+// Duplicates (seq at or below the last applied epoch) are discarded
+// whole. It reports whether an immediate ack should be sent and for
+// which sequence number.
+func (rc *Receiver) commitEpoch(src uint32, e *wire.EpochEnd, staged []wire.Frame) (uint64, bool, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if e.Seq <= rc.applied[src] {
+		rc.counters.Inc(CtrEpochsReplayed)
+		// Re-ack so a replaying agent converges on the durable frontier.
+		return rc.durable[src], !rc.manualAck, nil
+	}
+	for _, f := range staged {
+		if f.StreamID == WatermarkStreamID {
+			for _, rec := range f.Records {
+				if wm, ok := rec.Data.(*wire.Watermark); ok {
+					rc.engine.ObserveWatermark(f.Source, wm.Time)
+				}
+			}
+			continue
+		}
+		if err := rc.engine.Ingest(int(f.StreamID), f.Records); err != nil {
+			rc.counters.Inc(CtrRecvErrors)
+			return 0, false, fmt.Errorf("transport: apply epoch %d: %w", e.Seq, err)
+		}
+	}
+	rc.engine.ObserveWatermark(src, e.Watermark)
+	rc.applied[src] = e.Seq
+	rc.counters.Inc(CtrEpochsApplied)
+	if rc.manualAck {
+		return 0, false, nil
+	}
+	rc.durable[src] = e.Seq
+	return e.Seq, true, nil
+}
+
 func (rc *Receiver) consume(f wire.Frame) error {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
-	rc.frames++
-	rc.bytesIn += f.Records.TotalBytes()
 	if f.StreamID == WatermarkStreamID {
 		for _, rec := range f.Records {
 			if wm, ok := rec.Data.(*wire.Watermark); ok {
@@ -133,6 +358,69 @@ func (rc *Receiver) RegisterSource(id uint32) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	rc.engine.RegisterSource(id)
+}
+
+// AppliedSeq returns the newest epoch sequence applied for a source
+// (zero before its first sequenced epoch).
+func (rc *Receiver) AppliedSeq(source uint32) uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.applied[source]
+}
+
+// SetApplied restores a source's applied (and durable) epoch sequence
+// from a recovered snapshot; epochs at or below it will be discarded as
+// duplicates.
+func (rc *Receiver) SetApplied(source uint32, seq uint64) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if seq > rc.applied[source] {
+		rc.applied[source] = seq
+	}
+	if seq > rc.durable[source] {
+		rc.durable[source] = seq
+	}
+}
+
+// Freeze runs f while epoch application is paused, passing a copy of the
+// per-source applied sequences. The recovery manager snapshots the
+// engine inside f so the captured state and sequence numbers are
+// mutually consistent.
+func (rc *Receiver) Freeze(f func(applied map[uint32]uint64)) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	cp := make(map[uint32]uint64, len(rc.applied))
+	for k, v := range rc.applied {
+		cp[k] = v
+	}
+	f(cp)
+}
+
+// AckSeqs marks the given per-source epochs durable and acknowledges
+// them on each source's live connection (recovery-manager mode; pair
+// with SetManualAck(true)).
+func (rc *Receiver) AckSeqs(seqs map[uint32]uint64) {
+	type target struct {
+		aw  *ackWriter
+		src uint32
+		seq uint64
+	}
+	var targets []target
+	rc.mu.Lock()
+	for src, seq := range seqs {
+		if seq > rc.durable[src] {
+			rc.durable[src] = seq
+		}
+		if aw := rc.writers[src]; aw != nil {
+			targets = append(targets, target{aw, src, rc.durable[src]})
+		}
+	}
+	rc.mu.Unlock()
+	for _, t := range targets {
+		if err := t.aw.sendAck(t.src, t.seq); err == nil {
+			rc.counters.Inc(CtrAcksSent)
+		}
+	}
 }
 
 // Advance flushes the engine up to the merged watermark and returns new

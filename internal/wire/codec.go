@@ -23,6 +23,15 @@ const (
 	TagAggRow      byte = 0x05
 	TagWatermark   byte = 0x06
 	TagQuantileRow byte = 0x07
+
+	// Control tags (fault-tolerance protocol + snapshot codec).
+	TagHello          byte = 0x08
+	TagAck            byte = 0x09
+	TagEpochEnd       byte = 0x0A
+	TagSnapshotHeader byte = 0x0B
+	TagSourceState    byte = 0x0C
+	TagLoadFactors    byte = 0x0D
+	TagReplayEpoch    byte = 0x0E
 )
 
 // ErrUnknownTag is returned when decoding a record with an unregistered
@@ -108,6 +117,53 @@ func EncodeRecord(dst []byte, rec telemetry.Record) ([]byte, error) {
 		dst = appendHeader(dst, rec)
 		dst = binary.BigEndian.AppendUint64(dst, uint64(p.Time))
 		return dst, nil
+	case *Hello:
+		dst = append(dst, TagHello)
+		dst = appendHeader(dst, rec)
+		dst = binary.BigEndian.AppendUint32(dst, p.Source)
+		dst = binary.BigEndian.AppendUint64(dst, p.Seq)
+		return dst, nil
+	case *Ack:
+		dst = append(dst, TagAck)
+		dst = appendHeader(dst, rec)
+		dst = binary.BigEndian.AppendUint32(dst, p.Source)
+		dst = binary.BigEndian.AppendUint64(dst, p.Seq)
+		return dst, nil
+	case *EpochEnd:
+		dst = append(dst, TagEpochEnd)
+		dst = appendHeader(dst, rec)
+		dst = binary.BigEndian.AppendUint64(dst, p.Seq)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.Watermark))
+		return dst, nil
+	case *SnapshotHeader:
+		dst = append(dst, TagSnapshotHeader)
+		dst = appendHeader(dst, rec)
+		dst = binary.BigEndian.AppendUint64(dst, p.Seq)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.Watermark))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.EmittedWM))
+		dst = binary.BigEndian.AppendUint64(dst, p.Acked)
+		return dst, nil
+	case *SourceState:
+		dst = append(dst, TagSourceState)
+		dst = appendHeader(dst, rec)
+		dst = binary.BigEndian.AppendUint32(dst, p.Source)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.Watermark))
+		dst = binary.BigEndian.AppendUint64(dst, p.AppliedSeq)
+		return dst, nil
+	case *LoadFactors:
+		dst = append(dst, TagLoadFactors)
+		dst = appendHeader(dst, rec)
+		dst = binary.AppendUvarint(dst, uint64(len(p.Factors)))
+		for _, f := range p.Factors {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
+		}
+		return dst, nil
+	case *ReplayEpoch:
+		dst = append(dst, TagReplayEpoch)
+		dst = appendHeader(dst, rec)
+		dst = binary.BigEndian.AppendUint64(dst, p.Seq)
+		dst = binary.AppendUvarint(dst, uint64(len(p.Data)))
+		return append(dst, p.Data...), nil
 	default:
 		return nil, fmt.Errorf("wire: cannot encode payload type %T", rec.Data)
 	}
@@ -167,6 +223,26 @@ func (r *reader) uvarint() uint64 {
 	}
 	r.off += k
 	return v
+}
+
+func (r *reader) bytes() []byte {
+	if r.err != nil {
+		return nil
+	}
+	n, k := binary.Uvarint(r.buf[r.off:])
+	if k <= 0 {
+		r.err = ErrShortBuffer
+		return nil
+	}
+	r.off += k
+	if n > uint64(len(r.buf)-r.off) {
+		r.err = ErrShortBuffer
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return out
 }
 
 func (r *reader) str() string {
@@ -270,6 +346,59 @@ func DecodeRecord(buf []byte) (telemetry.Record, int, error) {
 		p.Time = int64(r.u64())
 		rec.Data = p
 		rec.WireSize = 17
+	case TagHello:
+		p := &Hello{}
+		p.Source = r.u32()
+		p.Seq = r.u64()
+		rec.Data = p
+		rec.WireSize = 29
+	case TagAck:
+		p := &Ack{}
+		p.Source = r.u32()
+		p.Seq = r.u64()
+		rec.Data = p
+		rec.WireSize = 29
+	case TagEpochEnd:
+		p := &EpochEnd{}
+		p.Seq = r.u64()
+		p.Watermark = int64(r.u64())
+		rec.Data = p
+		rec.WireSize = 33
+	case TagSnapshotHeader:
+		p := &SnapshotHeader{}
+		p.Seq = r.u64()
+		p.Watermark = int64(r.u64())
+		p.EmittedWM = int64(r.u64())
+		p.Acked = r.u64()
+		rec.Data = p
+		rec.WireSize = 49
+	case TagSourceState:
+		p := &SourceState{}
+		p.Source = r.u32()
+		p.Watermark = int64(r.u64())
+		p.AppliedSeq = r.u64()
+		rec.Data = p
+		rec.WireSize = 37
+	case TagLoadFactors:
+		p := &LoadFactors{}
+		n := r.uvarint()
+		if r.err == nil && n > uint64(len(buf))/8 {
+			return telemetry.Record{}, 0, ErrShortBuffer
+		}
+		if r.err == nil {
+			p.Factors = make([]float64, n)
+			for i := range p.Factors {
+				p.Factors[i] = math.Float64frombits(r.u64())
+			}
+		}
+		rec.Data = p
+		rec.WireSize = 18 + 8*len(p.Factors)
+	case TagReplayEpoch:
+		p := &ReplayEpoch{}
+		p.Seq = r.u64()
+		p.Data = r.bytes()
+		rec.Data = p
+		rec.WireSize = 26 + len(p.Data)
 	default:
 		return telemetry.Record{}, 0, fmt.Errorf("%w: 0x%02x", ErrUnknownTag, buf[0])
 	}

@@ -1,0 +1,72 @@
+package wire
+
+// Control payloads for the fault-tolerance protocol (§IV-E): sequenced
+// epoch shipping with SP acknowledgements, connection handshakes, and the
+// durable snapshot format of internal/checkpoint. Control records travel
+// in frames whose StreamID is ControlStreamID so they never collide with
+// operator stage ids; on disk the snapshot codec reuses the same frames.
+
+// ControlStreamID tags frames that carry protocol control records
+// (handshakes, acks, epoch commits, snapshot metadata) instead of data
+// destined for an operator stage.
+const ControlStreamID = ^uint32(0) - 1
+
+// Hello opens a sequenced connection: the agent announces its source id
+// and the last epoch sequence number it assigned. The receiver replies
+// with an Ack carrying the newest durably-applied sequence for that
+// source, and the agent replays everything after it.
+type Hello struct {
+	Source uint32
+	Seq    uint64
+}
+
+// Ack acknowledges that every epoch of a source up to and including Seq
+// is durable on the stream processor (applied, and covered by a snapshot
+// when checkpointing is enabled). The agent prunes its replay buffer up
+// to Seq.
+type Ack struct {
+	Source uint32
+	Seq    uint64
+}
+
+// EpochEnd commits one shipped epoch: every data frame since the previous
+// EpochEnd belongs to epoch Seq, which the receiver applies atomically
+// (all frames, then the watermark) exactly once — duplicates with
+// Seq ≤ last applied are discarded whole.
+type EpochEnd struct {
+	Seq       uint64
+	Watermark int64
+}
+
+// SnapshotHeader opens an encoded checkpoint snapshot: the epoch sequence
+// it covers, the low watermark, the watermark through which results were
+// already emitted, and (agent side) the newest acked epoch.
+type SnapshotHeader struct {
+	Seq       uint64
+	Watermark int64
+	EmittedWM int64
+	Acked     uint64
+}
+
+// SourceState records one source's progress inside an SP snapshot: its
+// observed watermark and the last epoch sequence applied for it.
+type SourceState struct {
+	Source     uint32
+	Watermark  int64
+	AppliedSeq uint64
+}
+
+// LoadFactors records a pipeline's per-proxy load factors inside an agent
+// snapshot, so a restarted agent resumes routing exactly where it left
+// off (deterministic replay needs identical routing decisions).
+type LoadFactors struct {
+	Factors []float64
+}
+
+// ReplayEpoch carries one fully encoded, unacknowledged epoch (the bytes
+// a FrameWriter produced, EpochEnd included) inside an agent snapshot, so
+// the replay buffer survives agent restarts.
+type ReplayEpoch struct {
+	Seq  uint64
+	Data []byte
+}

@@ -26,6 +26,11 @@ func NewFrameWriter(w io.Writer) *FrameWriter {
 	return &FrameWriter{w: bufio.NewWriter(w)}
 }
 
+// Reset redirects the writer to w, discarding unflushed data but keeping
+// the internal encode buffer — repeated encoders (the checkpoint store)
+// avoid re-growing a megabyte-scale buffer on every snapshot.
+func (fw *FrameWriter) Reset(w io.Writer) { fw.w.Reset(w) }
+
 // Frame is one unit of transfer: a batch of records destined for the
 // stream-processor-side control proxy identified by StreamID (paper §V:
 // "control proxy attaches an identifier for the operator on stream
@@ -109,6 +114,12 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 		Source:   binary.BigEndian.Uint32(fr.buf[4:]),
 	}
 	count := binary.BigEndian.Uint32(fr.buf[8:])
+	// Every record costs at least a tag byte plus the 16-byte header, so
+	// a count the remaining payload cannot hold is corrupt — reject it
+	// before pre-allocating a batch sized by attacker-controlled input.
+	if uint64(count)*17 > uint64(n-12) {
+		return Frame{}, fmt.Errorf("wire: record count %d exceeds frame payload of %d bytes", count, n-12)
+	}
 	off := 12
 	f.Records = make(telemetry.Batch, 0, count)
 	for i := uint32(0); i < count; i++ {

@@ -1,0 +1,119 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"jarvis/internal/telemetry"
+)
+
+// seedRecords returns one record of every encodable payload kind, so the
+// fuzz corpora start from valid encodings of each tag.
+func seedRecords() []telemetry.Record {
+	agg := telemetry.NewAggRow(telemetry.StrKey("t|lat|3"), 2, 41.5)
+	q := telemetry.NewQuantileRow(telemetry.NumKey(9), 1, 0, 1000, 8)
+	q.Observe(250)
+	return []telemetry.Record{
+		{Time: 1, WireSize: telemetry.PingProbeWireSize, Data: &telemetry.PingProbe{Timestamp: 1, SrcIP: 2, DstIP: 3, RTTMicros: 99}},
+		{Time: 2, WireSize: telemetry.ToRProbeWireSize, Data: &telemetry.ToRProbe{Timestamp: 2, SrcToR: 1, DstToR: 2, RTTMicros: 7}},
+		{Time: 3, WireSize: 5, Data: &telemetry.LogLine{Timestamp: 3, Raw: "a=b c"}},
+		{Time: 4, WireSize: 20, Data: &telemetry.JobStats{Timestamp: 4, Tenant: "t", StatName: "s", Stat: 1.5, Bucket: -2}},
+		{Time: 5, Window: 2, WireSize: agg.AggRowWireSize(), Data: &agg},
+		{Time: 6, Window: 1, WireSize: q.WireSize(), Data: q},
+		{Time: 7, WireSize: 17, Data: &Watermark{Time: 7}},
+		{Time: 8, WireSize: 29, Data: &Hello{Source: 3, Seq: 12}},
+		{Time: 9, WireSize: 29, Data: &Ack{Source: 3, Seq: 11}},
+		{Time: 10, WireSize: 33, Data: &EpochEnd{Seq: 12, Watermark: 1_000_000}},
+		{Time: 11, WireSize: 49, Data: &SnapshotHeader{Seq: 5, Watermark: 9, EmittedWM: 8, Acked: 4}},
+		{Time: 12, WireSize: 37, Data: &SourceState{Source: 2, Watermark: 7, AppliedSeq: 6}},
+		{Time: 13, WireSize: 34, Data: &LoadFactors{Factors: []float64{1, 0.5}}},
+		{Time: 14, WireSize: 29, Data: &ReplayEpoch{Seq: 2, Data: []byte{1, 2, 3}}},
+	}
+}
+
+// FuzzDecodeRecord checks that DecodeRecord never panics on arbitrary
+// bytes, and that every successfully decoded record round-trips: its
+// re-encoding decodes to a record with an identical re-encoding.
+func FuzzDecodeRecord(f *testing.F) {
+	for _, rec := range seedRecords() {
+		enc, err := EncodeRecord(nil, rec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := DecodeRecord(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		enc, err := EncodeRecord(nil, rec)
+		if err != nil {
+			t.Fatalf("re-encode of decoded record: %v", err)
+		}
+		rec2, n2, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("decode of re-encoding: %v", err)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("re-decode consumed %d of %d bytes", n2, len(enc))
+		}
+		enc2, err := EncodeRecord(nil, rec2)
+		if err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding not stable:\n%x\n%x", enc, enc2)
+		}
+	})
+}
+
+// FuzzReadFrame checks that the frame reader never panics on arbitrary
+// bytes and that successfully decoded frames round-trip through
+// WriteFrame/ReadFrame.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteFrame(Frame{StreamID: 2, Source: 7, Records: telemetry.Batch(seedRecords())}); err != nil {
+		f.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		for {
+			frame, err := fr.ReadFrame()
+			if err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					return
+				}
+				return // corrupt input is fine, panics are not
+			}
+			var out bytes.Buffer
+			w := NewFrameWriter(&out)
+			if err := w.WriteFrame(frame); err != nil {
+				t.Fatalf("re-encode of decoded frame: %v", err)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := NewFrameReader(bytes.NewReader(out.Bytes())).ReadFrame()
+			if err != nil {
+				t.Fatalf("decode of re-encoded frame: %v", err)
+			}
+			if got.StreamID != frame.StreamID || got.Source != frame.Source || len(got.Records) != len(frame.Records) {
+				t.Fatalf("frame round-trip mismatch: %+v vs %+v", got, frame)
+			}
+		}
+	})
+}
