@@ -39,16 +39,17 @@ func main() {
 	epochs := flag.Int("epochs", 60, "epochs to run (0 = forever)")
 	realtime := flag.Bool("realtime", false, "pace epochs at one per second of wall time")
 	ckptDir := flag.String("checkpoint-dir", "", "durable snapshot directory (empty = no checkpointing)")
-	ckptEvery := flag.Int("checkpoint-every", checkpoint.DefaultEvery, "epochs between durable snapshots")
+	ckptEvery := flag.Int("checkpoint-every", checkpoint.DefaultEvery, "epochs between durable snapshots (1 = every epoch, cheap with delta snapshots)")
+	ckptRetain := flag.Int("checkpoint-retain", checkpoint.DefaultRetain, "base+delta snapshot chains to keep when compacting (0 = keep all)")
 	flag.Parse()
 
-	if err := run(*spAddr, uint32(*id), *queryName, *budget, *epochs, *realtime, *ckptDir, *ckptEvery); err != nil {
+	if err := run(*spAddr, uint32(*id), *queryName, *budget, *epochs, *realtime, *ckptDir, *ckptEvery, *ckptRetain); err != nil {
 		fmt.Fprintln(os.Stderr, "jarvis-agent:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spAddr string, id uint32, queryName string, budget float64, epochs int, realtime bool, ckptDir string, ckptEvery int) error {
+func run(spAddr string, id uint32, queryName string, budget float64, epochs int, realtime bool, ckptDir string, ckptEvery, ckptRetain int) error {
 	q, rate, err := experiments.QueryByName(queryName)
 	if err != nil {
 		return err
@@ -71,6 +72,7 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 			return err
 		}
 		arec = checkpoint.NewAgentRecovery(store, ckptEvery, src, ship)
+		arec.SetRetention(ckptRetain)
 		var restored bool
 		resume, restored, err = arec.Restore()
 		if err != nil {

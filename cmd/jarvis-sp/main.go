@@ -40,16 +40,17 @@ func main() {
 	query := flag.String("query", "s2s", "query to run (s2s|t2t|log)")
 	sources := flag.String("sources", "1", "comma-separated source ids to wait for")
 	ckptDir := flag.String("checkpoint-dir", "", "durable snapshot directory (empty = no checkpointing)")
-	ckptEvery := flag.Int("checkpoint-every", checkpoint.DefaultEvery, "applied epochs between durable snapshots")
+	ckptEvery := flag.Int("checkpoint-every", checkpoint.DefaultEvery, "applied epochs between durable snapshots (1 = every epoch, cheap with delta snapshots)")
+	ckptRetain := flag.Int("checkpoint-retain", checkpoint.DefaultRetain, "base+delta snapshot chains to keep when compacting (0 = keep all)")
 	flag.Parse()
 
-	if err := run(*listen, *query, *sources, *ckptDir, *ckptEvery); err != nil {
+	if err := run(*listen, *query, *sources, *ckptDir, *ckptEvery, *ckptRetain); err != nil {
 		fmt.Fprintln(os.Stderr, "jarvis-sp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, queryName, sources, ckptDir string, ckptEvery int) error {
+func run(listen, queryName, sources, ckptDir string, ckptEvery, ckptRetain int) error {
 	q, _, err := experiments.QueryByName(queryName)
 	if err != nil {
 		return err
@@ -72,6 +73,7 @@ func run(listen, queryName, sources, ckptDir string, ckptEvery int) error {
 		}
 		defer rlog.Close()
 		rm = checkpoint.NewSPRecovery(store, rlog, proc.Engine(), rc, ckptEvery)
+		rm.SetRetention(ckptRetain)
 		restored, err := rm.Restore()
 		if err != nil {
 			return err

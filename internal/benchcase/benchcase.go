@@ -66,8 +66,10 @@ func WarmPipeline(epochs int) (*stream.Pipeline, error) {
 
 // ShippedEpoch returns one drain-heavy epoch (all load factors at zero,
 // so the full raw batch ships to the SP) plus the same epoch encoded as
-// wire frames — the input for the replay-apply micro-benchmark, sized
-// like the epochs a recovering SP actually re-applies.
+// wire-v2 columnar frames — the input for the decode and replay-apply
+// micro-benchmarks, sized like the epochs a recovering SP actually
+// re-applies (the sequenced shipper negotiates v2 between current
+// builds, so columnar is the shipped format).
 func ShippedEpoch() (stream.EpochResult, []byte, error) {
 	pipe, err := stream.NewPipeline(plan.S2SProbe(), stream.DefaultOptions(1.0, 0))
 	if err != nil {
@@ -80,6 +82,7 @@ func ShippedEpoch() (stream.EpochResult, []byte, error) {
 	res := pipe.RunEpoch(gen.NextWindow(1_000_000))
 	var buf bytes.Buffer
 	sh := transport.NewShipper(1, &buf)
+	sh.EnableColumnar()
 	if err := sh.ShipEpoch(res); err != nil {
 		return stream.EpochResult{}, nil, err
 	}

@@ -81,10 +81,11 @@ func TestStoreSaveLatest(t *testing.T) {
 	}
 	second := sampleSnapshot()
 	second.Seq = 6
-	name, err := st.Save(second)
+	id, err := st.Save(second)
 	if err != nil {
 		t.Fatal(err)
 	}
+	name := SnapshotFileName(id)
 	got, ok, err := st.Latest()
 	if err != nil || !ok || got.Seq != 6 {
 		t.Fatalf("latest: ok=%v err=%v snap=%+v", ok, err, got)

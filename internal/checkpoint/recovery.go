@@ -14,8 +14,16 @@ import (
 // BenchmarkCheckpointSave), so this cadence amortizes the overhead to
 // ~2-3% of engine epoch time, and the durable shipper's default replay
 // buffer (DefaultMaxPending, 2× this cadence) keeps every epoch between
-// snapshots replayable.
+// snapshots replayable. With delta snapshots (every snapshot after a
+// chain base ships only dirtied state, see BenchmarkDeltaSnapshotSave)
+// the cadence can drop to every epoch: `-checkpoint-every 1`.
 const DefaultEvery = 32
+
+// DefaultMaxChain bounds a base + delta chain before the next snapshot
+// is forced full: longer chains shrink per-snapshot cost but lengthen
+// restore (every link decodes and folds) and pin older files until
+// compaction.
+const DefaultMaxChain = 16
 
 // Agent is the source-side surface the recovery manager needs. Both
 // *stream.Pipeline and *core.Source implement it.
@@ -30,6 +38,19 @@ type Agent interface {
 	// restarted agent replays epochs with identical routing decisions.
 	LoadFactors() []float64
 	SetLoadFactors([]float64) error
+}
+
+// DeltaAgent is an Agent that additionally tracks dirty state for
+// incremental snapshots. *stream.Pipeline and *core.Source implement
+// it; agents that do not are always snapshotted in full.
+type DeltaAgent interface {
+	Agent
+	// CheckpointDelta captures only state dirtied since the previous
+	// capture and starts a new dirty generation.
+	CheckpointDelta(epoch int64) *stream.Checkpoint
+	// MarkSnapshotClean starts a new dirty generation after a full
+	// capture that begins a chain.
+	MarkSnapshotClean()
 }
 
 // AgentRecovery takes epoch-aligned snapshots of a source agent — its
@@ -50,17 +71,36 @@ type AgentRecovery struct {
 	every uint64
 	agent Agent
 	ship  *transport.DurableShipper
+
+	maxChain int
+	retain   int
+	lastID   uint64 // store id of the last saved snapshot (0: none — next save is full)
+	chainLen int    // deltas since the last full snapshot
 }
 
 // NewAgentRecovery wires a recovery manager to an agent. every is the
 // snapshot cadence in epochs (minimum 1); ship may be nil for agents
-// that consume epochs in process.
+// that consume epochs in process. When the agent tracks dirty state
+// (DeltaAgent), snapshots after a chain base are incremental up to
+// DefaultMaxChain deltas per chain, and the store is compacted to
+// DefaultRetain chains at each new base (SetRetention adjusts).
 func NewAgentRecovery(store *Store, every int, agent Agent, ship *transport.DurableShipper) *AgentRecovery {
 	if every < 1 {
 		every = 1
 	}
-	return &AgentRecovery{store: store, every: uint64(every), agent: agent, ship: ship}
+	return &AgentRecovery{
+		store: store, every: uint64(every), agent: agent, ship: ship,
+		maxChain: DefaultMaxChain, retain: DefaultRetain,
+	}
 }
+
+// SetRetention sets how many base + delta chains compaction keeps
+// (minimum 1); 0 disables pruning.
+func (r *AgentRecovery) SetRetention(n int) { r.retain = n }
+
+// SetMaxChain bounds deltas per chain before a full snapshot is forced
+// (0 disables deltas entirely).
+func (r *AgentRecovery) SetMaxChain(n int) { r.maxChain = n }
 
 // Restore loads the newest consistent snapshot into the agent (and the
 // shipper's replay buffer) and returns the epoch to resume after. ok is
@@ -82,27 +122,65 @@ func (r *AgentRecovery) Restore() (resumeEpoch uint64, ok bool, err error) {
 	if r.ship != nil {
 		r.ship.RestoreState(snap.Seq, snap.Acked, snap.Pending)
 	}
+	// The restore re-marked everything it absorbed as dirty, so the next
+	// snapshot must be a fresh chain base.
+	r.lastID, r.chainLen = 0, 0
 	return snap.Seq, true, nil
 }
 
 // AfterEpoch snapshots the agent when the cadence is due. Call it after
-// every RunEpoch+ShipEpoch pair with the epoch's sequence number.
+// every RunEpoch+ShipEpoch pair with the epoch's sequence number. The
+// first snapshot (and every DefaultMaxChain-th after it) captures full
+// state and starts a chain; the rest are deltas of the state dirtied
+// since the previous snapshot.
 func (r *AgentRecovery) AfterEpoch(epoch uint64) error {
 	if epoch%r.every != 0 {
 		return nil
 	}
-	cp := r.agent.Checkpoint(int64(epoch))
+	da, tracksDirty := r.agent.(DeltaAgent)
+	full := !tracksDirty || r.lastID == 0 || r.chainLen >= r.maxChain
+	var cp *stream.Checkpoint
+	if full {
+		cp = r.agent.Checkpoint(int64(epoch))
+		if tracksDirty {
+			da.MarkSnapshotClean()
+		}
+	} else {
+		cp = da.CheckpointDelta(int64(epoch))
+	}
 	snap := &Snapshot{
 		Seq:       epoch,
 		Watermark: cp.Watermark,
 		Stages:    cp.Stages,
 		Factors:   r.agent.LoadFactors(),
+		Delta:     !full,
+		Meta:      cp.Meta,
+	}
+	if !full {
+		snap.BaseID = r.lastID
 	}
 	if r.ship != nil {
 		snap.Seq, snap.Acked, snap.Pending = r.ship.State()
 	}
-	if _, err := r.store.Save(snap); err != nil {
+	id, err := r.store.Save(snap)
+	if err != nil {
+		// The capture already advanced the dirty generation, so the rows
+		// this snapshot carried will never appear in a later delta; the
+		// next snapshot must be a fresh full base or the chain would
+		// silently miss them.
+		r.lastID, r.chainLen = 0, 0
 		return fmt.Errorf("checkpoint: save agent snapshot: %w", err)
+	}
+	r.lastID = id
+	if full {
+		r.chainLen = 0
+		if r.retain > 0 {
+			if err := r.store.Compact(r.retain); err != nil {
+				return fmt.Errorf("checkpoint: compact store: %w", err)
+			}
+		}
+	} else {
+		r.chainLen++
 	}
 	return nil
 }
@@ -124,19 +202,38 @@ type SPRecovery struct {
 
 	snapAt   uint64 // progress measure (sum of applied seqs) at last snapshot
 	haveSnap bool
+
+	maxChain int
+	retain   int
+	lastID   uint64
+	chainLen int
 }
 
 // NewSPRecovery wires a recovery manager to an SP engine and its
 // receiver. every is the snapshot cadence in applied epochs (minimum 1,
 // summed across sources); log may be nil to skip result logging. The
-// receiver is switched to manual (durability-gated) acks.
+// receiver is switched to manual (durability-gated) acks. Snapshots
+// after a chain base are incremental (engine dirty tracking) up to
+// DefaultMaxChain deltas; the store is compacted to DefaultRetain
+// chains at each new base (SetRetention adjusts).
 func NewSPRecovery(store *Store, log *ResultLog, engine *stream.SPEngine, rc *transport.Receiver, every int) *SPRecovery {
 	if every < 1 {
 		every = 1
 	}
 	rc.SetManualAck(true)
-	return &SPRecovery{store: store, log: log, engine: engine, rc: rc, every: uint64(every)}
+	return &SPRecovery{
+		store: store, log: log, engine: engine, rc: rc, every: uint64(every),
+		maxChain: DefaultMaxChain, retain: DefaultRetain,
+	}
 }
+
+// SetRetention sets how many base + delta chains compaction keeps
+// (minimum 1); 0 disables pruning.
+func (r *SPRecovery) SetRetention(n int) { r.retain = n }
+
+// SetMaxChain bounds deltas per chain before a full snapshot is forced
+// (0 disables deltas entirely).
+func (r *SPRecovery) SetMaxChain(n int) { r.maxChain = n }
 
 // Restore loads the newest consistent snapshot into the engine and the
 // receiver's dedup state. ok is false on a fresh store.
@@ -146,7 +243,7 @@ func (r *SPRecovery) Restore() (ok bool, err error) {
 		return false, err
 	}
 	for stage, rows := range snap.Stages {
-		if err := r.engine.Ingest(stage, rows); err != nil {
+		if err := r.engine.RestoreStage(stage, rows); err != nil {
 			return false, fmt.Errorf("checkpoint: restore stage %d: %w", stage, err)
 		}
 	}
@@ -159,6 +256,9 @@ func (r *SPRecovery) Restore() (ok bool, err error) {
 	}
 	r.snapAt = total
 	r.haveSnap = true
+	// The restore re-marked everything it absorbed as dirty, so the next
+	// snapshot must be a fresh chain base.
+	r.lastID, r.chainLen = 0, 0
 	return true, nil
 }
 
@@ -195,6 +295,7 @@ func (r *SPRecovery) Snapshot() error {
 func (r *SPRecovery) snapshot(force bool) error {
 	var snap *Snapshot
 	var seqs map[uint32]uint64
+	full := r.lastID == 0 || r.chainLen >= r.maxChain
 	// Freeze pauses epoch application so the captured operator state,
 	// watermarks and sequence numbers are one consistent cut.
 	r.rc.Freeze(func(applied map[uint32]uint64) {
@@ -212,8 +313,15 @@ func (r *SPRecovery) snapshot(force bool) error {
 		snap = &Snapshot{
 			Seq:       total,
 			Watermark: r.engine.EffectiveWatermark(),
-			Stages:    r.engine.SnapshotStages(),
 			Sources:   make(map[uint32]SourceState),
+			Delta:     !full,
+		}
+		if full {
+			snap.Stages = r.engine.SnapshotStages()
+			r.engine.MarkSnapshotClean()
+		} else {
+			snap.Stages, snap.Meta = r.engine.SnapshotStagesDelta()
+			snap.BaseID = r.lastID
 		}
 		if r.log != nil {
 			snap.EmittedWM = r.log.EmittedWM()
@@ -232,8 +340,24 @@ func (r *SPRecovery) snapshot(force bool) error {
 	if snap == nil {
 		return nil
 	}
-	if _, err := r.store.Save(snap); err != nil {
+	id, err := r.store.Save(snap)
+	if err != nil {
+		// The capture already advanced the dirty generation; without a
+		// reset the next delta would chain over the lost rows (see
+		// AgentRecovery.AfterEpoch).
+		r.lastID, r.chainLen = 0, 0
 		return fmt.Errorf("checkpoint: save SP snapshot: %w", err)
+	}
+	r.lastID = id
+	if full {
+		r.chainLen = 0
+		if r.retain > 0 {
+			if err := r.store.Compact(r.retain); err != nil {
+				return fmt.Errorf("checkpoint: compact store: %w", err)
+			}
+		}
+	} else {
+		r.chainLen++
 	}
 	// Only now — with the snapshot durable — may agents prune their
 	// replay buffers up to the covered epochs.

@@ -23,6 +23,7 @@ import (
 	"io"
 	"sort"
 
+	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/transport"
 	"jarvis/internal/wire"
@@ -61,13 +62,33 @@ type Snapshot struct {
 	Factors []float64
 	// Pending is the agent's replay buffer: encoded unacked epochs.
 	Pending []transport.PendingEpoch
+
+	// Delta marks an incremental snapshot: Stages holds only state
+	// dirtied since the snapshot identified by BaseID, applied per Meta.
+	// Scalar fields (Seq, watermarks, Sources, Factors, Pending) are
+	// always complete — only stage rows are incremental.
+	Delta bool
+	// BaseID is the store id of the snapshot this delta extends.
+	BaseID uint64
+	// Meta describes, per stage, how delta rows apply to the base state.
+	Meta map[int]stream.StageDelta
 }
 
 // Encode serializes the snapshot as wire frames: a SnapshotHeader
-// control frame, one data frame per stage, a SourceState control frame,
-// a LoadFactors control frame and one ReplayEpoch control frame per
+// control frame, StageMeta control frames (delta snapshots), one
+// columnar data frame per stage, a SourceState control frame, a
+// LoadFactors control frame and one ReplayEpoch control frame per
 // pending epoch.
 func (s *Snapshot) Encode(w io.Writer) error {
+	fw := wire.NewFrameWriter(w)
+	fw.SetColumnar(true)
+	return s.encodeTo(fw)
+}
+
+// EncodeLegacy serializes the snapshot with wire-v1 record-at-a-time
+// stage frames — the format pre-columnar builds wrote. Kept for
+// compatibility tests; DecodeSnapshot reads both.
+func (s *Snapshot) EncodeLegacy(w io.Writer) error {
 	return s.encodeTo(wire.NewFrameWriter(w))
 }
 
@@ -78,9 +99,24 @@ func (s *Snapshot) encodeTo(fw *wire.FrameWriter) error {
 		rec := telemetry.Record{WireSize: size, Data: data}
 		return fw.WriteFrame(wire.Frame{StreamID: wire.ControlStreamID, Records: telemetry.Batch{rec}})
 	}
-	hdr := &wire.SnapshotHeader{Seq: s.Seq, Watermark: s.Watermark, EmittedWM: s.EmittedWM, Acked: s.Acked}
+	hdr := &wire.SnapshotHeader{
+		Seq: s.Seq, Watermark: s.Watermark, EmittedWM: s.EmittedWM, Acked: s.Acked,
+		BaseID: s.BaseID, Delta: s.Delta,
+	}
 	if err := ctl(hdr, 49); err != nil {
 		return err
+	}
+	metaStages := make([]int, 0, len(s.Meta))
+	for st := range s.Meta {
+		metaStages = append(metaStages, st)
+	}
+	sort.Ints(metaStages)
+	for _, st := range metaStages {
+		m := s.Meta[st]
+		rec := &wire.StageMeta{Stage: st, Replace: m.Replace, Closed: m.Closed}
+		if err := ctl(rec, 20+9*len(m.Closed)); err != nil {
+			return err
+		}
 	}
 	stages := make([]int, 0, len(s.Stages))
 	for st := range s.Stages {
@@ -122,9 +158,13 @@ func (s *Snapshot) encodeTo(fw *wire.FrameWriter) error {
 	return fw.Flush()
 }
 
-// DecodeSnapshot reads a snapshot written by Encode.
+// DecodeSnapshot reads a snapshot written by Encode (or by a
+// pre-columnar build's encoder — both frame versions decode).
 func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
-	fr := wire.NewFrameReader(r)
+	return decodeSnapshot(wire.NewFrameReader(r))
+}
+
+func decodeSnapshot(fr *wire.FrameReader) (*Snapshot, error) {
 	first, err := fr.ReadFrame()
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: snapshot header: %w", err)
@@ -141,8 +181,13 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 		Watermark: hdr.Watermark,
 		EmittedWM: hdr.EmittedWM,
 		Acked:     hdr.Acked,
+		Delta:     hdr.Delta,
+		BaseID:    hdr.BaseID,
 		Stages:    make(map[int]telemetry.Batch),
 		Sources:   make(map[uint32]SourceState),
+	}
+	if s.Delta {
+		s.Meta = make(map[int]stream.StageDelta)
 	}
 	for {
 		f, err := fr.ReadFrame()
@@ -164,9 +209,127 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 				s.Factors = c.Factors
 			case *wire.ReplayEpoch:
 				s.Pending = append(s.Pending, transport.PendingEpoch{Seq: c.Seq, Data: c.Data})
+			case *wire.StageMeta:
+				if s.Meta == nil {
+					s.Meta = make(map[int]stream.StageDelta)
+				}
+				s.Meta[c.Stage] = stream.StageDelta{Replace: c.Replace, Closed: c.Closed}
 			default:
 				return nil, fmt.Errorf("checkpoint: unexpected control record %T in snapshot", rec.Data)
 			}
 		}
 	}
+}
+
+// groupRef addresses one group row inside a stage for keyed delta
+// merging, using the same window resolution as the operators' merge
+// path (the payload's window wins over the record's when set).
+type groupRef struct {
+	win int64
+	key telemetry.GroupKey
+}
+
+// rowRef extracts the (window, key) address of a keyed snapshot row.
+// Rows of non-keyed payload types report ok == false; stages holding
+// them must use replace mode.
+func rowRef(rec *telemetry.Record) (groupRef, bool) {
+	switch p := rec.Data.(type) {
+	case *telemetry.AggRow:
+		ref := groupRef{win: rec.Window, key: p.Key}
+		if p.Window != 0 {
+			ref.win = p.Window
+		}
+		return ref, true
+	case *telemetry.QuantileRow:
+		ref := groupRef{win: rec.Window, key: p.Key}
+		if p.Window != 0 {
+			ref.win = p.Window
+		}
+		return ref, true
+	default:
+		return groupRef{}, false
+	}
+}
+
+// applyDelta folds one delta snapshot into the reconstructed base state,
+// mutating and returning base. Scalar fields always take the delta's
+// values (they are complete in every snapshot); stage rows apply per the
+// delta's Meta: replace mode swaps a stage wholesale, keyed mode drops
+// rows of closed windows and supersedes rows group by group.
+func applyDelta(base, d *Snapshot) *Snapshot {
+	base.Seq = d.Seq
+	base.Watermark = d.Watermark
+	base.EmittedWM = d.EmittedWM
+	base.Acked = d.Acked
+	base.Sources = d.Sources
+	base.Factors = d.Factors
+	base.Pending = d.Pending
+
+	// Union of stages the delta mentions: rows, meta, or both.
+	stages := make(map[int]struct{}, len(d.Stages)+len(d.Meta))
+	for st := range d.Stages {
+		stages[st] = struct{}{}
+	}
+	for st := range d.Meta {
+		stages[st] = struct{}{}
+	}
+	for st := range stages {
+		meta := d.Meta[st]
+		rows := d.Stages[st]
+		if meta.Replace {
+			if len(rows) == 0 {
+				delete(base.Stages, st)
+			} else {
+				base.Stages[st] = rows
+			}
+			continue
+		}
+		cur := base.Stages[st]
+		if len(meta.Closed) > 0 && len(cur) > 0 {
+			closed := make(map[int64]struct{}, len(meta.Closed))
+			for _, w := range meta.Closed {
+				closed[w] = struct{}{}
+			}
+			kept := cur[:0]
+			for i := range cur {
+				ref, ok := rowRef(&cur[i])
+				if ok {
+					if _, gone := closed[ref.win]; gone {
+						continue
+					}
+				}
+				kept = append(kept, cur[i])
+			}
+			cur = kept
+		}
+		if len(rows) > 0 {
+			idx := make(map[groupRef]int, len(cur))
+			for i := range cur {
+				if ref, ok := rowRef(&cur[i]); ok {
+					idx[ref] = i
+				}
+			}
+			for i := range rows {
+				ref, ok := rowRef(&rows[i])
+				if !ok {
+					// Unkeyed row in a keyed delta: append (cannot
+					// supersede anything).
+					cur = append(cur, rows[i])
+					continue
+				}
+				if j, seen := idx[ref]; seen {
+					cur[j] = rows[i]
+				} else {
+					idx[ref] = len(cur)
+					cur = append(cur, rows[i])
+				}
+			}
+		}
+		if len(cur) == 0 {
+			delete(base.Stages, st)
+		} else {
+			base.Stages[st] = cur
+		}
+	}
+	return base
 }

@@ -3,8 +3,10 @@ package checkpoint
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 
 	"jarvis/internal/wire"
@@ -13,14 +15,23 @@ import (
 // manifestName is the append-only index of snapshots in a store
 // directory. Each line records one fully written snapshot:
 //
-//	v1 <id> <file> <seq> <watermark>
+//	v1 <id> <file> <seq> <watermark>                    (full, pre-delta builds)
+//	v2 <id> <file> <seq> <watermark> <base> <f|d>       (full or delta)
 //
-// A snapshot file is renamed into place before its manifest line is
-// appended, so every listed entry is complete; Latest still verifies by
-// decoding and walks backwards past any entry that fails.
+// A snapshot's manifest line is appended only after its file is fully
+// written and closed, so every listed entry is complete; Latest still
+// verifies by decoding and walks backwards past any entry (or
+// base+delta chain) that fails.
 const manifestName = "MANIFEST"
 
+// DefaultRetain is the default snapshot retention for the recovery
+// managers' compaction: the newest consistent chains kept when pruning.
+const DefaultRetain = 4
+
 // Store is a durable append-only snapshot store rooted at one directory.
+// Snapshots form a linear history: a delta snapshot extends the
+// snapshot saved immediately before it (its BaseID), and restoring
+// reconstructs the newest base + delta chain that decodes.
 type Store struct {
 	dir string
 	// Sync forces fsync on every save, surviving machine crashes at a
@@ -32,6 +43,14 @@ type Store struct {
 	// fw is reused across saves so the megabyte-scale frame buffer is
 	// grown once, not per snapshot.
 	fw *wire.FrameWriter
+	// dec is the store's shared columnar decoder: strings repeated
+	// across the files of a chain (group keys, tenants) decode to one
+	// allocation.
+	dec *wire.ColumnarDecoder
+	// mf is the manifest held open for appending: at every-epoch
+	// snapshot cadence, reopening it per save would double the save's
+	// fixed syscall cost.
+	mf *os.File
 }
 
 // OpenStore opens (creating if needed) a snapshot store directory.
@@ -39,7 +58,7 @@ func OpenStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: open store: %w", err)
 	}
-	s := &Store{dir: dir, nextID: 1}
+	s := &Store{dir: dir, nextID: 1, dec: wire.NewColumnarDecoder()}
 	entries, err := s.entries()
 	if err != nil {
 		return nil, err
@@ -55,11 +74,16 @@ func OpenStore(dir string) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// SnapshotFileName returns the file name a snapshot id is stored under.
+func SnapshotFileName(id uint64) string { return fmt.Sprintf("snap-%08d.ckpt", id) }
+
 type manifestEntry struct {
-	id   uint64
-	file string
-	seq  uint64
-	wm   int64
+	id    uint64
+	file  string
+	seq   uint64
+	wm    int64
+	base  uint64
+	delta bool
 }
 
 func (s *Store) entries() ([]manifestEntry, error) {
@@ -80,84 +104,199 @@ func (s *Store) entries() ([]manifestEntry, error) {
 		}
 		var e manifestEntry
 		var version string
-		if _, err := fmt.Sscanf(line, "%s %d %s %d %d", &version, &e.id, &e.file, &e.seq, &e.wm); err != nil || version != "v1" {
-			continue // torn tail line or unknown version: skip
+		switch {
+		case strings.HasPrefix(line, "v1 "):
+			if _, err := fmt.Sscanf(line, "%s %d %s %d %d", &version, &e.id, &e.file, &e.seq, &e.wm); err != nil {
+				continue // torn tail line: skip
+			}
+		case strings.HasPrefix(line, "v2 "):
+			var kind string
+			if _, err := fmt.Sscanf(line, "%s %d %s %d %d %d %s", &version, &e.id, &e.file, &e.seq, &e.wm, &e.base, &kind); err != nil {
+				continue
+			}
+			if kind != "f" && kind != "d" {
+				continue // torn line merged with a later append: skip
+			}
+			e.delta = kind == "d"
+		default:
+			continue // unknown version: skip
 		}
 		out = append(out, e)
 	}
 	return out, sc.Err()
 }
 
-// Save writes a snapshot atomically (temp file, rename, manifest
-// append) and returns the snapshot file's name.
-func (s *Store) Save(snap *Snapshot) (string, error) {
-	name := fmt.Sprintf("snap-%08d.ckpt", s.nextID)
-	tmp := filepath.Join(s.dir, name+".tmp")
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+// Save writes a snapshot durably and returns the id the store assigned
+// it. The snapshot file is written under its final name and its
+// manifest line is appended only after a successful close — a listed
+// entry is therefore always a fully written file (a crash mid-write
+// leaves an unlisted orphan, overwritten by the next incarnation since
+// ids resume past the manifest's maximum). Delta snapshots record
+// snap.BaseID in the manifest so restores can rebuild the chain.
+func (s *Store) Save(snap *Snapshot) (uint64, error) {
+	id := s.nextID
+	name := SnapshotFileName(id)
+	f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return "", fmt.Errorf("checkpoint: save: %w", err)
+		return 0, fmt.Errorf("checkpoint: save: %w", err)
 	}
 	if s.fw == nil {
 		s.fw = wire.NewFrameWriter(f)
+		s.fw.SetColumnar(true)
 	} else {
 		s.fw.Reset(f)
 	}
-	if err := snap.encodeTo(s.fw); err != nil {
+	fail := func(err error) (uint64, error) {
 		_ = f.Close()
-		_ = os.Remove(tmp)
-		return "", fmt.Errorf("checkpoint: encode snapshot: %w", err)
+		_ = os.Remove(filepath.Join(s.dir, name))
+		return 0, err
+	}
+	if err := snap.encodeTo(s.fw); err != nil {
+		return fail(fmt.Errorf("checkpoint: encode snapshot: %w", err))
 	}
 	if s.Sync {
 		if err := f.Sync(); err != nil {
-			_ = f.Close()
-			_ = os.Remove(tmp)
-			return "", err
+			return fail(err)
 		}
 	}
 	if err := f.Close(); err != nil {
-		_ = os.Remove(tmp)
-		return "", err
+		_ = os.Remove(filepath.Join(s.dir, name))
+		return 0, err
 	}
-	final := filepath.Join(s.dir, name)
-	if err := os.Rename(tmp, final); err != nil {
-		_ = os.Remove(tmp)
-		return "", err
+	kind := "f"
+	if snap.Delta {
+		kind = "d"
 	}
-	mf, err := os.OpenFile(filepath.Join(s.dir, manifestName), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
-	if err != nil {
-		return "", err
+	if s.mf == nil {
+		s.mf, err = s.openManifest()
+		if err != nil {
+			return 0, err
+		}
 	}
-	_, werr := fmt.Fprintf(mf, "v1 %d %s %d %d\n", s.nextID, name, snap.Seq, snap.Watermark)
-	if werr == nil && s.Sync {
-		werr = mf.Sync()
+	if _, err := fmt.Fprintf(s.mf, "v2 %d %s %d %d %d %s\n", id, name, snap.Seq, snap.Watermark, snap.BaseID, kind); err != nil {
+		// A short write may have left an unterminated line; reopen (with
+		// tail repair) before the next attempt rather than appending onto
+		// the torn tail.
+		_ = s.mf.Close()
+		s.mf = nil
+		return 0, err
 	}
-	if cerr := mf.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		return "", werr
+	if s.Sync {
+		if err := s.mf.Sync(); err != nil {
+			return 0, err
+		}
 	}
 	s.nextID++
-	return name, nil
+	return id, nil
+}
+
+// openManifest opens the manifest for appending, first terminating any
+// torn tail line a crash mid-append left behind — otherwise the next
+// entry would merge into it and both would be lost to the parser.
+func (s *Store) openManifest() (*os.File, error) {
+	path := filepath.Join(s.dir, manifestName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if st.Size() > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], st.Size()-1); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+		if last[0] != '\n' {
+			if _, err := f.WriteAt([]byte{'\n'}, st.Size()); err != nil {
+				_ = f.Close()
+				return nil, err
+			}
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Close releases the store's open file handles (the manifest). Saves
+// after Close reopen it transparently.
+func (s *Store) Close() error {
+	if s.mf != nil {
+		err := s.mf.Close()
+		s.mf = nil
+		return err
+	}
+	return nil
+}
+
+// decodeFile decodes one snapshot file through the store's shared
+// columnar decoder.
+func (s *Store) decodeFile(name string) (*Snapshot, error) {
+	f, err := os.Open(filepath.Join(s.dir, filepath.Base(name)))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fr := wire.NewFrameReader(f)
+	fr.UseDecoder(s.dec)
+	return decodeSnapshot(fr)
+}
+
+// chain returns the base + delta chain ending at entry (base first), or
+// ok == false when a base link is missing or malformed.
+func chain(entry manifestEntry, byID map[uint64]manifestEntry) ([]manifestEntry, bool) {
+	out := []manifestEntry{entry}
+	for e := entry; e.delta; {
+		b, ok := byID[e.base]
+		if !ok || b.id >= e.id {
+			return nil, false
+		}
+		out = append(out, b)
+		e = b
+	}
+	slices.Reverse(out)
+	if out[0].delta {
+		return nil, false
+	}
+	return out, true
 }
 
 // Latest loads the newest consistent snapshot: the last manifest entry
-// whose file exists and decodes. It returns ok == false when the store
-// holds no usable snapshot.
+// whose full base + delta chain exists and decodes, reconstructed by
+// folding each delta into its base. It returns ok == false when the
+// store holds no usable snapshot.
 func (s *Store) Latest() (*Snapshot, bool, error) {
 	entries, err := s.entries()
 	if err != nil {
 		return nil, false, err
 	}
+	byID := make(map[uint64]manifestEntry, len(entries))
+	for _, e := range entries {
+		byID[e.id] = e
+	}
+next:
 	for i := len(entries) - 1; i >= 0; i-- {
-		f, err := os.Open(filepath.Join(s.dir, filepath.Base(entries[i].file)))
-		if err != nil {
+		ch, ok := chain(entries[i], byID)
+		if !ok {
 			continue
 		}
-		snap, derr := DecodeSnapshot(bufio.NewReader(f))
-		_ = f.Close()
-		if derr != nil {
-			continue // corrupt/torn snapshot: fall back to the previous one
+		var snap *Snapshot
+		for _, e := range ch {
+			d, derr := s.decodeFile(e.file)
+			if derr != nil {
+				continue next // corrupt/torn link: fall back to an older entry
+			}
+			if snap == nil {
+				snap = d
+			} else {
+				snap = applyDelta(snap, d)
+			}
 		}
 		return snap, true, nil
 	}
@@ -168,4 +307,80 @@ func (s *Store) Latest() (*Snapshot, bool, error) {
 func (s *Store) Snapshots() (int, error) {
 	entries, err := s.entries()
 	return len(entries), err
+}
+
+// Compact prunes the store down to the snapshots belonging to the
+// `retain` newest chains: every entry from the retain-th newest full
+// snapshot onward survives (snapshot history is linear, so that suffix
+// contains exactly the newest chains, including every replay-buffer
+// epoch embedded in them). Older snapshot files are deleted and the
+// manifest is rewritten atomically. retain < 1 is a no-op.
+func (s *Store) Compact(retain int) error {
+	if retain < 1 {
+		return nil
+	}
+	entries, err := s.entries()
+	if err != nil {
+		return err
+	}
+	var bases []uint64
+	for _, e := range entries {
+		if !e.delta {
+			bases = append(bases, e.id)
+		}
+	}
+	if len(bases) <= retain {
+		return nil
+	}
+	cut := bases[len(bases)-retain]
+	var kept, dropped []manifestEntry
+	for _, e := range entries {
+		if e.id >= cut {
+			kept = append(kept, e)
+		} else {
+			dropped = append(dropped, e)
+		}
+	}
+	tmp := filepath.Join(s.dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: compact: %w", err)
+	}
+	for _, e := range kept {
+		kind := "f"
+		if e.delta {
+			kind = "d"
+		}
+		if _, err := fmt.Fprintf(f, "v2 %d %s %d %d %d %s\n", e.id, e.file, e.seq, e.wm, e.base, kind); err != nil {
+			_ = f.Close()
+			_ = os.Remove(tmp)
+			return err
+		}
+	}
+	if s.Sync {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			_ = os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	// The open append handle would keep pointing at the unlinked old
+	// manifest after the rename; drop it so the next Save reopens.
+	if s.mf != nil {
+		_ = s.mf.Close()
+		s.mf = nil
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	// Only after the manifest no longer references them may the files go.
+	for _, e := range dropped {
+		_ = os.Remove(filepath.Join(s.dir, filepath.Base(e.file)))
+	}
+	return nil
 }

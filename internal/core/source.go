@@ -178,6 +178,17 @@ func (s *Source) Checkpoint(epoch int64) *stream.Checkpoint {
 	return s.pipeline.Checkpoint(epoch)
 }
 
+// CheckpointDelta captures only operator state dirtied since the
+// previous capture (incremental snapshots) and starts a new dirty
+// generation.
+func (s *Source) CheckpointDelta(epoch int64) *stream.Checkpoint {
+	return s.pipeline.CheckpointDelta(epoch)
+}
+
+// MarkSnapshotClean starts a new dirty-tracking generation after a full
+// checkpoint capture that begins a snapshot chain.
+func (s *Source) MarkSnapshotClean() { s.pipeline.MarkSnapshotClean() }
+
 // RestoreCheckpoint folds a checkpoint back into the pipeline after a
 // restart: operator state merges in and the watermark resumes where the
 // snapshot left it.

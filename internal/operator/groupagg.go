@@ -26,9 +26,76 @@ type GroupAgg struct {
 	windowDur int64
 	keyFn     func(telemetry.Record) telemetry.GroupKey
 	valFn     func(telemetry.Record) float64
-	// state: window id → key → row
-	state map[int64]map[telemetry.GroupKey]*telemetry.AggRow
+	// state: window id → keyed cells, with dirty-generation stamps for
+	// incremental snapshots (DeltaCheckpointable).
+	state map[int64]*aggWindow
+	// gen is the current dirty generation; every touch stamps the cell
+	// and its window with it, and MarkClean advances it. A cell is dirty
+	// iff its stamp equals the current generation.
+	gen uint64
+	// closed collects windows flushed/drained since the last MarkClean
+	// (delta tombstones). Bounded: without checkpointing nothing ever
+	// calls MarkClean, so past maxClosedTombstones the list is dropped
+	// and closedLost set — the next delta capture falls back to a full
+	// one instead of leaking memory forever.
+	closed     []int64
+	closedLost bool
 }
+
+// maxClosedTombstones bounds the closed-window list an operator keeps
+// between MarkClean calls. Even at every-epoch windows this covers
+// over an hour of cadence gap; overflowing just forces the next
+// snapshot full.
+const maxClosedTombstones = 4096
+
+// noteClosed records one flushed/drained window for delta tombstones.
+func (g *GroupAgg) noteClosed(w int64) {
+	if g.closedLost {
+		return
+	}
+	if len(g.closed) >= maxClosedTombstones {
+		g.closed = g.closed[:0]
+		g.closedLost = true
+		return
+	}
+	g.closed = append(g.closed, w)
+}
+
+// aggWindow is one window's group state plus its newest touch stamp.
+// Purely numeric keys (the probe queries' case) live in a map hashed on
+// the bare uint64 — hashing and comparing the full GroupKey struct (8 B
+// + string header) costs ~2× per record on the aggregation hot path.
+type aggWindow struct {
+	num map[uint64]*aggCell            // keys with Str == ""
+	str map[telemetry.GroupKey]*aggCell // keys carrying a string
+	gen uint64
+}
+
+// aggCell is one group's row plus its newest touch stamp.
+type aggCell struct {
+	row telemetry.AggRow
+	gen uint64
+}
+
+func (w *aggWindow) lookup(key telemetry.GroupKey) *aggCell {
+	if key.Str == "" {
+		return w.num[key.Num]
+	}
+	return w.str[key]
+}
+
+func (w *aggWindow) store(key telemetry.GroupKey, cell *aggCell) {
+	if key.Str == "" {
+		w.num[key.Num] = cell
+		return
+	}
+	if w.str == nil {
+		w.str = make(map[telemetry.GroupKey]*aggCell)
+	}
+	w.str[key] = cell
+}
+
+func (w *aggWindow) count() int { return len(w.num) + len(w.str) }
 
 // NewGroupAgg creates a grouping/aggregation operator. windowDurMicros
 // must match the upstream Window operator so flushed window ids map to
@@ -44,8 +111,19 @@ func NewGroupAgg(name string, windowDurMicros int64,
 		windowDur: windowDurMicros,
 		keyFn:     keyFn,
 		valFn:     valFn,
-		state:     make(map[int64]map[telemetry.GroupKey]*telemetry.AggRow),
+		state:     make(map[int64]*aggWindow),
+		gen:       1,
 	}
+}
+
+// window returns (creating if needed) the state for window id w.
+func (g *GroupAgg) window(w int64) *aggWindow {
+	win := g.state[w]
+	if win == nil {
+		win = &aggWindow{num: make(map[uint64]*aggCell)}
+		g.state[w] = win
+	}
+	return win
 }
 
 // Name implements Operator.
@@ -59,12 +137,20 @@ func (g *GroupAgg) Stateful() bool { return true }
 
 // Reset implements Operator.
 func (g *GroupAgg) Reset() {
-	g.state = make(map[int64]map[telemetry.GroupKey]*telemetry.AggRow)
+	g.state = make(map[int64]*aggWindow)
+	g.gen++
+	g.closed = g.closed[:0]
+	g.closedLost = false
 }
 
 // GroupCount returns the number of open groups in a window (cost-model
 // input: hash size drives G+R cost).
-func (g *GroupAgg) GroupCount(window int64) int { return len(g.state[window]) }
+func (g *GroupAgg) GroupCount(window int64) int {
+	if win := g.state[window]; win != nil {
+		return win.count()
+	}
+	return 0
+}
 
 // OpenWindows returns the ids of windows with unflushed state, ascending.
 func (g *GroupAgg) OpenWindows() []int64 {
@@ -82,46 +168,54 @@ func (g *GroupAgg) Process(rec telemetry.Record, emit Emit) {
 		g.mergePartial(rec.Window, row)
 		return
 	}
-	key := g.keyFn(rec)
-	val := g.valFn(rec)
-	win := g.state[rec.Window]
-	if win == nil {
-		win = make(map[telemetry.GroupKey]*telemetry.AggRow)
-		g.state[rec.Window] = win
-	}
-	row := win[key]
-	if row == nil {
-		r := telemetry.NewAggRow(key, rec.Window, val)
-		win[key] = &r
+	g.observe(&rec)
+}
+
+// observe folds one raw record into its group, stamping the dirty
+// generation.
+func (g *GroupAgg) observe(rec *telemetry.Record) {
+	key := g.keyFn(*rec)
+	val := g.valFn(*rec)
+	win := g.window(rec.Window)
+	win.gen = g.gen
+	cell := win.lookup(key)
+	if cell == nil {
+		win.store(key, &aggCell{row: telemetry.NewAggRow(key, rec.Window, val), gen: g.gen})
 		return
 	}
-	row.Observe(val)
+	cell.row.Observe(val)
+	cell.gen = g.gen
 }
 
 // ProcessBatch implements BatchProcessor. G+R never emits from Process
 // (results leave via Flush), so the batch path is pure state update with
-// no per-record closure.
+// no per-record closure. A batch's records overwhelmingly share one
+// tumbling window, so the window map entry is resolved once per run of
+// equal window ids instead of per record.
 func (g *GroupAgg) ProcessBatch(in telemetry.Batch, _ *telemetry.Batch) {
+	var win *aggWindow
+	haveWin := false
+	winID := int64(0)
 	for i := range in {
-		rec := in[i]
+		rec := &in[i]
 		if row, ok := rec.Data.(*telemetry.AggRow); ok {
 			g.mergePartial(rec.Window, row)
 			continue
 		}
-		key := g.keyFn(rec)
-		val := g.valFn(rec)
-		win := g.state[rec.Window]
-		if win == nil {
-			win = make(map[telemetry.GroupKey]*telemetry.AggRow)
-			g.state[rec.Window] = win
+		if !haveWin || rec.Window != winID {
+			win = g.window(rec.Window)
+			win.gen = g.gen
+			winID, haveWin = rec.Window, true
 		}
-		row := win[key]
-		if row == nil {
-			r := telemetry.NewAggRow(key, rec.Window, val)
-			win[key] = &r
+		key := g.keyFn(*rec)
+		val := g.valFn(*rec)
+		cell := win.lookup(key)
+		if cell == nil {
+			win.store(key, &aggCell{row: telemetry.NewAggRow(key, rec.Window, val), gen: g.gen})
 			continue
 		}
-		row.Observe(val)
+		cell.row.Observe(val)
+		cell.gen = g.gen
 	}
 }
 
@@ -129,19 +223,52 @@ func (g *GroupAgg) mergePartial(window int64, partial *telemetry.AggRow) {
 	if partial.Window != 0 {
 		window = partial.Window
 	}
-	win := g.state[window]
-	if win == nil {
-		win = make(map[telemetry.GroupKey]*telemetry.AggRow)
-		g.state[window] = win
-	}
-	row := win[partial.Key]
-	if row == nil {
-		cp := *partial
-		cp.Window = window
-		win[partial.Key] = &cp
+	win := g.window(window)
+	win.gen = g.gen
+	cell := win.lookup(partial.Key)
+	if cell == nil {
+		cell = &aggCell{row: *partial, gen: g.gen}
+		cell.row.Window = window
+		win.store(partial.Key, cell)
 		return
 	}
-	row.Merge(*partial)
+	cell.row.Merge(*partial)
+	cell.gen = g.gen
+}
+
+// AbsorbSnapshot implements SnapshotAbsorber: it merges a whole batch of
+// AggRow snapshot rows with one arena allocation for all new groups,
+// instead of one heap row per group — the bulk restore path.
+func (g *GroupAgg) AbsorbSnapshot(rows telemetry.Batch) bool {
+	for i := range rows {
+		if _, ok := rows[i].Data.(*telemetry.AggRow); !ok {
+			return false
+		}
+	}
+	cells := make([]aggCell, len(rows))
+	k := 0
+	for i := range rows {
+		partial := rows[i].Data.(*telemetry.AggRow)
+		window := rows[i].Window
+		if partial.Window != 0 {
+			window = partial.Window
+		}
+		win := g.window(window)
+		win.gen = g.gen
+		cell := win.lookup(partial.Key)
+		if cell == nil {
+			cell = &cells[k]
+			k++
+			cell.row = *partial
+			cell.row.Window = window
+			cell.gen = g.gen
+			win.store(partial.Key, cell)
+			continue
+		}
+		cell.row.Merge(*partial)
+		cell.gen = g.gen
+	}
+	return true
 }
 
 // Flush implements Operator: emits and clears every window whose end time
@@ -155,6 +282,7 @@ func (g *GroupAgg) Flush(watermark int64, emit Emit) {
 		}
 		g.emitWindow(w, end, emit)
 		delete(g.state, w)
+		g.noteClosed(w)
 	}
 }
 
@@ -167,6 +295,7 @@ func (g *GroupAgg) Drain(emit Emit) {
 		end := (w + 1) * g.windowDur
 		g.emitWindow(w, end, emit)
 		delete(g.state, w)
+		g.noteClosed(w)
 	}
 }
 
@@ -177,23 +306,72 @@ func (g *GroupAgg) Drain(emit Emit) {
 // merging into a replica's hash state, where order is irrelevant, and
 // skipping the sort keeps the per-epoch checkpoint overhead low.
 func (g *GroupAgg) SnapshotWindow(w int64, emit Emit) {
-	g.emitRows(w, (w+1)*g.windowDur, false, emit)
+	g.emitRows(w, (w+1)*g.windowDur, false, 0, emit)
+}
+
+// DirtyWindows implements DeltaCheckpointable.
+func (g *GroupAgg) DirtyWindows() []int64 {
+	out := make([]int64, 0, len(g.state))
+	for w, win := range g.state {
+		if win.gen == g.gen {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SnapshotDirtyWindow implements DeltaCheckpointable: like
+// SnapshotWindow but only rows touched since the last MarkClean.
+func (g *GroupAgg) SnapshotDirtyWindow(w int64, emit Emit) {
+	g.emitRows(w, (w+1)*g.windowDur, false, g.gen, emit)
+}
+
+// ClosedWindows implements DeltaCheckpointable.
+func (g *GroupAgg) ClosedWindows() ([]int64, bool) {
+	if g.closedLost {
+		return nil, false
+	}
+	out := append([]int64(nil), g.closed...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}
+
+// MarkClean implements DeltaCheckpointable: rows touched from now on
+// belong to the next snapshot's delta.
+func (g *GroupAgg) MarkClean() {
+	g.gen++
+	g.closed = g.closed[:0]
+	g.closedLost = false
 }
 
 func (g *GroupAgg) emitWindow(w, end int64, emit Emit) {
-	g.emitRows(w, end, true, emit)
+	g.emitRows(w, end, true, 0, emit)
 }
 
-func (g *GroupAgg) emitRows(w, end int64, sorted bool, emit Emit) {
+// emitRows copies a window's rows into an arena and emits them. minGen
+// filters to cells stamped at or above it (0 = all); sorted orders the
+// output by key for deterministic Flush emission.
+func (g *GroupAgg) emitRows(w, end int64, sorted bool, minGen uint64, emit Emit) {
 	win := g.state[w]
-	// One pass over the map copies every row into an arena — no
+	if win == nil {
+		return
+	}
+	// One pass over the maps copies every row into an arena — no
 	// per-group heap AggRow and no second map lookup after sorting (a
 	// row's Key always equals its map key). Flush and snapshot emit tens
 	// of thousands of rows per window; this path dominates checkpoint
 	// cost.
-	arena := make([]telemetry.AggRow, 0, len(win))
-	for _, row := range win {
-		arena = append(arena, *row)
+	arena := make([]telemetry.AggRow, 0, win.count())
+	for _, cell := range win.num {
+		if cell.gen >= minGen {
+			arena = append(arena, cell.row)
+		}
+	}
+	for _, cell := range win.str {
+		if cell.gen >= minGen {
+			arena = append(arena, cell.row)
+		}
 	}
 	if sorted {
 		sortAggRows(arena)

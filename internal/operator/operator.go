@@ -99,6 +99,45 @@ type Checkpointable interface {
 	SnapshotWindow(w int64, emit Emit)
 }
 
+// DeltaCheckpointable extends Checkpointable with dirty-state tracking,
+// enabling incremental (delta) snapshots: between two MarkClean calls
+// the operator remembers which groups were touched and which windows it
+// closed, so a snapshot can ship only the rows that changed since the
+// previous one. Operators that cannot track dirtiness are snapshotted
+// wholesale (replace mode) inside delta snapshots.
+type DeltaCheckpointable interface {
+	Checkpointable
+	// DirtyWindows returns the windows touched since the last MarkClean,
+	// ascending.
+	DirtyWindows() []int64
+	// SnapshotDirtyWindow emits copies of the window's rows touched since
+	// the last MarkClean, without disturbing state.
+	SnapshotDirtyWindow(w int64, emit Emit)
+	// ClosedWindows returns the windows flushed or drained since the last
+	// MarkClean (delta tombstones: the reconstruction drops their rows).
+	// ok reports whether tracking is intact; it is false when the
+	// operator capped its tombstone memory (e.g. it ran unbounded with
+	// no MarkClean because checkpointing is disabled), in which case the
+	// caller must capture the operator in full instead of as a delta.
+	ClosedWindows() (closed []int64, ok bool)
+	// MarkClean starts a new dirty-tracking generation; call it after
+	// every snapshot capture, full or delta.
+	MarkClean()
+}
+
+// SnapshotAbsorber is implemented by stateful operators that can merge a
+// whole batch of their own snapshot rows in one call, without emitting —
+// the bulk restore path. It must be behaviorally identical to processing
+// the rows one at a time, but may allocate per batch instead of per
+// group, and may take ownership of the rows' payloads (callers restore
+// from freshly decoded snapshots and never touch the rows again).
+// AbsorbSnapshot reports false — absorbing nothing — when the batch
+// contains rows it does not recognize; the caller then falls back to
+// Process.
+type SnapshotAbsorber interface {
+	AbsorbSnapshot(rows telemetry.Batch) bool
+}
+
 // Operator is one vertex of the query DAG.
 type Operator interface {
 	// Name is a unique, human-readable operator name within the query.

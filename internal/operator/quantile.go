@@ -134,6 +134,39 @@ func (g *GroupQuantile) mergePartial(window int64, partial *telemetry.QuantileRo
 	}
 }
 
+// AbsorbSnapshot implements SnapshotAbsorber: restored sketches that
+// open new groups are adopted wholesale (ownership transfer — the
+// caller's rows came from a freshly decoded snapshot and are not reused)
+// instead of cloned per group.
+func (g *GroupQuantile) AbsorbSnapshot(rows telemetry.Batch) bool {
+	for i := range rows {
+		if _, ok := rows[i].Data.(*telemetry.QuantileRow); !ok {
+			return false
+		}
+	}
+	for i := range rows {
+		partial := rows[i].Data.(*telemetry.QuantileRow)
+		window := rows[i].Window
+		if partial.Window != 0 {
+			window = partial.Window
+		}
+		win := g.state[window]
+		if win == nil {
+			win = make(map[telemetry.GroupKey]*telemetry.QuantileRow)
+			g.state[window] = win
+		}
+		row := win[partial.Key]
+		if row == nil {
+			partial.Window = window
+			win[partial.Key] = partial
+			continue
+		}
+		// Incompatible shapes are dropped, matching mergePartial.
+		_ = row.Merge(partial)
+	}
+	return true
+}
+
 // Flush implements Operator: emits one QuantileRow per group for every
 // window closed by the watermark.
 func (g *GroupQuantile) Flush(watermark int64, emit Emit) {

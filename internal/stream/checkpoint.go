@@ -24,8 +24,27 @@ type Checkpoint struct {
 	Epoch int64
 	// Watermark is the pipeline's low watermark at snapshot time.
 	Watermark int64
-	// Stages maps operator stage → partial aggregate rows.
+	// Stages maps operator stage → partial aggregate rows. In a delta
+	// checkpoint, only rows touched since the previous capture.
 	Stages map[int]telemetry.Batch
+	// Delta marks an incremental capture: Stages holds only state dirtied
+	// since the previous capture, interpreted per Meta.
+	Delta bool
+	// Meta describes, per stage, how delta rows apply to the previous
+	// state (only set when Delta).
+	Meta map[int]StageDelta
+}
+
+// StageDelta describes how one stage's rows in a delta checkpoint apply
+// to the base state it extends.
+type StageDelta struct {
+	// Replace swaps the stage's rows wholesale — used for operators that
+	// cannot track per-group dirtiness (e.g. buffered join misses); their
+	// delta rows are the full current state, possibly empty.
+	Replace bool
+	// Closed lists windows the operator flushed since the previous
+	// capture; the reconstruction drops their rows.
+	Closed []int64
 }
 
 // Checkpoint captures the pipeline's stateful operator state without
@@ -48,6 +67,89 @@ func (p *Pipeline) Checkpoint(epoch int64) *Checkpoint {
 		}
 	}
 	return cp
+}
+
+// CheckpointDelta captures only the state dirtied since the previous
+// capture (full or delta) and starts a new dirty generation. Operators
+// that track dirtiness (operator.DeltaCheckpointable) contribute touched
+// rows plus closed-window tombstones; other Checkpointable operators are
+// captured wholesale in replace mode. Pair with a full Checkpoint +
+// MarkSnapshotClean as the chain base.
+func (p *Pipeline) CheckpointDelta(epoch int64) *Checkpoint {
+	cp := &Checkpoint{
+		Epoch:     epoch,
+		Watermark: p.watermark,
+		Stages:    make(map[int]telemetry.Batch),
+		Delta:     true,
+		Meta:      make(map[int]StageDelta),
+	}
+	captureDelta(p.ops[:p.opts.Boundary], cp)
+	return cp
+}
+
+// MarkSnapshotClean starts a new dirty-tracking generation on every
+// delta-capable operator. Call it right after a full Checkpoint capture
+// that begins a snapshot chain, so the next CheckpointDelta is relative
+// to that capture.
+func (p *Pipeline) MarkSnapshotClean() { markClean(p.ops[:p.opts.Boundary]) }
+
+// captureDelta fills a delta checkpoint from the given operators.
+func captureDelta(ops []operator.Operator, cp *Checkpoint) {
+	for i, op := range ops {
+		g, ok := op.(operator.Checkpointable)
+		if !ok {
+			continue
+		}
+		dc, isDelta := g.(operator.DeltaCheckpointable)
+		var closed []int64
+		tracked := false
+		if isDelta {
+			closed, tracked = dc.ClosedWindows()
+		}
+		if !tracked {
+			// No dirty tracking — or the operator overflowed its
+			// tombstone memory (no MarkClean for too long): ship the full
+			// state in replace mode (the meta entry is required even when
+			// empty, so the reconstruction clears state the operator no
+			// longer holds).
+			if rows := snapshotOp(g); len(rows) > 0 {
+				cp.Stages[i] = rows
+			}
+			cp.Meta[i] = StageDelta{Replace: true}
+			if isDelta {
+				dc.MarkClean()
+			}
+			continue
+		}
+		dirty := dc.DirtyWindows()
+		var rows telemetry.Batch
+		if gc, ok := g.(groupCounter); ok {
+			total := 0
+			for _, w := range dirty {
+				total += gc.GroupCount(w)
+			}
+			rows = make(telemetry.Batch, 0, total)
+		}
+		for _, w := range dirty {
+			dc.SnapshotDirtyWindow(w, func(r telemetry.Record) { rows = append(rows, r) })
+		}
+		if len(rows) > 0 {
+			cp.Stages[i] = rows
+		}
+		if len(rows) > 0 || len(closed) > 0 {
+			cp.Meta[i] = StageDelta{Closed: closed}
+		}
+		dc.MarkClean()
+	}
+}
+
+// markClean advances dirty tracking on every delta-capable operator.
+func markClean(ops []operator.Operator) {
+	for _, op := range ops {
+		if dc, ok := op.(operator.DeltaCheckpointable); ok {
+			dc.MarkClean()
+		}
+	}
 }
 
 // groupCounter is implemented by stateful operators that can report a
@@ -155,6 +257,11 @@ func (p *Pipeline) RestoreCheckpoint(cp *Checkpoint) error {
 		if stage < 0 || stage >= len(p.ops) {
 			return fmt.Errorf("stream: restore stage %d out of range [0,%d)", stage, len(p.ops))
 		}
+		// Bulk path: operators that absorb their own snapshot rows in one
+		// call (and never emit while doing so) skip the per-record loop.
+		if a, ok := p.ops[stage].(operator.SnapshotAbsorber); ok && a.AbsorbSnapshot(rows) {
+			continue
+		}
 		emit := func(out telemetry.Record) {
 			if stage+1 < p.opts.Boundary {
 				p.queues[stage+1] = append(p.queues[stage+1], out)
@@ -192,6 +299,46 @@ func (e *SPEngine) SnapshotStages() map[int]telemetry.Batch {
 		}
 	}
 	return out
+}
+
+// SnapshotStagesDelta captures only the engine state dirtied since the
+// previous capture, with per-stage apply metadata — the SP-side
+// counterpart of Pipeline.CheckpointDelta. It starts a new dirty
+// generation on delta-capable operators.
+func (e *SPEngine) SnapshotStagesDelta() (map[int]telemetry.Batch, map[int]StageDelta) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cp := &Checkpoint{Stages: make(map[int]telemetry.Batch), Meta: make(map[int]StageDelta)}
+	captureDelta(e.ops, cp)
+	return cp.Stages, cp.Meta
+}
+
+// MarkSnapshotClean starts a new dirty generation on every delta-capable
+// operator; call it after a full SnapshotStages capture that begins a
+// snapshot chain.
+func (e *SPEngine) MarkSnapshotClean() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	markClean(e.ops)
+}
+
+// RestoreStage folds snapshot rows back into the operator that captured
+// them, using the bulk absorb path when available. Unlike Ingest it does
+// not run the rows through downstream operators — restore-time
+// emissions (e.g. a buffered join miss that now hits) continue down the
+// chain exactly as Ingest would route them.
+func (e *SPEngine) RestoreStage(stage int, rows telemetry.Batch) error {
+	e.mu.Lock()
+	if stage >= 0 && stage < len(e.ops) {
+		if a, ok := e.ops[stage].(operator.SnapshotAbsorber); ok && a.AbsorbSnapshot(rows) {
+			e.ingestBytes += rows.TotalBytes()
+			e.ingestCount += int64(len(rows))
+			e.mu.Unlock()
+			return nil
+		}
+	}
+	e.mu.Unlock()
+	return e.Ingest(stage, rows)
 }
 
 // Restore folds a checkpoint into an SP engine: each stage's partial

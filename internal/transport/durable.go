@@ -49,16 +49,19 @@ type DurableShipper struct {
 	source   uint32
 	max      int
 	counters *metrics.CounterSet
+	maxVer   uint32
 
 	mu      sync.Mutex // guards all state below
 	wmu     sync.Mutex // serializes writes to conn (never held with mu)
 	conn    io.WriteCloser
+	peerVer uint32 // wire version negotiated with the current connection
 	seq     uint64 // last assigned epoch sequence
 	acked   uint64 // newest sequence the SP reported durable
 	pending []PendingEpoch
 	dropped int64
 
 	encBuf bytes.Buffer
+	encFW  *wire.FrameWriter
 }
 
 // NewDurableShipper creates a disconnected shipper for a source id.
@@ -67,7 +70,32 @@ func NewDurableShipper(source uint32, maxPending int) *DurableShipper {
 	if maxPending <= 0 {
 		maxPending = DefaultMaxPending
 	}
-	return &DurableShipper{source: source, max: maxPending, counters: metrics.NewCounterSet()}
+	return &DurableShipper{
+		source: source, max: maxPending,
+		counters: metrics.NewCounterSet(),
+		maxVer:   wire.CurrentWireVersion,
+	}
+}
+
+// SetMaxVersion caps the wire version the shipper announces and encodes
+// (SetMaxVersion(wire.WireV1) emulates a pre-columnar agent). Call
+// before the first ShipEpoch or Connect.
+func (d *DurableShipper) SetMaxVersion(v uint32) {
+	if v < wire.WireV1 {
+		v = wire.WireV1
+	}
+	d.maxVer = v
+}
+
+// PeerVersion reports the wire version negotiated with the current
+// connection (0 while disconnected).
+func (d *DurableShipper) PeerVersion() uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.conn == nil {
+		return 0
+	}
+	return d.peerVer
 }
 
 // Counters exposes the shipper's health counters.
@@ -78,10 +106,19 @@ func (d *DurableShipper) Source() uint32 { return d.source }
 
 // encodeEpoch serializes one epoch — drains, results, watermark and the
 // EpochEnd commit marker — into a standalone byte string that can be
-// written (and re-written on replay) as-is.
+// written (and re-written on replay) as-is. Epochs are encoded in the
+// shipper's newest wire version (columnar data frames under v2); when a
+// connection negotiates down to v1 the bytes are transcoded at write
+// time, so the canonical replay buffer stays version-independent.
 func (d *DurableShipper) encodeEpoch(seq uint64, res stream.EpochResult) ([]byte, error) {
 	d.encBuf.Reset()
-	fw := wire.NewFrameWriter(&d.encBuf)
+	if d.encFW == nil {
+		d.encFW = wire.NewFrameWriter(&d.encBuf)
+		d.encFW.SetColumnar(d.maxVer >= wire.WireV2)
+	} else {
+		d.encFW.Reset(&d.encBuf)
+	}
+	fw := d.encFW
 	for stage, batch := range res.Drains {
 		if len(batch) == 0 {
 			continue
@@ -136,14 +173,54 @@ func (d *DurableShipper) ShipEpoch(res stream.EpochResult) error {
 		d.counters.Inc(CtrEpochsDropped)
 	}
 	conn := d.conn
+	peer := d.peerVer
 	d.mu.Unlock()
 	if conn == nil {
 		return nil
 	}
-	if _, werr := conn.Write(data); werr != nil {
+	if werr := d.writeEpochData(conn, peer, data); werr != nil {
 		d.disconnect(conn)
 	}
 	return nil
+}
+
+// writeEpochData writes one encoded epoch to a connection, transcoding
+// the canonical v2 bytes down to v1 frames when the peer negotiated v1.
+func (d *DurableShipper) writeEpochData(conn io.WriteCloser, peerVer uint32, data []byte) error {
+	if d.maxVer >= wire.WireV2 && peerVer < wire.WireV2 {
+		v1, err := transcodeV1(data)
+		if err != nil {
+			return fmt.Errorf("transport: transcode epoch for v1 peer: %w", err)
+		}
+		data = v1
+	}
+	_, err := conn.Write(data)
+	return err
+}
+
+// transcodeV1 re-encodes a byte string of wire frames with v1
+// record-at-a-time framing (decode is version-transparent, so this
+// also accepts already-v1 input).
+func transcodeV1(data []byte) ([]byte, error) {
+	var out bytes.Buffer
+	fr := wire.NewFrameReader(bytes.NewReader(data))
+	fw := wire.NewFrameWriter(&out)
+	for {
+		f, err := fr.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := fw.WriteFrame(f); err != nil {
+			return nil, err
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
 }
 
 // Connect dials the SP and performs the resume handshake.
@@ -166,7 +243,7 @@ func (d *DurableShipper) ConnectConn(conn io.ReadWriteCloser) error {
 	var hello bytes.Buffer
 	fw := wire.NewFrameWriter(&hello)
 	d.mu.Lock()
-	rec := telemetry.Record{WireSize: 29, Data: &wire.Hello{Source: d.source, Seq: d.seq}}
+	rec := telemetry.Record{WireSize: 29, Data: &wire.Hello{Source: d.source, Seq: d.seq, Version: d.maxVer}}
 	d.mu.Unlock()
 	if err := fw.WriteFrame(wire.Frame{StreamID: wire.ControlStreamID, Source: d.source, Records: telemetry.Batch{rec}}); err != nil {
 		return err
@@ -182,6 +259,15 @@ func (d *DurableShipper) ConnectConn(conn io.ReadWriteCloser) error {
 	if err != nil {
 		return fmt.Errorf("transport: hello ack: %w", err)
 	}
+	// Negotiate: both sides speak min(hello, ack). A pre-versioning peer
+	// acks without a version field (0), which means v1.
+	peer := ack.Version
+	if peer == 0 {
+		peer = wire.WireV1
+	}
+	if peer > d.maxVer {
+		peer = d.maxVer
+	}
 
 	// Take the write lock for the whole swap-and-replay: no concurrent
 	// ShipEpoch may interleave a newer epoch ahead of the replayed ones
@@ -195,11 +281,12 @@ func (d *DurableShipper) ConnectConn(conn io.ReadWriteCloser) error {
 	d.pruneLocked(ack.Seq)
 	replay := clonePending(d.pending)
 	d.conn = conn
+	d.peerVer = peer
 	d.mu.Unlock()
 
 	d.counters.Inc(CtrReconnects)
 	for _, p := range replay {
-		if _, err := conn.Write(p.Data); err != nil {
+		if err := d.writeEpochData(conn, peer, p.Data); err != nil {
 			d.wmu.Unlock()
 			d.disconnect(conn)
 			return fmt.Errorf("transport: replay epoch %d: %w", p.Seq, err)

@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"jarvis/internal/plan"
+	"jarvis/internal/stream"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/wire"
+	"jarvis/internal/workload"
+)
+
+// interopRun drives one sequenced shipper→receiver run with the given
+// wire-version caps and returns the advance results plus the negotiated
+// peer version observed by the shipper.
+func interopRun(t *testing.T, shipVer, recvVer uint32) (telemetry.Batch, uint32) {
+	t.Helper()
+	engine, err := stream.NewSPEngine(plan.S2SProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReceiver(engine)
+	rc.SetMaxVersion(recvVer)
+	rc.RegisterSource(3)
+	addr, stop := startTestServer(t, rc)
+	defer stop()
+
+	src, err := stream.NewPipeline(plan.S2SProbe(), stream.DefaultOptions(4.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = src.SetLoadFactors([]float64{1, 0.5, 1}) // drains at the filter stage too
+	gen := workload.NewPingGen(workload.DefaultPingConfig(21))
+
+	ship := NewDurableShipper(3, 64)
+	ship.SetMaxVersion(shipVer)
+	if err := ship.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	negotiated := ship.PeerVersion()
+
+	const epochs = 14
+	for e := 1; e <= epochs; e++ {
+		var batch telemetry.Batch
+		if e <= 11 {
+			batch = gen.NextWindow(1_000_000)
+		} else {
+			src.ObserveTime(int64(e) * 1_000_000)
+		}
+		if err := ship.ShipEpoch(src.RunEpoch(batch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for rc.AppliedSeq(3) < epochs {
+		if time.Now().After(deadline) {
+			t.Fatalf("applied %d/%d epochs", rc.AppliedSeq(3), epochs)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return rc.Advance(), negotiated
+}
+
+func canonicalRows(t *testing.T, rows telemetry.Batch) []byte {
+	t.Helper()
+	var buf []byte
+	var err error
+	for _, rec := range rows {
+		buf, err = wire.EncodeRecord(buf, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf
+}
+
+// TestMixedVersionInterop proves version negotiation end to end: a v2
+// shipper against a v1-capped receiver (downgrades, transcoding its
+// columnar replay buffer), and a v1-capped shipper against a v2
+// receiver, both produce result logs byte-identical to the all-v2 run.
+func TestMixedVersionInterop(t *testing.T) {
+	refRows, ver := interopRun(t, wire.WireV2, wire.WireV2)
+	if ver != wire.WireV2 {
+		t.Fatalf("v2↔v2 negotiated %d, want %d", ver, wire.WireV2)
+	}
+	if len(refRows) == 0 {
+		t.Fatal("reference run produced no results — interop comparison is vacuous")
+	}
+	ref := canonicalRows(t, refRows)
+
+	downRows, ver := interopRun(t, wire.WireV2, wire.WireV1)
+	if ver != wire.WireV1 {
+		t.Fatalf("v2 shipper with v1 receiver negotiated %d, want %d", ver, wire.WireV1)
+	}
+	if !bytes.Equal(ref, canonicalRows(t, downRows)) {
+		t.Fatalf("v2→v1 downgrade diverged: %d rows vs %d reference rows", len(downRows), len(refRows))
+	}
+
+	upRows, ver := interopRun(t, wire.WireV1, wire.WireV2)
+	if ver != wire.WireV1 {
+		t.Fatalf("v1 shipper with v2 receiver negotiated %d, want %d", ver, wire.WireV1)
+	}
+	if !bytes.Equal(ref, canonicalRows(t, upRows)) {
+		t.Fatalf("v1→v2 upgrade diverged: %d rows vs %d reference rows", len(upRows), len(refRows))
+	}
+}
+
+// TestV1ReceiverRejectsColumnar pins the fail-fast path: a v1-capped
+// receiver treats a columnar frame as a protocol error rather than
+// misparsing it.
+func TestV1ReceiverRejectsColumnar(t *testing.T) {
+	engine, err := stream.NewSPEngine(plan.S2SProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReceiver(engine)
+	rc.SetMaxVersion(wire.WireV1)
+
+	var buf bytes.Buffer
+	fw := wire.NewFrameWriter(&buf)
+	fw.SetColumnar(true)
+	rec := telemetry.NewProbeRecord(&telemetry.PingProbe{Timestamp: 5, SrcIP: 1, DstIP: 2})
+	if err := fw.WriteFrame(wire.Frame{StreamID: 0, Source: 3, Records: telemetry.Batch{rec}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.HandleStream(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("v1 receiver accepted a columnar frame")
+	}
+	if got := rc.Counters().Get(CtrRecvErrors); got == 0 {
+		t.Fatal("columnar rejection not counted as a receive error")
+	}
+}

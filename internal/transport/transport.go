@@ -72,6 +72,12 @@ func NewShipper(source uint32, w io.Writer) *Shipper {
 	return &Shipper{source: source, fw: wire.NewFrameWriter(w)}
 }
 
+// EnableColumnar switches the shipper's data frames to the wire-v2
+// columnar encoding. The fire-and-forget discipline has no handshake to
+// negotiate over, so enable it only when the receiving side is known to
+// speak v2 (this repository's Receiver always does).
+func (s *Shipper) EnableColumnar() { s.fw.SetColumnar(true) }
+
 // ShipEpoch transmits one epoch's drains, results and watermark. It
 // flushes so the SP observes complete epochs.
 func (s *Shipper) ShipEpoch(res stream.EpochResult) error {
@@ -125,6 +131,7 @@ type Receiver struct {
 	durable   map[uint32]uint64
 	writers   map[uint32]*ackWriter
 	manualAck bool
+	maxVer    uint32
 
 	bytesIn int64
 	frames  int64
@@ -138,7 +145,27 @@ func NewReceiver(engine *stream.SPEngine) *Receiver {
 		applied:  make(map[uint32]uint64),
 		durable:  make(map[uint32]uint64),
 		writers:  make(map[uint32]*ackWriter),
+		maxVer:   wire.CurrentWireVersion,
 	}
+}
+
+// SetMaxVersion caps the wire version this receiver advertises in acks
+// (and accepts on the wire): SetMaxVersion(wire.WireV1) makes it behave
+// like a pre-columnar receiver — shippers negotiate down and columnar
+// frames are rejected. Call before serving connections.
+func (rc *Receiver) SetMaxVersion(v uint32) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if v < wire.WireV1 {
+		v = wire.WireV1
+	}
+	rc.maxVer = v
+}
+
+func (rc *Receiver) maxVersion() uint32 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.maxVer
 }
 
 // Counters exposes the receiver's health counters (shared with the
@@ -157,14 +184,15 @@ func (rc *Receiver) SetManualAck(v bool) {
 // ackWriter serializes control-frame writes on one connection (epoch
 // handling and recovery-manager acks run on different goroutines).
 type ackWriter struct {
-	mu sync.Mutex
-	fw *wire.FrameWriter
+	mu  sync.Mutex
+	fw  *wire.FrameWriter
+	ver uint32 // wire version advertised in this connection's acks
 }
 
 func (w *ackWriter) sendAck(source uint32, seq uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	rec := telemetry.Record{WireSize: 29, Data: &wire.Ack{Source: source, Seq: seq}}
+	rec := telemetry.Record{WireSize: 29, Data: &wire.Ack{Source: source, Seq: seq, Version: w.ver}}
 	if err := w.fw.WriteFrame(wire.Frame{StreamID: wire.ControlStreamID, Source: source, Records: telemetry.Batch{rec}}); err != nil {
 		return err
 	}
@@ -192,6 +220,9 @@ func (readOnlyConn) Write(p []byte) (int, error) {
 // flow back on the same connection.
 func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 	fr := wire.NewFrameReader(conn)
+	// maxVer is fixed before serving (SetMaxVersion's contract); snapshot
+	// it once instead of taking the shared mutex per frame.
+	maxVer := rc.maxVersion()
 	var (
 		aw        *ackWriter
 		src       uint32
@@ -213,6 +244,12 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 			return fmt.Errorf("transport: read frame: %w", err)
 		}
 		rc.noteFrame(f)
+		if f.Columnar && maxVer < wire.WireV2 {
+			// A v1-capped receiver behaves like a pre-columnar build: the
+			// frame is unintelligible, not silently tolerated.
+			rc.counters.Inc(CtrRecvErrors)
+			return fmt.Errorf("wire: columnar frame on a v1 connection")
+		}
 		if f.StreamID == wire.ControlStreamID {
 			for _, rec := range f.Records {
 				switch c := rec.Data.(type) {
@@ -222,7 +259,7 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 					}
 					src, sequenced = c.Source, true
 					staged = staged[:0]
-					aw = &ackWriter{fw: wire.NewFrameWriter(conn)}
+					aw = &ackWriter{fw: wire.NewFrameWriter(conn), ver: maxVer}
 					seq := rc.registerConn(src, c.Seq, aw)
 					if err := aw.sendAck(src, seq); err != nil {
 						rc.counters.Inc(CtrRecvErrors)

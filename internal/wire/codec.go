@@ -32,6 +32,7 @@ const (
 	TagSourceState    byte = 0x0C
 	TagLoadFactors    byte = 0x0D
 	TagReplayEpoch    byte = 0x0E
+	TagStageMeta      byte = 0x10 // delta-snapshot stage metadata
 )
 
 // ErrUnknownTag is returned when decoding a record with an unregistered
@@ -122,12 +123,14 @@ func EncodeRecord(dst []byte, rec telemetry.Record) ([]byte, error) {
 		dst = appendHeader(dst, rec)
 		dst = binary.BigEndian.AppendUint32(dst, p.Source)
 		dst = binary.BigEndian.AppendUint64(dst, p.Seq)
+		dst = binary.AppendUvarint(dst, uint64(p.Version))
 		return dst, nil
 	case *Ack:
 		dst = append(dst, TagAck)
 		dst = appendHeader(dst, rec)
 		dst = binary.BigEndian.AppendUint32(dst, p.Source)
 		dst = binary.BigEndian.AppendUint64(dst, p.Seq)
+		dst = binary.AppendUvarint(dst, uint64(p.Version))
 		return dst, nil
 	case *EpochEnd:
 		dst = append(dst, TagEpochEnd)
@@ -142,6 +145,28 @@ func EncodeRecord(dst []byte, rec telemetry.Record) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint64(dst, uint64(p.Watermark))
 		dst = binary.BigEndian.AppendUint64(dst, uint64(p.EmittedWM))
 		dst = binary.BigEndian.AppendUint64(dst, p.Acked)
+		dst = binary.AppendUvarint(dst, p.BaseID)
+		if p.Delta {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		return dst, nil
+	case *StageMeta:
+		dst = append(dst, TagStageMeta)
+		dst = appendHeader(dst, rec)
+		dst = binary.AppendUvarint(dst, uint64(p.Stage))
+		if p.Replace {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(p.Closed)))
+		prev := int64(0)
+		for _, w := range p.Closed {
+			dst = binary.AppendUvarint(dst, zigzag(w-prev))
+			prev = w
+		}
 		return dst, nil
 	case *SourceState:
 		dst = append(dst, TagSourceState)
@@ -223,6 +248,41 @@ func (r *reader) uvarint() uint64 {
 	}
 	r.off += k
 	return v
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.err = ErrShortBuffer
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// rawBytes returns a uvarint-prefixed byte string as a view into the
+// buffer (no copy) — callers must copy or intern before the buffer is
+// reused.
+func (r *reader) rawBytes() []byte {
+	if r.err != nil {
+		return nil
+	}
+	n, k := binary.Uvarint(r.buf[r.off:])
+	if k <= 0 {
+		r.err = ErrShortBuffer
+		return nil
+	}
+	r.off += k
+	if n > uint64(len(r.buf)-r.off) {
+		r.err = ErrShortBuffer
+		return nil
+	}
+	out := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return out
 }
 
 func (r *reader) bytes() []byte {
@@ -350,12 +410,22 @@ func DecodeRecord(buf []byte) (telemetry.Record, int, error) {
 		p := &Hello{}
 		p.Source = r.u32()
 		p.Seq = r.u64()
+		// The version field was appended in v2 builds; a genuinely old
+		// peer's Hello ends here, which decodes as Version 0 (= v1).
+		// Hello records must travel in single-record frames for this
+		// trailing extension to be unambiguous (they always have).
+		if r.err == nil && r.off < len(buf) {
+			p.Version = uint32(r.uvarint())
+		}
 		rec.Data = p
 		rec.WireSize = 29
 	case TagAck:
 		p := &Ack{}
 		p.Source = r.u32()
 		p.Seq = r.u64()
+		if r.err == nil && r.off < len(buf) {
+			p.Version = uint32(r.uvarint())
+		}
 		rec.Data = p
 		rec.WireSize = 29
 	case TagEpochEnd:
@@ -370,8 +440,32 @@ func DecodeRecord(buf []byte) (telemetry.Record, int, error) {
 		p.Watermark = int64(r.u64())
 		p.EmittedWM = int64(r.u64())
 		p.Acked = r.u64()
+		// BaseID/Delta were appended for delta snapshots; pre-delta
+		// snapshot files end here and decode as a full snapshot.
+		if r.err == nil && r.off < len(buf) {
+			p.BaseID = r.uvarint()
+			p.Delta = r.u8() != 0
+		}
 		rec.Data = p
 		rec.WireSize = 49
+	case TagStageMeta:
+		p := &StageMeta{}
+		p.Stage = int(r.uvarint())
+		p.Replace = r.u8() != 0
+		n := r.uvarint()
+		if r.err == nil && n > uint64(len(buf)) {
+			return telemetry.Record{}, 0, ErrShortBuffer
+		}
+		if r.err == nil && n > 0 {
+			p.Closed = make([]int64, n)
+			prev := int64(0)
+			for i := range p.Closed {
+				prev += unzigzag(r.uvarint())
+				p.Closed[i] = prev
+			}
+		}
+		rec.Data = p
+		rec.WireSize = 20 + 9*len(p.Closed)
 	case TagSourceState:
 		p := &SourceState{}
 		p.Source = r.u32()

@@ -1,0 +1,259 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"unsafe"
+
+	"jarvis/internal/telemetry"
+)
+
+// mixedBatch builds a batch covering every columnar section type plus a
+// raw-fallback payload, with runs long enough to exercise delta packing.
+func mixedBatch() telemetry.Batch {
+	var b telemetry.Batch
+	for i := 0; i < 100; i++ {
+		p := &telemetry.PingProbe{
+			Timestamp: int64(1000 + i*26), SrcIP: 0x0A000001, SrcCluster: 0x0A00,
+			DstIP: 0x0B000000 + uint32(i), DstCluster: 0x0B00, RTTMicros: 400 + uint32(i%7),
+		}
+		if i%9 == 0 {
+			p.ErrCode = 2
+		}
+		rec := telemetry.NewProbeRecord(p)
+		rec.Window = rec.Time / 10_000_000
+		b = append(b, rec)
+	}
+	for i := 0; i < 40; i++ {
+		b = append(b, telemetry.Record{
+			Time: int64(2000 + i), Window: 1, WireSize: telemetry.ToRProbeWireSize,
+			Data: &telemetry.ToRProbe{Timestamp: int64(2000 + i), SrcToR: uint32(i % 4), DstToR: uint32(i % 5), RTTMicros: 300},
+		})
+	}
+	for i := 0; i < 30; i++ {
+		raw := "tenant name=alpha, cpu util=42.0"
+		if i%3 == 0 {
+			raw = "tenant name=beta, memory util=17.5"
+		}
+		b = append(b, telemetry.NewLogRecord(int64(3000+i*13), raw))
+	}
+	tenants := []string{"alpha", "beta", "gamma"}
+	stats := []string{"cpu util", "memory util"}
+	for i := 0; i < 30; i++ {
+		j := &telemetry.JobStats{
+			Timestamp: int64(4000 + i), Tenant: tenants[i%3], StatName: stats[i%2],
+			Stat: float64(i) * 1.5, Bucket: i%12 - 1,
+		}
+		b = append(b, telemetry.Record{Time: int64(4000 + i), Window: 2, WireSize: j.JobStatsWireSize(), Data: j})
+	}
+	for i := 0; i < 50; i++ {
+		key := telemetry.NumKey(uint64(i) << 32)
+		if i%4 == 0 {
+			key = telemetry.StrKey(tenants[i%3] + "|cpu util|3")
+		}
+		row := telemetry.NewAggRow(key, 3, float64(i))
+		row.Observe(float64(i * 2))
+		b = append(b, telemetry.NewAggRecord(row, 40_000_000))
+	}
+	for i := 0; i < 10; i++ {
+		q := telemetry.NewQuantileRow(telemetry.NumKey(uint64(i)), 4, 0, 1000, 4+i%3)
+		q.Observe(float64(i * 100))
+		q.Observe(float64(i * 150))
+		b = append(b, telemetry.Record{Time: 50_000_000, Window: 4, WireSize: q.WireSize(), Data: q})
+	}
+	b = append(b, telemetry.Record{Time: 60_000_000, WireSize: 17, Data: &Watermark{Time: 60_000_000}})
+	// Raw fallback: a control record inside a data frame.
+	b = append(b, telemetry.Record{Time: 61_000_000, WireSize: 33, Data: &EpochEnd{Seq: 9, Watermark: 60_000_000}})
+	return b
+}
+
+// canonical renders records as their concatenated v1 encodings, the
+// equality notion used across the round-trip tests.
+func canonical(t *testing.T, b telemetry.Batch) []byte {
+	t.Helper()
+	var out []byte
+	var err error
+	for _, rec := range b {
+		out, err = EncodeRecord(out, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestColumnarRoundTrip(t *testing.T) {
+	batch := mixedBatch()
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	fw.SetColumnar(true)
+	if err := fw.WriteFrame(Frame{StreamID: 3, Source: 7, Records: batch}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(bytes.NewReader(buf.Bytes()))
+	got, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Columnar {
+		t.Fatal("frame did not decode as columnar")
+	}
+	if got.StreamID != 3 || got.Source != 7 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Records) != len(batch) {
+		t.Fatalf("decoded %d records, want %d", len(got.Records), len(batch))
+	}
+	if !bytes.Equal(canonical(t, got.Records), canonical(t, batch)) {
+		t.Fatal("columnar round-trip changed record content")
+	}
+	for i := range got.Records {
+		if got.Records[i].WireSize != batch[i].WireSize {
+			t.Fatalf("record %d wire size %d, want %d", i, got.Records[i].WireSize, batch[i].WireSize)
+		}
+	}
+}
+
+// TestColumnarInternSharing proves repeated strings across frames on one
+// reader decode to a single shared string value.
+func TestColumnarInternSharing(t *testing.T) {
+	rec := func() telemetry.Record {
+		row := telemetry.NewAggRow(telemetry.StrKey("tenant-007|cpu util|3"), 1, 5)
+		return telemetry.NewAggRecord(row, 10)
+	}
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	fw.SetColumnar(true)
+	for i := 0; i < 2; i++ {
+		if err := fw.WriteFrame(Frame{StreamID: 1, Records: telemetry.Batch{rec()}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(bytes.NewReader(buf.Bytes()))
+	f1, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := f1.Records[0].Data.(*telemetry.AggRow).Key.Str
+	s2 := f2.Records[0].Data.(*telemetry.AggRow).Key.Str
+	if s1 != "tenant-007|cpu util|3" {
+		t.Fatalf("decoded key %q", s1)
+	}
+	// Same backing storage, not merely equal content: the intern cache
+	// must hand back the identical string header.
+	if len(s1) == 0 || unsafe.StringData(s1) != unsafe.StringData(s2) {
+		t.Fatal("repeated key across frames decoded to distinct allocations")
+	}
+}
+
+// TestColumnarDenseJobStats pins the section count guard against the
+// densest legal JobStats encoding: every varint at its 1-byte minimum
+// (small time deltas, interned refs). A too-strict minRecordBytes once
+// rejected frames the encoder itself produced.
+func TestColumnarDenseJobStats(t *testing.T) {
+	var batch telemetry.Batch
+	for i := 0; i < 200; i++ {
+		j := &telemetry.JobStats{Timestamp: int64(i), Tenant: "t", StatName: "s", Stat: 1, Bucket: 0}
+		batch = append(batch, telemetry.Record{Time: int64(i), WireSize: j.JobStatsWireSize(), Data: j})
+	}
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	fw.SetColumnar(true)
+	if err := fw.WriteFrame(Frame{StreamID: 2, Records: batch}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewFrameReader(bytes.NewReader(buf.Bytes())).ReadFrame()
+	if err != nil {
+		t.Fatalf("dense JobStats frame rejected: %v", err)
+	}
+	if len(got.Records) != len(batch) {
+		t.Fatalf("decoded %d of %d records", len(got.Records), len(batch))
+	}
+	if !bytes.Equal(canonical(t, got.Records), canonical(t, batch)) {
+		t.Fatal("dense JobStats round-trip changed content")
+	}
+}
+
+func TestColumnarEmptyBatch(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	fw.SetColumnar(true)
+	if err := fw.WriteFrame(Frame{StreamID: 5, Records: nil}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewFrameReader(bytes.NewReader(buf.Bytes())).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 0 || got.StreamID != 5 {
+		t.Fatalf("empty columnar frame decoded to %+v", got)
+	}
+	if _, err := NewFrameReader(bytes.NewReader(buf.Bytes())).ReadFrame(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestColumnarControlFramesStayV1 checks that a columnar writer still
+// encodes control-stream frames record-at-a-time, so handshakes remain
+// readable pre-negotiation.
+func TestColumnarControlFramesStayV1(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	fw.SetColumnar(true)
+	rec := telemetry.Record{WireSize: 29, Data: &Hello{Source: 1, Seq: 2, Version: WireV2}}
+	if err := fw.WriteFrame(Frame{StreamID: ControlStreamID, Records: telemetry.Batch{rec}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewFrameReader(bytes.NewReader(buf.Bytes())).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Columnar {
+		t.Fatal("control frame was encoded columnar")
+	}
+	h, ok := got.Records[0].Data.(*Hello)
+	if !ok || h.Version != WireV2 {
+		t.Fatalf("hello round-trip: %+v", got.Records[0].Data)
+	}
+}
+
+// TestLegacyHelloDecodes checks a pre-versioning 12-byte Hello payload
+// still decodes (Version 0 = v1 peer).
+func TestLegacyHelloDecodes(t *testing.T) {
+	rec := telemetry.Record{WireSize: 29, Data: &Hello{Source: 9, Seq: 4, Version: WireV2}}
+	enc, err := EncodeRecord(nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := enc[:len(enc)-1] // strip the trailing version uvarint
+	got, n, err := DecodeRecord(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(legacy) {
+		t.Fatalf("consumed %d of %d", n, len(legacy))
+	}
+	h := got.Data.(*Hello)
+	if h.Source != 9 || h.Seq != 4 || h.Version != 0 {
+		t.Fatalf("legacy hello decoded as %+v", h)
+	}
+}

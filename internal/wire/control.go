@@ -11,22 +11,30 @@ package wire
 // destined for an operator stage.
 const ControlStreamID = ^uint32(0) - 1
 
-// Hello opens a sequenced connection: the agent announces its source id
-// and the last epoch sequence number it assigned. The receiver replies
-// with an Ack carrying the newest durably-applied sequence for that
-// source, and the agent replays everything after it.
+// Hello opens a sequenced connection: the agent announces its source id,
+// the last epoch sequence number it assigned, and the newest wire
+// version it speaks (0 from pre-versioning builds, meaning v1). The
+// receiver replies with an Ack carrying the newest durably-applied
+// sequence for that source plus its own version; both sides then use
+// min(hello, ack) — a v2 shipper sends columnar frames only to a
+// receiver that advertised v2. Hello records travel alone in their
+// frame (the trailing version field relies on it).
 type Hello struct {
-	Source uint32
-	Seq    uint64
+	Source  uint32
+	Seq     uint64
+	Version uint32
 }
 
 // Ack acknowledges that every epoch of a source up to and including Seq
 // is durable on the stream processor (applied, and covered by a snapshot
 // when checkpointing is enabled). The agent prunes its replay buffer up
-// to Seq.
+// to Seq. Version advertises the receiver's newest wire version (0 from
+// pre-versioning builds, meaning v1); like Hello, Ack records travel
+// alone in their frame.
 type Ack struct {
-	Source uint32
-	Seq    uint64
+	Source  uint32
+	Seq     uint64
+	Version uint32
 }
 
 // EpochEnd commits one shipped epoch: every data frame since the previous
@@ -40,12 +48,30 @@ type EpochEnd struct {
 
 // SnapshotHeader opens an encoded checkpoint snapshot: the epoch sequence
 // it covers, the low watermark, the watermark through which results were
-// already emitted, and (agent side) the newest acked epoch.
+// already emitted, and (agent side) the newest acked epoch. Delta
+// snapshots additionally carry the store id of the snapshot they extend
+// (BaseID) and the Delta flag; full snapshots (and files written before
+// delta support) leave both zero.
 type SnapshotHeader struct {
 	Seq       uint64
 	Watermark int64
 	EmittedWM int64
 	Acked     uint64
+	BaseID    uint64
+	Delta     bool
+}
+
+// StageMeta describes how one stage's rows in a delta snapshot apply to
+// the reconstructed base state: Replace swaps the stage's rows wholesale
+// (operators whose rows are not keyed, e.g. buffered join misses), while
+// the default merges rows by (window, key) — a delta row supersedes the
+// base row for its group. Closed lists windows the operator flushed
+// since the base snapshot; their rows are dropped from the
+// reconstruction so restored state does not resurrect emitted windows.
+type StageMeta struct {
+	Stage   int
+	Replace bool
+	Closed  []int64
 }
 
 // SourceState records one source's progress inside an SP snapshot: its

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"jarvis/internal/telemetry"
+)
+
+// epochScaleFrame builds one columnar frame at evaluation scale: the
+// ~38k-probe drain a recovering SP re-applies per replayed epoch.
+func epochScaleFrame(tb testing.TB) []byte {
+	tb.Helper()
+	var batch telemetry.Batch
+	for i := 0; i < 38000; i++ {
+		p := &telemetry.PingProbe{
+			Timestamp: int64(i * 26), SrcIP: 0x0A000001, SrcCluster: 0x0A00,
+			DstIP: 0x0B000000 + uint32(i%20000), DstCluster: 0x0B00,
+			RTTMicros: 400 + uint32(i%97),
+		}
+		if i%7 == 0 {
+			p.ErrCode = 1
+		}
+		batch = append(batch, telemetry.NewProbeRecord(p))
+	}
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	fw.SetColumnar(true)
+	if err := fw.WriteFrame(Frame{StreamID: 0, Source: 1, Records: batch}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestWarmDecodeAllocs is the tier-1 regression guard for the zero-alloc
+// decode path: a warm reader materializing a 38k-record columnar frame
+// must allocate O(sections), not O(records). The v1 record-at-a-time
+// decoder allocated ~38k times on this input; the bound fails loudly on
+// any regression back toward per-record allocation.
+func TestWarmDecodeAllocs(t *testing.T) {
+	data := epochScaleFrame(t)
+	fr := NewFrameReader(bytes.NewReader(data))
+	// Warm up: grow the frame buffer, scratch columns and intern cache.
+	for i := 0; i < 3; i++ {
+		fr.Reset(bytes.NewReader(data))
+		if _, err := fr.ReadFrame(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		fr.Reset(bytes.NewReader(data))
+		if _, err := fr.ReadFrame(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Tolerated: the per-decode arena, the records slice and small
+	// scratch growth — nothing proportional to the 38k records.
+	if avg > 16 {
+		t.Fatalf("warm columnar decode allocates %.1f times for a 38k-record frame (want ≤ 16)", avg)
+	}
+}
+
+// BenchmarkColumnarDecodeEpoch tracks the wire-level decode rate of one
+// epoch-scale columnar frame.
+func BenchmarkColumnarDecodeEpoch(b *testing.B) {
+	data := epochScaleFrame(b)
+	fr := NewFrameReader(bytes.NewReader(data))
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr.Reset(bytes.NewReader(data))
+		if _, err := fr.ReadFrame(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

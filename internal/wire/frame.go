@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"slices"
 
 	"jarvis/internal/telemetry"
 )
@@ -17,14 +18,22 @@ const MaxFrameSize = 64 << 20
 // FrameWriter writes length-prefixed frames, each containing a batch of
 // encoded records for one logical stream (identified by StreamID).
 type FrameWriter struct {
-	w   *bufio.Writer
-	buf []byte
+	w        *bufio.Writer
+	buf      []byte
+	columnar bool
+	enc      columnarEncoder
 }
 
 // NewFrameWriter wraps w in a buffered frame writer.
 func NewFrameWriter(w io.Writer) *FrameWriter {
 	return &FrameWriter{w: bufio.NewWriter(w)}
 }
+
+// SetColumnar switches data frames to the v2 columnar encoding (control
+// frames stay v1 — they are single tiny records). Enable it only when
+// the peer negotiated wire v2, or when the bytes are consumed by this
+// build's own FrameReader (snapshot files, benchmarks).
+func (fw *FrameWriter) SetColumnar(v bool) { fw.columnar = v }
 
 // Reset redirects the writer to w, discarding unflushed data but keeping
 // the internal encode buffer — repeated encoders (the checkpoint store)
@@ -43,6 +52,10 @@ type Frame struct {
 	Source uint32
 	// Records is the batch payload.
 	Records telemetry.Batch
+	// Columnar reports (on decode) that the frame arrived in the v2
+	// columnar encoding. WriteFrame ignores it; the writer's SetColumnar
+	// mode decides the outgoing encoding.
+	Columnar bool
 }
 
 // WriteFrame encodes and writes one frame. It does not flush; call Flush
@@ -51,14 +64,27 @@ func (fw *FrameWriter) WriteFrame(f Frame) error {
 	fw.buf = fw.buf[:0]
 	fw.buf = binary.BigEndian.AppendUint32(fw.buf, f.StreamID)
 	fw.buf = binary.BigEndian.AppendUint32(fw.buf, f.Source)
-	fw.buf = binary.BigEndian.AppendUint32(fw.buf, uint32(len(f.Records)))
 	var err error
+	if fw.columnar && f.StreamID != ControlStreamID {
+		fw.buf = binary.BigEndian.AppendUint32(fw.buf, ColumnarMarker)
+		fw.buf, err = fw.enc.encode(fw.buf, f.Records)
+		if err != nil {
+			return err
+		}
+		return fw.writePayload()
+	}
+	fw.buf = binary.BigEndian.AppendUint32(fw.buf, uint32(len(f.Records)))
 	for _, rec := range f.Records {
 		fw.buf, err = EncodeRecord(fw.buf, rec)
 		if err != nil {
 			return err
 		}
 	}
+	return fw.writePayload()
+}
+
+// writePayload length-prefixes and writes the assembled frame in fw.buf.
+func (fw *FrameWriter) writePayload() error {
 	if len(fw.buf) > MaxFrameSize {
 		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", len(fw.buf), MaxFrameSize)
 	}
@@ -67,23 +93,38 @@ func (fw *FrameWriter) WriteFrame(f Frame) error {
 	if _, err := fw.w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err = fw.w.Write(fw.buf)
+	_, err := fw.w.Write(fw.buf)
 	return err
 }
 
 // Flush flushes buffered frames to the underlying writer.
 func (fw *FrameWriter) Flush() error { return fw.w.Flush() }
 
-// FrameReader reads frames written by FrameWriter.
+// FrameReader reads frames written by FrameWriter. It decodes both wire
+// versions transparently; its columnar decoder (and thus the
+// cross-frame string canonicalization cache) lives for the reader's
+// lifetime — one reader per connection or per snapshot store.
 type FrameReader struct {
 	r   *bufio.Reader
 	buf []byte
+	dec *ColumnarDecoder
 }
 
 // NewFrameReader wraps r in a buffered frame reader.
 func NewFrameReader(r io.Reader) *FrameReader {
 	return &FrameReader{r: bufio.NewReader(r)}
 }
+
+// Reset redirects the reader to r, discarding unread bytes but keeping
+// the internal frame buffer and the columnar decoder (with its
+// canonicalization cache).
+func (fr *FrameReader) Reset(r io.Reader) { fr.r.Reset(r) }
+
+// UseDecoder shares a columnar decoder (and its string canonicalization
+// cache) with this reader — callers that read many related streams (a
+// snapshot store reading a base + delta chain) decode repeated strings
+// to one allocation across all of them.
+func (fr *FrameReader) UseDecoder(d *ColumnarDecoder) { fr.dec = d }
 
 // ReadFrame reads and decodes the next frame. It returns io.EOF cleanly at
 // end of stream.
@@ -96,15 +137,23 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 	if n > MaxFrameSize {
 		return Frame{}, fmt.Errorf("wire: frame length %d exceeds max %d", n, MaxFrameSize)
 	}
-	if cap(fr.buf) < int(n) {
-		fr.buf = make([]byte, n)
-	}
-	fr.buf = fr.buf[:n]
-	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
+	// Read in bounded steps, growing with the bytes that actually
+	// arrive: a corrupt length prefix must not force a MaxFrameSize
+	// allocation for a stream that ends after a few bytes.
+	fr.buf = fr.buf[:0]
+	for read := 0; read < int(n); {
+		step := int(n) - read
+		if step > 1<<20 {
+			step = 1 << 20
 		}
-		return Frame{}, err
+		fr.buf = slices.Grow(fr.buf, step)[:read+step]
+		if _, err := io.ReadFull(fr.r, fr.buf[read:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Frame{}, err
+		}
+		read += step
 	}
 	if n < 12 {
 		return Frame{}, ErrShortBuffer
@@ -114,6 +163,16 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 		Source:   binary.BigEndian.Uint32(fr.buf[4:]),
 	}
 	count := binary.BigEndian.Uint32(fr.buf[8:])
+	if count == ColumnarMarker {
+		if fr.dec == nil {
+			fr.dec = NewColumnarDecoder()
+		}
+		f.Columnar = true
+		if err := fr.dec.DecodeBatch(fr.buf[12:], &f.Records); err != nil {
+			return Frame{}, fmt.Errorf("wire: columnar frame: %w", err)
+		}
+		return f, nil
+	}
 	// Every record costs at least a tag byte plus the 16-byte header, so
 	// a count the remaining payload cannot hold is corrupt — reject it
 	// before pre-allocating a batch sized by attacker-controlled input.
