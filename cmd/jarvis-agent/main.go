@@ -11,10 +11,16 @@
 // -checkpoint-every epochs, and resumes from the newest snapshot after a
 // restart.
 //
+// -sp accepts a comma-separated endpoint list (primary plus warm
+// standbys, see internal/ha): on connection loss the agent walks the
+// list until an SP admits its hello, then resumes and replays as usual —
+// a promoted standby deduplicates by sequence, a stale or unpromoted SP
+// rejects the hello and the dialer moves on.
+//
 // Usage:
 //
-//	jarvis-agent -sp 127.0.0.1:7700 -id 1 -query s2s -budget 0.6 -epochs 60 \
-//	    -checkpoint-dir /var/lib/jarvis/agent1
+//	jarvis-agent -sp 10.0.0.1:7700,10.0.0.2:7800 -id 1 -query s2s \
+//	    -budget 0.6 -epochs 60 -checkpoint-dir /var/lib/jarvis/agent1
 package main
 
 import (
@@ -32,7 +38,7 @@ import (
 )
 
 func main() {
-	spAddr := flag.String("sp", "127.0.0.1:7700", "stream processor address")
+	spAddr := flag.String("sp", "127.0.0.1:7700", "stream processor endpoints, comma-separated (primary first, then standbys)")
 	id := flag.Uint("id", 1, "source id")
 	queryName := flag.String("query", "s2s", "query to run (s2s|t2t|log)")
 	budget := flag.Float64("budget", 0.6, "CPU budget as a fraction of one core")
@@ -50,6 +56,10 @@ func main() {
 }
 
 func run(spAddr string, id uint32, queryName string, budget float64, epochs int, realtime bool, ckptDir string, ckptEvery, ckptRetain int) error {
+	endpoints := transport.ParseEndpoints(spAddr)
+	if len(endpoints) == 0 {
+		return fmt.Errorf("no SP endpoints in %q", spAddr)
+	}
 	q, rate, err := experiments.QueryByName(queryName)
 	if err != nil {
 		return err
@@ -91,11 +101,11 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 	for e := uint64(0); e < resume; e++ {
 		next(1_000_000)
 	}
-	if err := ship.Connect(spAddr); err != nil {
-		fmt.Fprintf(os.Stderr, "jarvis-agent %d: SP unreachable (%v), buffering epochs\n", id, err)
+	if _, err := ship.ConnectAny(endpoints); err != nil {
+		fmt.Fprintf(os.Stderr, "jarvis-agent %d: no SP reachable (%v), buffering epochs\n", id, err)
 	}
-	fmt.Printf("jarvis-agent %d: %s at %.1f Mbps, budget %.0f%%, sp %s\n",
-		id, q.Name, rate, budget*100, spAddr)
+	fmt.Printf("jarvis-agent %d: %s at %.1f Mbps, budget %.0f%%, sp %v\n",
+		id, q.Name, rate, budget*100, endpoints)
 
 	for e := int(resume); epochs == 0 || e < epochs; e++ {
 		start := time.Now()
@@ -104,8 +114,8 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 			return err
 		}
 		if !ship.Connected() {
-			if err := ship.Connect(spAddr); err == nil {
-				fmt.Printf("  reconnected to %s, replayed through epoch %d\n", spAddr, ship.Seq())
+			if addr, err := ship.ConnectAny(endpoints); err == nil {
+				fmt.Printf("  reconnected to %s (term %d), replayed through epoch %d\n", addr, ship.Term(), ship.Seq())
 			}
 		}
 		if err := ship.ShipEpoch(res); err != nil {

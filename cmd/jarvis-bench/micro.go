@@ -75,6 +75,12 @@ func runMicro(outPath string) error {
 	}
 	records = append(records, ckpt...)
 
+	haRecs, err := haBenchmarks()
+	if err != nil {
+		return err
+	}
+	records = append(records, haRecs...)
+
 	data, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
 		return err

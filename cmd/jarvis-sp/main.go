@@ -10,10 +10,23 @@
 // startup the newest consistent snapshot is restored so reconnecting
 // agents replay only what the snapshot does not cover.
 //
+// High availability (internal/ha): a primary with -repl-listen streams
+// its snapshot chain and result log to warm standbys and withholds agent
+// acks until the standby confirms durability. A node started with
+// -standby -peer syncs from the primary, keeps a warm shadow engine, and
+// promotes itself (term bump) when the replication link has been down
+// for -takeover-after; agents configured with both endpoints fail over
+// to it and replay the uncovered epochs. A stale primary that rejoins is
+// fenced by the term its former agents now carry.
+//
 // Usage:
 //
 //	jarvis-sp -listen :7700 -query s2s -sources 1,2,3 \
-//	    -checkpoint-dir /var/lib/jarvis/sp -checkpoint-every 4
+//	    -checkpoint-dir /var/lib/jarvis/sp -checkpoint-every 4 \
+//	    -repl-listen :7701
+//	jarvis-sp -listen :7800 -query s2s -sources 1,2,3 \
+//	    -checkpoint-dir /var/lib/jarvis/sp-standby \
+//	    -standby -peer primary-host:7701 -takeover-after 3s
 package main
 
 import (
@@ -31,27 +44,47 @@ import (
 	"jarvis/internal/checkpoint"
 	"jarvis/internal/core"
 	"jarvis/internal/experiments"
+	"jarvis/internal/ha"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/transport"
 )
 
+type config struct {
+	listen, query, sources string
+	ckptDir                string
+	ckptEvery, ckptRetain  int
+	ckptAsync              bool
+	replListen             string
+	standby                bool
+	peer                   string
+	term                   uint64
+	takeoverAfter          time.Duration
+}
+
 func main() {
-	listen := flag.String("listen", ":7700", "address to accept agents on")
-	query := flag.String("query", "s2s", "query to run (s2s|t2t|log)")
-	sources := flag.String("sources", "1", "comma-separated source ids to wait for")
-	ckptDir := flag.String("checkpoint-dir", "", "durable snapshot directory (empty = no checkpointing)")
-	ckptEvery := flag.Int("checkpoint-every", checkpoint.DefaultEvery, "applied epochs between durable snapshots (1 = every epoch, cheap with delta snapshots)")
-	ckptRetain := flag.Int("checkpoint-retain", checkpoint.DefaultRetain, "base+delta snapshot chains to keep when compacting (0 = keep all)")
+	var cfg config
+	flag.StringVar(&cfg.listen, "listen", ":7700", "address to accept agents on")
+	flag.StringVar(&cfg.query, "query", "s2s", "query to run (s2s|t2t|log)")
+	flag.StringVar(&cfg.sources, "sources", "1", "comma-separated source ids to wait for")
+	flag.StringVar(&cfg.ckptDir, "checkpoint-dir", "", "durable snapshot directory (empty = no checkpointing)")
+	flag.IntVar(&cfg.ckptEvery, "checkpoint-every", checkpoint.DefaultEvery, "applied epochs between durable snapshots (1 = every epoch, cheap with delta snapshots)")
+	flag.IntVar(&cfg.ckptRetain, "checkpoint-retain", checkpoint.DefaultRetain, "base+delta snapshot chains to keep when compacting (0 = keep all)")
+	flag.BoolVar(&cfg.ckptAsync, "checkpoint-async", false, "save snapshots on a writer goroutine (acks still wait for the durable save)")
+	flag.StringVar(&cfg.replListen, "repl-listen", "", "replication listener for warm standbys (primary; requires -checkpoint-dir)")
+	flag.BoolVar(&cfg.standby, "standby", false, "run as a warm standby (requires -peer and -checkpoint-dir)")
+	flag.StringVar(&cfg.peer, "peer", "", "primary's replication address to sync from (standby)")
+	flag.Uint64Var(&cfg.term, "term", 1, "primary fencing term (epoch lease token)")
+	flag.DurationVar(&cfg.takeoverAfter, "takeover-after", 3*time.Second, "standby: promote after the replication link is down this long (0 = never)")
 	flag.Parse()
 
-	if err := run(*listen, *query, *sources, *ckptDir, *ckptEvery, *ckptRetain); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "jarvis-sp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, queryName, sources, ckptDir string, ckptEvery, ckptRetain int) error {
-	q, _, err := experiments.QueryByName(queryName)
+func run(cfg config) error {
+	q, _, err := experiments.QueryByName(cfg.query)
 	if err != nil {
 		return err
 	}
@@ -61,19 +94,40 @@ func run(listen, queryName, sources, ckptDir string, ckptEvery, ckptRetain int) 
 	}
 	rc := transport.NewReceiver(proc.Engine())
 
-	var rm *checkpoint.SPRecovery
-	if ckptDir != "" {
-		store, err := checkpoint.OpenStore(ckptDir)
+	var (
+		rm   *checkpoint.SPRecovery
+		st   *ha.Standby
+		pub  *ha.Publisher
+		gate *ha.Gate
+	)
+	if cfg.standby {
+		if cfg.ckptDir == "" || cfg.peer == "" {
+			return fmt.Errorf("-standby requires -checkpoint-dir and -peer")
+		}
+		if cfg.replListen != "" {
+			// Serving replicas from a (possibly promoted) standby is a
+			// manual hand-off today (see the ROADMAP follow-on); refusing
+			// the flag beats silently dropping it.
+			return fmt.Errorf("-repl-listen is not supported with -standby: point new standbys at the promoted node explicitly")
+		}
+		gate = ha.NewGate(ha.RoleStandby, 0, nil)
+		st, err = ha.NewStandby(proc, cfg.ckptDir, gate.Counters())
 		if err != nil {
 			return err
 		}
-		rlog, err := checkpoint.OpenResultLog(filepath.Join(ckptDir, "results.log"))
+	} else if cfg.ckptDir != "" {
+		store, err := checkpoint.OpenStore(cfg.ckptDir)
+		if err != nil {
+			return err
+		}
+		rlog, err := checkpoint.OpenResultLog(filepath.Join(cfg.ckptDir, "results.log"))
 		if err != nil {
 			return err
 		}
 		defer rlog.Close()
-		rm = checkpoint.NewSPRecovery(store, rlog, proc.Engine(), rc, ckptEvery)
-		rm.SetRetention(ckptRetain)
+		rm = checkpoint.NewSPRecovery(store, rlog, proc.Engine(), rc, cfg.ckptEvery)
+		rm.SetRetention(cfg.ckptRetain)
+		rm.SetAsync(cfg.ckptAsync)
 		restored, err := rm.Restore()
 		if err != nil {
 			return err
@@ -82,9 +136,28 @@ func run(listen, queryName, sources, ckptDir string, ckptEvery, ckptRetain int) 
 			fmt.Printf("jarvis-sp: restored snapshot (result log at %d rows, watermark %d µs)\n",
 				rlog.Rows(), rlog.EmittedWM())
 		}
+		// Resume at the highest term this node ever reached: a restarted
+		// promoted standby must not fall back to the flag default and get
+		// fenced by its own agents.
+		term := cfg.term
+		if rt := rm.RestoredTerm(); rt > term {
+			term = rt
+			fmt.Printf("jarvis-sp: resuming at restored term %d\n", term)
+		}
+		rm.SetTerm(term)
+		gate = ha.NewGate(ha.RolePrimary, term, nil)
+		if cfg.replListen != "" {
+			pub = ha.NewPublisher(store, filepath.Join(cfg.ckptDir, "results.log"), term, gate.Counters())
+			rm.SetReplicator(pub, 0)
+		}
+	} else if cfg.replListen != "" {
+		return fmt.Errorf("-repl-listen requires -checkpoint-dir")
+	} else {
+		gate = ha.NewGate(ha.RolePrimary, cfg.term, nil)
 	}
+	rc.SetHelloGate(gate)
 
-	for _, tok := range strings.Split(sources, ",") {
+	for _, tok := range strings.Split(cfg.sources, ",") {
 		id, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 32)
 		if err != nil {
 			return fmt.Errorf("bad source id %q: %w", tok, err)
@@ -92,15 +165,29 @@ func run(listen, queryName, sources, ckptDir string, ckptEvery, ckptRetain int) 
 		rc.RegisterSource(uint32(id))
 	}
 
-	ln, err := net.Listen("tcp", listen)
+	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("jarvis-sp: %s on %s, waiting for sources [%s]\n", q.Name, ln.Addr(), sources)
+	fmt.Printf("jarvis-sp: %s on %s as %s, waiting for sources [%s]\n",
+		q.Name, ln.Addr(), gate.Role(), cfg.sources)
 
 	srv := transport.NewServer(rc)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if pub != nil {
+		rln, err := net.Listen("tcp", cfg.replListen)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("jarvis-sp: replicating to standbys on %s (term %d)\n", rln.Addr(), gate.Term())
+		go func() { _ = pub.Serve(ctx, rln) }()
+	}
+	if st != nil {
+		go st.Run(ctx, cfg.peer)
+		fmt.Printf("jarvis-sp: standby syncing from %s (takeover after %v)\n", cfg.peer, cfg.takeoverAfter)
+	}
 
 	advance := func() (telemetry.Batch, error) {
 		if rm != nil {
@@ -108,6 +195,7 @@ func run(listen, queryName, sources, ckptDir string, ckptEvery, ckptRetain int) 
 		}
 		return rc.Advance(), nil
 	}
+	fenced := make(chan struct{})
 	go func() {
 		ticker := time.NewTicker(time.Second)
 		defer ticker.Stop()
@@ -119,10 +207,36 @@ func run(listen, queryName, sources, ckptDir string, ckptEvery, ckptRetain int) 
 					if err := rm.Snapshot(); err != nil {
 						fmt.Fprintln(os.Stderr, "jarvis-sp: final snapshot:", err)
 					}
+					_ = rm.Close()
 				}
 				fmt.Printf("jarvis-sp: transport counters: %s\n", rc.Counters())
+				fmt.Printf("jarvis-sp: ha counters: %s\n", gate.Counters())
 				return
 			case <-ticker.C:
+				switch gate.Role() {
+				case ha.RoleFenced:
+					// A newer primary exists: stop emitting and shut down.
+					fmt.Fprintf(os.Stderr, "jarvis-sp: fenced at term %d — a newer primary was promoted\n", gate.Term())
+					close(fenced)
+					return
+				case ha.RoleStandby:
+					// The shadow engine only mirrors the primary; advancing
+					// it would emit rows the primary owns. Watch the link
+					// and promote when the takeover policy says so.
+					if cfg.takeoverAfter > 0 && st.DownFor() > cfg.takeoverAfter {
+						prm, perr := st.Promote(rc, cfg.ckptEvery, cfg.ckptRetain)
+						if perr != nil {
+							fmt.Fprintln(os.Stderr, "jarvis-sp: promote:", perr)
+							continue
+						}
+						rm = prm
+						rm.SetAsync(cfg.ckptAsync)
+						gate.Promote(st.NextTerm())
+						fmt.Printf("jarvis-sp: promoted to primary at term %d (replicated snapshot id %d, %d mirrored rows)\n",
+							gate.Term(), st.LastApplied(), st.ResultLog().Rows())
+					}
+					continue
+				}
 				// Advance may return rows AND an error (rows durably logged
 				// but the follow-up snapshot failed): always print what was
 				// emitted — the result log will not hand these rows back.
@@ -137,7 +251,16 @@ func run(listen, queryName, sources, ckptDir string, ckptEvery, ckptRetain int) 
 		}
 	}()
 
-	return srv.Serve(ctx, ln)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ctx, ln) }()
+	select {
+	case <-fenced:
+		_ = srv.Close()
+		<-errCh
+		return fmt.Errorf("fenced: superseded by a newer primary (term > %d)", gate.Term())
+	case err := <-errCh:
+		return err
+	}
 }
 
 func printRows(rows telemetry.Batch) {

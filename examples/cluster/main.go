@@ -1,13 +1,18 @@
-// Cluster example: a stream processor and three data source agents run
-// as separate goroutines connected over loopback TCP — the same wire
-// protocol cmd/jarvis-sp and cmd/jarvis-agent speak across machines —
-// with the fault-tolerance subsystem enabled end to end. Each agent
-// ships sequenced epochs through a durable shipper (bounded replay
-// buffer, hello/ack resume); the SP applies them exactly once, snapshots
-// its engine durably every few epochs and logs results exactly once.
-// Mid-run the SP is killed and restarted from its snapshot directory:
-// the agents buffer while it is down, replay on reconnect, and the final
-// merged results are exactly what an uninterrupted run would produce.
+// Cluster example: a primary stream processor, a warm standby and three
+// data source agents run as separate goroutines connected over loopback
+// TCP — the same wire protocol cmd/jarvis-sp and cmd/jarvis-agent speak
+// across machines — with the high-availability subsystem (internal/ha)
+// enabled end to end. The primary replicates its snapshot chain and
+// result log to the standby and withholds agent acks until the standby
+// confirms durability; each agent ships sequenced epochs through a
+// durable shipper with a multi-endpoint failover dialer.
+//
+// Mid-run the primary is killed: the standby promotes itself with a
+// higher fencing term, the agents fail over to it and replay every epoch
+// replication did not cover, and the standby's mirrored result log
+// continues exactly once — no row lost, duplicated or reordered. The
+// old primary then rejoins at its stale term and is fenced the moment a
+// failed-over agent says hello.
 package main
 
 import (
@@ -16,12 +21,13 @@ import (
 	"log"
 	"net"
 	"os"
-	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jarvis"
 	"jarvis/internal/checkpoint"
+	"jarvis/internal/ha"
 	"jarvis/internal/transport"
 )
 
@@ -31,17 +37,23 @@ const (
 	dataEpochs = 11
 )
 
-// spNode is one SP incarnation over a persistent checkpoint directory.
+// spNode is one SP incarnation: engine + receiver + gate, with the
+// recovery manager and (primary role) replication publisher on top.
 type spNode struct {
-	rc     *transport.Receiver
-	rm     *checkpoint.SPRecovery
-	rlog   *checkpoint.ResultLog
-	srv    *transport.Server
-	addr   string
-	cancel context.CancelFunc
+	rc       *transport.Receiver
+	rm       *checkpoint.SPRecovery
+	rlog     *checkpoint.ResultLog
+	gate     *ha.Gate
+	pub      *ha.Publisher
+	st       *ha.Standby
+	srv      *transport.Server
+	addr     string
+	replAddr string
+	cancel   context.CancelFunc
 }
 
-func startSP(dir string) (*spNode, error) {
+// startPrimary brings up a primary over dir that replicates to standbys.
+func startPrimary(dir string, term uint64) (*spNode, error) {
 	proc, err := jarvis.NewProcessor(jarvis.S2SProbe())
 	if err != nil {
 		return nil, err
@@ -50,16 +62,20 @@ func startSP(dir string) (*spNode, error) {
 	if err != nil {
 		return nil, err
 	}
-	rlog, err := checkpoint.OpenResultLog(filepath.Join(dir, "results.log"))
+	rlog, err := checkpoint.OpenResultLog(dir + "/results.log")
 	if err != nil {
 		return nil, err
 	}
 	rc := transport.NewReceiver(proc.Engine())
+	gate := ha.NewGate(ha.RolePrimary, term, nil)
+	rc.SetHelloGate(gate)
 	rm := checkpoint.NewSPRecovery(store, rlog, proc.Engine(), rc, 4)
+	pub := ha.NewPublisher(store, dir+"/results.log", term, gate.Counters())
+	rm.SetReplicator(pub, 0)
 	if restored, err := rm.Restore(); err != nil {
 		return nil, err
 	} else if restored {
-		fmt.Printf("SP restarted from snapshot (result log already holds %d rows)\n", rlog.Rows())
+		fmt.Printf("primary restarted from snapshot (result log already holds %d rows)\n", rlog.Rows())
 	}
 	for id := uint32(1); id <= agents; id++ {
 		rc.RegisterSource(id)
@@ -68,83 +84,177 @@ func startSP(dir string) (*spNode, error) {
 	if err != nil {
 		return nil, err
 	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
 	srv := transport.NewServer(rc)
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() { _ = srv.Serve(ctx, ln) }()
-	return &spNode{rc: rc, rm: rm, rlog: rlog, srv: srv, addr: ln.Addr().String(), cancel: cancel}, nil
+	go func() { _ = pub.Serve(ctx, rln) }()
+	return &spNode{
+		rc: rc, rm: rm, rlog: rlog, gate: gate, pub: pub, srv: srv,
+		addr: ln.Addr().String(), replAddr: rln.Addr().String(), cancel: cancel,
+	}, nil
 }
 
-func (sp *spNode) stop() {
-	sp.cancel()
-	_ = sp.srv.Close()
-	_ = sp.rlog.Close()
+// startStandby brings up a warm standby syncing from the primary's
+// replication address; its gate rejects agents until promotion.
+func startStandby(dir, peer string) (*spNode, error) {
+	proc, err := jarvis.NewProcessor(jarvis.S2SProbe())
+	if err != nil {
+		return nil, err
+	}
+	st, err := ha.NewStandby(proc, dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	gate := ha.NewGate(ha.RoleStandby, 0, st.Counters())
+	rc := transport.NewReceiver(proc.Engine())
+	rc.SetHelloGate(gate)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := transport.NewServer(rc)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { _ = srv.Serve(ctx, ln) }()
+	go st.Run(ctx, peer)
+	return &spNode{
+		rc: rc, gate: gate, st: st, srv: srv,
+		addr: ln.Addr().String(), cancel: cancel,
+	}, nil
+}
+
+// promote fails the standby over: adopt the warm shadow engine and bump
+// the fencing term.
+func (n *spNode) promote() error {
+	rm, err := n.st.Promote(n.rc, 4, checkpoint.DefaultRetain)
+	if err != nil {
+		return err
+	}
+	n.rm = rm
+	n.rlog = n.st.ResultLog()
+	n.gate.Promote(n.st.NextTerm())
+	return nil
+}
+
+func (n *spNode) stop() {
+	n.cancel()
+	_ = n.srv.Close()
+	if n.pub != nil {
+		_ = n.pub.Close()
+	}
+	if n.rm != nil {
+		_ = n.rm.Close()
+	}
+	if n.rlog != nil {
+		_ = n.rlog.Close()
+	}
 }
 
 func main() {
-	dir, err := os.MkdirTemp("", "jarvis-cluster-*")
+	priDir, err := os.MkdirTemp("", "jarvis-ha-primary-*")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
-
-	sp, err := startSP(dir)
+	defer os.RemoveAll(priDir)
+	sbDir, err := os.MkdirTemp("", "jarvis-ha-standby-*")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("SP listening on %s (snapshots in %s)\n", sp.addr, dir)
+	defer os.RemoveAll(sbDir)
 
-	// addrCh broadcasts the current SP address to agents across restarts.
-	var addrMu sync.Mutex
-	spAddr := sp.addr
-	getAddr := func() string { addrMu.Lock(); defer addrMu.Unlock(); return spAddr }
-	setAddr := func(a string) { addrMu.Lock(); spAddr = a; addrMu.Unlock() }
+	pri, err := startPrimary(priDir, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sb, err := startStandby(sbDir, pri.replAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("primary on %s (replicating on %s, term 1), standby on %s\n",
+		pri.addr, pri.replAddr, sb.addr)
 
-	budgets := []float64{0.9, 0.5, 0.3}
+	// endpoints is what every agent dials: primary first, standby second.
+	var epMu sync.Mutex
+	endpoints := []string{pri.addr, sb.addr}
+	getEndpoints := func() []string {
+		epMu.Lock()
+		defer epMu.Unlock()
+		return append([]string(nil), endpoints...)
+	}
+
 	var wg sync.WaitGroup
+	budgets := []float64{0.9, 0.5, 0.3}
 	for i := 0; i < agents; i++ {
 		id := uint32(i + 1)
 		wg.Add(1)
 		go func(id uint32, budget float64) {
 			defer wg.Done()
-			if err := runAgent(getAddr, id, budget); err != nil {
+			if err := runAgent(getEndpoints, id, budget); err != nil {
 				log.Printf("agent %d: %v", id, err)
 			}
 		}(id, budgets[i])
 	}
 
-	// Collect results while agents run — and kill the SP partway through.
+	// Collect results from whichever node currently holds the primary
+	// role — and kill the primary partway through.
+	var active atomic.Pointer[spNode]
+	active.Store(pri)
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
 	rows := 0
 	killAt := time.After(400 * time.Millisecond)
-	var downUntil <-chan time.Time
+	var rejoinAt <-chan time.Time
 	for {
 		select {
 		case <-killAt:
-			fmt.Println("\n*** killing the SP mid-run ***")
-			sp.stop()
+			fmt.Println("\n*** killing the primary mid-run ***")
+			pri.stop()
+			if err := sb.promote(); err != nil {
+				log.Fatal(err)
+			}
+			active.Store(sb)
+			fmt.Printf("*** standby promoted to primary at term %d (replicated snapshot id %d, %d mirrored rows) ***\n\n",
+				sb.gate.Term(), sb.st.LastApplied(), sb.st.ResultLog().Rows())
 			killAt = nil
-			downUntil = time.After(300 * time.Millisecond)
-		case <-downUntil:
-			sp, err = startSP(dir)
+			rejoinAt = time.After(300 * time.Millisecond)
+		case <-rejoinAt:
+			// The dead primary comes back from its own directory at its old
+			// term; the failed-over agents' hellos carry term 2, so it
+			// fences itself instead of serving a second split-brain output.
+			stale, err := startPrimary(priDir, 1)
 			if err != nil {
 				log.Fatal(err)
 			}
-			setAddr(sp.addr)
-			fmt.Printf("*** SP back on %s; agents will reconnect and replay ***\n\n", sp.addr)
-			downUntil = nil
+			epMu.Lock()
+			endpoints = []string{stale.addr, sb.addr}
+			epMu.Unlock()
+			fmt.Printf("*** old primary rejoined on %s at stale term 1 ***\n", stale.addr)
+			go func() {
+				for stale.gate.Role() != ha.RoleFenced {
+					time.Sleep(20 * time.Millisecond)
+				}
+				fmt.Printf("*** stale primary fenced (%s) ***\n", stale.gate.Counters())
+				stale.stop()
+			}()
+			rejoinAt = nil
 		case <-done:
 			time.Sleep(200 * time.Millisecond)
+			sp := active.Load()
 			if out, err := sp.rm.Advance(); err == nil {
 				rows += printRows(out, rows)
 			}
-			fmt.Printf("\nresult log: %d rows, every row exactly once despite the restart\n", sp.rlog.Rows())
-			fmt.Printf("SP transport counters: %s\n", sp.rc.Counters())
+			fmt.Printf("\nresult log on the promoted standby: %d rows, every row exactly once across the failover\n",
+				sp.rlog.Rows())
+			fmt.Printf("ha counters: %s\n", sp.gate.Counters())
 			sp.stop()
 			return
 		case <-time.After(50 * time.Millisecond):
-			if downUntil != nil {
-				continue // SP is down; don't advance the stopped incarnation
+			sp := active.Load()
+			if sp.rm == nil {
+				continue
 			}
 			if out, err := sp.rm.Advance(); err == nil {
 				rows += printRows(out, rows)
@@ -153,7 +263,7 @@ func main() {
 	}
 }
 
-func runAgent(getAddr func() string, id uint32, budget float64) error {
+func runAgent(getEndpoints func() []string, id uint32, budget float64) error {
 	src, err := jarvis.NewSource(jarvis.S2SProbe(), jarvis.SourceOptions{
 		BudgetFrac: budget,
 		RateMbps:   26.2,
@@ -163,7 +273,7 @@ func runAgent(getAddr func() string, id uint32, budget float64) error {
 		return err
 	}
 	ship := transport.NewDurableShipper(id, 0)
-	if err := ship.Connect(getAddr()); err != nil {
+	if _, err := ship.ConnectAny(getEndpoints()); err != nil {
 		return err
 	}
 	defer ship.Close()
@@ -182,9 +292,22 @@ func runAgent(getAddr func() string, id uint32, budget float64) error {
 		if err != nil {
 			return err
 		}
+		if e == 13 && id == 1 {
+			// Agent 1's connection flaps and it re-dials its configured
+			// primary first — by now the rejoined stale primary. Its hello
+			// carries the promoted term, so the stale primary fences itself
+			// and the failover dialer settles back on the real primary.
+			_ = ship.Close()
+			if eps := getEndpoints(); len(eps) > 0 {
+				if err := ship.Connect(eps[0]); err != nil {
+					fmt.Printf("agent %d: configured primary %s refused the hello (%v)\n", id, eps[0], err)
+				}
+			}
+		}
 		if !ship.Connected() {
-			if err := ship.Connect(getAddr()); err == nil {
-				fmt.Printf("agent %d: reconnected, replaying unacked epochs\n", id)
+			if addr, err := ship.ConnectAny(getEndpoints()); err == nil {
+				fmt.Printf("agent %d: failed over to %s (term %d), replaying unacked epochs\n",
+					id, addr, ship.Term())
 			}
 		}
 		if err := ship.ShipEpoch(res); err != nil {
@@ -192,8 +315,9 @@ func runAgent(getAddr func() string, id uint32, budget float64) error {
 		}
 		time.Sleep(60 * time.Millisecond) // pace the demo so the outage lands mid-run
 	}
-	fmt.Printf("agent %d (budget %2.0f%%): final load factors %.2f, %d/%d epochs acked\n",
-		id, budget*100, src.LoadFactors(), ship.Acked(), ship.Seq())
+	fmt.Printf("agent %d (budget %2.0f%%): done at term %d, %d/%d epochs acked, %d failovers\n",
+		id, budget*100, ship.Term(), ship.Acked(), ship.Seq(),
+		ship.Counters().Get(transport.CtrFailovers))
 	return nil
 }
 

@@ -78,7 +78,7 @@ type chaosSP struct {
 	cancel context.CancelFunc
 }
 
-func startSP(t *testing.T, q *plan.Query, dir string) *chaosSP {
+func startSP(t *testing.T, q *plan.Query, dir string, async bool) *chaosSP {
 	t.Helper()
 	proc, err := core.NewProcessor(q)
 	if err != nil {
@@ -94,6 +94,7 @@ func startSP(t *testing.T, q *plan.Query, dir string) *chaosSP {
 	}
 	rc := transport.NewReceiver(proc.Engine())
 	rm := NewSPRecovery(store, rlog, proc.Engine(), rc, 2)
+	rm.SetAsync(async)
 	if _, err := rm.Restore(); err != nil {
 		t.Fatal(err)
 	}
@@ -111,6 +112,7 @@ func startSP(t *testing.T, q *plan.Query, dir string) *chaosSP {
 func (sp *chaosSP) stop() {
 	sp.cancel()
 	_ = sp.srv.Close()
+	_ = sp.rm.Close() // drain the async writer, if enabled
 	_ = sp.rlog.Close()
 }
 
@@ -172,11 +174,12 @@ func waitApplied(t *testing.T, rc *transport.Receiver, source uint32, seq uint64
 }
 
 // chaosRun executes one full run and returns the result log's rows.
-// kill is "", "sp" or "agent".
-func chaosRun(t *testing.T, tc chaosCase, kill string) telemetry.Batch {
+// kill is "", "sp" or "agent"; async runs the SP's snapshot saves on the
+// async writer goroutine.
+func chaosRun(t *testing.T, tc chaosCase, kill string, async bool) telemetry.Batch {
 	t.Helper()
 	spDir, agDir := t.TempDir(), t.TempDir()
-	sp := startSP(t, tc.query(), spDir)
+	sp := startSP(t, tc.query(), spDir, async)
 	agent := startAgent(t, tc, agDir)
 	if err := agent.ship.Connect(sp.addr); err != nil {
 		t.Fatal(err)
@@ -234,7 +237,7 @@ func chaosRun(t *testing.T, tc chaosCase, kill string) telemetry.Batch {
 		if kill == "sp" && e == spRestartEpoch-1 && spKilled && !spUp {
 			// Restart from the snapshot dir; the agent reconnects and
 			// replays every epoch past the SP's durable frontier.
-			sp = startSP(t, tc.query(), spDir)
+			sp = startSP(t, tc.query(), spDir, async)
 			if err := agent.ship.Connect(sp.addr); err != nil {
 				t.Fatal(err)
 			}
@@ -291,23 +294,46 @@ func TestChaosKillRestartByteIdentical(t *testing.T) {
 	}
 	for _, tc := range chaosCases() {
 		t.Run(tc.name, func(t *testing.T) {
-			ref := chaosRun(t, tc, "")
+			ref := chaosRun(t, tc, "", false)
 			if len(ref) == 0 {
 				t.Fatal("uninterrupted run produced no results — chaos comparison is vacuous")
 			}
 			refBytes := canonicalBytes(t, ref)
 
-			spRows := chaosRun(t, tc, "sp")
+			spRows := chaosRun(t, tc, "sp", false)
 			if !bytes.Equal(refBytes, canonicalBytes(t, spRows)) {
 				t.Fatalf("SP kill-and-restart diverged: %d rows vs %d reference rows",
 					len(spRows), len(ref))
 			}
 
-			agRows := chaosRun(t, tc, "agent")
+			agRows := chaosRun(t, tc, "agent", false)
 			if !bytes.Equal(refBytes, canonicalBytes(t, agRows)) {
 				t.Fatalf("agent kill-and-restart diverged: %d rows vs %d reference rows",
 					len(agRows), len(ref))
 			}
 		})
+	}
+}
+
+// TestAsyncWriterKillRestartByteIdentical reruns the SP kill-and-restart
+// chaos with the async snapshot writer enabled: captures stay on the
+// epoch path but encode + save + agent acks move to the writer
+// goroutine. Killing the SP mid-run must still yield a byte-identical
+// result log — acks are released only after the durable save, so every
+// epoch the writer had not yet persisted is still in the agent's replay
+// buffer.
+func TestAsyncWriterKillRestartByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos runs are not short")
+	}
+	tc := chaosCases()[0] // S2SProbe: every record dirties a distinct group
+	ref := chaosRun(t, tc, "", false)
+	if len(ref) == 0 {
+		t.Fatal("uninterrupted run produced no results")
+	}
+	asyncRows := chaosRun(t, tc, "sp", true)
+	if !bytes.Equal(canonicalBytes(t, ref), canonicalBytes(t, asyncRows)) {
+		t.Fatalf("async-writer SP kill-and-restart diverged: %d rows vs %d reference rows",
+			len(asyncRows), len(ref))
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"jarvis/internal/plan"
 	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
+	"jarvis/internal/transport"
 	"jarvis/internal/wire"
 	"jarvis/internal/workload"
 )
@@ -338,5 +339,38 @@ func TestSaveFailureForcesFullBase(t *testing.T) {
 		if g := gotRows[k]; g != w {
 			t.Fatalf("row %v: %+v, want %+v", k, g, w)
 		}
+	}
+}
+
+// TestAgentSnapshotPersistsTerm proves the HA fencing term survives an
+// agent restart: a restarted agent must keep carrying the promoted term
+// in its hellos, or a rejoining stale primary would accept it and split
+// the output.
+func TestAgentSnapshotPersistsTerm(t *testing.T) {
+	pipe, next := runPipeline(t, 2)
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship := transport.NewDurableShipper(1, 8)
+	ship.SetTerm(3) // as if a promoted standby's ack taught it term 3
+	arec := NewAgentRecovery(store, 1, pipe, ship)
+	res := pipe.RunEpoch(next(1_000_000))
+	if err := ship.ShipEpoch(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := arec.AfterEpoch(ship.Seq()); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, _ := runPipeline(t, 0)
+	ship2 := transport.NewDurableShipper(1, 8)
+	arec2 := NewAgentRecovery(store, 1, fresh, ship2)
+	if _, ok, err := arec2.Restore(); err != nil || !ok {
+		t.Fatalf("restore: ok=%v err=%v", ok, err)
+	}
+	if got := ship2.Term(); got != 3 {
+		t.Fatalf("restored shipper term = %d, want 3", got)
 	}
 }

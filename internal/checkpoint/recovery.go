@@ -2,6 +2,8 @@ package checkpoint
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
@@ -121,6 +123,7 @@ func (r *AgentRecovery) Restore() (resumeEpoch uint64, ok bool, err error) {
 	}
 	if r.ship != nil {
 		r.ship.RestoreState(snap.Seq, snap.Acked, snap.Pending)
+		r.ship.SetTerm(snap.Term)
 	}
 	// The restore re-marked everything it absorbed as dirty, so the next
 	// snapshot must be a fresh chain base.
@@ -161,6 +164,7 @@ func (r *AgentRecovery) AfterEpoch(epoch uint64) error {
 	}
 	if r.ship != nil {
 		snap.Seq, snap.Acked, snap.Pending = r.ship.State()
+		snap.Term = r.ship.Term()
 	}
 	id, err := r.store.Save(snap)
 	if err != nil {
@@ -185,6 +189,29 @@ func (r *AgentRecovery) AfterEpoch(epoch uint64) error {
 	return nil
 }
 
+// Replicator receives everything a warm-standby SP needs to mirror a
+// primary: each durable snapshot as it is saved and each batch of result
+// rows as it is emitted. internal/ha's Publisher implements it; the
+// interface lives here so the recovery manager stays decoupled from the
+// HA subsystem.
+type Replicator interface {
+	// PublishRows mirrors freshly emitted (durably logged) result rows.
+	PublishRows(rows telemetry.Batch)
+	// PublishSnapshot mirrors one just-saved snapshot under its store id.
+	PublishSnapshot(id uint64, snap *Snapshot)
+	// WaitDurable blocks until every attached standby has acknowledged
+	// the snapshot (true), immediately when no standby is attached
+	// (true), or until the timeout expires (false). Gating agent acks on
+	// it guarantees a standby can always serve every pruned epoch.
+	WaitDurable(id uint64, timeout time.Duration) bool
+}
+
+// DefaultReplAckTimeout bounds how long a snapshot save waits for the
+// attached standby's ack before releasing the epoch anyway — unacked
+// epochs then simply stay in the agents' replay buffers until a later
+// snapshot is replicated.
+const DefaultReplAckTimeout = 2 * time.Second
+
 // SPRecovery takes epoch-aligned snapshots of a stream processor — the
 // engine's stateful operators, per-source watermarks and applied epoch
 // sequences — restores the newest one on startup, and routes emitted
@@ -193,6 +220,16 @@ func (r *AgentRecovery) AfterEpoch(epoch uint64) error {
 // prune their replay buffers; epochs applied since the last snapshot
 // stay replayable and are deduplicated by sequence when a restarted SP
 // receives them again.
+//
+// With a Replicator attached the manager additionally mirrors every
+// emitted row batch and every saved snapshot to the warm standby, and
+// withholds agent acks until the standby confirms the covering snapshot
+// durable — so failing over can never lose an epoch the agents already
+// pruned. With the async writer enabled (SetAsync) the capture still
+// happens on the epoch path (a consistent cut under Freeze) but the
+// encode + durable save + replication wait run on a writer goroutine, so
+// every-epoch checkpointing works even for probe workloads whose dirty
+// set is the whole window state.
 type SPRecovery struct {
 	store  *Store
 	log    *ResultLog
@@ -205,8 +242,28 @@ type SPRecovery struct {
 
 	maxChain int
 	retain   int
-	lastID   uint64
-	chainLen int
+
+	// Capture-side chain state (only the snapshot() caller touches it):
+	// whether a chain base exists and how many deltas were captured onto
+	// it since.
+	capHaveBase bool
+	capChainLen int
+
+	// Save-side chain state, shared with the async writer.
+	chainMu   sync.Mutex
+	lastID    uint64 // store id of the last successful save
+	forceFull bool   // a save failed: deltas are skipped until a full base lands
+
+	repl       Replicator
+	ackTimeout time.Duration
+
+	term         uint64 // fencing term stamped into snapshots (chainMu)
+	restoredTerm uint64 // term recovered from the restored snapshot
+
+	aw *asyncWriter
+	// deferredErr holds a save error from a torn-down async writer until
+	// the next snapshot call surfaces it.
+	deferredErr error
 }
 
 // NewSPRecovery wires a recovery manager to an SP engine and its
@@ -235,6 +292,93 @@ func (r *SPRecovery) SetRetention(n int) { r.retain = n }
 // (0 disables deltas entirely).
 func (r *SPRecovery) SetMaxChain(n int) { r.maxChain = n }
 
+// SetReplicator attaches a warm-standby replicator: emitted rows and
+// saved snapshots are mirrored to it, and agent acks wait (up to
+// ackTimeout; 0 selects DefaultReplAckTimeout) for the standby to
+// confirm each snapshot durable. Call before serving.
+func (r *SPRecovery) SetReplicator(repl Replicator, ackTimeout time.Duration) {
+	if ackTimeout <= 0 {
+		ackTimeout = DefaultReplAckTimeout
+	}
+	r.repl = repl
+	r.ackTimeout = ackTimeout
+}
+
+// SetTerm sets the HA fencing term stamped into every snapshot (it
+// never regresses), so a restarted node resumes at the term it had
+// reached rather than its configured default.
+func (r *SPRecovery) SetTerm(t uint64) {
+	r.chainMu.Lock()
+	defer r.chainMu.Unlock()
+	if t > r.term {
+		r.term = t
+	}
+}
+
+// RestoredTerm returns the fencing term carried by the restored
+// snapshot (0 on a fresh store or pre-HA files). Callers raise their
+// gate to max(configured, restored).
+func (r *SPRecovery) RestoredTerm() uint64 { return r.restoredTerm }
+
+// SetAsync moves the durable save (encode + write + replication wait +
+// agent acks) onto a writer goroutine; the epoch path only captures the
+// consistent cut and enqueues it. Call once before serving; pair with
+// Close on shutdown so queued snapshots drain. Disabling keeps any
+// deferred save error, which the next snapshot call surfaces.
+func (r *SPRecovery) SetAsync(on bool) {
+	if on == (r.aw != nil) {
+		return
+	}
+	if !on {
+		if err := r.aw.close(); err != nil && r.deferredErr == nil {
+			r.deferredErr = err
+		}
+		r.aw = nil
+		return
+	}
+	r.aw = newAsyncWriter(r)
+}
+
+// Flush blocks until every queued async save has completed and returns
+// (clearing) the first deferred save error, if any. A no-op without the
+// async writer.
+func (r *SPRecovery) Flush() error {
+	if r.aw == nil {
+		return nil
+	}
+	return r.aw.flush()
+}
+
+// Close drains the async writer (when enabled) and stops it.
+func (r *SPRecovery) Close() error {
+	if r.aw == nil {
+		return nil
+	}
+	err := r.aw.close()
+	r.aw = nil
+	return err
+}
+
+// Prime marks snap — already loaded into the engine and receiver by the
+// caller — as the recovery manager's starting point: the snapshot
+// cadence resumes from its progress and the next save starts a fresh
+// full chain. The HA standby uses it at promotion, where the warm shadow
+// engine already holds the folded replicated state and a disk restore
+// would double-apply it.
+func (r *SPRecovery) Prime(snap *Snapshot) {
+	var total uint64
+	for _, st := range snap.Sources {
+		total += st.AppliedSeq
+	}
+	r.snapAt = total
+	r.haveSnap = true
+	r.capHaveBase, r.capChainLen = false, 0
+	r.chainMu.Lock()
+	r.lastID, r.forceFull = 0, false
+	r.chainMu.Unlock()
+	r.SetTerm(snap.Term)
+}
+
 // Restore loads the newest consistent snapshot into the engine and the
 // receiver's dedup state. ok is false on a fresh store.
 func (r *SPRecovery) Restore() (ok bool, err error) {
@@ -254,18 +398,24 @@ func (r *SPRecovery) Restore() (ok bool, err error) {
 		r.rc.SetApplied(src, st.AppliedSeq)
 		total += st.AppliedSeq
 	}
+	r.restoredTerm = snap.Term
+	r.SetTerm(snap.Term)
 	r.snapAt = total
 	r.haveSnap = true
 	// The restore re-marked everything it absorbed as dirty, so the next
 	// snapshot must be a fresh chain base.
-	r.lastID, r.chainLen = 0, 0
+	r.capHaveBase, r.capChainLen = false, 0
+	r.chainMu.Lock()
+	r.lastID, r.forceFull = 0, false
+	r.chainMu.Unlock()
 	return true, nil
 }
 
 // Advance flushes the engine to the merged watermark, routes new rows
-// through the result log (suppressing replayed duplicates), and takes a
-// snapshot plus agent acks when the cadence is due. The returned rows
-// are exactly the not-previously-emitted ones.
+// through the result log (suppressing replayed duplicates), mirrors them
+// to the replicator, and takes a snapshot plus agent acks when the
+// cadence is due. The returned rows are exactly the not-previously-
+// emitted ones.
 func (r *SPRecovery) Advance() (telemetry.Batch, error) {
 	rows := r.rc.Advance()
 	if r.log != nil {
@@ -274,6 +424,9 @@ func (r *SPRecovery) Advance() (telemetry.Batch, error) {
 			return nil, err
 		}
 		rows = kept
+		if r.repl != nil && len(rows) > 0 {
+			r.repl.PublishRows(rows)
+		}
 	}
 	if err := r.MaybeSnapshot(); err != nil {
 		return rows, err
@@ -292,10 +445,25 @@ func (r *SPRecovery) Snapshot() error {
 	return r.snapshot(true)
 }
 
+// saveJob is one captured snapshot on its way to the durable save (and
+// the agent acks that only a durable — and, with a replicator attached,
+// replicated — snapshot may release).
+type saveJob struct {
+	snap *Snapshot
+	seqs map[uint32]uint64
+	full bool
+}
+
 func (r *SPRecovery) snapshot(force bool) error {
-	var snap *Snapshot
-	var seqs map[uint32]uint64
-	full := r.lastID == 0 || r.chainLen >= r.maxChain
+	if err := r.deferredErr; err != nil {
+		r.deferredErr = nil
+		return err
+	}
+	r.chainMu.Lock()
+	forceFull := r.forceFull
+	r.chainMu.Unlock()
+	full := !r.capHaveBase || r.capChainLen >= r.maxChain || forceFull
+	var job *saveJob
 	// Freeze pauses epoch application so the captured operator state,
 	// watermarks and sequence numbers are one consistent cut.
 	r.rc.Freeze(func(applied map[uint32]uint64) {
@@ -309,19 +477,24 @@ func (r *SPRecovery) snapshot(force bool) error {
 		if !force && !r.haveSnap && total < r.every {
 			return
 		}
-		seqs = applied
-		snap = &Snapshot{
+		r.chainMu.Lock()
+		term := r.term
+		r.chainMu.Unlock()
+		snap := &Snapshot{
 			Seq:       total,
 			Watermark: r.engine.EffectiveWatermark(),
 			Sources:   make(map[uint32]SourceState),
 			Delta:     !full,
+			Term:      term,
 		}
 		if full {
 			snap.Stages = r.engine.SnapshotStages()
 			r.engine.MarkSnapshotClean()
 		} else {
+			// BaseID is stamped at save time — with the async writer,
+			// earlier captures may still be in flight and the base's store
+			// id is not known yet.
 			snap.Stages, snap.Meta = r.engine.SnapshotStagesDelta()
-			snap.BaseID = r.lastID
 		}
 		if r.log != nil {
 			snap.EmittedWM = r.log.EmittedWM()
@@ -336,31 +509,166 @@ func (r *SPRecovery) snapshot(force bool) error {
 		}
 		r.snapAt = total
 		r.haveSnap = true
+		job = &saveJob{snap: snap, seqs: applied, full: full}
 	})
-	if snap == nil {
+	if job == nil {
+		if r.aw != nil {
+			return r.aw.takeErr()
+		}
 		return nil
 	}
-	id, err := r.store.Save(snap)
+	if full {
+		r.capHaveBase, r.capChainLen = true, 0
+	} else {
+		r.capChainLen++
+	}
+	if r.aw != nil {
+		if force {
+			// Forced snapshots (shutdown) stay synchronous: drain the queue
+			// so saves keep capture order, then save inline.
+			if err := r.aw.flush(); err != nil {
+				return err
+			}
+			return r.saveAndAck(job)
+		}
+		r.aw.enqueue(job)
+		return r.aw.takeErr()
+	}
+	return r.saveAndAck(job)
+}
+
+// saveAndAck writes one captured snapshot durably, compacts and
+// replicates it, and only then acknowledges the covered epochs to the
+// agents. It runs on the caller's goroutine (sync mode) or the async
+// writer's.
+func (r *SPRecovery) saveAndAck(job *saveJob) error {
+	r.chainMu.Lock()
+	if job.snap.Delta {
+		if r.forceFull {
+			// This delta chains onto a save that failed; its rows are
+			// covered by the full base the next capture is forced to take.
+			// Saving it would silently corrupt the chain.
+			r.chainMu.Unlock()
+			return nil
+		}
+		job.snap.BaseID = r.lastID
+	}
+	r.chainMu.Unlock()
+	id, err := r.store.Save(job.snap)
 	if err != nil {
-		// The capture already advanced the dirty generation; without a
-		// reset the next delta would chain over the lost rows (see
-		// AgentRecovery.AfterEpoch).
-		r.lastID, r.chainLen = 0, 0
+		// The capture already advanced the dirty generation, so the rows
+		// this snapshot carried will never appear in a later delta; force
+		// the next capture full or the chain would silently miss them.
+		r.chainMu.Lock()
+		r.forceFull = true
+		r.chainMu.Unlock()
 		return fmt.Errorf("checkpoint: save SP snapshot: %w", err)
 	}
-	r.lastID = id
-	if full {
-		r.chainLen = 0
-		if r.retain > 0 {
-			if err := r.store.Compact(r.retain); err != nil {
-				return fmt.Errorf("checkpoint: compact store: %w", err)
-			}
+	r.chainMu.Lock()
+	r.lastID, r.forceFull = id, false
+	r.chainMu.Unlock()
+	if job.full && r.retain > 0 {
+		if err := r.store.Compact(r.retain); err != nil {
+			return fmt.Errorf("checkpoint: compact store: %w", err)
 		}
-	} else {
-		r.chainLen++
 	}
-	// Only now — with the snapshot durable — may agents prune their
-	// replay buffers up to the covered epochs.
-	r.rc.AckSeqs(seqs)
+	if r.repl != nil {
+		r.repl.PublishSnapshot(id, job.snap)
+		if !r.repl.WaitDurable(id, r.ackTimeout) {
+			// The attached standby has not confirmed the snapshot: keep the
+			// covered epochs in the agents' replay buffers — a later
+			// snapshot's ack releases them once replication catches up.
+			return nil
+		}
+	}
+	// Only now — with the snapshot durable (and replicated) — may agents
+	// prune their replay buffers up to the covered epochs.
+	r.rc.AckSeqs(job.seqs)
 	return nil
+}
+
+// asyncWriter serializes saveAndAck calls on a dedicated goroutine with
+// a small bounded queue; enqueue blocks when the writer falls that far
+// behind (backpressure on the epoch loop instead of unbounded memory).
+type asyncWriter struct {
+	r    *SPRecovery
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []*saveJob
+	busy bool
+	done bool
+	err  error // first deferred save error, surfaced on the next snapshot call
+}
+
+// asyncQueueDepth bounds captured-but-unsaved snapshots.
+const asyncQueueDepth = 4
+
+func newAsyncWriter(r *SPRecovery) *asyncWriter {
+	w := &asyncWriter{r: r}
+	w.cond = sync.NewCond(&w.mu)
+	go w.run()
+	return w
+}
+
+func (w *asyncWriter) run() {
+	for {
+		w.mu.Lock()
+		for len(w.q) == 0 && !w.done {
+			w.cond.Wait()
+		}
+		if len(w.q) == 0 && w.done {
+			w.mu.Unlock()
+			return
+		}
+		job := w.q[0]
+		w.q = w.q[1:]
+		w.busy = true
+		w.mu.Unlock()
+		err := w.r.saveAndAck(job)
+		w.mu.Lock()
+		w.busy = false
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+}
+
+func (w *asyncWriter) enqueue(job *saveJob) {
+	w.mu.Lock()
+	for len(w.q) >= asyncQueueDepth && !w.done {
+		w.cond.Wait()
+	}
+	w.q = append(w.q, job)
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+func (w *asyncWriter) takeErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.err
+	w.err = nil
+	return err
+}
+
+func (w *asyncWriter) flush() error {
+	w.mu.Lock()
+	for len(w.q) > 0 || w.busy {
+		w.cond.Wait()
+	}
+	err := w.err
+	w.err = nil
+	w.mu.Unlock()
+	return err
+}
+
+func (w *asyncWriter) close() error {
+	err := w.flush()
+	w.mu.Lock()
+	w.done = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	return err
 }

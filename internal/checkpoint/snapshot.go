@@ -63,6 +63,11 @@ type Snapshot struct {
 	// Pending is the agent's replay buffer: encoded unacked epochs.
 	Pending []transport.PendingEpoch
 
+	// Term is the newest HA fencing term the node had observed when the
+	// snapshot was taken; restoring it keeps a restarted node from
+	// trusting a primary the cluster already moved past.
+	Term uint64
+
 	// Delta marks an incremental snapshot: Stages holds only state
 	// dirtied since the snapshot identified by BaseID, applied per Meta.
 	// Scalar fields (Seq, watermarks, Sources, Factors, Pending) are
@@ -101,7 +106,7 @@ func (s *Snapshot) encodeTo(fw *wire.FrameWriter) error {
 	}
 	hdr := &wire.SnapshotHeader{
 		Seq: s.Seq, Watermark: s.Watermark, EmittedWM: s.EmittedWM, Acked: s.Acked,
-		BaseID: s.BaseID, Delta: s.Delta,
+		BaseID: s.BaseID, Delta: s.Delta, Term: s.Term,
 	}
 	if err := ctl(hdr, 49); err != nil {
 		return err
@@ -183,6 +188,7 @@ func decodeSnapshot(fr *wire.FrameReader) (*Snapshot, error) {
 		Acked:     hdr.Acked,
 		Delta:     hdr.Delta,
 		BaseID:    hdr.BaseID,
+		Term:      hdr.Term,
 		Stages:    make(map[int]telemetry.Batch),
 		Sources:   make(map[uint32]SourceState),
 	}
@@ -251,12 +257,14 @@ func rowRef(rec *telemetry.Record) (groupRef, bool) {
 	}
 }
 
-// applyDelta folds one delta snapshot into the reconstructed base state,
+// ApplyDelta folds one delta snapshot into the reconstructed base state,
 // mutating and returning base. Scalar fields always take the delta's
 // values (they are complete in every snapshot); stage rows apply per the
 // delta's Meta: replace mode swaps a stage wholesale, keyed mode drops
-// rows of closed windows and supersedes rows group by group.
-func applyDelta(base, d *Snapshot) *Snapshot {
+// rows of closed windows and supersedes rows group by group. Besides the
+// store's chain reconstruction, the HA standby uses it to fold the
+// primary's replicated deltas into its in-memory state.
+func ApplyDelta(base, d *Snapshot) *Snapshot {
 	base.Seq = d.Seq
 	base.Watermark = d.Watermark
 	base.EmittedWM = d.EmittedWM
@@ -264,6 +272,9 @@ func applyDelta(base, d *Snapshot) *Snapshot {
 	base.Sources = d.Sources
 	base.Factors = d.Factors
 	base.Pending = d.Pending
+	if d.Term > base.Term {
+		base.Term = d.Term
+	}
 
 	// Union of stages the delta mentions: rows, meta, or both.
 	stages := make(map[int]struct{}, len(d.Stages)+len(d.Meta))

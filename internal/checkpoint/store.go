@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"slices"
 	"strings"
+	"sync"
 
 	"jarvis/internal/wire"
 )
@@ -32,7 +33,13 @@ const DefaultRetain = 4
 // Snapshots form a linear history: a delta snapshot extends the
 // snapshot saved immediately before it (its BaseID), and restoring
 // reconstructs the newest base + delta chain that decodes.
+//
+// Methods are safe for concurrent use: the HA publisher reads the
+// newest chain (LatestWithID) from a replication-accept goroutine while
+// the recovery manager's writer saves and compacts, and without the
+// internal lock a concurrent Compact could unlink chain files mid-read.
 type Store struct {
+	mu  sync.Mutex
 	dir string
 	// Sync forces fsync on every save, surviving machine crashes at a
 	// latency cost. Off by default: snapshots then survive process
@@ -134,6 +141,8 @@ func (s *Store) entries() ([]manifestEntry, error) {
 // ids resume past the manifest's maximum). Delta snapshots record
 // snap.BaseID in the manifest so restores can rebuild the chain.
 func (s *Store) Save(snap *Snapshot) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	id := s.nextID
 	name := SnapshotFileName(id)
 	f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -227,6 +236,8 @@ func (s *Store) openManifest() (*os.File, error) {
 // Close releases the store's open file handles (the manifest). Saves
 // after Close reopen it transparently.
 func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.mf != nil {
 		err := s.mf.Close()
 		s.mf = nil
@@ -272,9 +283,20 @@ func chain(entry manifestEntry, byID map[uint64]manifestEntry) ([]manifestEntry,
 // folding each delta into its base. It returns ok == false when the
 // store holds no usable snapshot.
 func (s *Store) Latest() (*Snapshot, bool, error) {
+	snap, _, ok, err := s.LatestWithID()
+	return snap, ok, err
+}
+
+// LatestWithID is Latest plus the store id of the chain's newest entry —
+// the id later delta snapshots name as their base, which the HA primary
+// needs when resyncing a standby (the folded state stands in for that id
+// so the live delta feed chains onto it).
+func (s *Store) LatestWithID() (*Snapshot, uint64, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	entries, err := s.entries()
 	if err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
 	byID := make(map[uint64]manifestEntry, len(entries))
 	for _, e := range entries {
@@ -295,16 +317,18 @@ next:
 			if snap == nil {
 				snap = d
 			} else {
-				snap = applyDelta(snap, d)
+				snap = ApplyDelta(snap, d)
 			}
 		}
-		return snap, true, nil
+		return snap, entries[i].id, true, nil
 	}
-	return nil, false, nil
+	return nil, 0, false, nil
 }
 
 // Snapshots returns how many manifest entries the store records.
 func (s *Store) Snapshots() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	entries, err := s.entries()
 	return len(entries), err
 }
@@ -319,6 +343,8 @@ func (s *Store) Compact(retain int) error {
 	if retain < 1 {
 		return nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	entries, err := s.entries()
 	if err != nil {
 		return err

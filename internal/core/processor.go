@@ -102,6 +102,24 @@ func (p *Processor) Restore(source uint32, cp *stream.Checkpoint) error {
 	return p.engine.Restore(source, cp)
 }
 
+// LoadSnapshot atomically replaces the processor's state with a full
+// snapshot (the HA promotion path: a standby's warm state becomes this
+// processor's). Restored state lives entirely in the root engine, so any
+// shard replicas and their queued epochs are discarded — an in-process
+// Consume after promotion reshards from the restored root.
+func (p *Processor) LoadSnapshot(stages map[int]telemetry.Batch, watermarks map[uint32]int64) error {
+	p.mu.Lock()
+	p.shards = nil
+	p.assign = make(map[uint32]int)
+	wm := make(map[uint32]int64, len(watermarks))
+	for src, w := range watermarks {
+		wm[src] = w
+	}
+	p.wm = wm
+	p.mu.Unlock()
+	return p.engine.LoadSnapshot(stages, watermarks)
+}
+
 // RegisterSource announces a source before its first epoch.
 func (p *Processor) RegisterSource(id uint32) {
 	p.mu.Lock()

@@ -1,0 +1,161 @@
+// Package ha is Jarvis' high-availability subsystem: live snapshot
+// replication from a primary stream processor to a warm standby, and
+// agent failover between them.
+//
+// The primary's recovery manager (checkpoint.SPRecovery) already saves a
+// base + delta snapshot chain and logs results exactly once; ha adds a
+// Publisher that mirrors every saved snapshot and every emitted result
+// batch over a dedicated replication connection, and a Standby that
+// folds the stream into an in-memory state, persists it to its own
+// store, mirrors the result log, and keeps a shadow SPEngine
+// continuously restored — so promotion is one pointer swap away, not a
+// disk restore.
+//
+// Split-brain is fenced by an epoch-lease token: a monotonic term
+// carried in the transport's Hello/Ack handshake. Agents adopt the
+// largest term any SP acked (persisted in their snapshots); a promotion
+// bumps the term; and a primary that receives a Hello carrying a term
+// above its own has provably been superseded — it fences itself and
+// rejects the connection, so a rejoining stale primary can never apply
+// epochs or emit rows for a cluster that moved on. Fencing is
+// hello-time only: a partition that severs just the replication link
+// while agents still reach the old primary leaves a window where both
+// nodes are live until those agents reconnect (see the ROADMAP's
+// lease-expiry follow-on; size -takeover-after above replication-link
+// blips). Because agents ack-gate their replay buffers on
+// replicated snapshots (SPRecovery withholds acks until the standby
+// confirms durability), the failover loses no epoch: the agents replay
+// everything past the standby's state, the standby's sequence dedup
+// discards what replication already covered, and its mirrored result
+// log's watermark suppresses re-emitted rows — end-to-end output stays
+// exactly-once and byte-identical to an uninterrupted run.
+package ha
+
+import (
+	"fmt"
+	"sync"
+
+	"jarvis/internal/metrics"
+)
+
+// Health counter and gauge names exposed through metrics.CounterSet from
+// both jarvis-sp roles.
+const (
+	CtrFailovers          = "ha_failovers"            // standby promotions to primary
+	CtrFenced             = "ha_fenced_stale_primary" // hellos rejected because the agent carried a newer term
+	CtrStandbyRejected    = "ha_standby_rejected"     // hellos rejected because this node is an unpromoted standby
+	CtrRestoreErrors      = "ha_standby_restore_errors"
+	CtrSnapshotsPublished = "ha_snapshots_published"
+	CtrSnapshotsApplied   = "ha_snapshots_applied"
+	CtrRowsMirrored       = "ha_rows_mirrored"
+	CtrStandbyAttaches    = "ha_standby_attaches"
+	GaugeReplLagEpochs    = "ha_replication_lag_epochs" // primary progress minus newest standby-acked snapshot
+	// CtrAcksWithoutStandby counts snapshots whose agent acks were
+	// released with no standby attached — epochs pruned in that window
+	// are recoverable only from the primary's own disk (degraded,
+	// non-HA durability). A rising value with an HA deployment means the
+	// standby is down or was dropped for lagging.
+	CtrAcksWithoutStandby = "ha_acks_without_standby"
+)
+
+// Role is an SP node's position in the HA pair.
+type Role int
+
+const (
+	// RoleStandby syncs from a primary and rejects agent traffic.
+	RoleStandby Role = iota
+	// RolePrimary serves agents and replicates to standbys.
+	RolePrimary
+	// RoleFenced is a former primary that learned a newer term exists; it
+	// must not apply epochs or emit results again.
+	RoleFenced
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleStandby:
+		return "standby"
+	case RolePrimary:
+		return "primary"
+	case RoleFenced:
+		return "fenced"
+	}
+	return fmt.Sprintf("role(%d)", int(r))
+}
+
+// Gate is the node's role and fencing-term authority; it implements
+// transport.HelloGate so the receiver consults it on every sequenced
+// hello. Safe for concurrent use.
+type Gate struct {
+	mu       sync.Mutex
+	role     Role
+	term     uint64
+	counters *metrics.CounterSet
+}
+
+// NewGate creates a gate in the given role. A primary's term is its
+// epoch-lease token (at least 1); a standby's is 0 until promotion.
+// counters may be nil (a private set is created).
+func NewGate(role Role, term uint64, counters *metrics.CounterSet) *Gate {
+	if counters == nil {
+		counters = metrics.NewCounterSet()
+	}
+	if role == RolePrimary && term < 1 {
+		term = 1
+	}
+	return &Gate{role: role, term: term, counters: counters}
+}
+
+// AdmitHello implements transport.HelloGate: it rejects hellos while
+// this node is a standby or fenced, fences the node when the agent
+// carries a newer term (a standby was promoted past us), and otherwise
+// returns the term to advertise in the ack.
+func (g *Gate) AdmitHello(agentTerm uint64) (uint64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch g.role {
+	case RoleStandby:
+		g.counters.Inc(CtrStandbyRejected)
+		return 0, fmt.Errorf("ha: standby, not promoted")
+	case RoleFenced:
+		return 0, fmt.Errorf("ha: fenced at term %d", g.term)
+	}
+	if agentTerm > g.term {
+		g.role = RoleFenced
+		g.counters.Inc(CtrFenced)
+		return 0, fmt.Errorf("ha: primary at term %d fenced — agent has seen term %d", g.term, agentTerm)
+	}
+	return g.term, nil
+}
+
+// Promote flips a standby gate to primary at the given term (a stale
+// primary's gate stays fenced). It reports whether the promotion took.
+// Standby.Promote counts the failover; the gate only changes authority.
+func (g *Gate) Promote(term uint64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.role != RoleStandby {
+		return false
+	}
+	g.role = RolePrimary
+	g.term = term
+	return true
+}
+
+// Role returns the current role.
+func (g *Gate) Role() Role {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.role
+}
+
+// Term returns the current fencing term.
+func (g *Gate) Term() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.term
+}
+
+// Counters exposes the gate's counter set (shared with the node's other
+// HA components when constructed that way).
+func (g *Gate) Counters() *metrics.CounterSet { return g.counters }

@@ -1,0 +1,46 @@
+package ha
+
+import "testing"
+
+func TestGateRoles(t *testing.T) {
+	g := NewGate(RoleStandby, 0, nil)
+	if _, err := g.AdmitHello(0); err == nil {
+		t.Fatal("unpromoted standby must reject hellos")
+	}
+	if !g.Promote(2) {
+		t.Fatal("standby promotion refused")
+	}
+	if g.Promote(3) {
+		t.Fatal("double promotion must be refused")
+	}
+	term, err := g.AdmitHello(0)
+	if err != nil || term != 2 {
+		t.Fatalf("promoted gate: term %d err %v", term, err)
+	}
+	if term, err = g.AdmitHello(2); err != nil || term != 2 {
+		t.Fatalf("equal-term hello: term %d err %v", term, err)
+	}
+}
+
+func TestGateFencesStalePrimary(t *testing.T) {
+	g := NewGate(RolePrimary, 1, nil)
+	if _, err := g.AdmitHello(1); err != nil {
+		t.Fatalf("own-term hello rejected: %v", err)
+	}
+	if _, err := g.AdmitHello(2); err == nil {
+		t.Fatal("hello with a newer term must fence the primary")
+	}
+	if g.Role() != RoleFenced {
+		t.Fatalf("role = %v, want fenced", g.Role())
+	}
+	if g.Counters().Get(CtrFenced) != 1 {
+		t.Fatalf("fenced counter = %d", g.Counters().Get(CtrFenced))
+	}
+	// Fenced is terminal: even an old-term hello is refused now.
+	if _, err := g.AdmitHello(1); err == nil {
+		t.Fatal("fenced primary must keep rejecting hellos")
+	}
+	if g.Promote(9) {
+		t.Fatal("a fenced primary must not be promotable")
+	}
+}

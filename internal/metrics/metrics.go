@@ -164,6 +164,18 @@ func (c *CounterSet) Add(name string, delta int64) {
 // Inc increments a counter by one.
 func (c *CounterSet) Inc(name string) { c.Add(name, 1) }
 
+// Set overwrites a counter with an absolute value — gauge semantics for
+// level measurements (replication lag, queue depths) that share the
+// registry with monotone counters.
+func (c *CounterSet) Set(name string, v int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m[name] = v
+	c.mu.Unlock()
+}
+
 // Get returns a counter's current value (zero when never touched).
 func (c *CounterSet) Get(name string) int64 {
 	if c == nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"sort"
 
 	"jarvis/internal/operator"
 	"jarvis/internal/telemetry"
@@ -339,6 +340,37 @@ func (e *SPEngine) RestoreStage(stage int, rows telemetry.Batch) error {
 	}
 	e.mu.Unlock()
 	return e.Ingest(stage, rows)
+}
+
+// LoadSnapshot atomically replaces the engine's state with a full
+// snapshot: every operator is reset, each stage's rows fold back into
+// the operator that captured them, and the given per-source watermarks
+// are re-observed. The HA standby drives it after each replicated
+// snapshot so its shadow engine always mirrors the primary's last
+// durable cut; loading sorted stage order keeps restore deterministic.
+func (e *SPEngine) LoadSnapshot(stages map[int]telemetry.Batch, watermarks map[uint32]int64) error {
+	e.mu.Lock()
+	for _, op := range e.ops {
+		op.Reset()
+	}
+	e.sourceWM = make(map[uint32]int64)
+	e.results = nil
+	e.mu.Unlock()
+	stageIDs := make([]int, 0, len(stages))
+	for st := range stages {
+		stageIDs = append(stageIDs, st)
+	}
+	sort.Ints(stageIDs)
+	for _, st := range stageIDs {
+		if err := e.RestoreStage(st, stages[st]); err != nil {
+			return fmt.Errorf("stream: load snapshot stage %d: %w", st, err)
+		}
+	}
+	for src, wm := range watermarks {
+		e.RegisterSource(src)
+		e.ObserveWatermark(src, wm)
+	}
+	return nil
 }
 
 // Restore folds a checkpoint into an SP engine: each stage's partial

@@ -57,6 +57,8 @@ type DurableShipper struct {
 	peerVer uint32 // wire version negotiated with the current connection
 	seq     uint64 // last assigned epoch sequence
 	acked   uint64 // newest sequence the SP reported durable
+	term    uint64 // newest primary term observed in acks (fencing token)
+	prefer  string // last successfully connected endpoint (ConnectAny)
 	pending []PendingEpoch
 	dropped int64
 
@@ -243,7 +245,7 @@ func (d *DurableShipper) ConnectConn(conn io.ReadWriteCloser) error {
 	var hello bytes.Buffer
 	fw := wire.NewFrameWriter(&hello)
 	d.mu.Lock()
-	rec := telemetry.Record{WireSize: 29, Data: &wire.Hello{Source: d.source, Seq: d.seq, Version: d.maxVer}}
+	rec := telemetry.Record{WireSize: 29, Data: &wire.Hello{Source: d.source, Seq: d.seq, Version: d.maxVer, Term: d.term}}
 	d.mu.Unlock()
 	if err := fw.WriteFrame(wire.Frame{StreamID: wire.ControlStreamID, Source: d.source, Records: telemetry.Batch{rec}}); err != nil {
 		return err
@@ -279,6 +281,9 @@ func (d *DurableShipper) ConnectConn(conn io.ReadWriteCloser) error {
 		_ = old.Close()
 	}
 	d.pruneLocked(ack.Seq)
+	if ack.Term > d.term {
+		d.term = ack.Term
+	}
 	replay := clonePending(d.pending)
 	d.conn = conn
 	d.peerVer = peer
@@ -326,6 +331,9 @@ func (d *DurableShipper) readAcks(conn io.WriteCloser, fr *wire.FrameReader) {
 		}
 		d.mu.Lock()
 		d.pruneLocked(ack.Seq)
+		if ack.Term > d.term {
+			d.term = ack.Term
+		}
 		d.mu.Unlock()
 	}
 }
@@ -373,6 +381,27 @@ func (d *DurableShipper) Acked() uint64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.acked
+}
+
+// Term returns the newest primary term observed in acks — the fencing
+// token the shipper's hellos carry, so a stale primary that lost
+// leadership learns it the moment a failed-over agent reconnects.
+func (d *DurableShipper) Term() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.term
+}
+
+// SetTerm raises the shipper's fencing term (it never regresses). The
+// agent recovery manager restores it from a snapshot, so a restarted
+// agent does not forget the promotion it had witnessed and hand its
+// epochs to a stale primary.
+func (d *DurableShipper) SetTerm(t uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t > d.term {
+		d.term = t
+	}
 }
 
 // Dropped returns how many unacked epochs the bounded buffer evicted

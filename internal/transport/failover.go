@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Multi-endpoint failover dialing (internal/ha): an agent is configured
+// with every SP that may serve it — the primary and its warm standbys —
+// and on connection loss walks the list until one admits its hello. A
+// fenced or not-yet-promoted SP rejects the hello by closing the
+// connection, so the dialer naturally converges on the current primary;
+// the resume handshake and replay buffer then make the failover
+// transparent (epochs the dead primary never made durable replay into
+// the standby's sequence dedup).
+
+// ParseEndpoints splits a comma-separated endpoint list ("host:a,host:b")
+// into its non-empty entries.
+func ParseEndpoints(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// ConnectAny dials the endpoints until one accepts the resume handshake,
+// starting with the endpoint of the last successful connection (so a
+// healthy reconnect does not shuffle agents between SPs). It returns the
+// endpoint that accepted. Switching endpoints counts as a failover in
+// the shipper's health counters.
+func (d *DurableShipper) ConnectAny(endpoints []string) (string, error) {
+	d.mu.Lock()
+	prefer := d.prefer
+	d.mu.Unlock()
+	ordered := make([]string, 0, len(endpoints))
+	for _, ep := range endpoints {
+		if ep == prefer {
+			ordered = append([]string{ep}, ordered...)
+		} else {
+			ordered = append(ordered, ep)
+		}
+	}
+	var firstErr error
+	for _, ep := range ordered {
+		if err := d.Connect(ep); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		d.mu.Lock()
+		moved := d.prefer != "" && d.prefer != ep
+		d.prefer = ep
+		d.mu.Unlock()
+		if moved {
+			d.counters.Inc(CtrFailovers)
+		}
+		return ep, nil
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("transport: no endpoints configured")
+	}
+	return "", fmt.Errorf("transport: all %d endpoints unreachable: %w", len(endpoints), firstErr)
+}

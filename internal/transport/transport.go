@@ -47,13 +47,25 @@ const (
 	CtrAcksSent       = "acks_sent"
 	CtrEpochsDropped  = "epochs_dropped" // unacked epochs evicted from a full replay buffer
 	CtrReconnects     = "reconnects"
-	CtrConnErrors     = "conn_errors"   // connections that ended with a transport error
-	CtrSourceResets   = "source_resets" // fresh agent incarnations that reset a dedup frontier
+	CtrConnErrors     = "conn_errors"     // connections that ended with a transport error
+	CtrSourceResets   = "source_resets"   // fresh agent incarnations that reset a dedup frontier
+	CtrHellosRejected = "hellos_rejected" // sequenced hellos refused by the hello gate (fencing/standby)
+	CtrFailovers      = "failovers"       // ConnectAny attaching to a different endpoint than before
 )
 
 // maxStagedFrames bounds one connection's frames between EpochEnd
 // markers, protecting the SP from a peer that never commits.
 const maxStagedFrames = 1 << 16
+
+// HelloGate vets sequenced Hellos before a receiver admits them — the
+// hook the HA subsystem uses for role and fencing checks. AdmitHello is
+// called with the term the agent announced; it returns the term to
+// advertise in the ack, or an error to reject the connection (the
+// receiver closes it, and a stale primary learns it has been superseded).
+// Implementations must be safe for concurrent use.
+type HelloGate interface {
+	AdmitHello(agentTerm uint64) (ackTerm uint64, err error)
+}
 
 // Shipper serializes a source pipeline's epoch output onto a byte
 // stream (the legacy fire-and-forget discipline; see DurableShipper for
@@ -132,6 +144,7 @@ type Receiver struct {
 	writers   map[uint32]*ackWriter
 	manualAck bool
 	maxVer    uint32
+	gate      HelloGate
 
 	bytesIn int64
 	frames  int64
@@ -172,6 +185,20 @@ func (rc *Receiver) maxVersion() uint32 {
 // Server wrapping it).
 func (rc *Receiver) Counters() *metrics.CounterSet { return rc.counters }
 
+// SetHelloGate installs a hello gate (HA role/fencing checks). Call
+// before serving connections; a nil gate admits every hello with term 0.
+func (rc *Receiver) SetHelloGate(g HelloGate) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.gate = g
+}
+
+func (rc *Receiver) helloGate() HelloGate {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.gate
+}
+
 // SetManualAck switches acknowledgement to the recovery manager: epochs
 // are acked only after a durable snapshot covers them (AckSeqs), instead
 // of immediately on application. Call before serving connections.
@@ -184,15 +211,16 @@ func (rc *Receiver) SetManualAck(v bool) {
 // ackWriter serializes control-frame writes on one connection (epoch
 // handling and recovery-manager acks run on different goroutines).
 type ackWriter struct {
-	mu  sync.Mutex
-	fw  *wire.FrameWriter
-	ver uint32 // wire version advertised in this connection's acks
+	mu   sync.Mutex
+	fw   *wire.FrameWriter
+	ver  uint32 // wire version advertised in this connection's acks
+	term uint64 // primary term advertised in this connection's acks
 }
 
 func (w *ackWriter) sendAck(source uint32, seq uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	rec := telemetry.Record{WireSize: 29, Data: &wire.Ack{Source: source, Seq: seq, Version: w.ver}}
+	rec := telemetry.Record{WireSize: 29, Data: &wire.Ack{Source: source, Seq: seq, Version: w.ver, Term: w.term}}
 	if err := w.fw.WriteFrame(wire.Frame{StreamID: wire.ControlStreamID, Source: source, Records: telemetry.Batch{rec}}); err != nil {
 		return err
 	}
@@ -254,12 +282,25 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 			for _, rec := range f.Records {
 				switch c := rec.Data.(type) {
 				case *wire.Hello:
+					var ackTerm uint64
+					if g := rc.helloGate(); g != nil {
+						t, gerr := g.AdmitHello(c.Term)
+						if gerr != nil {
+							// Rejected: fencing (the agent carries a newer
+							// primary's term) or a standby not yet promoted.
+							// Closing without an ack sends the agent to its
+							// next endpoint.
+							rc.counters.Inc(CtrHellosRejected)
+							return fmt.Errorf("transport: hello rejected: %w", gerr)
+						}
+						ackTerm = t
+					}
 					if sequenced {
 						rc.dropWriter(src, aw)
 					}
 					src, sequenced = c.Source, true
 					staged = staged[:0]
-					aw = &ackWriter{fw: wire.NewFrameWriter(conn), ver: maxVer}
+					aw = &ackWriter{fw: wire.NewFrameWriter(conn), ver: maxVer, term: ackTerm}
 					seq := rc.registerConn(src, c.Seq, aw)
 					if err := aw.sendAck(src, seq); err != nil {
 						rc.counters.Inc(CtrRecvErrors)

@@ -33,6 +33,11 @@ const (
 	TagLoadFactors    byte = 0x0D
 	TagReplayEpoch    byte = 0x0E
 	TagStageMeta      byte = 0x10 // delta-snapshot stage metadata
+
+	// Replication tags (internal/ha primary ↔ standby protocol).
+	TagReplHello    byte = 0x11
+	TagReplSnapshot byte = 0x12
+	TagReplAck      byte = 0x13
 )
 
 // ErrUnknownTag is returned when decoding a record with an unregistered
@@ -124,6 +129,7 @@ func EncodeRecord(dst []byte, rec telemetry.Record) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint32(dst, p.Source)
 		dst = binary.BigEndian.AppendUint64(dst, p.Seq)
 		dst = binary.AppendUvarint(dst, uint64(p.Version))
+		dst = binary.AppendUvarint(dst, p.Term)
 		return dst, nil
 	case *Ack:
 		dst = append(dst, TagAck)
@@ -131,6 +137,7 @@ func EncodeRecord(dst []byte, rec telemetry.Record) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint32(dst, p.Source)
 		dst = binary.BigEndian.AppendUint64(dst, p.Seq)
 		dst = binary.AppendUvarint(dst, uint64(p.Version))
+		dst = binary.AppendUvarint(dst, p.Term)
 		return dst, nil
 	case *EpochEnd:
 		dst = append(dst, TagEpochEnd)
@@ -151,6 +158,7 @@ func EncodeRecord(dst []byte, rec telemetry.Record) ([]byte, error) {
 		} else {
 			dst = append(dst, 0)
 		}
+		dst = binary.AppendUvarint(dst, p.Term)
 		return dst, nil
 	case *StageMeta:
 		dst = append(dst, TagStageMeta)
@@ -189,6 +197,32 @@ func EncodeRecord(dst []byte, rec telemetry.Record) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint64(dst, p.Seq)
 		dst = binary.AppendUvarint(dst, uint64(len(p.Data)))
 		return append(dst, p.Data...), nil
+	case *ReplHello:
+		dst = append(dst, TagReplHello)
+		dst = appendHeader(dst, rec)
+		dst = binary.BigEndian.AppendUint64(dst, p.LastID)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.LogWM))
+		return dst, nil
+	case *ReplSnapshot:
+		dst = append(dst, TagReplSnapshot)
+		dst = appendHeader(dst, rec)
+		dst = binary.BigEndian.AppendUint64(dst, p.ID)
+		dst = binary.AppendUvarint(dst, p.BaseID)
+		dst = binary.BigEndian.AppendUint64(dst, p.Seq)
+		dst = binary.AppendUvarint(dst, p.Term)
+		if p.Delta {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(p.Data)))
+		return append(dst, p.Data...), nil
+	case *ReplAck:
+		dst = append(dst, TagReplAck)
+		dst = appendHeader(dst, rec)
+		dst = binary.BigEndian.AppendUint64(dst, p.ID)
+		dst = binary.BigEndian.AppendUint64(dst, p.Seq)
+		return dst, nil
 	default:
 		return nil, fmt.Errorf("wire: cannot encode payload type %T", rec.Data)
 	}
@@ -410,12 +444,16 @@ func DecodeRecord(buf []byte) (telemetry.Record, int, error) {
 		p := &Hello{}
 		p.Source = r.u32()
 		p.Seq = r.u64()
-		// The version field was appended in v2 builds; a genuinely old
-		// peer's Hello ends here, which decodes as Version 0 (= v1).
-		// Hello records must travel in single-record frames for this
-		// trailing extension to be unambiguous (they always have).
+		// The version field was appended in v2 builds and the HA term
+		// after it; a genuinely old peer's Hello ends early, which
+		// decodes as Version 0 (= v1) and Term 0 (pre-HA). Hello records
+		// must travel in single-record frames for these trailing
+		// extensions to be unambiguous (they always have).
 		if r.err == nil && r.off < len(buf) {
 			p.Version = uint32(r.uvarint())
+		}
+		if r.err == nil && r.off < len(buf) {
+			p.Term = r.uvarint()
 		}
 		rec.Data = p
 		rec.WireSize = 29
@@ -425,6 +463,9 @@ func DecodeRecord(buf []byte) (telemetry.Record, int, error) {
 		p.Seq = r.u64()
 		if r.err == nil && r.off < len(buf) {
 			p.Version = uint32(r.uvarint())
+		}
+		if r.err == nil && r.off < len(buf) {
+			p.Term = r.uvarint()
 		}
 		rec.Data = p
 		rec.WireSize = 29
@@ -440,11 +481,15 @@ func DecodeRecord(buf []byte) (telemetry.Record, int, error) {
 		p.Watermark = int64(r.u64())
 		p.EmittedWM = int64(r.u64())
 		p.Acked = r.u64()
-		// BaseID/Delta were appended for delta snapshots; pre-delta
-		// snapshot files end here and decode as a full snapshot.
+		// BaseID/Delta were appended for delta snapshots and Term for HA;
+		// older snapshot files end early and decode as a full, term-0
+		// snapshot.
 		if r.err == nil && r.off < len(buf) {
 			p.BaseID = r.uvarint()
 			p.Delta = r.u8() != 0
+		}
+		if r.err == nil && r.off < len(buf) {
+			p.Term = r.uvarint()
 		}
 		rec.Data = p
 		rec.WireSize = 49
@@ -493,6 +538,28 @@ func DecodeRecord(buf []byte) (telemetry.Record, int, error) {
 		p.Data = r.bytes()
 		rec.Data = p
 		rec.WireSize = 26 + len(p.Data)
+	case TagReplHello:
+		p := &ReplHello{}
+		p.LastID = r.u64()
+		p.LogWM = int64(r.u64())
+		rec.Data = p
+		rec.WireSize = 33
+	case TagReplSnapshot:
+		p := &ReplSnapshot{}
+		p.ID = r.u64()
+		p.BaseID = r.uvarint()
+		p.Seq = r.u64()
+		p.Term = r.uvarint()
+		p.Delta = r.u8() != 0
+		p.Data = r.bytes()
+		rec.Data = p
+		rec.WireSize = 40 + len(p.Data)
+	case TagReplAck:
+		p := &ReplAck{}
+		p.ID = r.u64()
+		p.Seq = r.u64()
+		rec.Data = p
+		rec.WireSize = 33
 	default:
 		return telemetry.Record{}, 0, fmt.Errorf("%w: 0x%02x", ErrUnknownTag, buf[0])
 	}

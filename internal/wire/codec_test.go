@@ -299,3 +299,34 @@ func TestDecodeRecordNeverPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestHelloAckTermRoundTrip(t *testing.T) {
+	h := &Hello{Source: 3, Seq: 17, Version: WireV2, Term: 5}
+	got := roundTrip(t, telemetry.Record{WireSize: 29, Data: h})
+	if !reflect.DeepEqual(got.Data, h) {
+		t.Fatalf("hello = %+v", got.Data)
+	}
+	a := &Ack{Source: 3, Seq: 16, Version: WireV2, Term: 6}
+	got = roundTrip(t, telemetry.Record{WireSize: 29, Data: a})
+	if !reflect.DeepEqual(got.Data, a) {
+		t.Fatalf("ack = %+v", got.Data)
+	}
+}
+
+func TestReplicationRecordsRoundTrip(t *testing.T) {
+	hello := &ReplHello{LastID: 12, LogWM: 9_000_000}
+	got := roundTrip(t, telemetry.Record{WireSize: 33, Data: hello})
+	if !reflect.DeepEqual(got.Data, hello) {
+		t.Fatalf("repl hello = %+v", got.Data)
+	}
+	snap := &ReplSnapshot{ID: 8, BaseID: 7, Seq: 40, Term: 2, Delta: true, Data: []byte{1, 2, 3, 4}}
+	got = roundTrip(t, telemetry.Record{WireSize: 40 + len(snap.Data), Data: snap})
+	if !reflect.DeepEqual(got.Data, snap) {
+		t.Fatalf("repl snapshot = %+v", got.Data)
+	}
+	ack := &ReplAck{ID: 8, Seq: 40}
+	got = roundTrip(t, telemetry.Record{WireSize: 33, Data: ack})
+	if !reflect.DeepEqual(got.Data, ack) {
+		t.Fatalf("repl ack = %+v", got.Data)
+	}
+}

@@ -236,24 +236,35 @@ func TestColumnarControlFramesStayV1(t *testing.T) {
 	}
 }
 
-// TestLegacyHelloDecodes checks a pre-versioning 12-byte Hello payload
-// still decodes (Version 0 = v1 peer).
+// TestLegacyHelloDecodes checks truncated Hello payloads from older
+// builds still decode: a pre-versioning 12-byte Hello reads as Version 0
+// (= v1 peer), and a pre-HA Hello (version but no term) reads as Term 0.
 func TestLegacyHelloDecodes(t *testing.T) {
-	rec := telemetry.Record{WireSize: 29, Data: &Hello{Source: 9, Seq: 4, Version: WireV2}}
+	rec := telemetry.Record{WireSize: 29, Data: &Hello{Source: 9, Seq: 4, Version: WireV2, Term: 3}}
 	enc, err := EncodeRecord(nil, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	legacy := enc[:len(enc)-1] // strip the trailing version uvarint
-	got, n, err := DecodeRecord(legacy)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n != len(legacy) {
-		t.Fatalf("consumed %d of %d", n, len(legacy))
-	}
-	h := got.Data.(*Hello)
-	if h.Source != 9 || h.Seq != 4 || h.Version != 0 {
-		t.Fatalf("legacy hello decoded as %+v", h)
+	for _, tc := range []struct {
+		name        string
+		strip       int // trailing uvarint fields removed
+		wantVersion uint32
+		wantTerm    uint64
+	}{
+		{"pre-ha", 1, WireV2, 0},
+		{"pre-versioning", 2, 0, 0},
+	} {
+		legacy := enc[:len(enc)-tc.strip] // each trailing uvarint is 1 byte here
+		got, n, err := DecodeRecord(legacy)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if n != len(legacy) {
+			t.Fatalf("%s: consumed %d of %d", tc.name, n, len(legacy))
+		}
+		h := got.Data.(*Hello)
+		if h.Source != 9 || h.Seq != 4 || h.Version != tc.wantVersion || h.Term != tc.wantTerm {
+			t.Fatalf("%s: decoded as %+v", tc.name, h)
+		}
 	}
 }

@@ -11,30 +11,41 @@ package wire
 // destined for an operator stage.
 const ControlStreamID = ^uint32(0) - 1
 
+// ReplRowsStreamID tags frames on a replication connection that mirror
+// result-log rows from a primary SP to its warm standby. The rows are
+// ordinary result records; the stream id keeps them apart from operator
+// stages and from watermark/control frames.
+const ReplRowsStreamID = ^uint32(0) - 2
+
 // Hello opens a sequenced connection: the agent announces its source id,
-// the last epoch sequence number it assigned, and the newest wire
-// version it speaks (0 from pre-versioning builds, meaning v1). The
-// receiver replies with an Ack carrying the newest durably-applied
-// sequence for that source plus its own version; both sides then use
-// min(hello, ack) — a v2 shipper sends columnar frames only to a
-// receiver that advertised v2. Hello records travel alone in their
-// frame (the trailing version field relies on it).
+// the last epoch sequence number it assigned, the newest wire version it
+// speaks (0 from pre-versioning builds, meaning v1), and the newest
+// primary term it has observed (0 from pre-HA builds). The receiver
+// replies with an Ack carrying the newest durably-applied sequence for
+// that source plus its own version and term; both sides then use
+// min(hello, ack) for the version, and the agent adopts the larger term.
+// An SP that sees a Hello carrying a term above its own knows a newer
+// primary was promoted and fences itself (rejects the connection). Hello
+// records travel alone in their frame (the trailing extensions rely on
+// it).
 type Hello struct {
 	Source  uint32
 	Seq     uint64
 	Version uint32
+	Term    uint64
 }
 
 // Ack acknowledges that every epoch of a source up to and including Seq
 // is durable on the stream processor (applied, and covered by a snapshot
 // when checkpointing is enabled). The agent prunes its replay buffer up
-// to Seq. Version advertises the receiver's newest wire version (0 from
-// pre-versioning builds, meaning v1); like Hello, Ack records travel
+// to Seq. Version advertises the receiver's newest wire version and Term
+// its primary term (0 from older builds); like Hello, Ack records travel
 // alone in their frame.
 type Ack struct {
 	Source  uint32
 	Seq     uint64
 	Version uint32
+	Term    uint64
 }
 
 // EpochEnd commits one shipped epoch: every data frame since the previous
@@ -51,7 +62,10 @@ type EpochEnd struct {
 // already emitted, and (agent side) the newest acked epoch. Delta
 // snapshots additionally carry the store id of the snapshot they extend
 // (BaseID) and the Delta flag; full snapshots (and files written before
-// delta support) leave both zero.
+// delta support) leave both zero. Term persists the newest HA fencing
+// term the node had observed (trailing extension, 0 from pre-HA files) —
+// restoring it keeps a restarted agent or SP from trusting a stale
+// primary it had already moved past.
 type SnapshotHeader struct {
 	Seq       uint64
 	Watermark int64
@@ -59,6 +73,7 @@ type SnapshotHeader struct {
 	Acked     uint64
 	BaseID    uint64
 	Delta     bool
+	Term      uint64
 }
 
 // StageMeta describes how one stage's rows in a delta snapshot apply to
@@ -95,4 +110,42 @@ type LoadFactors struct {
 type ReplayEpoch struct {
 	Seq  uint64
 	Data []byte
+}
+
+// Replication control records (internal/ha): a warm-standby SP attaches
+// to the primary's replication listener with a ReplHello, the primary
+// answers with its current full state and result-log tail and then
+// streams every durable snapshot it saves; the standby acknowledges each
+// applied snapshot so the primary can report replication lag.
+
+// ReplHello opens a replication connection: the standby announces the
+// newest primary snapshot id it has applied and the watermark through
+// which its mirrored result log is already populated. The primary always
+// resyncs state with a full folded snapshot; LogWM bounds how much
+// result-log tail must be re-sent to heal any gap.
+type ReplHello struct {
+	LastID uint64
+	LogWM  int64
+}
+
+// ReplSnapshot carries one durable snapshot from primary to standby:
+// the primary store id it was saved under, the id of the snapshot a
+// delta extends (0 for full), the snapshot's progress measure in applied
+// epochs, the primary's fencing term, and the snapshot's full encoding
+// (the bytes Snapshot.Encode produced).
+type ReplSnapshot struct {
+	ID     uint64
+	BaseID uint64
+	Seq    uint64
+	Term   uint64
+	Delta  bool
+	Data   []byte
+}
+
+// ReplAck reports that the standby durably applied the snapshot with the
+// given primary store id and progress measure; the primary's replication
+// lag gauge is its newest published Seq minus the newest acked one.
+type ReplAck struct {
+	ID  uint64
+	Seq uint64
 }
