@@ -19,7 +19,6 @@ import (
 	"jarvis/internal/plan"
 	"jarvis/internal/runtime"
 	"jarvis/internal/sim"
-	"jarvis/internal/stream"
 	"jarvis/internal/workload"
 )
 
@@ -319,18 +318,36 @@ func BenchmarkPipelineEpoch(b *testing.B)         { benchPipelineEpoch(b, false,
 func BenchmarkPipelineEpochRecycled(b *testing.B) { benchPipelineEpoch(b, false, true) }
 func BenchmarkPipelineEpochLegacy(b *testing.B)   { benchPipelineEpoch(b, true, false) }
 
+// BenchmarkSPIngest measures the row-path SP ingest (the canonical setup
+// lives in internal/benchcase, shared with jarvis-bench -exp micro);
+// BenchmarkSPIngestColumnar drives the identical record sequence through
+// the SoA path — decoded columns flow through Window, Filter and
+// GroupAgg with zero record materialization.
 func BenchmarkSPIngest(b *testing.B) {
-	engine, err := stream.NewSPEngine(plan.S2SProbe())
+	engine, batch, _, err := benchcase.SPIngest()
 	if err != nil {
 		b.Fatal(err)
 	}
-	gen := workload.NewPingGen(workload.DefaultPingConfig(2))
-	batch := gen.NextWindow(1_000_000)
 	b.SetBytes(batch.TotalBytes())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := engine.Ingest(0, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSPIngestColumnar(b *testing.B) {
+	engine, batch, cb, err := benchcase.SPIngest()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(batch.TotalBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := engine.IngestColumnar(0, cb); err != nil {
 			b.Fatal(err)
 		}
 	}

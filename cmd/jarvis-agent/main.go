@@ -9,7 +9,9 @@
 // With -checkpoint-dir the agent also takes epoch-aligned durable
 // snapshots of its pipeline state, load factors and replay buffer every
 // -checkpoint-every epochs, and resumes from the newest snapshot after a
-// restart.
+// restart. -checkpoint-async moves the durable save off the epoch path
+// onto a writer goroutine (the capture stays epoch-aligned), so
+// every-epoch checkpointing does not stall shipping.
 //
 // -sp accepts a comma-separated endpoint list (primary plus warm
 // standbys, see internal/ha): on connection loss the agent walks the
@@ -47,15 +49,16 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "durable snapshot directory (empty = no checkpointing)")
 	ckptEvery := flag.Int("checkpoint-every", checkpoint.DefaultEvery, "epochs between durable snapshots (1 = every epoch, cheap with delta snapshots)")
 	ckptRetain := flag.Int("checkpoint-retain", checkpoint.DefaultRetain, "base+delta snapshot chains to keep when compacting (0 = keep all)")
+	ckptAsync := flag.Bool("checkpoint-async", false, "save snapshots on a writer goroutine (the epoch path only captures state)")
 	flag.Parse()
 
-	if err := run(*spAddr, uint32(*id), *queryName, *budget, *epochs, *realtime, *ckptDir, *ckptEvery, *ckptRetain); err != nil {
+	if err := run(*spAddr, uint32(*id), *queryName, *budget, *epochs, *realtime, *ckptDir, *ckptEvery, *ckptRetain, *ckptAsync); err != nil {
 		fmt.Fprintln(os.Stderr, "jarvis-agent:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spAddr string, id uint32, queryName string, budget float64, epochs int, realtime bool, ckptDir string, ckptEvery, ckptRetain int) error {
+func run(spAddr string, id uint32, queryName string, budget float64, epochs int, realtime bool, ckptDir string, ckptEvery, ckptRetain int, ckptAsync bool) error {
 	endpoints := transport.ParseEndpoints(spAddr)
 	if len(endpoints) == 0 {
 		return fmt.Errorf("no SP endpoints in %q", spAddr)
@@ -83,6 +86,8 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 		}
 		arec = checkpoint.NewAgentRecovery(store, ckptEvery, src, ship)
 		arec.SetRetention(ckptRetain)
+		arec.SetAsync(ckptAsync)
+		defer arec.Close()
 		var restored bool
 		resume, restored, err = arec.Restore()
 		if err != nil {
@@ -136,6 +141,11 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 			if d := time.Second - time.Since(start); d > 0 {
 				time.Sleep(d)
 			}
+		}
+	}
+	if arec != nil {
+		if err := arec.Flush(); err != nil {
+			return err
 		}
 	}
 	fmt.Printf("jarvis-agent %d: done; transport counters: %s\n", id, ship.Counters())

@@ -69,6 +69,12 @@ func runMicro(outPath string) error {
 	})
 	records = append(records, record("BenchmarkEndToEndBuildingBlock", batch.TotalBytes(), r))
 
+	ingest, err := spIngestBenchmarks()
+	if err != nil {
+		return err
+	}
+	records = append(records, ingest...)
+
 	ckpt, err := checkpointBenchmarks()
 	if err != nil {
 		return err
@@ -95,6 +101,43 @@ func runMicro(outPath string) error {
 	}
 	fmt.Println("wrote", outPath)
 	return nil
+}
+
+// spIngestBenchmarks measures the SP-side ingest of one epoch-scale
+// drain through the full S2SProbe plan, on the row path and on the
+// columnar (SoA) path — the PR 5 headline A/B (identical record
+// sequences, see benchcase.SPIngest).
+func spIngestBenchmarks() ([]BenchRecord, error) {
+	records := []BenchRecord{}
+
+	rowEngine, batch, _, err := benchcase.SPIngest()
+	if err != nil {
+		return nil, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := rowEngine.Ingest(0, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	records = append(records, record("BenchmarkSPIngest", batch.TotalBytes(), r))
+
+	colEngine, _, cb, err := benchcase.SPIngest()
+	if err != nil {
+		return nil, err
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := colEngine.IngestColumnar(0, cb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	records = append(records, record("BenchmarkSPIngestColumnar", batch.TotalBytes(), r))
+	return records, nil
 }
 
 // checkpointBenchmarks measures the fault-tolerance subsystem's hot

@@ -54,6 +54,7 @@ type config struct {
 	ckptDir                string
 	ckptEvery, ckptRetain  int
 	ckptAsync              bool
+	columnarExec           bool
 	replListen             string
 	standby                bool
 	peer                   string
@@ -75,6 +76,7 @@ func main() {
 	flag.StringVar(&cfg.peer, "peer", "", "primary's replication address to sync from (standby)")
 	flag.Uint64Var(&cfg.term, "term", 1, "primary fencing term (epoch lease token)")
 	flag.DurationVar(&cfg.takeoverAfter, "takeover-after", 3*time.Second, "standby: promote after the replication link is down this long (0 = never)")
+	flag.BoolVar(&cfg.columnarExec, "columnar-exec", true, "execute wire-v2 frames over decoded columns (SoA); false selects the row-materializing path")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -93,6 +95,7 @@ func run(cfg config) error {
 		return err
 	}
 	rc := transport.NewReceiver(proc.Engine())
+	rc.SetColumnarExec(cfg.columnarExec)
 
 	var (
 		rm   *checkpoint.SPRecovery

@@ -1,0 +1,85 @@
+package jarvis_test
+
+import (
+	"reflect"
+	"testing"
+
+	"jarvis/internal/benchcase"
+	"jarvis/internal/stream"
+)
+
+// TestColumnarIngestMatchesRows pins the engine-level guarantee behind
+// BenchmarkSPIngestColumnar: driving the decoded SoA batch through
+// IngestColumnar leaves the engine in exactly the state the row path
+// produces — same flushed results, same accounting.
+func TestColumnarIngestMatchesRows(t *testing.T) {
+	rowEngine, batch, _, err := benchcase.SPIngest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	colEngine, _, cb, err := benchcase.SPIngest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(e *stream.SPEngine, columnar bool) {
+		for i := 0; i < 3; i++ {
+			if columnar {
+				if err := e.IngestColumnar(0, cb); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := e.Ingest(0, batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		e.RegisterSource(1)
+		e.ObserveWatermark(1, batch.MaxTime()+10_000_000)
+	}
+	feed(rowEngine, false)
+	feed(colEngine, true)
+	if rb, cbytes := rowEngine.IngressBytes(), colEngine.IngressBytes(); rb != cbytes {
+		t.Fatalf("ingress bytes differ: row %d vs columnar %d", rb, cbytes)
+	}
+	if rr, cr := rowEngine.IngressRecords(), colEngine.IngressRecords(); rr != cr {
+		t.Fatalf("ingress records differ: row %d vs columnar %d", rr, cr)
+	}
+	rows := rowEngine.Advance()
+	cols := colEngine.Advance()
+	if len(rows) == 0 {
+		t.Fatal("no results flushed — the comparison is vacuous")
+	}
+	if len(rows) != len(cols) {
+		t.Fatalf("result count differs: row %d vs columnar %d", len(rows), len(cols))
+	}
+	for i := range rows {
+		if !reflect.DeepEqual(rows[i], cols[i]) {
+			t.Fatalf("result %d differs:\n row      %+v\n columnar %+v", i, rows[i], cols[i])
+		}
+	}
+}
+
+// TestWarmColumnarIngestAllocs bounds the warm columnar ingest path: a
+// ~38k-record SoA epoch through the full S2SProbe plan (window → filter
+// → group-agg) must allocate O(sections + stages), never O(records). The
+// row path allocates per-wave record buffers; the columnar path's only
+// steady-state work is a section-header copy and reused scratch.
+func TestWarmColumnarIngestAllocs(t *testing.T) {
+	engine, _, cb, err := benchcase.SPIngest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := engine.IngestColumnar(0, cb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if err := engine.IngestColumnar(0, cb); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 32 {
+		t.Fatalf("warm columnar ingest allocates %.1f times for a 38k-record epoch (want ≤ 32)", avg)
+	}
+}

@@ -7,12 +7,14 @@ package benchcase
 
 import (
 	"bytes"
+	"fmt"
 
 	"jarvis/internal/core"
 	"jarvis/internal/plan"
 	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/transport"
+	"jarvis/internal/wire"
 	"jarvis/internal/workload"
 )
 
@@ -46,6 +48,43 @@ func EndToEnd() (*core.BuildingBlock, telemetry.Batch, error) {
 	}
 	gen := workload.NewPingGen(workload.DefaultPingConfig(5))
 	return bb, gen.NextWindow(1_000_000), nil
+}
+
+// SPIngest builds the canonical SP-side ingest benchmark: an S2SProbe
+// engine plus one second of Pingmesh drain, returned both as the decoded
+// row batch (the input of BenchmarkSPIngest since PR 1) and as the same
+// records decoded into a wire-v2 SoA batch (BenchmarkSPIngestColumnar).
+// The two inputs carry identical record sequences, so the benchmarks
+// measure execution strategy, not workload differences.
+func SPIngest() (*stream.SPEngine, telemetry.Batch, *wire.ColumnarBatch, error) {
+	engine, err := stream.NewSPEngine(plan.S2SProbe())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	gen := workload.NewPingGen(workload.DefaultPingConfig(2))
+	batch := gen.NextWindow(1_000_000)
+	var buf bytes.Buffer
+	fw := wire.NewFrameWriter(&buf)
+	fw.SetColumnar(true)
+	if err := fw.WriteFrame(wire.Frame{StreamID: 0, Source: 1, Records: batch}); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := fw.Flush(); err != nil {
+		return nil, nil, nil, err
+	}
+	fr := wire.NewFrameReader(bytes.NewReader(buf.Bytes()))
+	fr.SetColumnarExec(true)
+	f, err := fr.ReadFrame()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if f.Cols == nil {
+		return nil, nil, nil, fmt.Errorf("benchcase: frame did not decode to a SoA batch")
+	}
+	if f.Cols.Records() != len(batch) {
+		return nil, nil, nil, fmt.Errorf("benchcase: SoA decode yielded %d of %d records", f.Cols.Records(), len(batch))
+	}
+	return engine, batch, f.Cols, nil
 }
 
 // WarmPipeline returns the PipelineEpoch pipeline after several epochs

@@ -126,7 +126,7 @@ type chaosAgent struct {
 	resume uint64
 }
 
-func startAgent(t *testing.T, tc chaosCase, dir string) *chaosAgent {
+func startAgent(t *testing.T, tc chaosCase, dir string, async bool) *chaosAgent {
 	t.Helper()
 	src, err := core.NewSource(tc.query(), core.SourceOptions{
 		BudgetFrac: 4.0, // ample: no mid-epoch budget exhaustion
@@ -149,6 +149,7 @@ func startAgent(t *testing.T, tc chaosCase, dir string) *chaosAgent {
 	}
 	ship := transport.NewDurableShipper(1, 64)
 	arec := NewAgentRecovery(store, 1, src, ship)
+	arec.SetAsync(async)
 	resume, _, err := arec.Restore()
 	if err != nil {
 		t.Fatal(err)
@@ -175,12 +176,12 @@ func waitApplied(t *testing.T, rc *transport.Receiver, source uint32, seq uint64
 
 // chaosRun executes one full run and returns the result log's rows.
 // kill is "", "sp" or "agent"; async runs the SP's snapshot saves on the
-// async writer goroutine.
-func chaosRun(t *testing.T, tc chaosCase, kill string, async bool) telemetry.Batch {
+// async writer goroutine, agentAsync the agent's.
+func chaosRun(t *testing.T, tc chaosCase, kill string, async, agentAsync bool) telemetry.Batch {
 	t.Helper()
 	spDir, agDir := t.TempDir(), t.TempDir()
 	sp := startSP(t, tc.query(), spDir, async)
-	agent := startAgent(t, tc, agDir)
+	agent := startAgent(t, tc, agDir, agentAsync)
 	if err := agent.ship.Connect(sp.addr); err != nil {
 		t.Fatal(err)
 	}
@@ -206,10 +207,17 @@ func chaosRun(t *testing.T, tc chaosCase, kill string, async bool) telemetry.Bat
 		if kill == "agent" && e == agentKillEpoch && !agentKilled {
 			// Crash between ship and snapshot: the new incarnation resumes
 			// from the previous epoch's snapshot and re-runs this epoch;
-			// the SP discards the re-shipped duplicate by sequence.
+			// the SP discards the re-shipped duplicate by sequence. With
+			// the async agent writer, drain in-flight saves first — a
+			// queued-but-unsaved snapshot at the crash is equivalent to
+			// crashing one epoch earlier (covered by the same dedup), and
+			// letting an abandoned writer goroutine keep appending to the
+			// store the new incarnation owns would model a process that
+			// writes after it was killed.
 			agentKilled = true
+			_ = agent.arec.Flush()
 			_ = agent.ship.Close()
-			agent = startAgent(t, tc, agDir)
+			agent = startAgent(t, tc, agDir, agentAsync)
 			if spUp {
 				if err := agent.ship.Connect(sp.addr); err != nil {
 					t.Fatal(err)
@@ -265,6 +273,7 @@ func chaosRun(t *testing.T, tc chaosCase, kill string, async bool) telemetry.Bat
 		t.Fatalf("replay buffer evicted %d unacked epochs", agent.ship.Dropped())
 	}
 
+	_ = agent.arec.Close() // drain the agent's async writer, if enabled
 	sp.stop()
 	rows, err := ReadResultLog(filepath.Join(spDir, "results.log"))
 	if err != nil {
@@ -294,19 +303,19 @@ func TestChaosKillRestartByteIdentical(t *testing.T) {
 	}
 	for _, tc := range chaosCases() {
 		t.Run(tc.name, func(t *testing.T) {
-			ref := chaosRun(t, tc, "", false)
+			ref := chaosRun(t, tc, "", false, false)
 			if len(ref) == 0 {
 				t.Fatal("uninterrupted run produced no results — chaos comparison is vacuous")
 			}
 			refBytes := canonicalBytes(t, ref)
 
-			spRows := chaosRun(t, tc, "sp", false)
+			spRows := chaosRun(t, tc, "sp", false, false)
 			if !bytes.Equal(refBytes, canonicalBytes(t, spRows)) {
 				t.Fatalf("SP kill-and-restart diverged: %d rows vs %d reference rows",
 					len(spRows), len(ref))
 			}
 
-			agRows := chaosRun(t, tc, "agent", false)
+			agRows := chaosRun(t, tc, "agent", false, false)
 			if !bytes.Equal(refBytes, canonicalBytes(t, agRows)) {
 				t.Fatalf("agent kill-and-restart diverged: %d rows vs %d reference rows",
 					len(agRows), len(ref))
@@ -327,13 +336,38 @@ func TestAsyncWriterKillRestartByteIdentical(t *testing.T) {
 		t.Skip("chaos runs are not short")
 	}
 	tc := chaosCases()[0] // S2SProbe: every record dirties a distinct group
-	ref := chaosRun(t, tc, "", false)
+	ref := chaosRun(t, tc, "", false, false)
 	if len(ref) == 0 {
 		t.Fatal("uninterrupted run produced no results")
 	}
-	asyncRows := chaosRun(t, tc, "sp", true)
+	asyncRows := chaosRun(t, tc, "sp", true, false)
 	if !bytes.Equal(canonicalBytes(t, ref), canonicalBytes(t, asyncRows)) {
 		t.Fatalf("async-writer SP kill-and-restart diverged: %d rows vs %d reference rows",
 			len(asyncRows), len(ref))
+	}
+}
+
+// TestAgentAsyncWriterKillRestartByteIdentical is the agent-side mirror:
+// the agent snapshots every epoch (-checkpoint-every 1) with its durable
+// saves on the async writer goroutine, and is killed between ship and
+// snapshot. The restarted incarnation restores from the async-written
+// base + delta chain, re-runs the lost epoch, and the SP's sequence
+// dedup keeps the result log byte-identical to an uninterrupted run.
+func TestAgentAsyncWriterKillRestartByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos runs are not short")
+	}
+	for _, tc := range []chaosCase{chaosCases()[0], chaosCases()[2]} { // probe + log shapes
+		t.Run(tc.name, func(t *testing.T) {
+			ref := chaosRun(t, tc, "", false, false)
+			if len(ref) == 0 {
+				t.Fatal("uninterrupted run produced no results")
+			}
+			rows := chaosRun(t, tc, "agent", false, true)
+			if !bytes.Equal(canonicalBytes(t, ref), canonicalBytes(t, rows)) {
+				t.Fatalf("async-writer agent kill-and-restart diverged: %d rows vs %d reference rows",
+					len(rows), len(ref))
+			}
+		})
 	}
 }

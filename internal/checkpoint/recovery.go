@@ -76,8 +76,18 @@ type AgentRecovery struct {
 
 	maxChain int
 	retain   int
-	lastID   uint64 // store id of the last saved snapshot (0: none — next save is full)
-	chainLen int    // deltas since the last full snapshot
+
+	// Capture-side chain state (only the AfterEpoch caller touches it).
+	capHaveBase bool
+	capChainLen int
+
+	// Save-side chain state, shared with the async writer.
+	chainMu   sync.Mutex
+	lastID    uint64 // store id of the last successful save
+	forceFull bool   // a save failed: deltas are skipped until a full base lands
+
+	aw          *asyncWriter
+	deferredErr error
 }
 
 // NewAgentRecovery wires a recovery manager to an agent. every is the
@@ -104,6 +114,46 @@ func (r *AgentRecovery) SetRetention(n int) { r.retain = n }
 // (0 disables deltas entirely).
 func (r *AgentRecovery) SetMaxChain(n int) { r.maxChain = n }
 
+// SetAsync moves the durable save (encode + write + compaction) onto a
+// writer goroutine, leaving only the state capture — which must see the
+// between-epochs quiescent point — on the epoch path. Mirrors
+// SPRecovery.SetAsync: call once before the run loop, pair with Close on
+// shutdown so queued snapshots drain, and any deferred save error
+// surfaces from the next AfterEpoch call.
+func (r *AgentRecovery) SetAsync(on bool) {
+	if on == (r.aw != nil) {
+		return
+	}
+	if !on {
+		if err := r.aw.close(); err != nil && r.deferredErr == nil {
+			r.deferredErr = err
+		}
+		r.aw = nil
+		return
+	}
+	r.aw = newAsyncWriter(r.save)
+}
+
+// Flush blocks until every queued async save has completed and returns
+// (clearing) the first deferred save error, if any. A no-op without the
+// async writer.
+func (r *AgentRecovery) Flush() error {
+	if r.aw == nil {
+		return nil
+	}
+	return r.aw.flush()
+}
+
+// Close drains the async writer (when enabled) and stops it.
+func (r *AgentRecovery) Close() error {
+	if r.aw == nil {
+		return nil
+	}
+	err := r.aw.close()
+	r.aw = nil
+	return err
+}
+
 // Restore loads the newest consistent snapshot into the agent (and the
 // shipper's replay buffer) and returns the epoch to resume after. ok is
 // false when the store is empty (fresh start: resume after epoch 0).
@@ -127,7 +177,10 @@ func (r *AgentRecovery) Restore() (resumeEpoch uint64, ok bool, err error) {
 	}
 	// The restore re-marked everything it absorbed as dirty, so the next
 	// snapshot must be a fresh chain base.
-	r.lastID, r.chainLen = 0, 0
+	r.capHaveBase, r.capChainLen = false, 0
+	r.chainMu.Lock()
+	r.lastID, r.forceFull = 0, false
+	r.chainMu.Unlock()
 	return snap.Seq, true, nil
 }
 
@@ -137,11 +190,18 @@ func (r *AgentRecovery) Restore() (resumeEpoch uint64, ok bool, err error) {
 // state and starts a chain; the rest are deltas of the state dirtied
 // since the previous snapshot.
 func (r *AgentRecovery) AfterEpoch(epoch uint64) error {
+	if err := r.deferredErr; err != nil {
+		r.deferredErr = nil
+		return err
+	}
 	if epoch%r.every != 0 {
 		return nil
 	}
 	da, tracksDirty := r.agent.(DeltaAgent)
-	full := !tracksDirty || r.lastID == 0 || r.chainLen >= r.maxChain
+	r.chainMu.Lock()
+	forceFull := r.forceFull
+	r.chainMu.Unlock()
+	full := !tracksDirty || !r.capHaveBase || r.capChainLen >= r.maxChain || forceFull
 	var cp *stream.Checkpoint
 	if full {
 		cp = r.agent.Checkpoint(int64(epoch))
@@ -159,32 +219,58 @@ func (r *AgentRecovery) AfterEpoch(epoch uint64) error {
 		Delta:     !full,
 		Meta:      cp.Meta,
 	}
-	if !full {
-		snap.BaseID = r.lastID
-	}
 	if r.ship != nil {
+		// State() deep-copies the replay buffer, so the capture stays
+		// consistent even while the async writer encodes it.
 		snap.Seq, snap.Acked, snap.Pending = r.ship.State()
 		snap.Term = r.ship.Term()
 	}
-	id, err := r.store.Save(snap)
+	if full {
+		r.capHaveBase, r.capChainLen = true, 0
+	} else {
+		r.capChainLen++
+	}
+	job := &saveJob{snap: snap, full: full}
+	if r.aw != nil {
+		r.aw.enqueue(job)
+		return r.aw.takeErr()
+	}
+	return r.save(job)
+}
+
+// save writes one captured agent snapshot durably and compacts the
+// store. It runs on the caller's goroutine (sync mode) or the async
+// writer's. BaseID is stamped here — with the async writer, earlier
+// captures may still be in flight at capture time.
+func (r *AgentRecovery) save(job *saveJob) error {
+	r.chainMu.Lock()
+	if job.snap.Delta {
+		if r.forceFull {
+			// This delta chains onto a save that failed; the full base the
+			// next capture is forced to take covers its rows.
+			r.chainMu.Unlock()
+			return nil
+		}
+		job.snap.BaseID = r.lastID
+	}
+	r.chainMu.Unlock()
+	id, err := r.store.Save(job.snap)
 	if err != nil {
 		// The capture already advanced the dirty generation, so the rows
-		// this snapshot carried will never appear in a later delta; the
-		// next snapshot must be a fresh full base or the chain would
-		// silently miss them.
-		r.lastID, r.chainLen = 0, 0
+		// this snapshot carried will never appear in a later delta; force
+		// the next capture full or the chain would silently miss them.
+		r.chainMu.Lock()
+		r.forceFull = true
+		r.chainMu.Unlock()
 		return fmt.Errorf("checkpoint: save agent snapshot: %w", err)
 	}
-	r.lastID = id
-	if full {
-		r.chainLen = 0
-		if r.retain > 0 {
-			if err := r.store.Compact(r.retain); err != nil {
-				return fmt.Errorf("checkpoint: compact store: %w", err)
-			}
+	r.chainMu.Lock()
+	r.lastID, r.forceFull = id, false
+	r.chainMu.Unlock()
+	if job.full && r.retain > 0 {
+		if err := r.store.Compact(r.retain); err != nil {
+			return fmt.Errorf("checkpoint: compact store: %w", err)
 		}
-	} else {
-		r.chainLen++
 	}
 	return nil
 }
@@ -336,7 +422,7 @@ func (r *SPRecovery) SetAsync(on bool) {
 		r.aw = nil
 		return
 	}
-	r.aw = newAsyncWriter(r)
+	r.aw = newAsyncWriter(r.saveAndAck)
 }
 
 // Flush blocks until every queued async save has completed and returns
@@ -587,11 +673,13 @@ func (r *SPRecovery) saveAndAck(job *saveJob) error {
 	return nil
 }
 
-// asyncWriter serializes saveAndAck calls on a dedicated goroutine with
-// a small bounded queue; enqueue blocks when the writer falls that far
+// asyncWriter serializes snapshot saves on a dedicated goroutine with a
+// small bounded queue; enqueue blocks when the writer falls that far
 // behind (backpressure on the epoch loop instead of unbounded memory).
+// The do hook performs one save — SPRecovery.saveAndAck on stream
+// processors, AgentRecovery.save on agents.
 type asyncWriter struct {
-	r    *SPRecovery
+	do   func(*saveJob) error
 	mu   sync.Mutex
 	cond *sync.Cond
 	q    []*saveJob
@@ -603,8 +691,8 @@ type asyncWriter struct {
 // asyncQueueDepth bounds captured-but-unsaved snapshots.
 const asyncQueueDepth = 4
 
-func newAsyncWriter(r *SPRecovery) *asyncWriter {
-	w := &asyncWriter{r: r}
+func newAsyncWriter(do func(*saveJob) error) *asyncWriter {
+	w := &asyncWriter{do: do}
 	w.cond = sync.NewCond(&w.mu)
 	go w.run()
 	return w
@@ -624,7 +712,7 @@ func (w *asyncWriter) run() {
 		w.q = w.q[1:]
 		w.busy = true
 		w.mu.Unlock()
-		err := w.r.saveAndAck(job)
+		err := w.do(job)
 		w.mu.Lock()
 		w.busy = false
 		if err != nil && w.err == nil {

@@ -1,0 +1,378 @@
+package operator
+
+import (
+	"jarvis/internal/telemetry"
+	"jarvis/internal/wire"
+)
+
+// Columnar (SoA) execution. The SP-side engine drives whole decoded
+// columnar waves (wire.ColumnarBatch) through the operators that
+// implement ColumnarProcessor, so the hot per-record work — window
+// assignment, filter predicates, group-key extraction — runs over
+// contiguous columns instead of materialized telemetry.Record structs.
+//
+// ProcessColumnar mutates the wave in place under the wire package's
+// mutation discipline: an operator never writes through a column array
+// it received (those may be shared with the decoded frame); it allocates
+// replacements and swaps the section fields. Filters narrow sections via
+// selection vectors; flat-maps rebuild the section list; GroupAgg
+// consumes the wave entirely (its results leave via Flush, as on the row
+// path). Every ProcessColumnar must be observably equivalent to
+// materializing the wave's live rows and calling ProcessBatch — section
+// types an operator cannot handle SoA are materialized per section, so a
+// wave stays columnar wherever it can.
+type ColumnarProcessor interface {
+	// ColumnarCapable reports whether the operator can usefully process
+	// SoA waves (it has the kernels its configuration needs). The engine
+	// falls back to row materialization at the first incapable stage.
+	ColumnarCapable() bool
+	// ProcessColumnar advances the wave through this operator in place.
+	ProcessColumnar(cb *wire.ColumnarBatch)
+}
+
+// ColumnarPred compiles a filter predicate against one SoA section: it
+// returns a per-live-row predicate over the column index, or ok=false
+// when the section's type cannot be evaluated columnar (the filter then
+// materializes that section and applies the row predicate).
+type ColumnarPred func(sec *wire.ColSec) (keep func(i int) bool, ok bool)
+
+// ColumnarMapKernel transforms one SoA section, appending zero or more
+// replacement sections to out. It reports false when it cannot handle
+// the section's type; the Map then falls back to materializing that
+// section's rows. Kernels must compact away the input's selection
+// vector (output sections carry only live rows) and must not write
+// through the input section's columns.
+type ColumnarMapKernel func(sec *wire.ColSec, out *[]wire.ColSec) bool
+
+// AggKernel selects GroupAgg's SoA aggregation loop. A kernel must
+// compute exactly the same group key and value as the operator's
+// keyFn/valFn (the plan layer wires them together); sections a kernel
+// does not cover fall back to per-section row materialization.
+type AggKernel int
+
+// GroupAgg columnar kernels for the canonical queries' extractors.
+const (
+	// AggKernelNone disables SoA aggregation of raw sections (partial
+	// AggRow sections still merge columnar).
+	AggKernelNone AggKernel = iota
+	// AggKernelPingPairRTT keys ping sections on the packed numeric
+	// (srcIP<<32 | dstIP) pair and aggregates RTT — ProbePairKey/ProbeRTT.
+	AggKernelPingPairRTT
+	// AggKernelToRPairRTT keys ToR sections on (srcToR<<32 | dstToR) and
+	// aggregates RTT — ToRPairKey/ToRRTT.
+	AggKernelToRPairRTT
+	// AggKernelJobStatsCount keys JobStats sections on
+	// (tenant, statName, bucket) and counts — JobStatsKey/JobStatsOne.
+	// The string form "tenant|statName|bucket" is assembled once per
+	// group (when the group is first seen), not once per row: lookups go
+	// through a per-window cache keyed on the interned column strings.
+	AggKernelJobStatsCount
+)
+
+// --- Window ---
+
+// ColumnarCapable implements ColumnarProcessor: window assignment needs
+// only the shared header columns.
+func (w *Window) ColumnarCapable() bool { return true }
+
+// ProcessColumnar implements ColumnarProcessor: each section's window
+// column is recomputed from its time column in one pass. The replacement
+// columns come from a high-water scratch buffer reused across calls
+// (their contents are only referenced until the wave is consumed, within
+// the same engine ingest).
+func (w *Window) ProcessColumnar(cb *wire.ColumnarBatch) {
+	total := 0
+	for si := range cb.Secs {
+		if cb.Secs[si].Rows == nil {
+			total += len(cb.Secs[si].Times)
+		}
+	}
+	if cap(w.winScratch) < total {
+		w.winScratch = make([]int64, total)
+	}
+	buf := w.winScratch[:0]
+	for si := range cb.Secs {
+		sec := &cb.Secs[si]
+		if sec.Rows != nil {
+			// Materialized fallback rows: rewrite the records into a fresh
+			// slice (the input's array may be shared).
+			rows := make(telemetry.Batch, len(sec.Rows))
+			for i, rec := range sec.Rows {
+				rec.Window = w.WindowOf(rec.Time)
+				rows[i] = rec
+			}
+			sec.Rows = rows
+			continue
+		}
+		n := len(sec.Times)
+		win := buf[len(buf) : len(buf)+n]
+		buf = buf[:len(buf)+n]
+		for i, t := range sec.Times {
+			win[i] = w.WindowOf(t)
+		}
+		sec.Windows = win
+	}
+}
+
+// --- Filter ---
+
+// SetColumnarPred installs the filter's compiled SoA predicate (the plan
+// layer compiles optimizer-visible expressions; opaque predicates may
+// register a hand-written one). Without it the filter is not columnar
+// capable and the engine materializes rows at this stage.
+func (f *Filter) SetColumnarPred(p ColumnarPred) { f.colPred = p }
+
+// ColumnarCapable implements ColumnarProcessor.
+func (f *Filter) ColumnarCapable() bool { return f.colPred != nil }
+
+// ProcessColumnar implements ColumnarProcessor: sections the compiled
+// predicate covers are narrowed with a selection vector (columns stay
+// shared, zero copying); the rest are materialized and filtered by the
+// row predicate.
+func (f *Filter) ProcessColumnar(cb *wire.ColumnarBatch) {
+	total := 0
+	for si := range cb.Secs {
+		total += cb.Secs[si].Len()
+	}
+	if cap(f.selScratch) < total {
+		f.selScratch = make([]int32, total)
+	}
+	buf := f.selScratch[:0]
+	for si := range cb.Secs {
+		sec := &cb.Secs[si]
+		if sec.Rows != nil {
+			sec.Rows = f.filterRows(sec.Rows)
+			continue
+		}
+		keep, ok := f.colPred(sec)
+		if !ok {
+			var rows telemetry.Batch
+			sec.AppendRows(&rows)
+			*sec = wire.ColSec{Tag: sec.Tag, Rows: f.filterRows(rows)}
+			continue
+		}
+		sel := buf[len(buf):len(buf)]
+		if sec.Sel != nil {
+			for _, i := range sec.Sel {
+				if keep(int(i)) {
+					sel = append(sel, i)
+				}
+			}
+		} else {
+			for i := 0; i < len(sec.Times); i++ {
+				if keep(i) {
+					sel = append(sel, int32(i))
+				}
+			}
+		}
+		buf = buf[:len(buf)+len(sel)]
+		sec.Sel = sel
+	}
+}
+
+// filterRows applies the row predicate to materialized records, always
+// into a fresh slice (the input array may be shared with the frame).
+func (f *Filter) filterRows(rows telemetry.Batch) telemetry.Batch {
+	out := make(telemetry.Batch, 0, len(rows))
+	for i := range rows {
+		if f.pred(rows[i]) {
+			out = append(out, rows[i])
+		}
+	}
+	return out
+}
+
+// --- Map ---
+
+// SetColumnarKernel installs the map's SoA transformation. Without it
+// the map is not columnar capable.
+func (m *Map) SetColumnarKernel(k ColumnarMapKernel) { m.colKernel = k }
+
+// ColumnarCapable implements ColumnarProcessor.
+func (m *Map) ColumnarCapable() bool { return m.colKernel != nil }
+
+// ProcessColumnar implements ColumnarProcessor: the section list is
+// rebuilt through the kernel; sections it declines are materialized and
+// run through the row function.
+func (m *Map) ProcessColumnar(cb *wire.ColumnarBatch) {
+	out := make([]wire.ColSec, 0, len(cb.Secs))
+	for si := range cb.Secs {
+		sec := &cb.Secs[si]
+		if sec.Rows == nil && m.colKernel(sec, &out) {
+			continue
+		}
+		var rows telemetry.Batch
+		sec.AppendRows(&rows)
+		mapped := make(telemetry.Batch, 0, len(rows))
+		emit := func(rec telemetry.Record) { mapped = append(mapped, rec) }
+		for i := range rows {
+			m.fn(rows[i], emit)
+		}
+		out = append(out, wire.ColSec{Tag: sec.Tag, Rows: mapped})
+	}
+	cb.Secs = out
+}
+
+// --- GroupAgg ---
+
+// SetAggKernel installs the SoA aggregation loop matching the operator's
+// key/value extractors.
+func (g *GroupAgg) SetAggKernel(k AggKernel) { g.kernel = k }
+
+// ColumnarCapable implements ColumnarProcessor: merging partial AggRow
+// sections columnar is always a win, and anything else falls back per
+// section, so G+R never forces the engine off the SoA path.
+func (g *GroupAgg) ColumnarCapable() bool { return true }
+
+// ProcessColumnar implements ColumnarProcessor. Results leave via Flush,
+// exactly as on the row path, so the wave is consumed whole: partial
+// AggRow sections merge straight from their columns, raw sections with a
+// matching kernel aggregate straight from theirs (no record, key-struct
+// or key-string per row), and everything else materializes per section.
+func (g *GroupAgg) ProcessColumnar(cb *wire.ColumnarBatch) {
+	for si := range cb.Secs {
+		sec := &cb.Secs[si]
+		switch {
+		case sec.Rows != nil:
+			g.ProcessBatch(sec.Rows, nil)
+		case sec.Agg != nil:
+			g.mergeAggCols(sec)
+		case sec.Ping != nil && g.kernel == AggKernelPingPairRTT:
+			g.aggPingPairRTT(sec)
+		case sec.ToR != nil && g.kernel == AggKernelToRPairRTT:
+			g.aggToRPairRTT(sec)
+		case sec.Job != nil && g.kernel == AggKernelJobStatsCount:
+			g.aggJobStatsCount(sec)
+		default:
+			g.colScratch = g.colScratch[:0]
+			sec.AppendRows(&g.colScratch)
+			g.ProcessBatch(g.colScratch, nil)
+		}
+	}
+	cb.Reset()
+}
+
+// mergeAggCols merges one partial-aggregate section without building
+// AggRow records: each live row becomes one mergePartial against a
+// stack-allocated row.
+func (g *GroupAgg) mergeAggCols(sec *wire.ColSec) {
+	c := sec.Agg
+	sec.Live(func(i int) {
+		row := telemetry.AggRow{
+			Key:    telemetry.GroupKey{Num: c.KeyNum[i], Str: c.KeyStr[i]},
+			Window: c.Window[i], Count: c.Count[i],
+			Sum: c.Sum[i], Min: c.Min[i], Max: c.Max[i],
+		}
+		g.mergePartial(sec.Windows[i], &row)
+	})
+}
+
+// observeNum folds one numeric-keyed observation, resolving the window
+// state per run of equal window ids like the row batch path.
+type numAggState struct {
+	win     *aggWindow
+	winID   int64
+	haveWin bool
+}
+
+func (g *GroupAgg) observeNumKeyed(st *numAggState, window int64, key uint64, val float64) {
+	if !st.haveWin || window != st.winID {
+		st.win = g.window(window)
+		st.win.gen = g.gen
+		st.winID, st.haveWin = window, true
+	}
+	cell := st.win.num[key]
+	if cell == nil {
+		st.win.store(telemetry.GroupKey{Num: key},
+			&aggCell{row: telemetry.NewAggRow(telemetry.NumKey(key), window, val), gen: g.gen})
+		return
+	}
+	cell.row.Observe(val)
+	cell.gen = g.gen
+}
+
+// aggPingPairRTT aggregates a ping section straight from its columns:
+// the packed (srcIP, dstIP) key and the RTT value never pass through a
+// Record, a GroupKey hash of the full struct, or an interface call.
+func (g *GroupAgg) aggPingPairRTT(sec *wire.ColSec) {
+	c := sec.Ping
+	var st numAggState
+	if sec.Sel != nil {
+		for _, i := range sec.Sel {
+			key := uint64(c.SrcIP[i])<<32 | uint64(c.DstIP[i])
+			g.observeNumKeyed(&st, sec.Windows[i], key, float64(c.RTT[i]))
+		}
+		return
+	}
+	for i := range sec.Times {
+		key := uint64(c.SrcIP[i])<<32 | uint64(c.DstIP[i])
+		g.observeNumKeyed(&st, sec.Windows[i], key, float64(c.RTT[i]))
+	}
+}
+
+// aggToRPairRTT is aggPingPairRTT for ToR sections.
+func (g *GroupAgg) aggToRPairRTT(sec *wire.ColSec) {
+	c := sec.ToR
+	var st numAggState
+	if sec.Sel != nil {
+		for _, i := range sec.Sel {
+			key := uint64(c.SrcToR[i])<<32 | uint64(c.DstToR[i])
+			g.observeNumKeyed(&st, sec.Windows[i], key, float64(c.RTT[i]))
+		}
+		return
+	}
+	for i := range sec.Times {
+		key := uint64(c.SrcToR[i])<<32 | uint64(c.DstToR[i])
+		g.observeNumKeyed(&st, sec.Windows[i], key, float64(c.RTT[i]))
+	}
+}
+
+// jobRefKey is the columnar lookup key for JobStats groups: the interned
+// column strings plus the bucket, hashed without assembling the
+// "tenant|statName|bucket" string the canonical key uses.
+type jobRefKey struct {
+	tenant, stat string
+	bucket       int64
+}
+
+// aggJobStatsCount aggregates a JobStats section keyed on interned
+// string refs: the canonical string key is assembled only when a group
+// is first seen in a window; afterwards rows reach their cell through
+// the per-window byRef cache.
+func (g *GroupAgg) aggJobStatsCount(sec *wire.ColSec) {
+	c := sec.Job
+	var win *aggWindow
+	winID, haveWin := int64(0), false
+	sec.Live(func(i int) {
+		w := sec.Windows[i]
+		if !haveWin || w != winID {
+			win = g.window(w)
+			win.gen = g.gen
+			winID, haveWin = w, true
+		}
+		ref := jobRefKey{tenant: c.Tenant[i], stat: c.StatName[i], bucket: c.Bucket[i]}
+		cell := win.byRef[ref]
+		if cell == nil {
+			// First sighting through the columnar path: assemble the
+			// canonical key once, find or create the row-path cell, and
+			// cache it under the interned refs.
+			key := telemetry.StrKey(ref.tenant + "|" + ref.stat + "|" + itoa(int(ref.bucket)))
+			cell = win.lookup(key)
+			if cell == nil {
+				cell = &aggCell{row: telemetry.NewAggRow(key, w, 1), gen: g.gen}
+				win.store(key, cell)
+				if win.byRef == nil {
+					win.byRef = make(map[jobRefKey]*aggCell)
+				}
+				win.byRef[ref] = cell
+				return
+			}
+			if win.byRef == nil {
+				win.byRef = make(map[jobRefKey]*aggCell)
+			}
+			win.byRef[ref] = cell
+		}
+		cell.row.Observe(1)
+		cell.gen = g.gen
+	})
+}

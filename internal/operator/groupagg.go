@@ -40,6 +40,10 @@ type GroupAgg struct {
 	// one instead of leaking memory forever.
 	closed     []int64
 	closedLost bool
+	// kernel selects the columnar aggregation loop (SetAggKernel);
+	// colScratch backs per-section row-materialization fallbacks.
+	kernel     AggKernel
+	colScratch telemetry.Batch
 }
 
 // maxClosedTombstones bounds the closed-window list an operator keeps
@@ -66,9 +70,14 @@ func (g *GroupAgg) noteClosed(w int64) {
 // the bare uint64 — hashing and comparing the full GroupKey struct (8 B
 // + string header) costs ~2× per record on the aggregation hot path.
 type aggWindow struct {
-	num map[uint64]*aggCell            // keys with Str == ""
+	num map[uint64]*aggCell             // keys with Str == ""
 	str map[telemetry.GroupKey]*aggCell // keys carrying a string
 	gen uint64
+	// byRef caches cells under their interned columnar refs (tenant,
+	// statName, bucket) so the SoA JobStats kernel assembles the
+	// canonical string key once per group, not once per row. Entries
+	// alias cells of str; the cache dies with the window.
+	byRef map[jobRefKey]*aggCell
 }
 
 // aggCell is one group's row plus its newest touch stamp.

@@ -161,6 +161,9 @@ type Operator interface {
 type Window struct {
 	name string
 	dur  int64 // window length, microseconds
+	// winScratch backs the replacement window columns of the columnar
+	// path (high-water, reused across waves).
+	winScratch []int64
 }
 
 // NewWindow creates a tumbling-window operator of the given duration in
@@ -222,6 +225,10 @@ func (w *Window) Reset() {}
 type Filter struct {
 	name string
 	pred func(telemetry.Record) bool
+	// colPred is the compiled SoA predicate (SetColumnarPred); selScratch
+	// backs the selection vectors it produces (high-water, reused).
+	colPred    ColumnarPred
+	selScratch []int32
 }
 
 // NewFilter creates a filter operator.
@@ -266,6 +273,9 @@ func (f *Filter) Reset() {}
 type Map struct {
 	name string
 	fn   func(telemetry.Record, Emit)
+	// colKernel is the SoA transformation (SetColumnarKernel), when the
+	// map has one.
+	colKernel ColumnarMapKernel
 }
 
 // NewMap creates a map operator from a flat-map function.

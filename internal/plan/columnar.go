@@ -1,0 +1,371 @@
+package plan
+
+import (
+	"errors"
+
+	"jarvis/internal/operator"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/wire"
+)
+
+// Columnar predicate compilation: optimizer-visible filter expressions
+// (Expr) compile into operator.ColumnarPred kernels that evaluate over a
+// decoded section's columns, so the SP-side SoA path never materializes
+// records just to run a filter. Compilation happens per section (field
+// names resolve to column accessors once, not per row) and preserves
+// Eval's exact semantics, including its error behaviour: a record whose
+// payload lacks a referenced field fails evaluation and is dropped, and
+// And/Or short-circuit before touching their right operand.
+
+// errColField is the sentinel for a field the section's payload type
+// lacks — Instantiate's row predicate drops records on any Eval error,
+// so the error's identity never matters, only its presence.
+var errColField = errors.New("plan: field not in section payload")
+
+// colEval evaluates one compiled expression node for column row i.
+type colEval func(i int) (Value, error)
+
+// compileColumnarPred compiles e into a columnar filter predicate
+// matching Instantiate's row predicate `err == nil && v.Truthy()`.
+func compileColumnarPred(e Expr) operator.ColumnarPred {
+	return func(sec *wire.ColSec) (func(i int) bool, bool) {
+		// Fast path: a single numeric field/constant comparison (the
+		// dominant filter shape, e.g. errCode == 0) compiles to one
+		// branchless column scan closure.
+		if keep, ok := compileFastCmp(e, sec); ok {
+			return keep, true
+		}
+		ev, ok := compileColExpr(e, sec)
+		if !ok {
+			return nil, false
+		}
+		return func(i int) bool {
+			v, err := ev(i)
+			return err == nil && v.Truthy()
+		}, true
+	}
+}
+
+// compileFastCmp recognizes cmp(field, const) / cmp(const, field) over a
+// numeric column and compiles it without the Value boxing of the general
+// path.
+func compileFastCmp(e Expr, sec *wire.ColSec) (func(i int) bool, bool) {
+	c, ok := e.(cmpExpr)
+	if !ok {
+		return nil, false
+	}
+	fe, feOK := c.l.(fieldExpr)
+	ce, ceOK := c.r.(constExpr)
+	op := c.op
+	if !feOK || !ceOK {
+		fe, feOK = c.r.(fieldExpr)
+		ce, ceOK = c.l.(constExpr)
+		if !feOK || !ceOK {
+			return nil, false
+		}
+		// Mirror the comparison: const OP field == field flip(OP) const.
+		switch op {
+		case LT:
+			op = GT
+		case LE:
+			op = GE
+		case GT:
+			op = LT
+		case GE:
+			op = LE
+		}
+	}
+	if ce.v.IsStr {
+		return nil, false
+	}
+	col, ok := numColumn(sec, fe.name)
+	if !ok {
+		return nil, false
+	}
+	rhs := ce.v.F
+	switch op {
+	case EQ:
+		return func(i int) bool { return col(i) == rhs }, true
+	case NE:
+		return func(i int) bool { return col(i) != rhs }, true
+	case LT:
+		return func(i int) bool { return col(i) < rhs }, true
+	case LE:
+		return func(i int) bool { return col(i) <= rhs }, true
+	case GT:
+		return func(i int) bool { return col(i) > rhs }, true
+	case GE:
+		return func(i int) bool { return col(i) >= rhs }, true
+	}
+	return nil, false
+}
+
+// compileColExpr compiles an expression node against a section. ok=false
+// means the section cannot be evaluated columnar at all (unsupported
+// expression shape or a field we cannot resolve to a column even though
+// the payload type has it) — the filter then materializes the section.
+func compileColExpr(e Expr, sec *wire.ColSec) (colEval, bool) {
+	switch x := e.(type) {
+	case constExpr:
+		v := x.v
+		return func(int) (Value, error) { return v, nil }, true
+	case fieldExpr:
+		return compileColField(x.name, sec)
+	case cmpExpr:
+		l, ok := compileColExpr(x.l, sec)
+		if !ok {
+			return nil, false
+		}
+		r, ok := compileColExpr(x.r, sec)
+		if !ok {
+			return nil, false
+		}
+		op := x.op
+		return func(i int) (Value, error) {
+			lv, err := l(i)
+			if err != nil {
+				return Value{}, err
+			}
+			rv, err := r(i)
+			if err != nil {
+				return Value{}, err
+			}
+			return cmpValues(op, lv, rv)
+		}, true
+	case logicExpr:
+		l, ok := compileColExpr(x.l, sec)
+		if !ok {
+			return nil, false
+		}
+		r, ok := compileColExpr(x.r, sec)
+		if !ok {
+			return nil, false
+		}
+		and := x.op == AndOp
+		return func(i int) (Value, error) {
+			lv, err := l(i)
+			if err != nil {
+				return Value{}, err
+			}
+			if and && !lv.Truthy() {
+				return NumValue(0), nil
+			}
+			if !and && lv.Truthy() {
+				return NumValue(1), nil
+			}
+			rv, err := r(i)
+			if err != nil {
+				return Value{}, err
+			}
+			return NumValue(b2f(rv.Truthy())), nil
+		}, true
+	case notExpr:
+		in, ok := compileColExpr(x.e, sec)
+		if !ok {
+			return nil, false
+		}
+		return func(i int) (Value, error) {
+			v, err := in(i)
+			if err != nil {
+				return Value{}, err
+			}
+			return NumValue(b2f(!v.Truthy())), nil
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// cmpValues applies one comparison with Eval's exact semantics.
+func cmpValues(op CmpOp, lv, rv Value) (Value, error) {
+	var cmp int
+	if lv.IsStr || rv.IsStr {
+		if !lv.IsStr || !rv.IsStr {
+			return Value{}, errColField // string/number mix fails Eval too
+		}
+		switch {
+		case lv.S < rv.S:
+			cmp = -1
+		case lv.S > rv.S:
+			cmp = 1
+		}
+	} else {
+		switch {
+		case lv.F < rv.F:
+			cmp = -1
+		case lv.F > rv.F:
+			cmp = 1
+		}
+	}
+	var ok bool
+	switch op {
+	case EQ:
+		ok = cmp == 0
+	case NE:
+		ok = cmp != 0
+	case LT:
+		ok = cmp < 0
+	case LE:
+		ok = cmp <= 0
+	case GT:
+		ok = cmp > 0
+	case GE:
+		ok = cmp >= 0
+	}
+	return NumValue(b2f(ok)), nil
+}
+
+// errEval is the accessor for a field the payload type lacks: every row
+// fails evaluation, exactly as GetField reporting false does on the row
+// path.
+func errEval(int) (Value, error) { return Value{}, errColField }
+
+// compileColField resolves a field name against the section's columns,
+// mirroring GetField's per-type field tables.
+func compileColField(name string, sec *wire.ColSec) (colEval, bool) {
+	// Generic record-header fields exist for every payload type.
+	switch name {
+	case "_time":
+		t := sec.Times
+		return func(i int) (Value, error) { return NumValue(float64(t[i])), nil }, true
+	case "_window":
+		w := sec.Windows
+		return func(i int) (Value, error) { return NumValue(float64(w[i])), nil }, true
+	}
+	if col, ok := numColumn(sec, name); ok {
+		return func(i int) (Value, error) { return NumValue(col(i)), nil }, true
+	}
+	if col, ok := strColumn(sec, name); ok {
+		return func(i int) (Value, error) { return StrValue(col[i]), nil }, true
+	}
+	if fieldInPayload(sec, name) {
+		// The payload has the field but we have no column for it
+		// (e.g. _size, AggRow's rendered key): fall back to rows.
+		return nil, false
+	}
+	return errEval, true
+}
+
+// numColumn resolves a numeric field to a column accessor.
+func numColumn(sec *wire.ColSec, name string) (func(i int) float64, bool) {
+	u32 := func(c []uint32) func(int) float64 {
+		return func(i int) float64 { return float64(c[i]) }
+	}
+	i64 := func(c []int64) func(int) float64 {
+		return func(i int) float64 { return float64(c[i]) }
+	}
+	f64 := func(c []float64) func(int) float64 {
+		return func(i int) float64 { return c[i] }
+	}
+	switch {
+	case sec.Ping != nil:
+		p := sec.Ping
+		switch name {
+		case "errCode":
+			return u32(p.Err), true
+		case "srcIp":
+			return u32(p.SrcIP), true
+		case "dstIp":
+			return u32(p.DstIP), true
+		case "srcCluster":
+			return u32(p.SrcCluster), true
+		case "dstCluster":
+			return u32(p.DstCluster), true
+		case "rtt":
+			return u32(p.RTT), true
+		case "timestamp":
+			return i64(p.TS), true
+		}
+	case sec.ToR != nil:
+		p := sec.ToR
+		switch name {
+		case "srcToR":
+			return u32(p.SrcToR), true
+		case "dstToR":
+			return u32(p.DstToR), true
+		case "rtt":
+			return u32(p.RTT), true
+		case "timestamp":
+			return i64(p.TS), true
+		}
+	case sec.Log != nil:
+		if name == "timestamp" {
+			return i64(sec.Log.TS), true
+		}
+	case sec.Job != nil:
+		p := sec.Job
+		switch name {
+		case "stat":
+			return f64(p.Stat), true
+		case "bucket":
+			return i64(p.Bucket), true
+		case "timestamp":
+			return i64(p.TS), true
+		}
+	case sec.Agg != nil:
+		p := sec.Agg
+		switch name {
+		case "count":
+			return i64(p.Count), true
+		case "sum":
+			return f64(p.Sum), true
+		case "min":
+			return f64(p.Min), true
+		case "max":
+			return f64(p.Max), true
+		case "avg":
+			c, s := p.Count, p.Sum
+			return func(i int) float64 {
+				if c[i] == 0 {
+					return 0
+				}
+				return s[i] / float64(c[i])
+			}, true
+		}
+	}
+	return nil, false
+}
+
+// strColumn resolves a string field to its column.
+func strColumn(sec *wire.ColSec, name string) ([]string, bool) {
+	switch {
+	case sec.Log != nil:
+		if name == "raw" {
+			return sec.Log.Raw, true
+		}
+	case sec.Job != nil:
+		switch name {
+		case "tenant":
+			return sec.Job.Tenant, true
+		case "statName":
+			return sec.Job.StatName, true
+		}
+	}
+	return nil, false
+}
+
+// fieldInPayload reports whether GetField would resolve the name for the
+// section's payload type — used to distinguish "field missing, rows
+// drop" from "field exists but has no column, materialize".
+func fieldInPayload(sec *wire.ColSec, name string) bool {
+	if name == "_size" {
+		return true
+	}
+	var probe telemetry.Record
+	switch {
+	case sec.Ping != nil:
+		probe.Data = &telemetry.PingProbe{}
+	case sec.ToR != nil:
+		probe.Data = &telemetry.ToRProbe{}
+	case sec.Log != nil:
+		probe.Data = &telemetry.LogLine{}
+	case sec.Job != nil:
+		probe.Data = &telemetry.JobStats{}
+	case sec.Agg != nil:
+		probe.Data = &telemetry.AggRow{}
+	default:
+		return true // unknown section: be conservative, materialize
+	}
+	_, ok := GetField(probe, name)
+	return ok
+}

@@ -53,6 +53,16 @@ type OpSpec struct {
 	// operator (rule R-4 keeps >1 off data sources).
 	Parallelism int
 
+	// ColPred is an optional hand-written columnar predicate for opaque
+	// filters (expression filters compile theirs automatically); ColMap
+	// an optional SoA kernel for maps; ColAgg the SoA aggregation loop
+	// matching a GroupAgg's KeyFn/ValFn. All three feed the SP-side
+	// columnar execution path and must be observably equivalent to the
+	// row-at-a-time functions they accelerate.
+	ColPred operator.ColumnarPred
+	ColMap  operator.ColumnarMapKernel
+	ColAgg  operator.AggKernel
+
 	// CostPct is the calibrated CPU cost (percent of one reference core)
 	// this operator consumes when the whole query processes its full
 	// input at the reference rate — i.e. the operator's actual share
@@ -143,6 +153,27 @@ func (q *Query) GroupAgg(name string, keyFn func(telemetry.Record) telemetry.Gro
 		Name: name, Kind: operator.KindGroupAgg, KeyFn: keyFn, ValFn: valFn,
 		IncrementalAgg: true, CostPct: costPct, RelayBytes: relay, Parallelism: 1,
 	})
+	return q
+}
+
+// WithColumnarPred installs a hand-written columnar predicate on the
+// most recently appended (opaque) filter.
+func (q *Query) WithColumnarPred(p operator.ColumnarPred) *Query {
+	q.Ops[len(q.Ops)-1].ColPred = p
+	return q
+}
+
+// WithMapKernel installs a columnar transformation on the most recently
+// appended map.
+func (q *Query) WithMapKernel(k operator.ColumnarMapKernel) *Query {
+	q.Ops[len(q.Ops)-1].ColMap = k
+	return q
+}
+
+// WithAggKernel installs the columnar aggregation loop matching the most
+// recently appended GroupAgg's key/value extractors.
+func (q *Query) WithAggKernel(k operator.AggKernel) *Query {
+	q.Ops[len(q.Ops)-1].ColAgg = k
 	return q
 }
 
@@ -248,16 +279,28 @@ func (q *Query) Instantiate() ([]operator.Operator, error) {
 			ops = append(ops, operator.NewWindow(spec.Name, spec.WindowDur))
 		case operator.KindFilter:
 			pred := spec.PredFn
+			colPred := spec.ColPred
 			if pred == nil {
 				expr := spec.Pred
 				pred = func(rec telemetry.Record) bool {
 					v, err := expr.Eval(rec, GetField)
 					return err == nil && v.Truthy()
 				}
+				if colPred == nil {
+					colPred = compileColumnarPred(expr)
+				}
 			}
-			ops = append(ops, operator.NewFilter(spec.Name, pred))
+			f := operator.NewFilter(spec.Name, pred)
+			if colPred != nil {
+				f.SetColumnarPred(colPred)
+			}
+			ops = append(ops, f)
 		case operator.KindMap:
-			ops = append(ops, operator.NewMap(spec.Name, spec.MapFn))
+			m := operator.NewMap(spec.Name, spec.MapFn)
+			if spec.ColMap != nil {
+				m.SetColumnarKernel(spec.ColMap)
+			}
+			ops = append(ops, m)
 		case operator.KindJoin:
 			ops = append(ops, operator.NewJoin(spec.Name, spec.TableSize, spec.JoinFn))
 		case operator.KindGroupAgg:
@@ -269,7 +312,9 @@ func (q *Query) Instantiate() ([]operator.Operator, error) {
 				ops = append(ops, operator.NewGroupQuantile(spec.Name, dur,
 					spec.KeyFn, spec.ValFn, qs.Lo, qs.Hi, qs.Buckets))
 			} else {
-				ops = append(ops, operator.NewGroupAgg(spec.Name, dur, spec.KeyFn, spec.ValFn))
+				g := operator.NewGroupAgg(spec.Name, dur, spec.KeyFn, spec.ValFn)
+				g.SetAggKernel(spec.ColAgg)
+				ops = append(ops, g)
 			}
 		default:
 			return nil, fmt.Errorf("plan: unknown kind %v", spec.Kind)

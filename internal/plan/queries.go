@@ -7,6 +7,7 @@ import (
 
 	"jarvis/internal/operator"
 	"jarvis/internal/telemetry"
+	"jarvis/internal/wire"
 	"jarvis/internal/workload"
 )
 
@@ -28,7 +29,8 @@ func S2SProbe() *Query {
 		WithRefRate(workload.PingmeshMbps10x, telemetry.PingProbeWireSize).
 		Window(10*time.Second, 1.0).
 		FilterExpr("errFilter", Eq(Field("errCode"), Num(0)), 13.0, 0.86).
-		GroupAgg("latAgg", operator.ProbePairKey, operator.ProbeRTT, 71.0, 0.30)
+		GroupAgg("latAgg", operator.ProbePairKey, operator.ProbeRTT, 71.0, 0.30).
+		WithAggKernel(operator.AggKernelPingPairRTT)
 }
 
 // JoinCostPct models the per-join CPU cost (percent of a core on the
@@ -61,7 +63,8 @@ func T2TProbe(table *telemetry.ToRTable) *Query {
 		Join("srcToR", table.Len(), joinFn(j1), jc, 1.0).
 		Join("dstToR", table.Len(), joinFn(j2), jc,
 			float64(telemetry.ToRProbeWireSize)/float64(telemetry.PingProbeWireSize)).
-		GroupAgg("torAgg", operator.ToRPairKey, operator.ToRRTT, 6.6, 0.05)
+		GroupAgg("torAgg", operator.ToRPairKey, operator.ToRRTT, 6.6, 0.05).
+		WithAggKernel(operator.AggKernelToRPairRTT)
 }
 
 func joinFn(j *operator.Join) func(telemetry.Record) (telemetry.Record, bool) {
@@ -128,10 +131,137 @@ func LogAnalytics() *Query {
 		WithRefRate(workload.LogMbps10x, workload.AvgLogLineBytes).
 		Window(10*time.Second, 0.5).
 		Map("normalize", normalize, nil, 7.0, 0.97).
+		WithMapKernel(normalizeKernel).
 		FilterFunc("patterns", patternFilter, 4.85, 0.90).
+		WithColumnarPred(patternsColPred).
 		Map("parse", parse, nil, 9.2, 1.0).
+		WithMapKernel(parseKernel).
 		Map("bucketize", bucketize, []string{"tenant", "statName"}, 1.35, 1.0).
-		GroupAgg("histogram", operator.JobStatsKey, operator.JobStatsOne, 8.1, 0.05)
+		WithMapKernel(bucketizeKernel).
+		GroupAgg("histogram", operator.JobStatsKey, operator.JobStatsOne, 8.1, 0.05).
+		WithAggKernel(operator.AggKernelJobStatsCount)
+}
+
+// The LogAnalytics SoA kernels mirror the row functions above exactly,
+// minus the per-record telemetry.Record materialization.
+
+// normalizeKernel lowercases/trims the raw column into a compacted log
+// section (strings already normal — the generator's common case — stay
+// interned, no allocation).
+func normalizeKernel(sec *wire.ColSec, out *[]wire.ColSec) bool {
+	if sec.Log == nil {
+		return false
+	}
+	n := sec.Len()
+	ns := wire.ColSec{
+		Tag:     wire.TagLogLine,
+		Times:   make([]int64, 0, n),
+		Windows: make([]int64, 0, n),
+		Log:     &wire.LogCols{TS: make([]int64, 0, n), Raw: make([]string, 0, n)},
+	}
+	c := sec.Log
+	sec.Live(func(i int) {
+		ns.Times = append(ns.Times, sec.Times[i])
+		ns.Windows = append(ns.Windows, sec.Windows[i])
+		ns.Log.TS = append(ns.Log.TS, c.TS[i])
+		ns.Log.Raw = append(ns.Log.Raw, strings.ToLower(strings.TrimSpace(c.Raw[i])))
+	})
+	*out = append(*out, ns)
+	return true
+}
+
+// patternsColPred evaluates the LogAnalytics pattern filter over the raw
+// string column.
+func patternsColPred(sec *wire.ColSec) (func(i int) bool, bool) {
+	if sec.Log == nil {
+		return nil, false
+	}
+	raw := sec.Log.Raw
+	return func(i int) bool { return ContainsAny(raw[i], workload.Patterns) }, true
+}
+
+// parseKernel flat-maps a log section into a JobStats section: one
+// output row per statistic on each parseable line, malformed lines
+// dropped — identical to the row path's parse.
+func parseKernel(sec *wire.ColSec, out *[]wire.ColSec) bool {
+	if sec.Log == nil {
+		return false
+	}
+	n := sec.Len()
+	ns := wire.ColSec{
+		Tag:     wire.TagJobStats,
+		Times:   make([]int64, 0, n),
+		Windows: make([]int64, 0, n),
+		Job: &wire.JobCols{
+			TS: make([]int64, 0, n), Tenant: make([]string, 0, n),
+			StatName: make([]string, 0, n), Stat: make([]float64, 0, n),
+		},
+	}
+	c := sec.Log
+	sec.Live(func(i int) {
+		line := c.Raw[i]
+		if j := strings.Index(line, " #"); j >= 0 {
+			line = line[:j]
+		}
+		stats, err := telemetry.ParseJobStats(c.TS[i], line)
+		if err != nil {
+			return
+		}
+		for k := range stats {
+			ns.Times = append(ns.Times, sec.Times[i])
+			ns.Windows = append(ns.Windows, sec.Windows[i])
+			ns.Job.TS = append(ns.Job.TS, stats[k].Timestamp)
+			ns.Job.Tenant = append(ns.Job.Tenant, stats[k].Tenant)
+			ns.Job.StatName = append(ns.Job.StatName, stats[k].StatName)
+			ns.Job.Stat = append(ns.Job.Stat, stats[k].Stat)
+		}
+	})
+	ns.Job.Bucket = make([]int64, len(ns.Times))
+	*out = append(*out, ns)
+	return true
+}
+
+// bucketizeKernel replaces a JobStats section's bucket column with
+// width_bucket(stat, 0, 100, 10), sharing every other column.
+func bucketizeKernel(sec *wire.ColSec, out *[]wire.ColSec) bool {
+	if sec.Job == nil {
+		return false
+	}
+	if sec.Sel == nil {
+		cols := *sec.Job
+		cols.Bucket = make([]int64, len(cols.Stat))
+		for i, v := range cols.Stat {
+			cols.Bucket[i] = int64(telemetry.WidthBucket(v, 0, 100, 10))
+		}
+		ns := *sec
+		ns.Job = &cols
+		*out = append(*out, ns)
+		return true
+	}
+	// A live selection means compacting every column anyway.
+	n := sec.Len()
+	ns := wire.ColSec{
+		Tag:     wire.TagJobStats,
+		Times:   make([]int64, 0, n),
+		Windows: make([]int64, 0, n),
+		Job: &wire.JobCols{
+			TS: make([]int64, 0, n), Tenant: make([]string, 0, n),
+			StatName: make([]string, 0, n), Stat: make([]float64, 0, n),
+			Bucket: make([]int64, 0, n),
+		},
+	}
+	c := sec.Job
+	sec.Live(func(i int) {
+		ns.Times = append(ns.Times, sec.Times[i])
+		ns.Windows = append(ns.Windows, sec.Windows[i])
+		ns.Job.TS = append(ns.Job.TS, c.TS[i])
+		ns.Job.Tenant = append(ns.Job.Tenant, c.Tenant[i])
+		ns.Job.StatName = append(ns.Job.StatName, c.StatName[i])
+		ns.Job.Stat = append(ns.Job.Stat, c.Stat[i])
+		ns.Job.Bucket = append(ns.Job.Bucket, int64(telemetry.WidthBucket(c.Stat[i], 0, 100, 10)))
+	})
+	*out = append(*out, ns)
+	return true
 }
 
 // S2SQuantileProbe is the approximate-percentile variant of S2SProbe the

@@ -8,6 +8,7 @@ import (
 	"jarvis/internal/operator"
 	"jarvis/internal/plan"
 	"jarvis/internal/telemetry"
+	"jarvis/internal/wire"
 )
 
 // SPEngine is the stream-processor-side replica of a query. It ingests
@@ -28,7 +29,11 @@ type SPEngine struct {
 	query    *plan.Query
 	ops      []operator.Operator
 	batchOps []operator.BatchProcessor
-	cm       *CostModel
+	// colOps[i] is non-nil when ops[i] can execute SoA waves; the
+	// columnar ingest path falls back to row materialization at the
+	// first nil stage.
+	colOps []operator.ColumnarProcessor
+	cm     *CostModel
 
 	// watermarks per source node; the effective watermark is their min.
 	sourceWM map[uint32]int64
@@ -38,6 +43,10 @@ type SPEngine struct {
 	// ingest scratch (ping-pong wave buffers), reused across batches.
 	scratchA telemetry.Batch
 	scratchB telemetry.Batch
+	// columnar ingest scratch: the wave's section headers (the columns
+	// themselves stay shared with the caller's batch per the wire
+	// package's mutation discipline).
+	colWave []wire.ColSec
 
 	// accounting
 	cpuMicros    float64
@@ -60,11 +69,15 @@ func NewSPEngine(q *plan.Query) (*SPEngine, error) {
 		query:    q,
 		ops:      ops,
 		batchOps: make([]operator.BatchProcessor, len(ops)),
+		colOps:   make([]operator.ColumnarProcessor, len(ops)),
 		cm:       cm,
 		sourceWM: make(map[uint32]int64),
 	}
 	for i, op := range ops {
 		e.batchOps[i] = operator.AsBatchProcessor(op)
+		if cp, ok := op.(operator.ColumnarProcessor); ok && cp.ColumnarCapable() {
+			e.colOps[i] = cp
+		}
 	}
 	return e, nil
 }
@@ -87,6 +100,14 @@ func (e *SPEngine) Ingest(stage int, batch telemetry.Batch) error {
 	}
 	e.ingestBytes += batch.TotalBytes()
 	e.ingestCount += int64(len(batch))
+	e.runRowsLocked(stage, batch)
+	return nil
+}
+
+// runRowsLocked drives a batch through stages [stage, len(ops)) on the
+// vectorized row path, leaving any survivors in e.results. The caller's
+// batch is treated read-only.
+func (e *SPEngine) runRowsLocked(stage int, batch telemetry.Batch) {
 	wave, next := batch, e.scratchA[:0]
 	for i := stage; i < len(e.ops); i++ {
 		e.cpuMicros += e.cm.Cost(i) * float64(len(wave))
@@ -112,6 +133,51 @@ func (e *SPEngine) Ingest(stage int, batch telemetry.Batch) error {
 		// grown) scratch arrays; keep their capacity for the next batch.
 		e.scratchA, e.scratchB = wave[:0], next[:0]
 	}
+}
+
+// IngestColumnar feeds a decoded SoA wave into the pipeline at the given
+// operator stage, driving it through the columnar path of every stage
+// that has one (wire v2 frames then flow decode→execute with zero row
+// materialization on the all-SoA prefix of the plan) and materializing
+// rows once, at the first stage that does not. It is observably
+// equivalent to materializing the batch and calling Ingest.
+//
+// The caller's batch is treated read-only: the engine copies the section
+// headers and operators replace, never overwrite, shared columns.
+func (e *SPEngine) IngestColumnar(stage int, cb *wire.ColumnarBatch) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if stage < 0 || stage > len(e.ops) {
+		return fmt.Errorf("stream: ingest stage %d out of range [0,%d]", stage, len(e.ops))
+	}
+	live := cb.Records()
+	if live == 0 {
+		return nil
+	}
+	e.ingestBytes += cb.TotalBytes()
+	e.ingestCount += int64(live)
+	e.colWave = append(e.colWave[:0], cb.Secs...)
+	wave := wire.ColumnarBatch{Secs: e.colWave}
+	for i := stage; i < len(e.ops); i++ {
+		cp := e.colOps[i]
+		if cp == nil {
+			// Fallback: materialize the wave's live rows once and run the
+			// remaining stages on the row path.
+			var rows telemetry.Batch
+			wave.AppendRows(&rows)
+			e.runRowsLocked(i, rows)
+			return nil
+		}
+		e.cpuMicros += e.cm.Cost(i) * float64(live)
+		cp.ProcessColumnar(&wave)
+		live = wave.Records()
+		if live == 0 {
+			return nil
+		}
+	}
+	// Survivors past the last stage are final results.
+	wave.AppendRows(&e.results)
+	e.resultsCount += int64(live)
 	return nil
 }
 

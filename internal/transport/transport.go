@@ -145,6 +145,7 @@ type Receiver struct {
 	manualAck bool
 	maxVer    uint32
 	gate      HelloGate
+	colExec   bool
 
 	bytesIn int64
 	frames  int64
@@ -159,7 +160,25 @@ func NewReceiver(engine *stream.SPEngine) *Receiver {
 		durable:  make(map[uint32]uint64),
 		writers:  make(map[uint32]*ackWriter),
 		maxVer:   wire.CurrentWireVersion,
+		colExec:  true,
 	}
+}
+
+// SetColumnarExec switches the receiver's v2 frames between SoA
+// execution (the default: decoded columns flow straight into
+// SPEngine.IngestColumnar, no record materialization on the plan's SoA
+// prefix) and the row-materializing reference path. Call before serving
+// connections.
+func (rc *Receiver) SetColumnarExec(v bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.colExec = v
+}
+
+func (rc *Receiver) columnarExec() bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.colExec
 }
 
 // SetMaxVersion caps the wire version this receiver advertises in acks
@@ -248,9 +267,10 @@ func (readOnlyConn) Write(p []byte) (int, error) {
 // flow back on the same connection.
 func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 	fr := wire.NewFrameReader(conn)
-	// maxVer is fixed before serving (SetMaxVersion's contract); snapshot
-	// it once instead of taking the shared mutex per frame.
+	// maxVer and the execution mode are fixed before serving; snapshot
+	// them once instead of taking the shared mutex per frame.
 	maxVer := rc.maxVersion()
+	fr.SetColumnarExec(rc.columnarExec() && maxVer >= wire.WireV2)
 	var (
 		aw        *ackWriter
 		src       uint32
@@ -344,9 +364,38 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 func (rc *Receiver) noteFrame(f wire.Frame) {
 	rc.mu.Lock()
 	rc.frames++
-	rc.bytesIn += f.Records.TotalBytes()
+	rc.bytesIn += f.PayloadBytes()
 	rc.mu.Unlock()
 	rc.counters.Inc(CtrFramesIn)
+}
+
+// eachWatermark invokes fn for every watermark record in a frame,
+// whichever form it was decoded into (columnar watermark sections
+// materialize at decode, so they sit in the batch's row fallbacks).
+func eachWatermark(f wire.Frame, fn func(wm int64)) {
+	for _, rec := range f.Records {
+		if wm, ok := rec.Data.(*wire.Watermark); ok {
+			fn(wm.Time)
+		}
+	}
+	if f.Cols != nil {
+		for si := range f.Cols.Secs {
+			for _, rec := range f.Cols.Secs[si].Rows {
+				if wm, ok := rec.Data.(*wire.Watermark); ok {
+					fn(wm.Time)
+				}
+			}
+		}
+	}
+}
+
+// ingest applies one data frame to the engine on whichever execution
+// path it was decoded for.
+func (rc *Receiver) ingest(f wire.Frame) error {
+	if f.Cols != nil {
+		return rc.engine.IngestColumnar(int(f.StreamID), f.Cols)
+	}
+	return rc.engine.Ingest(int(f.StreamID), f.Records)
 }
 
 // registerConn records the connection serving a source and returns the
@@ -394,14 +443,10 @@ func (rc *Receiver) commitEpoch(src uint32, e *wire.EpochEnd, staged []wire.Fram
 	}
 	for _, f := range staged {
 		if f.StreamID == WatermarkStreamID {
-			for _, rec := range f.Records {
-				if wm, ok := rec.Data.(*wire.Watermark); ok {
-					rc.engine.ObserveWatermark(f.Source, wm.Time)
-				}
-			}
+			eachWatermark(f, func(wm int64) { rc.engine.ObserveWatermark(f.Source, wm) })
 			continue
 		}
-		if err := rc.engine.Ingest(int(f.StreamID), f.Records); err != nil {
+		if err := rc.ingest(f); err != nil {
 			rc.counters.Inc(CtrRecvErrors)
 			return 0, false, fmt.Errorf("transport: apply epoch %d: %w", e.Seq, err)
 		}
@@ -420,14 +465,10 @@ func (rc *Receiver) consume(f wire.Frame) error {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	if f.StreamID == WatermarkStreamID {
-		for _, rec := range f.Records {
-			if wm, ok := rec.Data.(*wire.Watermark); ok {
-				rc.engine.ObserveWatermark(f.Source, wm.Time)
-			}
-		}
+		eachWatermark(f, func(wm int64) { rc.engine.ObserveWatermark(f.Source, wm) })
 		return nil
 	}
-	return rc.engine.Ingest(int(f.StreamID), f.Records)
+	return rc.ingest(f)
 }
 
 // RegisterSource pre-registers a source so watermark merging waits for

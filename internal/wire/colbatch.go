@@ -1,0 +1,477 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"jarvis/internal/telemetry"
+)
+
+// ColumnarBatch is a decoded v2 frame kept in SoA (structure-of-arrays)
+// form: per-field columns backed by the decode arena and the decoder's
+// intern table, never materialized into telemetry.Record structs. It is
+// what the columnar execution path (operator.ColumnarProcessor,
+// SPEngine.IngestColumnar) flows between operator stages.
+//
+// A batch is an ordered list of sections, one per run of consecutive
+// same-type records, so concatenating the sections' rows in order
+// reproduces the original record sequence exactly. Section types the SoA
+// layer does not model (raw v1 payloads, quantile rows, watermarks) are
+// materialized into the section's Rows fallback at decode time; columnar
+// operators that meet a section they cannot process the same way
+// materialize just that section and keep the rest of the wave SoA.
+//
+// Mutation discipline: every column slice and pointed-to column struct
+// may be shared between several ColumnarBatch values (the engine copies
+// section headers, not columns). An operator that wants to change a
+// column must allocate a replacement and swap the ColSec field — never
+// write through a shared array.
+type ColumnarBatch struct {
+	Secs []ColSec
+}
+
+// ColSec is one section of a columnar batch: a run of same-type records
+// as per-field columns. Times and Windows are the record-header columns
+// shared by every SoA tag; exactly one of the payload column structs
+// (Ping, ToR, Log, Job, Agg) is non-nil for a SoA section, and Rows is
+// non-nil instead for a materialized fallback section.
+type ColSec struct {
+	// Tag is the wire type tag of the section's records (advisory for
+	// Rows sections, whose records may be heterogeneous after an
+	// operator fallback).
+	Tag byte
+	// Times and Windows are the record-header columns (event time and
+	// assigned tumbling window), one entry per row.
+	Times   []int64
+	Windows []int64
+	// Sel is the selection vector: indices of live rows, ascending. nil
+	// means all rows are live. It applies to the columns only — Rows
+	// sections are always fully live (filters compact Rows directly).
+	Sel []int32
+
+	Ping *PingCols
+	ToR  *ToRCols
+	Log  *LogCols
+	Job  *JobCols
+	Agg  *AggCols
+	// Rows holds materialized records for section types without SoA
+	// columns, and for operator-level per-section fallbacks.
+	Rows telemetry.Batch
+}
+
+// PingCols are the payload columns of a TagPingProbe section.
+type PingCols struct {
+	TS                                             []int64 // absolute probe timestamps
+	SrcIP, SrcCluster, DstIP, DstCluster, RTT, Err []uint32
+}
+
+// ToRCols are the payload columns of a TagToRProbe section.
+type ToRCols struct {
+	TS                  []int64
+	SrcToR, DstToR, RTT []uint32
+}
+
+// LogCols are the payload columns of a TagLogLine section. Raw strings
+// are interned through the decoder's canonicalization cache.
+type LogCols struct {
+	TS  []int64
+	Raw []string
+}
+
+// JobCols are the payload columns of a TagJobStats section. Tenant and
+// StatName are interned.
+type JobCols struct {
+	TS               []int64
+	Tenant, StatName []string
+	Stat             []float64
+	Bucket           []int64
+}
+
+// AggCols are the payload columns of a TagAggRow section (partial
+// aggregates shipped from upstream GroupAgg replicas). Window is the
+// payload's own window field (already resolved against the record
+// header's window column).
+type AggCols struct {
+	KeyNum        []uint64
+	KeyStr        []string
+	Window        []int64
+	Count         []int64
+	Sum, Min, Max []float64
+}
+
+// Reset empties the batch, keeping the section slice's capacity.
+func (cb *ColumnarBatch) Reset() { cb.Secs = cb.Secs[:0] }
+
+// N returns the section's column length (total rows, live or not).
+func (s *ColSec) N() int {
+	if s.Rows != nil {
+		return len(s.Rows)
+	}
+	return len(s.Times)
+}
+
+// Len returns the section's live row count.
+func (s *ColSec) Len() int {
+	if s.Rows != nil {
+		return len(s.Rows)
+	}
+	if s.Sel != nil {
+		return len(s.Sel)
+	}
+	return len(s.Times)
+}
+
+// Records returns the batch's live row count.
+func (cb *ColumnarBatch) Records() int {
+	n := 0
+	for i := range cb.Secs {
+		n += cb.Secs[i].Len()
+	}
+	return n
+}
+
+// rowBytes returns the accounting wire size of one live row, matching
+// what the row-materializing decoder would stamp into Record.WireSize.
+func (s *ColSec) rowBytes(i int) int64 {
+	switch {
+	case s.Ping != nil:
+		return telemetry.PingProbeWireSize
+	case s.ToR != nil:
+		return telemetry.ToRProbeWireSize
+	case s.Log != nil:
+		return int64(len(s.Log.Raw[i]))
+	case s.Job != nil:
+		return int64(len(s.Job.Tenant[i]) + len(s.Job.StatName[i]) + 8 + 8 + 4 + 16)
+	case s.Agg != nil:
+		keyLen := 8
+		if s.Agg.KeyStr[i] != "" {
+			keyLen = len(s.Agg.KeyStr[i])
+		}
+		return int64(keyLen + 8 + 8 + 8 + 8 + 8 + 16)
+	default:
+		return 0
+	}
+}
+
+// TotalBytes returns the sum of live rows' accounting wire sizes — the
+// columnar equivalent of telemetry.Batch.TotalBytes.
+func (cb *ColumnarBatch) TotalBytes() int64 {
+	var total int64
+	for si := range cb.Secs {
+		s := &cb.Secs[si]
+		if s.Rows != nil {
+			total += s.Rows.TotalBytes()
+			continue
+		}
+		if s.Sel != nil {
+			for _, i := range s.Sel {
+				total += s.rowBytes(int(i))
+			}
+			continue
+		}
+		for i := 0; i < len(s.Times); i++ {
+			total += s.rowBytes(i)
+		}
+	}
+	return total
+}
+
+// AppendRows materializes every live row into records appended to *out,
+// in order, allocating fresh per-section arenas — exactly the records the
+// row-materializing decoder would have produced (after any filtering and
+// window assignment recorded in the section). The appended records own
+// their payload memory and may be retained freely.
+func (cb *ColumnarBatch) AppendRows(out *telemetry.Batch) {
+	for si := range cb.Secs {
+		cb.Secs[si].AppendRows(out)
+	}
+}
+
+// Live invokes fn for every live row index of a columnar section.
+func (s *ColSec) Live(fn func(i int)) {
+	if s.Sel != nil {
+		for _, i := range s.Sel {
+			fn(int(i))
+		}
+		return
+	}
+	for i := 0; i < len(s.Times); i++ {
+		fn(i)
+	}
+}
+
+// AppendRows materializes one section's live rows into *out.
+func (s *ColSec) AppendRows(out *telemetry.Batch) {
+	if s.Rows != nil {
+		*out = append(*out, s.Rows...)
+		return
+	}
+	switch {
+	case s.Ping != nil:
+		arena := make([]telemetry.PingProbe, 0, s.Len())
+		c := s.Ping
+		s.Live(func(i int) {
+			arena = append(arena, telemetry.PingProbe{
+				Timestamp: c.TS[i], SrcIP: c.SrcIP[i], SrcCluster: c.SrcCluster[i],
+				DstIP: c.DstIP[i], DstCluster: c.DstCluster[i],
+				RTTMicros: c.RTT[i], ErrCode: c.Err[i],
+			})
+			*out = append(*out, telemetry.Record{
+				Time: s.Times[i], Window: s.Windows[i],
+				WireSize: telemetry.PingProbeWireSize, Data: &arena[len(arena)-1],
+			})
+		})
+	case s.ToR != nil:
+		arena := make([]telemetry.ToRProbe, 0, s.Len())
+		c := s.ToR
+		s.Live(func(i int) {
+			arena = append(arena, telemetry.ToRProbe{
+				Timestamp: c.TS[i], SrcToR: c.SrcToR[i], DstToR: c.DstToR[i], RTTMicros: c.RTT[i],
+			})
+			*out = append(*out, telemetry.Record{
+				Time: s.Times[i], Window: s.Windows[i],
+				WireSize: telemetry.ToRProbeWireSize, Data: &arena[len(arena)-1],
+			})
+		})
+	case s.Log != nil:
+		arena := make([]telemetry.LogLine, 0, s.Len())
+		c := s.Log
+		s.Live(func(i int) {
+			arena = append(arena, telemetry.LogLine{Timestamp: c.TS[i], Raw: c.Raw[i]})
+			*out = append(*out, telemetry.Record{
+				Time: s.Times[i], Window: s.Windows[i],
+				WireSize: len(c.Raw[i]), Data: &arena[len(arena)-1],
+			})
+		})
+	case s.Job != nil:
+		arena := make([]telemetry.JobStats, 0, s.Len())
+		c := s.Job
+		s.Live(func(i int) {
+			arena = append(arena, telemetry.JobStats{
+				Timestamp: c.TS[i], Tenant: c.Tenant[i], StatName: c.StatName[i],
+				Stat: c.Stat[i], Bucket: int(c.Bucket[i]),
+			})
+			p := &arena[len(arena)-1]
+			*out = append(*out, telemetry.Record{
+				Time: s.Times[i], Window: s.Windows[i],
+				WireSize: p.JobStatsWireSize(), Data: p,
+			})
+		})
+	case s.Agg != nil:
+		arena := make([]telemetry.AggRow, 0, s.Len())
+		c := s.Agg
+		s.Live(func(i int) {
+			arena = append(arena, telemetry.AggRow{
+				Key:    telemetry.GroupKey{Num: c.KeyNum[i], Str: c.KeyStr[i]},
+				Window: c.Window[i], Count: c.Count[i],
+				Sum: c.Sum[i], Min: c.Min[i], Max: c.Max[i],
+			})
+			p := &arena[len(arena)-1]
+			*out = append(*out, telemetry.Record{
+				Time: s.Times[i], Window: s.Windows[i],
+				WireSize: p.AggRowWireSize(), Data: p,
+			})
+		})
+	}
+}
+
+// Clone returns a copy suitable for a second independent execution of
+// the batch: section headers are fresh and selections reset, while the
+// (immutable under the mutation discipline) columns and strings stay
+// shared. Tests and benchmarks use it to re-ingest one decoded frame.
+func (cb *ColumnarBatch) Clone() *ColumnarBatch {
+	out := &ColumnarBatch{Secs: make([]ColSec, len(cb.Secs))}
+	copy(out.Secs, cb.Secs)
+	for i := range out.Secs {
+		s := &out.Secs[i]
+		if s.Sel != nil {
+			s.Sel = append([]int32(nil), s.Sel...)
+		}
+		if s.Rows != nil {
+			s.Rows = s.Rows.Clone()
+		}
+	}
+	return out
+}
+
+// DecodeColumnar parses one columnar payload (the frame bytes after the
+// 12-byte header) into SoA sections appended to cb, without
+// materializing telemetry.Record structs for the section types the SoA
+// layer models. Column arrays are freshly allocated per call (one arena
+// allocation per column, not per record) and own their memory; strings
+// go through the decoder's canonicalization cache like the
+// row-materializing path.
+func (d *ColumnarDecoder) DecodeColumnar(payload []byte, cb *ColumnarBatch) error {
+	if len(payload) < 4 {
+		return ErrShortBuffer
+	}
+	tableOff := binary.BigEndian.Uint32(payload)
+	if tableOff < 4 || uint64(tableOff) > uint64(len(payload)) {
+		return fmt.Errorf("wire: columnar table offset %d outside payload of %d", tableOff, len(payload))
+	}
+	if err := d.readTable(payload[tableOff:]); err != nil {
+		return err
+	}
+	r := &reader{buf: payload[:tableOff], off: 4}
+	for r.off < len(r.buf) {
+		if err := d.decodeSectionCols(r, cb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// headerCols decodes the shared Times/Windows header columns into fresh
+// arrays.
+func (r *reader) headerCols(n int) (times, windows []int64) {
+	times = make([]int64, n)
+	windows = make([]int64, n)
+	r.zigzagDeltas(times)
+	r.zigzagDeltas(windows)
+	return times, windows
+}
+
+// u32Col decodes one packed big-endian uint32 column into a fresh array.
+func (r *reader) u32Col(n int) []uint32 {
+	raw := r.take(4 * n)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(raw[4*i:])
+	}
+	return out
+}
+
+// f64Col decodes one packed big-endian float64 column into a fresh array.
+func (r *reader) f64Col(n int) []float64 {
+	raw := r.take(8 * n)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+// strCol decodes one string-reference column through the frame table and
+// intern cache.
+func (d *ColumnarDecoder) strCol(r *reader, n int) ([]string, error) {
+	out := make([]string, n)
+	for i := range out {
+		s, err := d.strOrErr(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// tsCol decodes the payload-timestamp column (zigzag deltas against the
+// record times) into absolute timestamps.
+func (r *reader) tsCol(times []int64) []int64 {
+	out := make([]int64, len(times))
+	r.zigzags(out)
+	if r.err != nil {
+		return nil
+	}
+	for i := range out {
+		out[i] += times[i]
+	}
+	return out
+}
+
+func (d *ColumnarDecoder) decodeSectionCols(r *reader, cb *ColumnarBatch) error {
+	tag, n, err := d.sectionHeader(r)
+	if err != nil {
+		return err
+	}
+	sec := ColSec{Tag: tag}
+	switch tag {
+	case TagPingProbe:
+		sec.Times, sec.Windows = r.headerCols(n)
+		c := &PingCols{TS: r.tsCol(sec.Times)}
+		c.SrcIP = r.u32Col(n)
+		c.SrcCluster = r.u32Col(n)
+		c.DstIP = r.u32Col(n)
+		c.DstCluster = r.u32Col(n)
+		c.RTT = r.u32Col(n)
+		c.Err = r.u32Col(n)
+		sec.Ping = c
+	case TagToRProbe:
+		sec.Times, sec.Windows = r.headerCols(n)
+		c := &ToRCols{TS: r.tsCol(sec.Times)}
+		c.SrcToR = r.u32Col(n)
+		c.DstToR = r.u32Col(n)
+		c.RTT = r.u32Col(n)
+		sec.ToR = c
+	case TagLogLine:
+		sec.Times, sec.Windows = r.headerCols(n)
+		c := &LogCols{TS: r.tsCol(sec.Times)}
+		raw, err := d.strCol(r, n)
+		if err != nil {
+			return err
+		}
+		c.Raw = raw
+		sec.Log = c
+	case TagJobStats:
+		sec.Times, sec.Windows = r.headerCols(n)
+		c := &JobCols{TS: r.tsCol(sec.Times)}
+		var err error
+		if c.Tenant, err = d.strCol(r, n); err != nil {
+			return err
+		}
+		if c.StatName, err = d.strCol(r, n); err != nil {
+			return err
+		}
+		c.Stat = r.f64Col(n)
+		c.Bucket = make([]int64, n)
+		r.zigzags(c.Bucket)
+		sec.Job = c
+	case TagAggRow:
+		sec.Times, sec.Windows = r.headerCols(n)
+		c := &AggCols{}
+		raw := r.take(8 * n)
+		if r.err == nil {
+			c.KeyNum = make([]uint64, n)
+			for i := range c.KeyNum {
+				c.KeyNum[i] = binary.BigEndian.Uint64(raw[8*i:])
+			}
+		}
+		var err error
+		if c.KeyStr, err = d.strCol(r, n); err != nil {
+			return err
+		}
+		c.Window = make([]int64, n)
+		r.zigzags(c.Window)
+		if r.err == nil {
+			for i := range c.Window {
+				c.Window[i] += sec.Windows[i]
+			}
+		}
+		c.Count = make([]int64, n)
+		r.uvarints(c.Count)
+		c.Sum = r.f64Col(n)
+		c.Min = r.f64Col(n)
+		c.Max = r.f64Col(n)
+		sec.Agg = c
+	default:
+		// Raw, quantile and watermark sections have no SoA columns —
+		// materialize them through the shared section parser.
+		var rows telemetry.Batch
+		if err := d.decodeSectionBody(r, tag, n, &rows); err != nil {
+			return err
+		}
+		sec.Rows = rows
+	}
+	if r.err != nil {
+		return r.err
+	}
+	cb.Secs = append(cb.Secs, sec)
+	return nil
+}

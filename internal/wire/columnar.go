@@ -526,16 +526,32 @@ func (d *ColumnarDecoder) timeCols(r *reader, n int) {
 	r.zigzagDeltas(d.windows)
 }
 
-func (d *ColumnarDecoder) decodeSection(r *reader, out *telemetry.Batch) error {
-	tag := r.u8()
+// sectionHeader reads one section's tag and record count, validating the
+// count against the bytes that remain (shared by the row-materializing
+// and SoA decoders).
+func (d *ColumnarDecoder) sectionHeader(r *reader) (tag byte, n int, err error) {
+	tag = r.u8()
 	cnt := r.uvarint()
 	if r.err != nil {
-		return r.err
+		return 0, 0, r.err
 	}
 	if cnt > uint64(len(r.buf)-r.off)/uint64(minRecordBytes(tag)) {
-		return fmt.Errorf("wire: section 0x%02x count %d exceeds remaining %d bytes", tag, cnt, len(r.buf)-r.off)
+		return 0, 0, fmt.Errorf("wire: section 0x%02x count %d exceeds remaining %d bytes", tag, cnt, len(r.buf)-r.off)
 	}
-	n := int(cnt)
+	return tag, int(cnt), nil
+}
+
+func (d *ColumnarDecoder) decodeSection(r *reader, out *telemetry.Batch) error {
+	tag, n, err := d.sectionHeader(r)
+	if err != nil {
+		return err
+	}
+	return d.decodeSectionBody(r, tag, n, out)
+}
+
+// decodeSectionBody materializes one section (header already consumed)
+// into records appended to *out.
+func (d *ColumnarDecoder) decodeSectionBody(r *reader, tag byte, n int, out *telemetry.Batch) error {
 	if tag == tagRawSection {
 		for i := 0; i < n; i++ {
 			rec, k, err := DecodeRecord(r.buf[r.off:])

@@ -56,6 +56,20 @@ type Frame struct {
 	// columnar encoding. WriteFrame ignores it; the writer's SetColumnar
 	// mode decides the outgoing encoding.
 	Columnar bool
+	// Cols holds the frame's payload in SoA form instead of Records when
+	// the reader runs in columnar-execution mode (SetColumnarExec) and
+	// the frame arrived columnar. Exactly one of Records/Cols is set for
+	// a data frame.
+	Cols *ColumnarBatch
+}
+
+// PayloadBytes returns the frame's accounting payload size, whichever
+// form it was decoded into.
+func (f *Frame) PayloadBytes() int64 {
+	if f.Cols != nil {
+		return f.Cols.TotalBytes()
+	}
+	return f.Records.TotalBytes()
 }
 
 // WriteFrame encodes and writes one frame. It does not flush; call Flush
@@ -105,9 +119,10 @@ func (fw *FrameWriter) Flush() error { return fw.w.Flush() }
 // cross-frame string canonicalization cache) lives for the reader's
 // lifetime — one reader per connection or per snapshot store.
 type FrameReader struct {
-	r   *bufio.Reader
-	buf []byte
-	dec *ColumnarDecoder
+	r       *bufio.Reader
+	buf     []byte
+	dec     *ColumnarDecoder
+	colExec bool
 }
 
 // NewFrameReader wraps r in a buffered frame reader.
@@ -125,6 +140,13 @@ func (fr *FrameReader) Reset(r io.Reader) { fr.r.Reset(r) }
 // snapshot store reading a base + delta chain) decode repeated strings
 // to one allocation across all of them.
 func (fr *FrameReader) UseDecoder(d *ColumnarDecoder) { fr.dec = d }
+
+// SetColumnarExec switches the reader to columnar-execution decoding:
+// columnar data frames are returned as SoA batches (Frame.Cols) instead
+// of materialized records, so a v2 connection's payload can flow
+// decode→execute with zero row materialization. Non-columnar frames
+// (v1 peers, control frames) still decode to Records.
+func (fr *FrameReader) SetColumnarExec(v bool) { fr.colExec = v }
 
 // ReadFrame reads and decodes the next frame. It returns io.EOF cleanly at
 // end of stream.
@@ -168,6 +190,13 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 			fr.dec = NewColumnarDecoder()
 		}
 		f.Columnar = true
+		if fr.colExec {
+			f.Cols = &ColumnarBatch{}
+			if err := fr.dec.DecodeColumnar(fr.buf[12:], f.Cols); err != nil {
+				return Frame{}, fmt.Errorf("wire: columnar frame: %w", err)
+			}
+			return f, nil
+		}
 		if err := fr.dec.DecodeBatch(fr.buf[12:], &f.Records); err != nil {
 			return Frame{}, fmt.Errorf("wire: columnar frame: %w", err)
 		}

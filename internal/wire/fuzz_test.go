@@ -183,3 +183,62 @@ func FuzzDecodeColumnarBatch(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeColumnarVsRows differentially fuzzes the two v2 decoders:
+// for any payload, the SoA decoder (DecodeColumnar + AppendRows) must
+// accept exactly the inputs the row-materializing decoder accepts and
+// produce records with identical v1 encodings — the byte-level
+// foundation under the columnar execution path's parity guarantee.
+func FuzzDecodeColumnarVsRows(f *testing.F) {
+	seed := func(batch telemetry.Batch) {
+		var buf bytes.Buffer
+		fw := NewFrameWriter(&buf)
+		fw.SetColumnar(true)
+		if err := fw.WriteFrame(Frame{StreamID: 1, Records: batch}); err != nil {
+			f.Fatal(err)
+		}
+		if err := fw.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes()[16:])
+	}
+	for _, rec := range seedRecords() {
+		seed(telemetry.Batch{rec})
+	}
+	seed(telemetry.Batch(seedRecords()))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var rows telemetry.Batch
+		rowErr := NewColumnarDecoder().DecodeBatch(data, &rows)
+		var cb ColumnarBatch
+		colErr := NewColumnarDecoder().DecodeColumnar(data, &cb)
+		if (rowErr == nil) != (colErr == nil) {
+			t.Fatalf("decoder disagreement: rows err=%v, columnar err=%v", rowErr, colErr)
+		}
+		if rowErr != nil {
+			return
+		}
+		var fromCols telemetry.Batch
+		cb.AppendRows(&fromCols)
+		if cb.Records() != len(rows) || len(fromCols) != len(rows) {
+			t.Fatalf("record counts differ: rows %d, columnar %d (materialized %d)",
+				len(rows), cb.Records(), len(fromCols))
+		}
+		var a, b []byte
+		var err error
+		for i := range rows {
+			if a, err = EncodeRecord(a, rows[i]); err != nil {
+				t.Fatalf("row record does not re-encode: %v", err)
+			}
+			if b, err = EncodeRecord(b, fromCols[i]); err != nil {
+				t.Fatalf("columnar record does not re-encode: %v", err)
+			}
+			if rows[i].WireSize != fromCols[i].WireSize {
+				t.Fatalf("record %d wire size: rows %d vs columnar %d", i, rows[i].WireSize, fromCols[i].WireSize)
+			}
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("decoders disagree:\n%x\n%x", a, b)
+		}
+	})
+}

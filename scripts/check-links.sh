@@ -1,0 +1,32 @@
+#!/bin/sh
+# check-links.sh — verify that every relative markdown link in the
+# repo's authored documentation (README.md, ROADMAP.md, CHANGES.md,
+# docs/) points at a file or directory that exists. External http(s)
+# and anchor-only links are skipped (the docs must stay correct offline
+# and CI must not flake on third-party outages), and the verbatim paper
+# extractions (PAPER*.md) are out of scope — they carry the source
+# material's own figure references.
+set -eu
+
+fail=0
+for md in README.md ROADMAP.md CHANGES.md docs/*.md; do
+  [ -e "$md" ] || continue
+  dir=$(dirname "$md")
+  # Extract inline link targets ([text](target)), one per line so
+  # whitespace inside a link cannot word-split the target.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    # Strip a trailing anchor (file.md#section).
+    path=${target%%#*}
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "$md: broken link -> $target" >&2
+      fail=1
+    fi
+  done <<EOF
+$(grep -o '\[[^]]*\]([^)]*)' "$md" | sed 's/.*(\(.*\))$/\1/')
+EOF
+done
+exit "$fail"

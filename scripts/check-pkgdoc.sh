@@ -1,0 +1,35 @@
+#!/bin/sh
+# check-pkgdoc.sh — fail if any package (internal/ and cmd/ included)
+# lacks a godoc package comment: a comment block directly attached to
+# the package clause of at least one non-test file. Run from the repo
+# root; CI runs it next to `go vet`.
+set -eu
+
+fail=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+  ok=0
+  for f in "$dir"/*.go; do
+    [ -e "$f" ] || continue
+    case "$f" in
+      *_test.go) continue ;;
+    esac
+    # A package doc comment means the line immediately before
+    # `package X` is a comment line (godoc attaches only adjacent
+    # comments).
+    if awk 'BEGIN{prev=""}
+            /^package [A-Za-z_]/ { exit !(prev ~ /^\/\//) }
+            {prev=$0}' "$f"; then
+      ok=1
+      break
+    fi
+  done
+  if [ "$ok" = 0 ]; then
+    echo "missing package doc comment: ${dir#"$(pwd)"/}" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" != 0 ]; then
+  echo "add a package comment (doc.go or top of any file) to the packages above" >&2
+fi
+exit "$fail"
