@@ -318,6 +318,23 @@ func BenchmarkPipelineEpoch(b *testing.B)         { benchPipelineEpoch(b, false,
 func BenchmarkPipelineEpochRecycled(b *testing.B) { benchPipelineEpoch(b, false, true) }
 func BenchmarkPipelineEpochLegacy(b *testing.B)   { benchPipelineEpoch(b, true, false) }
 
+// BenchmarkAgentEpochColumnar measures the agent-side SoA epoch: the
+// generator's column sections flow through RunEpochColumnar with no
+// record materialization — the columnar counterpart of
+// BenchmarkPipelineEpoch over the identical trace.
+func BenchmarkAgentEpochColumnar(b *testing.B) {
+	pipe, cb, err := benchcase.PipelineEpochColumnar()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(cb.TotalBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe.RunEpochColumnar(cb)
+	}
+}
+
 // BenchmarkSPIngest measures the row-path SP ingest (the canonical setup
 // lives in internal/benchcase, shared with jarvis-bench -exp micro);
 // BenchmarkSPIngestColumnar drives the identical record sequence through

@@ -19,6 +19,12 @@
 // a promoted standby deduplicates by sequence, a stale or unpromoted SP
 // rejects the hello and the dialer moves on.
 //
+// By default the agent generates epochs as SoA columns and runs the
+// columnar pipeline (-columnar-gen=false selects the row path for A/B
+// comparison), and offers flate compression for its columnar data
+// frames (-wire-compress=false ships them plain); compression is used
+// only when the SP's ack also advertises it.
+//
 // Usage:
 //
 //	jarvis-agent -sp 10.0.0.1:7700,10.0.0.2:7800 -id 1 -query s2s \
@@ -34,8 +40,10 @@ import (
 	"jarvis/internal/checkpoint"
 	"jarvis/internal/core"
 	"jarvis/internal/experiments"
+	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/transport"
+	"jarvis/internal/wire"
 	"jarvis/internal/workload"
 )
 
@@ -50,15 +58,17 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", checkpoint.DefaultEvery, "epochs between durable snapshots (1 = every epoch, cheap with delta snapshots)")
 	ckptRetain := flag.Int("checkpoint-retain", checkpoint.DefaultRetain, "base+delta snapshot chains to keep when compacting (0 = keep all)")
 	ckptAsync := flag.Bool("checkpoint-async", false, "save snapshots on a writer goroutine (the epoch path only captures state)")
+	columnar := flag.Bool("columnar-gen", true, "generate epochs as SoA columns and run the columnar agent pipeline (falls back to rows automatically where the plan has no columnar kernels)")
+	compress := flag.Bool("wire-compress", true, "offer flate compression for columnar data frames (used only when the SP also advertises it)")
 	flag.Parse()
 
-	if err := run(*spAddr, uint32(*id), *queryName, *budget, *epochs, *realtime, *ckptDir, *ckptEvery, *ckptRetain, *ckptAsync); err != nil {
+	if err := run(*spAddr, uint32(*id), *queryName, *budget, *epochs, *realtime, *ckptDir, *ckptEvery, *ckptRetain, *ckptAsync, *columnar, *compress); err != nil {
 		fmt.Fprintln(os.Stderr, "jarvis-agent:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spAddr string, id uint32, queryName string, budget float64, epochs int, realtime bool, ckptDir string, ckptEvery, ckptRetain int, ckptAsync bool) error {
+func run(spAddr string, id uint32, queryName string, budget float64, epochs int, realtime bool, ckptDir string, ckptEvery, ckptRetain int, ckptAsync bool, columnar, compress bool) error {
 	endpoints := transport.ParseEndpoints(spAddr)
 	if len(endpoints) == 0 {
 		return fmt.Errorf("no SP endpoints in %q", spAddr)
@@ -76,6 +86,7 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 		return err
 	}
 	ship := transport.NewDurableShipper(id, 0)
+	ship.SetCompression(compress)
 
 	var arec *checkpoint.AgentRecovery
 	resume := uint64(0)
@@ -99,7 +110,7 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 		}
 	}
 
-	next := mkGenerator(queryName, uint64(id))
+	next, nextCols := mkGenerator(queryName, uint64(id))
 	// The synthetic generator is deterministic: fast-forward it past the
 	// epochs the snapshot already covers (a real agent would resume its
 	// upstream ingest instead).
@@ -112,9 +123,20 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 	fmt.Printf("jarvis-agent %d: %s at %.1f Mbps, budget %.0f%%, sp %v\n",
 		id, q.Name, rate, budget*100, endpoints)
 
+	var cb wire.ColumnarBatch
 	for e := int(resume); epochs == 0 || e < epochs; e++ {
 		start := time.Now()
-		res, err := src.RunEpoch(next(1_000_000))
+		var res stream.EpochResult
+		if columnar {
+			// SoA path: the generator emits columns straight into the
+			// pipeline; records only materialize where the plan lacks
+			// columnar kernels.
+			cb.Reset()
+			nextCols(1_000_000, &cb)
+			res, err = src.RunEpochColumnar(&cb)
+		} else {
+			res, err = src.RunEpoch(next(1_000_000))
+		}
 		if err != nil {
 			return err
 		}
@@ -152,16 +174,18 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 	return nil
 }
 
-// mkGenerator returns an epoch-batch generator for the chosen query.
-func mkGenerator(queryName string, seed uint64) func(durMicros int64) telemetry.Batch {
+// mkGenerator returns row and columnar epoch generators for the chosen
+// query, backed by the same generator instance (same RNG stream and
+// event-time cursor, so either form may be used each epoch).
+func mkGenerator(queryName string, seed uint64) (func(durMicros int64) telemetry.Batch, func(durMicros int64, cb *wire.ColumnarBatch)) {
 	switch queryName {
 	case "log", "loganalytics":
 		gen := workload.NewLogGen(workload.DefaultLogConfig(seed))
-		return gen.NextWindow
+		return gen.NextWindow, gen.NextWindowCols
 	default:
 		cfg := workload.DefaultPingConfig(seed)
 		cfg.SrcIP = 0x0A000000 + uint32(seed)
 		gen := workload.NewPingGen(cfg)
-		return gen.NextWindow
+		return gen.NextWindow, gen.NextWindowCols
 	}
 }

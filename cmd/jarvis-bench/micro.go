@@ -55,6 +55,18 @@ func runMicro(outPath string) error {
 		records = append(records, record(c.name, batch.TotalBytes(), r))
 	}
 
+	pipeCol, cbCol, err := benchcase.PipelineEpochColumnar()
+	if err != nil {
+		return err
+	}
+	rc := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pipeCol.RunEpochColumnar(cbCol)
+		}
+	})
+	records = append(records, record("BenchmarkAgentEpochColumnar", cbCol.TotalBytes(), rc))
+
 	bb, batch, err := benchcase.EndToEnd()
 	if err != nil {
 		return err
@@ -86,6 +98,12 @@ func runMicro(outPath string) error {
 		return err
 	}
 	records = append(records, haRecs...)
+
+	wireRecs, err := wireBytesRecords()
+	if err != nil {
+		return err
+	}
+	records = append(records, wireRecs...)
 
 	data, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
@@ -400,4 +418,86 @@ func record(name string, totalBytes int64, r testing.BenchmarkResult) BenchRecor
 		MBPerSec:    mbps,
 		Iterations:  r.N,
 	}
+}
+
+// wireBytesRecords measures bytes-on-wire per shipped agent epoch for
+// each canonical query: the SoA pipeline's epochs are shipped as wire-v2
+// columnar frames, once as-is and once with per-frame flate compression
+// (the negotiated default between current builds). Six epochs at
+// half-open load factors exercise drains at every shippable stage plus
+// window flushes; the ratio record is uncompressed/compressed.
+func wireBytesRecords() ([]BenchRecord, error) {
+	t2tTable := func() *telemetry.ToRTable {
+		ips := []uint32{workload.DefaultPingConfig(7).SrcIP}
+		for i := 0; i < 2000; i++ {
+			ips = append(ips, 0x0B000000+uint32(i))
+		}
+		return telemetry.NewToRTable(ips, 40)
+	}
+	pingCols := func() func(cb *wire.ColumnarBatch) {
+		g := workload.NewPingGen(workload.DefaultPingConfig(7))
+		return func(cb *wire.ColumnarBatch) { g.NextWindowCols(1_000_000, cb) }
+	}
+	cases := []struct {
+		name   string
+		query  func() *plan.Query
+		colGen func() func(cb *wire.ColumnarBatch)
+	}{
+		{"S2SProbe", plan.S2SProbe, pingCols},
+		{"T2TProbe", func() *plan.Query { return plan.T2TProbe(t2tTable()) }, pingCols},
+		{"S2SQuantile", plan.S2SQuantileProbe, pingCols},
+		{"LogAnalytics", plan.LogAnalytics, func() func(cb *wire.ColumnarBatch) {
+			g := workload.NewLogGen(workload.DefaultLogConfig(7))
+			return func(cb *wire.ColumnarBatch) { g.NextWindowCols(1_000_000, cb) }
+		}},
+	}
+	records := []BenchRecord{}
+	for _, c := range cases {
+		pipe, err := stream.NewPipeline(c.query(), stream.DefaultOptions(4.0, 0))
+		if err != nil {
+			return nil, err
+		}
+		lf := make([]float64, len(pipe.Query().Ops))
+		for i := range lf {
+			lf[i] = 0.5
+		}
+		if c.name == "T2TProbe" {
+			// The dstToR join's input is an intermediate payload with no
+			// wire encoding; epochs never drain at that stage.
+			lf[3] = 1
+		}
+		if err := pipe.SetLoadFactors(lf); err != nil {
+			return nil, err
+		}
+		var plainBuf, flateBuf bytes.Buffer
+		plainSh := transport.NewShipper(1, &plainBuf)
+		plainSh.EnableColumnar()
+		flateSh := transport.NewShipper(1, &flateBuf)
+		flateSh.EnableColumnar()
+		flateSh.EnableCompression()
+		colGen := c.colGen()
+		var cb wire.ColumnarBatch
+		for epoch := 0; epoch < 6; epoch++ {
+			cb.Reset()
+			colGen(&cb)
+			res := pipe.RunEpochColumnar(&cb)
+			if err := plainSh.ShipEpoch(res); err != nil {
+				return nil, err
+			}
+			if err := flateSh.ShipEpoch(res); err != nil {
+				return nil, err
+			}
+		}
+		plain, comp := int64(plainBuf.Len()), int64(flateBuf.Len())
+		ratio := 0.0
+		if comp > 0 {
+			ratio = float64(plain) / float64(comp)
+		}
+		records = append(records,
+			BenchRecord{Name: "WireEpochBytes@" + c.name, BytesPerOp: plain, Iterations: 6},
+			BenchRecord{Name: "WireEpochBytesFlate@" + c.name, BytesPerOp: comp, Iterations: 6},
+			BenchRecord{Name: "WireCompressionRatio@" + c.name, NsPerOp: ratio, Iterations: 6},
+		)
+	}
+	return records, nil
 }

@@ -19,6 +19,12 @@
 // to it and replay the uncovered epochs. A stale primary that rejoins is
 // fenced by the term its former agents now carry.
 //
+// By default the SP executes wire-v2 frames directly over the decoded
+// columns (-columnar-exec=false selects the row-materializing path for
+// A/B comparison) and advertises flate frame compression in its acks;
+// compressed frames from agents that negotiated it are decoded
+// transparently.
+//
 // Usage:
 //
 //	jarvis-sp -listen :7700 -query s2s -sources 1,2,3 \

@@ -127,3 +127,23 @@ func ShippedEpoch() (stream.EpochResult, []byte, error) {
 	}
 	return res, buf.Bytes(), nil
 }
+
+// PipelineEpochColumnar builds the SoA agent-epoch benchmark: the
+// PipelineEpoch pipeline fed the same second of Pingmesh data as
+// generated column sections (NextWindowCols is trace-identical to
+// NextWindow), so BenchmarkAgentEpochColumnar and
+// BenchmarkPipelineEpoch process identical record sequences on the two
+// execution strategies.
+func PipelineEpochColumnar() (*stream.Pipeline, *wire.ColumnarBatch, error) {
+	pipe, err := stream.NewPipeline(plan.S2SProbe(), stream.DefaultOptions(1.0, 0))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := pipe.SetLoadFactors([]float64{1, 1, 1}); err != nil {
+		return nil, nil, err
+	}
+	gen := workload.NewPingGen(workload.DefaultPingConfig(1))
+	var cb wire.ColumnarBatch
+	gen.NextWindowCols(1_000_000, &cb)
+	return pipe, &cb, nil
+}

@@ -12,6 +12,7 @@ import (
 	"jarvis/internal/runtime"
 	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
+	"jarvis/internal/wire"
 	"jarvis/internal/workload"
 )
 
@@ -115,6 +116,51 @@ func (s *Source) RunEpoch(input telemetry.Batch) (stream.EpochResult, error) {
 	s.lastResult = res
 	s.lastResult.Drains = nil
 	s.lastResult.Results = nil
+	s.epochs++
+	if !s.opts.Adapt {
+		return res, nil
+	}
+	obs := runtime.Observation{
+		Stats:           res.Stats,
+		LoadFactors:     s.pipeline.LoadFactors(),
+		SpareBudgetFrac: res.SpareBudgetFrac,
+		Boundary:        s.boundary,
+	}
+	act := s.rt.OnEpoch(obs)
+	if act.SetLoadFactors != nil {
+		if err := s.pipeline.SetLoadFactors(act.SetLoadFactors); err != nil {
+			return res, err
+		}
+	}
+	if act.Profile {
+		pact, err := s.rt.OnProfile(s.profile(res))
+		if err != nil {
+			return res, err
+		}
+		if pact.SetLoadFactors != nil {
+			if err := s.pipeline.SetLoadFactors(pact.SetLoadFactors); err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// RunEpochColumnar is RunEpoch over a columnar (SoA) arrival wave: the
+// generator's column sections run the local chain without materializing
+// records wherever the plan has columnar kernels, and the runtime
+// observes the epoch exactly as on the row path (proxy stats are
+// bit-identical by construction). See stream.Pipeline.RunEpochColumnar
+// for the result's column-lifetime contract.
+func (s *Source) RunEpochColumnar(cb *wire.ColumnarBatch) (stream.EpochResult, error) {
+	res := s.pipeline.RunEpochColumnar(cb)
+	// Keep only the scalar view, as in RunEpoch: the columnar buffers also
+	// belong to the epoch's consumer.
+	s.lastResult = res
+	s.lastResult.Drains = nil
+	s.lastResult.Results = nil
+	s.lastResult.ColDrains = nil
+	s.lastResult.ColResults = wire.ColumnarBatch{}
 	s.epochs++
 	if !s.opts.Adapt {
 		return res, nil

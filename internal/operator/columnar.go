@@ -1,6 +1,8 @@
 package operator
 
 import (
+	"math"
+
 	"jarvis/internal/telemetry"
 	"jarvis/internal/wire"
 )
@@ -43,6 +45,15 @@ type ColumnarPred func(sec *wire.ColSec) (keep func(i int) bool, ok bool)
 // vector (output sections carry only live rows) and must not write
 // through the input section's columns.
 type ColumnarMapKernel func(sec *wire.ColSec, out *[]wire.ColSec) bool
+
+// ColumnarJoinKernel probes one SoA section through a static-table join,
+// appending zero or more replacement sections to out (typically one
+// compacted section of the surviving, projected rows). It reports false
+// when it cannot handle the section's type; the Join then falls back to
+// materializing that section's rows and probing them one at a time.
+// Like map kernels, join kernels must compact away the input's selection
+// vector and must not write through the input section's columns.
+type ColumnarJoinKernel func(sec *wire.ColSec, out *[]wire.ColSec) bool
 
 // AggKernel selects GroupAgg's SoA aggregation loop. A kernel must
 // compute exactly the same group key and value as the operator's
@@ -107,8 +118,19 @@ func (w *Window) ProcessColumnar(cb *wire.ColumnarBatch) {
 		n := len(sec.Times)
 		win := buf[len(buf) : len(buf)+n]
 		buf = buf[:len(buf)+n]
+		// Event times arrive near-monotonic, so consecutive rows almost
+		// always share a window: cache the current window's [lo, hi) time
+		// range (exactly the floor-division bucket WindowOf computes) and
+		// divide only when a row falls outside it.
+		var curWin, lo, hi int64
+		hi = math.MinInt64 // force the first row to resolve
 		for i, t := range sec.Times {
-			win[i] = w.WindowOf(t)
+			if t < lo || t >= hi {
+				curWin = w.WindowOf(t)
+				lo = curWin * w.dur
+				hi = lo + w.dur
+			}
+			win[i] = curWin
 		}
 		sec.Windows = win
 	}
@@ -213,6 +235,139 @@ func (m *Map) ProcessColumnar(cb *wire.ColumnarBatch) {
 	cb.Secs = out
 }
 
+// --- Join ---
+
+// SetColumnarKernel installs the join's SoA probe loop. Without it the
+// join is not columnar capable.
+func (j *Join) SetColumnarKernel(k ColumnarJoinKernel) { j.colKernel = k }
+
+// ColumnarCapable implements ColumnarProcessor. A miss-buffering join
+// stays on the row path: buffered misses must be materialized records
+// anyway (they outlive the wave), so the SoA probe would buy nothing.
+func (j *Join) ColumnarCapable() bool { return j.colKernel != nil && j.bufferDur == 0 }
+
+// ProcessColumnar implements ColumnarProcessor: the section list is
+// rebuilt through the kernel (hash probe over packed columns, selection
+// compacted into the output); sections it declines are materialized and
+// probed through the row function.
+func (j *Join) ProcessColumnar(cb *wire.ColumnarBatch) {
+	out := make([]wire.ColSec, 0, len(cb.Secs))
+	for si := range cb.Secs {
+		sec := &cb.Secs[si]
+		if sec.Rows == nil && j.colKernel(sec, &out) {
+			continue
+		}
+		var rows telemetry.Batch
+		sec.AppendRows(&rows)
+		joined := make(telemetry.Batch, 0, len(rows))
+		for i := range rows {
+			if rec, ok := j.fn(rows[i]); ok {
+				joined = append(joined, rec)
+			}
+		}
+		out = append(out, wire.ColSec{Tag: sec.Tag, Rows: joined})
+	}
+	cb.Secs = out
+}
+
+// --- GroupQuantile ---
+
+// SetAggKernel installs the SoA bulk-observe loop matching the
+// operator's key/value extractors (the same kernel ids GroupAgg uses).
+func (g *GroupQuantile) SetAggKernel(k AggKernel) { g.kernel = k }
+
+// ColumnarCapable implements ColumnarProcessor: partial QuantileRow
+// payloads always arrive as materialized rows (they have no SoA
+// columns) and merge through ProcessBatch, and raw sections either hit
+// the kernel or fall back per section, so the sketch never forces the
+// engine off the SoA path.
+func (g *GroupQuantile) ColumnarCapable() bool { return true }
+
+// ProcessColumnar implements ColumnarProcessor. Like GroupAgg, results
+// leave via Flush, so the wave is consumed whole: raw sections with a
+// matching kernel bulk-append their value column into the per-group
+// sketches straight from the columns, and everything else materializes
+// per section.
+func (g *GroupQuantile) ProcessColumnar(cb *wire.ColumnarBatch) {
+	for si := range cb.Secs {
+		sec := &cb.Secs[si]
+		switch {
+		case sec.Rows != nil:
+			g.ProcessBatch(sec.Rows, nil)
+		case sec.Ping != nil && g.kernel == AggKernelPingPairRTT:
+			g.quantPingPairRTT(sec)
+		case sec.ToR != nil && g.kernel == AggKernelToRPairRTT:
+			g.quantToRPairRTT(sec)
+		default:
+			g.colScratch = g.colScratch[:0]
+			sec.AppendRows(&g.colScratch)
+			g.ProcessBatch(g.colScratch, nil)
+		}
+	}
+	cb.Reset()
+}
+
+// quantObserve folds one numeric-keyed observation into the sketch
+// state, resolving the window map per run of equal window ids.
+type quantState struct {
+	win     map[telemetry.GroupKey]*telemetry.QuantileRow
+	winID   int64
+	haveWin bool
+}
+
+func (g *GroupQuantile) observeNumKeyed(st *quantState, window int64, key uint64, val float64) {
+	if !st.haveWin || window != st.winID {
+		win := g.state[window]
+		if win == nil {
+			win = make(map[telemetry.GroupKey]*telemetry.QuantileRow)
+			g.state[window] = win
+		}
+		st.win, st.winID, st.haveWin = win, window, true
+	}
+	k := telemetry.NumKey(key)
+	row := st.win[k]
+	if row == nil {
+		row = telemetry.NewQuantileRow(k, window, g.lo, g.hi, g.buckets)
+		st.win[k] = row
+	}
+	row.Observe(val)
+}
+
+// quantPingPairRTT bulk-appends a ping section's RTT column into the
+// per-pair sketches — ProbePairKey/ProbeRTT without Records.
+func (g *GroupQuantile) quantPingPairRTT(sec *wire.ColSec) {
+	c := sec.Ping
+	var st quantState
+	if sec.Sel != nil {
+		for _, i := range sec.Sel {
+			key := uint64(c.SrcIP[i])<<32 | uint64(c.DstIP[i])
+			g.observeNumKeyed(&st, sec.Windows[i], key, float64(c.RTT[i]))
+		}
+		return
+	}
+	for i := range sec.Times {
+		key := uint64(c.SrcIP[i])<<32 | uint64(c.DstIP[i])
+		g.observeNumKeyed(&st, sec.Windows[i], key, float64(c.RTT[i]))
+	}
+}
+
+// quantToRPairRTT is quantPingPairRTT for ToR sections.
+func (g *GroupQuantile) quantToRPairRTT(sec *wire.ColSec) {
+	c := sec.ToR
+	var st quantState
+	if sec.Sel != nil {
+		for _, i := range sec.Sel {
+			key := uint64(c.SrcToR[i])<<32 | uint64(c.DstToR[i])
+			g.observeNumKeyed(&st, sec.Windows[i], key, float64(c.RTT[i]))
+		}
+		return
+	}
+	for i := range sec.Times {
+		key := uint64(c.SrcToR[i])<<32 | uint64(c.DstToR[i])
+		g.observeNumKeyed(&st, sec.Windows[i], key, float64(c.RTT[i]))
+	}
+}
+
 // --- GroupAgg ---
 
 // SetAggKernel installs the SoA aggregation loop matching the operator's
@@ -280,12 +435,23 @@ func (g *GroupAgg) observeNumKeyed(st *numAggState, window int64, key uint64, va
 		st.win = g.window(window)
 		st.win.gen = g.gen
 		st.winID, st.haveWin = window, true
+		if st.win.wantCacheGrow() {
+			st.win.growCache()
+		}
 	}
-	cell := st.win.num[key]
-	if cell == nil {
-		st.win.store(telemetry.GroupKey{Num: key},
-			&aggCell{row: telemetry.NewAggRow(telemetry.NumKey(key), window, val), gen: g.gen})
-		return
+	// Direct-mapped cell cache (Fibonacci hash). See aggWindow.cache for
+	// why hits can't be stale; misses fall through to the window map.
+	slot := &st.win.cache[(key*0x9e3779b97f4a7c15)>>st.win.cacheShift]
+	cell := slot.cell
+	if cell == nil || slot.key != key {
+		cell = st.win.num[key]
+		if cell == nil {
+			cell = &aggCell{row: telemetry.NewAggRow(telemetry.NumKey(key), window, val), gen: g.gen}
+			st.win.num[key] = cell
+			slot.key, slot.cell = key, cell
+			return
+		}
+		slot.key, slot.cell = key, cell
 	}
 	cell.row.Observe(val)
 	cell.gen = g.gen

@@ -78,6 +78,56 @@ type aggWindow struct {
 	// canonical string key once per group, not once per row. Entries
 	// alias cells of str; the cache dies with the window.
 	byRef map[jobRefKey]*aggCell
+	// cache is a direct-mapped front for num, indexed by a Fibonacci
+	// hash of the key. The SoA aggregation kernels re-observe the same
+	// hot groups every epoch, and the map probe (hash + SIMD group
+	// scan) dominates their per-record cost; a cache hit replaces it
+	// with one multiply, one compare and one load. Entries never go
+	// stale: a window's key→cell binding is append-only (every store
+	// site is guarded by a lookup miss), so a cached pointer stays the
+	// canonical cell until the window itself is deleted.
+	cache      []aggCellSlot
+	cacheShift uint8
+}
+
+// aggCellSlot is one direct-mapped cache entry; cell == nil marks empty.
+type aggCellSlot struct {
+	key  uint64
+	cell *aggCell
+}
+
+// Cache sizing: start at 4096 slots (64 KiB) and quadruple while the
+// window holds more numeric groups than half the slot count, capped at
+// 65536 slots (1 MiB) — at the paper's Pingmesh cardinality (~20k live
+// pairs per window) that settles at a ~0.3 load factor. Growth is
+// checked once per run of equal window ids, not per record, and resets
+// the slots (they refill from map hits within one section).
+const (
+	aggCacheMinSlots = 1 << 12
+	aggCacheMaxSlots = 1 << 16
+)
+
+// wantCacheGrow reports whether the window's cell cache is absent or
+// undersized for its current group count.
+func (w *aggWindow) wantCacheGrow() bool {
+	return w.cache == nil ||
+		(len(w.num) > len(w.cache)>>1 && len(w.cache) < aggCacheMaxSlots)
+}
+
+func (w *aggWindow) growCache() {
+	size := aggCacheMinSlots
+	for size <= 2*len(w.num) && size < aggCacheMaxSlots {
+		size <<= 2
+	}
+	if len(w.cache) >= size {
+		return
+	}
+	w.cache = make([]aggCellSlot, size)
+	shift := uint8(64)
+	for s := size; s > 1; s >>= 1 {
+		shift--
+	}
+	w.cacheShift = shift
 }
 
 // aggCell is one group's row plus its newest touch stamp.

@@ -24,6 +24,10 @@ type Join struct {
 	// and the per-window pending records. bufferDur == 0 disables it.
 	bufferDur int64
 	pending   map[int64]telemetry.Batch
+
+	// colKernel is the SoA probe loop (SetColumnarKernel); nil means the
+	// join is not columnar capable and waves materialize at this stage.
+	colKernel ColumnarJoinKernel
 }
 
 // NewJoin creates a join operator. tableSize is the static table's entry

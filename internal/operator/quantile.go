@@ -26,6 +26,13 @@ type GroupQuantile struct {
 	buckets int
 
 	state map[int64]map[telemetry.GroupKey]*telemetry.QuantileRow
+
+	// kernel selects the SoA bulk-observe loop (SetAggKernel); sections it
+	// does not cover fall back to per-section row materialization.
+	kernel AggKernel
+	// colScratch is the reusable materialization buffer for fallback
+	// sections on the columnar path.
+	colScratch telemetry.Batch
 }
 
 // NewGroupQuantile creates the operator. The histogram range [lo, hi)

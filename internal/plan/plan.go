@@ -55,12 +55,14 @@ type OpSpec struct {
 
 	// ColPred is an optional hand-written columnar predicate for opaque
 	// filters (expression filters compile theirs automatically); ColMap
-	// an optional SoA kernel for maps; ColAgg the SoA aggregation loop
-	// matching a GroupAgg's KeyFn/ValFn. All three feed the SP-side
+	// an optional SoA kernel for maps; ColJoin an optional SoA hash-probe
+	// kernel for joins; ColAgg the SoA aggregation loop matching a
+	// GroupAgg's (or GroupQuantile's) KeyFn/ValFn. All four feed the
 	// columnar execution path and must be observably equivalent to the
 	// row-at-a-time functions they accelerate.
 	ColPred operator.ColumnarPred
 	ColMap  operator.ColumnarMapKernel
+	ColJoin operator.ColumnarJoinKernel
 	ColAgg  operator.AggKernel
 
 	// CostPct is the calibrated CPU cost (percent of one reference core)
@@ -170,8 +172,16 @@ func (q *Query) WithMapKernel(k operator.ColumnarMapKernel) *Query {
 	return q
 }
 
+// WithJoinKernel installs a columnar hash-probe kernel on the most
+// recently appended join.
+func (q *Query) WithJoinKernel(k operator.ColumnarJoinKernel) *Query {
+	q.Ops[len(q.Ops)-1].ColJoin = k
+	return q
+}
+
 // WithAggKernel installs the columnar aggregation loop matching the most
-// recently appended GroupAgg's key/value extractors.
+// recently appended GroupAgg's (or GroupQuantile's) key/value
+// extractors.
 func (q *Query) WithAggKernel(k operator.AggKernel) *Query {
 	q.Ops[len(q.Ops)-1].ColAgg = k
 	return q
@@ -302,15 +312,21 @@ func (q *Query) Instantiate() ([]operator.Operator, error) {
 			}
 			ops = append(ops, m)
 		case operator.KindJoin:
-			ops = append(ops, operator.NewJoin(spec.Name, spec.TableSize, spec.JoinFn))
+			j := operator.NewJoin(spec.Name, spec.TableSize, spec.JoinFn)
+			if spec.ColJoin != nil {
+				j.SetColumnarKernel(spec.ColJoin)
+			}
+			ops = append(ops, j)
 		case operator.KindGroupAgg:
 			dur := windowDur
 			if dur == 0 {
 				dur = 10 * int64(time.Second/time.Microsecond)
 			}
 			if qs := spec.Quantile; qs != nil {
-				ops = append(ops, operator.NewGroupQuantile(spec.Name, dur,
-					spec.KeyFn, spec.ValFn, qs.Lo, qs.Hi, qs.Buckets))
+				gq := operator.NewGroupQuantile(spec.Name, dur,
+					spec.KeyFn, spec.ValFn, qs.Lo, qs.Hi, qs.Buckets)
+				gq.SetAggKernel(spec.ColAgg)
+				ops = append(ops, gq)
 			} else {
 				g := operator.NewGroupAgg(spec.Name, dur, spec.KeyFn, spec.ValFn)
 				g.SetAggKernel(spec.ColAgg)

@@ -61,10 +61,124 @@ func T2TProbe(table *telemetry.ToRTable) *Query {
 		Window(10*time.Second, 1.0).
 		FilterExpr("errFilter", Eq(Field("errCode"), Num(0)), 13.0, 0.86).
 		Join("srcToR", table.Len(), joinFn(j1), jc, 1.0).
+		WithJoinKernel(srcToRFusedKernel(table)).
 		Join("dstToR", table.Len(), joinFn(j2), jc,
 			float64(telemetry.ToRProbeWireSize)/float64(telemetry.PingProbeWireSize)).
+		WithJoinKernel(torPassKernel).
 		GroupAgg("torAgg", operator.ToRPairKey, operator.ToRRTT, 6.6, 0.05).
 		WithAggKernel(operator.AggKernelToRPairRTT)
+}
+
+// The T2TProbe SoA join kernels are designed as a pair. The row path
+// splits the work across two operators via an intermediate record
+// (PingProbe + source ToR) that has no columnar layout and no wire
+// encoding; the SoA path instead fuses both hash probes into the first
+// join's kernel, emitting projected ToR sections, and the second join's
+// kernel only filters them. So the record flow between the joins stays
+// identical to the row path — and with it the proxy stats the runtime
+// adapts on — rows whose destination IP missed the table are emitted
+// with a sentinel DstToR and dropped by the second kernel, exactly
+// where the row path's dstToR probe drops them. The one observable
+// difference is byte accounting between the joins: the SoA rows weigh
+// the projected ToR layout, the row path the unprojected intermediate.
+// That stage's records cannot ship either way (the intermediate is not
+// wire-encodable), so nothing downstream sees it. Sections that are not
+// ping columns (materialized fallbacks, replayed drains) decline to the
+// row probe, which handles the intermediate type as usual.
+
+// torMissDstToR marks a fused-probe row whose destination IP missed the
+// table; torPassKernel filters it. Table ids are dense indices, far from
+// the sentinel.
+const torMissDstToR = ^uint32(0)
+
+// srcToRFusedKernel probes both endpoint IPs against the static table
+// straight from the packed IP columns and emits one compacted,
+// projected ToR section: source-IP misses are dropped (as in the row
+// path's srcToR probe), destination-IP misses are kept under the
+// sentinel for the second kernel to drop.
+func srcToRFusedKernel(table *telemetry.ToRTable) operator.ColumnarJoinKernel {
+	return func(sec *wire.ColSec, out *[]wire.ColSec) bool {
+		if sec.Ping == nil {
+			return false
+		}
+		n := sec.Len()
+		ns := wire.ColSec{
+			Tag:     wire.TagToRProbe,
+			Times:   make([]int64, 0, n),
+			Windows: make([]int64, 0, n),
+			ToR: &wire.ToRCols{
+				TS: make([]int64, 0, n), SrcToR: make([]uint32, 0, n),
+				DstToR: make([]uint32, 0, n), RTT: make([]uint32, 0, n),
+			},
+		}
+		c := sec.Ping
+		sec.Live(func(i int) {
+			src, ok := table.Lookup(c.SrcIP[i])
+			if !ok {
+				return
+			}
+			dst, ok := table.Lookup(c.DstIP[i])
+			if !ok {
+				dst = torMissDstToR
+			}
+			ns.Times = append(ns.Times, sec.Times[i])
+			ns.Windows = append(ns.Windows, sec.Windows[i])
+			ns.ToR.TS = append(ns.ToR.TS, c.TS[i])
+			ns.ToR.SrcToR = append(ns.ToR.SrcToR, src)
+			ns.ToR.DstToR = append(ns.ToR.DstToR, dst)
+			ns.ToR.RTT = append(ns.ToR.RTT, c.RTT[i])
+		})
+		*out = append(*out, ns)
+		return true
+	}
+}
+
+// torPassKernel is the second half of the fused T2TProbe join pair: ToR
+// sections reaching the dstToR join are already probed, so it only
+// drops the sentinel rows (destination misses) and compacts any
+// selection. Anything else (a materialized intermediate from a row-path
+// upstream) declines to the row probe.
+func torPassKernel(sec *wire.ColSec, out *[]wire.ColSec) bool {
+	if sec.ToR == nil {
+		return false
+	}
+	c := sec.ToR
+	if sec.Sel == nil {
+		clean := true
+		for _, d := range c.DstToR {
+			if d == torMissDstToR {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			*out = append(*out, *sec)
+			return true
+		}
+	}
+	n := sec.Len()
+	ns := wire.ColSec{
+		Tag:     wire.TagToRProbe,
+		Times:   make([]int64, 0, n),
+		Windows: make([]int64, 0, n),
+		ToR: &wire.ToRCols{
+			TS: make([]int64, 0, n), SrcToR: make([]uint32, 0, n),
+			DstToR: make([]uint32, 0, n), RTT: make([]uint32, 0, n),
+		},
+	}
+	sec.Live(func(i int) {
+		if c.DstToR[i] == torMissDstToR {
+			return
+		}
+		ns.Times = append(ns.Times, sec.Times[i])
+		ns.Windows = append(ns.Windows, sec.Windows[i])
+		ns.ToR.TS = append(ns.ToR.TS, c.TS[i])
+		ns.ToR.SrcToR = append(ns.ToR.SrcToR, c.SrcToR[i])
+		ns.ToR.DstToR = append(ns.ToR.DstToR, c.DstToR[i])
+		ns.ToR.RTT = append(ns.ToR.RTT, c.RTT[i])
+	})
+	*out = append(*out, ns)
+	return true
 }
 
 func joinFn(j *operator.Join) func(telemetry.Record) (telemetry.Record, bool) {
@@ -275,7 +389,8 @@ func S2SQuantileProbe() *Query {
 		Window(10*time.Second, 1.0).
 		FilterExpr("errFilter", Eq(Field("errCode"), Num(0)), 13.0, 0.86).
 		GroupQuantile("latSketch", operator.ProbePairKey, operator.ProbeRTT,
-			QuantileSpec{Lo: 0, Hi: 20000, Buckets: 200}, 76.0, 0.35)
+			QuantileSpec{Lo: 0, Hi: 20000, Buckets: 200}, 76.0, 0.35).
+		WithAggKernel(operator.AggKernelPingPairRTT)
 }
 
 // TotalCostPct returns the CPU demand (percent of a core) of running the

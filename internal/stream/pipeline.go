@@ -7,6 +7,7 @@ import (
 	"jarvis/internal/operator"
 	"jarvis/internal/plan"
 	"jarvis/internal/telemetry"
+	"jarvis/internal/wire"
 )
 
 // Options configures a data-source pipeline.
@@ -73,6 +74,20 @@ type EpochResult struct {
 	// DrainedBytes and ResultBytes are the epoch's outbound volumes.
 	DrainedBytes int64
 	ResultBytes  int64
+
+	// ColDrains[i] holds proxy i's drains from a columnar arrival wave
+	// (RunEpochColumnar), still in SoA form: sections share the wave's
+	// column arrays, narrowed by drain selection vectors. Drains[i] holds
+	// the same epoch's row drains (carried-over records, materialized
+	// fallbacks) and precedes ColDrains[i] in record order. The shared
+	// columns stay valid until the pipeline's next epoch; Recycle only
+	// drops the references.
+	ColDrains []wire.ColumnarBatch
+	// ColResults holds a columnar arrival wave's survivors past the last
+	// local operator, still in SoA form. Results keeps the epoch's row
+	// results: restored records, carryover cascades and the end-of-epoch
+	// flush emissions. Same lifetime as ColDrains.
+	ColResults wire.ColumnarBatch
 }
 
 // TotalOutBytes is the epoch's total network transfer from the source.
@@ -96,6 +111,11 @@ func (r *EpochResult) Recycle() {
 		telemetry.PutBatch(r.Results)
 		r.Results = nil
 	}
+	// Columnar outputs borrow the pipeline's scratch (and, transitively,
+	// the caller's column arrays): dropping the references is all recycling
+	// means for them.
+	r.ColDrains = nil
+	r.ColResults = wire.ColumnarBatch{}
 }
 
 // drainSetFree recycles the per-epoch []Batch drain headers (one slot per
@@ -189,6 +209,19 @@ type Pipeline struct {
 	scratchA telemetry.Batch
 	scratchB telemetry.Batch
 	fwd      telemetry.Batch
+
+	// columnar arrival-wave machinery (RunEpochColumnar). colOps[i] is
+	// non-nil when ops[i] executes SoA waves; colA/colB ping-pong the wave
+	// section headers; colRows is the materialization buffer for the row
+	// fallback; colDrains/colResults hold the epoch's SoA outputs; the sel
+	// free/lent lists recycle routing selection vectors across epochs.
+	colOps     []operator.ColumnarProcessor
+	colA, colB []wire.ColSec
+	colRows    telemetry.Batch
+	colDrains  []wire.ColumnarBatch
+	colResults wire.ColumnarBatch
+	selFree    [][]int32
+	selLent    [][]int32
 }
 
 // NewPipeline compiles a query into a source pipeline. The query should
@@ -219,9 +252,13 @@ func NewPipeline(q *plan.Query, opts Options) (*Pipeline, error) {
 		cm:       cm,
 		opts:     opts,
 	}
+	p.colOps = make([]operator.ColumnarProcessor, len(ops))
 	for i := range p.proxies {
 		p.proxies[i] = NewProxy(i) // load factors start at zero (Startup)
 		p.batchOps[i] = operator.AsBatchProcessor(ops[i])
+		if cp, ok := ops[i].(operator.ColumnarProcessor); ok && cp.ColumnarCapable() {
+			p.colOps[i] = cp
+		}
 	}
 	return p, nil
 }
@@ -304,6 +341,286 @@ func (p *Pipeline) RunEpoch(input telemetry.Batch) EpochResult {
 	return p.finishEpoch()
 }
 
+// RunEpochColumnar executes one epoch over a columnar (SoA) arrival
+// wave: the generator's column sections flow through the local chain
+// stage at a time with proxies routing, budget charging and queue bounds
+// applied per live row — observably equivalent to materializing the wave
+// and calling RunEpoch, but records are never built on the all-SoA
+// prefix of the plan. At the first stage without a columnar path the
+// remaining live rows materialize once and finish on the row machinery,
+// exactly like the SP engine's fallback. Carried-over queue records (the
+// previous epoch's budget overflow) always run on the row path first.
+//
+// Proxy decisions consume the same error-diffusion sequence as the row
+// path (RouteSize), so stats, drains, results and watermark are
+// bit-identical to RunEpoch on the materialized batch whenever the
+// operators' columnar kernels are row-equivalent. Columnar epochs always
+// use the batch execution loop; Options.RecordAtATime only affects
+// RunEpoch.
+//
+// The caller's batch is treated read-only, and the returned ColDrains /
+// ColResults sections reference its column arrays: callers must consume
+// the result before mutating the input columns or running the next
+// epoch.
+func (p *Pipeline) RunEpochColumnar(cb *wire.ColumnarBatch) EpochResult {
+	p.bucket.Refill()
+	p.drains = getDrainSet(len(p.ops))
+	p.results = telemetry.GetBatch()
+	p.results = append(p.results, p.restored...)
+	p.restored = nil
+
+	// Reclaim selection vectors lent to the previous epoch's result and
+	// reset the columnar output buffers (their previous contents were
+	// consumed before this call, per the contract above).
+	p.selFree = append(p.selFree, p.selLent...)
+	p.selLent = p.selLent[:0]
+	if p.colDrains == nil {
+		p.colDrains = make([]wire.ColumnarBatch, len(p.ops))
+	}
+	for i := range p.colDrains {
+		p.colDrains[i].Secs = p.colDrains[i].Secs[:0]
+	}
+	p.colResults.Secs = p.colResults.Secs[:0]
+
+	p.runCarryover()
+
+	// Event-time progress observes every live arrival, exactly like the
+	// row path's input scan.
+	for si := range cb.Secs {
+		sec := &cb.Secs[si]
+		if sec.Rows != nil {
+			for k := range sec.Rows {
+				if sec.Rows[k].Time > p.maxEventSeen {
+					p.maxEventSeen = sec.Rows[k].Time
+				}
+			}
+			continue
+		}
+		if sec.Sel != nil {
+			for _, idx := range sec.Sel {
+				if sec.Times[idx] > p.maxEventSeen {
+					p.maxEventSeen = sec.Times[idx]
+				}
+			}
+			continue
+		}
+		for _, t := range sec.Times {
+			if t > p.maxEventSeen {
+				p.maxEventSeen = t
+			}
+		}
+	}
+
+	p.runColumnarWave(cb)
+
+	res := p.finishEpoch()
+	res.ColDrains = p.colDrains
+	res.ColResults = p.colResults
+	for i := range p.colDrains {
+		res.DrainedBytes += p.colDrains[i].TotalBytes()
+	}
+	res.ResultBytes += p.colResults.TotalBytes()
+	return res
+}
+
+// runColumnarWave drives the SoA arrival wave through the local chain.
+// Each stage mirrors the row wave exactly: route every live row in
+// order (forced drains past the budget+queue bound first, then the
+// proxy's error-diffusion decision), charge the budget for the prefix
+// of forwarded rows it covers, push that prefix through the operator's
+// columnar path, and queue the remainder as rows.
+func (p *Pipeline) runColumnarWave(cb *wire.ColumnarBatch) {
+	b := p.opts.Boundary
+	bufA, bufB := p.colA, p.colB
+	in := append(bufA[:0], cb.Secs...)
+	bufA = in
+	for i := 0; i < b; i++ {
+		if p.colOps[i] == nil {
+			// Fallback: materialize the wave's live rows once and run the
+			// remaining stages on the row path (starting with this stage's
+			// own proxy, which has not routed them yet).
+			p.colRows = p.colRows[:0]
+			w := wire.ColumnarBatch{Secs: in}
+			w.AppendRows(&p.colRows)
+			p.colA, p.colB = bufA[:0], bufB[:0]
+			p.runWaveFrom(i, p.colRows)
+			return
+		}
+		live := 0
+		for si := range in {
+			live += in[si].Len()
+		}
+		if live == 0 {
+			break
+		}
+
+		px := p.proxies[i]
+		room := p.opts.MaxQueuePerStage - len(p.queues[i])
+		if room < 0 {
+			room = 0
+		}
+		cost := p.cm.Cost(i)
+		// Forwarded rows beyond this bound could neither be processed
+		// (budget) nor queued (bounded stage queue): they force-drain.
+		maxFwd := p.bucket.FitCount(cost, live) + room
+
+		// Route pass: walk live rows in order, splitting each section into
+		// a forwarded view and a drain view. SoA sections split by fresh
+		// selection vectors over shared columns; row sections split by
+		// copying records.
+		fwd := bufB[:0]
+		fwdTotal := 0
+		for si := range in {
+			sec := &in[si]
+			if sec.Rows != nil {
+				var fr, dr telemetry.Batch
+				for k := range sec.Rows {
+					rec := sec.Rows[k]
+					if fwdTotal >= maxFwd {
+						px.NoteForcedDrain(rec.WireSize)
+						dr = append(dr, rec)
+						continue
+					}
+					if px.Route(rec) {
+						fr = append(fr, rec)
+						fwdTotal++
+					} else {
+						dr = append(dr, rec)
+					}
+				}
+				if len(dr) > 0 {
+					p.colDrains[i].Secs = append(p.colDrains[i].Secs, wire.ColSec{Tag: sec.Tag, Rows: dr})
+				}
+				if len(fr) > 0 {
+					fwd = append(fwd, wire.ColSec{Tag: sec.Tag, Rows: fr})
+				}
+				continue
+			}
+			fwdSel, drSel := p.takeSel(), p.takeSel()
+			if sec.Sel != nil {
+				for _, idx := range sec.Sel {
+					if fwdTotal >= maxFwd {
+						px.NoteForcedDrain(sec.RowBytes(int(idx)))
+						drSel = append(drSel, idx)
+						continue
+					}
+					if px.RouteSize(sec.RowBytes(int(idx))) {
+						fwdSel = append(fwdSel, idx)
+						fwdTotal++
+					} else {
+						drSel = append(drSel, idx)
+					}
+				}
+			} else {
+				for idx := 0; idx < len(sec.Times); idx++ {
+					if fwdTotal >= maxFwd {
+						px.NoteForcedDrain(sec.RowBytes(idx))
+						drSel = append(drSel, int32(idx))
+						continue
+					}
+					if px.RouteSize(sec.RowBytes(idx)) {
+						fwdSel = append(fwdSel, int32(idx))
+						fwdTotal++
+					} else {
+						drSel = append(drSel, int32(idx))
+					}
+				}
+			}
+			fwdSel, drSel = p.lendSel(fwdSel), p.lendSel(drSel)
+			if len(drSel) > 0 {
+				dsec := *sec
+				dsec.Sel = drSel
+				p.colDrains[i].Secs = append(p.colDrains[i].Secs, dsec)
+			}
+			if len(fwdSel) > 0 {
+				fsec := *sec
+				fsec.Sel = fwdSel
+				fwd = append(fwd, fsec)
+			}
+		}
+		bufB = fwd
+
+		// Budget pass: the prefix of forwarded rows the tokens cover is
+		// processed columnar; the suffix materializes into the stage queue,
+		// exactly like the row path's fwd[n:].
+		n := p.bucket.FitCount(cost, fwdTotal)
+		p.bucket.ConsumeN(cost, n)
+		px.NoteProcessedN(n)
+		if n < fwdTotal {
+			fwd = p.spillColumnar(i, fwd, n)
+		}
+		if len(fwd) == 0 {
+			p.colA, p.colB = bufA[:0], bufB[:0]
+			return
+		}
+
+		w := wire.ColumnarBatch{Secs: fwd}
+		p.colOps[i].ProcessColumnar(&w)
+		bufA, bufB = bufB, bufA
+		in = w.Secs
+	}
+	// Survivors past the last local stage are columnar results.
+	for si := range in {
+		if in[si].Len() > 0 {
+			p.colResults.Secs = append(p.colResults.Secs, in[si])
+		}
+	}
+	p.colA, p.colB = bufA[:0], bufB[:0]
+}
+
+// spillColumnar truncates a routed forward wave to its first n live rows
+// and materializes the remainder into stage i's queue (rows), returning
+// the truncated wave. The materialized records own their memory — queue
+// entries outlive the epoch's column arrays.
+func (p *Pipeline) spillColumnar(i int, fwd []wire.ColSec, n int) []wire.ColSec {
+	cnt := 0
+	for si := range fwd {
+		sec := &fwd[si]
+		l := sec.Len()
+		if cnt+l <= n {
+			cnt += l
+			continue
+		}
+		keep := n - cnt
+		if sec.Rows != nil {
+			p.queues[i] = append(p.queues[i], sec.Rows[keep:]...)
+			sec.Rows = sec.Rows[:keep]
+		} else {
+			tail := *sec
+			tail.Sel = sec.Sel[keep:]
+			tail.AppendRows(&p.queues[i])
+			sec.Sel = sec.Sel[:keep]
+		}
+		for sj := si + 1; sj < len(fwd); sj++ {
+			fwd[sj].AppendRows(&p.queues[i])
+		}
+		if keep == 0 {
+			return fwd[:si]
+		}
+		return fwd[:si+1]
+	}
+	return fwd
+}
+
+// takeSel pops a recycled selection-vector buffer (or returns nil, which
+// append grows); lendSel registers the final slice for reclamation at
+// the next columnar epoch, once the epoch's result has been consumed.
+func (p *Pipeline) takeSel() []int32 {
+	if nf := len(p.selFree); nf > 0 {
+		s := p.selFree[nf-1]
+		p.selFree = p.selFree[:nf-1]
+		return s[:0]
+	}
+	return nil
+}
+
+func (p *Pipeline) lendSel(s []int32) []int32 {
+	if cap(s) > 0 {
+		p.selLent = append(p.selLent, s)
+	}
+	return s
+}
+
 // runEpochBatch is the vectorized execution loop: records move through
 // the local chain as whole waves, one stage at a time. Proxies still
 // route per record (error diffusion needs the record sequence), but
@@ -315,13 +632,23 @@ func (p *Pipeline) RunEpoch(input telemetry.Batch) EpochResult {
 // mid-epoch budget exhaustion differently across stages (both remain
 // lossless and congestion-visible).
 func (p *Pipeline) runEpochBatch(input telemetry.Batch) {
+	p.runCarryover()
+	for i := range input {
+		if input[i].Time > p.maxEventSeen {
+			p.maxEventSeen = input[i].Time
+		}
+	}
+	p.runWaveFrom(0, input)
+}
+
+// runCarryover processes records queued in earlier epochs: they were
+// already committed to local processing, and their emissions cascade
+// through the chain, routed at each downstream proxy before that stage's
+// own queue runs, mirroring the legacy order. Shared by the row and
+// columnar epoch paths (queues always hold rows).
+func (p *Pipeline) runCarryover() {
 	b := p.opts.Boundary
 	curr, next := p.scratchA[:0], p.scratchB[:0]
-
-	// Carryover: records queued in earlier epochs were already committed
-	// to local processing; their emissions cascade through the chain and
-	// are routed at each downstream proxy before that stage's own queue
-	// runs, mirroring the legacy order.
 	for i := 0; i < b; i++ {
 		out := &next
 		if i+1 >= b {
@@ -337,15 +664,16 @@ func (p *Pipeline) runEpochBatch(input telemetry.Batch) {
 			curr, next = next, curr[:0]
 		}
 	}
+	p.scratchA, p.scratchB = curr[:0], next[:0]
+}
 
-	// New arrivals.
-	for i := range input {
-		if input[i].Time > p.maxEventSeen {
-			p.maxEventSeen = input[i].Time
-		}
-	}
-	wave := input
-	for i := 0; i < b; i++ {
+// runWaveFrom drives one arrival wave of rows through stages start..b-1
+// (the whole local chain for a row epoch; the remaining suffix when a
+// columnar wave materializes at its first row-only stage).
+func (p *Pipeline) runWaveFrom(start int, wave telemetry.Batch) {
+	b := p.opts.Boundary
+	curr, next := p.scratchA[:0], p.scratchB[:0]
+	for i := start; i < b; i++ {
 		var out *telemetry.Batch
 		if i+1 >= b {
 			out = &p.results

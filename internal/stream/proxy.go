@@ -99,6 +99,25 @@ func (px *Proxy) Route(rec telemetry.Record) bool {
 	return false
 }
 
+// RouteSize is Route for the columnar path: the decision and the
+// accounting depend only on the record's wire size, which SoA waves
+// supply straight from their columns without materializing the record.
+// The error-diffusion state advances exactly as Route's does, so a
+// routing sequence mixing Route and RouteSize calls is bit-identical to
+// the same sequence of materialized records through Route alone.
+func (px *Proxy) RouteSize(bytes int) bool {
+	px.stats.In++
+	px.acc += px.p
+	if px.acc >= 1-1e-12 {
+		px.acc -= 1
+		px.stats.Forwarded++
+		return true
+	}
+	px.stats.Drained++
+	px.stats.DrainedBytes += int64(bytes)
+	return false
+}
+
 // NoteProcessed records that the downstream operator consumed one
 // forwarded record within budget.
 func (px *Proxy) NoteProcessed() { px.stats.Processed++ }

@@ -14,12 +14,14 @@ import (
 )
 
 // TestColumnarRowParity extends the engine's batch/record parity
-// guarantee across the wire: one agent pipeline's shipped epochs are
-// applied to three SP replicas — through the columnar (SoA) execution
-// path, through the row-materializing path, and record at a time — and
-// all three must emit byte-identical results on the paper's three
-// queries, under routing that exercises drains at every stage, partial
-// aggregates and window flushes.
+// guarantee across the wire: agent epochs are applied to four SP
+// replicas — through the columnar (SoA) execution path, through the
+// row-materializing path, record at a time, and from a second agent
+// pipeline running the SoA path end to end (columnar generation,
+// RunEpochColumnar, flate-compressed columnar frames) — and all four
+// must emit byte-identical results on the paper's queries, under
+// routing that exercises drains at every stage, partial aggregates and
+// window flushes.
 
 func colParityTable() *telemetry.ToRTable {
 	ips := []uint32{workload.DefaultPingConfig(7).SrcIP}
@@ -63,26 +65,37 @@ func encodeBatch(t *testing.T, batch telemetry.Batch) []byte {
 }
 
 func TestColumnarRowParity(t *testing.T) {
+	pingGen := func() func() telemetry.Batch {
+		g := workload.NewPingGen(workload.DefaultPingConfig(7))
+		return func() telemetry.Batch { return g.NextWindow(1_000_000) }
+	}
+	pingColGen := func() func(cb *wire.ColumnarBatch) {
+		g := workload.NewPingGen(workload.DefaultPingConfig(7))
+		return func(cb *wire.ColumnarBatch) { g.NextWindowCols(1_000_000, cb) }
+	}
 	cases := []struct {
-		name  string
-		query func() *plan.Query
-		gen   func() func() telemetry.Batch
+		name   string
+		query  func() *plan.Query
+		gen    func() func() telemetry.Batch
+		colGen func() func(cb *wire.ColumnarBatch)
 	}{
 		{
-			name:  "S2SProbe",
-			query: plan.S2SProbe,
-			gen: func() func() telemetry.Batch {
-				g := workload.NewPingGen(workload.DefaultPingConfig(7))
-				return func() telemetry.Batch { return g.NextWindow(1_000_000) }
-			},
+			name:   "S2SProbe",
+			query:  plan.S2SProbe,
+			gen:    pingGen,
+			colGen: pingColGen,
 		},
 		{
-			name:  "T2TProbe",
-			query: func() *plan.Query { return plan.T2TProbe(colParityTable()) },
-			gen: func() func() telemetry.Batch {
-				g := workload.NewPingGen(workload.DefaultPingConfig(7))
-				return func() telemetry.Batch { return g.NextWindow(1_000_000) }
-			},
+			name:   "T2TProbe",
+			query:  func() *plan.Query { return plan.T2TProbe(colParityTable()) },
+			gen:    pingGen,
+			colGen: pingColGen,
+		},
+		{
+			name:   "S2SQuantile",
+			query:  plan.S2SQuantileProbe,
+			gen:    pingGen,
+			colGen: pingColGen,
 		},
 		{
 			name:  "LogAnalytics",
@@ -91,11 +104,19 @@ func TestColumnarRowParity(t *testing.T) {
 				g := workload.NewLogGen(workload.DefaultLogConfig(7))
 				return func() telemetry.Batch { return g.NextWindow(1_000_000) }
 			},
+			colGen: func() func(cb *wire.ColumnarBatch) {
+				g := workload.NewLogGen(workload.DefaultLogConfig(7))
+				return func(cb *wire.ColumnarBatch) { g.NextWindowCols(1_000_000, cb) }
+			},
 		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			pipe, err := stream.NewPipeline(tc.query(), stream.DefaultOptions(4.0, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			soaPipe, err := stream.NewPipeline(tc.query(), stream.DefaultOptions(4.0, 0))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -107,10 +128,11 @@ func TestColumnarRowParity(t *testing.T) {
 				e.RegisterSource(1)
 				return e
 			}
-			colEngine, rowEngine, recEngine := newEngine(), newEngine(), newEngine()
+			colEngine, rowEngine, recEngine, soaEngine := newEngine(), newEngine(), newEngine(), newEngine()
 			colRC := NewReceiver(colEngine) // columnar execution (the default)
 			rowRC := NewReceiver(rowEngine)
-			rowRC.SetColumnarExec(false) // row-materializing reference
+			rowRC.SetColumnarExec(false)    // row-materializing reference
+			soaRC := NewReceiver(soaEngine) // fed by the SoA agent pipeline
 
 			// feedRecords applies the shipped epoch record at a time — the
 			// pre-vectorization reference semantics.
@@ -137,8 +159,9 @@ func TestColumnarRowParity(t *testing.T) {
 				}
 			}
 
-			gen := tc.gen()
+			gen, colGen := tc.gen(), tc.colGen()
 			nops := len(pipe.Query().Ops)
+			var cb wire.ColumnarBatch
 			sawOutput := false
 			for epoch := 0; epoch < 13; epoch++ {
 				lf := colParityFactors(nops, epoch)
@@ -151,11 +174,17 @@ func TestColumnarRowParity(t *testing.T) {
 				if err := pipe.SetLoadFactors(lf); err != nil {
 					t.Fatal(err)
 				}
+				if err := soaPipe.SetLoadFactors(lf); err != nil {
+					t.Fatal(err)
+				}
+				cb.Reset()
 				var input telemetry.Batch
 				if epoch < 11 {
 					input = gen()
+					colGen(&cb)
 				} else {
 					pipe.ObserveTime(int64(epoch+1) * 1_000_000)
+					soaPipe.ObserveTime(int64(epoch+1) * 1_000_000)
 				}
 				res := pipe.RunEpoch(input)
 				var buf bytes.Buffer
@@ -173,11 +202,29 @@ func TestColumnarRowParity(t *testing.T) {
 				}
 				feedRecords(data)
 
+				// Fourth leg: the SoA agent pipeline's epoch, shipped with
+				// frame compression on.
+				soaRes := soaPipe.RunEpochColumnar(&cb)
+				var soaBuf bytes.Buffer
+				soaSh := NewShipper(1, &soaBuf)
+				soaSh.EnableColumnar()
+				soaSh.EnableCompression()
+				if err := soaSh.ShipEpoch(soaRes); err != nil {
+					t.Fatal(err)
+				}
+				if err := soaRC.HandleStream(bytes.NewReader(soaBuf.Bytes())); err != nil {
+					t.Fatal(err)
+				}
+
 				colOut := colRC.Advance()
 				rowOut := rowRC.Advance()
 				recOut := recEngine.Advance()
+				soaOut := soaRC.Advance()
 				if err := tripleEqual(t, colOut, rowOut, recOut); err != nil {
 					t.Fatalf("epoch %d: %v", epoch, err)
+				}
+				if err := tripleEqual(t, colOut, soaOut, soaOut); err != nil {
+					t.Fatalf("epoch %d (SoA agent leg): %v", epoch, err)
 				}
 				if len(colOut) > 0 {
 					sawOutput = true

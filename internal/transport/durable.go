@@ -51,16 +51,19 @@ type DurableShipper struct {
 	counters *metrics.CounterSet
 	maxVer   uint32
 
-	mu      sync.Mutex // guards all state below
-	wmu     sync.Mutex // serializes writes to conn (never held with mu)
-	conn    io.WriteCloser
-	peerVer uint32 // wire version negotiated with the current connection
-	seq     uint64 // last assigned epoch sequence
-	acked   uint64 // newest sequence the SP reported durable
-	term    uint64 // newest primary term observed in acks (fencing token)
-	prefer  string // last successfully connected endpoint (ConnectAny)
-	pending []PendingEpoch
-	dropped int64
+	mu       sync.Mutex // guards all state below
+	wmu      sync.Mutex // serializes writes to conn (never held with mu)
+	conn     io.WriteCloser
+	peerVer  uint32 // wire version negotiated with the current connection
+	peerComp bool   // peer advertised compression support in its ack
+	seq      uint64 // last assigned epoch sequence
+	acked    uint64 // newest sequence the SP reported durable
+	term     uint64 // newest primary term observed in acks (fencing token)
+	prefer   string // last successfully connected endpoint (ConnectAny)
+	pending  []PendingEpoch
+	dropped  int64
+
+	compress bool // encode columnar data frames flate-compressed
 
 	encBuf bytes.Buffer
 	encFW  *wire.FrameWriter
@@ -87,6 +90,16 @@ func (d *DurableShipper) SetMaxVersion(v uint32) {
 		v = wire.WireV1
 	}
 	d.maxVer = v
+}
+
+// SetCompression switches the shipper's columnar data frames to the
+// flate-compressed encoding. The replay buffer then stores epochs
+// compressed; connections whose peer did not advertise compression in
+// its ack get the frames decompressed at write time (and v1 peers get
+// them transcoded, as always). No effect below wire v2. Call before the
+// first ShipEpoch or Connect.
+func (d *DurableShipper) SetCompression(v bool) {
+	d.compress = v
 }
 
 // PeerVersion reports the wire version negotiated with the current
@@ -117,20 +130,37 @@ func (d *DurableShipper) encodeEpoch(seq uint64, res stream.EpochResult) ([]byte
 	if d.encFW == nil {
 		d.encFW = wire.NewFrameWriter(&d.encBuf)
 		d.encFW.SetColumnar(d.maxVer >= wire.WireV2)
+		d.encFW.SetCompression(d.compress && d.maxVer >= wire.WireV2)
 	} else {
 		d.encFW.Reset(&d.encBuf)
 	}
 	fw := d.encFW
-	for stage, batch := range res.Drains {
-		if len(batch) == 0 {
-			continue
+	// Row drains precede columnar drains at the same stage: the pipeline
+	// cascades carryover rows before the arrival wave, so this frame order
+	// preserves global record order for the SP's aggregation.
+	nStages := len(res.Drains)
+	if len(res.ColDrains) > nStages {
+		nStages = len(res.ColDrains)
+	}
+	for stage := 0; stage < nStages; stage++ {
+		if stage < len(res.Drains) && len(res.Drains[stage]) > 0 {
+			if err := fw.WriteFrame(wire.Frame{StreamID: uint32(stage), Source: d.source, Records: res.Drains[stage]}); err != nil {
+				return nil, err
+			}
 		}
-		if err := fw.WriteFrame(wire.Frame{StreamID: uint32(stage), Source: d.source, Records: batch}); err != nil {
-			return nil, err
+		if stage < len(res.ColDrains) && len(res.ColDrains[stage].Secs) > 0 {
+			if err := fw.WriteFrame(wire.Frame{StreamID: uint32(stage), Source: d.source, Cols: &res.ColDrains[stage]}); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if len(res.Results) > 0 {
 		if err := fw.WriteFrame(wire.Frame{StreamID: uint32(res.ResultStage), Source: d.source, Records: res.Results}); err != nil {
+			return nil, err
+		}
+	}
+	if len(res.ColResults.Secs) > 0 {
+		if err := fw.WriteFrame(wire.Frame{StreamID: uint32(res.ResultStage), Source: d.source, Cols: &res.ColResults}); err != nil {
 			return nil, err
 		}
 	}
@@ -176,25 +206,35 @@ func (d *DurableShipper) ShipEpoch(res stream.EpochResult) error {
 	}
 	conn := d.conn
 	peer := d.peerVer
+	peerComp := d.peerComp
 	d.mu.Unlock()
 	if conn == nil {
 		return nil
 	}
-	if werr := d.writeEpochData(conn, peer, data); werr != nil {
+	if werr := d.writeEpochData(conn, peer, peerComp, data); werr != nil {
 		d.disconnect(conn)
 	}
 	return nil
 }
 
 // writeEpochData writes one encoded epoch to a connection, transcoding
-// the canonical v2 bytes down to v1 frames when the peer negotiated v1.
-func (d *DurableShipper) writeEpochData(conn io.WriteCloser, peerVer uint32, data []byte) error {
+// the canonical v2 bytes down to v1 frames when the peer negotiated v1,
+// and decompressing them (section-byte-stable, no record decode) for a
+// v2 peer that did not advertise compression support.
+func (d *DurableShipper) writeEpochData(conn io.WriteCloser, peerVer uint32, peerComp bool, data []byte) error {
 	if d.maxVer >= wire.WireV2 && peerVer < wire.WireV2 {
+		// transcodeV1's reader inflates compressed frames transparently.
 		v1, err := transcodeV1(data)
 		if err != nil {
 			return fmt.Errorf("transport: transcode epoch for v1 peer: %w", err)
 		}
 		data = v1
+	} else if d.compress && d.maxVer >= wire.WireV2 && !peerComp {
+		plain, err := wire.DecompressFrames(data)
+		if err != nil {
+			return fmt.Errorf("transport: decompress epoch for peer: %w", err)
+		}
+		data = plain
 	}
 	_, err := conn.Write(data)
 	return err
@@ -245,7 +285,7 @@ func (d *DurableShipper) ConnectConn(conn io.ReadWriteCloser) error {
 	var hello bytes.Buffer
 	fw := wire.NewFrameWriter(&hello)
 	d.mu.Lock()
-	rec := telemetry.Record{WireSize: 29, Data: &wire.Hello{Source: d.source, Seq: d.seq, Version: d.maxVer, Term: d.term}}
+	rec := telemetry.Record{WireSize: 29, Data: &wire.Hello{Source: d.source, Seq: d.seq, Version: d.maxVer, Term: d.term, Compress: d.compress && d.maxVer >= wire.WireV2}}
 	d.mu.Unlock()
 	if err := fw.WriteFrame(wire.Frame{StreamID: wire.ControlStreamID, Source: d.source, Records: telemetry.Batch{rec}}); err != nil {
 		return err
@@ -270,6 +310,9 @@ func (d *DurableShipper) ConnectConn(conn io.ReadWriteCloser) error {
 	if peer > d.maxVer {
 		peer = d.maxVer
 	}
+	// Compression is used only when both sides advertise it (and the
+	// negotiated version carries columnar frames at all).
+	peerComp := d.compress && ack.Compress && peer >= wire.WireV2
 
 	// Take the write lock for the whole swap-and-replay: no concurrent
 	// ShipEpoch may interleave a newer epoch ahead of the replayed ones
@@ -287,11 +330,12 @@ func (d *DurableShipper) ConnectConn(conn io.ReadWriteCloser) error {
 	replay := clonePending(d.pending)
 	d.conn = conn
 	d.peerVer = peer
+	d.peerComp = peerComp
 	d.mu.Unlock()
 
 	d.counters.Inc(CtrReconnects)
 	for _, p := range replay {
-		if err := d.writeEpochData(conn, peer, p.Data); err != nil {
+		if err := d.writeEpochData(conn, peer, peerComp, p.Data); err != nil {
 			d.wmu.Unlock()
 			d.disconnect(conn)
 			return fmt.Errorf("transport: replay epoch %d: %w", p.Seq, err)

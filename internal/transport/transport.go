@@ -90,19 +90,40 @@ func NewShipper(source uint32, w io.Writer) *Shipper {
 // speak v2 (this repository's Receiver always does).
 func (s *Shipper) EnableColumnar() { s.fw.SetColumnar(true) }
 
-// ShipEpoch transmits one epoch's drains, results and watermark. It
+// EnableCompression switches the shipper's columnar data frames to the
+// flate-compressed encoding. Like EnableColumnar, there is no handshake
+// here — enable it only when the receiving side is known to decode it
+// (this repository's Receiver always does). No effect without
+// EnableColumnar.
+func (s *Shipper) EnableCompression() { s.fw.SetCompression(true) }
+
+// ShipEpoch transmits one epoch's drains (row then columnar per stage,
+// preserving the pipeline's record order), results and watermark. It
 // flushes so the SP observes complete epochs.
 func (s *Shipper) ShipEpoch(res stream.EpochResult) error {
-	for stage, batch := range res.Drains {
-		if len(batch) == 0 {
-			continue
+	nStages := len(res.Drains)
+	if len(res.ColDrains) > nStages {
+		nStages = len(res.ColDrains)
+	}
+	for stage := 0; stage < nStages; stage++ {
+		if stage < len(res.Drains) && len(res.Drains[stage]) > 0 {
+			if err := s.ship(uint32(stage), res.Drains[stage]); err != nil {
+				return err
+			}
 		}
-		if err := s.ship(uint32(stage), batch); err != nil {
-			return err
+		if stage < len(res.ColDrains) && len(res.ColDrains[stage].Secs) > 0 {
+			if err := s.shipCols(uint32(stage), &res.ColDrains[stage]); err != nil {
+				return err
+			}
 		}
 	}
 	if len(res.Results) > 0 {
 		if err := s.ship(uint32(res.ResultStage), res.Results); err != nil {
+			return err
+		}
+	}
+	if len(res.ColResults.Secs) > 0 {
+		if err := s.shipCols(uint32(res.ResultStage), &res.ColResults); err != nil {
 			return err
 		}
 	}
@@ -120,6 +141,16 @@ func (s *Shipper) ship(streamID uint32, batch telemetry.Batch) error {
 	}
 	s.frames++
 	s.bytesOut += batch.TotalBytes()
+	return nil
+}
+
+func (s *Shipper) shipCols(streamID uint32, cb *wire.ColumnarBatch) error {
+	err := s.fw.WriteFrame(wire.Frame{StreamID: streamID, Source: s.source, Cols: cb})
+	if err != nil {
+		return fmt.Errorf("transport: ship stream %d: %w", streamID, err)
+	}
+	s.frames++
+	s.bytesOut += cb.TotalBytes()
 	return nil
 }
 
@@ -146,6 +177,7 @@ type Receiver struct {
 	maxVer    uint32
 	gate      HelloGate
 	colExec   bool
+	comp      bool
 
 	bytesIn int64
 	frames  int64
@@ -161,6 +193,7 @@ func NewReceiver(engine *stream.SPEngine) *Receiver {
 		writers:  make(map[uint32]*ackWriter),
 		maxVer:   wire.CurrentWireVersion,
 		colExec:  true,
+		comp:     true,
 	}
 }
 
@@ -200,6 +233,23 @@ func (rc *Receiver) maxVersion() uint32 {
 	return rc.maxVer
 }
 
+// SetCompression controls whether the receiver advertises
+// flate-compressed columnar frames in its acks (on by default — the
+// reader decodes them transparently). SetCompression(false) emulates a
+// v2 receiver predating compression: shippers then decompress at write
+// time. Call before serving connections.
+func (rc *Receiver) SetCompression(v bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.comp = v
+}
+
+func (rc *Receiver) compression() bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.comp
+}
+
 // Counters exposes the receiver's health counters (shared with the
 // Server wrapping it).
 func (rc *Receiver) Counters() *metrics.CounterSet { return rc.counters }
@@ -234,12 +284,13 @@ type ackWriter struct {
 	fw   *wire.FrameWriter
 	ver  uint32 // wire version advertised in this connection's acks
 	term uint64 // primary term advertised in this connection's acks
+	comp bool   // compression support advertised in this connection's acks
 }
 
 func (w *ackWriter) sendAck(source uint32, seq uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	rec := telemetry.Record{WireSize: 29, Data: &wire.Ack{Source: source, Seq: seq, Version: w.ver, Term: w.term}}
+	rec := telemetry.Record{WireSize: 29, Data: &wire.Ack{Source: source, Seq: seq, Version: w.ver, Term: w.term, Compress: w.comp}}
 	if err := w.fw.WriteFrame(wire.Frame{StreamID: wire.ControlStreamID, Source: source, Records: telemetry.Batch{rec}}); err != nil {
 		return err
 	}
@@ -267,10 +318,18 @@ func (readOnlyConn) Write(p []byte) (int, error) {
 // flow back on the same connection.
 func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 	fr := wire.NewFrameReader(conn)
-	// maxVer and the execution mode are fixed before serving; snapshot
-	// them once instead of taking the shared mutex per frame.
+	// maxVer, the execution mode and compression support are fixed before
+	// serving; snapshot them once instead of taking the shared mutex per
+	// frame.
 	maxVer := rc.maxVersion()
-	fr.SetColumnarExec(rc.columnarExec() && maxVer >= wire.WireV2)
+	comp := rc.compression() && maxVer >= wire.WireV2
+	colExec := rc.columnarExec() && maxVer >= wire.WireV2
+	fr.SetColumnarExec(colExec)
+	if colExec {
+		// SoA frames decode into pooled arenas; they are recycled at each
+		// consumption point below, once nothing references the columns.
+		fr.EnableArenaPooling()
+	}
 	var (
 		aw        *ackWriter
 		src       uint32
@@ -320,7 +379,10 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 					}
 					src, sequenced = c.Source, true
 					staged = staged[:0]
-					aw = &ackWriter{fw: wire.NewFrameWriter(conn), ver: maxVer, term: ackTerm}
+					// Any frames staged before this Hello are dropped whole;
+					// their decoded columns are unreferenced now.
+					fr.RecycleArenas()
+					aw = &ackWriter{fw: wire.NewFrameWriter(conn), ver: maxVer, term: ackTerm, comp: comp}
 					seq := rc.registerConn(src, c.Seq, aw)
 					if err := aw.sendAck(src, seq); err != nil {
 						rc.counters.Inc(CtrRecvErrors)
@@ -334,6 +396,10 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 					}
 					ackSeq, ack, err := rc.commitEpoch(src, c, staged)
 					staged = staged[:0]
+					// The epoch (or duplicate) is fully consumed: the engine
+					// copied everything it keeps, so the staged frames' column
+					// arenas can be reused for the next epoch.
+					fr.RecycleArenas()
 					if err != nil {
 						return err
 					}
@@ -358,6 +424,9 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 			rc.counters.Inc(CtrRecvErrors)
 			return err
 		}
+		// Legacy frames are applied one at a time; the frame's columns are
+		// consumed the moment consume returns.
+		fr.RecycleArenas()
 	}
 }
 

@@ -130,6 +130,7 @@ func EncodeRecord(dst []byte, rec telemetry.Record) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint64(dst, p.Seq)
 		dst = binary.AppendUvarint(dst, uint64(p.Version))
 		dst = binary.AppendUvarint(dst, p.Term)
+		dst = appendBool(dst, p.Compress)
 		return dst, nil
 	case *Ack:
 		dst = append(dst, TagAck)
@@ -138,6 +139,7 @@ func EncodeRecord(dst []byte, rec telemetry.Record) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint64(dst, p.Seq)
 		dst = binary.AppendUvarint(dst, uint64(p.Version))
 		dst = binary.AppendUvarint(dst, p.Term)
+		dst = appendBool(dst, p.Compress)
 		return dst, nil
 	case *EpochEnd:
 		dst = append(dst, TagEpochEnd)
@@ -237,6 +239,13 @@ func appendHeader(dst []byte, rec telemetry.Record) []byte {
 func appendString(dst []byte, s string) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(s)))
 	return append(dst, s...)
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
 }
 
 type reader struct {
@@ -444,16 +453,20 @@ func DecodeRecord(buf []byte) (telemetry.Record, int, error) {
 		p := &Hello{}
 		p.Source = r.u32()
 		p.Seq = r.u64()
-		// The version field was appended in v2 builds and the HA term
-		// after it; a genuinely old peer's Hello ends early, which
-		// decodes as Version 0 (= v1) and Term 0 (pre-HA). Hello records
-		// must travel in single-record frames for these trailing
-		// extensions to be unambiguous (they always have).
+		// The version field was appended in v2 builds, the HA term after
+		// it, and the compression capability after that; a genuinely old
+		// peer's Hello ends early, which decodes as Version 0 (= v1),
+		// Term 0 (pre-HA) and Compress false. Hello records must travel
+		// in single-record frames for these trailing extensions to be
+		// unambiguous (they always have).
 		if r.err == nil && r.off < len(buf) {
 			p.Version = uint32(r.uvarint())
 		}
 		if r.err == nil && r.off < len(buf) {
 			p.Term = r.uvarint()
+		}
+		if r.err == nil && r.off < len(buf) {
+			p.Compress = r.u8() != 0
 		}
 		rec.Data = p
 		rec.WireSize = 29
@@ -466,6 +479,9 @@ func DecodeRecord(buf []byte) (telemetry.Record, int, error) {
 		}
 		if r.err == nil && r.off < len(buf) {
 			p.Term = r.uvarint()
+		}
+		if r.err == nil && r.off < len(buf) {
+			p.Compress = r.u8() != 0
 		}
 		rec.Data = p
 		rec.WireSize = 29

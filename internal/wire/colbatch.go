@@ -154,24 +154,33 @@ func (s *ColSec) rowBytes(i int) int64 {
 	}
 }
 
+// RowBytes returns the accounting wire size of one row — the WireSize a
+// materialized Record for it would carry. Callers pass live indices; the
+// selection vector itself is not consulted.
+func (s *ColSec) RowBytes(i int) int { return int(s.rowBytes(i)) }
+
 // TotalBytes returns the sum of live rows' accounting wire sizes — the
-// columnar equivalent of telemetry.Batch.TotalBytes.
+// columnar equivalent of telemetry.Batch.TotalBytes. Fixed-size payload
+// sections (probes) sum in O(1); only variable-size payloads walk rows.
 func (cb *ColumnarBatch) TotalBytes() int64 {
 	var total int64
 	for si := range cb.Secs {
 		s := &cb.Secs[si]
-		if s.Rows != nil {
+		switch {
+		case s.Rows != nil:
 			total += s.Rows.TotalBytes()
-			continue
-		}
-		if s.Sel != nil {
+		case s.Ping != nil:
+			total += telemetry.PingProbeWireSize * int64(s.Len())
+		case s.ToR != nil:
+			total += telemetry.ToRProbeWireSize * int64(s.Len())
+		case s.Sel != nil:
 			for _, i := range s.Sel {
 				total += s.rowBytes(int(i))
 			}
-			continue
-		}
-		for i := 0; i < len(s.Times); i++ {
-			total += s.rowBytes(i)
+		default:
+			for i := 0; i < len(s.Times); i++ {
+				total += s.rowBytes(i)
+			}
 		}
 	}
 	return total
@@ -322,36 +331,36 @@ func (d *ColumnarDecoder) DecodeColumnar(payload []byte, cb *ColumnarBatch) erro
 	return nil
 }
 
-// headerCols decodes the shared Times/Windows header columns into fresh
-// arrays.
-func (r *reader) headerCols(n int) (times, windows []int64) {
-	times = make([]int64, n)
-	windows = make([]int64, n)
+// headerCols decodes the shared Times/Windows header columns into
+// (pooled when enabled) arenas.
+func (d *ColumnarDecoder) headerCols(r *reader, n int) (times, windows []int64) {
+	times = d.i64Arena(n)
+	windows = d.i64Arena(n)
 	r.zigzagDeltas(times)
 	r.zigzagDeltas(windows)
 	return times, windows
 }
 
-// u32Col decodes one packed big-endian uint32 column into a fresh array.
-func (r *reader) u32Col(n int) []uint32 {
+// u32Col decodes one packed big-endian uint32 column into an arena.
+func (d *ColumnarDecoder) u32Col(r *reader, n int) []uint32 {
 	raw := r.take(4 * n)
 	if r.err != nil {
 		return nil
 	}
-	out := make([]uint32, n)
+	out := d.u32Arena(n)
 	for i := range out {
 		out[i] = binary.BigEndian.Uint32(raw[4*i:])
 	}
 	return out
 }
 
-// f64Col decodes one packed big-endian float64 column into a fresh array.
-func (r *reader) f64Col(n int) []float64 {
+// f64Col decodes one packed big-endian float64 column into an arena.
+func (d *ColumnarDecoder) f64Col(r *reader, n int) []float64 {
 	raw := r.take(8 * n)
 	if r.err != nil {
 		return nil
 	}
-	out := make([]float64, n)
+	out := d.f64Arena(n)
 	for i := range out {
 		out[i] = math.Float64frombits(binary.BigEndian.Uint64(raw[8*i:]))
 	}
@@ -359,9 +368,10 @@ func (r *reader) f64Col(n int) []float64 {
 }
 
 // strCol decodes one string-reference column through the frame table and
-// intern cache.
+// intern cache. The slice comes from the arena pool when enabled; the
+// strings themselves are owned by the canonicalization cache.
 func (d *ColumnarDecoder) strCol(r *reader, n int) ([]string, error) {
-	out := make([]string, n)
+	out := d.strArena(n)
 	for i := range out {
 		s, err := d.strOrErr(r)
 		if err != nil {
@@ -374,8 +384,8 @@ func (d *ColumnarDecoder) strCol(r *reader, n int) ([]string, error) {
 
 // tsCol decodes the payload-timestamp column (zigzag deltas against the
 // record times) into absolute timestamps.
-func (r *reader) tsCol(times []int64) []int64 {
-	out := make([]int64, len(times))
+func (d *ColumnarDecoder) tsCol(r *reader, times []int64) []int64 {
+	out := d.i64Arena(len(times))
 	r.zigzags(out)
 	if r.err != nil {
 		return nil
@@ -394,25 +404,25 @@ func (d *ColumnarDecoder) decodeSectionCols(r *reader, cb *ColumnarBatch) error 
 	sec := ColSec{Tag: tag}
 	switch tag {
 	case TagPingProbe:
-		sec.Times, sec.Windows = r.headerCols(n)
-		c := &PingCols{TS: r.tsCol(sec.Times)}
-		c.SrcIP = r.u32Col(n)
-		c.SrcCluster = r.u32Col(n)
-		c.DstIP = r.u32Col(n)
-		c.DstCluster = r.u32Col(n)
-		c.RTT = r.u32Col(n)
-		c.Err = r.u32Col(n)
+		sec.Times, sec.Windows = d.headerCols(r, n)
+		c := &PingCols{TS: d.tsCol(r, sec.Times)}
+		c.SrcIP = d.u32Col(r, n)
+		c.SrcCluster = d.u32Col(r, n)
+		c.DstIP = d.u32Col(r, n)
+		c.DstCluster = d.u32Col(r, n)
+		c.RTT = d.u32Col(r, n)
+		c.Err = d.u32Col(r, n)
 		sec.Ping = c
 	case TagToRProbe:
-		sec.Times, sec.Windows = r.headerCols(n)
-		c := &ToRCols{TS: r.tsCol(sec.Times)}
-		c.SrcToR = r.u32Col(n)
-		c.DstToR = r.u32Col(n)
-		c.RTT = r.u32Col(n)
+		sec.Times, sec.Windows = d.headerCols(r, n)
+		c := &ToRCols{TS: d.tsCol(r, sec.Times)}
+		c.SrcToR = d.u32Col(r, n)
+		c.DstToR = d.u32Col(r, n)
+		c.RTT = d.u32Col(r, n)
 		sec.ToR = c
 	case TagLogLine:
-		sec.Times, sec.Windows = r.headerCols(n)
-		c := &LogCols{TS: r.tsCol(sec.Times)}
+		sec.Times, sec.Windows = d.headerCols(r, n)
+		c := &LogCols{TS: d.tsCol(r, sec.Times)}
 		raw, err := d.strCol(r, n)
 		if err != nil {
 			return err
@@ -420,8 +430,8 @@ func (d *ColumnarDecoder) decodeSectionCols(r *reader, cb *ColumnarBatch) error 
 		c.Raw = raw
 		sec.Log = c
 	case TagJobStats:
-		sec.Times, sec.Windows = r.headerCols(n)
-		c := &JobCols{TS: r.tsCol(sec.Times)}
+		sec.Times, sec.Windows = d.headerCols(r, n)
+		c := &JobCols{TS: d.tsCol(r, sec.Times)}
 		var err error
 		if c.Tenant, err = d.strCol(r, n); err != nil {
 			return err
@@ -429,16 +439,16 @@ func (d *ColumnarDecoder) decodeSectionCols(r *reader, cb *ColumnarBatch) error 
 		if c.StatName, err = d.strCol(r, n); err != nil {
 			return err
 		}
-		c.Stat = r.f64Col(n)
-		c.Bucket = make([]int64, n)
+		c.Stat = d.f64Col(r, n)
+		c.Bucket = d.i64Arena(n)
 		r.zigzags(c.Bucket)
 		sec.Job = c
 	case TagAggRow:
-		sec.Times, sec.Windows = r.headerCols(n)
+		sec.Times, sec.Windows = d.headerCols(r, n)
 		c := &AggCols{}
 		raw := r.take(8 * n)
 		if r.err == nil {
-			c.KeyNum = make([]uint64, n)
+			c.KeyNum = d.u64Arena(n)
 			for i := range c.KeyNum {
 				c.KeyNum[i] = binary.BigEndian.Uint64(raw[8*i:])
 			}
@@ -447,18 +457,18 @@ func (d *ColumnarDecoder) decodeSectionCols(r *reader, cb *ColumnarBatch) error 
 		if c.KeyStr, err = d.strCol(r, n); err != nil {
 			return err
 		}
-		c.Window = make([]int64, n)
+		c.Window = d.i64Arena(n)
 		r.zigzags(c.Window)
 		if r.err == nil {
 			for i := range c.Window {
 				c.Window[i] += sec.Windows[i]
 			}
 		}
-		c.Count = make([]int64, n)
+		c.Count = d.i64Arena(n)
 		r.uvarints(c.Count)
-		c.Sum = r.f64Col(n)
-		c.Min = r.f64Col(n)
-		c.Max = r.f64Col(n)
+		c.Sum = d.f64Col(r, n)
+		c.Min = d.f64Col(r, n)
+		c.Max = d.f64Col(r, n)
 		sec.Agg = c
 	default:
 		// Raw, quantile and watermark sections have no SoA columns —

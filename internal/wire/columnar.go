@@ -48,6 +48,14 @@ import (
 // misparsed by a peer that only speaks v1.
 const ColumnarMarker = ^uint32(0)
 
+// ColumnarFlateMarker is the frame record-count sentinel announcing a
+// flate-compressed v2 columnar payload: a uvarint raw payload length
+// followed by the flate stream of the exact bytes an uncompressed
+// columnar frame would carry after its marker. Like ColumnarMarker, v1
+// readers reject it fast, and v2 readers without compression never see
+// it because compression is negotiated through the Hello/Ack handshake.
+const ColumnarFlateMarker = ^uint32(0) - 2
+
 // Wire protocol versions negotiated by the Hello/Ack handshake.
 const (
 	WireV1 = 1 // record-at-a-time frames
@@ -71,8 +79,9 @@ func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 // columnarEncoder builds v2 payloads. It is owned by a FrameWriter; the
 // string index map and table are reused (and reset) across frames.
 type columnarEncoder struct {
-	idx map[string]uint32
-	tab []string
+	idx  map[string]uint32
+	tab  []string
+	live []int32 // scratch live-index vector for column-direct encoding
 }
 
 // ref returns the string-table reference for s, interning it on first
@@ -301,6 +310,198 @@ func (e *columnarEncoder) encodeSection(dst []byte, tag byte, sec telemetry.Batc
 	return dst, nil
 }
 
+// encodeCols appends the columnar payload for a SoA batch to dst,
+// straight from the columns — the column-direct equivalent of encode.
+// Each SoA section is written as one wire section of its live rows (the
+// selection vector is applied and discarded); Rows fallback sections are
+// encoded through the row path, grouped into runs exactly like encode.
+// Decoding the result reproduces AppendRows' record sequence.
+func (e *columnarEncoder) encodeCols(dst []byte, cb *ColumnarBatch) ([]byte, error) {
+	if e.idx == nil {
+		e.idx = make(map[string]uint32)
+	} else {
+		clear(e.idx)
+	}
+	e.tab = e.tab[:0]
+
+	base := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // tableOff, patched below
+
+	var err error
+	for si := range cb.Secs {
+		s := &cb.Secs[si]
+		if s.Rows != nil {
+			for lo := 0; lo < len(s.Rows); {
+				tag := sectionTag(&s.Rows[lo])
+				hi := lo + 1
+				for hi < len(s.Rows) && sectionTag(&s.Rows[hi]) == tag {
+					hi++
+				}
+				dst, err = e.encodeSection(dst, tag, s.Rows[lo:hi])
+				if err != nil {
+					return nil, err
+				}
+				lo = hi
+			}
+			continue
+		}
+		if s.Len() == 0 {
+			continue
+		}
+		dst, err = e.encodeColSec(dst, s)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	binary.BigEndian.PutUint32(dst[base:], uint32(len(dst)-base))
+	dst = binary.AppendUvarint(dst, uint64(len(e.tab)))
+	for _, s := range e.tab {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst, nil
+}
+
+// liveIdx returns the section's live row indices, using the selection
+// vector directly when present and a reusable identity vector otherwise.
+func (e *columnarEncoder) liveIdx(s *ColSec) []int32 {
+	if s.Sel != nil {
+		return s.Sel
+	}
+	n := len(s.Times)
+	if cap(e.live) < n {
+		e.live = make([]int32, n)
+		for i := range e.live {
+			e.live[i] = int32(i)
+		}
+	} else if len(e.live) < n {
+		for i := len(e.live); i < n; i++ {
+			e.live = append(e.live, int32(i))
+		}
+	}
+	return e.live[:n]
+}
+
+// encodeColSec writes one SoA section's live rows as a wire section,
+// byte-identical to encodeSection over the materialized rows.
+func (e *columnarEncoder) encodeColSec(dst []byte, s *ColSec) ([]byte, error) {
+	live := e.liveIdx(s)
+	switch {
+	case s.Ping != nil:
+		dst = append(dst, TagPingProbe)
+	case s.ToR != nil:
+		dst = append(dst, TagToRProbe)
+	case s.Log != nil:
+		dst = append(dst, TagLogLine)
+	case s.Job != nil:
+		dst = append(dst, TagJobStats)
+	case s.Agg != nil:
+		dst = append(dst, TagAggRow)
+	default:
+		return nil, fmt.Errorf("wire: columnar section 0x%02x has no columns", s.Tag)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(live)))
+	prev := int64(0)
+	for _, i := range live {
+		dst = binary.AppendUvarint(dst, zigzag(s.Times[i]-prev))
+		prev = s.Times[i]
+	}
+	prev = 0
+	for _, i := range live {
+		dst = binary.AppendUvarint(dst, zigzag(s.Windows[i]-prev))
+		prev = s.Windows[i]
+	}
+	switch {
+	case s.Ping != nil:
+		c := s.Ping
+		for _, i := range live {
+			dst = binary.AppendUvarint(dst, zigzag(c.TS[i]-s.Times[i]))
+		}
+		for _, i := range live {
+			dst = binary.BigEndian.AppendUint32(dst, c.SrcIP[i])
+		}
+		for _, i := range live {
+			dst = binary.BigEndian.AppendUint32(dst, c.SrcCluster[i])
+		}
+		for _, i := range live {
+			dst = binary.BigEndian.AppendUint32(dst, c.DstIP[i])
+		}
+		for _, i := range live {
+			dst = binary.BigEndian.AppendUint32(dst, c.DstCluster[i])
+		}
+		for _, i := range live {
+			dst = binary.BigEndian.AppendUint32(dst, c.RTT[i])
+		}
+		for _, i := range live {
+			dst = binary.BigEndian.AppendUint32(dst, c.Err[i])
+		}
+	case s.ToR != nil:
+		c := s.ToR
+		for _, i := range live {
+			dst = binary.AppendUvarint(dst, zigzag(c.TS[i]-s.Times[i]))
+		}
+		for _, i := range live {
+			dst = binary.BigEndian.AppendUint32(dst, c.SrcToR[i])
+		}
+		for _, i := range live {
+			dst = binary.BigEndian.AppendUint32(dst, c.DstToR[i])
+		}
+		for _, i := range live {
+			dst = binary.BigEndian.AppendUint32(dst, c.RTT[i])
+		}
+	case s.Log != nil:
+		c := s.Log
+		for _, i := range live {
+			dst = binary.AppendUvarint(dst, zigzag(c.TS[i]-s.Times[i]))
+		}
+		for _, i := range live {
+			dst = binary.AppendUvarint(dst, e.ref(c.Raw[i]))
+		}
+	case s.Job != nil:
+		c := s.Job
+		for _, i := range live {
+			dst = binary.AppendUvarint(dst, zigzag(c.TS[i]-s.Times[i]))
+		}
+		for _, i := range live {
+			dst = binary.AppendUvarint(dst, e.ref(c.Tenant[i]))
+		}
+		for _, i := range live {
+			dst = binary.AppendUvarint(dst, e.ref(c.StatName[i]))
+		}
+		for _, i := range live {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(c.Stat[i]))
+		}
+		for _, i := range live {
+			dst = binary.AppendUvarint(dst, zigzag(c.Bucket[i]))
+		}
+	case s.Agg != nil:
+		c := s.Agg
+		for _, i := range live {
+			dst = binary.BigEndian.AppendUint64(dst, c.KeyNum[i])
+		}
+		for _, i := range live {
+			dst = binary.AppendUvarint(dst, e.ref(c.KeyStr[i]))
+		}
+		for _, i := range live {
+			dst = binary.AppendUvarint(dst, zigzag(c.Window[i]-s.Windows[i]))
+		}
+		for _, i := range live {
+			dst = binary.AppendUvarint(dst, uint64(c.Count[i]))
+		}
+		for _, i := range live {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(c.Sum[i]))
+		}
+		for _, i := range live {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(c.Min[i]))
+		}
+		for _, i := range live {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(c.Max[i]))
+		}
+	}
+	return dst, nil
+}
+
 // ColumnarDecoder materializes v2 columnar payloads. One decoder serves
 // one connection (or one snapshot store): its canonicalization cache
 // makes strings that repeat across frames — group keys, tenants, stat
@@ -317,12 +518,137 @@ type ColumnarDecoder struct {
 	times   []int64
 	windows []int64
 	aux     []int64
+	// pool holds free column arenas when pooling is enabled (nil
+	// otherwise); lent tracks the arenas handed out since the last
+	// recycle so RecycleArenas can return them to the free lists.
+	pool *arenaPool
+	lent arenaPool
 }
 
 // NewColumnarDecoder creates a decoder with an empty canonicalization
 // cache.
 func NewColumnarDecoder() *ColumnarDecoder {
 	return &ColumnarDecoder{canon: make(map[string]string)}
+}
+
+// arenaPool is a set of per-element-type free lists of column arenas.
+type arenaPool struct {
+	i64 [][]int64
+	u32 [][]uint32
+	u64 [][]uint64
+	f64 [][]float64
+	str [][]string
+}
+
+// EnableArenaPooling switches the decoder to pooled column arenas: SoA
+// decode (DecodeColumnar) serves column arrays from per-type free lists
+// instead of fresh allocations, and the caller returns them with
+// RecycleArenas once the decoded batches of an epoch have been fully
+// consumed. With pooling enabled, decoded columns are only valid until
+// the recycle call — the receiver recycles at epoch commit, after the
+// engine has copied every surviving row out of the wave. Pooling is off
+// by default, in which case decoded columns own their memory forever.
+func (d *ColumnarDecoder) EnableArenaPooling() {
+	if d.pool == nil {
+		d.pool = &arenaPool{}
+	}
+}
+
+// RecycleArenas returns every column arena handed out since the last
+// call to the free lists. It must only be called when no decoded
+// ColumnarBatch from this decoder is referenced anymore. A no-op when
+// pooling is disabled.
+func (d *ColumnarDecoder) RecycleArenas() {
+	if d.pool == nil {
+		return
+	}
+	d.pool.i64 = append(d.pool.i64, d.lent.i64...)
+	d.pool.u32 = append(d.pool.u32, d.lent.u32...)
+	d.pool.u64 = append(d.pool.u64, d.lent.u64...)
+	d.pool.f64 = append(d.pool.f64, d.lent.f64...)
+	d.pool.str = append(d.pool.str, d.lent.str...)
+	d.lent.i64 = d.lent.i64[:0]
+	d.lent.u32 = d.lent.u32[:0]
+	d.lent.u64 = d.lent.u64[:0]
+	d.lent.f64 = d.lent.f64[:0]
+	d.lent.str = d.lent.str[:0]
+}
+
+// popArena pops the newest free arena with enough capacity, discarding
+// an undersized one (arena sizes converge to the section sizes the
+// connection actually carries).
+func popArena[T any](free *[][]T, n int) ([]T, bool) {
+	f := *free
+	if len(f) == 0 {
+		return nil, false
+	}
+	s := f[len(f)-1]
+	f[len(f)-1] = nil
+	*free = f[:len(f)-1]
+	if cap(s) < n {
+		return nil, false
+	}
+	return s[:n], true
+}
+
+func (d *ColumnarDecoder) i64Arena(n int) []int64 {
+	if d.pool != nil {
+		s, ok := popArena(&d.pool.i64, n)
+		if !ok {
+			s = make([]int64, n)
+		}
+		d.lent.i64 = append(d.lent.i64, s)
+		return s
+	}
+	return make([]int64, n)
+}
+
+func (d *ColumnarDecoder) u32Arena(n int) []uint32 {
+	if d.pool != nil {
+		s, ok := popArena(&d.pool.u32, n)
+		if !ok {
+			s = make([]uint32, n)
+		}
+		d.lent.u32 = append(d.lent.u32, s)
+		return s
+	}
+	return make([]uint32, n)
+}
+
+func (d *ColumnarDecoder) u64Arena(n int) []uint64 {
+	if d.pool != nil {
+		s, ok := popArena(&d.pool.u64, n)
+		if !ok {
+			s = make([]uint64, n)
+		}
+		d.lent.u64 = append(d.lent.u64, s)
+		return s
+	}
+	return make([]uint64, n)
+}
+
+func (d *ColumnarDecoder) f64Arena(n int) []float64 {
+	if d.pool != nil {
+		s, ok := popArena(&d.pool.f64, n)
+		if !ok {
+			s = make([]float64, n)
+		}
+		d.lent.f64 = append(d.lent.f64, s)
+		return s
+	}
+	return make([]float64, n)
+}
+
+func (d *ColumnarDecoder) strArena(n int) []string {
+	if d.pool != nil {
+		s, ok := popArena(&d.pool.str, n)
+		if !ok {
+			s = make([]string, n)
+		}
+		d.lent.str = append(d.lent.str, s)
+		return s
+	}
+	return make([]string, n)
 }
 
 // intern canonicalizes one decoded string through the cross-frame cache.

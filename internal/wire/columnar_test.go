@@ -238,23 +238,27 @@ func TestColumnarControlFramesStayV1(t *testing.T) {
 
 // TestLegacyHelloDecodes checks truncated Hello payloads from older
 // builds still decode: a pre-versioning 12-byte Hello reads as Version 0
-// (= v1 peer), and a pre-HA Hello (version but no term) reads as Term 0.
+// (= v1 peer), a pre-HA Hello (version but no term) reads as Term 0,
+// and a pre-compression Hello reads as Compress false.
 func TestLegacyHelloDecodes(t *testing.T) {
-	rec := telemetry.Record{WireSize: 29, Data: &Hello{Source: 9, Seq: 4, Version: WireV2, Term: 3}}
+	rec := telemetry.Record{WireSize: 29, Data: &Hello{Source: 9, Seq: 4, Version: WireV2, Term: 3, Compress: true}}
 	enc, err := EncodeRecord(nil, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, tc := range []struct {
 		name        string
-		strip       int // trailing uvarint fields removed
+		strip       int // trailing 1-byte fields removed
 		wantVersion uint32
 		wantTerm    uint64
+		wantComp    bool
 	}{
-		{"pre-ha", 1, WireV2, 0},
-		{"pre-versioning", 2, 0, 0},
+		{"current", 0, WireV2, 3, true},
+		{"pre-compression", 1, WireV2, 3, false},
+		{"pre-ha", 2, WireV2, 0, false},
+		{"pre-versioning", 3, 0, 0, false},
 	} {
-		legacy := enc[:len(enc)-tc.strip] // each trailing uvarint is 1 byte here
+		legacy := enc[:len(enc)-tc.strip] // each trailing field is 1 byte here
 		got, n, err := DecodeRecord(legacy)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
@@ -263,7 +267,7 @@ func TestLegacyHelloDecodes(t *testing.T) {
 			t.Fatalf("%s: consumed %d of %d", tc.name, n, len(legacy))
 		}
 		h := got.Data.(*Hello)
-		if h.Source != 9 || h.Seq != 4 || h.Version != tc.wantVersion || h.Term != tc.wantTerm {
+		if h.Source != 9 || h.Seq != 4 || h.Version != tc.wantVersion || h.Term != tc.wantTerm || h.Compress != tc.wantComp {
 			t.Fatalf("%s: decoded as %+v", tc.name, h)
 		}
 	}

@@ -19,33 +19,38 @@ const ReplRowsStreamID = ^uint32(0) - 2
 
 // Hello opens a sequenced connection: the agent announces its source id,
 // the last epoch sequence number it assigned, the newest wire version it
-// speaks (0 from pre-versioning builds, meaning v1), and the newest
-// primary term it has observed (0 from pre-HA builds). The receiver
+// speaks (0 from pre-versioning builds, meaning v1), the newest primary
+// term it has observed (0 from pre-HA builds), and whether it can emit
+// per-frame flate compression on v2 columnar frames. The receiver
 // replies with an Ack carrying the newest durably-applied sequence for
-// that source plus its own version and term; both sides then use
-// min(hello, ack) for the version, and the agent adopts the larger term.
-// An SP that sees a Hello carrying a term above its own knows a newer
-// primary was promoted and fences itself (rejects the connection). Hello
-// records travel alone in their frame (the trailing extensions rely on
-// it).
+// that source plus its own version, term and compression support; both
+// sides then use min(hello, ack) for the version, the agent adopts the
+// larger term, and compression is used only when both sides advertise
+// it. An SP that sees a Hello carrying a term above its own knows a
+// newer primary was promoted and fences itself (rejects the connection).
+// Hello records travel alone in their frame (the trailing extensions
+// rely on it).
 type Hello struct {
-	Source  uint32
-	Seq     uint64
-	Version uint32
-	Term    uint64
+	Source   uint32
+	Seq      uint64
+	Version  uint32
+	Term     uint64
+	Compress bool
 }
 
 // Ack acknowledges that every epoch of a source up to and including Seq
 // is durable on the stream processor (applied, and covered by a snapshot
 // when checkpointing is enabled). The agent prunes its replay buffer up
-// to Seq. Version advertises the receiver's newest wire version and Term
-// its primary term (0 from older builds); like Hello, Ack records travel
-// alone in their frame.
+// to Seq. Version advertises the receiver's newest wire version, Term
+// its primary term, and Compress whether it decodes flate-compressed
+// columnar frames (all zero/false from older builds); like Hello, Ack
+// records travel alone in their frame.
 type Ack struct {
-	Source  uint32
-	Seq     uint64
-	Version uint32
-	Term    uint64
+	Source   uint32
+	Seq      uint64
+	Version  uint32
+	Term     uint64
+	Compress bool
 }
 
 // EpochEnd commits one shipped epoch: every data frame since the previous

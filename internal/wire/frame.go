@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -21,6 +23,9 @@ type FrameWriter struct {
 	w        *bufio.Writer
 	buf      []byte
 	columnar bool
+	compress bool
+	cbuf     []byte // raw columnar payload scratch when compressing
+	zw       *flate.Writer
 	enc      columnarEncoder
 }
 
@@ -34,6 +39,13 @@ func NewFrameWriter(w io.Writer) *FrameWriter {
 // the peer negotiated wire v2, or when the bytes are consumed by this
 // build's own FrameReader (snapshot files, benchmarks).
 func (fw *FrameWriter) SetColumnar(v bool) { fw.columnar = v }
+
+// SetCompression switches columnar data frames to the flate-compressed
+// encoding (control frames and v1 frames are never compressed). It has
+// no effect unless SetColumnar(true) is also in force. Enable it only
+// when the peer advertised compression support in its Hello/Ack, or when
+// the bytes are consumed by this build's own FrameReader.
+func (fw *FrameWriter) SetCompression(v bool) { fw.compress = v }
 
 // Reset redirects the writer to w, discarding unflushed data but keeping
 // the internal encode buffer — repeated encoders (the checkpoint store)
@@ -72,29 +84,85 @@ func (f *Frame) PayloadBytes() int64 {
 	return f.Records.TotalBytes()
 }
 
-// WriteFrame encodes and writes one frame. It does not flush; call Flush
-// at epoch boundaries.
+// WriteFrame encodes and writes one frame. A frame may carry its payload
+// as Records or (on the columnar send path) as Cols; when both are set,
+// Cols wins. It does not flush; call Flush at epoch boundaries.
 func (fw *FrameWriter) WriteFrame(f Frame) error {
 	fw.buf = fw.buf[:0]
 	fw.buf = binary.BigEndian.AppendUint32(fw.buf, f.StreamID)
 	fw.buf = binary.BigEndian.AppendUint32(fw.buf, f.Source)
 	var err error
 	if fw.columnar && f.StreamID != ControlStreamID {
+		if fw.compress {
+			fw.cbuf, err = fw.encodePayload(fw.cbuf[:0], f)
+			if err != nil {
+				return err
+			}
+			fw.buf = binary.BigEndian.AppendUint32(fw.buf, ColumnarFlateMarker)
+			fw.buf = binary.AppendUvarint(fw.buf, uint64(len(fw.cbuf)))
+			if err := fw.deflate(fw.cbuf); err != nil {
+				return err
+			}
+			return fw.writePayload()
+		}
 		fw.buf = binary.BigEndian.AppendUint32(fw.buf, ColumnarMarker)
-		fw.buf, err = fw.enc.encode(fw.buf, f.Records)
+		fw.buf, err = fw.encodePayload(fw.buf, f)
 		if err != nil {
 			return err
 		}
 		return fw.writePayload()
 	}
-	fw.buf = binary.BigEndian.AppendUint32(fw.buf, uint32(len(f.Records)))
-	for _, rec := range f.Records {
+	recs := f.Records
+	if f.Cols != nil {
+		// A v1 frame cannot carry columns — materialize them. This only
+		// happens when a columnar epoch is shipped to a v1-only peer.
+		recs = recs[:0:0]
+		f.Cols.AppendRows(&recs)
+	}
+	fw.buf = binary.BigEndian.AppendUint32(fw.buf, uint32(len(recs)))
+	for _, rec := range recs {
 		fw.buf, err = EncodeRecord(fw.buf, rec)
 		if err != nil {
 			return err
 		}
 	}
 	return fw.writePayload()
+}
+
+// encodePayload appends the frame's columnar payload (table offset,
+// sections, string table) to dst, straight from columns when the frame
+// carries them.
+func (fw *FrameWriter) encodePayload(dst []byte, f Frame) ([]byte, error) {
+	if f.Cols != nil {
+		return fw.enc.encodeCols(dst, f.Cols)
+	}
+	return fw.enc.encode(dst, f.Records)
+}
+
+// sliceWriter appends to a byte slice through a stable pointer, so the
+// flate writer can emit into fw.buf while it reallocates.
+type sliceWriter struct{ b *[]byte }
+
+func (s sliceWriter) Write(p []byte) (int, error) {
+	*s.b = append(*s.b, p...)
+	return len(p), nil
+}
+
+// deflate appends the flate stream of raw to fw.buf.
+func (fw *FrameWriter) deflate(raw []byte) error {
+	if fw.zw == nil {
+		zw, err := flate.NewWriter(sliceWriter{&fw.buf}, flate.BestSpeed)
+		if err != nil {
+			return err
+		}
+		fw.zw = zw
+	} else {
+		fw.zw.Reset(sliceWriter{&fw.buf})
+	}
+	if _, err := fw.zw.Write(raw); err != nil {
+		return err
+	}
+	return fw.zw.Close()
 }
 
 // writePayload length-prefixes and writes the assembled frame in fw.buf.
@@ -123,6 +191,9 @@ type FrameReader struct {
 	buf     []byte
 	dec     *ColumnarDecoder
 	colExec bool
+	zsrc    *bytes.Reader
+	zr      io.ReadCloser
+	zbuf    []byte
 }
 
 // NewFrameReader wraps r in a buffered frame reader.
@@ -140,6 +211,26 @@ func (fr *FrameReader) Reset(r io.Reader) { fr.r.Reset(r) }
 // snapshot store reading a base + delta chain) decode repeated strings
 // to one allocation across all of them.
 func (fr *FrameReader) UseDecoder(d *ColumnarDecoder) { fr.dec = d }
+
+// EnableArenaPooling switches the reader's columnar decoder to pooled
+// column arenas (creating the decoder if needed). The connection owner
+// must call RecycleArenas at epoch boundaries, after every decoded batch
+// of the epoch has been consumed.
+func (fr *FrameReader) EnableArenaPooling() {
+	if fr.dec == nil {
+		fr.dec = NewColumnarDecoder()
+	}
+	fr.dec.EnableArenaPooling()
+}
+
+// RecycleArenas returns the column arenas handed out since the last call
+// to the decoder's pool. Call only when no ColumnarBatch decoded from
+// this reader is referenced anymore.
+func (fr *FrameReader) RecycleArenas() {
+	if fr.dec != nil {
+		fr.dec.RecycleArenas()
+	}
+}
 
 // SetColumnarExec switches the reader to columnar-execution decoding:
 // columnar data frames are returned as SoA batches (Frame.Cols) instead
@@ -186,21 +277,14 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 	}
 	count := binary.BigEndian.Uint32(fr.buf[8:])
 	if count == ColumnarMarker {
-		if fr.dec == nil {
-			fr.dec = NewColumnarDecoder()
+		return fr.decodeColumnar(f, fr.buf[12:])
+	}
+	if count == ColumnarFlateMarker {
+		raw, err := fr.inflateFramePayload(fr.buf[12:])
+		if err != nil {
+			return Frame{}, fmt.Errorf("wire: compressed frame: %w", err)
 		}
-		f.Columnar = true
-		if fr.colExec {
-			f.Cols = &ColumnarBatch{}
-			if err := fr.dec.DecodeColumnar(fr.buf[12:], f.Cols); err != nil {
-				return Frame{}, fmt.Errorf("wire: columnar frame: %w", err)
-			}
-			return f, nil
-		}
-		if err := fr.dec.DecodeBatch(fr.buf[12:], &f.Records); err != nil {
-			return Frame{}, fmt.Errorf("wire: columnar frame: %w", err)
-		}
-		return f, nil
+		return fr.decodeColumnar(f, raw)
 	}
 	// Every record costs at least a tag byte plus the 16-byte header, so
 	// a count the remaining payload cannot hold is corrupt — reject it
@@ -219,4 +303,115 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 		f.Records = append(f.Records, rec)
 	}
 	return f, nil
+}
+
+// decodeColumnar decodes a columnar payload into the frame, SoA or
+// materialized depending on the reader's execution mode.
+func (fr *FrameReader) decodeColumnar(f Frame, payload []byte) (Frame, error) {
+	if fr.dec == nil {
+		fr.dec = NewColumnarDecoder()
+	}
+	f.Columnar = true
+	if fr.colExec {
+		f.Cols = &ColumnarBatch{}
+		if err := fr.dec.DecodeColumnar(payload, f.Cols); err != nil {
+			return Frame{}, fmt.Errorf("wire: columnar frame: %w", err)
+		}
+		return f, nil
+	}
+	if err := fr.dec.DecodeBatch(payload, &f.Records); err != nil {
+		return Frame{}, fmt.Errorf("wire: columnar frame: %w", err)
+	}
+	return f, nil
+}
+
+// inflateFramePayload decompresses a ColumnarFlateMarker frame body
+// (uvarint raw length followed by a flate stream) into the reader's
+// reusable scratch buffer, returning the raw columnar payload.
+func (fr *FrameReader) inflateFramePayload(body []byte) ([]byte, error) {
+	rawLen, k := binary.Uvarint(body)
+	if k <= 0 {
+		return nil, ErrShortBuffer
+	}
+	if rawLen > MaxFrameSize {
+		return nil, fmt.Errorf("wire: compressed payload of %d bytes exceeds max %d", rawLen, MaxFrameSize)
+	}
+	if fr.zsrc == nil {
+		fr.zsrc = bytes.NewReader(body[k:])
+	} else {
+		fr.zsrc.Reset(body[k:])
+	}
+	if fr.zr == nil {
+		fr.zr = flate.NewReader(fr.zsrc)
+	} else if err := fr.zr.(flate.Resetter).Reset(fr.zsrc, nil); err != nil {
+		return nil, err
+	}
+	fr.zbuf = slices.Grow(fr.zbuf[:0], int(rawLen))[:rawLen]
+	if _, err := io.ReadFull(fr.zr, fr.zbuf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	var one [1]byte
+	if n, _ := fr.zr.Read(one[:]); n > 0 {
+		return nil, fmt.Errorf("wire: compressed payload longer than declared %d bytes", rawLen)
+	}
+	return fr.zbuf, nil
+}
+
+// DecompressFrames rewrites a sequence of encoded frames (the bytes a
+// FrameWriter produced for one epoch), replacing every flate-compressed
+// columnar frame with its uncompressed columnar equivalent and copying
+// all other frames verbatim. The shipper uses it to downgrade a replay
+// buffer stored compressed for a v2 peer that did not advertise
+// compression — no record decode, no re-encode, byte-stable sections.
+func DecompressFrames(data []byte) ([]byte, error) {
+	var zsrc *bytes.Reader
+	var zr io.ReadCloser
+	out := make([]byte, 0, len(data))
+	for off := 0; off < len(data); {
+		if off+4 > len(data) {
+			return nil, ErrShortBuffer
+		}
+		n := int(binary.BigEndian.Uint32(data[off:]))
+		if n > MaxFrameSize || off+4+n > len(data) {
+			return nil, ErrShortBuffer
+		}
+		frame := data[off+4 : off+4+n]
+		off += 4 + n
+		if n < 12 || binary.BigEndian.Uint32(frame[8:]) != ColumnarFlateMarker {
+			out = append(out, data[off-4-n:off]...)
+			continue
+		}
+		body := frame[12:]
+		rawLen, k := binary.Uvarint(body)
+		if k <= 0 {
+			return nil, ErrShortBuffer
+		}
+		if rawLen > MaxFrameSize {
+			return nil, fmt.Errorf("wire: compressed payload of %d bytes exceeds max %d", rawLen, MaxFrameSize)
+		}
+		if zsrc == nil {
+			zsrc = bytes.NewReader(body[k:])
+			zr = flate.NewReader(zsrc)
+		} else {
+			zsrc.Reset(body[k:])
+			if err := zr.(flate.Resetter).Reset(zsrc, nil); err != nil {
+				return nil, err
+			}
+		}
+		out = binary.BigEndian.AppendUint32(out, uint32(12+rawLen))
+		out = append(out, frame[:8]...)
+		out = binary.BigEndian.AppendUint32(out, ColumnarMarker)
+		start := len(out)
+		out = slices.Grow(out, int(rawLen))[:start+int(rawLen)]
+		if _, err := io.ReadFull(zr, out[start:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return out, nil
 }

@@ -118,6 +118,110 @@ func FuzzReadFrame(f *testing.F) {
 	})
 }
 
+// FuzzDecodeCompressedFrame checks that the flate-compressed columnar
+// frame path never panics on arbitrary byte streams, that decoded
+// compressed frames round-trip through a compressing writer, and that
+// DecompressFrames agrees with the reader: when both accept a stream,
+// the rewritten (uncompressed) stream decodes to records with identical
+// v1 encodings.
+func FuzzDecodeCompressedFrame(f *testing.F) {
+	seed := func(batch telemetry.Batch) {
+		var buf bytes.Buffer
+		fw := NewFrameWriter(&buf)
+		fw.SetColumnar(true)
+		fw.SetCompression(true)
+		if err := fw.WriteFrame(Frame{StreamID: 1, Source: 3, Records: batch}); err != nil {
+			f.Fatal(err)
+		}
+		if err := fw.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	for _, rec := range seedRecords() {
+		seed(telemetry.Batch{rec})
+	}
+	seed(telemetry.Batch(seedRecords()))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 16, 0, 0, 0, 1, 0, 0, 0, 3, 0xFF, 0xFF, 0xFF, 0xFD, 4, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		encodeAll := func(batch telemetry.Batch) []byte {
+			var out []byte
+			var err error
+			for _, rec := range batch {
+				out, err = EncodeRecord(out, rec)
+				if err != nil {
+					t.Fatalf("decoded record does not re-encode: %v", err)
+				}
+			}
+			return out
+		}
+		fr := NewFrameReader(bytes.NewReader(data))
+		var frames []Frame
+		cleanEOF := false
+		for {
+			frame, err := fr.ReadFrame()
+			if err != nil {
+				cleanEOF = err == io.EOF
+				break // corrupt input is fine, panics are not
+			}
+			frames = append(frames, frame)
+
+			// Round-trip through a compressing writer.
+			var out bytes.Buffer
+			w := NewFrameWriter(&out)
+			w.SetColumnar(true)
+			w.SetCompression(true)
+			if err := w.WriteFrame(frame); err != nil {
+				t.Fatalf("re-encode of decoded frame: %v", err)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := NewFrameReader(bytes.NewReader(out.Bytes())).ReadFrame()
+			if err != nil {
+				t.Fatalf("decode of compressed re-encoding: %v", err)
+			}
+			if got.StreamID != frame.StreamID || got.Source != frame.Source {
+				t.Fatalf("frame header round-trip mismatch: %+v vs %+v", got, frame)
+			}
+			if !bytes.Equal(encodeAll(got.Records), encodeAll(frame.Records)) {
+				t.Fatal("compressed round-trip changed the records")
+			}
+		}
+
+		// Differential: the downgrade rewriter must agree with the reader
+		// on any stream the reader fully accepts.
+		plain, derr := DecompressFrames(data)
+		if !cleanEOF {
+			return
+		}
+		if derr != nil {
+			t.Fatalf("reader accepted the stream but DecompressFrames rejected it: %v", derr)
+		}
+		pr := NewFrameReader(bytes.NewReader(plain))
+		for i := 0; ; i++ {
+			frame, err := pr.ReadFrame()
+			if err == io.EOF {
+				if i != len(frames) {
+					t.Fatalf("decompressed stream has %d frames, original %d", i, len(frames))
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("decompressed stream frame %d: %v", i, err)
+			}
+			if i >= len(frames) {
+				t.Fatalf("decompressed stream has more frames than original %d", len(frames))
+			}
+			// The rewrite must be record-stable, frame by frame.
+			if !bytes.Equal(encodeAll(frame.Records), encodeAll(frames[i].Records)) {
+				t.Fatalf("frame %d: decompressed records differ from original", i)
+			}
+		}
+	})
+}
+
 // FuzzDecodeColumnarBatch checks that the v2 columnar decoder never
 // panics on arbitrary payloads and that every successfully decoded
 // batch round-trips: re-encoding it columnar and decoding again yields

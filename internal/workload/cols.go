@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"jarvis/internal/wire"
+)
+
+// Columnar (SoA) generation: the agent-side pipeline can consume arrival
+// waves as wire.ColumnarBatch sections directly, so the generators offer
+// NextWindowCols next to NextWindow. Both draw from the same RNG stream
+// in the same order and advance the same event-time cursor, so a
+// generator produces identical traces whichever form is asked for —
+// NextWindowCols emits exactly the records NextWindow would, just as
+// columns.
+//
+// The emitted columns live in generator-owned arenas that the next
+// NextWindowCols call overwrites: consume (process, encode or copy) the
+// section before generating again. Windows is emitted all-zero, like the
+// unassigned Record.Window of the row path.
+
+// pingArena is PingGen's reusable column storage.
+type pingArena struct {
+	times, wins []int64
+	cols        wire.PingCols
+}
+
+// NextWindowCols emits all probes with event time in [cur, cur+durMicros)
+// as one SoA section appended to cb. Trace-identical to NextWindow.
+func (g *PingGen) NextWindowCols(durMicros int64, cb *wire.ColumnarBatch) {
+	a := &g.arena
+	a.times, a.wins = a.times[:0], a.wins[:0]
+	c := &a.cols
+	c.TS = c.TS[:0]
+	c.SrcIP, c.SrcCluster = c.SrcIP[:0], c.SrcCluster[:0]
+	c.DstIP, c.DstCluster = c.DstIP[:0], c.DstCluster[:0]
+	c.RTT, c.Err = c.RTT[:0], c.Err[:0]
+
+	end := g.next + durMicros
+	for g.next < end {
+		peer := g.peerIdx
+		g.peerIdx = (g.peerIdx + 1) % g.cfg.Peers
+		dst := g.PeerIP(peer)
+		// Same RNG draw order as one(): RTT first, then the error roll.
+		rtt := g.rtt(peer)
+		var errc uint32
+		if g.rng.Float64() < g.cfg.ErrRate {
+			errc = 1 + uint32(g.rng.IntN(4))
+		}
+		a.times = append(a.times, g.next)
+		a.wins = append(a.wins, 0)
+		c.TS = append(c.TS, g.next)
+		c.SrcIP = append(c.SrcIP, g.cfg.SrcIP)
+		c.SrcCluster = append(c.SrcCluster, g.cfg.SrcIP>>16)
+		c.DstIP = append(c.DstIP, dst)
+		c.DstCluster = append(c.DstCluster, dst>>16)
+		c.RTT = append(c.RTT, rtt)
+		c.Err = append(c.Err, errc)
+		g.next += g.cfg.IntervalMicros
+	}
+	if len(a.times) == 0 {
+		return
+	}
+	cb.Secs = append(cb.Secs, wire.ColSec{
+		Tag: wire.TagPingProbe, Times: a.times, Windows: a.wins, Ping: c,
+	})
+}
+
+// logArena is LogGen's reusable column storage.
+type logArena struct {
+	times, wins []int64
+	cols        wire.LogCols
+}
+
+// NextWindowCols emits all lines with event time in [cur, cur+durMicros)
+// as one SoA section appended to cb. Trace-identical to NextWindow (the
+// line strings themselves are freshly built either way).
+func (g *LogGen) NextWindowCols(durMicros int64, cb *wire.ColumnarBatch) {
+	a := &g.arena
+	a.times, a.wins = a.times[:0], a.wins[:0]
+	c := &a.cols
+	c.TS, c.Raw = c.TS[:0], c.Raw[:0]
+
+	end := g.next + durMicros
+	for g.next < end {
+		ts, line := g.oneLine()
+		a.times = append(a.times, ts)
+		a.wins = append(a.wins, 0)
+		c.TS = append(c.TS, ts)
+		c.Raw = append(c.Raw, line)
+	}
+	if len(a.times) == 0 {
+		return
+	}
+	cb.Secs = append(cb.Secs, wire.ColSec{
+		Tag: wire.TagLogLine, Times: a.times, Windows: a.wins, Log: c,
+	})
+}

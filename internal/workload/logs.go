@@ -53,6 +53,7 @@ type LogGen struct {
 	rng     *rand.Rand
 	next    int64
 	tenants []string
+	arena   logArena
 }
 
 // NewLogGen builds a generator with a fixed tenant population.
@@ -98,6 +99,13 @@ func (g *LogGen) NextWindow(durMicros int64) telemetry.Batch {
 }
 
 func (g *LogGen) one() telemetry.Record {
+	ts, line := g.oneLine()
+	return telemetry.NewLogRecord(ts, line)
+}
+
+// oneLine draws the next line without building the record (shared by the
+// row and columnar emitters).
+func (g *LogGen) oneLine() (int64, string) {
 	ts := g.next
 	g.next += g.cfg.IntervalMicros
 	var line string
@@ -119,7 +127,7 @@ func (g *LogGen) one() telemetry.Record {
 	if pad := AvgLogLineBytes - len(line) - 10; pad > 0 {
 		line += " #" + strings.Repeat("x", pad)
 	}
-	return telemetry.NewLogRecord(ts, line)
+	return ts, line
 }
 
 // Patterns are the substrings the LogAnalytics query greps for

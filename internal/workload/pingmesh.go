@@ -95,6 +95,7 @@ type PingGen struct {
 	next      int64
 	peerIdx   int
 	anomalous []bool // per peer: pair currently in a latency anomaly
+	arena     pingArena
 }
 
 // NewPingGen builds a generator. Anomalous pairs are chosen up front so
