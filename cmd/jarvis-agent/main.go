@@ -40,6 +40,7 @@ import (
 	"jarvis/internal/checkpoint"
 	"jarvis/internal/core"
 	"jarvis/internal/experiments"
+	"jarvis/internal/obs"
 	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/transport"
@@ -60,15 +61,17 @@ func main() {
 	ckptAsync := flag.Bool("checkpoint-async", false, "save snapshots on a writer goroutine (the epoch path only captures state)")
 	columnar := flag.Bool("columnar-gen", true, "generate epochs as SoA columns and run the columnar agent pipeline (falls back to rows automatically where the plan has no columnar kernels)")
 	compress := flag.Bool("wire-compress", true, "offer flate compression for columnar data frames (used only when the SP also advertises it)")
+	obsListen := flag.String("obs-listen", "", "introspection HTTP listener (/metrics, /status, /decisions, /debug/pprof)")
+	obsDecisions := flag.String("obs-decisions", "", "append runtime adaptation decisions to this JSONL file")
 	flag.Parse()
 
-	if err := run(*spAddr, uint32(*id), *queryName, *budget, *epochs, *realtime, *ckptDir, *ckptEvery, *ckptRetain, *ckptAsync, *columnar, *compress); err != nil {
+	if err := run(*spAddr, uint32(*id), *queryName, *budget, *epochs, *realtime, *ckptDir, *ckptEvery, *ckptRetain, *ckptAsync, *columnar, *compress, *obsListen, *obsDecisions); err != nil {
 		fmt.Fprintln(os.Stderr, "jarvis-agent:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spAddr string, id uint32, queryName string, budget float64, epochs int, realtime bool, ckptDir string, ckptEvery, ckptRetain int, ckptAsync bool, columnar, compress bool) error {
+func run(spAddr string, id uint32, queryName string, budget float64, epochs int, realtime bool, ckptDir string, ckptEvery, ckptRetain int, ckptAsync bool, columnar, compress bool, obsListen, obsDecisions string) error {
 	endpoints := transport.ParseEndpoints(spAddr)
 	if len(endpoints) == 0 {
 		return fmt.Errorf("no SP endpoints in %q", spAddr)
@@ -78,6 +81,7 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 		return err
 	}
 	src, err := core.NewSource(q, core.SourceOptions{
+		ID:         id,
 		BudgetFrac: budget,
 		RateMbps:   rate,
 		Adapt:      true,
@@ -87,6 +91,40 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 	}
 	ship := transport.NewDurableShipper(id, 0)
 	ship.SetCompression(compress)
+
+	if obsDecisions != "" {
+		f, err := os.OpenFile(obsDecisions, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		obs.Decisions().SetSink(f)
+	}
+	if obsListen != "" {
+		osrv := obs.NewServer()
+		osrv.AddRegistry(ship.Counters())
+		osrv.SetStatus(func() any {
+			return map[string]any{
+				"source":       id,
+				"query":        queryName,
+				"phase":        src.Phase().String(),
+				"load_factors": src.LoadFactors(),
+				"epochs":       src.Epochs(),
+				"seq":          ship.Seq(),
+				"acked":        ship.Acked(),
+				"dropped":      ship.Dropped(),
+				"term":         ship.Term(),
+				"peer_version": ship.PeerVersion(),
+				"connected":    ship.Connected(),
+			}
+		})
+		addr, err := osrv.Start(obsListen)
+		if err != nil {
+			return err
+		}
+		defer osrv.Close()
+		fmt.Printf("jarvis-agent %d: introspection on http://%s/metrics\n", id, addr)
+	}
 
 	var arec *checkpoint.AgentRecovery
 	resume := uint64(0)
@@ -132,10 +170,15 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 			// pipeline; records only materialize where the plan lacks
 			// columnar kernels.
 			cb.Reset()
+			genStart := obs.Now()
 			nextCols(1_000_000, &cb)
+			obs.SinceN(obs.StageGenerate, genStart, id, uint64(e))
 			res, err = src.RunEpochColumnar(&cb)
 		} else {
-			res, err = src.RunEpoch(next(1_000_000))
+			genStart := obs.Now()
+			batch := next(1_000_000)
+			obs.SinceN(obs.StageGenerate, genStart, id, uint64(e))
+			res, err = src.RunEpoch(batch)
 		}
 		if err != nil {
 			return err

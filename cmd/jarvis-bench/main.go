@@ -13,13 +13,19 @@ import (
 	"os"
 
 	"jarvis/internal/experiments"
+	"jarvis/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all|fig3|fig7|fig8|fig9|fig10|fig11|latency|opcount|ablation|overhead|micro)")
 	seed := flag.Uint64("seed", 7, "seed for randomized workloads")
-	benchOut := flag.String("benchout", "BENCH_6.json", "output file for -exp micro results")
+	benchOut := flag.String("benchout", "BENCH_7.json", "output file for -exp micro results")
+	obsOff := flag.Bool("obs-off", false, "disable epoch-lifecycle timing (obs.SetEnabled(false)) for A/B overhead runs")
 	flag.Parse()
+
+	if *obsOff {
+		obs.SetEnabled(false)
+	}
 
 	if *exp == "micro" {
 		if err := runMicro(*benchOut); err != nil {

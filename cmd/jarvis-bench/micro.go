@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"testing"
 
 	"jarvis/internal/benchcase"
 	"jarvis/internal/checkpoint"
+	"jarvis/internal/obs"
 	"jarvis/internal/plan"
 	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
@@ -104,6 +106,12 @@ func runMicro(outPath string) error {
 		return err
 	}
 	records = append(records, wireRecs...)
+
+	obsRecs, err := obsOverheadRecords()
+	if err != nil {
+		return err
+	}
+	records = append(records, obsRecs...)
 
 	data, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
@@ -402,6 +410,51 @@ func deltaSnapshotBenchmark() ([]BenchRecord, error) {
 		Iterations: saveRec.Iterations,
 	}
 	return []BenchRecord{epochRec, saveRec, ratio}, nil
+}
+
+// obsOverheadRecords quantifies the observability tax on the hottest
+// instrumented loop: warm columnar SP ingest with epoch-lifecycle
+// timing on vs. off (obs.SetEnabled(false), what -obs-off selects
+// process-wide). Min-of-3 on each side filters scheduler noise; the
+// budget is <=3% and ObsOverheadPct lands in the bench JSON so CI can
+// watch it. NsPerOp carries the percentage, not a duration.
+func obsOverheadRecords() ([]BenchRecord, error) {
+	wasEnabled := obs.Enabled()
+	defer obs.SetEnabled(wasEnabled)
+	run := func() (float64, error) {
+		engine, _, cb, err := benchcase.SPIngest()
+		if err != nil {
+			return 0, err
+		}
+		best := math.Inf(1)
+		for t := 0; t < 3; t++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := engine.IngestColumnar(0, cb); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if ns := float64(r.T.Nanoseconds()) / float64(r.N); ns < best {
+				best = ns
+			}
+		}
+		return best, nil
+	}
+	obs.SetEnabled(true)
+	on, err := run()
+	if err != nil {
+		return nil, err
+	}
+	obs.SetEnabled(false)
+	off, err := run()
+	if err != nil {
+		return nil, err
+	}
+	return []BenchRecord{{
+		Name:    "ObsOverheadPct",
+		NsPerOp: 100 * (on - off) / off,
+	}}, nil
 }
 
 func record(name string, totalBytes int64, r testing.BenchmarkResult) BenchRecord {

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -79,7 +80,39 @@ func run(queryName string, budget float64, epochs int, variant string, seed uint
 			e.Epoch, e.State, e.Phase, e.ThroughputMbps, e.OutMbps, e.LatencySec,
 			fmtFactors(e.Factors))
 	}
+	printSummary(trace)
 	return nil
+}
+
+// printSummary condenses the trace into the numbers the figures report:
+// how long the runtime took to stabilize, how the epochs distributed
+// across proxy states, and the converged throughput.
+func printSummary(trace sim.Trace) {
+	const hold = 3
+	stateEpochs := map[string]int{}
+	profiled := 0
+	for _, e := range trace {
+		stateEpochs[e.State.String()]++
+		if e.Profiled {
+			profiled++
+		}
+	}
+	fmt.Println("--- summary ---")
+	fmt.Printf("epochs %d, profiling epochs %d\n", len(trace), profiled)
+	keys := make([]string, 0, len(stateEpochs))
+	for k := range stateEpochs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-9s %d epochs\n", k, stateEpochs[k])
+	}
+	if at := trace.ConvergedAt(0, hold); at >= 0 {
+		fmt.Printf("converged at epoch %d (stable for %d epochs); mean throughput after: %.2f Mbps\n",
+			at, hold, trace.MeanThroughput(at, len(trace)))
+	} else {
+		fmt.Printf("did not converge (%d-epoch stability window)\n", hold)
+	}
 }
 
 func parseEvents(specs []string) ([]sim.Event, error) {

@@ -51,6 +51,7 @@ import (
 	"jarvis/internal/core"
 	"jarvis/internal/experiments"
 	"jarvis/internal/ha"
+	"jarvis/internal/obs"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/transport"
 )
@@ -66,6 +67,10 @@ type config struct {
 	peer                   string
 	term                   uint64
 	takeoverAfter          time.Duration
+	obsListen              string
+	obsDecisions           string
+	obsSpans               string
+	obsSpanEvery           int
 }
 
 func main() {
@@ -83,6 +88,10 @@ func main() {
 	flag.Uint64Var(&cfg.term, "term", 1, "primary fencing term (epoch lease token)")
 	flag.DurationVar(&cfg.takeoverAfter, "takeover-after", 3*time.Second, "standby: promote after the replication link is down this long (0 = never)")
 	flag.BoolVar(&cfg.columnarExec, "columnar-exec", true, "execute wire-v2 frames over decoded columns (SoA); false selects the row-materializing path")
+	flag.StringVar(&cfg.obsListen, "obs-listen", "", "introspection HTTP listener (/metrics, /status, /decisions, /debug/pprof)")
+	flag.StringVar(&cfg.obsDecisions, "obs-decisions", "", "append runtime adaptation decisions to this JSONL file")
+	flag.StringVar(&cfg.obsSpans, "obs-spans", "", "append sampled epoch-lifecycle spans to this JSONL file")
+	flag.IntVar(&cfg.obsSpanEvery, "obs-span-every", 100, "with -obs-spans, export every Nth span per stage")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -165,6 +174,55 @@ func run(cfg config) error {
 		gate = ha.NewGate(ha.RolePrimary, cfg.term, nil)
 	}
 	rc.SetHelloGate(gate)
+
+	if cfg.obsDecisions != "" {
+		f, err := os.OpenFile(cfg.obsDecisions, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		obs.Decisions().SetSink(f)
+	}
+	if cfg.obsSpans != "" {
+		f, err := os.OpenFile(cfg.obsSpans, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		obs.SetSpanSink(f, cfg.obsSpanEvery)
+	}
+	if cfg.obsListen != "" {
+		osrv := obs.NewServer()
+		osrv.AddRegistry(rc.Counters(), gate.Counters())
+		osrv.SetStatus(func() any {
+			st := map[string]any{
+				"role":         gate.Role().String(),
+				"term":         gate.Term(),
+				"query":        cfg.query,
+				"wire_version": rc.MaxVersion(),
+				"compression":  rc.CompressionEnabled(),
+				"bytes_in":     rc.BytesIn(),
+				"frames_in":    rc.Frames(),
+				"watermark_us": proc.Engine().EffectiveWatermark(),
+			}
+			wms := map[string]int64{}
+			proc.Engine().SourceWatermarks(func(src uint32, wm int64) {
+				wms[strconv.FormatUint(uint64(src), 10)] = wm
+			})
+			st["source_watermarks_us"] = wms
+			if pub != nil {
+				st["replication_lag_epochs"] = pub.Lag()
+				st["standbys"] = pub.Standbys()
+			}
+			return st
+		})
+		addr, err := osrv.Start(cfg.obsListen)
+		if err != nil {
+			return err
+		}
+		defer osrv.Close()
+		fmt.Printf("jarvis-sp: introspection on http://%s/metrics\n", addr)
+	}
 
 	for _, tok := range strings.Split(cfg.sources, ",") {
 		id, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 32)

@@ -21,6 +21,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"jarvis"
 	"jarvis/internal/checkpoint"
 	"jarvis/internal/ha"
+	"jarvis/internal/obs"
 	"jarvis/internal/transport"
 )
 
@@ -207,14 +209,17 @@ func main() {
 	rows := 0
 	killAt := time.After(400 * time.Millisecond)
 	var rejoinAt <-chan time.Time
+	var downtime time.Duration
 	for {
 		select {
 		case <-killAt:
 			fmt.Println("\n*** killing the primary mid-run ***")
+			killStart := time.Now()
 			pri.stop()
 			if err := sb.promote(); err != nil {
 				log.Fatal(err)
 			}
+			downtime = time.Since(killStart)
 			active.Store(sb)
 			fmt.Printf("*** standby promoted to primary at term %d (replicated snapshot id %d, %d mirrored rows) ***\n\n",
 				sb.gate.Term(), sb.st.LastApplied(), sb.st.ResultLog().Rows())
@@ -249,6 +254,7 @@ func main() {
 			fmt.Printf("\nresult log on the promoted standby: %d rows, every row exactly once across the failover\n",
 				sp.rlog.Rows())
 			fmt.Printf("ha counters: %s\n", sp.gate.Counters())
+			printSummary(sp, downtime)
 			sp.stop()
 			return
 		case <-time.After(50 * time.Millisecond):
@@ -263,8 +269,34 @@ func main() {
 	}
 }
 
+// printSummary condenses the run into its headline numbers: how much
+// work the surviving node applied vs. replayed, how long the cluster had
+// no primary, and every adaptation decision the process recorded.
+func printSummary(sp *spNode, downtime time.Duration) {
+	fmt.Println("--- summary ---")
+	tc := sp.rc.Counters()
+	fmt.Printf("promoted node: %d epochs applied, %d replayed (deduplicated), %d hellos rejected\n",
+		tc.Get(transport.CtrEpochsApplied), tc.Get(transport.CtrEpochsReplayed), tc.Get(transport.CtrHellosRejected))
+	fmt.Printf("failover downtime (kill to promoted): %v\n", downtime)
+	byKind := map[string]int{}
+	for _, d := range obs.Decisions().Recent(0) {
+		byKind[d.Kind]++
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Printf("decision trace: %d events", obs.Decisions().Total())
+	for _, k := range kinds {
+		fmt.Printf("  %s=%d", k, byKind[k])
+	}
+	fmt.Println()
+}
+
 func runAgent(getEndpoints func() []string, id uint32, budget float64) error {
 	src, err := jarvis.NewSource(jarvis.S2SProbe(), jarvis.SourceOptions{
+		ID:         id,
 		BudgetFrac: budget,
 		RateMbps:   26.2,
 		Adapt:      true,

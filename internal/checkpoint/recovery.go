@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"jarvis/internal/obs"
 	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/transport"
@@ -254,7 +255,9 @@ func (r *AgentRecovery) save(job *saveJob) error {
 		job.snap.BaseID = r.lastID
 	}
 	r.chainMu.Unlock()
+	snapStart := obs.Now()
 	id, err := r.store.Save(job.snap)
+	obs.Since(obs.StageSnapshot, snapStart)
 	if err != nil {
 		// The capture already advanced the dirty generation, so the rows
 		// this snapshot carried will never appear in a later delta; force
@@ -640,7 +643,9 @@ func (r *SPRecovery) saveAndAck(job *saveJob) error {
 		job.snap.BaseID = r.lastID
 	}
 	r.chainMu.Unlock()
+	snapStart := obs.Now()
 	id, err := r.store.Save(job.snap)
+	obs.Since(obs.StageSnapshot, snapStart)
 	if err != nil {
 		// The capture already advanced the dirty generation, so the rows
 		// this snapshot carried will never appear in a later delta; force
@@ -659,8 +664,11 @@ func (r *SPRecovery) saveAndAck(job *saveJob) error {
 		}
 	}
 	if r.repl != nil {
+		replStart := obs.Now()
 		r.repl.PublishSnapshot(id, job.snap)
-		if !r.repl.WaitDurable(id, r.ackTimeout) {
+		durable := r.repl.WaitDurable(id, r.ackTimeout)
+		obs.Since(obs.StageReplicate, replStart)
+		if !durable {
 			// The attached standby has not confirmed the snapshot: keep the
 			// covered epochs in the agents' replay buffers — a later
 			// snapshot's ack releases them once replication catches up.
@@ -669,7 +677,9 @@ func (r *SPRecovery) saveAndAck(job *saveJob) error {
 	}
 	// Only now — with the snapshot durable (and replicated) — may agents
 	// prune their replay buffers up to the covered epochs.
+	ackStart := obs.Now()
 	r.rc.AckSeqs(job.seqs)
+	obs.Since(obs.StageAck, ackStart)
 	return nil
 }
 

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"jarvis/internal/obs"
 	"jarvis/internal/plan"
 	"jarvis/internal/runtime"
 	"jarvis/internal/stream"
@@ -18,6 +19,10 @@ import (
 
 // SourceOptions configures a data source agent.
 type SourceOptions struct {
+	// ID tags this source's decision-trace events (obs package). Use the
+	// same stream/source id the transport hello carries; 0 is fine for a
+	// single-source process.
+	ID uint32
 	// BudgetFrac is the CPU budget as a fraction of one core.
 	BudgetFrac float64
 	// RateMbps is the expected input rate (profiling normalization).
@@ -120,19 +125,21 @@ func (s *Source) RunEpoch(input telemetry.Batch) (stream.EpochResult, error) {
 	if !s.opts.Adapt {
 		return res, nil
 	}
-	obs := runtime.Observation{
+	o := runtime.Observation{
 		Stats:           res.Stats,
 		LoadFactors:     s.pipeline.LoadFactors(),
 		SpareBudgetFrac: res.SpareBudgetFrac,
 		Boundary:        s.boundary,
 	}
-	act := s.rt.OnEpoch(obs)
+	act := s.rt.OnEpoch(o)
 	if act.SetLoadFactors != nil {
 		if err := s.pipeline.SetLoadFactors(act.SetLoadFactors); err != nil {
 			return res, err
 		}
+		s.emitLoadFactors(o.LoadFactors, act.Phase)
 	}
 	if act.Profile {
+		before := s.pipeline.LoadFactors()
 		pact, err := s.rt.OnProfile(s.profile(res))
 		if err != nil {
 			return res, err
@@ -141,6 +148,7 @@ func (s *Source) RunEpoch(input telemetry.Batch) (stream.EpochResult, error) {
 			if err := s.pipeline.SetLoadFactors(pact.SetLoadFactors); err != nil {
 				return res, err
 			}
+			s.emitLoadFactors(before, pact.Phase)
 		}
 	}
 	return res, nil
@@ -165,19 +173,21 @@ func (s *Source) RunEpochColumnar(cb *wire.ColumnarBatch) (stream.EpochResult, e
 	if !s.opts.Adapt {
 		return res, nil
 	}
-	obs := runtime.Observation{
+	o := runtime.Observation{
 		Stats:           res.Stats,
 		LoadFactors:     s.pipeline.LoadFactors(),
 		SpareBudgetFrac: res.SpareBudgetFrac,
 		Boundary:        s.boundary,
 	}
-	act := s.rt.OnEpoch(obs)
+	act := s.rt.OnEpoch(o)
 	if act.SetLoadFactors != nil {
 		if err := s.pipeline.SetLoadFactors(act.SetLoadFactors); err != nil {
 			return res, err
 		}
+		s.emitLoadFactors(o.LoadFactors, act.Phase)
 	}
 	if act.Profile {
+		before := s.pipeline.LoadFactors()
 		pact, err := s.rt.OnProfile(s.profile(res))
 		if err != nil {
 			return res, err
@@ -186,9 +196,26 @@ func (s *Source) RunEpochColumnar(cb *wire.ColumnarBatch) (stream.EpochResult, e
 			if err := s.pipeline.SetLoadFactors(pact.SetLoadFactors); err != nil {
 				return res, err
 			}
+			s.emitLoadFactors(before, pact.Phase)
 		}
 	}
 	return res, nil
+}
+
+// emitLoadFactors records one applied load-factor change in the
+// process decision trace. After re-reads the pipeline (SetLoadFactors
+// zeroes factors past the boundary), so consecutive decisions chain:
+// each Before equals the previous After, which is what makes
+// obs.LoadFactorTimeline replayable.
+func (s *Source) emitLoadFactors(before []float64, phase runtime.Phase) {
+	obs.Emit(obs.Decision{
+		Kind:   "load_factors",
+		Source: s.opts.ID,
+		Epoch:  uint64(s.epochs),
+		Cause:  phase.String(),
+		Before: before,
+		After:  s.pipeline.LoadFactors(),
+	})
 }
 
 // profile builds cost/relay estimates for the runtime. The live agent

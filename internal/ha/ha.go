@@ -35,10 +35,10 @@ import (
 	"fmt"
 	"sync"
 
-	"jarvis/internal/metrics"
+	"jarvis/internal/obs"
 )
 
-// Health counter and gauge names exposed through metrics.CounterSet from
+// Health counter and gauge names exposed through obs.Registry from
 // both jarvis-sp roles.
 const (
 	CtrFailovers          = "ha_failovers"            // standby promotions to primary
@@ -90,15 +90,15 @@ type Gate struct {
 	mu       sync.Mutex
 	role     Role
 	term     uint64
-	counters *metrics.CounterSet
+	counters *obs.Registry
 }
 
 // NewGate creates a gate in the given role. A primary's term is its
 // epoch-lease token (at least 1); a standby's is 0 until promotion.
 // counters may be nil (a private set is created).
-func NewGate(role Role, term uint64, counters *metrics.CounterSet) *Gate {
+func NewGate(role Role, term uint64, counters *obs.Registry) *Gate {
 	if counters == nil {
-		counters = metrics.NewCounterSet()
+		counters = obs.NewRegistry()
 	}
 	if role == RolePrimary && term < 1 {
 		term = 1
@@ -123,6 +123,14 @@ func (g *Gate) AdmitHello(agentTerm uint64) (uint64, error) {
 	if agentTerm > g.term {
 		g.role = RoleFenced
 		g.counters.Inc(CtrFenced)
+		obs.Emit(obs.Decision{
+			Kind:        "fencing",
+			Cause:       "hello_with_newer_term",
+			BeforeState: RolePrimary.String(),
+			AfterState:  RoleFenced.String(),
+			Term:        agentTerm,
+			Detail:      fmt.Sprintf("own term %d, agent term %d", g.term, agentTerm),
+		})
 		return 0, fmt.Errorf("ha: primary at term %d fenced — agent has seen term %d", g.term, agentTerm)
 	}
 	return g.term, nil
@@ -139,6 +147,13 @@ func (g *Gate) Promote(term uint64) bool {
 	}
 	g.role = RolePrimary
 	g.term = term
+	obs.Emit(obs.Decision{
+		Kind:        "promotion",
+		Cause:       "replication_link_down",
+		BeforeState: RoleStandby.String(),
+		AfterState:  RolePrimary.String(),
+		Term:        term,
+	})
 	return true
 }
 
@@ -158,4 +173,4 @@ func (g *Gate) Term() uint64 {
 
 // Counters exposes the gate's counter set (shared with the node's other
 // HA components when constructed that way).
-func (g *Gate) Counters() *metrics.CounterSet { return g.counters }
+func (g *Gate) Counters() *obs.Registry { return g.counters }

@@ -11,7 +11,7 @@ import (
 	"time"
 
 	"jarvis/internal/checkpoint"
-	"jarvis/internal/metrics"
+	"jarvis/internal/obs"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/wire"
 )
@@ -33,7 +33,7 @@ const subQueueDepth = 256
 type Publisher struct {
 	store    *checkpoint.Store
 	logPath  string
-	counters *metrics.CounterSet
+	counters *obs.Registry
 
 	mu         sync.Mutex
 	subs       map[*subscriber]struct{}
@@ -54,13 +54,16 @@ type subscriber struct {
 // NewPublisher creates a replication publisher over the primary's
 // snapshot store and result-log path, stamping term into every
 // replicated snapshot. counters may be nil.
-func NewPublisher(store *checkpoint.Store, logPath string, term uint64, counters *metrics.CounterSet) *Publisher {
+func NewPublisher(store *checkpoint.Store, logPath string, term uint64, counters *obs.Registry) *Publisher {
 	if counters == nil {
-		counters = metrics.NewCounterSet()
+		counters = obs.NewRegistry()
 	}
 	if term < 1 {
 		term = 1
 	}
+	// Seed the lag gauge so a replication-enabled primary exposes the
+	// series from startup, not only after the first publish or attach.
+	counters.Set(GaugeReplLagEpochs, 0)
 	return &Publisher{
 		store: store, logPath: logPath, term: term, counters: counters,
 		subs: make(map[*subscriber]struct{}),
@@ -68,7 +71,7 @@ func NewPublisher(store *checkpoint.Store, logPath string, term uint64, counters
 }
 
 // Counters exposes the publisher's health counters.
-func (p *Publisher) Counters() *metrics.CounterSet { return p.counters }
+func (p *Publisher) Counters() *obs.Registry { return p.counters }
 
 // Serve accepts standby replication connections until the listener
 // closes or ctx is cancelled.

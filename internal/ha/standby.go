@@ -11,7 +11,7 @@ import (
 
 	"jarvis/internal/checkpoint"
 	"jarvis/internal/core"
-	"jarvis/internal/metrics"
+	"jarvis/internal/obs"
 	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/transport"
@@ -34,7 +34,7 @@ type Standby struct {
 	engine   *stream.SPEngine
 	store    *checkpoint.Store
 	rlog     *checkpoint.ResultLog
-	counters *metrics.CounterSet
+	counters *obs.Registry
 
 	maxChain int
 	retain   int
@@ -58,9 +58,9 @@ type Standby struct {
 // Processor.LoadSnapshot, which also keeps the sharded in-process
 // ingest state coherent with the restored root engine after promotion.
 // counters may be nil.
-func NewStandby(proc *core.Processor, dir string, counters *metrics.CounterSet) (*Standby, error) {
+func NewStandby(proc *core.Processor, dir string, counters *obs.Registry) (*Standby, error) {
 	if counters == nil {
-		counters = metrics.NewCounterSet()
+		counters = obs.NewRegistry()
 	}
 	store, err := checkpoint.OpenStore(dir)
 	if err != nil {
@@ -101,7 +101,7 @@ func (s *Standby) ResultLog() *checkpoint.ResultLog { return s.rlog }
 func (s *Standby) Store() *checkpoint.Store { return s.store }
 
 // Counters exposes the standby's health counters.
-func (s *Standby) Counters() *metrics.CounterSet { return s.counters }
+func (s *Standby) Counters() *obs.Registry { return s.counters }
 
 // Connected reports whether a replication connection is live.
 func (s *Standby) Connected() bool {

@@ -8,8 +8,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
-	"sync"
 )
 
 // Percentile returns the p-quantile (0 ≤ p ≤ 1) of samples using linear
@@ -139,81 +137,3 @@ func (t *Throughput) Reset() { t.bytes, t.micros = 0, 0 }
 
 // FormatMbps renders a rate for tables ("12.34 Mbps").
 func FormatMbps(v float64) string { return fmt.Sprintf("%.2f Mbps", v) }
-
-// CounterSet is a small named-counter registry for operational health
-// metrics (transport connections, decode errors, replayed epochs, ...).
-// It is safe for concurrent use; unknown names read as zero.
-type CounterSet struct {
-	mu sync.Mutex
-	m  map[string]int64
-}
-
-// NewCounterSet creates an empty counter set.
-func NewCounterSet() *CounterSet { return &CounterSet{m: make(map[string]int64)} }
-
-// Add increments a counter by delta (creating it at zero first).
-func (c *CounterSet) Add(name string, delta int64) {
-	if c == nil {
-		return
-	}
-	c.mu.Lock()
-	c.m[name] += delta
-	c.mu.Unlock()
-}
-
-// Inc increments a counter by one.
-func (c *CounterSet) Inc(name string) { c.Add(name, 1) }
-
-// Set overwrites a counter with an absolute value — gauge semantics for
-// level measurements (replication lag, queue depths) that share the
-// registry with monotone counters.
-func (c *CounterSet) Set(name string, v int64) {
-	if c == nil {
-		return
-	}
-	c.mu.Lock()
-	c.m[name] = v
-	c.mu.Unlock()
-}
-
-// Get returns a counter's current value (zero when never touched).
-func (c *CounterSet) Get(name string) int64 {
-	if c == nil {
-		return 0
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.m[name]
-}
-
-// Snapshot copies all counters.
-func (c *CounterSet) Snapshot() map[string]int64 {
-	if c == nil {
-		return nil
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]int64, len(c.m))
-	for k, v := range c.m {
-		out[k] = v
-	}
-	return out
-}
-
-// String renders the counters sorted by name ("a=1 b=2"), for logs.
-func (c *CounterSet) String() string {
-	snap := c.Snapshot()
-	names := make([]string, 0, len(snap))
-	for k := range snap {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	var b strings.Builder
-	for i, k := range names {
-		if i > 0 {
-			b.WriteByte(' ')
-		}
-		fmt.Fprintf(&b, "%s=%d", k, snap[k])
-	}
-	return b.String()
-}

@@ -4,7 +4,6 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
-	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -149,44 +148,5 @@ func TestThroughput(t *testing.T) {
 func TestFormatMbps(t *testing.T) {
 	if got := FormatMbps(12.345); got != "12.35 Mbps" {
 		t.Fatalf("format = %q", got)
-	}
-}
-
-func TestCounterSet(t *testing.T) {
-	c := NewCounterSet()
-	if got := c.Get("missing"); got != 0 {
-		t.Fatalf("missing counter = %d", got)
-	}
-	c.Inc("conns_accepted")
-	c.Add("conns_accepted", 2)
-	c.Add("decode_errors", 1)
-	if got := c.Get("conns_accepted"); got != 3 {
-		t.Fatalf("conns_accepted = %d", got)
-	}
-	snap := c.Snapshot()
-	if snap["conns_accepted"] != 3 || snap["decode_errors"] != 1 {
-		t.Fatalf("snapshot = %v", snap)
-	}
-	if s := c.String(); s != "conns_accepted=3 decode_errors=1" {
-		t.Fatalf("string = %q", s)
-	}
-	var wg sync.WaitGroup
-	for i := 0; i < 8; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := 0; j < 100; j++ {
-				c.Inc("racy")
-			}
-		}()
-	}
-	wg.Wait()
-	if got := c.Get("racy"); got != 800 {
-		t.Fatalf("racy = %d", got)
-	}
-	var nilSet *CounterSet
-	nilSet.Inc("ok") // must not panic
-	if nilSet.Get("ok") != 0 {
-		t.Fatal("nil counter set must read zero")
 	}
 }

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Decision is one runtime adaptation decision, captured with enough
+// before/after context to replay counterfactuals offline: a load-factor
+// change chosen by the adaptive runtime, a control-proxy state
+// transition, a shipper failover, or an HA promotion/fencing event.
+type Decision struct {
+	TsMicros int64 `json:"ts_us"`
+	// Kind classifies the decision: load_factors, proxy_state,
+	// failover, promotion, fencing, forced_drain.
+	Kind   string `json:"kind"`
+	Source uint32 `json:"source,omitempty"`
+	Epoch  uint64 `json:"epoch,omitempty"`
+	// Stage is the operator/proxy index for per-stage decisions.
+	Stage int `json:"stage,omitempty"`
+	// Cause names what triggered the decision (runtime phase, queue
+	// congestion, replication-link loss, a rejected hello, ...).
+	Cause string `json:"cause,omitempty"`
+	// Before/After hold load-factor vectors for load_factors decisions.
+	Before []float64 `json:"before,omitempty"`
+	After  []float64 `json:"after,omitempty"`
+	// BeforeState/AfterState hold symbolic states (proxy state, HA role).
+	BeforeState string `json:"before_state,omitempty"`
+	AfterState  string `json:"after_state,omitempty"`
+	Term        uint64 `json:"term,omitempty"`
+	Detail      string `json:"detail,omitempty"`
+}
+
+// DecisionLog is a bounded in-memory ring of recent decisions with an
+// optional JSONL sink. Emission is rare (adaptation events, not
+// per-record work), so a mutex is fine.
+type DecisionLog struct {
+	mu    sync.Mutex
+	ring  []Decision
+	next  int
+	total int64
+	enc   *json.Encoder
+}
+
+// NewDecisionLog returns a log retaining the last capacity decisions
+// (default 1024 when capacity <= 0).
+func NewDecisionLog(capacity int) *DecisionLog {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &DecisionLog{ring: make([]Decision, 0, capacity)}
+}
+
+var defaultDecisions = NewDecisionLog(0)
+
+// Decisions returns the process-wide decision log.
+func Decisions() *DecisionLog { return defaultDecisions }
+
+// Emit records a decision in the process-wide log.
+func Emit(d Decision) { defaultDecisions.Emit(d) }
+
+// SetSink streams every subsequent decision to w as JSON lines (nil
+// disables streaming; the ring keeps filling either way).
+func (l *DecisionLog) SetSink(w io.Writer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if w == nil {
+		l.enc = nil
+		return
+	}
+	l.enc = json.NewEncoder(w)
+}
+
+// Emit stamps and records d.
+func (l *DecisionLog) Emit(d Decision) {
+	if l == nil {
+		return
+	}
+	if d.TsMicros == 0 {
+		d.TsMicros = time.Now().UnixMicro()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, d)
+	} else {
+		l.ring[l.next] = d
+		l.next = (l.next + 1) % cap(l.ring)
+	}
+	l.total++
+	if l.enc != nil {
+		_ = l.enc.Encode(d)
+	}
+}
+
+// Total returns the number of decisions emitted since creation (the
+// ring may retain fewer).
+func (l *DecisionLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Recent returns up to n of the most recent decisions, oldest first
+// (n <= 0 means all retained).
+func (l *DecisionLog) Recent(n int) []Decision {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Decision, 0, len(l.ring))
+	if len(l.ring) == cap(l.ring) {
+		out = append(out, l.ring[l.next:]...)
+	}
+	out = append(out, l.ring[:l.next]...)
+	if len(l.ring) < cap(l.ring) {
+		out = append(out, l.ring...)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Reset clears the ring (tests; the JSONL sink is untouched).
+func (l *DecisionLog) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ring = l.ring[:0]
+	l.next = 0
+	l.total = 0
+}
+
+// EncodeDecisions writes ds to w as JSON lines.
+func EncodeDecisions(w io.Writer, ds []Decision) error {
+	enc := json.NewEncoder(w)
+	for _, d := range ds {
+		if err := enc.Encode(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeDecisions reads JSON-line decisions until EOF.
+func DecodeDecisions(r io.Reader) ([]Decision, error) {
+	var out []Decision
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var d Decision
+		if err := json.Unmarshal(line, &d); err != nil {
+			return nil, fmt.Errorf("obs: decision line %d: %w", len(out)+1, err)
+		}
+		out = append(out, d)
+	}
+	return out, sc.Err()
+}
+
+// LoadFactorTimeline replays a decision trace for one source into the
+// sequence of load-factor vectors the runtime applied, in order. It
+// verifies continuity: each decision's Before must equal the previous
+// After (the property that makes the trace replayable as a
+// counterfactual input).
+func LoadFactorTimeline(ds []Decision, source uint32) ([][]float64, error) {
+	var timeline [][]float64
+	var prev []float64
+	for _, d := range ds {
+		if d.Kind != "load_factors" || d.Source != source {
+			continue
+		}
+		if prev != nil && !floatsEqual(prev, d.Before) {
+			return nil, fmt.Errorf("obs: discontinuous load-factor trace at epoch %d: before %v != prior after %v",
+				d.Epoch, d.Before, prev)
+		}
+		after := append([]float64(nil), d.After...)
+		timeline = append(timeline, after)
+		prev = after
+	}
+	return timeline, nil
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

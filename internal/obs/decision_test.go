@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDecisionRing(t *testing.T) {
+	l := NewDecisionLog(4)
+	for i := 1; i <= 6; i++ {
+		l.Emit(Decision{Kind: "load_factors", Epoch: uint64(i)})
+	}
+	if l.Total() != 6 {
+		t.Fatalf("total = %d", l.Total())
+	}
+	got := l.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("retained %d", len(got))
+	}
+	for i, d := range got {
+		if d.Epoch != uint64(i+3) {
+			t.Fatalf("recent[%d].Epoch = %d, want %d (oldest first)", i, d.Epoch, i+3)
+		}
+	}
+	if last := l.Recent(1); len(last) != 1 || last[0].Epoch != 6 {
+		t.Fatalf("recent(1) = %+v", last)
+	}
+	l.Reset()
+	if l.Total() != 0 || len(l.Recent(0)) != 0 {
+		t.Fatal("reset did not clear")
+	}
+	var nilLog *DecisionLog
+	nilLog.Emit(Decision{}) // must not panic
+	if nilLog.Total() != 0 || nilLog.Recent(0) != nil {
+		t.Fatal("nil log must read empty")
+	}
+}
+
+func TestDecisionRoundTrip(t *testing.T) {
+	in := []Decision{
+		{TsMicros: 10, Kind: "load_factors", Source: 3, Epoch: 2, Cause: "probe",
+			Before: []float64{0, 0}, After: []float64{1, 0.5}},
+		{TsMicros: 20, Kind: "promotion", Cause: "replication_link_down",
+			BeforeState: "standby", AfterState: "primary", Term: 2},
+		{TsMicros: 30, Kind: "proxy_state", Epoch: 4, Stage: 1, Cause: "epoch_stats",
+			BeforeState: "stable", AfterState: "congested"},
+	}
+	var buf bytes.Buffer
+	if err := EncodeDecisions(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeDecisions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\n in %+v\nout %+v", in, out)
+	}
+}
+
+func TestDecisionSink(t *testing.T) {
+	l := NewDecisionLog(8)
+	var buf bytes.Buffer
+	l.SetSink(&buf)
+	l.Emit(Decision{Kind: "fencing", Term: 3})
+	l.SetSink(nil)
+	l.Emit(Decision{Kind: "fencing", Term: 4})
+	ds, err := DecodeDecisions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Term != 3 {
+		t.Fatalf("streamed = %+v", ds)
+	}
+}
+
+func TestLoadFactorTimeline(t *testing.T) {
+	ds := []Decision{
+		{Kind: "load_factors", Source: 1, Before: []float64{0, 0}, After: []float64{1, 1}},
+		{Kind: "load_factors", Source: 2, Before: []float64{9, 9}, After: []float64{8, 8}}, // other source, ignored
+		{Kind: "proxy_state", Source: 1, BeforeState: "stable", AfterState: "idle"},        // other kind, ignored
+		{Kind: "load_factors", Source: 1, Before: []float64{1, 1}, After: []float64{1, 0.5}},
+	}
+	tl, err := LoadFactorTimeline(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{1, 1}, {1, 0.5}}
+	if !reflect.DeepEqual(tl, want) {
+		t.Fatalf("timeline = %v, want %v", tl, want)
+	}
+
+	broken := []Decision{
+		{Kind: "load_factors", Source: 1, Before: []float64{0}, After: []float64{1}},
+		{Kind: "load_factors", Source: 1, Before: []float64{0.7}, After: []float64{0.2}},
+	}
+	if _, err := LoadFactorTimeline(broken, 1); err == nil ||
+		!strings.Contains(err.Error(), "discontinuous") {
+		t.Fatalf("want discontinuity error, got %v", err)
+	}
+}

@@ -1,0 +1,76 @@
+package obs_test
+
+import (
+	"strings"
+	"testing"
+
+	"jarvis/internal/ha"
+	"jarvis/internal/obs"
+	"jarvis/internal/transport"
+)
+
+// TestMetricNameCatalog pins every established operational metric name.
+// Dashboards and scrape configs key on these strings: a rename must
+// fail here loudly, not silently break a deployment. The catalog is
+// duplicated on purpose — do not "fix" this test by referencing the
+// constants on both sides.
+func TestMetricNameCatalog(t *testing.T) {
+	want := map[string]string{
+		// transport receiver/shipper counters
+		transport.CtrConnsAccepted:  "conns_accepted",
+		transport.CtrConnsClosed:    "conns_closed",
+		transport.CtrRecvErrors:     "recv_errors",
+		transport.CtrFramesIn:       "frames_in",
+		transport.CtrEpochsApplied:  "epochs_applied",
+		transport.CtrEpochsReplayed: "epochs_replayed",
+		transport.CtrAcksSent:       "acks_sent",
+		transport.CtrEpochsDropped:  "epochs_dropped",
+		transport.CtrReconnects:     "reconnects",
+		transport.CtrConnErrors:     "conn_errors",
+		transport.CtrSourceResets:   "source_resets",
+		transport.CtrHellosRejected: "hellos_rejected",
+		transport.CtrFailovers:      "failovers",
+		// wire-level compression accounting
+		transport.CtrWireBytesIn:            "wire_bytes_in",
+		transport.CtrWireRawBytesIn:         "wire_raw_bytes_in",
+		transport.GaugeWireCompressionRatio: "wire_compression_ratio",
+		// high-availability counters and gauges
+		ha.CtrFailovers:          "ha_failovers",
+		ha.CtrFenced:             "ha_fenced_stale_primary",
+		ha.CtrStandbyRejected:    "ha_standby_rejected",
+		ha.CtrRestoreErrors:      "ha_standby_restore_errors",
+		ha.CtrSnapshotsPublished: "ha_snapshots_published",
+		ha.CtrSnapshotsApplied:   "ha_snapshots_applied",
+		ha.CtrRowsMirrored:       "ha_rows_mirrored",
+		ha.CtrStandbyAttaches:    "ha_standby_attaches",
+		ha.GaugeReplLagEpochs:    "ha_replication_lag_epochs",
+		ha.CtrAcksWithoutStandby: "ha_acks_without_standby",
+	}
+	if len(want) != 26 {
+		t.Fatalf("catalog lost an entry (duplicate constant value?): %d", len(want))
+	}
+	for got, expect := range want {
+		if got != expect {
+			t.Errorf("metric renamed: %q, catalog says %q", got, expect)
+		}
+	}
+}
+
+// TestStageSeriesExposed: the default registry carries one
+// stage_latency_seconds series per lifecycle stage, visible in the
+// Prometheus exposition from process start.
+func TestStageSeriesExposed(t *testing.T) {
+	var b strings.Builder
+	if err := obs.Default().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	stages := []string{"generate", "pipeline", "encode", "ship", "decode",
+		"ingest", "snapshot", "replicate", "ack"}
+	for _, st := range stages {
+		series := `stage_latency_seconds_count{stage="` + st + `"}`
+		if !strings.Contains(out, series) {
+			t.Errorf("exposition missing %s", series)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one # TYPE line per metric
+// family, series sorted by family then label value, histograms as
+// cumulative _bucket{le=...} series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].family != ms[j].family {
+			return ms[i].family < ms[j].family
+		}
+		return ms[i].labelVal < ms[j].labelVal
+	})
+	lastFamily := ""
+	for _, m := range ms {
+		if m.family != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.family, typeName(m.kind)); err != nil {
+				return err
+			}
+			lastFamily = m.family
+		}
+		if err := writeSeries(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func typeName(k kind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+func writeSeries(w io.Writer, m *metric) error {
+	switch m.kind {
+	case kindCounter, kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", m.family, labelPart(m, ""), m.val.Load())
+		return err
+	case kindFloatGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", m.family, labelPart(m, ""), formatFloat(floatFromBits(uint64(m.val.Load()))))
+		return err
+	case kindHistogram:
+		return writeHistogram(w, m)
+	}
+	return nil
+}
+
+// labelPart renders the series' label set, merging the metric's own
+// constant label with an extra pair (histograms append le=).
+func labelPart(m *metric, extra string) string {
+	if m.labelKey == "" && extra == "" {
+		return ""
+	}
+	s := "{"
+	if m.labelKey != "" {
+		s += m.labelKey + `="` + m.labelVal + `"`
+		if extra != "" {
+			s += ","
+		}
+	}
+	return s + extra + "}"
+}
+
+func writeHistogram(w io.Writer, m *metric) error {
+	h := m.h
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		le := `le="` + formatFloat(b) + `"`
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.family, labelPart(m, le), cum); err != nil {
+			return err
+		}
+	}
+	if len(h.counts) > 0 {
+		cum += h.counts[len(h.counts)-1].Load()
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.family, labelPart(m, `le="+Inf"`), cum); err != nil {
+		return err
+	}
+	sum := float64(h.sumNanos.Load()) / 1e9
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.family, labelPart(m, ""), formatFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.family, labelPart(m, ""), h.count.Load())
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

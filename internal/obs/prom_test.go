@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPrometheusExposition is the golden test for the text exposition:
+// family ordering, # TYPE lines, label rendering, cumulative histogram
+// buckets and the _sum/_count pair.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("epochs_applied").Add(3)
+	r.Gauge("ha_replication_lag_epochs").Set(2)
+	r.FloatGauge("wire_compression_ratio").Set(2.5)
+	h := r.LabeledHistogram("stage_latency_seconds", "stage", "ingest", []float64{0.001, 0.01})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE epochs_applied counter
+epochs_applied 3
+# TYPE ha_replication_lag_epochs gauge
+ha_replication_lag_epochs 2
+# TYPE stage_latency_seconds histogram
+stage_latency_seconds_bucket{stage="ingest",le="0.001"} 1
+stage_latency_seconds_bucket{stage="ingest",le="0.01"} 2
+stage_latency_seconds_bucket{stage="ingest",le="+Inf"} 3
+stage_latency_seconds_sum{stage="ingest"} 0.0555
+stage_latency_seconds_count{stage="ingest"} 3
+# TYPE wire_compression_ratio gauge
+wire_compression_ratio 2.5
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusMultiSeriesFamily: several label values of one family
+// share a single # TYPE line and sort by label value.
+func TestPrometheusMultiSeriesFamily(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledHistogram("stage_latency_seconds", "stage", "ship", []float64{1}).Observe(time.Second)
+	r.LabeledHistogram("stage_latency_seconds", "stage", "ack", []float64{1}).Observe(time.Millisecond)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE stage_latency_seconds histogram") != 1 {
+		t.Fatalf("want exactly one TYPE line:\n%s", out)
+	}
+	ack := strings.Index(out, `stage="ack"`)
+	ship := strings.Index(out, `stage="ship"`)
+	if ack < 0 || ship < 0 || ack > ship {
+		t.Fatalf("series not sorted by label value:\n%s", out)
+	}
+}
+
+// TestScrapeDuringWrites exercises exposition concurrent with metric
+// updates and registration; run with -race.
+func TestScrapeDuringWrites(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := r.LabeledHistogram("lat", "stage", "ingest", StageBounds)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h.Observe(time.Duration(i) * time.Microsecond)
+			r.Inc("frames")
+			r.Counter("more").Add(2)
+			i++
+		}
+	}()
+	for j := 0; j < 100; j++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

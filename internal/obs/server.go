@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is the introspection HTTP endpoint a node exposes with
+// -obs-listen: /metrics (Prometheus text exposition over every added
+// registry), /status (a JSON snapshot supplied by the host process),
+// /decisions (the recent decision trace as JSON lines), and
+// /debug/pprof/* (the standard Go profiles).
+type Server struct {
+	mu     sync.Mutex
+	regs   []*Registry
+	status func() any
+	srv    *http.Server
+	ln     net.Listener
+}
+
+// NewServer returns a server exposing the default registry and the
+// process-wide decision log; AddRegistry attaches per-instance
+// registries (receiver counters, HA gate counters).
+func NewServer() *Server {
+	return &Server{regs: []*Registry{Default()}}
+}
+
+// AddRegistry appends registries to the /metrics exposition.
+func (s *Server) AddRegistry(regs ...*Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range regs {
+		if r != nil {
+			s.regs = append(s.regs, r)
+		}
+	}
+}
+
+// SetStatus installs the /status snapshot provider. The function is
+// called per request and its result rendered as JSON.
+func (s *Server) SetStatus(f func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.status = f
+}
+
+// Start listens on addr and serves until Close. It returns the bound
+// address (useful with ":0").
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/decisions", s.handleDecisions)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.mu.Lock()
+	s.srv = srv
+	s.ln = ln
+	s.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close shuts the listener down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.mu.Lock()
+	regs := append([]*Registry(nil), s.regs...)
+	s.mu.Unlock()
+	for _, r := range regs {
+		if err := r.WritePrometheus(w); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	f := s.status
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	var v any
+	if f != nil {
+		v = f()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleDecisions(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = EncodeDecisions(w, Decisions().Recent(0))
+}

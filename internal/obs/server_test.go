@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServerEndpoints drives the introspection server over real HTTP:
+// /metrics must render every attached registry (including the default
+// registry's stage-latency histograms), /status the host-supplied
+// snapshot, /decisions the recent decision trace.
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("epochs_applied").Add(12)
+	reg.Gauge("ha_replication_lag_epochs").Set(1)
+
+	Observe(StageIngest, 2*time.Millisecond) // ensure a default-registry series exists
+	Emit(Decision{Kind: "proxy_state", Stage: 1, BeforeState: "stable", AfterState: "congested"})
+
+	s := NewServer()
+	s.AddRegistry(reg, nil) // nil must be skipped
+	s.SetStatus(func() any {
+		return map[string]any{"role": "primary", "term": 2}
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("metrics content type = %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE stage_latency_seconds histogram",
+		`stage_latency_seconds_bucket{stage="ingest",le="+Inf"}`,
+		"epochs_applied 12",
+		"ha_replication_lag_epochs 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	status, ctype := get("/status")
+	if ctype != "application/json" {
+		t.Fatalf("status content type = %q", ctype)
+	}
+	var st map[string]any
+	if err := json.Unmarshal([]byte(status), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st["role"] != "primary" || st["term"] != float64(2) {
+		t.Fatalf("status = %v", st)
+	}
+
+	decisions, _ := get("/decisions")
+	ds, err := DecodeDecisions(strings.NewReader(decisions))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range ds {
+		if d.Kind == "proxy_state" && d.AfterState == "congested" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/decisions missing the emitted event:\n%s", decisions)
+	}
+
+	if body, _ := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Fatal("pprof cmdline empty")
+	}
+}

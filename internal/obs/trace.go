@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names one segment of the epoch lifecycle, in pipeline order:
+// the agent generates an epoch, runs its source-side pipeline, encodes
+// and ships the drain; the SP decodes it, ingests it (columnar or
+// row), snapshots durable state, replicates to standbys, and acks.
+type Stage uint8
+
+const (
+	StageGenerate Stage = iota
+	StagePipeline
+	StageEncode
+	StageShip
+	StageDecode
+	StageIngest
+	StageSnapshot
+	StageReplicate
+	StageAck
+	stageCount
+)
+
+var stageNames = [stageCount]string{
+	"generate", "pipeline", "encode", "ship", "decode",
+	"ingest", "snapshot", "replicate", "ack",
+}
+
+// String returns the stage's label value in stage_latency_seconds.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// StageBounds are the upper bucket edges (seconds) of the per-stage
+// latency histograms: 25µs up to 2.5s, covering the sub-millisecond
+// columnar ingest as well as multi-hundred-millisecond replication
+// waits.
+var StageBounds = []float64{
+	25e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5,
+}
+
+// stageHists holds the per-stage histogram handles in the default
+// registry; resolved once at init, so Observe is a single bounds scan
+// plus three atomic adds — no map lookups, no allocations.
+var stageHists [stageCount]Histogram
+
+func init() {
+	for s := Stage(0); s < stageCount; s++ {
+		stageHists[s] = defaultRegistry.LabeledHistogram(
+			"stage_latency_seconds", "stage", s.String(), StageBounds)
+	}
+}
+
+// Observe records one stage duration into the default registry's
+// stage_latency_seconds histogram. It is always on (single atomic
+// update); the caller typically gates the clock reads via Now/Since.
+func Observe(s Stage, d time.Duration) {
+	if s < stageCount {
+		stageHists[s].Observe(d)
+		exportSpan(s, d, 0, 0)
+	}
+}
+
+// Since records the time elapsed from start for the stage. A zero
+// start (what Now returns when observability is disabled) records
+// nothing, so a disabled build pays no clock read and no atomics.
+func Since(s Stage, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	Observe(s, time.Since(start))
+}
+
+// SinceN is Since with span context: source and epoch tag the exported
+// span record when span export is on. The histogram update is
+// identical to Since.
+func SinceN(s Stage, start time.Time, source uint32, epoch uint64) {
+	if start.IsZero() {
+		return
+	}
+	d := time.Since(start)
+	if s < stageCount {
+		stageHists[s].Observe(d)
+		exportSpan(s, d, source, epoch)
+	}
+}
+
+// Span is one exported stage timing in the JSONL span sink.
+type Span struct {
+	TsMicros  int64  `json:"ts_us"`
+	Stage     string `json:"stage"`
+	DurMicros int64  `json:"dur_us"`
+	Source    uint32 `json:"source,omitempty"`
+	Epoch     uint64 `json:"epoch,omitempty"`
+}
+
+// spanSink is the optional full-span JSONL export. Histograms are
+// always on; the sink samples one span in sampleEvery per stage, so
+// full tracing stays opt-in and bounded.
+var spanOn atomic.Bool
+
+var spanSink struct {
+	mu          sync.Mutex
+	enc         *json.Encoder
+	sampleEvery int64
+	seen        [stageCount]int64
+}
+
+// SetSpanSink directs sampled span records to w as JSON lines, one in
+// sampleEvery per stage (1 = every span). A nil writer disables
+// export.
+func SetSpanSink(w io.Writer, sampleEvery int) {
+	spanSink.mu.Lock()
+	defer spanSink.mu.Unlock()
+	if w != nil {
+		spanSink.enc = json.NewEncoder(w)
+	} else {
+		spanSink.enc = nil
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	spanSink.sampleEvery = int64(sampleEvery)
+	spanOn.Store(w != nil)
+}
+
+func exportSpan(s Stage, d time.Duration, source uint32, epoch uint64) {
+	if !spanOn.Load() {
+		return
+	}
+	spanSink.mu.Lock()
+	defer spanSink.mu.Unlock()
+	if spanSink.enc == nil {
+		return
+	}
+	n := spanSink.seen[s]
+	spanSink.seen[s]++
+	if n%spanSink.sampleEvery != 0 {
+		return
+	}
+	_ = spanSink.enc.Encode(Span{
+		TsMicros:  time.Now().UnixMicro(),
+		Stage:     s.String(),
+		DurMicros: d.Microseconds(),
+		Source:    source,
+		Epoch:     epoch,
+	})
+}

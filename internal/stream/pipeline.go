@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"jarvis/internal/obs"
 	"jarvis/internal/operator"
 	"jarvis/internal/plan"
 	"jarvis/internal/telemetry"
@@ -222,6 +223,13 @@ type Pipeline struct {
 	colResults wire.ColumnarBatch
 	selFree    [][]int32
 	selLent    [][]int32
+
+	// epochSeq counts completed epochs; prevStates remembers each proxy's
+	// state at the previous epoch boundary so finishEpoch emits a
+	// proxy_state decision only on transitions (the zero value,
+	// StateStable, is every proxy's implicit starting state).
+	epochSeq   uint64
+	prevStates []ProxyState
 }
 
 // NewPipeline compiles a query into a source pipeline. The query should
@@ -324,6 +332,7 @@ func (p *Pipeline) PendingTotal() int {
 // watermark and flushes closed windows. Lossless: every input record is
 // either processed locally, queued, or drained to the SP.
 func (p *Pipeline) RunEpoch(input telemetry.Batch) EpochResult {
+	start := obs.Now()
 	p.bucket.Refill()
 	if p.opts.RecordAtATime {
 		p.drains = make([]telemetry.Batch, len(p.ops))
@@ -338,7 +347,9 @@ func (p *Pipeline) RunEpoch(input telemetry.Batch) EpochResult {
 		p.restored = nil
 		p.runEpochBatch(input)
 	}
-	return p.finishEpoch()
+	res := p.finishEpoch()
+	obs.Since(obs.StagePipeline, start)
+	return res
 }
 
 // RunEpochColumnar executes one epoch over a columnar (SoA) arrival
@@ -363,6 +374,7 @@ func (p *Pipeline) RunEpoch(input telemetry.Batch) EpochResult {
 // the result before mutating the input columns or running the next
 // epoch.
 func (p *Pipeline) RunEpochColumnar(cb *wire.ColumnarBatch) EpochResult {
+	start := obs.Now()
 	p.bucket.Refill()
 	p.drains = getDrainSet(len(p.ops))
 	p.results = telemetry.GetBatch()
@@ -420,6 +432,7 @@ func (p *Pipeline) RunEpochColumnar(cb *wire.ColumnarBatch) EpochResult {
 		res.DrainedBytes += p.colDrains[i].TotalBytes()
 	}
 	res.ResultBytes += p.colResults.TotalBytes()
+	obs.Since(obs.StagePipeline, start)
 	return res
 }
 
@@ -824,6 +837,23 @@ func (p *Pipeline) finishEpoch() EpochResult {
 	spare := res.SpareBudgetFrac
 	for i, px := range p.proxies {
 		res.Stats[i] = px.EndEpoch(len(p.queues[i]), spare, p.opts.DrainedThres, p.opts.IdleThres)
+	}
+	p.epochSeq++
+	if len(p.prevStates) != len(res.Stats) {
+		p.prevStates = make([]ProxyState, len(res.Stats))
+	}
+	for i := range res.Stats {
+		if st := res.Stats[i].State; st != p.prevStates[i] {
+			obs.Emit(obs.Decision{
+				Kind:        "proxy_state",
+				Epoch:       p.epochSeq,
+				Stage:       i,
+				Cause:       "epoch_stats",
+				BeforeState: p.prevStates[i].String(),
+				AfterState:  st.String(),
+			})
+			p.prevStates[i] = st
+		}
 	}
 	for _, d := range p.drains {
 		res.DrainedBytes += d.TotalBytes()

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"jarvis/internal/obs"
 	"jarvis/internal/operator"
 	"jarvis/internal/plan"
 	"jarvis/internal/telemetry"
@@ -90,6 +91,7 @@ func NewSPEngine(q *plan.Query) (*SPEngine, error) {
 // same record sequence as record-at-a-time feeding, so the outputs are
 // identical.
 func (e *SPEngine) Ingest(stage int, batch telemetry.Batch) error {
+	start := obs.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if stage < 0 || stage > len(e.ops) {
@@ -101,6 +103,7 @@ func (e *SPEngine) Ingest(stage int, batch telemetry.Batch) error {
 	e.ingestBytes += batch.TotalBytes()
 	e.ingestCount += int64(len(batch))
 	e.runRowsLocked(stage, batch)
+	obs.Since(obs.StageIngest, start)
 	return nil
 }
 
@@ -145,6 +148,7 @@ func (e *SPEngine) runRowsLocked(stage int, batch telemetry.Batch) {
 // The caller's batch is treated read-only: the engine copies the section
 // headers and operators replace, never overwrite, shared columns.
 func (e *SPEngine) IngestColumnar(stage int, cb *wire.ColumnarBatch) error {
+	start := obs.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if stage < 0 || stage > len(e.ops) {
@@ -166,18 +170,21 @@ func (e *SPEngine) IngestColumnar(stage int, cb *wire.ColumnarBatch) error {
 			var rows telemetry.Batch
 			wave.AppendRows(&rows)
 			e.runRowsLocked(i, rows)
+			obs.Since(obs.StageIngest, start)
 			return nil
 		}
 		e.cpuMicros += e.cm.Cost(i) * float64(live)
 		cp.ProcessColumnar(&wave)
 		live = wave.Records()
 		if live == 0 {
+			obs.Since(obs.StageIngest, start)
 			return nil
 		}
 	}
 	// Survivors past the last stage are final results.
 	wave.AppendRows(&e.results)
 	e.resultsCount += int64(live)
+	obs.Since(obs.StageIngest, start)
 	return nil
 }
 

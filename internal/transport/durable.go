@@ -7,7 +7,7 @@ import (
 	"net"
 	"sync"
 
-	"jarvis/internal/metrics"
+	"jarvis/internal/obs"
 	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/wire"
@@ -48,7 +48,7 @@ func clonePending(in []PendingEpoch) []PendingEpoch {
 type DurableShipper struct {
 	source   uint32
 	max      int
-	counters *metrics.CounterSet
+	counters *obs.Registry
 	maxVer   uint32
 
 	mu       sync.Mutex // guards all state below
@@ -77,7 +77,7 @@ func NewDurableShipper(source uint32, maxPending int) *DurableShipper {
 	}
 	return &DurableShipper{
 		source: source, max: maxPending,
-		counters: metrics.NewCounterSet(),
+		counters: obs.NewRegistry(),
 		maxVer:   wire.CurrentWireVersion,
 	}
 }
@@ -114,7 +114,7 @@ func (d *DurableShipper) PeerVersion() uint32 {
 }
 
 // Counters exposes the shipper's health counters.
-func (d *DurableShipper) Counters() *metrics.CounterSet { return d.counters }
+func (d *DurableShipper) Counters() *obs.Registry { return d.counters }
 
 // Source returns the shipper's source id.
 func (d *DurableShipper) Source() uint32 { return d.source }
@@ -192,7 +192,9 @@ func (d *DurableShipper) ShipEpoch(res stream.EpochResult) error {
 	defer d.wmu.Unlock()
 	d.mu.Lock()
 	d.seq++
+	encStart := obs.Now()
 	data, err := d.encodeEpoch(d.seq, res)
+	obs.SinceN(obs.StageEncode, encStart, d.source, d.seq)
 	if err != nil {
 		d.seq--
 		d.mu.Unlock()
@@ -207,11 +209,15 @@ func (d *DurableShipper) ShipEpoch(res stream.EpochResult) error {
 	conn := d.conn
 	peer := d.peerVer
 	peerComp := d.peerComp
+	seq := d.seq
 	d.mu.Unlock()
 	if conn == nil {
 		return nil
 	}
-	if werr := d.writeEpochData(conn, peer, peerComp, data); werr != nil {
+	shipStart := obs.Now()
+	werr := d.writeEpochData(conn, peer, peerComp, data)
+	obs.SinceN(obs.StageShip, shipStart, d.source, seq)
+	if werr != nil {
 		d.disconnect(conn)
 	}
 	return nil

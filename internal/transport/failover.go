@@ -3,6 +3,8 @@ package transport
 import (
 	"fmt"
 	"strings"
+
+	"jarvis/internal/obs"
 )
 
 // Multi-endpoint failover dialing (internal/ha): an agent is configured
@@ -53,10 +55,20 @@ func (d *DurableShipper) ConnectAny(endpoints []string) (string, error) {
 		}
 		d.mu.Lock()
 		moved := d.prefer != "" && d.prefer != ep
+		prev := d.prefer
 		d.prefer = ep
+		term := d.term
 		d.mu.Unlock()
 		if moved {
 			d.counters.Inc(CtrFailovers)
+			obs.Emit(obs.Decision{
+				Kind:        "failover",
+				Source:      d.source,
+				Cause:       "endpoint_switch",
+				BeforeState: prev,
+				AfterState:  ep,
+				Term:        term,
+			})
 		}
 		return ep, nil
 	}

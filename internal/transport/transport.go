@@ -25,7 +25,7 @@ import (
 	"io"
 	"sync"
 
-	"jarvis/internal/metrics"
+	"jarvis/internal/obs"
 	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/wire"
@@ -35,8 +35,9 @@ import (
 // of data records.
 const WatermarkStreamID = ^uint32(0)
 
-// Health counter names exposed through metrics.CounterSet (see
-// Receiver.Counters, Server and DurableShipper).
+// Health counter names exposed through the obs.Registry of each
+// Receiver, Server and DurableShipper (scrape them via the obs HTTP
+// server's /metrics).
 const (
 	CtrConnsAccepted  = "conns_accepted"
 	CtrConnsClosed    = "conns_closed"
@@ -51,6 +52,13 @@ const (
 	CtrSourceResets   = "source_resets"   // fresh agent incarnations that reset a dedup frontier
 	CtrHellosRejected = "hellos_rejected" // sequenced hellos refused by the hello gate (fencing/standby)
 	CtrFailovers      = "failovers"       // ConnectAny attaching to a different endpoint than before
+
+	// Wire-compression accounting (receiver side, columnar data frames):
+	// payload bytes as carried on the wire vs. after inflation, and
+	// their ratio as a float gauge.
+	CtrWireBytesIn            = "wire_bytes_in"
+	CtrWireRawBytesIn         = "wire_raw_bytes_in"
+	GaugeWireCompressionRatio = "wire_compression_ratio"
 )
 
 // maxStagedFrames bounds one connection's frames between EpochEnd
@@ -165,7 +173,14 @@ func (s *Shipper) Frames() int64 { return s.frames }
 type Receiver struct {
 	mu       sync.Mutex
 	engine   *stream.SPEngine
-	counters *metrics.CounterSet
+	counters *obs.Registry
+
+	// Wire-level compression accounting, aggregated across connections:
+	// columnar payload bytes as carried on the wire vs. after inflation,
+	// and the derived wire_compression_ratio gauge (raw/wire).
+	ctrWireBytes obs.Counter
+	ctrRawBytes  obs.Counter
+	compRatio    obs.FloatGauge
 
 	// Sequenced-connection state: per-source applied and durably-acked
 	// epoch sequence numbers, plus the ack writer of each source's live
@@ -185,15 +200,19 @@ type Receiver struct {
 
 // NewReceiver wraps an SP engine.
 func NewReceiver(engine *stream.SPEngine) *Receiver {
+	reg := obs.NewRegistry()
 	return &Receiver{
-		engine:   engine,
-		counters: metrics.NewCounterSet(),
-		applied:  make(map[uint32]uint64),
-		durable:  make(map[uint32]uint64),
-		writers:  make(map[uint32]*ackWriter),
-		maxVer:   wire.CurrentWireVersion,
-		colExec:  true,
-		comp:     true,
+		engine:       engine,
+		counters:     reg,
+		ctrWireBytes: reg.Counter(CtrWireBytesIn),
+		ctrRawBytes:  reg.Counter(CtrWireRawBytesIn),
+		compRatio:    reg.FloatGauge(GaugeWireCompressionRatio),
+		applied:      make(map[uint32]uint64),
+		durable:      make(map[uint32]uint64),
+		writers:      make(map[uint32]*ackWriter),
+		maxVer:       wire.CurrentWireVersion,
+		colExec:      true,
+		comp:         true,
 	}
 }
 
@@ -252,7 +271,14 @@ func (rc *Receiver) compression() bool {
 
 // Counters exposes the receiver's health counters (shared with the
 // Server wrapping it).
-func (rc *Receiver) Counters() *metrics.CounterSet { return rc.counters }
+func (rc *Receiver) Counters() *obs.Registry { return rc.counters }
+
+// MaxVersion returns the wire version the receiver advertises in acks.
+func (rc *Receiver) MaxVersion() uint32 { return rc.maxVersion() }
+
+// CompressionEnabled reports whether the receiver advertises
+// flate-compressed columnar frames in its acks.
+func (rc *Receiver) CompressionEnabled() bool { return rc.compression() }
 
 // SetHelloGate installs a hello gate (HA role/fencing checks). Call
 // before serving connections; a nil gate admits every hello with term 0.
@@ -341,7 +367,9 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 			rc.dropWriter(src, aw)
 		}
 	}()
+	var lastStats wire.FrameStats
 	for {
+		decStart := obs.Now()
 		f, err := fr.ReadFrame()
 		if err == io.EOF {
 			return nil
@@ -349,6 +377,15 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 		if err != nil {
 			rc.counters.Inc(CtrRecvErrors)
 			return fmt.Errorf("transport: read frame: %w", err)
+		}
+		obs.Since(obs.StageDecode, decStart)
+		if st := fr.Stats(); st != lastStats {
+			rc.ctrWireBytes.Add(st.WireBytes - lastStats.WireBytes)
+			rc.ctrRawBytes.Add(st.RawBytes - lastStats.RawBytes)
+			lastStats = st
+			if w := rc.ctrWireBytes.Value(); w > 0 {
+				rc.compRatio.Set(float64(rc.ctrRawBytes.Value()) / float64(w))
+			}
 		}
 		rc.noteFrame(f)
 		if f.Columnar && maxVer < wire.WireV2 {

@@ -194,7 +194,22 @@ type FrameReader struct {
 	zsrc    *bytes.Reader
 	zr      io.ReadCloser
 	zbuf    []byte
+	stats   FrameStats
 }
+
+// FrameStats is a reader's cumulative wire accounting: frame count,
+// bytes as carried on the wire, and the equivalent uncompressed bytes
+// (equal to WireBytes when no frame was compressed). The ratio
+// RawBytes/WireBytes is the effective wire compression ratio.
+type FrameStats struct {
+	Frames           int64
+	WireBytes        int64
+	RawBytes         int64
+	CompressedFrames int64
+}
+
+// Stats returns the reader's cumulative wire accounting.
+func (fr *FrameReader) Stats() FrameStats { return fr.stats }
 
 // NewFrameReader wraps r in a buffered frame reader.
 func NewFrameReader(r io.Reader) *FrameReader {
@@ -271,12 +286,15 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 	if n < 12 {
 		return Frame{}, ErrShortBuffer
 	}
+	fr.stats.Frames++
+	fr.stats.WireBytes += int64(n) + 4
 	f := Frame{
 		StreamID: binary.BigEndian.Uint32(fr.buf[0:]),
 		Source:   binary.BigEndian.Uint32(fr.buf[4:]),
 	}
 	count := binary.BigEndian.Uint32(fr.buf[8:])
 	if count == ColumnarMarker {
+		fr.stats.RawBytes += int64(n) + 4
 		return fr.decodeColumnar(f, fr.buf[12:])
 	}
 	if count == ColumnarFlateMarker {
@@ -284,8 +302,13 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 		if err != nil {
 			return Frame{}, fmt.Errorf("wire: compressed frame: %w", err)
 		}
+		// The equivalent uncompressed frame: 4-byte length prefix plus the
+		// 12-byte header plus the inflated columnar payload.
+		fr.stats.CompressedFrames++
+		fr.stats.RawBytes += int64(len(raw)) + 16
 		return fr.decodeColumnar(f, raw)
 	}
+	fr.stats.RawBytes += int64(n) + 4
 	// Every record costs at least a tag byte plus the 16-byte header, so
 	// a count the remaining payload cannot hold is corrupt — reject it
 	// before pre-allocating a batch sized by attacker-controlled input.
