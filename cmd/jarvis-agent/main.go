@@ -25,6 +25,11 @@
 // frames (-wire-compress=false ships them plain); compression is used
 // only when the SP's ack also advertises it.
 //
+// -tenant and -class declare the agent's identity to an SP running
+// admission control: the hello carries both as trailing extensions, and
+// acks carry back a pacing hint that the agent honors between epochs
+// when it is over its class-weighted budget (see internal/admission).
+//
 // Usage:
 //
 //	jarvis-agent -sp 10.0.0.1:7700,10.0.0.2:7800 -id 1 -query s2s \
@@ -37,6 +42,7 @@ import (
 	"os"
 	"time"
 
+	"jarvis/internal/admission"
 	"jarvis/internal/checkpoint"
 	"jarvis/internal/core"
 	"jarvis/internal/experiments"
@@ -63,15 +69,17 @@ func main() {
 	compress := flag.Bool("wire-compress", true, "offer flate compression for columnar data frames (used only when the SP also advertises it)")
 	obsListen := flag.String("obs-listen", "", "introspection HTTP listener (/metrics, /status, /decisions, /debug/pprof)")
 	obsDecisions := flag.String("obs-decisions", "", "append runtime adaptation decisions to this JSONL file")
+	tenantName := flag.String("tenant", "", "tenant name announced in the hello (empty = derived from the source id by the SP)")
+	className := flag.String("class", "silver", "SLO class announced in the hello (gold|silver|best-effort)")
 	flag.Parse()
 
-	if err := run(*spAddr, uint32(*id), *queryName, *budget, *epochs, *realtime, *ckptDir, *ckptEvery, *ckptRetain, *ckptAsync, *columnar, *compress, *obsListen, *obsDecisions); err != nil {
+	if err := run(*spAddr, uint32(*id), *queryName, *budget, *epochs, *realtime, *ckptDir, *ckptEvery, *ckptRetain, *ckptAsync, *columnar, *compress, *obsListen, *obsDecisions, *tenantName, *className); err != nil {
 		fmt.Fprintln(os.Stderr, "jarvis-agent:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spAddr string, id uint32, queryName string, budget float64, epochs int, realtime bool, ckptDir string, ckptEvery, ckptRetain int, ckptAsync bool, columnar, compress bool, obsListen, obsDecisions string) error {
+func run(spAddr string, id uint32, queryName string, budget float64, epochs int, realtime bool, ckptDir string, ckptEvery, ckptRetain int, ckptAsync bool, columnar, compress bool, obsListen, obsDecisions, tenantName, className string) error {
 	endpoints := transport.ParseEndpoints(spAddr)
 	if len(endpoints) == 0 {
 		return fmt.Errorf("no SP endpoints in %q", spAddr)
@@ -91,6 +99,11 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 	}
 	ship := transport.NewDurableShipper(id, 0)
 	ship.SetCompression(compress)
+	class, err := admission.ParseClass(className)
+	if err != nil {
+		return err
+	}
+	ship.SetIdentity(tenantName, class)
 
 	if obsDecisions != "" {
 		f, err := os.OpenFile(obsDecisions, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -116,6 +129,9 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 				"term":         ship.Term(),
 				"peer_version": ship.PeerVersion(),
 				"connected":    ship.Connected(),
+				"tenant":       tenantName,
+				"class":        class.String(),
+				"throttle_us":  ship.ThrottleHint().Microseconds(),
 			}
 		})
 		addr, err := osrv.Start(obsListen)
@@ -195,6 +211,11 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 			if err := arec.AfterEpoch(ship.Seq()); err != nil {
 				return err
 			}
+		}
+		if hint := ship.ThrottleHint(); hint > 0 {
+			// The SP's last ack asked for breathing room: slow the shipping
+			// cadence rather than pile epochs onto its delay queue.
+			time.Sleep(hint)
 		}
 		if e%10 == 0 {
 			lf := src.LoadFactors()

@@ -19,7 +19,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all|fig3|fig7|fig8|fig9|fig10|fig11|latency|opcount|ablation|overhead|micro)")
 	seed := flag.Uint64("seed", 7, "seed for randomized workloads")
-	benchOut := flag.String("benchout", "BENCH_7.json", "output file for -exp micro results")
+	benchOut := flag.String("benchout", "BENCH_8.json", "output file for -exp micro results")
 	obsOff := flag.Bool("obs-off", false, "disable epoch-lifecycle timing (obs.SetEnabled(false)) for A/B overhead runs")
 	flag.Parse()
 

@@ -113,6 +113,12 @@ func runMicro(outPath string) error {
 	}
 	records = append(records, obsRecs...)
 
+	admRecs, err := admissionBenchmarks()
+	if err != nil {
+		return err
+	}
+	records = append(records, admRecs...)
+
 	data, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
 		return err

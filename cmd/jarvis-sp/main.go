@@ -25,6 +25,13 @@
 // compressed frames from agents that negotiated it are decoded
 // transparently.
 //
+// With -admit-rate the SP runs overload protection (internal/admission):
+// every tenant gets a class-weighted token bucket over its logical epoch
+// payload; over-budget epochs are delayed (never dropped — the agent's
+// replay buffer covers shed epochs), acks carry a pacing hint back to
+// the shipper, and a tenant in sustained overload degrades to sampled
+// ingestion at a recorded error bound until pressure clears.
+//
 // Usage:
 //
 //	jarvis-sp -listen :7700 -query s2s -sources 1,2,3 \
@@ -47,6 +54,7 @@ import (
 	"strings"
 	"time"
 
+	"jarvis/internal/admission"
 	"jarvis/internal/checkpoint"
 	"jarvis/internal/core"
 	"jarvis/internal/experiments"
@@ -71,6 +79,10 @@ type config struct {
 	obsDecisions           string
 	obsSpans               string
 	obsSpanEvery           int
+	admitRate              float64
+	admitBurst             float64
+	admitMaxDelayed        int
+	admitDegradeRate       float64
 }
 
 func main() {
@@ -92,6 +104,10 @@ func main() {
 	flag.StringVar(&cfg.obsDecisions, "obs-decisions", "", "append runtime adaptation decisions to this JSONL file")
 	flag.StringVar(&cfg.obsSpans, "obs-spans", "", "append sampled epoch-lifecycle spans to this JSONL file")
 	flag.IntVar(&cfg.obsSpanEvery, "obs-span-every", 100, "with -obs-spans, export every Nth span per stage")
+	flag.Float64Var(&cfg.admitRate, "admit-rate", 0, "per-tenant admission budget in bytes/sec of epoch payload for a weight-1 (silver) class; 0 disables admission control")
+	flag.Float64Var(&cfg.admitBurst, "admit-burst", 0, "admission bucket capacity in bytes (0 = 2x -admit-rate); must exceed the largest epoch a tenant ships or that epoch can never drain")
+	flag.IntVar(&cfg.admitMaxDelayed, "admit-max-delayed", 0, "delay-queue bound across all tenants before shed-and-replay (0 = default 256)")
+	flag.Float64Var(&cfg.admitDegradeRate, "admit-degrade-rate", 0, "sampling rate for degraded tenants' raw records, in (0,1) (0 = default 0.25)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -111,6 +127,27 @@ func run(cfg config) error {
 	}
 	rc := transport.NewReceiver(proc.Engine())
 	rc.SetColumnarExec(cfg.columnarExec)
+
+	var admit *admission.Controller
+	if cfg.admitRate > 0 {
+		acfg := admission.DefaultConfig()
+		acfg.RateBytesPerSec = cfg.admitRate
+		if cfg.admitBurst > 0 {
+			acfg.BurstBytes = cfg.admitBurst
+		} else {
+			acfg.BurstBytes = 2 * cfg.admitRate
+		}
+		if cfg.admitMaxDelayed > 0 {
+			acfg.MaxDelayedEpochs = cfg.admitMaxDelayed
+		}
+		if cfg.admitDegradeRate > 0 {
+			acfg.DegradeRate = cfg.admitDegradeRate
+		}
+		admit = admission.NewController(acfg)
+		rc.SetAdmission(admit)
+		fmt.Printf("jarvis-sp: admission control on (%.0f B/s per silver tenant, burst %.0f B, degrade rate %.2f)\n",
+			acfg.RateBytesPerSec, acfg.BurstBytes, acfg.DegradeRate)
+	}
 
 	var (
 		rm   *checkpoint.SPRecovery
@@ -194,6 +231,9 @@ func run(cfg config) error {
 	if cfg.obsListen != "" {
 		osrv := obs.NewServer()
 		osrv.AddRegistry(rc.Counters(), gate.Counters())
+		if admit != nil {
+			osrv.AddRegistry(admit.Counters())
+		}
 		osrv.SetStatus(func() any {
 			st := map[string]any{
 				"role":         gate.Role().String(),
@@ -210,6 +250,9 @@ func run(cfg config) error {
 				wms[strconv.FormatUint(uint64(src), 10)] = wm
 			})
 			st["source_watermarks_us"] = wms
+			if admit != nil {
+				st["admission"] = admit.Snapshot()
+			}
 			if pub != nil {
 				st["replication_lag_epochs"] = pub.Lag()
 				st["standbys"] = pub.Standbys()

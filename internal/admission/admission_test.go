@@ -1,0 +1,292 @@
+package admission
+
+import (
+	"testing"
+	"time"
+
+	"jarvis/internal/obs"
+)
+
+// fakeClock is a manually advanced clock for deterministic bucket math.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+// testController builds a controller with a 1000 B/s silver budget, a
+// 1000 B burst and the given clock — one 1000 B epoch per second fits
+// exactly.
+func testController(clk *fakeClock) *Controller {
+	return NewController(Config{
+		RateBytesPerSec: 1000,
+		BurstBytes:      1000,
+		DegradeAfter:    3,
+		PromoteAfter:    4,
+		DegradeRate:     0.25,
+		Now:             clk.now,
+	})
+}
+
+func TestClassParseAndWire(t *testing.T) {
+	for _, c := range []Class{BestEffort, Silver, Gold} {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Fatalf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+		if ClassFromWire(c.Wire()) != c {
+			t.Fatalf("wire round-trip failed for %v", c)
+		}
+	}
+	if ClassFromWire(0) != Silver {
+		t.Fatalf("legacy wire byte 0 must map to silver")
+	}
+	if _, err := ParseClass("platinum"); err == nil {
+		t.Fatalf("expected error for unknown class")
+	}
+	if c, err := ParseClass(""); err != nil || c != Silver {
+		t.Fatalf("empty class must default to silver")
+	}
+}
+
+func TestAdmitWithinBudget(t *testing.T) {
+	clk := newFakeClock()
+	c := testController(clk)
+	c.Register(1, "a", Silver)
+	for i := 0; i < 10; i++ {
+		if v := c.Admit(1, 900); v != Admitted {
+			t.Fatalf("epoch %d: verdict %v, want Admitted", i, v)
+		}
+		clk.advance(time.Second)
+	}
+	if got := c.Counters().Get(CtrEpochsAdmitted); got != 10 {
+		t.Fatalf("adm_epochs_admitted = %d, want 10", got)
+	}
+	if c.ThrottleMicros(1) != 0 {
+		t.Fatalf("healthy tenant must not be throttled")
+	}
+}
+
+func TestDelayThenDrain(t *testing.T) {
+	clk := newFakeClock()
+	c := testController(clk)
+	c.Register(1, "a", Silver)
+	if v := c.Admit(1, 1000); v != Admitted {
+		t.Fatalf("burst epoch: %v", v)
+	}
+	if v := c.Admit(1, 1000); v != Delayed {
+		t.Fatalf("second epoch in the same instant should be Delayed, got %v", v)
+	}
+	c.NoteDelayed(1)
+	if c.ThrottleMicros(1) == 0 {
+		t.Fatalf("delayed tenant must carry a throttle hint")
+	}
+	if c.TryDrain(1, 1000) {
+		t.Fatalf("drain must fail before the bucket refills")
+	}
+	clk.advance(time.Second)
+	if !c.TryDrain(1, 1000) {
+		t.Fatalf("drain must succeed after refill")
+	}
+	c.NoteDrained(1)
+	if got := c.Counters().Get(CtrEpochsDelayed); got != 1 {
+		t.Fatalf("adm_epochs_delayed = %d, want 1", got)
+	}
+}
+
+func TestThrottleHintBounded(t *testing.T) {
+	clk := newFakeClock()
+	c := NewController(Config{
+		RateBytesPerSec: 10, // brutally slow refill
+		BurstBytes:      10,
+		MaxThrottle:     500 * time.Millisecond,
+		Now:             clk.now,
+	})
+	c.Register(1, "a", Silver)
+	c.Admit(1, 10)
+	if v := c.Admit(1, 1_000_000); v != Delayed {
+		t.Fatalf("want Delayed, got %v", v)
+	}
+	hint := c.ThrottleMicros(1)
+	if hint == 0 || hint > 500_000 {
+		t.Fatalf("throttle hint %d µs outside (0, 500ms]", hint)
+	}
+}
+
+func TestDegradeAndPromote(t *testing.T) {
+	obs.Decisions().Reset()
+	clk := newFakeClock()
+	c := testController(clk)
+	c.Register(1, "hot", Silver)
+	c.Admit(1, 1000) // drain the burst
+
+	// The third consecutive over-budget commit trips the hysteresis and
+	// is itself admitted in degraded (sampled) form.
+	for i := 0; i < 2; i++ {
+		if v := c.Admit(1, 1000); v != Delayed {
+			t.Fatalf("over-budget commit %d: %v, want Delayed", i, v)
+		}
+	}
+	if v := c.Admit(1, 1000); v != AdmittedDegraded {
+		t.Fatalf("post-degrade commit: %v, want AdmittedDegraded", v)
+	}
+	if !c.Degraded("hot") {
+		t.Fatalf("tenant should be degraded")
+	}
+	if r := c.DegradedRate(1); r != 0.25 {
+		t.Fatalf("DegradedRate = %v, want 0.25", r)
+	}
+	if got := c.Counters().Get(GaugeTenantsDegraded); got != 1 {
+		t.Fatalf("adm_tenants_degraded = %d, want 1", got)
+	}
+
+	// Pressure clears: commits that fit the exact budget promote back
+	// after PromoteAfter in a row.
+	for i := 0; i < 4; i++ {
+		clk.advance(time.Second)
+		if v := c.Admit(1, 500); v != Admitted {
+			t.Fatalf("recovery commit %d: %v, want Admitted", i, v)
+		}
+	}
+	if c.Degraded("hot") {
+		t.Fatalf("tenant should have promoted back to exact")
+	}
+	if got := c.Counters().Get(GaugeTenantsDegraded); got != 0 {
+		t.Fatalf("adm_tenants_degraded = %d, want 0", got)
+	}
+
+	var sawDegrade, sawPromote bool
+	for _, d := range obs.Decisions().Recent(64) {
+		switch d.Kind {
+		case "degrade":
+			sawDegrade = true
+			if d.BeforeState != "exact" || d.AfterState != "sketch" {
+				t.Fatalf("degrade decision states: %s→%s", d.BeforeState, d.AfterState)
+			}
+		case "promote":
+			sawPromote = true
+		}
+	}
+	if !sawDegrade || !sawPromote {
+		t.Fatalf("decision trace missing transitions (degrade=%v promote=%v)", sawDegrade, sawPromote)
+	}
+}
+
+func TestGoldNeverDegrades(t *testing.T) {
+	clk := newFakeClock()
+	c := testController(clk)
+	c.Register(2, "vip", Gold)
+	// Gold weight doubles the budget: burn it, then stay over-budget far
+	// past the hysteresis threshold.
+	c.Admit(2, 2000)
+	for i := 0; i < 20; i++ {
+		if v := c.Admit(2, 2000); v != Delayed {
+			t.Fatalf("gold over-budget commit %d: %v, want Delayed (never degraded)", i, v)
+		}
+	}
+	if c.Degraded("vip") {
+		t.Fatalf("gold tenants must never degrade")
+	}
+}
+
+func TestPressureGateBlocksDegrade(t *testing.T) {
+	clk := newFakeClock()
+	cfg := Config{
+		RateBytesPerSec:   1000,
+		BurstBytes:        1000,
+		DegradeAfter:      2,
+		Now:               clk.now,
+		Pressure:          func() float64 { return 0.001 },
+		PressureThreshold: 0.1,
+	}
+	c := NewController(cfg)
+	c.Register(1, "a", Silver)
+	c.Admit(1, 1000)
+	for i := 0; i < 10; i++ {
+		if v := c.Admit(1, 1000); v != Delayed {
+			t.Fatalf("low pressure must keep delaying, got %v", v)
+		}
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	clk := newFakeClock()
+	c := testController(clk)
+	c.Register(1, "a", Silver)
+	c.Register(2, "b", Silver)
+	for i := 0; i < 20; i++ {
+		c.Admit(1, 400)
+		c.Admit(2, 400)
+		clk.advance(time.Second)
+	}
+	if j := c.JainIndex(); j < 0.99 {
+		t.Fatalf("equal tenants: Jain = %v, want ~1", j)
+	}
+
+	// A gold tenant at twice the silver throughput is *fair* after
+	// budget normalization.
+	c2 := testController(clk)
+	c2.Register(1, "s", Silver)
+	c2.Register(2, "g", Gold)
+	for i := 0; i < 20; i++ {
+		c2.Admit(1, 400)
+		c2.Admit(2, 800)
+		clk.advance(time.Second)
+	}
+	if j := c2.JainIndex(); j < 0.99 {
+		t.Fatalf("budget-normalized gold/silver: Jain = %v, want ~1", j)
+	}
+
+	// Genuine skew shows up.
+	c3 := testController(clk)
+	c3.Register(1, "a", Silver)
+	c3.Register(2, "b", Silver)
+	for i := 0; i < 20; i++ {
+		c3.Admit(1, 50)
+		c3.Admit(2, 900)
+		clk.advance(time.Second)
+	}
+	if j := c3.JainIndex(); j > 0.85 {
+		t.Fatalf("skewed tenants: Jain = %v, want well below 1", j)
+	}
+}
+
+func TestShedAccounting(t *testing.T) {
+	obs.Decisions().Reset()
+	clk := newFakeClock()
+	c := testController(clk)
+	c.Register(1, "a", BestEffort)
+	c.NoteDelayed(1)
+	c.NoteShed(1, 7, "delay_queue_full", true)
+	if got := c.Counters().Get(CtrEpochsShed); got != 1 {
+		t.Fatalf("epochs_shed = %d, want 1", got)
+	}
+	if got := c.Counters().Get(GaugeDelayedEpochs); got != 0 {
+		t.Fatalf("adm_delayed_epochs = %d, want 0 after shed", got)
+	}
+	found := false
+	for _, d := range obs.Decisions().Recent(16) {
+		if d.Kind == "admission" && d.Epoch == 7 && d.Cause == "delay_queue_full" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("shed decision event missing")
+	}
+}
+
+func TestAutoRegisterUnknownSource(t *testing.T) {
+	clk := newFakeClock()
+	c := testController(clk)
+	if v := c.Admit(9, 100); v != Admitted {
+		t.Fatalf("unknown source should auto-register and admit, got %v", v)
+	}
+	if name := c.Tenant(9); name != "src-9" {
+		t.Fatalf("auto tenant = %q", name)
+	}
+	if cl := c.Class(9); cl != Silver {
+		t.Fatalf("auto class = %v", cl)
+	}
+}

@@ -1,0 +1,243 @@
+package admission
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"sync"
+
+	"jarvis/internal/obs"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/wire"
+)
+
+// DefaultWindowMicros matches the repo's canonical 1-second tumbling
+// windows; the Degrader uses it to map a raw record's event time to the
+// window id the engine will assign downstream.
+const DefaultWindowMicros = 1_000_000
+
+// TenantOf maps a result row's group key back to the tenant the key
+// belongs to, so rescaling touches exactly the degraded tenant's rows.
+type TenantOf func(telemetry.GroupKey) string
+
+// DefaultTenantOf extracts the tenant prefix of a "tenant|stat|bucket"
+// string key (the LogAnalytics convention); purely numeric keys carry no
+// tenancy and return "".
+func DefaultTenantOf(k telemetry.GroupKey) string {
+	if k.Str == "" {
+		return ""
+	}
+	if i := strings.IndexByte(k.Str, '|'); i >= 0 {
+		return k.Str[:i]
+	}
+	return k.Str
+}
+
+// Degrader applies degrade-don't-drop: while a tenant is degraded its
+// raw records are Bernoulli-sampled at the recorded rate (the same WSP
+// discipline as internal/synopsis, §VI-D) before ingestion, and the
+// tenant's aggregate results are rescaled by 1/rate on the way out, so
+// queries keep answering with a bounded, recorded error instead of the
+// tenant's data being dropped. Partial aggregates (AggRow/QuantileRow
+// shipped by the agent's own pipeline) and watermarks always pass
+// exactly — only the expensive raw-record floods are sampled.
+//
+// All methods are safe for concurrent use.
+type Degrader struct {
+	mu           sync.Mutex
+	windowMicros int64
+	tenantOf     TenantOf
+	rates        map[string]float64            // active degraded tenants
+	rngs         map[string]*rand.Rand         // deterministic per-tenant streams
+	windows      map[string]map[int64]float64  // tenant → window id → sample rate
+	sampledOut   obs.Counter
+}
+
+// NewDegrader creates an idle degrader with the default window duration
+// and tenant-key mapping.
+func NewDegrader() *Degrader {
+	return &Degrader{
+		windowMicros: DefaultWindowMicros,
+		tenantOf:     DefaultTenantOf,
+		rates:        make(map[string]float64),
+		rngs:         make(map[string]*rand.Rand),
+		windows:      make(map[string]map[int64]float64),
+	}
+}
+
+// SetWindowMicros overrides the tumbling-window duration used to map raw
+// event times to window ids (call before any traffic if the deployed
+// query windows differ from 1 s).
+func (d *Degrader) SetWindowMicros(m int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m > 0 {
+		d.windowMicros = m
+	}
+}
+
+// SetTenantOf overrides the group-key→tenant mapping used during result
+// rescaling (e.g. Pingmesh queries keyed by packed IPs).
+func (d *Degrader) SetTenantOf(f TenantOf) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f != nil {
+		d.tenantOf = f
+	}
+}
+
+// Degrade switches a tenant to sampled ingestion at the given rate.
+func (d *Degrader) Degrade(tenantName string, rate float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if rate <= 0 || rate >= 1 {
+		return
+	}
+	d.rates[tenantName] = rate
+	if d.rngs[tenantName] == nil {
+		seed := fnv64(tenantName)
+		d.rngs[tenantName] = rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))
+	}
+}
+
+// Promote returns a tenant to exact ingestion. Windows already sampled
+// keep their recorded rate so in-flight results still rescale correctly.
+func (d *Degrader) Promote(tenantName string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.rates, tenantName)
+}
+
+// Active returns the tenant's current sampling rate (0 when exact).
+func (d *Degrader) Active(tenantName string) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rates[tenantName]
+}
+
+// SampleBatch filters one degraded batch in place of the original:
+// partial aggregates, quantile sketches and watermarks pass through
+// untouched, raw records survive independently with the tenant's rate.
+// Every window a sampled raw record maps to is recorded for rescaling.
+// The input batch is not modified.
+func (d *Degrader) SampleBatch(tenantName string, in telemetry.Batch) telemetry.Batch {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rate, ok := d.rates[tenantName]
+	if !ok {
+		return in
+	}
+	rng := d.rngs[tenantName]
+	wins := d.windows[tenantName]
+	if wins == nil {
+		wins = make(map[int64]float64)
+		d.windows[tenantName] = wins
+	}
+	out := make(telemetry.Batch, 0, int(float64(len(in))*rate)+8)
+	dropped := int64(0)
+	for _, rec := range in {
+		switch rec.Data.(type) {
+		case *telemetry.AggRow, *telemetry.QuantileRow, *wire.Watermark:
+			out = append(out, rec)
+			continue
+		}
+		wid := rec.Window
+		if wid == 0 && d.windowMicros > 0 {
+			wid = rec.Time / d.windowMicros
+		}
+		if _, seen := wins[wid]; !seen {
+			wins[wid] = rate
+			// Bound the recorded-window map for long-lived tenants: windows
+			// this far behind the write frontier have long been emitted.
+			if len(wins) > 4096 {
+				for w := range wins {
+					if w < wid-2048 {
+						delete(wins, w)
+					}
+				}
+			}
+		}
+		if rng.Float64() < rate {
+			out = append(out, rec)
+		} else {
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		d.sampledOut.Add(dropped)
+	}
+	return out
+}
+
+// Rescale compensates sampled windows in a batch of final results:
+// aggregate counts and sums (and quantile sketch bucket counts) of a
+// degraded tenant's sampled windows are scaled by 1/rate, approximating
+// the exact answer with relative error ~1/sqrt(rate·n). Payloads are
+// copied before scaling — the engine's state is never mutated. Min/Max
+// are order statistics of the surviving sample and stay as observed.
+func (d *Degrader) Rescale(out telemetry.Batch) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.windows) == 0 {
+		return
+	}
+	for i := range out {
+		switch row := out[i].Data.(type) {
+		case *telemetry.AggRow:
+			if rate := d.rateFor(row.Key, row.Window); rate > 0 {
+				cp := *row
+				inv := 1 / rate
+				cp.Count = int64(math.Round(float64(cp.Count) * inv))
+				cp.Sum *= inv
+				out[i].Data = &cp
+			}
+		case *telemetry.QuantileRow:
+			if rate := d.rateFor(row.Key, row.Window); rate > 0 {
+				cp := *row
+				inv := 1 / rate
+				cp.Counts = append([]int64(nil), row.Counts...)
+				var total int64
+				for j, c := range cp.Counts {
+					cp.Counts[j] = int64(math.Round(float64(c) * inv))
+					total += cp.Counts[j]
+				}
+				cp.Total = total
+				out[i].Data = &cp
+			}
+		}
+	}
+}
+
+// rateFor returns the recorded sampling rate for a result row's
+// (tenant, window), or 0 when the window was ingested exactly.
+func (d *Degrader) rateFor(key telemetry.GroupKey, window int64) float64 {
+	name := d.tenantOf(key)
+	if name == "" {
+		return 0
+	}
+	wins := d.windows[name]
+	if wins == nil {
+		return 0
+	}
+	return wins[window]
+}
+
+// RelativeErrorBound returns the ~95% relative error bound of a sampled
+// count aggregate over n raw records at the given rate
+// (1.96·sqrt((1-rate)/(rate·n)) for a Bernoulli sample).
+func RelativeErrorBound(rate float64, n int64) float64 {
+	if rate <= 0 || rate >= 1 || n <= 0 {
+		return 0
+	}
+	return 1.96 * math.Sqrt((1-rate)/(rate*float64(n)))
+}
+
+// fnv64 hashes a tenant name to a deterministic RNG seed.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

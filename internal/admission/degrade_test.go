@@ -1,0 +1,160 @@
+package admission
+
+import (
+	"math"
+	"testing"
+
+	"jarvis/internal/telemetry"
+	"jarvis/internal/wire"
+)
+
+// rawBatch builds n raw log-line records for a tenant, evenly spread over
+// the given window ids (1-second windows).
+func rawBatch(n int, windows ...int64) telemetry.Batch {
+	out := make(telemetry.Batch, 0, n)
+	for i := 0; i < n; i++ {
+		w := windows[i%len(windows)]
+		out = append(out, telemetry.Record{
+			Time:     w*DefaultWindowMicros + int64(i%1000),
+			WireSize: 64,
+			Data:     &telemetry.LogLine{Timestamp: w * DefaultWindowMicros, Raw: "ts level=INFO"},
+		})
+	}
+	return out
+}
+
+func TestSamplePassesPartialsAndWatermarks(t *testing.T) {
+	d := NewDegrader()
+	d.Degrade("t1", 0.1)
+	in := telemetry.Batch{
+		{WireSize: 40, Data: &telemetry.AggRow{Key: telemetry.StrKey("t1|lat|1"), Window: 3, Count: 10, Sum: 5}},
+		{WireSize: 40, Data: &telemetry.QuantileRow{Key: telemetry.StrKey("t1|lat|1"), Window: 3, Counts: []int64{1, 2}}},
+		{WireSize: 17, Data: &wire.Watermark{Time: 99}},
+	}
+	out := d.SampleBatch("t1", in)
+	if len(out) != 3 {
+		t.Fatalf("partials/watermarks must always survive: %d/3", len(out))
+	}
+}
+
+func TestSampleRateAndWindowRecording(t *testing.T) {
+	d := NewDegrader()
+	d.Degrade("t1", 0.25)
+	in := rawBatch(4000, 0, 1)
+	out := d.SampleBatch("t1", in)
+	frac := float64(len(out)) / float64(len(in))
+	if frac < 0.18 || frac > 0.32 {
+		t.Fatalf("survival fraction %v far from rate 0.25", frac)
+	}
+	// Both touched windows must have recorded the rate; untouched windows
+	// must not rescale.
+	res := telemetry.Batch{
+		{Data: &telemetry.AggRow{Key: telemetry.StrKey("t1|lat|2"), Window: 0, Count: 100, Sum: 10}},
+		{Data: &telemetry.AggRow{Key: telemetry.StrKey("t1|lat|2"), Window: 1, Count: 100, Sum: 10}},
+		{Data: &telemetry.AggRow{Key: telemetry.StrKey("t1|lat|2"), Window: 7, Count: 100, Sum: 10}},
+		{Data: &telemetry.AggRow{Key: telemetry.StrKey("t2|lat|2"), Window: 0, Count: 100, Sum: 10}},
+	}
+	orig := res[0].Data.(*telemetry.AggRow)
+	d.Rescale(res)
+	for i, wantCount := range []int64{400, 400, 100, 100} {
+		if got := res[i].Data.(*telemetry.AggRow).Count; got != wantCount {
+			t.Fatalf("row %d: Count = %d, want %d", i, got, wantCount)
+		}
+	}
+	if res[0].Data.(*telemetry.AggRow) == orig {
+		t.Fatalf("rescale must copy the payload, not mutate engine state")
+	}
+	if orig.Count != 100 {
+		t.Fatalf("original payload mutated: Count = %d", orig.Count)
+	}
+	if got := res[0].Data.(*telemetry.AggRow).Sum; math.Abs(got-40) > 1e-9 {
+		t.Fatalf("Sum = %v, want 40", got)
+	}
+}
+
+func TestRescaleQuantileRow(t *testing.T) {
+	d := NewDegrader()
+	d.Degrade("t1", 0.5)
+	d.SampleBatch("t1", rawBatch(100, 5))
+	res := telemetry.Batch{
+		{Data: &telemetry.QuantileRow{Key: telemetry.StrKey("t1|lat|0"), Window: 5,
+			Counts: []int64{2, 4, 6}, Total: 12}},
+	}
+	d.Rescale(res)
+	row := res[0].Data.(*telemetry.QuantileRow)
+	want := []int64{4, 8, 12}
+	for i := range want {
+		if row.Counts[i] != want[i] {
+			t.Fatalf("Counts[%d] = %d, want %d", i, row.Counts[i], want[i])
+		}
+	}
+	if row.Total != 24 {
+		t.Fatalf("Total = %d, want 24", row.Total)
+	}
+}
+
+func TestPromoteKeepsRecordedWindows(t *testing.T) {
+	d := NewDegrader()
+	d.Degrade("t1", 0.5)
+	d.SampleBatch("t1", rawBatch(100, 2))
+	d.Promote("t1")
+	if d.Active("t1") != 0 {
+		t.Fatalf("promoted tenant should be exact")
+	}
+	// Window 2 was sampled — in-flight results still rescale.
+	res := telemetry.Batch{
+		{Data: &telemetry.AggRow{Key: telemetry.StrKey("t1|x|0"), Window: 2, Count: 10, Sum: 1}},
+		{Data: &telemetry.AggRow{Key: telemetry.StrKey("t1|x|0"), Window: 3, Count: 10, Sum: 1}},
+	}
+	d.Rescale(res)
+	if got := res[0].Data.(*telemetry.AggRow).Count; got != 20 {
+		t.Fatalf("sampled window after promote: Count = %d, want 20", got)
+	}
+	if got := res[1].Data.(*telemetry.AggRow).Count; got != 10 {
+		t.Fatalf("post-promote window must stay exact: Count = %d", got)
+	}
+	// And a post-promote batch passes through whole.
+	in := rawBatch(100, 3)
+	if out := d.SampleBatch("t1", in); len(out) != len(in) {
+		t.Fatalf("exact tenant sampled: %d/%d", len(out), len(in))
+	}
+}
+
+func TestSampleDeterministicPerTenant(t *testing.T) {
+	a, b := NewDegrader(), NewDegrader()
+	a.Degrade("t1", 0.3)
+	b.Degrade("t1", 0.3)
+	in := rawBatch(500, 0)
+	oa, ob := a.SampleBatch("t1", in), b.SampleBatch("t1", in)
+	if len(oa) != len(ob) {
+		t.Fatalf("same tenant must sample deterministically: %d vs %d", len(oa), len(ob))
+	}
+	for i := range oa {
+		if oa[i].Time != ob[i].Time {
+			t.Fatalf("sample divergence at %d", i)
+		}
+	}
+}
+
+func TestDefaultTenantOf(t *testing.T) {
+	if got := DefaultTenantOf(telemetry.StrKey("acme|latency|3")); got != "acme" {
+		t.Fatalf("prefix extraction: %q", got)
+	}
+	if got := DefaultTenantOf(telemetry.StrKey("solo")); got != "solo" {
+		t.Fatalf("bare key: %q", got)
+	}
+	if got := DefaultTenantOf(telemetry.NumKey(42)); got != "" {
+		t.Fatalf("numeric key must map to no tenant: %q", got)
+	}
+}
+
+func TestRelativeErrorBound(t *testing.T) {
+	if RelativeErrorBound(0.25, 0) != 0 || RelativeErrorBound(1, 100) != 0 {
+		t.Fatalf("degenerate inputs must return 0")
+	}
+	loose := RelativeErrorBound(0.25, 100)
+	tight := RelativeErrorBound(0.25, 10000)
+	if !(tight < loose) || tight <= 0 {
+		t.Fatalf("bound must shrink with n: %v vs %v", loose, tight)
+	}
+}

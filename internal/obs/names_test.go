@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"jarvis/internal/admission"
 	"jarvis/internal/ha"
 	"jarvis/internal/obs"
 	"jarvis/internal/transport"
@@ -45,8 +46,24 @@ func TestMetricNameCatalog(t *testing.T) {
 		ha.CtrStandbyAttaches:    "ha_standby_attaches",
 		ha.GaugeReplLagEpochs:    "ha_replication_lag_epochs",
 		ha.CtrAcksWithoutStandby: "ha_acks_without_standby",
+		// overload protection: receiver-side shedding/healing and the
+		// admission controller's own registry
+		transport.CtrEpochsShed:        "epochs_shed",
+		transport.CtrEpochGaps:         "epoch_gaps",
+		transport.CtrReplayRequests:    "replay_requests",
+		transport.CtrDialBackoffs:      "dial_backoffs",
+		admission.CtrEpochsAdmitted:    "adm_epochs_admitted",
+		admission.CtrEpochsDelayed:     "adm_epochs_delayed",
+		admission.CtrEpochsDegraded:    "adm_epochs_degraded",
+		admission.CtrBytesAdmitted:     "adm_bytes_admitted",
+		admission.CtrSampledOut:        "adm_records_sampled_out",
+		admission.GaugeTenantsDegraded: "adm_tenants_degraded",
+		admission.GaugeDelayedEpochs:   "adm_delayed_epochs",
+		admission.GaugeJainFairness:    "adm_jain_fairness",
+		admission.GaugeThrottleMicros:  "adm_throttle_micros",
+		admission.HistClassLatency:     "class_ingest_latency_seconds",
 	}
-	if len(want) != 26 {
+	if len(want) != 40 {
 		t.Fatalf("catalog lost an entry (duplicate constant value?): %d", len(want))
 	}
 	for got, expect := range want {

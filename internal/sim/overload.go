@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"jarvis/internal/admission"
+	"jarvis/internal/obs"
+)
+
+// Multi-tenant overload simulation: a discrete-epoch model of the SP
+// edge's admission discipline (the same one internal/transport runs per
+// commit — drain first, park behind a non-empty queue, shed the newest
+// epoch of the lowest class past the global bound, replay shed epochs
+// from the agent's buffer). It exists to answer capacity questions
+// deterministically — "what does a 10x hot-tenant spike do to everyone
+// else's p99?" — without sockets or wall clocks, and to drive the
+// overload soak in CI.
+
+// TenantSpec describes one simulated agent/tenant.
+type TenantSpec struct {
+	Source uint32
+	Name   string
+	Class  admission.Class
+	// BytesPerEpoch is the tenant's steady-state epoch payload.
+	BytesPerEpoch int64
+	// During [SpikeFrom, SpikeTo) the tenant ships SpikeFactor times its
+	// steady-state bytes (the hot-tenant spike).
+	SpikeFrom, SpikeTo int
+	SpikeFactor        float64
+}
+
+// OverloadConfig parameterizes an overload run.
+type OverloadConfig struct {
+	Tenants []TenantSpec
+	// Epochs is the scripted length of the run; the simulation then keeps
+	// running drain-only epochs until every queue is empty (bounded by
+	// 4x Epochs) so zero-loss can be asserted.
+	Epochs int
+	// EpochMicros is the simulated wall time between epochs.
+	EpochMicros int64
+	// Admission configures the controller; Now is overridden with the
+	// simulation clock.
+	Admission admission.Config
+}
+
+// TenantOverloadStats aggregates one tenant's run.
+type TenantOverloadStats struct {
+	Shipped  int
+	Applied  int
+	Delayed  int
+	Shed     int
+	Degraded bool // entered sampled ingestion at any point
+	Promoted bool // returned to exact after degrading
+	// CommitLatencies holds one entry per applied epoch: simulated
+	// seconds from arrival to apply (0 = admitted on the spot).
+	CommitLatencies []float64
+}
+
+// P99 returns the 99th-percentile commit latency in simulated seconds.
+func (s *TenantOverloadStats) P99() float64 { return percentile(s.CommitLatencies, 0.99) }
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	i := int(p * float64(len(cp)-1))
+	return cp[i]
+}
+
+// OverloadResult is the outcome of one simulated overload run.
+type OverloadResult struct {
+	Tenants map[string]*TenantOverloadStats
+	// Jain is the controller's budget-normalized fairness index at the
+	// end of the run.
+	Jain float64
+	// Lost counts epochs that never applied (must be 0: shed epochs
+	// replay from the agent's buffer).
+	Lost int
+	// Controller exposes the run's controller for counter inspection.
+	Controller *admission.Controller
+}
+
+// simEpoch is one queued or replayable epoch.
+type simEpoch struct {
+	bytes   int64
+	arrival int // epoch index
+}
+
+// RunOverload executes the scenario. It is fully deterministic: the
+// controller runs on a simulated clock advancing EpochMicros per epoch.
+func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
+	if len(cfg.Tenants) == 0 || cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("sim: overload scenario needs tenants and epochs")
+	}
+	if cfg.EpochMicros <= 0 {
+		cfg.EpochMicros = 1_000_000
+	}
+	clock := time.Unix(1_700_000_000, 0)
+	cfg.Admission.Now = func() time.Time { return clock }
+	ctrl := admission.NewController(cfg.Admission)
+
+	stats := make(map[string]*TenantOverloadStats, len(cfg.Tenants))
+	queues := make(map[uint32][]simEpoch)
+	replays := make(map[uint32][]simEpoch) // shed epochs, still in the agent's buffer
+	queued := 0
+	for _, ts := range cfg.Tenants {
+		ctrl.Register(ts.Source, ts.Name, ts.Class)
+		stats[ts.Name] = &TenantOverloadStats{}
+	}
+	// Drain priority mirrors the receiver: highest class first.
+	order := append([]TenantSpec(nil), cfg.Tenants...)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Class != order[j].Class {
+			return order[i].Class > order[j].Class
+		}
+		return order[i].Source < order[j].Source
+	})
+	epochSec := float64(cfg.EpochMicros) / 1e6
+
+	apply := func(ts TenantSpec, ep simEpoch, now int) {
+		st := stats[ts.Name]
+		st.Applied++
+		st.CommitLatencies = append(st.CommitLatencies, float64(now-ep.arrival)*epochSec)
+	}
+	drain := func(now int) {
+		for _, ts := range order {
+			q := queues[ts.Source]
+			for len(q) > 0 && ctrl.TryDrain(ts.Source, q[0].bytes) {
+				apply(ts, q[0], now)
+				ctrl.NoteDrained(ts.Source)
+				q = q[1:]
+				queued--
+			}
+			queues[ts.Source] = q
+		}
+	}
+	shedOverflow := func() {
+		for queued > ctrl.MaxDelayed() {
+			vi := -1
+			for i := len(order) - 1; i >= 0; i-- { // lowest class last in order
+				if len(queues[order[i].Source]) > 0 {
+					vi = i
+				}
+			}
+			if vi < 0 {
+				return
+			}
+			ts := order[vi]
+			q := queues[ts.Source]
+			ep := q[len(q)-1]
+			queues[ts.Source] = q[:len(q)-1]
+			queued--
+			stats[ts.Name].Shed++
+			ctrl.NoteShed(ts.Source, uint64(ep.arrival), "delay_queue_full", true)
+			// The agent still buffers the epoch; it replays next epoch.
+			replays[ts.Source] = append(replays[ts.Source], ep)
+		}
+	}
+	offer := func(ts TenantSpec, ep simEpoch, now int) {
+		st := stats[ts.Name]
+		if len(queues[ts.Source]) > 0 {
+			// Order preservation: park behind the queue, keep hysteresis fed.
+			ctrl.NoteBacklog(ts.Source, ep.bytes)
+			ctrl.NoteDelayed(ts.Source)
+			queues[ts.Source] = append(queues[ts.Source], ep)
+			queued++
+			st.Delayed++
+			shedOverflow()
+			return
+		}
+		switch ctrl.Admit(ts.Source, ep.bytes) {
+		case admission.Admitted, admission.AdmittedDegraded:
+			apply(ts, ep, now)
+		case admission.Delayed:
+			ctrl.NoteDelayed(ts.Source)
+			queues[ts.Source] = append(queues[ts.Source], ep)
+			queued++
+			st.Delayed++
+			shedOverflow()
+		}
+	}
+
+	degradedEver := make(map[string]bool)
+	maxEpochs := 4 * cfg.Epochs
+	for e := 0; e < maxEpochs; e++ {
+		clock = clock.Add(time.Duration(cfg.EpochMicros) * time.Microsecond)
+		drain(e)
+		// Agents replay shed epochs before shipping new ones.
+		for _, ts := range order {
+			for _, ep := range replays[ts.Source] {
+				offer(ts, ep, e)
+			}
+			replays[ts.Source] = nil
+		}
+		if e < cfg.Epochs {
+			for _, ts := range cfg.Tenants {
+				b := ts.BytesPerEpoch
+				if ts.SpikeFactor > 0 && e >= ts.SpikeFrom && e < ts.SpikeTo {
+					b = int64(float64(b) * ts.SpikeFactor)
+				}
+				stats[ts.Name].Shipped++
+				offer(ts, simEpoch{bytes: b, arrival: e}, e)
+			}
+		}
+		for _, ts := range cfg.Tenants {
+			if ctrl.DegradedRate(ts.Source) > 0 {
+				degradedEver[ts.Name] = true
+			} else if degradedEver[ts.Name] {
+				stats[ts.Name].Promoted = true
+			}
+		}
+		if e >= cfg.Epochs && queued == 0 && pendingReplays(replays) == 0 {
+			break
+		}
+	}
+
+	res := &OverloadResult{Tenants: stats, Jain: ctrl.JainIndex(), Controller: ctrl}
+	for name, st := range stats {
+		st.Degraded = degradedEver[name]
+		res.Lost += st.Shipped - st.Applied
+	}
+	return res, nil
+}
+
+func pendingReplays(replays map[uint32][]simEpoch) int {
+	n := 0
+	for _, r := range replays {
+		n += len(r)
+	}
+	return n
+}
+
+// Decisions returns the process decision log's recent entries — the
+// degrade/promote trail an overload run leaves behind.
+func Decisions(n int) []obs.Decision { return obs.Decisions().Recent(n) }

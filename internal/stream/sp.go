@@ -287,6 +287,12 @@ func (e *SPEngine) advanceToLocked(wm int64) telemetry.Batch {
 	return out
 }
 
+// WindowDur returns the deployed query's tumbling-window duration in
+// microseconds (0 when the query has no window operator). The admission
+// degrader uses it to map raw event times to the window ids the engine
+// will assign downstream.
+func (e *SPEngine) WindowDur() int64 { return e.query.WindowDur() }
+
 // CPUMicros returns the total compute consumed by the SP replica.
 func (e *SPEngine) CPUMicros() float64 {
 	e.mu.Lock()

@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
+	"time"
 
+	"jarvis/internal/admission"
 	"jarvis/internal/obs"
 	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
@@ -65,9 +68,33 @@ type DurableShipper struct {
 
 	compress bool // encode columnar data frames flate-compressed
 
+	// Admission identity announced in hellos, and the newest backpressure
+	// hint the SP's acks carried (µs the agent should stretch its epoch
+	// cadence by; 0 when the tenant is within budget).
+	tenant    string
+	classWire byte
+	throttle  uint64
+
+	// Reconnect pacing (ConnectAny): after a round where every endpoint
+	// failed, the next attempt is gated by a jittered exponential backoff
+	// so a dead SP is not hammered by the agent's epoch loop.
+	dial    func(addr string) (io.ReadWriteCloser, error)
+	nowFn   func() time.Time
+	rng     *rand.Rand
+	backoff time.Duration
+	nextTry time.Time
+
 	encBuf bytes.Buffer
 	encFW  *wire.FrameWriter
 }
+
+// Reconnect backoff bounds: the first failed ConnectAny round defers
+// the next one by ~DialBackoffBase (jittered in [base/2, base]),
+// doubling per consecutive failing round up to DialBackoffCap.
+const (
+	DialBackoffBase = 100 * time.Millisecond
+	DialBackoffCap  = 5 * time.Second
+)
 
 // NewDurableShipper creates a disconnected shipper for a source id.
 // maxPending bounds the replay buffer (0 selects DefaultMaxPending).
@@ -79,7 +106,42 @@ func NewDurableShipper(source uint32, maxPending int) *DurableShipper {
 		source: source, max: maxPending,
 		counters: obs.NewRegistry(),
 		maxVer:   wire.CurrentWireVersion,
+		dial: func(addr string) (io.ReadWriteCloser, error) {
+			return net.Dial("tcp", addr)
+		},
+		nowFn: time.Now,
+		// Deterministic per-source jitter: distinct sources spread their
+		// retries without the shipper needing a global entropy source.
+		rng: rand.New(rand.NewPCG(uint64(source), 0x9e3779b97f4a7c15)),
 	}
+}
+
+// SetIdentity declares the tenant and SLO class the shipper announces
+// in its hellos; the SP's admission controller budgets and prioritizes
+// its epochs accordingly. Call before Connect.
+func (d *DurableShipper) SetIdentity(tenant string, class admission.Class) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tenant = tenant
+	d.classWire = class.Wire()
+}
+
+// SetDialer replaces the TCP dialer (tests inject failing or in-memory
+// connections). Call before Connect.
+func (d *DurableShipper) SetDialer(dial func(addr string) (io.ReadWriteCloser, error)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dial = dial
+}
+
+// ThrottleHint returns how long the SP has asked this shipper to
+// stretch its epoch cadence (zero when within budget). The agent's main
+// loop sleeps this much extra between epochs, converting receiver-side
+// queueing into source-side pacing without losing data.
+func (d *DurableShipper) ThrottleHint() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return time.Duration(d.throttle) * time.Microsecond
 }
 
 // SetMaxVersion caps the wire version the shipper announces and encodes
@@ -273,7 +335,10 @@ func transcodeV1(data []byte) ([]byte, error) {
 
 // Connect dials the SP and performs the resume handshake.
 func (d *DurableShipper) Connect(addr string) error {
-	conn, err := net.Dial("tcp", addr)
+	d.mu.Lock()
+	dial := d.dial
+	d.mu.Unlock()
+	conn, err := dial(addr)
 	if err != nil {
 		return fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
@@ -291,7 +356,11 @@ func (d *DurableShipper) ConnectConn(conn io.ReadWriteCloser) error {
 	var hello bytes.Buffer
 	fw := wire.NewFrameWriter(&hello)
 	d.mu.Lock()
-	rec := telemetry.Record{WireSize: 29, Data: &wire.Hello{Source: d.source, Seq: d.seq, Version: d.maxVer, Term: d.term, Compress: d.compress && d.maxVer >= wire.WireV2}}
+	rec := telemetry.Record{WireSize: 29, Data: &wire.Hello{
+		Source: d.source, Seq: d.seq, Version: d.maxVer, Term: d.term,
+		Compress: d.compress && d.maxVer >= wire.WireV2,
+		Class:    d.classWire, Tenant: d.tenant,
+	}}
 	d.mu.Unlock()
 	if err := fw.WriteFrame(wire.Frame{StreamID: wire.ControlStreamID, Source: d.source, Records: telemetry.Batch{rec}}); err != nil {
 		return err
@@ -371,7 +440,9 @@ func readAck(fr *wire.FrameReader) (*wire.Ack, error) {
 }
 
 // readAcks consumes the SP's ack stream for one connection, pruning the
-// replay buffer as the durable frontier advances.
+// replay buffer as the durable frontier advances, adopting throttle
+// hints, and honoring replay requests (the SP shed an epoch and wants
+// the unacked tail re-sent on this same connection).
 func (d *DurableShipper) readAcks(conn io.WriteCloser, fr *wire.FrameReader) {
 	for {
 		ack, err := readAck(fr)
@@ -384,7 +455,34 @@ func (d *DurableShipper) readAcks(conn io.WriteCloser, fr *wire.FrameReader) {
 		if ack.Term > d.term {
 			d.term = ack.Term
 		}
+		d.throttle = ack.ThrottleMicros
 		d.mu.Unlock()
+		if ack.Replay {
+			d.replayPending(conn)
+		}
+	}
+}
+
+// replayPending re-sends every unacked epoch on the given connection,
+// in order, under the write lock so no concurrent ShipEpoch interleaves
+// a newer epoch ahead of the replayed tail.
+func (d *DurableShipper) replayPending(conn io.WriteCloser) {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	d.mu.Lock()
+	if d.conn != conn {
+		d.mu.Unlock()
+		return
+	}
+	replay := clonePending(d.pending)
+	peer, peerComp := d.peerVer, d.peerComp
+	d.mu.Unlock()
+	d.counters.Inc(CtrReplayRequests)
+	for _, p := range replay {
+		if err := d.writeEpochData(conn, peer, peerComp, p.Data); err != nil {
+			d.disconnect(conn)
+			return
+		}
 	}
 }
 

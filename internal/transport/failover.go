@@ -1,11 +1,20 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"jarvis/internal/obs"
 )
+
+// ErrBackoff reports that ConnectAny refused to dial because the
+// jittered exponential backoff from previous failed rounds has not
+// elapsed yet. Callers treat it like any other connect failure (stay
+// disconnected, retry on the next loop iteration) — it just costs no
+// network attempt.
+var ErrBackoff = errors.New("transport: reconnect backoff in effect")
 
 // Multi-endpoint failover dialing (internal/ha): an agent is configured
 // with every SP that may serve it — the primary and its warm standbys —
@@ -33,8 +42,19 @@ func ParseEndpoints(s string) []string {
 // healthy reconnect does not shuffle agents between SPs). It returns the
 // endpoint that accepted. Switching endpoints counts as a failover in
 // the shipper's health counters.
+//
+// Rounds where every endpoint fails arm a jittered exponential backoff
+// (DialBackoffBase doubling to DialBackoffCap): until it elapses,
+// ConnectAny returns ErrBackoff without dialing, bounding the dial rate
+// an agent's tight reconnect loop can generate against a dead SP. A
+// successful connect resets the backoff.
 func (d *DurableShipper) ConnectAny(endpoints []string) (string, error) {
 	d.mu.Lock()
+	if d.nowFn().Before(d.nextTry) {
+		d.mu.Unlock()
+		d.counters.Inc(CtrDialBackoffs)
+		return "", ErrBackoff
+	}
 	prefer := d.prefer
 	d.mu.Unlock()
 	ordered := make([]string, 0, len(endpoints))
@@ -58,6 +78,8 @@ func (d *DurableShipper) ConnectAny(endpoints []string) (string, error) {
 		prev := d.prefer
 		d.prefer = ep
 		term := d.term
+		d.backoff = 0
+		d.nextTry = time.Time{}
 		d.mu.Unlock()
 		if moved {
 			d.counters.Inc(CtrFailovers)
@@ -75,5 +97,22 @@ func (d *DurableShipper) ConnectAny(endpoints []string) (string, error) {
 	if firstErr == nil {
 		firstErr = fmt.Errorf("transport: no endpoints configured")
 	}
+	d.armBackoff()
 	return "", fmt.Errorf("transport: all %d endpoints unreachable: %w", len(endpoints), firstErr)
+}
+
+// armBackoff doubles the reconnect backoff (capped) and schedules the
+// next permissible dial round, jittered in [backoff/2, backoff] so
+// simultaneously disconnected agents do not retry in lockstep.
+func (d *DurableShipper) armBackoff() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.backoff == 0 {
+		d.backoff = DialBackoffBase
+	} else if d.backoff *= 2; d.backoff > DialBackoffCap {
+		d.backoff = DialBackoffCap
+	}
+	half := int64(d.backoff / 2)
+	delay := time.Duration(half + d.rng.Int64N(half+1))
+	d.nextTry = d.nowFn().Add(delay)
 }

@@ -23,8 +23,11 @@ package transport
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
+	"time"
 
+	"jarvis/internal/admission"
 	"jarvis/internal/obs"
 	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
@@ -53,6 +56,18 @@ const (
 	CtrHellosRejected = "hellos_rejected" // sequenced hellos refused by the hello gate (fencing/standby)
 	CtrFailovers      = "failovers"       // ConnectAny attaching to a different endpoint than before
 
+	// Overload-protection accounting. epochs_shed mirrors the admission
+	// controller's counter on the receiver registry (it also counts sheds
+	// on receivers running without a controller); epoch_gaps counts
+	// sequence holes detected after a shed, each answered with a
+	// replay-request ack. Shipper side, replay_requests counts replay
+	// asks honored and dial_backoffs counts reconnect attempts suppressed
+	// or deferred by the jittered exponential dial backoff.
+	CtrEpochsShed     = "epochs_shed"
+	CtrEpochGaps      = "epoch_gaps"
+	CtrReplayRequests = "replay_requests"
+	CtrDialBackoffs   = "dial_backoffs"
+
 	// Wire-compression accounting (receiver side, columnar data frames):
 	// payload bytes as carried on the wire vs. after inflation, and
 	// their ratio as a float gauge.
@@ -62,7 +77,12 @@ const (
 )
 
 // maxStagedFrames bounds one connection's frames between EpochEnd
-// markers, protecting the SP from a peer that never commits.
+// markers, protecting the SP from a peer that never commits. Overflow
+// sheds the epoch (metered, connection kept) instead of erroring out:
+// the frames staged so far are dropped, the epoch's EpochEnd discards
+// it whole, and a replay-request ack asks the shipper to re-send it
+// once the receiver has breathing room — the epoch is still in the
+// agent's replay buffer, so nothing is lost.
 const maxStagedFrames = 1 << 16
 
 // HelloGate vets sequenced Hellos before a receiver admits them — the
@@ -194,8 +214,41 @@ type Receiver struct {
 	colExec   bool
 	comp      bool
 
+	// Overload protection (nil admit disables it — legacy behavior).
+	// delayed holds over-budget epochs per source, row-materialized so
+	// they own their memory after the decode arenas recycle; delayedN is
+	// the total across sources (bounded by the controller's MaxDelayed).
+	// gapSeen remembers, per source, the first sequence discarded at a
+	// gap: seeing the same sequence a second time means the agent has
+	// replayed everything it still buffers and the hole cannot be filled,
+	// so the receiver force-drains the queue and accepts the jump.
+	admit    *admission.Controller
+	delayed  map[uint32][]*delayedEpoch
+	delayedN int
+	gapSeen  map[uint32]uint64
+
 	bytesIn int64
 	frames  int64
+}
+
+// delayedEpoch is one over-budget epoch parked in the receiver's delay
+// queue: its commit marker plus row-materialized frames (safe to hold
+// past arena recycling) and arrival time for queueing-latency metrics.
+type delayedEpoch struct {
+	seq       uint64
+	watermark int64
+	bytes     int64
+	arrival   time.Time
+	frames    []wire.Frame
+}
+
+// ackTarget is one ack to send after the receiver's mutex is released
+// (acks are cumulative per source, so one per touched source suffices).
+type ackTarget struct {
+	aw     *ackWriter
+	src    uint32
+	seq    uint64
+	replay bool
 }
 
 // NewReceiver wraps an SP engine.
@@ -210,10 +263,54 @@ func NewReceiver(engine *stream.SPEngine) *Receiver {
 		applied:      make(map[uint32]uint64),
 		durable:      make(map[uint32]uint64),
 		writers:      make(map[uint32]*ackWriter),
+		delayed:      make(map[uint32][]*delayedEpoch),
+		gapSeen:      make(map[uint32]uint64),
 		maxVer:       wire.CurrentWireVersion,
 		colExec:      true,
 		comp:         true,
 	}
+}
+
+// SetAdmission installs an admission controller on the receiver's
+// sequenced path: each epoch commit is admitted, delayed (queued and
+// drained as its tenant's budget refills), degraded to sampled
+// ingestion, or shed. Nil (the default) admits everything immediately.
+// Call before serving connections.
+func (rc *Receiver) SetAdmission(ctrl *admission.Controller) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.admit = ctrl
+	if ctrl != nil {
+		// The degrader maps raw event times to window ids when it records
+		// sampled windows; that mapping must use the deployed query's
+		// window, not the 1 s default, or rescaling looks up wrong ids.
+		if wd := rc.engine.WindowDur(); wd > 0 {
+			ctrl.Degrader().SetWindowMicros(wd)
+		}
+	}
+}
+
+// Admission returns the installed admission controller (nil when
+// overload protection is off).
+func (rc *Receiver) Admission() *admission.Controller {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.admit
+}
+
+func (rc *Receiver) admission() *admission.Controller {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.admit
+}
+
+// throttleFor computes the backpressure hint to piggyback on a source's
+// acks (0 without a controller or for a healthy tenant).
+func (rc *Receiver) throttleFor(src uint32) uint64 {
+	if ctrl := rc.admission(); ctrl != nil {
+		return ctrl.ThrottleMicros(src)
+	}
+	return 0
 }
 
 // SetColumnarExec switches the receiver's v2 frames between SoA
@@ -313,10 +410,13 @@ type ackWriter struct {
 	comp bool   // compression support advertised in this connection's acks
 }
 
-func (w *ackWriter) sendAck(source uint32, seq uint64) error {
+func (w *ackWriter) sendAck(source uint32, seq uint64, throttleMicros uint64, replay bool) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	rec := telemetry.Record{WireSize: 29, Data: &wire.Ack{Source: source, Seq: seq, Version: w.ver, Term: w.term, Compress: w.comp}}
+	rec := telemetry.Record{WireSize: 29, Data: &wire.Ack{
+		Source: source, Seq: seq, Version: w.ver, Term: w.term, Compress: w.comp,
+		ThrottleMicros: throttleMicros, Replay: replay,
+	}}
 	if err := w.fw.WriteFrame(wire.Frame{StreamID: wire.ControlStreamID, Source: source, Records: telemetry.Batch{rec}}); err != nil {
 		return err
 	}
@@ -361,6 +461,7 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 		src       uint32
 		sequenced bool
 		staged    []wire.Frame
+		shedding  bool // staged-frame overflow: drop until the next EpochEnd
 	)
 	defer func() {
 		if sequenced {
@@ -414,14 +515,17 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 					if sequenced {
 						rc.dropWriter(src, aw)
 					}
-					src, sequenced = c.Source, true
+					src, sequenced, shedding = c.Source, true, false
 					staged = staged[:0]
 					// Any frames staged before this Hello are dropped whole;
 					// their decoded columns are unreferenced now.
 					fr.RecycleArenas()
+					if ctrl := rc.admission(); ctrl != nil {
+						ctrl.Register(src, c.Tenant, admission.ClassFromWire(c.Class))
+					}
 					aw = &ackWriter{fw: wire.NewFrameWriter(conn), ver: maxVer, term: ackTerm, comp: comp}
 					seq := rc.registerConn(src, c.Seq, aw)
-					if err := aw.sendAck(src, seq); err != nil {
+					if err := aw.sendAck(src, seq, rc.throttleFor(src), false); err != nil {
 						rc.counters.Inc(CtrRecvErrors)
 						return fmt.Errorf("transport: hello ack: %w", err)
 					}
@@ -431,28 +535,50 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 						rc.counters.Inc(CtrRecvErrors)
 						return fmt.Errorf("transport: epoch end before hello")
 					}
-					ackSeq, ack, err := rc.commitEpoch(src, c, staged)
+					if shedding {
+						// The epoch overflowed the staging bound mid-flight:
+						// discard it whole and ask for a replay once the
+						// shipper's next ack arrives. Its seq never advances
+						// the applied frontier, so the replayed copy is not a
+						// duplicate.
+						shedding = false
+						staged = staged[:0]
+						fr.RecycleArenas()
+						rc.noteShed(src, c.Seq, "staged_overflow", false)
+						if err := aw.sendAck(src, rc.durableSeq(src), rc.throttleFor(src), true); err == nil {
+							rc.counters.Inc(CtrAcksSent)
+						}
+						continue
+					}
+					targets, err := rc.commitEpoch(src, c, staged, aw)
 					staged = staged[:0]
 					// The epoch (or duplicate) is fully consumed: the engine
-					// copied everything it keeps, so the staged frames' column
-					// arenas can be reused for the next epoch.
+					// copied everything it keeps (delayed epochs were
+					// row-materialized), so the staged frames' column arenas
+					// can be reused for the next epoch.
 					fr.RecycleArenas()
 					if err != nil {
 						return err
 					}
-					if ack {
-						if err := aw.sendAck(src, ackSeq); err == nil {
-							rc.counters.Inc(CtrAcksSent)
-						}
-					}
+					rc.sendAcks(targets)
 				}
 			}
 			continue
 		}
 		if sequenced {
+			if shedding {
+				// Mid-shed: the rest of the epoch's frames drop on the floor.
+				fr.RecycleArenas()
+				continue
+			}
 			if len(staged) >= maxStagedFrames {
-				rc.counters.Inc(CtrRecvErrors)
-				return fmt.Errorf("transport: %d frames staged without an epoch commit", len(staged))
+				// Metered shedding instead of a connection-fatal error: drop
+				// what is staged, skip to this epoch's EpochEnd and have the
+				// shipper replay it later.
+				shedding = true
+				staged = staged[:0]
+				fr.RecycleArenas()
+				continue
 			}
 			staged = append(staged, f)
 			continue
@@ -519,10 +645,22 @@ func (rc *Receiver) registerConn(src uint32, helloSeq uint64, aw *ackWriter) uin
 	defer rc.mu.Unlock()
 	rc.engine.RegisterSource(src)
 	rc.writers[src] = aw
+	delete(rc.gapSeen, src)
 	if helloSeq == 0 && rc.applied[src] > 0 {
 		rc.applied[src] = 0
 		rc.durable[src] = 0
 		rc.counters.Inc(CtrSourceResets)
+		// A fresh incarnation restarts numbering at 1: epochs the previous
+		// incarnation left in the delay queue belong to a dead sequence
+		// space and would collide with the new one.
+		if q := rc.delayed[src]; len(q) > 0 && rc.admit != nil {
+			for _, ep := range q {
+				rc.delayedN--
+				rc.counters.Inc(CtrEpochsShed)
+				rc.admit.NoteShed(src, ep.seq, "source_reset", true)
+			}
+			delete(rc.delayed, src)
+		}
 	}
 	return rc.durable[src]
 }
@@ -536,35 +674,356 @@ func (rc *Receiver) dropWriter(src uint32, aw *ackWriter) {
 }
 
 // commitEpoch applies one staged epoch atomically and exactly once.
-// Duplicates (seq at or below the last applied epoch) are discarded
-// whole. It reports whether an immediate ack should be sent and for
-// which sequence number.
-func (rc *Receiver) commitEpoch(src uint32, e *wire.EpochEnd, staged []wire.Frame) (uint64, bool, error) {
+// Duplicates (seq at or below the last applied or queued epoch) are
+// discarded whole. With an admission controller installed the commit is
+// metered: over-budget epochs are parked in the delay queue (drained
+// in class-priority order as budgets refill), a degraded tenant's raw
+// records are sampled down, and sequence gaps left by shed epochs are
+// healed with replay-request acks. It returns the acks to send once the
+// receiver's mutex is released.
+func (rc *Receiver) commitEpoch(src uint32, e *wire.EpochEnd, staged []wire.Frame, aw *ackWriter) ([]ackTarget, error) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
+	// Budgets refill with time: drain whatever they now afford first, for
+	// every source — a source's delayed epochs must apply before anything
+	// newer of its own, and other sources' drains ride along on this
+	// commit's lock acquisition.
+	targets := rc.drainDelayedLocked()
+	selfAck := func(replay bool) []ackTarget {
+		return appendAckTarget(targets, ackTarget{aw: aw, src: src, seq: rc.durable[src], replay: replay})
+	}
 	if e.Seq <= rc.applied[src] {
 		rc.counters.Inc(CtrEpochsReplayed)
+		if rc.manualAck {
+			return targets, nil
+		}
 		// Re-ack so a replaying agent converges on the durable frontier.
-		return rc.durable[src], !rc.manualAck, nil
+		return selfAck(false), nil
 	}
-	for _, f := range staged {
+	if rc.admit != nil {
+		q := rc.delayed[src]
+		next := rc.applied[src] + 1
+		if len(q) > 0 {
+			last := q[len(q)-1]
+			if e.Seq <= last.seq {
+				// Replay overlap with an epoch already parked in the queue.
+				rc.counters.Inc(CtrEpochsReplayed)
+				if rc.manualAck {
+					return targets, nil
+				}
+				return selfAck(false), nil
+			}
+			next = last.seq + 1
+		}
+		if e.Seq > next {
+			// A hole below this epoch (a shed, or replay-buffer eviction on
+			// the agent). First sighting: discard and ask for a replay.
+			// Second sighting of the same sequence: the agent has replayed
+			// everything it still buffers and the hole is unfillable —
+			// force-drain the queue and accept the jump.
+			if rc.gapSeen[src] != e.Seq {
+				rc.gapSeen[src] = e.Seq
+				rc.counters.Inc(CtrEpochGaps)
+				return selfAck(true), nil
+			}
+			delete(rc.gapSeen, src)
+			targets = rc.forceDrainLocked(src, targets)
+		} else {
+			delete(rc.gapSeen, src)
+		}
+		if len(rc.delayed[src]) > 0 {
+			// The queue did not fully drain: this epoch parks behind it to
+			// preserve per-source order (its budget could not admit it
+			// anyway — the queue head already exhausted the bucket).
+			// NoteBacklog keeps the degrade hysteresis moving even though no
+			// Admit verdict is taken on this path.
+			rc.queueDelayedLocked(src, e, staged)
+			rc.admit.NoteBacklog(src, framesBytes(staged))
+			rc.admit.NoteDelayed(src)
+			targets = rc.shedOverflowLocked(targets)
+			if rc.manualAck {
+				return targets, nil
+			}
+			return selfAck(false), nil
+		}
+		verdict := rc.admit.Admit(src, framesBytes(staged))
+		if verdict == admission.Delayed {
+			rc.queueDelayedLocked(src, e, staged)
+			rc.admit.NoteDelayed(src)
+			targets = rc.shedOverflowLocked(targets)
+			if rc.manualAck {
+				return targets, nil
+			}
+			return selfAck(false), nil
+		}
+		if err := rc.applyEpochLocked(src, e.Seq, e.Watermark, staged, verdict == admission.AdmittedDegraded); err != nil {
+			return targets, err
+		}
+		rc.admit.ObserveCommitLatency(src, 0)
+		if rc.manualAck {
+			return targets, nil
+		}
+		rc.durable[src] = e.Seq
+		return selfAck(false), nil
+	}
+	if err := rc.applyEpochLocked(src, e.Seq, e.Watermark, staged, false); err != nil {
+		return targets, err
+	}
+	if rc.manualAck {
+		return targets, nil
+	}
+	rc.durable[src] = e.Seq
+	return selfAck(false), nil
+}
+
+// applyEpochLocked ingests one epoch's frames and advances the applied
+// frontier. Degraded commits row-materialize each data frame and sample
+// the tenant's raw records through the controller's degrader before
+// ingestion (partial aggregates and watermarks always pass exact).
+func (rc *Receiver) applyEpochLocked(src uint32, seq uint64, watermark int64, frames []wire.Frame, degraded bool) error {
+	var (
+		deg    *admission.Degrader
+		tenant string
+	)
+	if degraded && rc.admit != nil {
+		deg = rc.admit.Degrader()
+		tenant = rc.admit.Tenant(src)
+	}
+	for _, f := range frames {
 		if f.StreamID == WatermarkStreamID {
 			eachWatermark(f, func(wm int64) { rc.engine.ObserveWatermark(f.Source, wm) })
 			continue
 		}
+		if deg != nil {
+			rows := deg.SampleBatch(tenant, frameRows(f))
+			if err := rc.engine.Ingest(int(f.StreamID), rows); err != nil {
+				rc.counters.Inc(CtrRecvErrors)
+				return fmt.Errorf("transport: apply epoch %d: %w", seq, err)
+			}
+			continue
+		}
 		if err := rc.ingest(f); err != nil {
 			rc.counters.Inc(CtrRecvErrors)
-			return 0, false, fmt.Errorf("transport: apply epoch %d: %w", e.Seq, err)
+			return fmt.Errorf("transport: apply epoch %d: %w", seq, err)
 		}
 	}
-	rc.engine.ObserveWatermark(src, e.Watermark)
-	rc.applied[src] = e.Seq
+	rc.engine.ObserveWatermark(src, watermark)
+	rc.applied[src] = seq
 	rc.counters.Inc(CtrEpochsApplied)
-	if rc.manualAck {
-		return 0, false, nil
+	return nil
+}
+
+// frameRows materializes a frame's records as rows that own their
+// memory: columnar frames append through the decoder's fresh per-batch
+// arenas, so the result is safe to hold past RecycleArenas.
+func frameRows(f wire.Frame) telemetry.Batch {
+	if f.Cols != nil {
+		var rows telemetry.Batch
+		f.Cols.AppendRows(&rows)
+		return rows
 	}
-	rc.durable[src] = e.Seq
-	return e.Seq, true, nil
+	return f.Records
+}
+
+// framesBytes sums an epoch's payload bytes (the unit the admission
+// buckets meter).
+func framesBytes(frames []wire.Frame) int64 {
+	var n int64
+	for _, f := range frames {
+		n += f.PayloadBytes()
+	}
+	return n
+}
+
+// appendAckTarget folds an ack into the target list, replacing an
+// earlier entry for the same source (acks are cumulative; the newest
+// durable frontier and replay flag win).
+func appendAckTarget(targets []ackTarget, t ackTarget) []ackTarget {
+	for i := range targets {
+		if targets[i].src == t.src {
+			targets[i].seq = t.seq
+			targets[i].replay = targets[i].replay || t.replay
+			return targets
+		}
+	}
+	return append(targets, t)
+}
+
+// queueDelayedLocked parks one epoch in the source's delay queue,
+// row-materializing its frames so nothing references the connection's
+// decode arenas.
+func (rc *Receiver) queueDelayedLocked(src uint32, e *wire.EpochEnd, staged []wire.Frame) {
+	mat := make([]wire.Frame, 0, len(staged))
+	for _, f := range staged {
+		if f.Cols != nil {
+			f = wire.Frame{StreamID: f.StreamID, Source: f.Source, Records: frameRows(f)}
+		}
+		mat = append(mat, f)
+	}
+	var arrival time.Time
+	if rc.admit != nil {
+		arrival = rc.admit.Now()
+	}
+	rc.delayed[src] = append(rc.delayed[src], &delayedEpoch{
+		seq: e.Seq, watermark: e.Watermark, bytes: framesBytes(staged),
+		arrival: arrival, frames: mat,
+	})
+	rc.delayedN++
+}
+
+// drainDelayedLocked applies every delayed epoch the refilled buckets
+// now afford, visiting sources in class-priority order (gold first) so
+// scarce budget lands on the highest SLO class. Returns acks for every
+// source whose durable frontier advanced.
+func (rc *Receiver) drainDelayedLocked() []ackTarget {
+	if rc.admit == nil || rc.delayedN == 0 {
+		return nil
+	}
+	srcs := make([]uint32, 0, len(rc.delayed))
+	for src, q := range rc.delayed {
+		if len(q) > 0 {
+			srcs = append(srcs, src)
+		}
+	}
+	sort.Slice(srcs, func(i, j int) bool {
+		ci, cj := rc.admit.Class(srcs[i]), rc.admit.Class(srcs[j])
+		if ci != cj {
+			return ci > cj
+		}
+		return srcs[i] < srcs[j]
+	})
+	var targets []ackTarget
+	for _, src := range srcs {
+		q := rc.delayed[src]
+		drained := false
+		for len(q) > 0 && rc.admit.TryDrain(src, q[0].bytes) {
+			ep := q[0]
+			q = q[1:]
+			if err := rc.drainOneLocked(src, ep); err != nil {
+				// The engine rejected the epoch (poisoned payload): it is
+				// consumed, not re-queued — the error already counted.
+				break
+			}
+			drained = true
+		}
+		if len(q) == 0 {
+			delete(rc.delayed, src)
+		} else {
+			rc.delayed[src] = q
+		}
+		if drained && !rc.manualAck {
+			if aw := rc.writers[src]; aw != nil {
+				targets = appendAckTarget(targets, ackTarget{aw: aw, src: src, seq: rc.durable[src]})
+			}
+		}
+	}
+	return targets
+}
+
+// forceDrainLocked empties one source's delay queue unconditionally
+// (bucket debt instead of data loss) — the escape hatch when a sequence
+// hole above the queue turned out to be unfillable.
+func (rc *Receiver) forceDrainLocked(src uint32, targets []ackTarget) []ackTarget {
+	q := rc.delayed[src]
+	if len(q) == 0 {
+		return targets
+	}
+	drained := false
+	for _, ep := range q {
+		rc.admit.ForceDrain(src, ep.bytes)
+		if err := rc.drainOneLocked(src, ep); err != nil {
+			break
+		}
+		drained = true
+	}
+	delete(rc.delayed, src)
+	if drained && !rc.manualAck {
+		if aw := rc.writers[src]; aw != nil {
+			targets = appendAckTarget(targets, ackTarget{aw: aw, src: src, seq: rc.durable[src]})
+		}
+	}
+	return targets
+}
+
+// drainOneLocked applies one delayed epoch and advances the source's
+// frontiers, observing its queueing latency on the tenant's class
+// histogram. The caller has already charged the admission bucket.
+func (rc *Receiver) drainOneLocked(src uint32, ep *delayedEpoch) error {
+	rc.delayedN--
+	degraded := rc.admit.DegradedRate(src) > 0
+	if err := rc.applyEpochLocked(src, ep.seq, ep.watermark, ep.frames, degraded); err != nil {
+		return err
+	}
+	rc.admit.NoteDrained(src)
+	if !ep.arrival.IsZero() {
+		rc.admit.ObserveCommitLatency(src, rc.admit.Now().Sub(ep.arrival))
+	}
+	if !rc.manualAck {
+		rc.durable[src] = ep.seq
+	}
+	return nil
+}
+
+// shedOverflowLocked enforces the global delay-queue bound: while over
+// it, the newest delayed epoch of the lowest-class source is shed. The
+// shed epoch's sequence hole is healed later by gap detection — the
+// epoch is still unacked in its agent's replay buffer.
+func (rc *Receiver) shedOverflowLocked(targets []ackTarget) []ackTarget {
+	max := rc.admit.MaxDelayed()
+	for rc.delayedN > max {
+		victim := uint32(0)
+		victimClass := admission.Class(0)
+		found := false
+		for src, q := range rc.delayed {
+			if len(q) == 0 {
+				continue
+			}
+			c := rc.admit.Class(src)
+			if !found || c < victimClass || (c == victimClass && src < victim) {
+				victim, victimClass, found = src, c, true
+			}
+		}
+		if !found {
+			return targets
+		}
+		q := rc.delayed[victim]
+		ep := q[len(q)-1]
+		rc.delayed[victim] = q[:len(q)-1]
+		rc.delayedN--
+		rc.counters.Inc(CtrEpochsShed)
+		rc.admit.NoteShed(victim, ep.seq, "delay_queue_full", true)
+		if aw := rc.writers[victim]; aw != nil {
+			// Tell the victim's shipper to slow down and replay later.
+			targets = appendAckTarget(targets, ackTarget{aw: aw, src: victim, seq: rc.durable[victim], replay: true})
+		}
+	}
+	return targets
+}
+
+// noteShed meters one shed epoch on the receiver's counters and, when a
+// controller is installed, its decision trace.
+func (rc *Receiver) noteShed(src uint32, seq uint64, cause string, fromQueue bool) {
+	rc.counters.Inc(CtrEpochsShed)
+	if ctrl := rc.admission(); ctrl != nil {
+		ctrl.NoteShed(src, seq, cause, fromQueue)
+	}
+}
+
+// durableSeq reads a source's durable frontier.
+func (rc *Receiver) durableSeq(src uint32) uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.durable[src]
+}
+
+// sendAcks writes the acks a commit produced, outside the receiver's
+// mutex, throttling hints computed at send time.
+func (rc *Receiver) sendAcks(targets []ackTarget) {
+	for _, t := range targets {
+		if err := t.aw.sendAck(t.src, t.seq, rc.throttleFor(t.src), t.replay); err == nil {
+			rc.counters.Inc(CtrAcksSent)
+		}
+	}
 }
 
 func (rc *Receiver) consume(f wire.Frame) error {
@@ -642,18 +1101,29 @@ func (rc *Receiver) AckSeqs(seqs map[uint32]uint64) {
 	}
 	rc.mu.Unlock()
 	for _, t := range targets {
-		if err := t.aw.sendAck(t.src, t.seq); err == nil {
+		if err := t.aw.sendAck(t.src, t.seq, rc.throttleFor(t.src), false); err == nil {
 			rc.counters.Inc(CtrAcksSent)
 		}
 	}
 }
 
 // Advance flushes the engine up to the merged watermark and returns new
-// final results.
+// final results. With admission control installed it first drains every
+// delayed epoch the refilled budgets afford (time passes between
+// commits, so Advance is the other natural drain point) and rescales
+// results whose windows were ingested under degraded sampling back to
+// estimated exact magnitudes.
 func (rc *Receiver) Advance() telemetry.Batch {
 	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	return rc.engine.Advance()
+	targets := rc.drainDelayedLocked()
+	batch := rc.engine.Advance()
+	ctrl := rc.admit
+	rc.mu.Unlock()
+	rc.sendAcks(targets)
+	if ctrl != nil {
+		ctrl.Degrader().Rescale(batch)
+	}
+	return batch
 }
 
 // BytesIn returns payload bytes received.

@@ -131,6 +131,8 @@ func EncodeRecord(dst []byte, rec telemetry.Record) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, uint64(p.Version))
 		dst = binary.AppendUvarint(dst, p.Term)
 		dst = appendBool(dst, p.Compress)
+		dst = append(dst, p.Class)
+		dst = appendString(dst, p.Tenant)
 		return dst, nil
 	case *Ack:
 		dst = append(dst, TagAck)
@@ -140,6 +142,8 @@ func EncodeRecord(dst []byte, rec telemetry.Record) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, uint64(p.Version))
 		dst = binary.AppendUvarint(dst, p.Term)
 		dst = appendBool(dst, p.Compress)
+		dst = binary.AppendUvarint(dst, p.ThrottleMicros)
+		dst = appendBool(dst, p.Replay)
 		return dst, nil
 	case *EpochEnd:
 		dst = append(dst, TagEpochEnd)
@@ -454,11 +458,13 @@ func DecodeRecord(buf []byte) (telemetry.Record, int, error) {
 		p.Source = r.u32()
 		p.Seq = r.u64()
 		// The version field was appended in v2 builds, the HA term after
-		// it, and the compression capability after that; a genuinely old
+		// it, the compression capability after that, and the admission
+		// extension (SLO class + tenant) after that; a genuinely old
 		// peer's Hello ends early, which decodes as Version 0 (= v1),
-		// Term 0 (pre-HA) and Compress false. Hello records must travel
-		// in single-record frames for these trailing extensions to be
-		// unambiguous (they always have).
+		// Term 0 (pre-HA), Compress false and an unspecified class with
+		// no tenant label. Hello records must travel in single-record
+		// frames for these trailing extensions to be unambiguous (they
+		// always have).
 		if r.err == nil && r.off < len(buf) {
 			p.Version = uint32(r.uvarint())
 		}
@@ -467,6 +473,12 @@ func DecodeRecord(buf []byte) (telemetry.Record, int, error) {
 		}
 		if r.err == nil && r.off < len(buf) {
 			p.Compress = r.u8() != 0
+		}
+		if r.err == nil && r.off < len(buf) {
+			p.Class = r.u8()
+		}
+		if r.err == nil && r.off < len(buf) {
+			p.Tenant = r.str()
 		}
 		rec.Data = p
 		rec.WireSize = 29
@@ -482,6 +494,13 @@ func DecodeRecord(buf []byte) (telemetry.Record, int, error) {
 		}
 		if r.err == nil && r.off < len(buf) {
 			p.Compress = r.u8() != 0
+		}
+		// Admission extension: throttle hint + replay request.
+		if r.err == nil && r.off < len(buf) {
+			p.ThrottleMicros = r.uvarint()
+		}
+		if r.err == nil && r.off < len(buf) {
+			p.Replay = r.u8() != 0
 		}
 		rec.Data = p
 		rec.WireSize = 29

@@ -313,6 +313,53 @@ func TestHelloAckTermRoundTrip(t *testing.T) {
 	}
 }
 
+func TestHelloAckAdmissionExtensionRoundTrip(t *testing.T) {
+	h := &Hello{Source: 3, Seq: 17, Version: WireV2, Term: 5, Compress: true, Class: 3, Tenant: "acme"}
+	got := roundTrip(t, telemetry.Record{WireSize: 29, Data: h})
+	if !reflect.DeepEqual(got.Data, h) {
+		t.Fatalf("hello = %+v", got.Data)
+	}
+	a := &Ack{Source: 3, Seq: 16, Version: WireV2, Term: 6, ThrottleMicros: 750_000, Replay: true}
+	got = roundTrip(t, telemetry.Record{WireSize: 29, Data: a})
+	if !reflect.DeepEqual(got.Data, a) {
+		t.Fatalf("ack = %+v", got.Data)
+	}
+}
+
+// A pre-admission peer's Hello/Ack simply ends after the Compress byte;
+// the extension fields must decode as zero values, not as an error.
+func TestHelloAckAdmissionExtensionCompat(t *testing.T) {
+	enc, err := EncodeRecord(nil, telemetry.Record{WireSize: 29,
+		Data: &Hello{Source: 1, Seq: 2, Version: WireV2, Term: 3, Compress: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero Class + empty Tenant encode as exactly two trailing bytes;
+	// stripping them reproduces the pre-admission encoding.
+	rec, _, err := DecodeRecord(enc[:len(enc)-2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rec.Data.(*Hello)
+	if h.Class != 0 || h.Tenant != "" || h.Term != 3 || !h.Compress {
+		t.Fatalf("legacy hello decoded as %+v", h)
+	}
+
+	enc, err = EncodeRecord(nil, telemetry.Record{WireSize: 29,
+		Data: &Ack{Source: 1, Seq: 2, Version: WireV2, Term: 3, Compress: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err = DecodeRecord(enc[:len(enc)-2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rec.Data.(*Ack)
+	if a.ThrottleMicros != 0 || a.Replay || a.Term != 3 || !a.Compress {
+		t.Fatalf("legacy ack decoded as %+v", a)
+	}
+}
+
 func TestReplicationRecordsRoundTrip(t *testing.T) {
 	hello := &ReplHello{LastID: 12, LogWM: 9_000_000}
 	got := roundTrip(t, telemetry.Record{WireSize: 33, Data: hello})

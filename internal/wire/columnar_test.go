@@ -241,7 +241,7 @@ func TestColumnarControlFramesStayV1(t *testing.T) {
 // (= v1 peer), a pre-HA Hello (version but no term) reads as Term 0,
 // and a pre-compression Hello reads as Compress false.
 func TestLegacyHelloDecodes(t *testing.T) {
-	rec := telemetry.Record{WireSize: 29, Data: &Hello{Source: 9, Seq: 4, Version: WireV2, Term: 3, Compress: true}}
+	rec := telemetry.Record{WireSize: 29, Data: &Hello{Source: 9, Seq: 4, Version: WireV2, Term: 3, Compress: true, Class: 2, Tenant: "t"}}
 	enc, err := EncodeRecord(nil, rec)
 	if err != nil {
 		t.Fatal(err)
@@ -252,11 +252,15 @@ func TestLegacyHelloDecodes(t *testing.T) {
 		wantVersion uint32
 		wantTerm    uint64
 		wantComp    bool
+		wantClass   byte
 	}{
-		{"current", 0, WireV2, 3, true},
-		{"pre-compression", 1, WireV2, 3, false},
-		{"pre-ha", 2, WireV2, 0, false},
-		{"pre-versioning", 3, 0, 0, false},
+		// The one-char tenant encodes as 2 bytes (uvarint len + byte),
+		// the class as 1; every earlier trailing field is 1 byte here.
+		{"current", 0, WireV2, 3, true, 2},
+		{"pre-admission", 3, WireV2, 3, true, 0},
+		{"pre-compression", 4, WireV2, 3, false, 0},
+		{"pre-ha", 5, WireV2, 0, false, 0},
+		{"pre-versioning", 6, 0, 0, false, 0},
 	} {
 		legacy := enc[:len(enc)-tc.strip] // each trailing field is 1 byte here
 		got, n, err := DecodeRecord(legacy)
@@ -267,8 +271,15 @@ func TestLegacyHelloDecodes(t *testing.T) {
 			t.Fatalf("%s: consumed %d of %d", tc.name, n, len(legacy))
 		}
 		h := got.Data.(*Hello)
-		if h.Source != 9 || h.Seq != 4 || h.Version != tc.wantVersion || h.Term != tc.wantTerm || h.Compress != tc.wantComp {
+		if h.Source != 9 || h.Seq != 4 || h.Version != tc.wantVersion || h.Term != tc.wantTerm || h.Compress != tc.wantComp || h.Class != tc.wantClass {
 			t.Fatalf("%s: decoded as %+v", tc.name, h)
+		}
+		wantTenant := "t"
+		if tc.strip > 0 {
+			wantTenant = ""
+		}
+		if h.Tenant != wantTenant {
+			t.Fatalf("%s: tenant = %q", tc.name, h.Tenant)
 		}
 	}
 }

@@ -30,12 +30,20 @@ const ReplRowsStreamID = ^uint32(0) - 2
 // newer primary was promoted and fences itself (rejects the connection).
 // Hello records travel alone in their frame (the trailing extensions
 // rely on it).
+//
+// Class and Tenant are the admission-control extension (appended after
+// Compress): the agent declares its SLO class (the wire encoding of
+// internal/admission — 0 means unspecified and decodes to the default
+// class) and the tenant its traffic is accounted to (empty from
+// pre-admission builds; the receiver then buckets by source id).
 type Hello struct {
 	Source   uint32
 	Seq      uint64
 	Version  uint32
 	Term     uint64
 	Compress bool
+	Class    byte
+	Tenant   string
 }
 
 // Ack acknowledges that every epoch of a source up to and including Seq
@@ -45,12 +53,23 @@ type Hello struct {
 // its primary term, and Compress whether it decodes flate-compressed
 // columnar frames (all zero/false from older builds); like Hello, Ack
 // records travel alone in their frame.
+//
+// ThrottleMicros and Replay are the admission-control extension
+// (appended after Compress): ThrottleMicros is a backpressure hint — the
+// receiver's admission controller asks the shipper to stretch its epoch
+// cadence by that much (0 = no throttling) — and Replay asks the shipper
+// to re-send its pending (unacked) epochs on the same connection, which
+// the receiver uses to heal the sequence gap a shed epoch left without
+// tearing the connection down. Both decode as zero/false from
+// pre-admission builds.
 type Ack struct {
-	Source   uint32
-	Seq      uint64
-	Version  uint32
-	Term     uint64
-	Compress bool
+	Source         uint32
+	Seq            uint64
+	Version        uint32
+	Term           uint64
+	Compress       bool
+	ThrottleMicros uint64
+	Replay         bool
 }
 
 // EpochEnd commits one shipped epoch: every data frame since the previous

@@ -22,8 +22,8 @@ func seedRecords() []telemetry.Record {
 		{Time: 5, Window: 2, WireSize: agg.AggRowWireSize(), Data: &agg},
 		{Time: 6, Window: 1, WireSize: q.WireSize(), Data: q},
 		{Time: 7, WireSize: 17, Data: &Watermark{Time: 7}},
-		{Time: 8, WireSize: 29, Data: &Hello{Source: 3, Seq: 12}},
-		{Time: 9, WireSize: 29, Data: &Ack{Source: 3, Seq: 11}},
+		{Time: 8, WireSize: 29, Data: &Hello{Source: 3, Seq: 12, Version: 2, Term: 1, Compress: true, Class: 3, Tenant: "acme"}},
+		{Time: 9, WireSize: 29, Data: &Ack{Source: 3, Seq: 11, Version: 2, Term: 1, ThrottleMicros: 250_000, Replay: true}},
 		{Time: 10, WireSize: 33, Data: &EpochEnd{Seq: 12, Watermark: 1_000_000}},
 		{Time: 11, WireSize: 49, Data: &SnapshotHeader{Seq: 5, Watermark: 9, EmittedWM: 8, Acked: 4}},
 		{Time: 12, WireSize: 37, Data: &SourceState{Source: 2, Watermark: 7, AppliedSeq: 6}},
@@ -70,6 +70,76 @@ func FuzzDecodeRecord(f *testing.F) {
 		}
 		if !bytes.Equal(enc, enc2) {
 			t.Fatalf("encoding not stable:\n%x\n%x", enc, enc2)
+		}
+	})
+}
+
+// FuzzDecodeControlHandshake targets the Hello/Ack trailing-extension
+// decoders specifically: any byte string that decodes to a handshake
+// record must re-encode stably, and the admission extension fields
+// (Class/Tenant on Hello, ThrottleMicros/Replay on Ack) must survive a
+// second decode unchanged. Seeds cover full extended encodings and the
+// truncated prefixes a pre-extension peer would emit.
+func FuzzDecodeControlHandshake(f *testing.F) {
+	seeds := []telemetry.Record{
+		{Time: 1, WireSize: 29, Data: &Hello{Source: 3, Seq: 12}},
+		{Time: 1, WireSize: 29, Data: &Hello{Source: 3, Seq: 12, Version: WireV2, Term: 4, Compress: true, Class: 1, Tenant: "best-effort-tenant"}},
+		{Time: 1, WireSize: 29, Data: &Hello{Source: 7, Seq: 0, Class: 3, Tenant: "acme"}},
+		{Time: 1, WireSize: 29, Data: &Ack{Source: 3, Seq: 11}},
+		{Time: 1, WireSize: 29, Data: &Ack{Source: 3, Seq: 11, Version: WireV2, Term: 4, Compress: true, ThrottleMicros: 2_000_000, Replay: true}},
+		{Time: 1, WireSize: 29, Data: &Ack{Source: 7, Seq: 5, ThrottleMicros: 1}},
+	}
+	for _, rec := range seeds {
+		enc, err := EncodeRecord(nil, rec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		// Truncated at every extension boundary: version, term, compress,
+		// and the two admission fields — each prefix is a valid encoding
+		// some older build emits.
+		for cut := 1; cut <= 4 && cut < len(enc); cut++ {
+			f.Add(enc[:len(enc)-cut])
+		}
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, _, err := DecodeRecord(data)
+		if err != nil {
+			return
+		}
+		switch p := rec.Data.(type) {
+		case *Hello, *Ack:
+			_ = p
+		default:
+			return
+		}
+		enc, err := EncodeRecord(nil, rec)
+		if err != nil {
+			t.Fatalf("re-encode of decoded handshake: %v", err)
+		}
+		rec2, n2, err := DecodeRecord(enc)
+		if err != nil || n2 != len(enc) {
+			t.Fatalf("decode of re-encoding: n=%d err=%v", n2, err)
+		}
+		switch p := rec.Data.(type) {
+		case *Hello:
+			q, ok := rec2.Data.(*Hello)
+			if !ok || *q != *p {
+				t.Fatalf("hello extension fields changed: %+v vs %+v", rec2.Data, p)
+			}
+		case *Ack:
+			q, ok := rec2.Data.(*Ack)
+			if !ok || *q != *p {
+				t.Fatalf("ack extension fields changed: %+v vs %+v", rec2.Data, p)
+			}
+		}
+		enc2, err := EncodeRecord(nil, rec2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("handshake encoding not stable:\n%x\n%x", enc, enc2)
 		}
 	})
 }

@@ -25,6 +25,10 @@ type LogConfig struct {
 	// patterns (tenant/job/cpu/memory); the rest are unrelated chatter
 	// filtered out by the pattern-match Filter.
 	MatchRate float64
+	// FirstTenant offsets the generated tenant names (tenant-%03d starting
+	// here), so several generators can emit disjoint tenant populations —
+	// one per agent when a test needs per-agent tenancy.
+	FirstTenant int
 	// StartMicros and IntervalMicros pace event time like PingConfig.
 	StartMicros    int64
 	IntervalMicros int64
@@ -71,7 +75,7 @@ func NewLogGen(cfg LogConfig) *LogGen {
 	}
 	g.tenants = make([]string, cfg.Tenants)
 	for i := range g.tenants {
-		g.tenants[i] = fmt.Sprintf("tenant-%03d", i)
+		g.tenants[i] = fmt.Sprintf("tenant-%03d", cfg.FirstTenant+i)
 	}
 	return g
 }
