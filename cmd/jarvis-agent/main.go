@@ -181,23 +181,35 @@ func run(spAddr string, id uint32, queryName string, budget float64, epochs int,
 	for e := int(resume); epochs == 0 || e < epochs; e++ {
 		start := time.Now()
 		var res stream.EpochResult
+		var genDur time.Duration
+		genStart := obs.Now()
 		if columnar {
 			// SoA path: the generator emits columns straight into the
 			// pipeline; records only materialize where the plan lacks
 			// columnar kernels.
 			cb.Reset()
-			genStart := obs.Now()
 			nextCols(1_000_000, &cb)
-			obs.SinceN(obs.StageGenerate, genStart, id, uint64(e))
+			if !genStart.IsZero() {
+				genDur = time.Since(genStart)
+				obs.ObserveDurN(obs.StageGenerate, genDur, id, uint64(e))
+			}
 			res, err = src.RunEpochColumnar(&cb)
 		} else {
-			genStart := obs.Now()
 			batch := next(1_000_000)
-			obs.SinceN(obs.StageGenerate, genStart, id, uint64(e))
+			if !genStart.IsZero() {
+				genDur = time.Since(genStart)
+				obs.ObserveDurN(obs.StageGenerate, genDur, id, uint64(e))
+			}
 			res, err = src.RunEpoch(batch)
 		}
 		if err != nil {
 			return err
+		}
+		if !genStart.IsZero() {
+			// Trace context: the epoch began at generate start; the shipper
+			// seals encode timing and the trace id into the EpochEnd.
+			res.Timing.StartMicros = genStart.UnixMicro()
+			res.Timing.GenMicros = genDur.Microseconds()
 		}
 		if !ship.Connected() {
 			if addr, err := ship.ConnectAny(endpoints); err == nil {

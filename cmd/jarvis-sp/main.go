@@ -30,7 +30,20 @@
 // payload; over-budget epochs are delayed (never dropped — the agent's
 // replay buffer covers shed epochs), acks carry a pacing hint back to
 // the shipper, and a tenant in sustained overload degrades to sampled
-// ingestion at a recorded error bound until pressure clears.
+// ingestion at a recorded error bound until pressure clears. Individual
+// tenants get absolute overrides with repeated -admit-tenant-rate
+// flags, and -admit-pressure closes the loop on measurement: tenants
+// degrade only while the live ingest p99 (a windowed quantile over
+// stage_latency_seconds{stage="ingest"}) exceeds the threshold, and
+// promote as soon as it clears.
+//
+// Observability: the SP always joins agent-shipped epoch trace context
+// (trailing extensions on EpochEnd) with its own decode/wait/ingest/
+// snapshot/replicate/ack stamps into end-to-end traces (-obs-listen
+// serves them at /trace), and arms an anomaly flight recorder — a
+// bounded ring of raw wire frames per connection that dumps
+// automatically on shed/degrade/failover/fencing decisions and on
+// demand at /flightrecorder.
 //
 // Usage:
 //
@@ -50,6 +63,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -83,6 +97,35 @@ type config struct {
 	admitBurst             float64
 	admitMaxDelayed        int
 	admitDegradeRate       float64
+	admitPressure          float64
+	admitTenantRate        tenantRateFlag
+}
+
+// tenantRateFlag collects repeatable -admit-tenant-rate tenant=bytes/s
+// overrides into a map the admission controller consumes directly.
+type tenantRateFlag map[string]float64
+
+func (f tenantRateFlag) String() string {
+	parts := make([]string, 0, len(f))
+	for name, rate := range f {
+		parts = append(parts, fmt.Sprintf("%s=%g", name, rate))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (f tenantRateFlag) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" {
+		return fmt.Errorf("want tenant=bytes/s, got %q", s)
+	}
+	rate, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+	if err != nil || rate <= 0 {
+		return fmt.Errorf("bad rate in %q: want a positive bytes/s", s)
+	}
+	f[name] = rate
+	return nil
 }
 
 func main() {
@@ -108,6 +151,9 @@ func main() {
 	flag.Float64Var(&cfg.admitBurst, "admit-burst", 0, "admission bucket capacity in bytes (0 = 2x -admit-rate); must exceed the largest epoch a tenant ships or that epoch can never drain")
 	flag.IntVar(&cfg.admitMaxDelayed, "admit-max-delayed", 0, "delay-queue bound across all tenants before shed-and-replay (0 = default 256)")
 	flag.Float64Var(&cfg.admitDegradeRate, "admit-degrade-rate", 0, "sampling rate for degraded tenants' raw records, in (0,1) (0 = default 0.25)")
+	flag.Float64Var(&cfg.admitPressure, "admit-pressure", 0, "ingest p99 threshold in seconds: tenants degrade only while the live ingest p99 exceeds this, and promote once it clears (0 = bucket streaks alone decide)")
+	cfg.admitTenantRate = tenantRateFlag{}
+	flag.Var(cfg.admitTenantRate, "admit-tenant-rate", "absolute admission budget override `tenant=bytes/s` for one tenant, layered over -admit-rate (repeatable)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -128,6 +174,11 @@ func run(cfg config) error {
 	rc := transport.NewReceiver(proc.Engine())
 	rc.SetColumnarExec(cfg.columnarExec)
 
+	// Live ingest p99: a windowed quantile over the always-on
+	// stage_latency_seconds{stage="ingest"} histogram. Feeds the
+	// -admit-pressure gate and the /status ingest_p99_s field.
+	ingestP99 := obs.NewQuantileWindow(obs.StageHistogram(obs.StageIngest), 10*time.Second, time.Second)
+
 	var admit *admission.Controller
 	if cfg.admitRate > 0 {
 		acfg := admission.DefaultConfig()
@@ -143,11 +194,30 @@ func run(cfg config) error {
 		if cfg.admitDegradeRate > 0 {
 			acfg.DegradeRate = cfg.admitDegradeRate
 		}
+		if len(cfg.admitTenantRate) > 0 {
+			acfg.TenantRate = cfg.admitTenantRate
+		}
+		if cfg.admitPressure > 0 {
+			acfg.Pressure = ingestP99.P99
+			acfg.PressureThreshold = cfg.admitPressure
+		}
 		admit = admission.NewController(acfg)
 		rc.SetAdmission(admit)
 		fmt.Printf("jarvis-sp: admission control on (%.0f B/s per silver tenant, burst %.0f B, degrade rate %.2f)\n",
 			acfg.RateBytesPerSec, acfg.BurstBytes, acfg.DegradeRate)
+		if len(cfg.admitTenantRate) > 0 {
+			fmt.Printf("jarvis-sp: tenant rate overrides: %s\n", cfg.admitTenantRate)
+		}
+		if cfg.admitPressure > 0 {
+			fmt.Printf("jarvis-sp: degradation gated on ingest p99 > %gs\n", cfg.admitPressure)
+		}
 	}
+
+	// Anomaly flight recorder: always armed — capture is one bounded
+	// copy per frame, and the decision-triggered dumps are rate-limited.
+	fl := transport.NewFlightRecorder(rc.Counters())
+	rc.SetFlightRecorder(fl)
+	obs.Decisions().SetNotify(fl.OnDecision)
 
 	var (
 		rm   *checkpoint.SPRecovery
@@ -234,16 +304,24 @@ func run(cfg config) error {
 		if admit != nil {
 			osrv.AddRegistry(admit.Counters())
 		}
+		osrv.Handle("/flightrecorder", fl.ServeHTTP)
 		osrv.SetStatus(func() any {
 			st := map[string]any{
-				"role":         gate.Role().String(),
-				"term":         gate.Term(),
-				"query":        cfg.query,
-				"wire_version": rc.MaxVersion(),
-				"compression":  rc.CompressionEnabled(),
-				"bytes_in":     rc.BytesIn(),
-				"frames_in":    rc.Frames(),
-				"watermark_us": proc.Engine().EffectiveWatermark(),
+				"role":          gate.Role().String(),
+				"term":          gate.Term(),
+				"query":         cfg.query,
+				"wire_version":  rc.MaxVersion(),
+				"compression":   rc.CompressionEnabled(),
+				"bytes_in":      rc.BytesIn(),
+				"frames_in":     rc.Frames(),
+				"watermark_us":  proc.Engine().EffectiveWatermark(),
+				"ingest_p99_s":  ingestP99.P99(),
+				"traces_joined": obs.Traces().Total(),
+			}
+			if meta, ok := fl.LastDump(); ok {
+				st["flight_last"] = map[string]any{
+					"reason": meta.Reason, "seq": meta.Seq, "ts_us": meta.TsMicros,
+				}
 			}
 			wms := map[string]int64{}
 			proc.Engine().SourceWatermarks(func(src uint32, wm int64) {
@@ -323,6 +401,9 @@ func run(cfg config) error {
 				fmt.Printf("jarvis-sp: ha counters: %s\n", gate.Counters())
 				return
 			case <-ticker.C:
+				// Keep the ingest-p99 window rotating even when nothing
+				// polls it (snapshots are lazy, one per interval).
+				ingestP99.Tick()
 				switch gate.Role() {
 				case ha.RoleFenced:
 					// A newer primary exists: stop emitting and shut down.

@@ -135,6 +135,11 @@ type Config struct {
 	RateBytesPerSec float64
 	// BurstBytes is the bucket capacity (maximum unspent budget).
 	BurstBytes float64
+	// TenantRate overrides the refill rate for named tenants, in bytes
+	// per second. An override is absolute (class weight does not scale
+	// it); the burst scales by the global BurstBytes:RateBytesPerSec
+	// ratio so an overridden tenant keeps the same burst headroom.
+	TenantRate map[string]float64
 	// ClassWeight scales the refill rate per class (index by Class).
 	ClassWeight [NumClasses]float64
 	// MaxDelayedEpochs bounds the receiver's delay queue across all
@@ -214,6 +219,7 @@ type tenant struct {
 	ewmaBytes   float64 // admitted bytes per commit, EWMA (Jain input)
 	overStreak  int
 	underStreak int
+	calmStreak  int // consecutive Admit calls with the pressure gate low
 	degraded    bool
 	delayed     int     // epochs currently held in the delay queue
 	lastDeficit float64 // bytes the last over-budget commit was short
@@ -330,20 +336,31 @@ func (c *Controller) registerLocked(source uint32, name string, class Class) *te
 	}
 	t := c.tenants[name]
 	if t == nil {
+		rate, burst := c.bucketParams(name, class)
 		t = &tenant{name: name, class: class}
-		t.bucket = bucket{
-			rate:   c.cfg.RateBytesPerSec * c.cfg.ClassWeight[class],
-			burst:  c.cfg.BurstBytes * c.cfg.ClassWeight[class],
-			tokens: c.cfg.BurstBytes * c.cfg.ClassWeight[class],
-		}
+		t.bucket = bucket{rate: rate, burst: burst, tokens: burst}
 		c.tenants[name] = t
 	} else if t.class != class {
 		t.class = class
-		t.bucket.rate = c.cfg.RateBytesPerSec * c.cfg.ClassWeight[class]
-		t.bucket.burst = c.cfg.BurstBytes * c.cfg.ClassWeight[class]
+		t.bucket.rate, t.bucket.burst = c.bucketParams(name, class)
 	}
 	c.bySource[source] = t
 	return t
+}
+
+// bucketParams resolves a tenant's refill rate and burst: a TenantRate
+// override wins outright (burst keeps the global burst:rate ratio);
+// otherwise the class weight scales the global rate.
+func (c *Controller) bucketParams(name string, class Class) (rate, burst float64) {
+	if r, ok := c.cfg.TenantRate[name]; ok && r > 0 {
+		ratio := 2.0
+		if c.cfg.RateBytesPerSec > 0 && c.cfg.BurstBytes > 0 {
+			ratio = c.cfg.BurstBytes / c.cfg.RateBytesPerSec
+		}
+		return r, r * ratio
+	}
+	return c.cfg.RateBytesPerSec * c.cfg.ClassWeight[class],
+		c.cfg.BurstBytes * c.cfg.ClassWeight[class]
 }
 
 func (c *Controller) tenantOf(source uint32) *tenant {
@@ -392,10 +409,24 @@ func (c *Controller) Admit(source uint32, bytes int64) Verdict {
 		t.underStreak = 0
 		t.lastDeficit = n - t.bucket.tokens
 	}
+	// With a pressure gate configured, the gate clearing is itself a
+	// promotion signal: a degraded tenant may still be over its exact
+	// budget (the backlog it accumulated while degraded keeps commits
+	// over-sized), but once the measured overload is gone there is no
+	// reason to keep sampling. calmStreak counts consecutive decisions
+	// with the gate low, mirroring the underStreak hysteresis.
+	if c.cfg.Pressure != nil {
+		if c.pressureHigh() {
+			t.calmStreak = 0
+		} else {
+			t.calmStreak++
+		}
+	}
 	if !t.degraded && (t.class != Gold || c.cfg.GoldDegrades) &&
 		t.overStreak >= c.cfg.DegradeAfter && c.pressureHigh() {
 		c.setDegradedLocked(t, true, source)
-	} else if t.degraded && t.underStreak >= c.cfg.PromoteAfter {
+	} else if t.degraded && (t.underStreak >= c.cfg.PromoteAfter ||
+		(c.cfg.Pressure != nil && t.calmStreak >= c.cfg.PromoteAfter)) {
 		c.setDegradedLocked(t, false, source)
 	}
 
@@ -541,9 +572,20 @@ func (c *Controller) NoteBacklog(source uint32, bytes int64) {
 	t.overStreak++
 	t.underStreak = 0
 	t.lastDeficit = float64(bytes) - t.bucket.tokens
+	if c.cfg.Pressure != nil {
+		if c.pressureHigh() {
+			t.calmStreak = 0
+		} else {
+			t.calmStreak++
+		}
+	}
 	if !t.degraded && (t.class != Gold || c.cfg.GoldDegrades) &&
 		t.overStreak >= c.cfg.DegradeAfter && c.pressureHigh() {
 		c.setDegradedLocked(t, true, source)
+	} else if t.degraded && c.cfg.Pressure != nil && t.calmStreak >= c.cfg.PromoteAfter {
+		// A backlogged tenant never reaches Admit, so the calm streak is
+		// its only path back to exact processing once pressure clears.
+		c.setDegradedLocked(t, false, source)
 	}
 	c.ctrDelayed.Inc()
 	c.updateThrottleLocked()
@@ -726,8 +768,16 @@ func (c *Controller) Snapshot() map[string]any {
 			"delayed":  t.delayed,
 		}
 	}
-	return map[string]any{
+	out := map[string]any{
 		"jain_fairness": c.jainLocked(),
 		"tenants":       tenants,
 	}
+	if c.cfg.Pressure != nil {
+		out["pressure"] = map[string]any{
+			"value":     c.cfg.Pressure(),
+			"threshold": c.cfg.PressureThreshold,
+			"high":      c.pressureHigh(),
+		}
+	}
+	return out
 }

@@ -290,3 +290,126 @@ func TestAutoRegisterUnknownSource(t *testing.T) {
 		t.Fatalf("auto class = %v", cl)
 	}
 }
+
+// TestPressureClearPromotes drives a tenant into degradation under high
+// pressure, keeps it over its exact budget (so underStreak never
+// advances), then drops the pressure signal: the calm streak alone must
+// promote it back to exact processing.
+func TestPressureClearPromotes(t *testing.T) {
+	clk := newFakeClock()
+	pressure := 1.0
+	c := NewController(Config{
+		RateBytesPerSec:   1000,
+		BurstBytes:        1000,
+		DegradeAfter:      2,
+		PromoteAfter:      3,
+		DegradeRate:       0.25,
+		Now:               clk.now,
+		Pressure:          func() float64 { return pressure },
+		PressureThreshold: 0.1,
+	})
+	c.Register(1, "a", Silver)
+	c.Admit(1, 1000) // drains the burst
+	for i := 0; i < 3; i++ {
+		c.Admit(1, 2000)
+	}
+	if !c.Degraded("a") {
+		t.Fatal("tenant must degrade under sustained overload with pressure high")
+	}
+	// Pressure clears, but the tenant stays over its exact budget: the
+	// bucket never refills (clock frozen) so every commit is over-sized.
+	pressure = 0.0
+	for i := 0; i < 2; i++ {
+		c.Admit(1, 2000)
+		if !c.Degraded("a") {
+			t.Fatalf("promoted after only %d calm decisions, want %d", i+1, 3)
+		}
+	}
+	c.Admit(1, 2000)
+	if c.Degraded("a") {
+		t.Fatal("calm streak >= PromoteAfter must promote even while over budget")
+	}
+	// Snapshot reflects the gate.
+	snap := c.Snapshot()
+	p, ok := snap["pressure"].(map[string]any)
+	if !ok || p["high"] != false {
+		t.Fatalf("snapshot pressure gate = %+v, want high=false", snap["pressure"])
+	}
+}
+
+// TestPressureClearPromotesBacklogged covers the starvation corner: a
+// tenant whose epochs all arrive behind its delay queue only ever
+// reports NoteBacklog, never Admit. The calm streak must still promote
+// it once pressure clears.
+func TestPressureClearPromotesBacklogged(t *testing.T) {
+	clk := newFakeClock()
+	pressure := 1.0
+	c := NewController(Config{
+		RateBytesPerSec:   1000,
+		BurstBytes:        1000,
+		DegradeAfter:      2,
+		PromoteAfter:      3,
+		DegradeRate:       0.25,
+		Now:               clk.now,
+		Pressure:          func() float64 { return pressure },
+		PressureThreshold: 0.1,
+	})
+	c.Register(1, "a", Silver)
+	c.NoteBacklog(1, 2000)
+	c.NoteBacklog(1, 2000)
+	if !c.Degraded("a") {
+		t.Fatal("backlog streak must degrade while pressure is high")
+	}
+	pressure = 0.0
+	for i := 0; i < 3; i++ {
+		c.NoteBacklog(1, 2000)
+	}
+	if c.Degraded("a") {
+		t.Fatal("backlogged tenant must promote via the calm streak")
+	}
+}
+
+// TestTenantRateOverride gives one tenant an explicit rate: the
+// override must replace the class-weighted global rate and scale its
+// burst by the global burst:rate ratio, while other tenants keep the
+// default budget.
+func TestTenantRateOverride(t *testing.T) {
+	clk := newFakeClock()
+	c := NewController(Config{
+		RateBytesPerSec: 1000,
+		BurstBytes:      2000, // ratio 2: override burst = 2*rate
+		DegradeAfter:    3,
+		Now:             clk.now,
+		TenantRate:      map[string]float64{"big": 8000},
+	})
+	c.Register(1, "big", Silver)
+	c.Register(2, "small", Silver)
+
+	// big starts with burst 16000 and refills 8000/s.
+	if v := c.Admit(1, 16000); v != Admitted {
+		t.Fatalf("override burst: verdict %v, want Admitted", v)
+	}
+	if v := c.Admit(1, 8000); v != Delayed {
+		t.Fatal("empty bucket must delay")
+	}
+	clk.advance(time.Second)
+	if v := c.Admit(1, 8000); v != Admitted {
+		t.Fatal("override rate must refill 8000 B/s")
+	}
+
+	// small keeps the silver default (1000 B/s, 2000 burst).
+	if v := c.Admit(2, 2000); v != Admitted {
+		t.Fatal("default burst for non-overridden tenant")
+	}
+	if v := c.Admit(2, 1500); v != Delayed {
+		t.Fatal("non-overridden tenant must not inherit the override")
+	}
+
+	// A class re-registration (agent reconnects as gold) keeps the
+	// override rather than reverting to weighted defaults.
+	c.Register(1, "big", Gold)
+	clk.advance(time.Second)
+	if v := c.Admit(1, 8000); v != Admitted {
+		t.Fatal("override must survive class re-registration")
+	}
+}

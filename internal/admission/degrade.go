@@ -47,9 +47,9 @@ type Degrader struct {
 	mu           sync.Mutex
 	windowMicros int64
 	tenantOf     TenantOf
-	rates        map[string]float64            // active degraded tenants
-	rngs         map[string]*rand.Rand         // deterministic per-tenant streams
-	windows      map[string]map[int64]float64  // tenant → window id → sample rate
+	rates        map[string]float64           // active degraded tenants
+	rngs         map[string]*rand.Rand        // deterministic per-tenant streams
+	windows      map[string]map[int64]float64 // tenant → window id → sample rate
 	sampledOut   obs.Counter
 }
 

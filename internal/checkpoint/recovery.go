@@ -645,7 +645,7 @@ func (r *SPRecovery) saveAndAck(job *saveJob) error {
 	r.chainMu.Unlock()
 	snapStart := obs.Now()
 	id, err := r.store.Save(job.snap)
-	obs.Since(obs.StageSnapshot, snapStart)
+	snapDur := obs.ObserveSince(obs.StageSnapshot, snapStart)
 	if err != nil {
 		// The capture already advanced the dirty generation, so the rows
 		// this snapshot carried will never appear in a later delta; force
@@ -654,6 +654,12 @@ func (r *SPRecovery) saveAndAck(job *saveJob) error {
 		r.forceFull = true
 		r.chainMu.Unlock()
 		return fmt.Errorf("checkpoint: save SP snapshot: %w", err)
+	}
+	if snapDur > 0 {
+		// Trace context: every epoch this save covers waited through it.
+		for src, seq := range job.seqs {
+			obs.Traces().AddSnapshotUpTo(src, seq, snapDur)
+		}
 	}
 	r.chainMu.Lock()
 	r.lastID, r.forceFull = id, false
@@ -667,7 +673,12 @@ func (r *SPRecovery) saveAndAck(job *saveJob) error {
 		replStart := obs.Now()
 		r.repl.PublishSnapshot(id, job.snap)
 		durable := r.repl.WaitDurable(id, r.ackTimeout)
-		obs.Since(obs.StageReplicate, replStart)
+		replDur := obs.ObserveSince(obs.StageReplicate, replStart)
+		if replDur > 0 {
+			for src, seq := range job.seqs {
+				obs.Traces().AddReplicationUpTo(src, seq, replDur)
+			}
+		}
 		if !durable {
 			// The attached standby has not confirmed the snapshot: keep the
 			// covered epochs in the agents' replay buffers — a later

@@ -15,6 +15,11 @@ import (
 // transition, a shipper failover, or an HA promotion/fencing event.
 type Decision struct {
 	TsMicros int64 `json:"ts_us"`
+	// Seq is the decision's 1-based position in its log, stamped by
+	// Emit. Gaps between the first retained decision's Seq and 1 reveal
+	// that the ring wrapped and dropped history — what lets timeline
+	// reconstruction fail loudly instead of silently starting mid-chain.
+	Seq uint64 `json:"seq,omitempty"`
 	// Kind classifies the decision: load_factors, proxy_state,
 	// failover, promotion, fencing, forced_drain.
 	Kind   string `json:"kind"`
@@ -39,11 +44,12 @@ type Decision struct {
 // optional JSONL sink. Emission is rare (adaptation events, not
 // per-record work), so a mutex is fine.
 type DecisionLog struct {
-	mu    sync.Mutex
-	ring  []Decision
-	next  int
-	total int64
-	enc   *json.Encoder
+	mu     sync.Mutex
+	ring   []Decision
+	next   int
+	total  int64
+	enc    *json.Encoder
+	notify func(Decision)
 }
 
 // NewDecisionLog returns a log retaining the last capacity decisions
@@ -75,6 +81,17 @@ func (l *DecisionLog) SetSink(w io.Writer) {
 	l.enc = json.NewEncoder(w)
 }
 
+// SetNotify installs a synchronous observer called (outside the log's
+// lock) with every emitted decision — the transport flight recorder
+// uses it to trigger dumps on degrade/fencing events. A nil f removes
+// the observer. The callback must not block; it runs on the emitter's
+// goroutine.
+func (l *DecisionLog) SetNotify(f func(Decision)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.notify = f
+}
+
 // Emit stamps and records d.
 func (l *DecisionLog) Emit(d Decision) {
 	if l == nil {
@@ -84,16 +101,23 @@ func (l *DecisionLog) Emit(d Decision) {
 		d.TsMicros = time.Now().UnixMicro()
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.total++
+	if d.Seq == 0 {
+		d.Seq = uint64(l.total)
+	}
 	if len(l.ring) < cap(l.ring) {
 		l.ring = append(l.ring, d)
 	} else {
 		l.ring[l.next] = d
 		l.next = (l.next + 1) % cap(l.ring)
 	}
-	l.total++
 	if l.enc != nil {
 		_ = l.enc.Encode(d)
+	}
+	notify := l.notify
+	l.mu.Unlock()
+	if notify != nil {
+		notify(d)
 	}
 }
 
@@ -193,6 +217,27 @@ func LoadFactorTimeline(ds []Decision, source uint32) ([][]float64, error) {
 		prev = after
 	}
 	return timeline, nil
+}
+
+// LoadFactorTimelineFrom is LoadFactorTimeline anchored at a known
+// initial factor vector (what the runtime started from — all ones on a
+// cold start, the restored factors after a snapshot resume). It
+// additionally verifies the chain head: the first retained load_factors
+// decision must chain from initial, so a decision ring that wrapped and
+// dropped the head of the chain fails loudly instead of yielding a
+// silently truncated timeline.
+func LoadFactorTimelineFrom(ds []Decision, source uint32, initial []float64) ([][]float64, error) {
+	for _, d := range ds {
+		if d.Kind != "load_factors" || d.Source != source {
+			continue
+		}
+		if !floatsEqual(initial, d.Before) {
+			return nil, fmt.Errorf("obs: load-factor chain head missing for source %d: first retained decision (seq %d, epoch %d) starts from %v, not the initial %v — the decision ring wrapped and dropped the head",
+				source, d.Seq, d.Epoch, d.Before, initial)
+		}
+		break
+	}
+	return LoadFactorTimeline(ds, source)
 }
 
 func floatsEqual(a, b []float64) bool {

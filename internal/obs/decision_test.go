@@ -101,3 +101,49 @@ func TestLoadFactorTimeline(t *testing.T) {
 		t.Fatalf("want discontinuity error, got %v", err)
 	}
 }
+
+// TestLoadFactorTimelineRingWrap: a decision ring that wrapped and
+// dropped the head of a source's load-factor chain must fail loudly
+// from the anchored replay, not hand back a silently truncated
+// timeline that looks complete.
+func TestLoadFactorTimelineRingWrap(t *testing.T) {
+	l := NewDecisionLog(4)
+	chain := [][]float64{{1, 1}, {1, 0.5}, {0.5, 0.5}, {0.5, 0.25}, {0.25, 0.25}, {1, 1}}
+	for i := 1; i < len(chain); i++ {
+		l.Emit(Decision{Kind: "load_factors", Source: 7, Epoch: uint64(i),
+			Before: chain[i-1], After: chain[i]})
+	}
+	retained := l.Recent(0)
+	if len(retained) >= len(chain)-1 {
+		t.Fatalf("ring retained %d of %d decisions; wrap never happened", len(retained), len(chain)-1)
+	}
+
+	initial := []float64{1, 1}
+	_, err := LoadFactorTimelineFrom(retained, 7, initial)
+	if err == nil {
+		t.Fatal("anchored replay over a wrapped ring must error, not truncate silently")
+	}
+	if !strings.Contains(err.Error(), "ring wrapped") {
+		t.Fatalf("error should name the wrapped ring: %v", err)
+	}
+
+	// Un-anchored replay of the same slice is internally consistent —
+	// exactly the silent truncation the anchored variant exists to catch.
+	if _, err := LoadFactorTimeline(retained, 7); err != nil {
+		t.Fatalf("retained suffix itself chains: %v", err)
+	}
+
+	// An intact chain (no wrap) anchored at its true initial passes.
+	whole := NewDecisionLog(16)
+	for i := 1; i < len(chain); i++ {
+		whole.Emit(Decision{Kind: "load_factors", Source: 7, Epoch: uint64(i),
+			Before: chain[i-1], After: chain[i]})
+	}
+	tl, err := LoadFactorTimelineFrom(whole.Recent(0), 7, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl) != len(chain)-1 {
+		t.Fatalf("full timeline has %d steps, want %d", len(tl), len(chain)-1)
+	}
+}

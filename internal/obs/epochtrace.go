@@ -1,0 +1,354 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// EpochTrace is the joined cross-process timeline of one epoch: the
+// agent half arrives as the EpochEnd trailing trace extension (trace id,
+// stage durations and clock stamps, see internal/wire), the SP half is
+// stamped by the receiver as the epoch moves through decode, the
+// admission delay queue, ingest and the durable commit. Timestamps are
+// unix microseconds on two clocks — StartMicros/SentMicros on the
+// agent's, ArrivalMicros onward on the SP's — and the derived segments
+// telescope so that their sum equals AckMicros − StartMicros exactly,
+// with any clock skew (and agent scheduling slack) landing in the ship
+// segment.
+type EpochTrace struct {
+	TraceID uint64 `json:"trace_id"`
+	Source  uint32 `json:"source"`
+	Epoch   uint64 `json:"epoch"`
+
+	// Agent clock.
+	StartMicros int64 `json:"start_us"`           // epoch begin (generate start)
+	GenMicros   int64 `json:"gen_us"`             // generate duration
+	PipeMicros  int64 `json:"pipe_us"`            // pipeline duration
+	EncMicros   int64 `json:"enc_us"`             // encode duration
+	SentMicros  int64 `json:"sent_us"`            // epoch bytes sealed for shipping
+	Replayed    bool  `json:"replayed,omitempty"` // arrived again after a shed or reconnect
+
+	// SP clock.
+	ArrivalMicros int64 `json:"arrival_us"` // EpochEnd decoded
+	ApplyMicros   int64 `json:"apply_us"`   // commit began (after any delay-queue wait)
+	DoneMicros    int64 `json:"done_us"`    // ingest finished
+	AckMicros     int64 `json:"ack_us"`     // ack sent (durable when checkpointing)
+
+	// Sub-attributions inside the windows above.
+	DecodeMicros int64 `json:"decode_us"` // frame decode, inside sent→arrival
+	SnapMicros   int64 `json:"snap_us"`   // snapshot save, inside done→ack
+	ReplMicros   int64 `json:"repl_us"`   // replication wait, inside done→ack
+}
+
+// TraceSegments names the derived segments in timeline order. The first
+// nine mirror the lifecycle stages; "wait" is the admission delay-queue
+// (and commit-lock) time between arrival and apply.
+var TraceSegments = []string{
+	"generate", "pipeline", "encode", "ship", "decode",
+	"wait", "ingest", "snapshot", "replicate", "ack",
+}
+
+// Segments returns the derived per-segment durations in microseconds,
+// indexed like TraceSegments. They telescope: the sum is exactly
+// AckMicros − StartMicros. The ship segment is the residual between the
+// agent's sealed timestamp and SP arrival minus decode time — wire
+// transfer plus replay buffering plus cross-clock skew — and may go
+// negative when the clocks disagree by more than the wire time.
+func (t *EpochTrace) Segments() [10]int64 {
+	var s [10]int64
+	s[0] = t.GenMicros
+	s[1] = t.PipeMicros
+	s[2] = t.EncMicros
+	s[4] = t.DecodeMicros
+	s[3] = (t.ArrivalMicros - t.StartMicros) - s[0] - s[1] - s[2] - s[4]
+	s[5] = t.ApplyMicros - t.ArrivalMicros
+	s[6] = t.DoneMicros - t.ApplyMicros
+	s[7] = t.SnapMicros
+	s[8] = t.ReplMicros
+	s[9] = (t.AckMicros - t.DoneMicros) - s[7] - s[8]
+	return s
+}
+
+// E2EMicros is the epoch's end-to-end latency: generate start on the
+// agent's clock to ack on the SP's.
+func (t *EpochTrace) E2EMicros() int64 { return t.AckMicros - t.StartMicros }
+
+// Critical returns the name of the longest segment — where the epoch
+// actually spent its time.
+func (t *EpochTrace) Critical() string {
+	segs := t.Segments()
+	best, bestIdx := segs[0], 0
+	for i, v := range segs {
+		if v > best {
+			best, bestIdx = v, i
+		}
+	}
+	return TraceSegments[bestIdx]
+}
+
+// traceKey identifies one epoch of one source in the in-flight table.
+type traceKey struct {
+	source uint32
+	epoch  uint64
+}
+
+// maxInflightTraces bounds the in-flight table: epochs beyond it (a
+// pathologically deep delay queue) are silently untraced rather than
+// growing without bound.
+const maxInflightTraces = 4096
+
+// Established trace metric names (see TestMetricNameCatalog).
+const (
+	// HistEpochE2E is the end-to-end epoch latency histogram, observed
+	// once per completed (joined) trace.
+	HistEpochE2E = "epoch_e2e_seconds"
+	// CtrCriticalPath counts, per segment label, how often that segment
+	// dominated a completed epoch's latency.
+	CtrCriticalPath = "epoch_critical_path_total"
+)
+
+// TraceTable joins in-flight epoch traces and retains a bounded ring of
+// completed ones for the /trace endpoint. Completion observes the
+// epoch_e2e_seconds histogram and bumps the per-segment
+// epoch_critical_path_total counter, so fleet dashboards see where
+// epochs spend their time without scraping individual traces.
+type TraceTable struct {
+	mu       sync.Mutex
+	inflight map[traceKey]*EpochTrace
+	done     []EpochTrace
+	next     int
+	total    int64
+
+	e2e  Histogram
+	crit [10]Counter // one per TraceSegments entry
+}
+
+// NewTraceTable returns a table retaining the last capacity completed
+// traces (default 1024 when capacity <= 0), with its metrics in the
+// default registry.
+func NewTraceTable(capacity int) *TraceTable {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	t := &TraceTable{
+		inflight: make(map[traceKey]*EpochTrace),
+		done:     make([]EpochTrace, 0, capacity),
+		e2e:      defaultRegistry.Histogram(HistEpochE2E, StageBounds),
+	}
+	for i, name := range TraceSegments {
+		t.crit[i] = defaultRegistry.LabeledCounter(CtrCriticalPath, "segment", name)
+	}
+	return t
+}
+
+var defaultTraces = NewTraceTable(0)
+
+// Traces returns the process-wide epoch-trace table.
+func Traces() *TraceTable { return defaultTraces }
+
+// Begin registers an in-flight trace at EpochEnd arrival; t carries the
+// agent-side fields plus ArrivalMicros and DecodeMicros. A second Begin
+// for the same (source, epoch) — a replay after a shed — replaces the
+// earlier arrival and marks the trace replayed. When the in-flight
+// table is full the trace is dropped (the epoch still commits, it is
+// just not traced).
+func (tt *TraceTable) Begin(t EpochTrace) {
+	if tt == nil || t.TraceID == 0 {
+		return
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	k := traceKey{t.Source, t.Epoch}
+	if _, ok := tt.inflight[k]; ok {
+		t.Replayed = true
+	} else if len(tt.inflight) >= maxInflightTraces {
+		return
+	}
+	tc := t
+	tt.inflight[k] = &tc
+}
+
+// MarkApply stamps the commit start (after any delay-queue wait).
+func (tt *TraceTable) MarkApply(source uint32, epoch uint64, tsMicros int64) {
+	tt.mark(source, epoch, func(t *EpochTrace) { t.ApplyMicros = tsMicros })
+}
+
+// MarkDone stamps the end of ingest.
+func (tt *TraceTable) MarkDone(source uint32, epoch uint64, tsMicros int64) {
+	tt.mark(source, epoch, func(t *EpochTrace) { t.DoneMicros = tsMicros })
+}
+
+// AddSnapshot attributes snapshot-save time to the epoch (inside the
+// done→ack window; the checkpoint manager calls this for every epoch a
+// save covers).
+func (tt *TraceTable) AddSnapshot(source uint32, epoch uint64, d time.Duration) {
+	tt.mark(source, epoch, func(t *EpochTrace) { t.SnapMicros += d.Microseconds() })
+}
+
+// AddReplication attributes standby-replication wait to the epoch.
+func (tt *TraceTable) AddReplication(source uint32, epoch uint64, d time.Duration) {
+	tt.mark(source, epoch, func(t *EpochTrace) { t.ReplMicros += d.Microseconds() })
+}
+
+// AddSnapshotUpTo attributes one snapshot save to every in-flight epoch
+// of the source at or below seq. Acks are cumulative and gate on the
+// covering snapshot, so each covered epoch genuinely waited the whole
+// save — the full duration is attributed to each, and idle time between
+// apply and the cadence-due save lands in the ack residual.
+func (tt *TraceTable) AddSnapshotUpTo(source uint32, seq uint64, d time.Duration) {
+	tt.markUpTo(source, seq, func(t *EpochTrace) { t.SnapMicros += d.Microseconds() })
+}
+
+// AddReplicationUpTo attributes one standby-replication wait to every
+// in-flight epoch of the source at or below seq.
+func (tt *TraceTable) AddReplicationUpTo(source uint32, seq uint64, d time.Duration) {
+	tt.markUpTo(source, seq, func(t *EpochTrace) { t.ReplMicros += d.Microseconds() })
+}
+
+func (tt *TraceTable) markUpTo(source uint32, seq uint64, f func(*EpochTrace)) {
+	if tt == nil {
+		return
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	for k, t := range tt.inflight {
+		if k.source == source && k.epoch <= seq {
+			f(t)
+		}
+	}
+}
+
+func (tt *TraceTable) mark(source uint32, epoch uint64, f func(*EpochTrace)) {
+	if tt == nil {
+		return
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	if t := tt.inflight[traceKey{source, epoch}]; t != nil {
+		f(t)
+	}
+}
+
+// FinishUpTo completes every in-flight trace of the source with epoch
+// ≤ seq — acks are cumulative, so one ack may complete several epochs —
+// stamping the ack time, observing epoch_e2e_seconds and crediting the
+// critical-path counter for the longest segment.
+func (tt *TraceTable) FinishUpTo(source uint32, seq uint64, ackMicros int64) {
+	if tt == nil {
+		return
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	for k, t := range tt.inflight {
+		if k.source != source || k.epoch > seq {
+			continue
+		}
+		delete(tt.inflight, k)
+		t.AckMicros = ackMicros
+		if t.DoneMicros == 0 { // never applied (e.g. duplicate) — don't fake segments
+			continue
+		}
+		if t.ApplyMicros == 0 {
+			t.ApplyMicros = t.ArrivalMicros
+		}
+		tt.e2e.Observe(time.Duration(t.E2EMicros()) * time.Microsecond)
+		segs := t.Segments()
+		best, bestIdx := segs[0], 0
+		for i, v := range segs {
+			if v > best {
+				best, bestIdx = v, i
+			}
+		}
+		tt.crit[bestIdx].Inc()
+		tt.total++
+		if len(tt.done) < cap(tt.done) {
+			tt.done = append(tt.done, *t)
+		} else {
+			tt.done[tt.next] = *t
+			tt.next = (tt.next + 1) % cap(tt.done)
+		}
+	}
+}
+
+// Drop discards the in-flight trace of a shed or duplicate epoch.
+func (tt *TraceTable) Drop(source uint32, epoch uint64) {
+	if tt == nil {
+		return
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	delete(tt.inflight, traceKey{source, epoch})
+}
+
+// Total returns the number of traces completed since creation.
+func (tt *TraceTable) Total() int64 {
+	if tt == nil {
+		return 0
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	return tt.total
+}
+
+// Recent returns up to n completed traces, oldest first (n <= 0 means
+// all retained).
+func (tt *TraceTable) Recent(n int) []EpochTrace {
+	if tt == nil {
+		return nil
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	out := make([]EpochTrace, 0, len(tt.done))
+	if len(tt.done) == cap(tt.done) {
+		out = append(out, tt.done[tt.next:]...)
+	}
+	out = append(out, tt.done[:tt.next]...)
+	if len(tt.done) < cap(tt.done) {
+		out = append(out, tt.done...)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Reset clears the table (tests).
+func (tt *TraceTable) Reset() {
+	if tt == nil {
+		return
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	clear(tt.inflight)
+	tt.done = tt.done[:0]
+	tt.next = 0
+	tt.total = 0
+}
+
+// traceLine is the /trace JSONL rendering: the raw trace plus its
+// derived segments, critical path and e2e latency.
+type traceLine struct {
+	EpochTrace
+	Segments map[string]int64 `json:"segments"`
+	Critical string           `json:"critical"`
+	E2E      int64            `json:"e2e_us"`
+}
+
+// EncodeTraces writes ts to w as JSON lines with derived segments.
+func EncodeTraces(w io.Writer, ts []EpochTrace) error {
+	enc := json.NewEncoder(w)
+	for i := range ts {
+		t := &ts[i]
+		segs := t.Segments()
+		m := make(map[string]int64, len(TraceSegments))
+		for j, name := range TraceSegments {
+			m[name] = segs[j]
+		}
+		if err := enc.Encode(traceLine{EpochTrace: *t, Segments: m, Critical: t.Critical(), E2E: t.E2EMicros()}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

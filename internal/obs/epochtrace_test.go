@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// trace returns a fully-stamped agent half plus SP arrival, the state a
+// TraceTable sees at Begin time.
+func testTrace(source uint32, epoch uint64) EpochTrace {
+	return EpochTrace{
+		TraceID:       uint64(source)<<40 | epoch,
+		Source:        source,
+		Epoch:         epoch,
+		StartMicros:   1_000_000,
+		GenMicros:     100,
+		PipeMicros:    200,
+		EncMicros:     50,
+		SentMicros:    1_000_400,
+		ArrivalMicros: 1_001_000,
+		DecodeMicros:  80,
+	}
+}
+
+// TestEpochTraceTelescoping pins the identity everything downstream
+// relies on: the derived segments always sum to AckMicros − StartMicros
+// exactly, with the ship and ack residuals absorbing whatever the
+// explicit stamps do not cover.
+func TestEpochTraceTelescoping(t *testing.T) {
+	tr := testTrace(3, 7)
+	tr.ApplyMicros = 1_002_000
+	tr.DoneMicros = 1_002_500
+	tr.SnapMicros = 300
+	tr.ReplMicros = 100
+	tr.AckMicros = 1_003_400
+
+	segs := tr.Segments()
+	var sum int64
+	for _, s := range segs {
+		sum += s
+	}
+	if sum != tr.E2EMicros() {
+		t.Fatalf("segments sum %d != e2e %d", sum, tr.E2EMicros())
+	}
+	if tr.E2EMicros() != 3400 {
+		t.Fatalf("e2e = %d, want 3400", tr.E2EMicros())
+	}
+	// wait (apply − arrival) is the longest constructed segment.
+	if got := tr.Critical(); got != "wait" {
+		t.Fatalf("critical = %q, want wait", got)
+	}
+	// The ship residual: arrival − start − generate − pipeline − encode
+	// − decode = 1000 − 100 − 200 − 50 − 80.
+	if segs[3] != 570 {
+		t.Fatalf("ship residual = %d, want 570", segs[3])
+	}
+	// The ack residual: (ack − done) − snapshot − replicate.
+	if segs[9] != 900-300-100 {
+		t.Fatalf("ack residual = %d, want 500", segs[9])
+	}
+}
+
+// TestTraceTableJoin covers the join lifecycle against cumulative acks:
+// one FinishUpTo completes every in-flight epoch at or below the acked
+// sequence, defaulting ApplyMicros to arrival when no delay-queue mark
+// was stamped, and skipping epochs that never applied.
+func TestTraceTableJoin(t *testing.T) {
+	tt := NewTraceTable(8)
+	for e := uint64(1); e <= 3; e++ {
+		tt.Begin(testTrace(5, e))
+	}
+	tt.MarkApply(5, 1, 1_001_200)
+	tt.MarkDone(5, 1, 1_001_900)
+	// Epoch 2: done without an explicit apply mark (no queueing).
+	tt.MarkDone(5, 2, 1_001_400)
+	tt.AddSnapshotUpTo(5, 2, 250*time.Microsecond)
+	tt.AddReplicationUpTo(5, 2, 100*time.Microsecond)
+	// Epoch 3 never applies (duplicate): no Done stamp.
+
+	tt.FinishUpTo(5, 3, 1_003_000)
+	if got := tt.Total(); got != 2 {
+		t.Fatalf("completed %d traces, want 2 (epoch 3 never applied)", got)
+	}
+	byEpoch := map[uint64]EpochTrace{}
+	for _, tr := range tt.Recent(0) {
+		byEpoch[tr.Epoch] = tr
+	}
+	tr1, tr2 := byEpoch[1], byEpoch[2]
+	if tr1.SnapMicros != 250 || tr1.ReplMicros != 100 {
+		t.Fatalf("epoch 1 attribution snap=%d repl=%d, want 250/100", tr1.SnapMicros, tr1.ReplMicros)
+	}
+	if tr2.ApplyMicros != tr2.ArrivalMicros {
+		t.Fatalf("epoch 2 apply %d should default to arrival %d", tr2.ApplyMicros, tr2.ArrivalMicros)
+	}
+	for _, tr := range []EpochTrace{tr1, tr2} {
+		segs := tr.Segments()
+		var sum int64
+		for _, s := range segs {
+			sum += s
+		}
+		if sum != tr.E2EMicros() {
+			t.Fatalf("epoch %d: segments sum %d != e2e %d", tr.Epoch, sum, tr.E2EMicros())
+		}
+	}
+	// The unapplied epoch left the in-flight table without a trace.
+	tt.MarkDone(5, 3, 1)
+	tt.FinishUpTo(5, 3, 2)
+	if got := tt.Total(); got != 2 {
+		t.Fatalf("finished epoch must leave the table: total %d, want 2", got)
+	}
+}
+
+// TestTraceTableReplayAndDrop: a second Begin for the same epoch (a
+// replay after a shed) replaces the earlier arrival and flags the
+// trace; Drop removes an in-flight trace so a later cumulative ack
+// cannot complete it.
+func TestTraceTableReplayAndDrop(t *testing.T) {
+	tt := NewTraceTable(8)
+	tt.Begin(testTrace(2, 1))
+	again := testTrace(2, 1)
+	again.ArrivalMicros = 2_000_000
+	tt.Begin(again)
+	tt.MarkDone(2, 1, 2_000_300)
+	tt.FinishUpTo(2, 1, 2_000_400)
+	recent := tt.Recent(0)
+	if len(recent) != 1 || !recent[0].Replayed {
+		t.Fatalf("replayed epoch not flagged: %+v", recent)
+	}
+	if recent[0].ArrivalMicros != 2_000_000 {
+		t.Fatalf("replay must replace the earlier arrival: %d", recent[0].ArrivalMicros)
+	}
+
+	tt.Begin(testTrace(2, 2))
+	tt.Drop(2, 2)
+	tt.FinishUpTo(2, 2, 3_000_000)
+	if got := tt.Total(); got != 1 {
+		t.Fatalf("dropped epoch completed anyway: total %d", got)
+	}
+}
+
+// TestTraceTableRing: the completed ring retains the newest capacity
+// traces, Recent returns them oldest first, and Total keeps counting
+// past the ring.
+func TestTraceTableRing(t *testing.T) {
+	tt := NewTraceTable(4)
+	for e := uint64(1); e <= 6; e++ {
+		tr := testTrace(1, e)
+		tt.Begin(tr)
+		tt.MarkDone(1, e, tr.ArrivalMicros+100)
+		tt.FinishUpTo(1, e, tr.ArrivalMicros+200)
+	}
+	if got := tt.Total(); got != 6 {
+		t.Fatalf("total %d, want 6", got)
+	}
+	recent := tt.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("retained %d, want 4", len(recent))
+	}
+	for i, tr := range recent {
+		if want := uint64(i + 3); tr.Epoch != want {
+			t.Fatalf("recent[%d] = epoch %d, want %d (oldest first)", i, tr.Epoch, want)
+		}
+	}
+	if got := tt.Recent(2); len(got) != 2 || got[1].Epoch != 6 {
+		t.Fatalf("Recent(2) = %+v, want the newest two", got)
+	}
+}
+
+// TestEncodeTraces: the /trace JSONL carries the derived segments,
+// critical path and e2e alongside the raw stamps.
+func TestEncodeTraces(t *testing.T) {
+	tr := testTrace(4, 9)
+	tr.ApplyMicros = 1_001_100
+	tr.DoneMicros = 1_001_200
+	tr.AckMicros = 1_001_300
+	var b strings.Builder
+	if err := EncodeTraces(&b, []EpochTrace{tr}); err != nil {
+		t.Fatal(err)
+	}
+	line := b.String()
+	for _, want := range []string{`"segments"`, `"critical":"ship"`, `"e2e_us":1300`, `"trace_id":`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("encoded trace missing %s: %s", want, line)
+		}
+	}
+}

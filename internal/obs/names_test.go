@@ -62,8 +62,12 @@ func TestMetricNameCatalog(t *testing.T) {
 		admission.GaugeJainFairness:    "adm_jain_fairness",
 		admission.GaugeThrottleMicros:  "adm_throttle_micros",
 		admission.HistClassLatency:     "class_ingest_latency_seconds",
+		// epoch tracing and the anomaly flight recorder
+		obs.HistEpochE2E:         "epoch_e2e_seconds",
+		obs.CtrCriticalPath:      "epoch_critical_path_total",
+		transport.CtrFlightDumps: "flight_dumps_total",
 	}
-	if len(want) != 40 {
+	if len(want) != 43 {
 		t.Fatalf("catalog lost an entry (duplicate constant value?): %d", len(want))
 	}
 	for got, expect := range want {
@@ -86,6 +90,17 @@ func TestStageSeriesExposed(t *testing.T) {
 		"ingest", "snapshot", "replicate", "ack"}
 	for _, st := range stages {
 		series := `stage_latency_seconds_count{stage="` + st + `"}`
+		if !strings.Contains(out, series) {
+			t.Errorf("exposition missing %s", series)
+		}
+	}
+	// The trace table's metrics are likewise registered at init: the e2e
+	// histogram plus one critical-path series per derived segment.
+	if !strings.Contains(out, "epoch_e2e_seconds_count") {
+		t.Error("exposition missing epoch_e2e_seconds")
+	}
+	for _, seg := range obs.TraceSegments {
+		series := `epoch_critical_path_total{segment="` + seg + `"}`
 		if !strings.Contains(out, series) {
 			t.Errorf("exposition missing %s", series)
 		}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// QuantileWindow estimates a quantile of a histogram over a sliding
+// time window by differencing cumulative bucket snapshots: every
+// interval it records the histogram's bucket counts, and Quantile
+// subtracts the oldest retained snapshot from the live counts, so the
+// estimate covers only the last ~window of observations. This is what
+// lets admission control gate on the *current* ingest p99 rather than
+// the process-lifetime histogram, which an hour of calm would otherwise
+// dilute beyond recovery.
+//
+// Snapshots rotate lazily on Quantile/Tick calls (no goroutine): a
+// caller that polls at least once per interval gets full resolution,
+// and an idle process simply pays one rotation on the next poll.
+type QuantileWindow struct {
+	mu       sync.Mutex
+	h        Histogram
+	interval time.Duration
+	snaps    []quantSnap
+	head     int // oldest retained snapshot
+	n        int // retained count
+	lastTick time.Time
+	now      func() time.Time
+
+	live []int64 // scratch for the current bucket counts
+}
+
+type quantSnap struct {
+	counts []int64
+	ts     time.Time
+}
+
+// NewQuantileWindow returns an estimator over h covering roughly the
+// last window, snapshotting every interval. Depth is window/interval
+// (minimum 1); a zero or negative interval defaults to one second.
+func NewQuantileWindow(h Histogram, window, interval time.Duration) *QuantileWindow {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	depth := int(window / interval)
+	if depth < 1 {
+		depth = 1
+	}
+	return &QuantileWindow{
+		h:        h,
+		interval: interval,
+		snaps:    make([]quantSnap, depth+1),
+		now:      time.Now,
+	}
+}
+
+// SetNowFunc injects the clock (deterministic tests).
+func (q *QuantileWindow) SetNowFunc(f func() time.Time) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.now = f
+}
+
+// Tick forces a snapshot rotation if at least one interval elapsed
+// since the last. Quantile ticks implicitly; explicit Tick suits
+// callers with their own cadence (the SP's advance loop).
+func (q *QuantileWindow) Tick() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.tickLocked()
+}
+
+func (q *QuantileWindow) tickLocked() {
+	now := q.now()
+	if !q.lastTick.IsZero() && now.Sub(q.lastTick) < q.interval {
+		return
+	}
+	q.lastTick = now
+	_, counts := q.h.Buckets(nil)
+	i := (q.head + q.n) % len(q.snaps)
+	if q.n == len(q.snaps) {
+		// Ring full: overwrite the oldest.
+		i = q.head
+		q.head = (q.head + 1) % len(q.snaps)
+	} else {
+		q.n++
+	}
+	q.snaps[i] = quantSnap{counts: counts, ts: now}
+}
+
+// Quantile estimates the qth quantile (0 < q <= 1) of the observations
+// recorded in roughly the last window, in seconds. It returns the upper
+// edge of the bucket the quantile falls in — 0 when the window holds no
+// observations, and twice the top edge when the quantile falls in the
+// +Inf overflow bucket (finite and JSON-friendly, still above any
+// threshold inside the bucket range).
+func (q *QuantileWindow) Quantile(quantile float64) float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.tickLocked()
+	bounds, live := q.h.Buckets(q.live)
+	q.live = live
+	var base []int64
+	if q.n > 0 {
+		base = q.snaps[q.head].counts
+	}
+	total := int64(0)
+	for i := range live {
+		d := live[i]
+		if base != nil && i < len(base) {
+			d -= base[i]
+		}
+		total += d
+	}
+	if total <= 0 {
+		return 0
+	}
+	rank := int64(quantile * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i := range live {
+		d := live[i]
+		if base != nil && i < len(base) {
+			d -= base[i]
+		}
+		cum += d
+		if cum >= rank {
+			if i < len(bounds) {
+				return bounds[i]
+			}
+			if len(bounds) == 0 {
+				return 0
+			}
+			return 2 * bounds[len(bounds)-1]
+		}
+	}
+	if len(bounds) == 0 {
+		return 0
+	}
+	return 2 * bounds[len(bounds)-1]
+}
+
+// P99 returns Quantile(0.99) — the shape admission.Config.Pressure
+// expects.
+func (q *QuantileWindow) P99() float64 { return q.Quantile(0.99) }

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// qwFixture returns a private histogram, a window over it, and a
+// settable clock stepped by the caller.
+func qwFixture(window, interval time.Duration) (Histogram, *QuantileWindow, *time.Time) {
+	h := NewRegistry().Histogram("qw_test_seconds", []float64{0.001, 0.01, 0.1})
+	qw := NewQuantileWindow(h, window, interval)
+	clock := time.Unix(1_700_000_000, 0)
+	qw.SetNowFunc(func() time.Time { return clock })
+	return h, qw, &clock
+}
+
+// TestQuantileWindowBasics: empty window reports 0, a quantile inside a
+// bucket reports that bucket's upper edge, and the overflow bucket maps
+// to twice the top edge (finite, still above any in-range threshold).
+func TestQuantileWindowBasics(t *testing.T) {
+	h, qw, clock := qwFixture(5*time.Second, time.Second)
+	qw.Tick()
+	if got := qw.P99(); got != 0 {
+		t.Fatalf("empty window p99 = %g, want 0", got)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Microsecond) // first bucket (≤1ms)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5 * time.Millisecond) // second bucket (≤10ms)
+	}
+	*clock = clock.Add(time.Second)
+	if got := qw.P99(); got != 0.01 {
+		t.Fatalf("p99 = %g, want the 0.01 bucket edge", got)
+	}
+	if got := qw.Quantile(0.5); got != 0.001 {
+		t.Fatalf("p50 = %g, want the 0.001 bucket edge", got)
+	}
+	h.Observe(10 * time.Second) // overflow bucket
+	h.Observe(10 * time.Second)
+	h.Observe(10 * time.Second)
+	*clock = clock.Add(time.Second)
+	if got := qw.Quantile(1.0); got != 0.2 {
+		t.Fatalf("max quantile = %g, want 2x the 0.1 top edge", got)
+	}
+}
+
+// TestQuantileWindowSlides: the estimator differences cumulative bucket
+// snapshots, so observations age out once the window passes them — a
+// burst of slow ingests must not pin the p99 high forever.
+func TestQuantileWindowSlides(t *testing.T) {
+	h, qw, clock := qwFixture(3*time.Second, time.Second)
+	qw.Tick()
+	for i := 0; i < 100; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	*clock = clock.Add(time.Second)
+	if got := qw.P99(); got != 0.1 {
+		t.Fatalf("burst p99 = %g, want 0.1", got)
+	}
+	// Idle ticks roll the burst out of the window.
+	for i := 0; i < 5; i++ {
+		*clock = clock.Add(time.Second)
+		qw.Tick()
+	}
+	if got := qw.P99(); got != 0 {
+		t.Fatalf("p99 after the burst aged out = %g, want 0", got)
+	}
+	// New observations are reported alone, not diluted by the burst.
+	h.Observe(500 * time.Microsecond)
+	*clock = clock.Add(time.Second)
+	if got := qw.P99(); got != 0.001 {
+		t.Fatalf("post-burst p99 = %g, want 0.001", got)
+	}
+}
+
+// TestQuantileWindowBaseline: history recorded before the first Tick is
+// excluded — a window created on a long-lived histogram starts from the
+// present, not the process lifetime.
+func TestQuantileWindowBaseline(t *testing.T) {
+	h := NewRegistry().Histogram("qw_base_seconds", []float64{0.001, 0.01, 0.1})
+	for i := 0; i < 1000; i++ {
+		h.Observe(50 * time.Millisecond) // pre-existing history
+	}
+	qw := NewQuantileWindow(h, 5*time.Second, time.Second)
+	clock := time.Unix(1_700_000_000, 0)
+	qw.SetNowFunc(func() time.Time { return clock })
+	qw.Tick()
+	if got := qw.P99(); got != 0 {
+		t.Fatalf("pre-baseline history leaked into the window: p99 = %g", got)
+	}
+	h.Observe(500 * time.Microsecond)
+	clock = clock.Add(time.Second)
+	if got := qw.P99(); got != 0.001 {
+		t.Fatalf("p99 = %g, want 0.001 from the single live observation", got)
+	}
+}
+
+// TestQuantileWindowIntervalGate: ticks inside one interval are
+// coalesced, so a hot polling loop cannot starve the window down to
+// nothing by rotating snapshots on every call.
+func TestQuantileWindowIntervalGate(t *testing.T) {
+	h, qw, clock := qwFixture(3*time.Second, time.Second)
+	qw.Tick()
+	h.Observe(50 * time.Millisecond)
+	// Many sub-interval polls: none may rotate the baseline forward past
+	// the observation.
+	for i := 0; i < 20; i++ {
+		*clock = clock.Add(10 * time.Millisecond)
+		if got := qw.P99(); got != 0.1 {
+			t.Fatalf("poll %d: p99 = %g, want 0.1", i, got)
+		}
+	}
+}

@@ -238,9 +238,35 @@ func (h Histogram) Count() int64 {
 	return h.m.h.count.Load()
 }
 
+// Buckets snapshots the histogram: the upper bucket edges in seconds
+// and the per-bucket (non-cumulative) counts, len(bounds)+1 with the
+// overflow bucket last. The counts slice is appended into buf when it
+// has capacity, so steady-state callers (the quantile estimator)
+// snapshot without allocating. A zero Histogram returns nils.
+func (h Histogram) Buckets(buf []int64) (bounds []float64, counts []int64) {
+	if h.m == nil || h.m.h == nil {
+		return nil, nil
+	}
+	hh := h.m.h
+	bounds = hh.bounds
+	counts = buf[:0]
+	for i := range hh.counts {
+		counts = append(counts, hh.counts[i].Load())
+	}
+	return bounds, counts
+}
+
 // Counter returns (registering on first use) the named counter.
 func (r *Registry) Counter(name string) Counter {
 	return Counter{r.lookup(name, "", "", kindCounter)}
+}
+
+// LabeledCounter returns a counter carrying one constant label (e.g.
+// epoch_critical_path_total{segment="ingest"}); series of one family
+// share a single # TYPE line in the exposition, like labeled
+// histograms.
+func (r *Registry) LabeledCounter(name, labelKey, labelVal string) Counter {
+	return Counter{r.lookup(name, labelKey, labelVal, kindCounter)}
 }
 
 // Gauge returns (registering on first use) the named gauge.

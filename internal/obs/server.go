@@ -13,12 +13,16 @@ import (
 // Server is the introspection HTTP endpoint a node exposes with
 // -obs-listen: /metrics (Prometheus text exposition over every added
 // registry), /status (a JSON snapshot supplied by the host process),
-// /decisions (the recent decision trace as JSON lines), and
-// /debug/pprof/* (the standard Go profiles).
+// /decisions (the recent decision trace as JSON lines), /trace (recent
+// completed cross-process epoch traces as JSON lines, with derived
+// segments and critical-path attribution), /debug/pprof/* (the standard
+// Go profiles), and any extra handlers the host process installs with
+// Handle before Start (jarvis-sp mounts /flightrecorder this way).
 type Server struct {
 	mu     sync.Mutex
 	regs   []*Registry
 	status func() any
+	extra  map[string]http.HandlerFunc
 	srv    *http.Server
 	ln     net.Listener
 }
@@ -49,6 +53,17 @@ func (s *Server) SetStatus(f func() any) {
 	s.status = f
 }
 
+// Handle installs an extra handler served at pattern. Call before
+// Start; patterns registered after Start are ignored.
+func (s *Server) Handle(pattern string, h http.HandlerFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.extra == nil {
+		s.extra = make(map[string]http.HandlerFunc)
+	}
+	s.extra[pattern] = h
+}
+
 // Start listens on addr and serves until Close. It returns the bound
 // address (useful with ":0").
 func (s *Server) Start(addr string) (string, error) {
@@ -60,6 +75,12 @@ func (s *Server) Start(addr string) (string, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/decisions", s.handleDecisions)
+	mux.HandleFunc("/trace", s.handleTrace)
+	s.mu.Lock()
+	for pattern, h := range s.extra {
+		mux.HandleFunc(pattern, h)
+	}
+	s.mu.Unlock()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -116,4 +137,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleDecisions(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	_ = EncodeDecisions(w, Decisions().Recent(0))
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = EncodeTraces(w, Traces().Recent(0))
 }

@@ -62,6 +62,16 @@ func init() {
 	}
 }
 
+// StageHistogram returns the default registry's latency histogram for
+// one stage — the handle pressure estimators (QuantileWindow) window
+// over, e.g. StageIngest for admission gating.
+func StageHistogram(s Stage) Histogram {
+	if s < stageCount {
+		return stageHists[s]
+	}
+	return Histogram{}
+}
+
 // Observe records one stage duration into the default registry's
 // stage_latency_seconds histogram. It is always on (single atomic
 // update); the caller typically gates the clock reads via Now/Since.
@@ -80,6 +90,28 @@ func Since(s Stage, start time.Time) {
 		return
 	}
 	Observe(s, time.Since(start))
+}
+
+// ObserveSince records the stage duration like Since and returns it, so
+// callers that also need the measured duration (the pipeline feeding
+// the epoch trace context) pay a single clock read. A zero start
+// records nothing and returns 0.
+func ObserveSince(s Stage, start time.Time) time.Duration {
+	if start.IsZero() {
+		return 0
+	}
+	d := time.Since(start)
+	Observe(s, d)
+	return d
+}
+
+// ObserveDurN records an already-measured stage duration with span
+// context, for callers that timed the stage themselves.
+func ObserveDurN(s Stage, d time.Duration, source uint32, epoch uint64) {
+	if s < stageCount {
+		stageHists[s].Observe(d)
+		exportSpan(s, d, source, epoch)
+	}
 }
 
 // SinceN is Since with span context: source and epoch tag the exported

@@ -43,6 +43,14 @@ type OverloadConfig struct {
 	// Admission configures the controller; Now is overridden with the
 	// simulation clock.
 	Admission admission.Config
+	// PressureFromLatency closes the same loop jarvis-sp runs in
+	// production: every commit's latency feeds a histogram, and a
+	// windowed p99 over it (obs.QuantileWindow on the simulation clock)
+	// becomes Admission.Pressure. Degradation then requires the
+	// *measured* overload signal, not just bucket streaks, and
+	// promotion happens once the signal clears. PressureThreshold
+	// defaults to half an epoch when unset.
+	PressureFromLatency bool
 }
 
 // TenantOverloadStats aggregates one tenant's run.
@@ -101,6 +109,19 @@ func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
 	}
 	clock := time.Unix(1_700_000_000, 0)
 	cfg.Admission.Now = func() time.Time { return clock }
+	var feedLat func(float64)
+	if cfg.PressureFromLatency && cfg.Admission.Pressure == nil {
+		latHist := obs.NewRegistry().Histogram("sim_commit_latency_seconds", obs.StageBounds)
+		feedLat = func(sec float64) { latHist.Observe(time.Duration(sec * float64(time.Second))) }
+		qw := obs.NewQuantileWindow(latHist,
+			5*time.Duration(cfg.EpochMicros)*time.Microsecond,
+			time.Duration(cfg.EpochMicros)*time.Microsecond)
+		qw.SetNowFunc(func() time.Time { return clock })
+		cfg.Admission.Pressure = qw.P99
+		if cfg.Admission.PressureThreshold == 0 {
+			cfg.Admission.PressureThreshold = float64(cfg.EpochMicros) / 2e6
+		}
+	}
 	ctrl := admission.NewController(cfg.Admission)
 
 	stats := make(map[string]*TenantOverloadStats, len(cfg.Tenants))
@@ -124,7 +145,11 @@ func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
 	apply := func(ts TenantSpec, ep simEpoch, now int) {
 		st := stats[ts.Name]
 		st.Applied++
-		st.CommitLatencies = append(st.CommitLatencies, float64(now-ep.arrival)*epochSec)
+		lat := float64(now-ep.arrival) * epochSec
+		st.CommitLatencies = append(st.CommitLatencies, lat)
+		if feedLat != nil {
+			feedLat(lat)
+		}
 	}
 	drain := func(now int) {
 		for _, ts := range order {
@@ -189,12 +214,16 @@ func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
 	for e := 0; e < maxEpochs; e++ {
 		clock = clock.Add(time.Duration(cfg.EpochMicros) * time.Microsecond)
 		drain(e)
-		// Agents replay shed epochs before shipping new ones.
+		// Agents replay shed epochs before shipping new ones. Take the
+		// pending list first: offer can shed an epoch right back into
+		// replays (queue still full), and that re-shed copy must survive
+		// into the next round, not be clobbered after the loop.
 		for _, ts := range order {
-			for _, ep := range replays[ts.Source] {
+			pend := replays[ts.Source]
+			replays[ts.Source] = nil
+			for _, ep := range pend {
 				offer(ts, ep, e)
 			}
-			replays[ts.Source] = nil
 		}
 		if e < cfg.Epochs {
 			for _, ts := range cfg.Tenants {
@@ -211,6 +240,18 @@ func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
 				degradedEver[ts.Name] = true
 			} else if degradedEver[ts.Name] {
 				stats[ts.Name].Promoted = true
+			}
+		}
+		if feedLat != nil {
+			// Stall probe: a latency signal fed only by completed commits
+			// is blind to epochs stuck in the queue (the overload it
+			// exists to detect), so each epoch also observes the current
+			// wait of every head-of-queue epoch — the live queue-delay
+			// p99 the SP's delay-queue-wait segment measures.
+			for _, ts := range cfg.Tenants {
+				if q := queues[ts.Source]; len(q) > 0 {
+					feedLat(float64(e-q[0].arrival) * epochSec)
+				}
 			}
 		}
 		if e >= cfg.Epochs && queued == 0 && pendingReplays(replays) == 0 {

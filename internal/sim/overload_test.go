@@ -111,3 +111,64 @@ func TestOverloadScenarioHotTenantSpike(t *testing.T) {
 			base.Lost, base.Tenants["hot"].Degraded, base.Jain)
 	}
 }
+
+// TestOverloadScenarioPressureGated reruns the hot-tenant spike with the
+// full production pressure loop: commit latency feeds a windowed p99
+// (obs.QuantileWindow on the simulation clock) that gates degradation.
+// The hot tenant must still degrade — the spike genuinely drives the
+// measured p99 over threshold — and must promote back once the signal
+// clears, with both transitions in the decision trace. A spike-free run
+// under the same gate must never degrade anyone: the gate holds low.
+func TestOverloadScenarioPressureGated(t *testing.T) {
+	obs.Decisions().Reset()
+	gated := func(spike float64) OverloadConfig {
+		cfg := overloadConfig(spike)
+		cfg.PressureFromLatency = true
+		return cfg
+	}
+
+	base, err := RunOverload(gated(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, st := range base.Tenants {
+		if st.Degraded {
+			t.Fatalf("pressure gate low, but %s degraded in the calm run", name)
+		}
+	}
+
+	res, err := RunOverload(gated(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 {
+		t.Fatalf("lost %d epochs (shed must replay)", res.Lost)
+	}
+	hot := res.Tenants["hot"]
+	if !hot.Degraded {
+		t.Fatal("hot tenant never degraded: the measured p99 should cross the gate during the spike")
+	}
+	if !hot.Promoted {
+		t.Fatal("hot tenant never promoted back after the measured pressure cleared")
+	}
+	for _, name := range []string{"gold-app", "steady"} {
+		if res.Tenants[name].Degraded {
+			t.Fatalf("well-behaved tenant %s degraded under the pressure gate", name)
+		}
+	}
+	var sawDegrade, sawPromote bool
+	for _, d := range Decisions(512) {
+		if !strings.Contains(d.Detail, "tenant=hot") {
+			continue
+		}
+		switch d.Kind {
+		case "degrade":
+			sawDegrade = true
+		case "promote":
+			sawPromote = true
+		}
+	}
+	if !sawDegrade || !sawPromote {
+		t.Fatalf("decision trace missing pressure-gated transitions (degrade %v, promote %v)", sawDegrade, sawPromote)
+	}
+}

@@ -89,6 +89,24 @@ type EpochResult struct {
 	// results: restored records, carryover cascades and the end-of-epoch
 	// flush emissions. Same lifetime as ColDrains.
 	ColResults wire.ColumnarBatch
+
+	// Timing is the agent-side trace context for the cross-process epoch
+	// trace: the pipeline stamps its own duration, the epoch driver (the
+	// agent main loop) stamps the epoch start and generate duration, and
+	// the shipper seals the context into the EpochEnd trace extension.
+	// All zero when lifecycle timing is disabled.
+	Timing EpochTiming
+}
+
+// EpochTiming carries the agent-half of an epoch's trace context to the
+// shipper (see wire.EpochEnd and obs.EpochTrace). StartMicros is the
+// epoch begin on the agent's clock in unix microseconds; zero means the
+// driver recorded no epoch-level timing, and the shipper then anchors
+// the trace at seal time.
+type EpochTiming struct {
+	StartMicros int64
+	GenMicros   int64
+	PipeMicros  int64
 }
 
 // TotalOutBytes is the epoch's total network transfer from the source.
@@ -348,7 +366,9 @@ func (p *Pipeline) RunEpoch(input telemetry.Batch) EpochResult {
 		p.runEpochBatch(input)
 	}
 	res := p.finishEpoch()
-	obs.Since(obs.StagePipeline, start)
+	if !start.IsZero() {
+		res.Timing.PipeMicros = obs.ObserveSince(obs.StagePipeline, start).Microseconds()
+	}
 	return res
 }
 
@@ -432,7 +452,9 @@ func (p *Pipeline) RunEpochColumnar(cb *wire.ColumnarBatch) EpochResult {
 		res.DrainedBytes += p.colDrains[i].TotalBytes()
 	}
 	res.ResultBytes += p.colResults.TotalBytes()
-	obs.Since(obs.StagePipeline, start)
+	if !start.IsZero() {
+		res.Timing.PipeMicros = obs.ObserveSince(obs.StagePipeline, start).Microseconds()
+	}
 	return res
 }
 

@@ -187,7 +187,14 @@ func (d *DurableShipper) Source() uint32 { return d.source }
 // shipper's newest wire version (columnar data frames under v2); when a
 // connection negotiates down to v1 the bytes are transcoded at write
 // time, so the canonical replay buffer stays version-independent.
-func (d *DurableShipper) encodeEpoch(seq uint64, res stream.EpochResult) ([]byte, error) {
+//
+// When lifecycle timing is on, the EpochEnd carries the trace-context
+// extension: the caller's epoch timings plus the encode duration
+// (encStart to just before the EpochEnd frame) and the seal timestamp.
+// The extension is baked into the replay-buffer bytes, so a replayed
+// epoch keeps its original seal time and the SP's ship segment honestly
+// includes the buffering delay.
+func (d *DurableShipper) encodeEpoch(seq uint64, res stream.EpochResult, encStart time.Time) ([]byte, error) {
 	d.encBuf.Reset()
 	if d.encFW == nil {
 		d.encFW = wire.NewFrameWriter(&d.encBuf)
@@ -230,7 +237,23 @@ func (d *DurableShipper) encodeEpoch(seq uint64, res stream.EpochResult) ([]byte
 	if err := fw.WriteFrame(wire.Frame{StreamID: WatermarkStreamID, Source: d.source, Records: telemetry.Batch{wmRec}}); err != nil {
 		return nil, err
 	}
-	endRec := telemetry.Record{WireSize: 33, Data: &wire.EpochEnd{Seq: seq, Watermark: res.Watermark}}
+	end := &wire.EpochEnd{Seq: seq, Watermark: res.Watermark}
+	if !encStart.IsZero() {
+		now := time.Now()
+		end.TraceID = uint64(d.source)<<40 | (seq & (1<<40 - 1))
+		end.GenMicros = uint64(res.Timing.GenMicros)
+		end.PipeMicros = uint64(res.Timing.PipeMicros)
+		end.EncMicros = uint64(now.Sub(encStart).Microseconds())
+		end.SentMicros = now.UnixMicro()
+		end.StartMicros = res.Timing.StartMicros
+		if end.StartMicros == 0 {
+			// The driver recorded no epoch-level timing (sims, tests):
+			// anchor the trace so the agent segments tile the seal time
+			// exactly and e2e starts at encode.
+			end.StartMicros = end.SentMicros - int64(end.GenMicros+end.PipeMicros+end.EncMicros)
+		}
+	}
+	endRec := telemetry.Record{WireSize: 33, Data: end}
 	if err := fw.WriteFrame(wire.Frame{StreamID: wire.ControlStreamID, Source: d.source, Records: telemetry.Batch{endRec}}); err != nil {
 		return nil, err
 	}
@@ -255,7 +278,7 @@ func (d *DurableShipper) ShipEpoch(res stream.EpochResult) error {
 	d.mu.Lock()
 	d.seq++
 	encStart := obs.Now()
-	data, err := d.encodeEpoch(d.seq, res)
+	data, err := d.encodeEpoch(d.seq, res, encStart)
 	obs.SinceN(obs.StageEncode, encStart, d.source, d.seq)
 	if err != nil {
 		d.seq--

@@ -1,0 +1,447 @@
+// Flight recorder: a bounded per-connection ring of raw wire frames
+// that dumps automatically when the receiver does something anomalous —
+// sheds an epoch, degrades a tenant, fails over, fences a stale
+// primary — so the exact bytes that provoked the event are on disk for
+// offline replay, not reconstructed from logs after the fact.
+//
+// A dump is self-contained: the pinned Hello frame plus the retained
+// frames of every live sequenced connection (verbatim wire bytes,
+// still compressed if they traveled compressed), the decisions emitted
+// since the previous dump, and the receiver-counter deltas over the
+// same window. ReplayFlightDump feeds the frames back through a fresh
+// Receiver byte-for-byte, so a dump doubles as a deterministic
+// regression input.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"jarvis/internal/obs"
+)
+
+// FlightMagic starts every serialized flight dump.
+const FlightMagic = "JARVISFR1\n"
+
+// DefaultFlightBudget bounds one connection ring's retained frame bytes
+// (the pinned Hello is kept outside the budget). Sized to hold several
+// seconds of row-encoded epochs at evaluation rates — a single 1 s row
+// data frame runs to hundreds of KiB, and a dump that cannot hold the
+// epoch that provoked the anomaly is useless. A frame larger than the
+// whole budget is still kept (alone) rather than dropped.
+const DefaultFlightBudget = 8 << 20
+
+// DefaultFlightDumps is how many serialized dumps the recorder retains.
+const DefaultFlightDumps = 8
+
+// DefaultFlightMinInterval rate-limits automatic dumps: anomalies
+// arrive in bursts (every shed in an overload storm emits a decision),
+// and one dump per burst captures the same ring contents as fifty.
+const DefaultFlightMinInterval = time.Second
+
+// CtrFlightDumps counts flight-recorder dumps in the default registry.
+const CtrFlightDumps = "flight_dumps_total"
+
+// FlightMeta is the JSON header of a serialized dump.
+type FlightMeta struct {
+	Reason   string `json:"reason"`
+	TsMicros int64  `json:"ts_us,omitempty"`
+	Seq      int64  `json:"seq"` // 1-based dump number within this recorder
+	// Conns describes the per-connection frame sections, in blob order.
+	Conns []FlightConnMeta `json:"conns"`
+	// Decisions emitted since the previous dump (bounded by the decision
+	// ring), newest last.
+	Decisions []obs.Decision `json:"decisions,omitempty"`
+	// CounterDeltas are receiver-counter increments since the previous
+	// dump (or recorder creation), zero-delta names omitted.
+	CounterDeltas map[string]int64 `json:"counter_deltas,omitempty"`
+}
+
+// FlightConnMeta describes one connection's frame section.
+type FlightConnMeta struct {
+	Source uint32 `json:"source"`
+	Frames int    `json:"frames"`
+	Bytes  int    `json:"bytes"`
+}
+
+// FlightRecorder arms a receiver with per-connection frame rings and
+// serializes anomaly dumps. Install with Receiver.SetFlightRecorder,
+// wire decision-triggered dumps with obs.Decisions().SetNotify(
+// rec.OnDecision), and expose on-demand dumps via ServeHTTP.
+type FlightRecorder struct {
+	mu       sync.Mutex
+	budget   int
+	maxDumps int
+	minGap   time.Duration
+	lastAt   time.Time
+	reg      *obs.Registry
+	base     map[string]int64
+	lastSeen int64 // obs.Decisions().Total() at the previous dump
+	rings    map[*flightRing]struct{}
+	retired  []*flightRing // recently closed connections, oldest first
+	dumps    [][]byte
+	total    int64
+	lastMeta FlightMeta
+	ctr      obs.Counter
+}
+
+// NewFlightRecorder returns an armed recorder. reg is the counter
+// registry whose deltas each dump carries (typically the receiver's;
+// nil skips counter deltas).
+func NewFlightRecorder(reg *obs.Registry) *FlightRecorder {
+	return &FlightRecorder{
+		budget:   DefaultFlightBudget,
+		maxDumps: DefaultFlightDumps,
+		minGap:   DefaultFlightMinInterval,
+		reg:      reg,
+		base:     reg.Snapshot(),
+		lastSeen: obs.Decisions().Total(),
+		rings:    make(map[*flightRing]struct{}),
+		ctr:      obs.Default().Counter(CtrFlightDumps),
+	}
+}
+
+// SetBudget bounds each connection ring's retained frame bytes.
+func (f *FlightRecorder) SetBudget(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n > 0 {
+		f.budget = n
+	}
+}
+
+// SetMinInterval sets the automatic-dump rate limit (0 disables it;
+// manual Trigger calls always dump).
+func (f *FlightRecorder) SetMinInterval(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.minGap = d
+}
+
+// OnDecision is the obs decision-log observer: anomalous kinds — shed
+// verdicts, tenant degrade/promote flips, shipper failover, HA fencing
+// and promotion — trigger a rate-limited dump named after the decision.
+func (f *FlightRecorder) OnDecision(d obs.Decision) {
+	switch d.Kind {
+	case "admission", "degrade", "promote", "failover", "fencing", "promotion", "forced_drain":
+		f.trigger(d.Kind+":"+d.Cause, true)
+	}
+}
+
+// Trigger serializes a dump immediately (no rate limit) and returns it;
+// the dump is also retained for Dumps and ServeHTTP. Returns nil when
+// no sequenced connection is armed.
+func (f *FlightRecorder) Trigger(reason string) []byte {
+	return f.trigger(reason, false)
+}
+
+func (f *FlightRecorder) trigger(reason string, limited bool) []byte {
+	f.mu.Lock()
+	if limited && f.minGap > 0 && !f.lastAt.IsZero() && time.Since(f.lastAt) < f.minGap {
+		f.mu.Unlock()
+		return nil
+	}
+	rings := make([]*flightRing, 0, len(f.rings)+len(f.retired))
+	for r := range f.rings {
+		rings = append(rings, r)
+	}
+	rings = append(rings, f.retired...)
+	f.lastAt = time.Now()
+	f.mu.Unlock()
+
+	// Snapshot the rings outside the recorder lock (capture takes each
+	// ring's own lock; ring registration is the only shared state).
+	var (
+		conns []FlightConnMeta
+		blobs [][]byte
+	)
+	for _, r := range rings {
+		src, blob, n := r.snapshot()
+		if n == 0 {
+			continue
+		}
+		conns = append(conns, FlightConnMeta{Source: src, Frames: n, Bytes: len(blob)})
+		blobs = append(blobs, blob)
+	}
+	if len(blobs) == 0 {
+		return nil
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.total++
+	meta := FlightMeta{
+		Reason:   reason,
+		TsMicros: time.Now().UnixMicro(),
+		Seq:      f.total,
+		Conns:    conns,
+	}
+	// Decisions since the previous dump, bounded by the decision ring.
+	if dl := obs.Decisions(); dl != nil {
+		total := dl.Total()
+		if n := total - f.lastSeen; n > 0 {
+			meta.Decisions = dl.Recent(int(n))
+		}
+		f.lastSeen = total
+	}
+	if f.reg != nil {
+		cur := f.reg.Snapshot()
+		deltas := make(map[string]int64)
+		for name, v := range cur {
+			if d := v - f.base[name]; d != 0 {
+				deltas[name] = d
+			}
+		}
+		if len(deltas) > 0 {
+			meta.CounterDeltas = deltas
+		}
+		f.base = cur
+	}
+	dump := encodeFlightDump(&meta, blobs)
+	f.dumps = append(f.dumps, dump)
+	if len(f.dumps) > f.maxDumps {
+		f.dumps = f.dumps[len(f.dumps)-f.maxDumps:]
+	}
+	f.lastMeta = meta
+	f.ctr.Inc()
+	return dump
+}
+
+// Dumps returns the retained serialized dumps, oldest first.
+func (f *FlightRecorder) Dumps() [][]byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([][]byte, len(f.dumps))
+	copy(out, f.dumps)
+	return out
+}
+
+// LastDump describes the newest dump for /status (zero meta, false
+// before the first dump).
+func (f *FlightRecorder) LastDump() (FlightMeta, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastMeta, f.total > 0
+}
+
+// ServeHTTP serves the newest dump as application/octet-stream;
+// ?trigger=1 forces a fresh dump first (404 when nothing is armed or
+// recorded yet).
+func (f *FlightRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("trigger") != "" {
+		f.Trigger("manual:http")
+	}
+	f.mu.Lock()
+	var dump []byte
+	if len(f.dumps) > 0 {
+		dump = f.dumps[len(f.dumps)-1]
+	}
+	f.mu.Unlock()
+	if dump == nil {
+		http.Error(w, "flight recorder: no dump recorded", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(dump)
+}
+
+// newRing registers a per-connection frame ring (HandleConn, one per
+// sequenced connection).
+func (f *FlightRecorder) newRing() *flightRing {
+	r := &flightRing{rec: f, budget: f.budget}
+	f.mu.Lock()
+	f.rings[r] = struct{}{}
+	f.mu.Unlock()
+	return r
+}
+
+// flightRing is one connection's bounded frame history: the pinned
+// Hello plus the most recent frames within the byte budget, each a
+// verbatim copy of the wire bytes (12-byte header + payload, no length
+// prefix).
+type flightRing struct {
+	rec    *FlightRecorder
+	mu     sync.Mutex
+	source uint32
+	hello  []byte
+	frames [][]byte
+	bytes  int
+	budget int
+}
+
+// capture copies one frame into the ring, evicting oldest frames while
+// over budget. Nil-receiver safe so the unarmed path stays branch-only.
+func (r *flightRing) capture(frame []byte) {
+	if r == nil {
+		return
+	}
+	cp := append([]byte(nil), frame...)
+	r.mu.Lock()
+	r.frames = append(r.frames, cp)
+	r.bytes += len(cp)
+	for r.bytes > r.budget && len(r.frames) > 1 {
+		r.bytes -= len(r.frames[0])
+		r.frames = r.frames[1:]
+	}
+	r.mu.Unlock()
+}
+
+// pinHello moves the most recently captured frame (the Hello that just
+// established the sequenced discipline) into the pinned slot, so every
+// dump replays with a valid handshake even after the ring wraps. Frames
+// captured before the Hello are discarded — the receiver drops them
+// whole too, so they have no place in a replayable stream.
+func (r *flightRing) pinHello(source uint32) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.source = source
+	if n := len(r.frames); n > 0 {
+		r.hello = r.frames[n-1]
+	}
+	r.frames = r.frames[:0]
+	r.bytes = 0
+	r.mu.Unlock()
+}
+
+// snapshot renders the ring as a replayable wire stream: each frame
+// re-prefixed with its 4-byte length, hello first.
+func (r *flightRing) snapshot() (source uint32, blob []byte, frames int) {
+	if r == nil {
+		return 0, nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hello == nil && len(r.frames) == 0 {
+		return r.source, nil, 0
+	}
+	size := 0
+	if r.hello != nil {
+		size += 4 + len(r.hello)
+	}
+	for _, fb := range r.frames {
+		size += 4 + len(fb)
+	}
+	blob = make([]byte, 0, size)
+	appendFrame := func(fb []byte) {
+		blob = binary.BigEndian.AppendUint32(blob, uint32(len(fb)))
+		blob = append(blob, fb...)
+		frames++
+	}
+	if r.hello != nil {
+		appendFrame(r.hello)
+	}
+	for _, fb := range r.frames {
+		appendFrame(fb)
+	}
+	return r.source, blob, frames
+}
+
+// maxRetiredRings bounds how many closed connections' rings stay
+// dumpable: anomalies that kill the connection (a poisoned frame, a
+// fenced hello) dump after teardown, so the evidence must outlive it.
+const maxRetiredRings = 4
+
+// close retires the ring (connection teardown). Its frames stay
+// available to the next few dumps — anomalies that end the connection
+// are exactly the ones worth a post-mortem — bounded by
+// maxRetiredRings.
+func (r *flightRing) close() {
+	if r == nil || r.rec == nil {
+		return
+	}
+	r.rec.mu.Lock()
+	delete(r.rec.rings, r)
+	r.rec.retired = append(r.rec.retired, r)
+	if len(r.rec.retired) > maxRetiredRings {
+		r.rec.retired = r.rec.retired[len(r.rec.retired)-maxRetiredRings:]
+	}
+	r.rec.mu.Unlock()
+}
+
+// encodeFlightDump serializes: magic, uvarint meta length + meta JSON,
+// uvarint section count, then per section uvarint blob length + blob.
+func encodeFlightDump(meta *FlightMeta, blobs [][]byte) []byte {
+	mj, _ := json.Marshal(meta)
+	out := make([]byte, 0, len(FlightMagic)+10+len(mj)+64)
+	out = append(out, FlightMagic...)
+	out = binary.AppendUvarint(out, uint64(len(mj)))
+	out = append(out, mj...)
+	out = binary.AppendUvarint(out, uint64(len(blobs)))
+	for _, b := range blobs {
+		out = binary.AppendUvarint(out, uint64(len(b)))
+		out = append(out, b...)
+	}
+	return out
+}
+
+// DecodeFlightDump parses a serialized dump into its meta header and
+// per-connection wire streams (each ready to feed a FrameReader).
+func DecodeFlightDump(dump []byte) (*FlightMeta, [][]byte, error) {
+	if len(dump) < len(FlightMagic) || string(dump[:len(FlightMagic)]) != FlightMagic {
+		return nil, nil, fmt.Errorf("transport: not a flight dump (bad magic)")
+	}
+	rest := dump[len(FlightMagic):]
+	next := func(what string) ([]byte, error) {
+		n, k := binary.Uvarint(rest)
+		if k <= 0 || uint64(len(rest)-k) < n {
+			return nil, fmt.Errorf("transport: flight dump truncated at %s", what)
+		}
+		b := rest[k : k+int(n)]
+		rest = rest[k+int(n):]
+		return b, nil
+	}
+	mj, err := next("meta")
+	if err != nil {
+		return nil, nil, err
+	}
+	meta := new(FlightMeta)
+	if err := json.Unmarshal(mj, meta); err != nil {
+		return nil, nil, fmt.Errorf("transport: flight dump meta: %w", err)
+	}
+	nConns, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("transport: flight dump truncated at section count")
+	}
+	rest = rest[k:]
+	blobs := make([][]byte, 0, nConns)
+	for i := uint64(0); i < nConns; i++ {
+		b, err := next("section")
+		if err != nil {
+			return nil, nil, err
+		}
+		blobs = append(blobs, b)
+	}
+	return meta, blobs, nil
+}
+
+// replayConn adapts a dump section to HandleConn: reads come from the
+// recorded stream, ack writes vanish.
+type replayConn struct{ io.Reader }
+
+func (replayConn) Write(p []byte) (int, error) { return len(p), nil }
+
+// ReplayFlightDump feeds every connection section of a serialized dump
+// through the receiver, in dump order, discarding acks. The receiver
+// should be fresh (or at least not already past the dump's sequence
+// numbers, which dedup would discard). Deterministic: the same dump
+// into the same receiver state yields the same engine state.
+func ReplayFlightDump(rc *Receiver, dump []byte) (*FlightMeta, error) {
+	meta, blobs, err := DecodeFlightDump(dump)
+	if err != nil {
+		return nil, err
+	}
+	for i, blob := range blobs {
+		if err := rc.HandleConn(replayConn{bytes.NewReader(blob)}); err != nil {
+			return meta, fmt.Errorf("transport: replay section %d: %w", i, err)
+		}
+	}
+	return meta, nil
+}

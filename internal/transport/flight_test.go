@@ -1,0 +1,284 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"jarvis/internal/obs"
+	"jarvis/internal/plan"
+	"jarvis/internal/stream"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/workload"
+)
+
+// shipFlightEpochs runs a sequenced shipper over a pipe into rc for the
+// given epochs (fixed workload seed, so the stream is reproducible) and
+// waits for the connection to wind down. durMicros sizes the data
+// epochs; the last three are empty, striding event time by 2s each so
+// the 10s S2SProbe window closes even for short runs.
+func shipFlightEpochs(t *testing.T, rc *Receiver, source uint32, epochs int, durMicros int64) {
+	t.Helper()
+	q := plan.S2SProbe()
+	src, err := stream.NewPipeline(q, stream.DefaultOptions(4.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = src.SetLoadFactors([]float64{1, 1, 1})
+	cfg := workload.DefaultPingConfig(77)
+	cfg.Peers = 40 // few distinct pair keys keeps dumps and goldens small
+	gen := workload.NewPingGen(cfg)
+
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- rc.HandleConn(server) }()
+	ship := NewDurableShipper(source, 0)
+	if err := ship.ConnectConn(client); err != nil {
+		t.Fatal(err)
+	}
+	for e := 1; e <= epochs; e++ {
+		var batch telemetry.Batch
+		if e <= epochs-3 {
+			batch = gen.NextWindow(durMicros)
+		} else {
+			src.ObserveTime(int64(e) * 2_000_000)
+		}
+		if err := ship.ShipEpoch(src.RunEpoch(batch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ship.Acked() < uint64(epochs) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ship.Close()
+	<-done
+}
+
+// renderRows canonicalizes an Advance batch: one line per row, sorted,
+// so two engines fed the same epochs render byte-identical logs.
+func renderRows(rows telemetry.Batch) []byte {
+	lines := make([]string, 0, len(rows))
+	for _, rec := range rows {
+		row, ok := rec.Data.(*telemetry.AggRow)
+		if !ok {
+			lines = append(lines, fmt.Sprintf("t=%d other=%T", rec.Time, rec.Data))
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("w=%d key=%d/%q n=%d sum=%g min=%g max=%g",
+			row.Window, row.Key.Num, row.Key.Str, row.Count, row.Sum, row.Min, row.Max))
+	}
+	sort.Strings(lines)
+	var buf bytes.Buffer
+	for _, l := range lines {
+		buf.WriteString(l)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func flightTestReceiver(t *testing.T) *Receiver {
+	t.Helper()
+	engine, err := stream.NewSPEngine(plan.S2SProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReceiver(engine)
+	rc.RegisterSource(5)
+	return rc
+}
+
+// TestFlightRecorderDumpAndReplay ships epochs with the recorder armed,
+// takes a manual dump, and replays it through two fresh receivers: both
+// must land in the same state as the original (and as each other).
+func TestFlightRecorderDumpAndReplay(t *testing.T) {
+	rc := flightTestReceiver(t)
+	fl := NewFlightRecorder(rc.Counters())
+	rc.SetFlightRecorder(fl)
+
+	const epochs = 10
+	shipFlightEpochs(t, rc, 5, epochs, 1_000_000)
+	dump := fl.Trigger("manual:test")
+	if dump == nil {
+		t.Fatal("no dump produced with a live connection recorded")
+	}
+	want := renderRows(rc.Advance())
+	if len(want) == 0 {
+		t.Fatal("original run emitted no rows")
+	}
+
+	meta, blobs, err := DecodeFlightDump(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Reason != "manual:test" || len(meta.Conns) != 1 || len(blobs) != 1 {
+		t.Fatalf("meta = %+v (%d blobs)", meta, len(blobs))
+	}
+	if meta.Conns[0].Source != 5 || meta.Conns[0].Frames < epochs {
+		t.Fatalf("conn meta = %+v, want source 5 with >= %d frames", meta.Conns[0], epochs)
+	}
+
+	var replayed [2][]byte
+	for i := range replayed {
+		fresh := flightTestReceiver(t)
+		if _, err := ReplayFlightDump(fresh, dump); err != nil {
+			t.Fatal(err)
+		}
+		if got := fresh.AppliedSeq(5); got != epochs {
+			t.Fatalf("replay %d applied seq = %d, want %d", i, got, epochs)
+		}
+		replayed[i] = renderRows(fresh.Advance())
+	}
+	if !bytes.Equal(replayed[0], want) {
+		t.Fatalf("replayed state differs from original:\n%s\nvs\n%s", replayed[0], want)
+	}
+	if !bytes.Equal(replayed[0], replayed[1]) {
+		t.Fatal("two replays of the same dump disagree")
+	}
+}
+
+// TestFlightRecorderBudgetKeepsHello shrinks the ring budget below the
+// stream size: old frames must fall out, but the pinned Hello survives
+// so the dump still opens with a valid handshake.
+func TestFlightRecorderBudgetKeepsHello(t *testing.T) {
+	rc := flightTestReceiver(t)
+	fl := NewFlightRecorder(rc.Counters())
+	fl.SetBudget(2048)
+	rc.SetFlightRecorder(fl)
+
+	shipFlightEpochs(t, rc, 5, 10, 1_000_000)
+	dump := fl.Trigger("manual:budget")
+	if dump == nil {
+		t.Fatal("no dump")
+	}
+	meta, blobs, err := DecodeFlightDump(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Conns[0].Bytes > 2048+4096 {
+		t.Fatalf("ring bytes %d way over budget", meta.Conns[0].Bytes)
+	}
+	// The first frame of the section must still be the Hello: replaying
+	// it through a fresh receiver must not fail with "epoch end before
+	// hello" (trailing partial epochs simply never commit).
+	fresh := flightTestReceiver(t)
+	if _, err := ReplayFlightDump(fresh, dump); err != nil {
+		t.Fatalf("replay of wrapped ring: %v", err)
+	}
+	_ = blobs
+}
+
+// TestFlightRecorderDecisionTrigger wires the recorder to the decision
+// log: an anomalous decision kind must produce a dump, a second within
+// the rate-limit window must not, and a benign kind never triggers.
+func TestFlightRecorderDecisionTrigger(t *testing.T) {
+	rc := flightTestReceiver(t)
+	fl := NewFlightRecorder(rc.Counters())
+	rc.SetFlightRecorder(fl)
+	shipFlightEpochs(t, rc, 5, 4, 1_000_000)
+
+	fl.OnDecision(obs.Decision{Kind: "load_factors"})
+	if _, ok := fl.LastDump(); ok {
+		t.Fatal("benign decision kind triggered a dump")
+	}
+	fl.OnDecision(obs.Decision{Kind: "degrade", Cause: "sustained_overload"})
+	meta, ok := fl.LastDump()
+	if !ok {
+		t.Fatal("degrade decision did not trigger a dump")
+	}
+	if meta.Reason != "degrade:sustained_overload" {
+		t.Fatalf("reason = %q", meta.Reason)
+	}
+	fl.OnDecision(obs.Decision{Kind: "fencing", Cause: "stale_term"})
+	if m2, _ := fl.LastDump(); m2.Seq != meta.Seq {
+		t.Fatal("rate limit did not suppress the second auto dump")
+	}
+	fl.SetMinInterval(0)
+	fl.OnDecision(obs.Decision{Kind: "fencing", Cause: "stale_term"})
+	if m3, _ := fl.LastDump(); m3.Seq == meta.Seq {
+		t.Fatal("auto dump missing with rate limit disabled")
+	}
+}
+
+// TestFlightDumpDecodeErrors exercises the parser against garbage and
+// truncations.
+func TestFlightDumpDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeFlightDump([]byte("not a dump")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	rc := flightTestReceiver(t)
+	fl := NewFlightRecorder(rc.Counters())
+	rc.SetFlightRecorder(fl)
+	shipFlightEpochs(t, rc, 5, 3, 1_000_000)
+	dump := fl.Trigger("manual:trunc")
+	if dump == nil {
+		t.Fatal("no dump")
+	}
+	for _, cut := range []int{1, 7, len(dump) / 2, len(dump) - 1} {
+		if _, _, err := DecodeFlightDump(dump[:len(dump)-cut]); err == nil {
+			t.Fatalf("truncation by %d accepted", cut)
+		}
+	}
+}
+
+// TestFlightReplayRegression replays the committed regression dump
+// through a fresh receiver and requires a byte-identical result log —
+// the CI guard that wire decoding and epoch application stay
+// deterministic for recorded anomaly streams. Regenerate both files
+// with FLIGHT_REGEN=1 go test ./internal/transport -run FlightReplayRegression.
+func TestFlightReplayRegression(t *testing.T) {
+	dumpPath := filepath.Join("testdata", "flight", "regression.dump")
+	goldenPath := filepath.Join("testdata", "flight", "regression.golden")
+
+	if os.Getenv("FLIGHT_REGEN") != "" {
+		rc := flightTestReceiver(t)
+		fl := NewFlightRecorder(rc.Counters())
+		rc.SetFlightRecorder(fl)
+		shipFlightEpochs(t, rc, 5, 8, 25_000)
+		dump := fl.Trigger("regen:regression")
+		if dump == nil {
+			t.Fatal("no dump to commit")
+		}
+		fresh := flightTestReceiver(t)
+		if _, err := ReplayFlightDump(fresh, dump); err != nil {
+			t.Fatal(err)
+		}
+		golden := renderRows(fresh.Advance())
+		if err := os.MkdirAll(filepath.Dir(dumpPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dumpPath, dump, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, golden, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes) and %s (%d bytes)", dumpPath, len(dump), goldenPath, len(golden))
+	}
+
+	dump, err := os.ReadFile(dumpPath)
+	if err != nil {
+		t.Fatalf("missing committed dump (regenerate with FLIGHT_REGEN=1): %v", err)
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := flightTestReceiver(t)
+	meta, err := ReplayFlightDump(rc, dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Conns) == 0 {
+		t.Fatal("committed dump has no connection sections")
+	}
+	got := renderRows(rc.Advance())
+	if !bytes.Equal(got, golden) {
+		t.Fatalf("replay result log diverged from golden:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}

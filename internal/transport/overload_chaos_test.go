@@ -3,6 +3,7 @@ package transport
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -220,5 +221,139 @@ func TestOverloadChaosKillRestart(t *testing.T) {
 		t.Fatalf("decision trace missing transitions (degrade %v, promote %v)", sawDegrade, sawPromote)
 	}
 	_ = vip.Close()
+	_ = hot.Close()
+}
+
+// TestOverloadChaosPressureGated closes the pressure loop end to end
+// over real TCP: the admission controller's Pressure is a live
+// obs.QuantileWindow p99 over the SP's own ingest-stage latency
+// histogram — the exact wiring jarvis-sp runs. A hot tenant at ~3x its
+// budget must degrade only once the *measured* ingest p99 is over
+// threshold, promote back after traffic stops and the window clears,
+// and leave both transitions in the decision trace.
+func TestOverloadChaosPressureGated(t *testing.T) {
+	obs.Decisions().Reset()
+	engine, err := stream.NewSPEngine(plan.LogAnalytics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReceiver(engine)
+	qw := obs.NewQuantileWindow(obs.StageHistogram(obs.StageIngest),
+		time.Second, 100*time.Millisecond)
+	qw.Tick()               // baseline snapshot: ignore ingest history from earlier tests
+	const threshold = 25e-6 // smallest stage bucket: any real log ingest exceeds it
+	rc.SetAdmission(admission.NewController(admission.Config{
+		RateBytesPerSec: 400_000, BurstBytes: 400_000,
+		MaxDelayedEpochs: 64, DegradeAfter: 2, PromoteAfter: 3,
+		DegradeRate: 0.25, MaxThrottle: 200 * time.Millisecond,
+		Pressure: qw.P99, PressureThreshold: threshold,
+		Now: time.Now,
+	}))
+	ctrl := rc.Admission()
+	addr, stop := startTestServer(t, rc)
+	defer stop()
+
+	// Capture the measured pressure at each transition, from the decision
+	// notify hook (fires synchronously at emit time).
+	var mu sync.Mutex
+	transitions := map[string]float64{}
+	obs.Decisions().SetNotify(func(d obs.Decision) {
+		if d.Kind == "degrade" || d.Kind == "promote" {
+			mu.Lock()
+			if _, seen := transitions[d.Kind]; !seen {
+				transitions[d.Kind] = qw.P99()
+			}
+			mu.Unlock()
+		}
+	})
+	defer obs.Decisions().SetNotify(nil)
+
+	gen := workload.NewLogGen(workload.LogConfig{
+		Seed: 9, Tenants: 1, FirstTenant: 2, MatchRate: 1, IntervalMicros: 200,
+	})
+	hot := NewDurableShipper(3, 256)
+	hot.SetIdentity("tenant-002", admission.Silver)
+	if err := hot.ConnectConn(mustDial(t, addr)); err != nil {
+		t.Fatal(err)
+	}
+	epoch := func(batch telemetry.Batch, wm int64) stream.EpochResult {
+		return stream.EpochResult{Drains: []telemetry.Batch{batch}, Watermark: wm}
+	}
+
+	// Heavy phase: a sustained hot stream (~300 KB epochs at 5/s against
+	// a 400 KB/s budget). The gate only trips once drains put real
+	// ingest latencies into the window, so keep shipping until the
+	// controller reacts — every arrival is a decision point.
+	deadline := time.Now().Add(30 * time.Second)
+	wm := int64(0)
+	for ctrl.DegradedRate(3) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("hot tenant never degraded with the pressure gate armed")
+		}
+		wm += 500_000
+		if err := hot.ShipEpoch(epoch(gen.NextWindow(500_000), wm)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	mu.Lock()
+	degradeP99, ok := transitions["degrade"]
+	mu.Unlock()
+	if !ok {
+		t.Fatal("degrade transition not observed by the notify hook")
+	}
+	if degradeP99 <= threshold {
+		t.Fatalf("degraded while measured ingest p99 (%.0fus) was under the %.0fus gate",
+			degradeP99*1e6, threshold*1e6)
+	}
+
+	// Calm phase: traffic stops; empty keepalive epochs let the queue
+	// drain and the latency window age out, and the tenant promotes.
+	for ctrl.DegradedRate(3) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("hot tenant never promoted after pressure cleared")
+		}
+		wm += 1_000_000
+		if err := hot.ShipEpoch(epoch(nil, wm)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	// With traffic stopped the measured signal itself must return below
+	// the gate once the heavy ingests age out of the window.
+	for qw.P99() > threshold {
+		if time.Now().After(deadline) {
+			t.Fatalf("measured ingest p99 stuck at %.0fus after the run", qw.P99()*1e6)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Frontier catches up: nothing was lost to the gate.
+	for rc.AppliedSeq(3) < hot.Seq() {
+		if time.Now().After(deadline) {
+			t.Fatalf("frontier stuck at %d/%d", rc.AppliedSeq(3), hot.Seq())
+		}
+		rc.Advance()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if hot.Dropped() != 0 {
+		t.Fatalf("replay buffer evicted %d epochs", hot.Dropped())
+	}
+
+	var sawDegrade, sawPromote bool
+	for _, d := range obs.Decisions().Recent(512) {
+		if !strings.Contains(d.Detail, "tenant-002") {
+			continue
+		}
+		switch d.Kind {
+		case "degrade":
+			sawDegrade = true
+		case "promote":
+			sawPromote = true
+		}
+	}
+	if !sawDegrade || !sawPromote {
+		t.Fatalf("decision trace missing transitions (degrade %v, promote %v)", sawDegrade, sawPromote)
+	}
 	_ = hot.Close()
 }

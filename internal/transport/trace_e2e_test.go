@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"jarvis/internal/obs"
+	"jarvis/internal/plan"
+	"jarvis/internal/stream"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/workload"
+)
+
+// TestEpochTraceE2ETCP is the cross-process tracing acceptance test: a
+// real shipper over real TCP, with the receiver joining the agent's
+// EpochEnd trace extension with its own decode/wait/ingest/ack stamps.
+// Every committed epoch must yield a completed EpochTrace whose derived
+// segments sum *exactly* to its end-to-end latency (the telescoping
+// identity, here verified against live two-process stamps rather than
+// constructed values), with the e2e latency bounded by the wall time
+// the test itself observed around the run.
+func TestEpochTraceE2ETCP(t *testing.T) {
+	obs.Traces().Reset()
+	engine, err := stream.NewSPEngine(plan.S2SProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReceiver(engine)
+	rc.RegisterSource(9)
+	addr, stop := startTestServer(t, rc)
+	defer stop()
+
+	src, err := stream.NewPipeline(plan.S2SProbe(), stream.DefaultOptions(4.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = src.SetLoadFactors([]float64{1, 1, 1})
+	cfg := workload.DefaultPingConfig(99)
+	cfg.Peers = 40
+	gen := workload.NewPingGen(cfg)
+
+	started := time.Now()
+	ship := NewDurableShipper(9, 0)
+	if err := ship.ConnectConn(mustDial(t, addr)); err != nil {
+		t.Fatal(err)
+	}
+	const epochs = 12
+	for e := 1; e <= epochs; e++ {
+		var batch telemetry.Batch
+		if e <= epochs-3 {
+			batch = gen.NextWindow(250_000)
+		} else {
+			src.ObserveTime(int64(e) * 2_000_000)
+		}
+		if err := ship.ShipEpoch(src.RunEpoch(batch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for obs.Traces().Total() < epochs {
+		if time.Now().After(deadline) {
+			t.Fatalf("joined %d of %d traces", obs.Traces().Total(), epochs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(started).Microseconds()
+	_ = ship.Close()
+
+	byEpoch := map[uint64]obs.EpochTrace{}
+	for _, tr := range obs.Traces().Recent(0) {
+		byEpoch[tr.Epoch] = tr
+	}
+	for e := uint64(1); e <= epochs; e++ {
+		tr, ok := byEpoch[e]
+		if !ok {
+			t.Fatalf("epoch %d committed but has no completed trace", e)
+		}
+		if tr.Source != 9 {
+			t.Fatalf("epoch %d: source %d, want 9", e, tr.Source)
+		}
+		if want := uint64(9)<<40 | e; tr.TraceID != want {
+			t.Fatalf("epoch %d: trace id %#x, want %#x", e, tr.TraceID, want)
+		}
+		segs := tr.Segments()
+		var sum int64
+		for _, s := range segs {
+			sum += s
+		}
+		if sum != tr.E2EMicros() {
+			t.Fatalf("epoch %d: segments sum %dus != e2e %dus (%+v)", e, sum, tr.E2EMicros(), tr)
+		}
+		if tr.E2EMicros() <= 0 || tr.E2EMicros() > elapsed {
+			t.Fatalf("epoch %d: e2e %dus outside the observed window (0, %dus]", e, tr.E2EMicros(), elapsed)
+		}
+		// Same machine, same clock: every non-residual segment is a
+		// measured duration or a difference of ordered stamps and must be
+		// non-negative; the ship residual absorbs scheduling slack but
+		// cannot be meaningfully negative on loopback.
+		for i, name := range obs.TraceSegments {
+			if name == "ship" || name == "ack" {
+				continue
+			}
+			if segs[i] < 0 {
+				t.Fatalf("epoch %d: segment %s negative (%dus): %+v", e, name, segs[i], tr)
+			}
+		}
+		// The ship residual can go negative on loopback because decode is
+		// pipelined: data frames decode while the shipper is still sealing
+		// the EpochEnd, so (arrival − sent) undercounts the decode time
+		// already spent. It is bounded below by −decode (EpochEnd itself
+		// always arrives after it was sealed on a shared clock).
+		if segs[3] < -segs[4]-1000 {
+			t.Fatalf("epoch %d: ship residual %dus below -decode (%dus)", e, segs[3], segs[4])
+		}
+	}
+}

@@ -227,6 +227,9 @@ type Receiver struct {
 	delayedN int
 	gapSeen  map[uint32]uint64
 
+	// Anomaly flight recorder (nil = unarmed, zero capture cost).
+	flight *FlightRecorder
+
 	bytesIn int64
 	frames  int64
 }
@@ -366,6 +369,22 @@ func (rc *Receiver) compression() bool {
 	return rc.comp
 }
 
+// SetFlightRecorder arms the anomaly flight recorder: every sequenced
+// connection keeps a bounded ring of raw wire frames that the recorder
+// dumps on shed/degrade/failover/fencing events (and on demand). Call
+// before serving connections; nil disarms.
+func (rc *Receiver) SetFlightRecorder(f *FlightRecorder) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.flight = f
+}
+
+func (rc *Receiver) flightRecorder() *FlightRecorder {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.flight
+}
+
 // Counters exposes the receiver's health counters (shared with the
 // Server wrapping it).
 func (rc *Receiver) Counters() *obs.Registry { return rc.counters }
@@ -461,8 +480,14 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 		src       uint32
 		sequenced bool
 		staged    []wire.Frame
-		shedding  bool // staged-frame overflow: drop until the next EpochEnd
+		shedding  bool          // staged-frame overflow: drop until the next EpochEnd
+		decAccum  time.Duration // frame-decode time since the last EpochEnd (trace context)
 	)
+	var ring *flightRing
+	if fl := rc.flightRecorder(); fl != nil {
+		ring = fl.newRing()
+		defer ring.close()
+	}
 	defer func() {
 		if sequenced {
 			rc.dropWriter(src, aw)
@@ -479,7 +504,8 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 			rc.counters.Inc(CtrRecvErrors)
 			return fmt.Errorf("transport: read frame: %w", err)
 		}
-		obs.Since(obs.StageDecode, decStart)
+		decAccum += obs.ObserveSince(obs.StageDecode, decStart)
+		ring.capture(fr.RawFrame())
 		if st := fr.Stats(); st != lastStats {
 			rc.ctrWireBytes.Add(st.WireBytes - lastStats.WireBytes)
 			rc.ctrRawBytes.Add(st.RawBytes - lastStats.RawBytes)
@@ -516,6 +542,7 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 						rc.dropWriter(src, aw)
 					}
 					src, sequenced, shedding = c.Source, true, false
+					ring.pinHello(src)
 					staged = staged[:0]
 					// Any frames staged before this Hello are dropped whole;
 					// their decoded columns are unreferenced now.
@@ -535,6 +562,27 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 						rc.counters.Inc(CtrRecvErrors)
 						return fmt.Errorf("transport: epoch end before hello")
 					}
+					if c.TraceID != 0 {
+						// The agent armed cross-process tracing for this epoch:
+						// join its half (clock stamps and stage durations from
+						// the trailing extension) with the SP-side arrival and
+						// accumulated frame-decode time. A shed epoch's entry
+						// stays in-flight so the replayed copy is marked as
+						// such when it re-begins.
+						obs.Traces().Begin(obs.EpochTrace{
+							TraceID:       c.TraceID,
+							Source:        src,
+							Epoch:         c.Seq,
+							StartMicros:   c.StartMicros,
+							GenMicros:     int64(c.GenMicros),
+							PipeMicros:    int64(c.PipeMicros),
+							EncMicros:     int64(c.EncMicros),
+							SentMicros:    c.SentMicros,
+							ArrivalMicros: time.Now().UnixMicro(),
+							DecodeMicros:  decAccum.Microseconds(),
+						})
+					}
+					decAccum = 0
 					if shedding {
 						// The epoch overflowed the staging bound mid-flight:
 						// discard it whole and ask for a replay once the
@@ -694,6 +742,10 @@ func (rc *Receiver) commitEpoch(src uint32, e *wire.EpochEnd, staged []wire.Fram
 	}
 	if e.Seq <= rc.applied[src] {
 		rc.counters.Inc(CtrEpochsReplayed)
+		// A duplicate of an already-applied epoch: its fresh trace entry
+		// (begun at EpochEnd decode) describes an epoch that will never be
+		// ingested again, so discard it rather than fake segments.
+		obs.Traces().Drop(src, e.Seq)
 		if rc.manualAck {
 			return targets, nil
 		}
@@ -781,6 +833,9 @@ func (rc *Receiver) commitEpoch(src uint32, e *wire.EpochEnd, staged []wire.Fram
 // the tenant's raw records through the controller's degrader before
 // ingestion (partial aggregates and watermarks always pass exact).
 func (rc *Receiver) applyEpochLocked(src uint32, seq uint64, watermark int64, frames []wire.Frame, degraded bool) error {
+	// Trace context: commit begins now — for delayed epochs this stamp is
+	// after the delay-queue wait, so arrival→apply is the wait segment.
+	obs.Traces().MarkApply(src, seq, time.Now().UnixMicro())
 	var (
 		deg    *admission.Degrader
 		tenant string
@@ -810,6 +865,7 @@ func (rc *Receiver) applyEpochLocked(src uint32, seq uint64, watermark int64, fr
 	rc.engine.ObserveWatermark(src, watermark)
 	rc.applied[src] = seq
 	rc.counters.Inc(CtrEpochsApplied)
+	obs.Traces().MarkDone(src, seq, time.Now().UnixMicro())
 	return nil
 }
 
@@ -1005,7 +1061,12 @@ func (rc *Receiver) shedOverflowLocked(targets []ackTarget) []ackTarget {
 func (rc *Receiver) noteShed(src uint32, seq uint64, cause string, fromQueue bool) {
 	rc.counters.Inc(CtrEpochsShed)
 	if ctrl := rc.admission(); ctrl != nil {
+		// The controller's shed decision reaches the flight recorder via
+		// the decision-log notify hook.
 		ctrl.NoteShed(src, seq, cause, fromQueue)
+	} else if fl := rc.flightRecorder(); fl != nil {
+		// No controller, no decision emitted: trigger the dump directly.
+		fl.trigger("shed:"+cause, true)
 	}
 }
 
@@ -1022,6 +1083,9 @@ func (rc *Receiver) sendAcks(targets []ackTarget) {
 	for _, t := range targets {
 		if err := t.aw.sendAck(t.src, t.seq, rc.throttleFor(t.src), t.replay); err == nil {
 			rc.counters.Inc(CtrAcksSent)
+			// Acks are cumulative: every traced epoch at or below the acked
+			// frontier is complete now.
+			obs.Traces().FinishUpTo(t.src, t.seq, time.Now().UnixMicro())
 		}
 	}
 }
@@ -1103,6 +1167,7 @@ func (rc *Receiver) AckSeqs(seqs map[uint32]uint64) {
 	for _, t := range targets {
 		if err := t.aw.sendAck(t.src, t.seq, rc.throttleFor(t.src), false); err == nil {
 			rc.counters.Inc(CtrAcksSent)
+			obs.Traces().FinishUpTo(t.src, t.seq, time.Now().UnixMicro())
 		}
 	}
 }

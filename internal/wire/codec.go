@@ -150,6 +150,16 @@ func EncodeRecord(dst []byte, rec telemetry.Record) ([]byte, error) {
 		dst = appendHeader(dst, rec)
 		dst = binary.BigEndian.AppendUint64(dst, p.Seq)
 		dst = binary.BigEndian.AppendUint64(dst, uint64(p.Watermark))
+		// Trace-context extension: emitted only when armed, so untraced
+		// epochs keep the pre-trace encoding byte for byte.
+		if p.TraceID != 0 {
+			dst = binary.AppendUvarint(dst, p.TraceID)
+			dst = binary.AppendUvarint(dst, zigzag(p.StartMicros))
+			dst = binary.AppendUvarint(dst, p.GenMicros)
+			dst = binary.AppendUvarint(dst, p.PipeMicros)
+			dst = binary.AppendUvarint(dst, p.EncMicros)
+			dst = binary.AppendUvarint(dst, zigzag(p.SentMicros))
+		}
 		return dst, nil
 	case *SnapshotHeader:
 		dst = append(dst, TagSnapshotHeader)
@@ -508,6 +518,28 @@ func DecodeRecord(buf []byte) (telemetry.Record, int, error) {
 		p := &EpochEnd{}
 		p.Seq = r.u64()
 		p.Watermark = int64(r.u64())
+		// Trace-context extension: a pre-trace peer's EpochEnd ends here
+		// and decodes as TraceID 0 (untraced). EpochEnd travels alone in
+		// its frame, so trailing bytes are unambiguous (same convention as
+		// the Hello/Ack extensions).
+		if r.err == nil && r.off < len(buf) {
+			p.TraceID = r.uvarint()
+		}
+		if r.err == nil && r.off < len(buf) {
+			p.StartMicros = unzigzag(r.uvarint())
+		}
+		if r.err == nil && r.off < len(buf) {
+			p.GenMicros = r.uvarint()
+		}
+		if r.err == nil && r.off < len(buf) {
+			p.PipeMicros = r.uvarint()
+		}
+		if r.err == nil && r.off < len(buf) {
+			p.EncMicros = r.uvarint()
+		}
+		if r.err == nil && r.off < len(buf) {
+			p.SentMicros = unzigzag(r.uvarint())
+		}
 		rec.Data = p
 		rec.WireSize = 33
 	case TagSnapshotHeader:

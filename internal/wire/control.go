@@ -75,10 +75,30 @@ type Ack struct {
 // EpochEnd commits one shipped epoch: every data frame since the previous
 // EpochEnd belongs to epoch Seq, which the receiver applies atomically
 // (all frames, then the watermark) exactly once — duplicates with
-// Seq ≤ last applied are discarded whole.
+// Seq ≤ last applied are discarded whole. Like Hello and Ack, EpochEnd
+// records travel alone in their frame, which is what makes the trailing
+// trace extension below unambiguous.
+//
+// TraceID onward is the trace-context extension (appended after
+// Watermark): the agent-side half of the cross-process epoch trace that
+// the receiver joins with its own decode/wait/ingest/snapshot/replicate/
+// ack segments into an obs.EpochTrace. A pre-trace peer's EpochEnd ends
+// at Watermark and decodes with TraceID 0 (= untraced); encoders emit
+// the extension only when TraceID is nonzero, so untraced epochs stay
+// byte-identical to older builds. StartMicros and SentMicros are agent
+// wall-clock unix microseconds; SentMicros is stamped when the epoch's
+// bytes are sealed into the replay buffer, so on a replayed epoch the
+// receiver's ship segment honestly includes the buffering delay.
 type EpochEnd struct {
 	Seq       uint64
 	Watermark int64
+
+	TraceID     uint64 // nonzero arms cross-process tracing for this epoch
+	StartMicros int64  // agent clock at epoch start (generate begin)
+	GenMicros   uint64 // generate stage duration
+	PipeMicros  uint64 // pipeline stage duration
+	EncMicros   uint64 // encode stage duration
+	SentMicros  int64  // agent clock when the epoch's bytes were sealed
 }
 
 // SnapshotHeader opens an encoded checkpoint snapshot: the epoch sequence

@@ -247,6 +247,14 @@ func (fr *FrameReader) RecycleArenas() {
 	}
 }
 
+// RawFrame returns the wire bytes of the frame the last successful
+// ReadFrame decoded: the 12-byte header plus payload exactly as carried
+// on the wire (still deflated for compressed frames), without the 4-byte
+// length prefix. The slice aliases the reader's internal buffer and is
+// valid only until the next ReadFrame — callers that retain frames (the
+// transport flight recorder) must copy.
+func (fr *FrameReader) RawFrame() []byte { return fr.buf }
+
 // SetColumnarExec switches the reader to columnar-execution decoding:
 // columnar data frames are returned as SoA batches (Frame.Cols) instead
 // of materialized records, so a v2 connection's payload can flow

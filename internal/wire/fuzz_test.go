@@ -144,6 +144,81 @@ func FuzzDecodeControlHandshake(f *testing.F) {
 	})
 }
 
+// FuzzDecodeEpochTrace targets the EpochEnd trailing trace-context
+// extension: any byte string that decodes to an EpochEnd must re-encode
+// stably, and when the trace is armed (TraceID nonzero) every extension
+// field must survive a second decode unchanged; an untraced EpochEnd
+// must re-encode to the 33-byte pre-trace form with a zeroed extension.
+// Seeds cover the untraced form, fully traced epochs (including negative
+// clock stamps), and truncations at every extension-field boundary — the
+// prefixes a mixed-version fleet actually emits.
+func FuzzDecodeEpochTrace(f *testing.F) {
+	seeds := []telemetry.Record{
+		{Time: 1, WireSize: 33, Data: &EpochEnd{Seq: 12, Watermark: 1_000_000}},
+		{Time: 1, WireSize: 33, Data: &EpochEnd{Seq: 412, Watermark: 9_000_000,
+			TraceID: 3<<40 | 412, StartMicros: 1_722_000_000_000_000,
+			GenMicros: 180, PipeMicros: 1_630, EncMicros: 240,
+			SentMicros: 1_722_000_000_002_050}},
+		{Time: 1, WireSize: 33, Data: &EpochEnd{Seq: 1, Watermark: -5,
+			TraceID: 1, StartMicros: -1, SentMicros: -2}},
+	}
+	for _, rec := range seeds {
+		enc, err := EncodeRecord(nil, rec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		// Truncated at (and inside) every trailing field: each prefix is
+		// either a valid pre-trace encoding or a partially applied
+		// extension, and none may panic or mis-consume.
+		for cut := 1; cut <= 8 && cut < len(enc); cut++ {
+			f.Add(enc[:len(enc)-cut])
+		}
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, _, err := DecodeRecord(data)
+		if err != nil {
+			return
+		}
+		p, ok := rec.Data.(*EpochEnd)
+		if !ok {
+			return
+		}
+		enc, err := EncodeRecord(nil, rec)
+		if err != nil {
+			t.Fatalf("re-encode of decoded EpochEnd: %v", err)
+		}
+		rec2, n2, err := DecodeRecord(enc)
+		if err != nil || n2 != len(enc) {
+			t.Fatalf("decode of re-encoding: n=%d err=%v", n2, err)
+		}
+		q, ok := rec2.Data.(*EpochEnd)
+		if !ok {
+			t.Fatalf("re-encoding decoded to %T", rec2.Data)
+		}
+		if p.TraceID != 0 {
+			if *q != *p {
+				t.Fatalf("trace extension fields changed: %+v vs %+v", q, p)
+			}
+		} else {
+			// Untraced epochs re-encode to the pre-trace form: trailing
+			// garbage behind a zero TraceID must not survive the round
+			// trip.
+			if q.Seq != p.Seq || q.Watermark != p.Watermark || *q != (EpochEnd{Seq: p.Seq, Watermark: p.Watermark}) {
+				t.Fatalf("untraced EpochEnd not canonical: %+v", q)
+			}
+		}
+		enc2, err := EncodeRecord(nil, rec2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("EpochEnd encoding not stable:\n%x\n%x", enc, enc2)
+		}
+	})
+}
+
 // FuzzReadFrame checks that the frame reader never panics on arbitrary
 // bytes and that successfully decoded frames round-trip through
 // WriteFrame/ReadFrame.
