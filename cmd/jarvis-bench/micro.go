@@ -13,11 +13,13 @@ import (
 	"jarvis/internal/checkpoint"
 	"jarvis/internal/obs"
 	"jarvis/internal/plan"
+	"jarvis/internal/sim"
 	"jarvis/internal/stream"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/transport"
 	"jarvis/internal/wire"
 	"jarvis/internal/workload"
+	"jarvis/internal/workload/spec"
 )
 
 // BenchRecord is one micro-benchmark's machine-readable result.
@@ -125,6 +127,12 @@ func runMicro(outPath string) error {
 	}
 	records = append(records, admRecs...)
 
+	simRecs, err := clusterSimRecords()
+	if err != nil {
+		return err
+	}
+	records = append(records, simRecs...)
+
 	data, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
 		return err
@@ -175,7 +183,83 @@ func spIngestBenchmarks() ([]BenchRecord, error) {
 		}
 	})
 	records = append(records, record("BenchmarkSPIngestColumnar", batch.TotalBytes(), r))
+
+	// The same A/B on the distributed-tracing workload: TraceSpanAgg over
+	// one second of SpanGen drain, rows vs identical records as SoA.
+	rowSpan, spanBatch, _, err := benchcase.SpanIngest()
+	if err != nil {
+		return nil, err
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := rowSpan.Ingest(0, spanBatch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	records = append(records, record("BenchmarkSPIngestSpans", spanBatch.TotalBytes(), r))
+
+	colSpan, _, spanCB, err := benchcase.SpanIngest()
+	if err != nil {
+		return nil, err
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := colSpan.IngestColumnar(0, spanCB); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	records = append(records, record("BenchmarkSPIngestSpansColumnar", spanBatch.TotalBytes(), r))
 	return records, nil
+}
+
+// clusterSimRecords measures the cluster simulator's wall-clock
+// throughput: a 500-node four-workload spec run to completion on the
+// shared virtual clock. NsPerOp carries node-epochs per wall second;
+// the speedup record is virtual seconds per wall second.
+func clusterSimRecords() ([]BenchRecord, error) {
+	doc := []byte(`{
+  "name": "bench-500",
+  "seed": 17,
+  "epochs": 3,
+  "groups": [
+    {"name": "ping", "query": "s2s", "nodes": 200, "rate_mbps": 0.02},
+    {"name": "tor", "query": "t2t", "nodes": 100, "rate_mbps": 0.02},
+    {"name": "logs", "query": "log", "nodes": 100, "rate_mbps": 0.02},
+    {"name": "traces", "query": "spans", "nodes": 100, "rate_mbps": 0.02}
+  ]
+}`)
+	s, err := spec.Parse(doc)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := s.Compile()
+	if err != nil {
+		return nil, err
+	}
+	c, err := sim.NewCluster(sim.ClusterConfig{Scenario: sc})
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Run()
+	if err != nil {
+		return nil, err
+	}
+	return []BenchRecord{
+		{
+			Name:       "ClusterSimNodeEpochsPerSec@500x4q",
+			NsPerOp:    res.NodeEpochsPerSec,
+			Iterations: res.Nodes,
+		},
+		{
+			Name:       "ClusterSimVirtualSpeedup@500x4q",
+			NsPerOp:    res.VirtualSeconds / res.WallSeconds,
+			Iterations: res.Epochs,
+		},
+	}, nil
 }
 
 // checkpointBenchmarks measures the fault-tolerance subsystem's hot

@@ -1,12 +1,23 @@
-// Command jarvis-sim runs the epoch-level convergence simulator: a
+// Command jarvis-sim runs the deterministic simulators.
+//
+// Without -spec it runs the epoch-level convergence simulator: a
 // single data source under a scripted resource scenario, tracing the
 // Jarvis runtime's phases and states per epoch (the raw data behind
 // Fig. 8).
+//
+// With -spec it runs the cluster simulator: a declarative workload
+// spec compiled to hundreds or thousands of real agent pipelines
+// shipping wire-v2 epochs into real SP engines under one shared
+// virtual clock — no goroutines, no wall-clock sleeps, byte-identical
+// result logs and decision traces on every run of the same spec.
 //
 // Usage:
 //
 //	jarvis-sim -query s2s -budget 0.1 -epochs 30 \
 //	    -event 3:budget=0.9 -event 18:budget=0.6 -variant jarvis
+//
+//	jarvis-sim -spec cluster.json -nodes 1000 -checkpoint-dir /tmp/ckpt \
+//	    -replay s2s=traffic.capture
 package main
 
 import (
@@ -20,6 +31,7 @@ import (
 	"jarvis/internal/experiments"
 	"jarvis/internal/runtime"
 	"jarvis/internal/sim"
+	"jarvis/internal/workload/spec"
 )
 
 type eventFlags []string
@@ -33,14 +45,85 @@ func main() {
 	epochs := flag.Int("epochs", 30, "epochs to simulate")
 	variant := flag.String("variant", "jarvis", "runtime variant (jarvis|lponly|nolpinit)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
-	var events eventFlags
+	specPath := flag.String("spec", "", "cluster mode: workload spec JSON (see internal/workload/spec)")
+	nodes := flag.Int("nodes", 0, "cluster mode: rescale the spec to this many total nodes")
+	checkpointDir := flag.String("checkpoint-dir", "", "cluster mode: durable SP checkpoints under this directory")
+	resultLogs := flag.Bool("result-logs", false, "cluster mode: print each SP's canonical result log")
+	var events, replays eventFlags
 	flag.Var(&events, "event", "scripted change, e.g. 3:budget=0.9 or 12:opcost=2x3.0 (epoch:kind=value)")
+	flag.Var(&replays, "replay", "cluster mode: recorded traffic capture as arrival source, query=path (repeatable)")
 	flag.Parse()
 
-	if err := run(*queryName, *budget, *epochs, *variant, *seed, events); err != nil {
+	var err error
+	if *specPath != "" {
+		err = runCluster(*specPath, *nodes, *checkpointDir, *resultLogs, replays)
+	} else {
+		err = run(*queryName, *budget, *epochs, *variant, *seed, events)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "jarvis-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// runCluster compiles a workload spec and drives the shared-clock
+// cluster simulation, printing the run summary and determinism digest.
+func runCluster(specPath string, nodes int, checkpointDir string, printLogs bool, replays []string) error {
+	doc, err := os.ReadFile(specPath)
+	if err != nil {
+		return err
+	}
+	s, err := spec.Parse(doc)
+	if err != nil {
+		return err
+	}
+	if nodes > 0 {
+		s.ScaleNodes(nodes)
+	}
+	sc, err := s.Compile()
+	if err != nil {
+		return err
+	}
+	cfg := sim.ClusterConfig{Scenario: sc, CheckpointDir: checkpointDir}
+	for _, r := range replays {
+		query, path, ok := strings.Cut(r, "=")
+		if !ok {
+			return fmt.Errorf("bad -replay %q (want query=path)", r)
+		}
+		capture, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		cfg.Replay = append(cfg.Replay, sim.ReplaySource{Query: query, Capture: capture})
+	}
+	c, err := sim.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := c.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("spec %s: %d nodes, %d epochs (%.0fs virtual)\n",
+		s.Name, res.Nodes, res.Epochs, res.VirtualSeconds)
+	fmt.Printf("wall %.2fs, %.0f node-epochs/sec, %d events\n",
+		res.WallSeconds, res.NodeEpochsPerSec, res.Events)
+	fmt.Printf("rows %d, failovers %d, epochs delayed %d, degraded %d\n",
+		res.Rows, res.Failovers, res.EpochsDelayed, res.EpochsDegraded)
+	names := make([]string, 0, len(res.ResultLogs))
+	for name := range res.ResultLogs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		log := res.ResultLogs[name]
+		fmt.Printf("  sp %-12s %6d bytes result log\n", name, len(log))
+		if printLogs {
+			os.Stdout.Write(log)
+		}
+	}
+	return nil
 }
 
 func run(queryName string, budget float64, epochs int, variant string, seed uint64, eventSpecs []string) error {

@@ -56,6 +56,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -99,6 +100,7 @@ type config struct {
 	admitDegradeRate       float64
 	admitPressure          float64
 	admitTenantRate        tenantRateFlag
+	recordTraffic          string
 }
 
 // tenantRateFlag collects repeatable -admit-tenant-rate tenant=bytes/s
@@ -154,6 +156,7 @@ func main() {
 	flag.Float64Var(&cfg.admitPressure, "admit-pressure", 0, "ingest p99 threshold in seconds: tenants degrade only while the live ingest p99 exceeds this, and promote once it clears (0 = bucket streaks alone decide)")
 	cfg.admitTenantRate = tenantRateFlag{}
 	flag.Var(cfg.admitTenantRate, "admit-tenant-rate", "absolute admission budget override `tenant=bytes/s` for one tenant, layered over -admit-rate (repeatable)")
+	flag.StringVar(&cfg.recordTraffic, "record-traffic", "", "record every sequenced wire frame of every connection to this file (replayable via transport.ReplayTraffic or jarvis-sim -replay)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -218,6 +221,28 @@ func run(cfg config) error {
 	fl := transport.NewFlightRecorder(rc.Counters())
 	rc.SetFlightRecorder(fl)
 	obs.Decisions().SetNotify(fl.OnDecision)
+
+	// Full-fidelity traffic recording: unlike the flight ring this keeps
+	// every frame, turning the live run into a deterministic replay corpus.
+	if cfg.recordTraffic != "" {
+		tf, err := os.Create(cfg.recordTraffic)
+		if err != nil {
+			return fmt.Errorf("-record-traffic: %w", err)
+		}
+		tw := bufio.NewWriterSize(tf, 1<<20)
+		tr := transport.NewTrafficRecorder(tw)
+		rc.SetTrafficRecorder(tr)
+		defer func() {
+			if err := tr.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "jarvis-sp: traffic recorder:", err)
+			}
+			if err := tw.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "jarvis-sp: traffic flush:", err)
+			}
+			tf.Close()
+		}()
+		fmt.Printf("jarvis-sp: recording traffic to %s\n", cfg.recordTraffic)
+	}
 
 	var (
 		rm   *checkpoint.SPRecovery

@@ -147,3 +147,39 @@ func PipelineEpochColumnar() (*stream.Pipeline, *wire.ColumnarBatch, error) {
 	gen.NextWindowCols(1_000_000, &cb)
 	return pipe, &cb, nil
 }
+
+// SpanIngest builds the TraceSpanAgg ingest benchmark pair: a span
+// engine plus one second of SpanGen drain as decoded rows and as the
+// identical records decoded into a wire-v2 SoA batch — the span-query
+// analogue of SPIngest, so the columnar-vs-row A/B holds for the
+// distributed-tracing workload too.
+func SpanIngest() (*stream.SPEngine, telemetry.Batch, *wire.ColumnarBatch, error) {
+	engine, err := stream.NewSPEngine(plan.TraceSpanAgg())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	gen := workload.NewSpanGen(workload.DefaultSpanConfig(2))
+	batch := gen.NextWindow(1_000_000)
+	var buf bytes.Buffer
+	fw := wire.NewFrameWriter(&buf)
+	fw.SetColumnar(true)
+	if err := fw.WriteFrame(wire.Frame{StreamID: 0, Source: 1, Records: batch}); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := fw.Flush(); err != nil {
+		return nil, nil, nil, err
+	}
+	fr := wire.NewFrameReader(bytes.NewReader(buf.Bytes()))
+	fr.SetColumnarExec(true)
+	f, err := fr.ReadFrame()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if f.Cols == nil {
+		return nil, nil, nil, fmt.Errorf("benchcase: span frame did not decode to a SoA batch")
+	}
+	if f.Cols.Records() != len(batch) {
+		return nil, nil, nil, fmt.Errorf("benchcase: span SoA decode yielded %d of %d records", f.Cols.Records(), len(batch))
+	}
+	return engine, batch, f.Cols, nil
+}

@@ -40,7 +40,8 @@ func T2TQuery(tableSize int) *plan.Query {
 	return plan.T2TProbe(telemetry.NewToRTable(ips, 40))
 }
 
-// QueryByName returns one of the paper's queries: "s2s", "t2t", "log".
+// QueryByName returns one of the canonical queries: "s2s", "t2t", "log",
+// "spans".
 func QueryByName(name string) (*plan.Query, float64, error) {
 	switch strings.ToLower(name) {
 	case "s2s", "s2sprobe":
@@ -49,6 +50,8 @@ func QueryByName(name string) (*plan.Query, float64, error) {
 		return T2TQuery(500), workload.PingmeshMbps10x, nil
 	case "log", "loganalytics":
 		return plan.LogAnalytics(), workload.LogMbps10x, nil
+	case "spans", "tracespanagg":
+		return plan.TraceSpanAgg(), workload.SpanMbps10x, nil
 	default:
 		return nil, 0, fmt.Errorf("experiments: unknown query %q", name)
 	}

@@ -7,6 +7,7 @@ import (
 	"jarvis/internal/admission"
 	"jarvis/internal/ha"
 	"jarvis/internal/obs"
+	"jarvis/internal/sim"
 	"jarvis/internal/transport"
 )
 
@@ -66,8 +67,17 @@ func TestMetricNameCatalog(t *testing.T) {
 		obs.HistEpochE2E:         "epoch_e2e_seconds",
 		obs.CtrCriticalPath:      "epoch_critical_path_total",
 		transport.CtrFlightDumps: "flight_dumps_total",
+		// full-fidelity traffic recording and the cluster simulator
+		transport.CtrTrafficConns:  "traffic_conns_recorded",
+		transport.CtrTrafficFrames: "traffic_frames_recorded",
+		transport.CtrTrafficBytes:  "traffic_bytes_recorded",
+		transport.CtrTrafficEpochs: "traffic_epochs_recorded",
+		sim.GaugeSimVirtualSeconds: "sim_virtual_seconds",
+		sim.CtrSimEvents:           "sim_events_processed",
+		sim.CtrSimEpochs:           "sim_epochs_total",
+		sim.CtrSimFailovers:        "sim_failovers_total",
 	}
-	if len(want) != 43 {
+	if len(want) != 51 {
 		t.Fatalf("catalog lost an entry (duplicate constant value?): %d", len(want))
 	}
 	for got, expect := range want {

@@ -78,6 +78,11 @@ const (
 	// group (when the group is first seen), not once per row: lookups go
 	// through a per-window cache keyed on the interned column strings.
 	AggKernelJobStatsCount
+	// AggKernelJobStatsDur keys JobStats sections like
+	// AggKernelJobStatsCount but aggregates the Stat value instead of
+	// counting — JobStatsKey/JobStatsVal. The TraceSpanAgg query uses it
+	// to fold span durations per (service, operation) key.
+	AggKernelJobStatsDur
 )
 
 // --- Window ---
@@ -398,6 +403,8 @@ func (g *GroupAgg) ProcessColumnar(cb *wire.ColumnarBatch) {
 			g.aggToRPairRTT(sec)
 		case sec.Job != nil && g.kernel == AggKernelJobStatsCount:
 			g.aggJobStatsCount(sec)
+		case sec.Job != nil && g.kernel == AggKernelJobStatsDur:
+			g.aggJobStatsDur(sec)
 		default:
 			g.colScratch = g.colScratch[:0]
 			sec.AppendRows(&g.colScratch)
@@ -502,10 +509,23 @@ type jobRefKey struct {
 }
 
 // aggJobStatsCount aggregates a JobStats section keyed on interned
-// string refs: the canonical string key is assembled only when a group
-// is first seen in a window; afterwards rows reach their cell through
-// the per-window byRef cache.
+// string refs, counting one per row — JobStatsKey/JobStatsOne.
 func (g *GroupAgg) aggJobStatsCount(sec *wire.ColSec) {
+	g.aggJobStats(sec, false)
+}
+
+// aggJobStatsDur is aggJobStatsCount folding the Stat column instead of
+// counting — JobStatsKey/JobStatsVal.
+func (g *GroupAgg) aggJobStatsDur(sec *wire.ColSec) {
+	g.aggJobStats(sec, true)
+}
+
+// aggJobStats aggregates a JobStats section keyed on interned string
+// refs: the canonical string key is assembled only when a group is first
+// seen in a window; afterwards rows reach their cell through the
+// per-window byRef cache. useStat selects the folded value: the Stat
+// column (durations) or a constant 1 (counts).
+func (g *GroupAgg) aggJobStats(sec *wire.ColSec, useStat bool) {
 	c := sec.Job
 	var win *aggWindow
 	winID, haveWin := int64(0), false
@@ -516,6 +536,10 @@ func (g *GroupAgg) aggJobStatsCount(sec *wire.ColSec) {
 			win.gen = g.gen
 			winID, haveWin = w, true
 		}
+		val := 1.0
+		if useStat {
+			val = c.Stat[i]
+		}
 		ref := jobRefKey{tenant: c.Tenant[i], stat: c.StatName[i], bucket: c.Bucket[i]}
 		cell := win.byRef[ref]
 		if cell == nil {
@@ -525,7 +549,7 @@ func (g *GroupAgg) aggJobStatsCount(sec *wire.ColSec) {
 			key := telemetry.StrKey(ref.tenant + "|" + ref.stat + "|" + itoa(int(ref.bucket)))
 			cell = win.lookup(key)
 			if cell == nil {
-				cell = &aggCell{row: telemetry.NewAggRow(key, w, 1), gen: g.gen}
+				cell = &aggCell{row: telemetry.NewAggRow(key, w, val), gen: g.gen}
 				win.store(key, cell)
 				if win.byRef == nil {
 					win.byRef = make(map[jobRefKey]*aggCell)
@@ -538,7 +562,7 @@ func (g *GroupAgg) aggJobStatsCount(sec *wire.ColSec) {
 			}
 			win.byRef[ref] = cell
 		}
-		cell.row.Observe(1)
+		cell.row.Observe(val)
 		cell.gen = g.gen
 	})
 }

@@ -531,6 +531,12 @@ func JobStatsKey(rec telemetry.Record) telemetry.GroupKey {
 // JobStatsOne returns 1: the LogAnalytics aggregate is a count.
 func JobStatsOne(telemetry.Record) float64 { return 1 }
 
+// JobStatsVal extracts the Stat value — TraceSpanAgg folds span
+// durations (milliseconds) instead of counting.
+func JobStatsVal(rec telemetry.Record) float64 {
+	return rec.Data.(*telemetry.JobStats).Stat
+}
+
 func itoa(v int) string {
 	if v == 0 {
 		return "0"

@@ -378,6 +378,41 @@ func bucketizeKernel(sec *wire.ColSec, out *[]wire.ColSec) bool {
 	return true
 }
 
+// TraceSpanAgg builds the fourth canonical query: distributed-trace span
+// aggregation. Spans arrive as JobStats records (service, operation,
+// duration in ms); health-check spans are filtered out, then durations
+// fold into count/sum/min/max per (service, operation) key over 10 s
+// windows. The grouped key space is high-cardinality (thousands of keys,
+// Zipf-skewed), so G+R's relay reduction is weaker than LogAnalytics'
+// 64-tenant histogram — which is exactly the regime it stresses.
+func TraceSpanAgg() *Query {
+	liveSpan := func(rec telemetry.Record) bool {
+		j, ok := rec.Data.(*telemetry.JobStats)
+		return ok && j.StatName != workload.SpanHealthOp
+	}
+	return NewQuery("TraceSpanAgg").
+		WithRefRate(workload.SpanMbps10x, workload.AvgSpanBytes).
+		Window(10*time.Second, 0.6).
+		FilterFunc("liveSpans", liveSpan, 3.4, 1-DefaultSpanHealthFrac).
+		WithColumnarPred(liveSpanColPred).
+		GroupAgg("spanAgg", operator.JobStatsKey, operator.JobStatsVal, 11.5, 0.12).
+		WithAggKernel(operator.AggKernelJobStatsDur)
+}
+
+// DefaultSpanHealthFrac mirrors workload.DefaultSpanConfig's HealthFrac:
+// the filter's expected drop rate, used as the relay hint.
+const DefaultSpanHealthFrac = 0.08
+
+// liveSpanColPred evaluates the health-span filter over the interned
+// StatName column.
+func liveSpanColPred(sec *wire.ColSec) (func(i int) bool, bool) {
+	if sec.Job == nil {
+		return nil, false
+	}
+	names := sec.Job.StatName
+	return func(i int) bool { return names[i] != workload.SpanHealthOp }, true
+}
+
 // S2SQuantileProbe is the approximate-percentile variant of S2SProbe the
 // paper's rule R-1 discussion motivates (citing the authors' datacenter
 // telemetry quantile work): per server pair, a mergeable sketch answers

@@ -1,0 +1,819 @@
+// Cluster-scale deterministic simulation: where Node models one agent
+// analytically, Cluster runs hundreds to thousands of REAL agent
+// pipelines (stream.Pipeline epochs over columnar batches) against real
+// SP engines — receiver, admission controller, checkpoint/recovery
+// machinery included — under one shared virtual clock. Scheduling is a
+// discrete-event heap: no goroutines race, no wall-clock sleeps happen,
+// and two runs of the same compiled spec produce byte-identical result
+// logs and decision traces, which is what makes 1000-node failover
+// scenarios regression-testable under -race.
+package sim
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"jarvis/internal/admission"
+	"jarvis/internal/checkpoint"
+	"jarvis/internal/obs"
+	"jarvis/internal/plan"
+	"jarvis/internal/stream"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/transport"
+	"jarvis/internal/wire"
+	"jarvis/internal/workload/spec"
+)
+
+// Simulation metric names (default registry).
+const (
+	GaugeSimVirtualSeconds = "sim_virtual_seconds"
+	CtrSimEvents           = "sim_events_processed"
+	CtrSimEpochs           = "sim_epochs_total"
+	CtrSimFailovers        = "sim_failovers_total"
+)
+
+// simClockBase anchors the virtual clock at a fixed wall instant so
+// time-based subsystems (admission token buckets) see identical
+// timestamps in every run.
+var simClockBase = time.Unix(1_700_000_000, 0)
+
+// ClusterConfig configures a spec-driven cluster run.
+type ClusterConfig struct {
+	// Scenario is the compiled workload spec (spec.Spec.Compile).
+	Scenario *spec.Scenario
+	// CheckpointDir, when non-empty, gives every SP a durable
+	// snapshot store and exactly-once result log under
+	// <dir>/<query>; sp_crash faults then recover from the latest
+	// snapshot instead of losing state.
+	CheckpointDir string
+	// Replay adds recorded wire-v2 traffic captures as additional
+	// arrival sources: each capture's connections are split into
+	// per-epoch frame runs and fed, one run per virtual epoch, into a
+	// dedicated SP for the named query.
+	Replay []ReplaySource
+	// MaxPending overrides the shippers' replay-buffer bound
+	// (0 selects a sim default comfortably above checkpoint cadence
+	// plus outage length).
+	MaxPending int
+}
+
+// ReplaySource is one recorded traffic capture replayed into the sim.
+type ReplaySource struct {
+	// Query names the canonical query the capture was recorded against.
+	Query string
+	// Capture is a transport traffic capture (TrafficMagic format).
+	Capture []byte
+}
+
+// ClusterResult summarizes a completed run.
+type ClusterResult struct {
+	// Nodes is the number of simulated agents (spec nodes + replayed
+	// connections).
+	Nodes int
+	// Epochs is the number of virtual epochs driven (data + drain).
+	Epochs int
+	// VirtualSeconds is the virtual time advanced.
+	VirtualSeconds float64
+	// Events is the number of discrete events processed.
+	Events int64
+	// WallSeconds is the real time the run took.
+	WallSeconds float64
+	// NodeEpochsPerSec is the wall-clock simulation throughput in
+	// node-epochs per second.
+	NodeEpochsPerSec float64
+	// Rows is the total number of final result rows across SPs.
+	Rows int
+	// Failovers counts sp_crash faults executed.
+	Failovers int
+	// EpochsDelayed/EpochsDegraded sum the SPs' admission activity —
+	// how often overload protection actually engaged during the run.
+	EpochsDelayed  int64
+	EpochsDegraded int64
+	// ResultLogs holds one canonical result log per SP (keyed by SP
+	// name): rows rendered sorted within each advance batch, so two
+	// deterministic runs compare byte-for-byte.
+	ResultLogs map[string][]byte
+	// Decisions is the canonicalized decision trace of the run
+	// (timestamps stripped; ordering and content preserved).
+	Decisions []byte
+}
+
+// simEvent is one scheduled action. Ordering is (at, prio, seq): faults
+// fire before node ticks, node ticks before SP advances, and insertion
+// order breaks remaining ties — fully deterministic.
+type simEvent struct {
+	at   int64 // virtual micros
+	prio int
+	seq  int
+	run  func()
+}
+
+const (
+	prioFault = iota
+	prioNode
+	prioAdvance
+)
+
+type eventHeap []*simEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)         { *h = append(*h, x.(*simEvent)) }
+func (h *eventHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; old[n-1] = nil; *h = old[:n-1]; return e }
+func (h eventHeap) peekAt() (int64, bool) {
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// simSP is one simulated stream processor: a real engine behind a real
+// receiver, optionally with admission control and durable recovery.
+type simSP struct {
+	name    string // SP key ("s2s", "spans", "replay:s2s", ...)
+	query   string // canonical query name
+	engine  *stream.SPEngine
+	rc      *transport.Receiver
+	admit   *admission.Controller
+	rm      *checkpoint.SPRecovery
+	store   *checkpoint.Store
+	rlog    *checkpoint.ResultLog
+	dir     string // checkpoint dir ("" = stateless)
+	sources []uint32
+	down    bool
+	log     bytes.Buffer
+	rows    int
+}
+
+// clusterNode is one spec node wired to a live pipeline and shipper.
+type clusterNode struct {
+	spec      *spec.Node
+	pipe      *stream.Pipeline
+	ship      *transport.DurableShipper
+	sp        *simSP
+	eventTime int64
+	cb        wire.ColumnarBatch
+}
+
+// replayNode feeds one recorded connection's epochs into its SP, one
+// epoch run per virtual epoch.
+type replayNode struct {
+	src    uint32
+	hello  *wire.Hello
+	sp     *simSP
+	runs   [][][]byte
+	cursor int
+	seqs   []uint64 // epoch seq per run (patched into re-hellos)
+}
+
+// Cluster is a compiled, ready-to-run simulation.
+type Cluster struct {
+	cfg     ClusterConfig
+	sc      *spec.Scenario
+	tor     *telemetry.ToRTable
+	now     int64 // virtual micros
+	seq     int
+	events  eventHeap
+	sps     map[string]*simSP
+	spOrder []string
+	nodes   []*clusterNode
+	replays []*replayNode
+
+	failovers int
+	nEvents   int64
+
+	gVirtual  obs.Gauge
+	cEvents   obs.Counter
+	cEpochs   obs.Counter
+	cFailover obs.Counter
+}
+
+// rwConn adapts a (reader, ack-buffer) pair to the receiver's conn
+// interface for synchronous flush sessions.
+type rwConn struct {
+	r *bytes.Reader
+	w *bytes.Buffer
+}
+
+func (c rwConn) Read(p []byte) (int, error)  { return c.r.Read(p) }
+func (c rwConn) Write(p []byte) (int, error) { return c.w.Write(p) }
+
+// NewCluster compiles a ClusterConfig into a runnable simulation.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	sc := cfg.Scenario
+	if sc == nil || len(sc.Nodes) == 0 {
+		return nil, fmt.Errorf("sim: cluster needs a compiled scenario with nodes")
+	}
+	maxPending := cfg.MaxPending
+	if maxPending <= 0 {
+		maxPending = 1024
+	}
+	reg := obs.Default()
+	c := &Cluster{
+		cfg: cfg, sc: sc,
+		sps:       map[string]*simSP{},
+		gVirtual:  reg.Gauge(GaugeSimVirtualSeconds),
+		cEvents:   reg.Counter(CtrSimEvents),
+		cEpochs:   reg.Counter(CtrSimEpochs),
+		cFailover: reg.Counter(CtrSimFailovers),
+	}
+
+	// One SP per distinct query, in spec first-use order.
+	for _, q := range sc.Queries {
+		sp, err := c.newSP(q, q)
+		if err != nil {
+			return nil, err
+		}
+		c.sps[q] = sp
+		c.spOrder = append(c.spOrder, q)
+	}
+
+	// Spec nodes: real pipelines, sequenced durable shippers.
+	for i := range sc.Nodes {
+		sn := &sc.Nodes[i]
+		q, err := c.queryFor(sn.Query)
+		if err != nil {
+			return nil, err
+		}
+		pipe, err := stream.NewPipeline(q, stream.DefaultOptions(4.0, 0))
+		if err != nil {
+			return nil, err
+		}
+		ones := make([]float64, len(q.Ops))
+		for j := range ones {
+			ones[j] = 1
+		}
+		if err := pipe.SetLoadFactors(ones); err != nil {
+			return nil, err
+		}
+		src := uint32(sn.Index + 1)
+		ship := transport.NewDurableShipper(src, maxPending)
+		cls, _ := admission.ParseClass(sn.Class)
+		ship.SetIdentity(sn.Group, cls)
+		sp := c.sps[sn.Query]
+		sp.sources = append(sp.sources, src)
+		sp.rc.RegisterSource(src)
+		c.nodes = append(c.nodes, &clusterNode{spec: sn, pipe: pipe, ship: ship, sp: sp})
+	}
+
+	// Replay sources: dedicated SPs so recorded watermark timelines
+	// never hold back the spec-driven queries.
+	for _, rs := range cfg.Replay {
+		q, ok := spec.CanonicalQuery(rs.Query)
+		if !ok {
+			return nil, fmt.Errorf("sim: replay source names unknown query %q", rs.Query)
+		}
+		name := "replay:" + q
+		sp := c.sps[name]
+		if sp == nil {
+			var err error
+			if sp, err = c.newSP(name, q); err != nil {
+				return nil, err
+			}
+			c.sps[name] = sp
+			c.spOrder = append(c.spOrder, name)
+		}
+		conns, err := transport.ReadTrafficCapture(rs.Capture)
+		if err != nil {
+			return nil, err
+		}
+		for _, conn := range conns {
+			rn, err := newReplayNode(conn, sp)
+			if err != nil {
+				return nil, err
+			}
+			sp.sources = append(sp.sources, rn.src)
+			sp.rc.RegisterSource(rn.src)
+			c.replays = append(c.replays, rn)
+		}
+	}
+	return c, nil
+}
+
+// queryFor resolves a canonical query name to a plan. T2T's join table
+// is built once to cover every simulated source and peer address, so
+// joins hit exactly as they would against a production ToR inventory.
+func (c *Cluster) queryFor(name string) (*plan.Query, error) {
+	switch name {
+	case "s2s":
+		return plan.S2SProbe(), nil
+	case "t2t":
+		return plan.T2TProbe(c.torTable()), nil
+	case "log":
+		return plan.LogAnalytics(), nil
+	case "spans":
+		return plan.TraceSpanAgg(), nil
+	}
+	return nil, fmt.Errorf("sim: unknown canonical query %q", name)
+}
+
+// torTable covers the ping workloads' address space: every node's
+// source IP plus the peer range any group can draw from.
+func (c *Cluster) torTable() *telemetry.ToRTable {
+	if c.tor != nil {
+		return c.tor
+	}
+	peers := spec.DefaultSpecPeers
+	for i := range c.sc.Spec.Groups {
+		g := &c.sc.Spec.Groups[i]
+		if g.Skew != nil && g.Skew.Keys > peers {
+			peers = g.Skew.Keys
+		}
+	}
+	ips := make([]uint32, 0, len(c.sc.Nodes)+peers)
+	for i := range c.sc.Nodes {
+		ips = append(ips, 0x0A000000+uint32(c.sc.Nodes[i].Index+1))
+	}
+	for i := 0; i < peers; i++ {
+		ips = append(ips, 0x0B000000+uint32(i))
+	}
+	c.tor = telemetry.NewToRTable(ips, 40)
+	return c.tor
+}
+
+// newSP assembles one stream processor for a canonical query.
+func (c *Cluster) newSP(name, query string) (*simSP, error) {
+	q, err := c.queryFor(query)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := stream.NewSPEngine(q)
+	if err != nil {
+		return nil, err
+	}
+	sp := &simSP{name: name, query: query, engine: engine}
+	sp.rc = transport.NewReceiver(engine)
+	sp.rc.SetColumnarExec(true)
+
+	if p := c.sc.Spec.SP; p.AdmitRateMbps > 0 {
+		acfg := admission.DefaultConfig()
+		acfg.RateBytesPerSec = p.AdmitRateMbps * 1e6 / 8
+		acfg.BurstBytes = 2 * acfg.RateBytesPerSec
+		if p.AdmitBurstKB > 0 {
+			acfg.BurstBytes = p.AdmitBurstKB * 1024
+		}
+		if p.MaxDelayedEpochs > 0 {
+			acfg.MaxDelayedEpochs = p.MaxDelayedEpochs
+		}
+		acfg.Now = c.virtualNow
+		sp.admit = admission.NewController(acfg)
+		sp.rc.SetAdmission(sp.admit)
+	}
+	if c.cfg.CheckpointDir != "" {
+		sp.dir = filepath.Join(c.cfg.CheckpointDir, sanitizeName(name))
+		if err := sp.openRecovery(c.checkpointEvery()); err != nil {
+			return nil, err
+		}
+	}
+	return sp, nil
+}
+
+func (c *Cluster) checkpointEvery() int {
+	if e := c.sc.Spec.SP.CheckpointEvery; e > 0 {
+		return e
+	}
+	return checkpoint.DefaultEvery
+}
+
+// virtualNow is the cluster's shared clock, injected into time-based
+// subsystems so token buckets refill on virtual time.
+func (c *Cluster) virtualNow() time.Time {
+	return simClockBase.Add(time.Duration(c.now) * time.Microsecond)
+}
+
+func sanitizeName(s string) string {
+	b := []byte(s)
+	for i, ch := range b {
+		if ch == ':' || ch == '/' {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// openRecovery (re)opens the SP's durable store, result log and
+// recovery manager, restoring the latest consistent snapshot.
+func (sp *simSP) openRecovery(every int) error {
+	store, err := checkpoint.OpenStore(sp.dir)
+	if err != nil {
+		return err
+	}
+	rlog, err := checkpoint.OpenResultLog(filepath.Join(sp.dir, "results.log"))
+	if err != nil {
+		return err
+	}
+	sp.store, sp.rlog = store, rlog
+	sp.rm = checkpoint.NewSPRecovery(store, rlog, sp.engine, sp.rc, every)
+	if _, err := sp.rm.Restore(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// advance drains delayed epochs, flushes closed windows, and appends
+// the new rows to the SP's canonical result log.
+func (sp *simSP) advance(epoch int) error {
+	var rows telemetry.Batch
+	var err error
+	if sp.rm != nil {
+		rows, err = sp.rm.Advance()
+	} else {
+		rows = sp.rc.Advance()
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(&sp.log, "epoch %d\n", epoch)
+		sp.log.Write(renderResultRows(rows))
+		sp.rows += len(rows)
+	}
+	return err
+}
+
+// crash abandons the SP's live state mid-flight: no final snapshot, no
+// result flush — exactly what a process kill leaves behind.
+func (sp *simSP) crash() {
+	sp.down = true
+	if sp.rlog != nil {
+		_ = sp.rlog.Close()
+	}
+	if sp.store != nil {
+		_ = sp.store.Close()
+	}
+	sp.rm, sp.store, sp.rlog = nil, nil, nil
+}
+
+// recover rebuilds the SP from durable state (or fresh, when
+// stateless) and re-registers its sources. The admission controller
+// survives — its budgets are control-plane state, not process state
+// worth losing in a sim of SP restarts.
+func (sp *simSP) recover(c *Cluster, every int) error {
+	q, err := c.queryFor(sp.query)
+	if err != nil {
+		return err
+	}
+	engine, err := stream.NewSPEngine(q)
+	if err != nil {
+		return err
+	}
+	sp.engine = engine
+	sp.rc = transport.NewReceiver(engine)
+	sp.rc.SetColumnarExec(true)
+	if sp.admit != nil {
+		sp.rc.SetAdmission(sp.admit)
+	}
+	for _, src := range sp.sources {
+		sp.rc.RegisterSource(src)
+	}
+	if sp.dir != "" {
+		if err := sp.openRecovery(every); err != nil {
+			return err
+		}
+	}
+	sp.down = false
+	return nil
+}
+
+// newReplayNode splits a recorded connection into per-epoch runs and
+// pre-decodes the seq each run ends on (re-hellos carry it so the
+// receiver's frontier logic treats every flush as a resumed session).
+func newReplayNode(conn *transport.TrafficConn, sp *simSP) (*replayNode, error) {
+	helloFrame, runs, err := conn.Epochs()
+	if err != nil {
+		return nil, err
+	}
+	hello, _, err := transport.DecodeControl(helloFrame)
+	if err != nil {
+		return nil, err
+	}
+	if hello == nil {
+		return nil, fmt.Errorf("sim: recorded connection carries no hello")
+	}
+	rn := &replayNode{src: hello.Source, hello: hello, sp: sp, runs: runs}
+	for _, run := range runs {
+		_, end, err := transport.DecodeControl(run[len(run)-1])
+		if err != nil {
+			return nil, err
+		}
+		if end == nil {
+			return nil, fmt.Errorf("sim: recorded epoch run does not end in EpochEnd")
+		}
+		rn.seqs = append(rn.seqs, end.Seq)
+	}
+	return rn, nil
+}
+
+// tick flushes the node's next recorded epoch into its SP.
+func (rn *replayNode) tick() error {
+	if rn.cursor >= len(rn.runs) || rn.sp.down {
+		return nil
+	}
+	h := *rn.hello
+	if rn.cursor > 0 {
+		h.Seq = rn.seqs[rn.cursor-1]
+	}
+	var buf bytes.Buffer
+	fw := wire.NewFrameWriter(&buf)
+	rec := telemetry.Record{WireSize: 29, Data: &h}
+	if err := fw.WriteFrame(wire.Frame{StreamID: wire.ControlStreamID, Source: h.Source, Records: telemetry.Batch{rec}}); err != nil {
+		return err
+	}
+	if err := fw.Flush(); err != nil {
+		return err
+	}
+	for _, f := range rn.runs[rn.cursor] {
+		var hdr [4]byte
+		hdr[0] = byte(len(f) >> 24)
+		hdr[1] = byte(len(f) >> 16)
+		hdr[2] = byte(len(f) >> 8)
+		hdr[3] = byte(len(f))
+		buf.Write(hdr[:])
+		buf.Write(f)
+	}
+	rn.cursor++
+	var ack bytes.Buffer
+	return rn.sp.rc.HandleConn(rwConn{bytes.NewReader(buf.Bytes()), &ack})
+}
+
+// tick runs one virtual epoch on a spec node: generate (or skip), run
+// the real pipeline, ship the epoch, and flush the shipper's pending
+// stream synchronously into the SP.
+func (n *clusterNode) tick(epoch, dataEpochs int, durMicros int64) error {
+	n.eventTime += durMicros
+	active := epoch < dataEpochs && n.spec.Active(epoch)
+	var res stream.EpochResult
+	if active {
+		n.cb.Reset()
+		n.spec.EmitWindow(durMicros, &n.cb)
+		res = n.pipe.RunEpochColumnar(&n.cb)
+	} else {
+		if epoch < dataEpochs {
+			// Churned out: the generator keeps event-time pace silently.
+			n.spec.Skip(durMicros)
+		}
+		n.pipe.ObserveTime(n.eventTime)
+		res = n.pipe.RunEpoch(nil)
+	}
+	if err := n.ship.ShipEpoch(res); err != nil {
+		return err
+	}
+	if n.sp.down {
+		// The SP is out: pending epochs accumulate in the replay buffer
+		// and drain on the first flush after recovery.
+		return nil
+	}
+	return n.flush()
+}
+
+// flush runs one synchronous shipper→SP session: hello + all pending
+// epochs in, acks out. A shed epoch requests replay via its ack; one
+// immediate re-flush serves it without waiting a full epoch.
+func (n *clusterNode) flush() error {
+	for attempt := 0; attempt < 2; attempt++ {
+		data, err := n.ship.ResumeBytes()
+		if err != nil {
+			return err
+		}
+		var ack bytes.Buffer
+		if err := n.sp.rc.HandleConn(rwConn{bytes.NewReader(data), &ack}); err != nil {
+			return fmt.Errorf("sim: node %d flush: %w", n.spec.Index, err)
+		}
+		replay, err := n.ship.AdoptAcks(ack.Bytes())
+		if err != nil {
+			return err
+		}
+		if !replay {
+			return nil
+		}
+	}
+	return nil
+}
+
+// schedule pushes an event onto the heap.
+func (c *Cluster) schedule(at int64, prio int, run func()) {
+	c.seq++
+	heap.Push(&c.events, &simEvent{at: at, prio: prio, seq: c.seq, run: run})
+}
+
+// Run executes the simulation to completion and returns the canonical
+// result. The loop is single-threaded: events pop in (time, priority,
+// insertion) order and run inline, so no scheduling nondeterminism can
+// leak into the result.
+func (c *Cluster) Run() (*ClusterResult, error) {
+	wallStart := time.Now()
+	obs.Decisions().Reset()
+
+	dur := c.sc.EpochMicros
+	dataEpochs := c.sc.Spec.Epochs
+	total := dataEpochs + c.sc.DrainEpochs
+	var firstErr error
+	fail := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	// Fault timeline: crashes and their recoveries, scheduled up front.
+	// An sp_crash with no query targets every live-spec SP (sorted for
+	// schedule determinism); a query targets that SP alone.
+	for i := range c.sc.Spec.Faults {
+		f := c.sc.Spec.Faults[i]
+		if f.Kind != spec.FaultSPCrash {
+			continue
+		}
+		var targets []string
+		if f.Query == "" {
+			for name := range c.sps {
+				if !strings.HasPrefix(name, "replay:") {
+					targets = append(targets, name)
+				}
+			}
+			sort.Strings(targets)
+		} else if target, ok := spec.CanonicalQuery(f.Query); ok && c.sps[target] != nil {
+			targets = append(targets, target)
+		}
+		outage := f.OutageEpochs
+		if outage < 1 {
+			outage = 1
+		}
+		for _, target := range targets {
+			sp := c.sps[target]
+			c.schedule(int64(f.Epoch)*dur, prioFault, func() {
+				if sp.down {
+					return
+				}
+				sp.crash()
+				c.failovers++
+				c.cFailover.Inc()
+				obs.Emit(obs.Decision{
+					TsMicros: c.now, Kind: "sim_sp_crash", Cause: "fault_injection",
+					Detail: sp.name, Epoch: uint64(c.now / dur),
+				})
+			})
+			back := f.Epoch + outage
+			if back < total {
+				c.schedule(int64(back)*dur, prioFault, func() {
+					if !sp.down {
+						return
+					}
+					fail(sp.recover(c, c.checkpointEvery()))
+					obs.Emit(obs.Decision{
+						TsMicros: c.now, Kind: "sim_sp_recover", Cause: "outage_elapsed",
+						Detail: sp.name, Epoch: uint64(c.now / dur),
+					})
+				})
+			}
+		}
+	}
+
+	// Node and SP events self-reschedule epoch over epoch, so the heap
+	// holds one event per live entity rather than epochs×nodes.
+	for _, n := range c.nodes {
+		n := n
+		var tickFn func()
+		tickFn = func() {
+			epoch := int(c.now / dur)
+			fail(n.tick(epoch, dataEpochs, dur))
+			if epoch+1 < total {
+				c.schedule(c.now+dur, prioNode, tickFn)
+			}
+		}
+		c.schedule(0, prioNode, tickFn)
+	}
+	for _, rn := range c.replays {
+		rn := rn
+		var tickFn func()
+		tickFn = func() {
+			epoch := int(c.now / dur)
+			fail(rn.tick())
+			if epoch+1 < total {
+				c.schedule(c.now+dur, prioNode, tickFn)
+			}
+		}
+		c.schedule(0, prioNode, tickFn)
+	}
+	for _, name := range c.spOrder {
+		sp := c.sps[name]
+		var advFn func()
+		advFn = func() {
+			epoch := int(c.now / dur)
+			if !sp.down {
+				fail(sp.advance(epoch))
+			}
+			if epoch+1 < total {
+				c.schedule(c.now+dur, prioAdvance, advFn)
+			}
+		}
+		c.schedule(0, prioAdvance, advFn)
+	}
+
+	epochsSeen := int64(0)
+	for c.events.Len() > 0 {
+		at, _ := c.events.peekAt()
+		if at > c.now {
+			// The virtual clock jumps straight to the next event: the gap
+			// costs nothing, which is the whole point of simulated time.
+			if at/dur > c.now/dur {
+				c.cEpochs.Add(at/dur - c.now/dur)
+				epochsSeen = at / dur
+			}
+			c.now = at
+			c.gVirtual.Set(c.now / 1_000_000)
+		}
+		ev := heap.Pop(&c.events).(*simEvent)
+		ev.run()
+		c.nEvents++
+		c.cEvents.Inc()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	c.now = int64(total) * dur
+	c.gVirtual.Set(c.now / 1_000_000)
+	if int64(total) > epochsSeen {
+		c.cEpochs.Add(int64(total) - epochsSeen)
+	}
+
+	res := &ClusterResult{
+		Nodes:          len(c.nodes) + len(c.replays),
+		Epochs:         total,
+		VirtualSeconds: float64(c.now) / 1e6,
+		Events:         c.nEvents,
+		Failovers:      c.failovers,
+		ResultLogs:     map[string][]byte{},
+	}
+	for _, name := range c.spOrder {
+		sp := c.sps[name]
+		res.ResultLogs[name] = append([]byte(nil), sp.log.Bytes()...)
+		res.Rows += sp.rows
+		if sp.admit != nil {
+			res.EpochsDelayed += sp.admit.Counters().Counter(admission.CtrEpochsDelayed).Value()
+			res.EpochsDegraded += sp.admit.Counters().Counter(admission.CtrEpochsDegraded).Value()
+		}
+		if sp.rm != nil {
+			_ = sp.rm.Snapshot()
+			_ = sp.rm.Close()
+		}
+		if sp.rlog != nil {
+			_ = sp.rlog.Close()
+		}
+		if sp.store != nil {
+			_ = sp.store.Close()
+		}
+	}
+	res.Decisions = renderDecisions(obs.Decisions().Recent(0))
+	res.WallSeconds = time.Since(wallStart).Seconds()
+	if res.WallSeconds > 0 {
+		res.NodeEpochsPerSec = float64(res.Nodes*res.Epochs) / res.WallSeconds
+	}
+	return res, nil
+}
+
+// renderResultRows canonicalizes an advance batch: one line per row,
+// sorted, so map-iteration order inside the engine cannot leak into the
+// result log.
+func renderResultRows(rows telemetry.Batch) []byte {
+	lines := make([]string, 0, len(rows))
+	for _, rec := range rows {
+		row, ok := rec.Data.(*telemetry.AggRow)
+		if !ok {
+			lines = append(lines, fmt.Sprintf("t=%d other=%T", rec.Time, rec.Data))
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("w=%d key=%d/%q n=%d sum=%g min=%g max=%g",
+			row.Window, row.Key.Num, row.Key.Str, row.Count, row.Sum, row.Min, row.Max))
+	}
+	sort.Strings(lines)
+	var buf bytes.Buffer
+	for _, l := range lines {
+		buf.WriteString(l)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// renderDecisions canonicalizes the decision trace: wall timestamps are
+// stripped (Emit stamps them from the wall clock), everything else —
+// order, kinds, causes, sources, state transitions — is preserved, so
+// two deterministic runs must produce identical bytes.
+func renderDecisions(ds []obs.Decision) []byte {
+	var buf bytes.Buffer
+	for _, d := range ds {
+		fmt.Fprintf(&buf, "seq=%d kind=%s src=%d epoch=%d stage=%d cause=%s before=%v after=%v bstate=%s astate=%s term=%d detail=%s\n",
+			d.Seq, d.Kind, d.Source, d.Epoch, d.Stage, d.Cause,
+			d.Before, d.After, d.BeforeState, d.AfterState, d.Term, d.Detail)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,430 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"jarvis/internal/obs"
+	"jarvis/internal/plan"
+	"jarvis/internal/stream"
+	"jarvis/internal/transport"
+	"jarvis/internal/wire"
+	"jarvis/internal/workload"
+	"jarvis/internal/workload/spec"
+)
+
+// compileSpec parses and compiles a spec document, failing the test on
+// any error.
+func compileSpec(t *testing.T, doc string) *spec.Scenario {
+	t.Helper()
+	s, err := spec.Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("parse spec: %v", err)
+	}
+	sc, err := s.Compile()
+	if err != nil {
+		t.Fatalf("compile spec: %v", err)
+	}
+	return sc
+}
+
+// runCluster compiles the doc fresh (generators are stateful, so each
+// run needs its own compilation) and executes it.
+func runCluster(t *testing.T, doc string, cfg ClusterConfig) *ClusterResult {
+	t.Helper()
+	cfg.Scenario = compileSpec(t, doc)
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("new cluster: %v", err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	return res
+}
+
+// determinismSpec is a 100-node scenario per canonical query exercising
+// the full machinery: mixed SLO classes, gamma arrivals, diurnal
+// modulation, hot-key skew, churn, a rate spike, admission control,
+// checkpoints, and an SP crash with recovery mid-run.
+func determinismSpec(query string) string {
+	return fmt.Sprintf(`{
+  "name": "determinism-%[1]s",
+  "seed": 41,
+  "epochs": 8,
+  "sp": {"admit_rate_mbps": 20.0, "checkpoint_every": 2},
+  "groups": [
+    {"name": "fleet", "query": "%[1]s", "nodes": 80, "rate_mbps": 0.05, "class": "best-effort",
+     "arrival": {"process": "gamma", "shape": 2},
+     "diurnal": {"period_epochs": 6, "amplitude": 0.4},
+     "skew": {"exponent": 1.1},
+     "churn": {"period_epochs": 3, "fraction": 0.2}},
+    {"name": "vip", "query": "%[1]s", "nodes": 20, "rate_mbps": 0.05, "class": "gold"}
+  ],
+  "faults": [
+    {"epoch": 2, "kind": "rate_spike", "group": "fleet", "factor": 4, "until_epoch": 5},
+    {"epoch": 3, "kind": "sp_crash", "query": "%[1]s", "outage_epochs": 2}
+  ]
+}`, query)
+}
+
+// TestClusterDeterminismDoubleRun is the core contract: for every
+// canonical workload, two independent compilations and runs of the same
+// 100-node spec — including an SP crash, checkpoint recovery, admission
+// control, churn, and a rate spike — produce byte-identical result logs
+// AND byte-identical decision traces. Run under -race in CI; any hidden
+// goroutine or wall-clock dependence breaks it.
+func TestClusterDeterminismDoubleRun(t *testing.T) {
+	for _, query := range []string{"s2s", "t2t", "log", "spans"} {
+		t.Run(query, func(t *testing.T) {
+			doc := determinismSpec(query)
+			r1 := runCluster(t, doc, ClusterConfig{CheckpointDir: t.TempDir()})
+			r2 := runCluster(t, doc, ClusterConfig{CheckpointDir: t.TempDir()})
+
+			if r1.Nodes != 100 {
+				t.Fatalf("nodes = %d, want 100", r1.Nodes)
+			}
+			if r1.Rows == 0 {
+				t.Fatal("run produced no result rows")
+			}
+			if r1.Failovers < 1 {
+				t.Fatalf("failovers = %d, want >= 1", r1.Failovers)
+			}
+			if len(r1.ResultLogs) != len(r2.ResultLogs) {
+				t.Fatalf("SP count differs: %d vs %d", len(r1.ResultLogs), len(r2.ResultLogs))
+			}
+			for name, log1 := range r1.ResultLogs {
+				log2, ok := r2.ResultLogs[name]
+				if !ok {
+					t.Fatalf("second run is missing SP %q", name)
+				}
+				if !bytes.Equal(log1, log2) {
+					t.Fatalf("result log %q diverged between runs:\n--- run1 (%d bytes) ---\n%.2000s\n--- run2 (%d bytes) ---\n%.2000s",
+						name, len(log1), log1, len(log2), log2)
+				}
+			}
+			if !bytes.Equal(r1.Decisions, r2.Decisions) {
+				t.Fatalf("decision traces diverged:\n--- run1 ---\n%.3000s\n--- run2 ---\n%.3000s", r1.Decisions, r2.Decisions)
+			}
+			if r1.Rows != r2.Rows || r1.Failovers != r2.Failovers ||
+				r1.EpochsDelayed != r2.EpochsDelayed || r1.EpochsDegraded != r2.EpochsDegraded {
+				t.Fatalf("summary stats diverged: %+v vs %+v", r1, r2)
+			}
+		})
+	}
+}
+
+// TestClusterStatelessCrashRecovers crashes an SP that has no durable
+// checkpoint dir: recovery comes up with an empty dedup frontier while
+// every agent resumes with Seq > 0, so each source presents an
+// unfillable sequence hole. The receiver's gap escape must accept the
+// jump — across reconnecting sessions — and the SP must keep producing
+// rows. Regression: the escape marker used to be wiped on every hello
+// (and ping-ponged between two buffered epochs), silencing a
+// stateless-recovered SP forever.
+func TestClusterStatelessCrashRecovers(t *testing.T) {
+	doc := `{
+  "name": "stateless-crash", "seed": 7, "epochs": 5,
+  "sp": {"admit_rate_mbps": 20.0},
+  "groups": [
+    {"name": "fleet", "nodes": 40, "query": "s2s", "rate_mbps": 0.05, "class": "best-effort"},
+    {"name": "logs", "nodes": 10, "query": "log", "rate_mbps": 0.05, "class": "silver"}],
+  "faults": [{"epoch": 3, "kind": "sp_crash", "query": "s2s", "outage_epochs": 2}]
+}`
+	runOnce := func() *ClusterResult {
+		sc := compileSpec(t, doc)
+		c, err := NewCluster(ClusterConfig{Scenario: sc})
+		if err != nil {
+			t.Fatalf("new cluster: %v", err)
+		}
+		res, err := c.Run()
+		if err != nil {
+			t.Fatalf("cluster run: %v", err)
+		}
+		return res
+	}
+	r1 := runOnce()
+	if r1.Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", r1.Failovers)
+	}
+	if len(r1.ResultLogs["s2s"]) == 0 {
+		t.Fatalf("stateless-recovered SP produced no rows (log empty); total rows %d", r1.Rows)
+	}
+	r2 := runOnce()
+	if !bytes.Equal(r1.ResultLogs["s2s"], r2.ResultLogs["s2s"]) {
+		t.Fatalf("stateless crash recovery is nondeterministic: %d vs %d bytes", len(r1.ResultLogs["s2s"]), len(r2.ResultLogs["s2s"]))
+	}
+}
+
+// TestClusterDegradeDeterministic starves the admission controller so
+// the degrade path engages, and requires the overload response itself —
+// delays, sketch degradation, the decision trace — to be deterministic.
+func TestClusterDegradeDeterministic(t *testing.T) {
+	doc := `{
+  "name": "degrade",
+  "seed": 7,
+  "epochs": 6,
+  "sp": {"admit_rate_mbps": 0.003, "checkpoint_every": 3},
+  "groups": [
+    {"name": "noisy", "query": "s2s", "nodes": 16, "rate_mbps": 0.08, "class": "best-effort"},
+    {"name": "vip", "query": "s2s", "nodes": 4, "rate_mbps": 0.02, "class": "gold"}
+  ]
+}`
+	r1 := runCluster(t, doc, ClusterConfig{CheckpointDir: t.TempDir()})
+	r2 := runCluster(t, doc, ClusterConfig{CheckpointDir: t.TempDir()})
+	if r1.EpochsDelayed == 0 && r1.EpochsDegraded == 0 {
+		t.Fatalf("admission never engaged (delayed=%d degraded=%d); starve harder", r1.EpochsDelayed, r1.EpochsDegraded)
+	}
+	if r1.EpochsDelayed != r2.EpochsDelayed || r1.EpochsDegraded != r2.EpochsDegraded {
+		t.Fatalf("overload response diverged: delayed %d vs %d, degraded %d vs %d",
+			r1.EpochsDelayed, r2.EpochsDelayed, r1.EpochsDegraded, r2.EpochsDegraded)
+	}
+	if !bytes.Equal(r1.Decisions, r2.Decisions) {
+		t.Fatalf("degrade decision traces diverged:\n--- run1 ---\n%.3000s\n--- run2 ---\n%.3000s", r1.Decisions, r2.Decisions)
+	}
+	for name, log1 := range r1.ResultLogs {
+		if !bytes.Equal(log1, r2.ResultLogs[name]) {
+			t.Fatalf("result log %q diverged under overload", name)
+		}
+	}
+}
+
+// recordClusterCapture ships a fixed generator stream epoch by epoch
+// into a receiver with the traffic recorder armed, exactly as a live
+// agent would, and returns the capture.
+func recordClusterCapture(t *testing.T, epochs, quietTail int) []byte {
+	t.Helper()
+	q := plan.S2SProbe()
+	engine, err := stream.NewSPEngine(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := transport.NewReceiver(engine)
+	rc.SetColumnarExec(true)
+	rc.RegisterSource(7)
+	var capture bytes.Buffer
+	tr := transport.NewTrafficRecorder(&capture)
+	rc.SetTrafficRecorder(tr)
+
+	pipe, err := stream.NewPipeline(q, stream.DefaultOptions(4.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := make([]float64, len(q.Ops))
+	for i := range ones {
+		ones[i] = 1
+	}
+	if err := pipe.SetLoadFactors(ones); err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.DefaultPingConfig(42)
+	cfg.SrcIP = 0x0A0000FF
+	cfg.IntervalMicros = 5_000
+	gen := workload.NewPingGen(cfg)
+	ship := transport.NewDurableShipper(7, 0)
+
+	const dur = int64(1_000_000)
+	var cb wire.ColumnarBatch
+	eventTime := int64(0)
+	for e := 0; e < epochs+quietTail; e++ {
+		eventTime += dur
+		var res stream.EpochResult
+		if e < epochs {
+			cb.Reset()
+			gen.NextWindowCols(dur, &cb)
+			res = pipe.RunEpochColumnar(&cb)
+		} else {
+			gen.SkipWindow(dur)
+			pipe.ObserveTime(eventTime)
+			res = pipe.RunEpoch(nil)
+		}
+		if err := ship.ShipEpoch(res); err != nil {
+			t.Fatal(err)
+		}
+		data, err := ship.ResumeBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ack bytes.Buffer
+		if err := rc.HandleConn(rwConn{bytes.NewReader(data), &ack}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ship.AdoptAcks(ack.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return capture.Bytes()
+}
+
+// TestClusterReplaySource records a live wire-v2 run and replays it
+// into the sim as an arrival source: the dedicated replay SP must apply
+// every recorded epoch, produce the same total rows as a direct
+// capture replay, and stay byte-deterministic across cluster runs.
+func TestClusterReplaySource(t *testing.T) {
+	capture := recordClusterCapture(t, 6, 11)
+
+	// Ground truth: replay the capture straight through a fresh receiver.
+	engine, err := stream.NewSPEngine(plan.S2SProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := transport.NewReceiver(engine)
+	direct.SetColumnarExec(true)
+	direct.RegisterSource(7)
+	if _, err := transport.ReplayTraffic(direct, capture); err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(direct.Advance())
+	if wantRows == 0 {
+		t.Fatal("direct capture replay produced no rows")
+	}
+
+	doc := `{
+  "name": "replay-host",
+  "seed": 3,
+  "epochs": 6,
+  "groups": [{"name": "live", "query": "s2s", "nodes": 4, "rate_mbps": 0.05}]
+}`
+	cfg := ClusterConfig{Replay: []ReplaySource{{Query: "s2s", Capture: capture}}}
+	r1 := runCluster(t, doc, cfg)
+	r2 := runCluster(t, doc, cfg)
+
+	replayLog, ok := r1.ResultLogs["replay:s2s"]
+	if !ok {
+		t.Fatalf("no replay SP in result logs: %v", keysOf(r1.ResultLogs))
+	}
+	gotRows := bytes.Count(replayLog, []byte("\n")) - bytes.Count(replayLog, []byte("epoch "))
+	if gotRows != wantRows {
+		t.Fatalf("replay SP emitted %d rows, direct replay %d", gotRows, wantRows)
+	}
+	if !bytes.Equal(replayLog, r2.ResultLogs["replay:s2s"]) {
+		t.Fatal("replayed-source result log diverged between cluster runs")
+	}
+	if liveLog := r1.ResultLogs["s2s"]; len(liveLog) == 0 {
+		t.Fatal("live spec query produced no results alongside the replay source")
+	}
+}
+
+func keysOf(m map[string][]byte) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// TestClusterScale1000 is the headline scale check: a 1000-node
+// spec-driven run over every canonical query completes on a shared
+// virtual clock — the event loop is single-threaded and sleep-free, so
+// virtual time must outrun wall time by a wide margin.
+func TestClusterScale1000(t *testing.T) {
+	doc := `{
+  "name": "scale-1000",
+  "seed": 99,
+  "epochs": 3,
+  "groups": [
+    {"name": "ping", "query": "s2s", "nodes": 400, "rate_mbps": 0.01},
+    {"name": "tor", "query": "t2t", "nodes": 200, "rate_mbps": 0.01},
+    {"name": "logs", "query": "log", "nodes": 200, "rate_mbps": 0.01},
+    {"name": "traces", "query": "spans", "nodes": 200, "rate_mbps": 0.01}
+  ]
+}`
+	reg := obs.Default()
+	eventsBefore := reg.Counter(CtrSimEvents).Value()
+	epochsBefore := reg.Counter(CtrSimEpochs).Value()
+
+	res := runCluster(t, doc, ClusterConfig{})
+	if res.Nodes != 1000 {
+		t.Fatalf("nodes = %d, want 1000", res.Nodes)
+	}
+	if res.Rows == 0 {
+		t.Fatal("1000-node run produced no rows")
+	}
+	if res.Epochs != 3+11 {
+		t.Fatalf("epochs = %d, want 14", res.Epochs)
+	}
+	if res.VirtualSeconds != 14 {
+		t.Fatalf("virtual seconds = %v, want 14", res.VirtualSeconds)
+	}
+	// The run simulates 14000 node-epochs; if anything slept on the wall
+	// clock the suite would blow right past this generous bound.
+	if res.WallSeconds > 120 {
+		t.Fatalf("1000-node run took %.1fs wall — something is sleeping", res.WallSeconds)
+	}
+	if res.NodeEpochsPerSec <= 0 {
+		t.Fatalf("throughput %v", res.NodeEpochsPerSec)
+	}
+	if got := reg.Counter(CtrSimEvents).Value() - eventsBefore; got != res.Events {
+		t.Fatalf("sim_events_processed delta = %d, result says %d", got, res.Events)
+	}
+	if got := reg.Counter(CtrSimEpochs).Value() - epochsBefore; got != int64(res.Epochs) {
+		t.Fatalf("sim_epochs_total delta = %d, want %d", got, res.Epochs)
+	}
+	if got := reg.Gauge(GaugeSimVirtualSeconds).Value(); got != 14 {
+		t.Fatalf("sim_virtual_seconds gauge = %d, want 14", got)
+	}
+	t.Logf("1000 nodes × %d epochs in %.2fs wall (%.0f node-epochs/sec, %d events)",
+		res.Epochs, res.WallSeconds, res.NodeEpochsPerSec, res.Events)
+}
+
+// TestClusterSoak is the CI soak target: 500 nodes, every workload,
+// faults, admission, and checkpoints at once, under -race. It doubles
+// as the memory/goroutine-leak canary for the event loop.
+func TestClusterSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short")
+	}
+	doc := `{
+  "name": "soak-500",
+  "seed": 1234,
+  "epochs": 4,
+  "sp": {"admit_rate_mbps": 2.0, "checkpoint_every": 2},
+  "groups": [
+    {"name": "ping", "query": "s2s", "nodes": 200, "rate_mbps": 0.02, "class": "silver",
+     "arrival": {"process": "poisson"}, "churn": {"period_epochs": 2, "fraction": 0.1}},
+    {"name": "tor", "query": "t2t", "nodes": 100, "rate_mbps": 0.02, "class": "gold",
+     "diurnal": {"period_epochs": 4, "amplitude": 0.5}},
+    {"name": "logs", "query": "log", "nodes": 100, "rate_mbps": 0.02, "class": "best-effort",
+     "skew": {"exponent": 1.2}},
+    {"name": "traces", "query": "spans", "nodes": 100, "rate_mbps": 0.02,
+     "arrival": {"process": "weibull", "shape": 0.7}}
+  ],
+  "faults": [
+    {"epoch": 1, "kind": "sp_crash", "query": "s2s", "outage_epochs": 1},
+    {"epoch": 2, "kind": "sp_crash", "query": "spans", "outage_epochs": 1},
+    {"epoch": 1, "kind": "rate_spike", "group": "logs", "factor": 3, "until_epoch": 3}
+  ]
+}`
+	res := runCluster(t, doc, ClusterConfig{CheckpointDir: t.TempDir()})
+	if res.Nodes != 500 {
+		t.Fatalf("nodes = %d, want 500", res.Nodes)
+	}
+	if res.Rows == 0 || res.Failovers != 2 {
+		t.Fatalf("rows=%d failovers=%d, want rows>0 failovers=2", res.Rows, res.Failovers)
+	}
+	t.Logf("soak: 500 nodes × %d epochs, %d rows, %.0f node-epochs/sec",
+		res.Epochs, res.Rows, res.NodeEpochsPerSec)
+}
+
+// TestClusterScaleNodes pins the spec rescaling helper the CLI's
+// -nodes flag uses: totals hit the target and every group survives.
+func TestClusterScaleNodes(t *testing.T) {
+	s, err := spec.Parse([]byte(determinismSpec("s2s")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ScaleNodes(37)
+	if got := s.TotalNodes(); got != 37 {
+		t.Fatalf("scaled total = %d, want 37", got)
+	}
+	for i := range s.Groups {
+		if s.Groups[i].Nodes < 1 {
+			t.Fatalf("group %q scaled to zero", s.Groups[i].Name)
+		}
+	}
+}

@@ -39,6 +39,18 @@ func colParityCases() []colParityCase {
 		{name: "T2TProbe", query: func() *plan.Query { return plan.T2TProbe(parityTable(pingCfg)) }},
 		{name: "S2SQuantile", query: plan.S2SQuantileProbe},
 		{
+			name:  "TraceSpanAgg",
+			query: plan.TraceSpanAgg,
+			gen: func() func() telemetry.Batch {
+				g := workload.NewSpanGen(workload.DefaultSpanConfig(7))
+				return func() telemetry.Batch { return g.NextWindow(1_000_000) }
+			},
+			colGen: func() func(cb *wire.ColumnarBatch) {
+				g := workload.NewSpanGen(workload.DefaultSpanConfig(7))
+				return func(cb *wire.ColumnarBatch) { g.NextWindowCols(1_000_000, cb) }
+			},
+		},
+		{
 			name:  "LogAnalytics",
 			query: plan.LogAnalytics,
 			gen: func() func() telemetry.Batch {

@@ -252,6 +252,57 @@ func TestAdmissionGapSeenTwiceForceDrains(t *testing.T) {
 	}
 }
 
+// TestAdmissionGapEscapeSurvivesMultiEpochReplay: an agent replaying
+// more than one buffered epoch above an unfillable hole must still
+// trigger the seen-twice escape. Regression for two wedges: the gap
+// marker used to be overwritten by each higher epoch in the replay
+// (two epochs alternated it forever), and a session re-hello used to
+// wipe it entirely — a receiver recovering with an empty frontier
+// against resuming agents (stateless SP restart) never applied another
+// epoch.
+func TestAdmissionGapEscapeSurvivesMultiEpochReplay(t *testing.T) {
+	clk := newFakeClock()
+	frames := probeFrames(1, 0, 40)
+	b := float64(framesBytes(frames))
+	rc, _ := newAdmissionReceiver(t, admission.Config{
+		RateBytesPerSec: 100 * b, BurstBytes: 100 * b, MaxDelayedEpochs: 8,
+		DegradeAfter: 1 << 30, PromoteAfter: 1 << 30, DegradeRate: 0.25,
+		Now: clk.now,
+	})
+	rc.Admission().Register(1, "acme", admission.Silver)
+	aw := discardAckWriter()
+
+	// Session 1: the agent resumes at seq 4 and replays epochs 5 and 6;
+	// the receiver has nothing applied, so 1..4 is the hole. Both
+	// sightings must request replay without dislodging the marker.
+	rc.registerConn(1, 4, aw)
+	if targets := commit(t, rc, 1, 5, frames, aw); len(targets) != 1 || !targets[0].replay {
+		t.Fatalf("first sighting of 5 must request replay: %+v", targets)
+	}
+	if targets := commit(t, rc, 1, 6, frames, aw); len(targets) != 1 || !targets[0].replay {
+		t.Fatalf("sighting of 6 above the marker must request replay: %+v", targets)
+	}
+	if got := rc.Counters().Get(CtrEpochGaps); got != 1 {
+		t.Fatalf("epoch_gaps = %d, want 1 (higher epoch must not re-mark)", got)
+	}
+
+	// Session 2: the agent reconnects (re-hello, Seq > 0) and replays
+	// the same two epochs — everything it still buffers. The second
+	// sighting of 5 proves the hole unfillable: accept the jump.
+	rc.registerConn(1, 4, aw)
+	commit(t, rc, 1, 5, frames, aw)
+	if got := rc.AppliedSeq(1); got != 5 {
+		t.Fatalf("jump not accepted on second sighting across sessions, frontier %d", got)
+	}
+	commit(t, rc, 1, 6, frames, aw)
+	if got := rc.AppliedSeq(1); got != 6 {
+		t.Fatalf("epoch after accepted jump did not apply, frontier %d", got)
+	}
+	if got := rc.Counters().Get(CtrEpochsApplied); got != 2 {
+		t.Fatalf("epochs applied = %d, want 2 (seqs 5,6)", got)
+	}
+}
+
 // TestStagedOverflowShedsNotFatal: a peer streaming more frames than the
 // staging bound between commit markers used to kill the connection; now
 // the epoch sheds (metered, replay-requested) and the connection — and

@@ -444,6 +444,68 @@ func (d *DurableShipper) ConnectConn(conn io.ReadWriteCloser) error {
 	return nil
 }
 
+// ResumeBytes renders the shipper's resume stream as one byte string:
+// the Hello handshake followed by every pending (unacked) epoch in the
+// canonical encoding. It is the connectionless counterpart of
+// ConnectConn for synchronous flush sessions — the deterministic
+// cluster sim writes the stream straight into a receiver's HandleConn,
+// collects the ack bytes it wrote back, and feeds them to AdoptAcks; no
+// goroutines, no sockets, no wall clock. Replayed pending epochs
+// deduplicate against the receiver's applied frontier exactly as a live
+// reconnect's replay does. The peer must speak the shipper's own wire
+// version (the sim's receivers do); no v1 transcoding is applied.
+func (d *DurableShipper) ResumeBytes() ([]byte, error) {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var buf bytes.Buffer
+	fw := wire.NewFrameWriter(&buf)
+	rec := telemetry.Record{WireSize: 29, Data: &wire.Hello{
+		Source: d.source, Seq: d.seq, Version: d.maxVer, Term: d.term,
+		Compress: d.compress && d.maxVer >= wire.WireV2,
+		Class:    d.classWire, Tenant: d.tenant,
+	}}
+	if err := fw.WriteFrame(wire.Frame{StreamID: wire.ControlStreamID, Source: d.source, Records: telemetry.Batch{rec}}); err != nil {
+		return nil, err
+	}
+	if err := fw.Flush(); err != nil {
+		return nil, err
+	}
+	for _, p := range d.pending {
+		buf.Write(p.Data)
+	}
+	return buf.Bytes(), nil
+}
+
+// AdoptAcks consumes the ack bytes a synchronous flush session produced:
+// the replay buffer prunes to the receiver's durable frontier, newer
+// primary terms and throttle hints are adopted, and the return reports
+// whether the receiver asked for a replay (a shed epoch) — satisfied
+// naturally by the next ResumeBytes flush, which re-sends all pending.
+func (d *DurableShipper) AdoptAcks(data []byte) (replay bool, err error) {
+	fr := wire.NewFrameReader(bytes.NewReader(data))
+	for {
+		ack, rerr := readAck(fr)
+		if rerr == io.EOF {
+			return replay, nil
+		}
+		if rerr != nil {
+			return replay, fmt.Errorf("transport: adopt acks: %w", rerr)
+		}
+		d.mu.Lock()
+		d.pruneLocked(ack.Seq)
+		if ack.Term > d.term {
+			d.term = ack.Term
+		}
+		d.throttle = ack.ThrottleMicros
+		d.mu.Unlock()
+		if ack.Replay {
+			replay = true
+		}
+	}
+}
+
 // readAck scans frames until the first Ack control record.
 func readAck(fr *wire.FrameReader) (*wire.Ack, error) {
 	for {

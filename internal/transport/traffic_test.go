@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jarvis/internal/obs"
+)
+
+// recordTrafficEpochs ships a fixed reproducible stream into a fresh
+// receiver with the traffic recorder armed and returns the capture plus
+// the original receiver for state comparison.
+func recordTrafficEpochs(t *testing.T, epochs int, durMicros int64) ([]byte, *Receiver) {
+	t.Helper()
+	rc := flightTestReceiver(t)
+	var buf bytes.Buffer
+	tr := NewTrafficRecorder(&buf)
+	rc.SetTrafficRecorder(tr)
+	shipFlightEpochs(t, rc, 5, epochs, durMicros)
+	if err := tr.Err(); err != nil {
+		t.Fatalf("recorder error: %v", err)
+	}
+	return buf.Bytes(), rc
+}
+
+// TestTrafficRecordAndReplay is the round trip: record a full sequenced
+// run, replay the capture through two fresh receivers, and require both
+// to land in exactly the original engine state.
+func TestTrafficRecordAndReplay(t *testing.T) {
+	epochsBefore := obs.Default().Counter(CtrTrafficEpochs).Value()
+	const epochs = 10
+	capture, rc := recordTrafficEpochs(t, epochs, 1_000_000)
+	if got := obs.Default().Counter(CtrTrafficEpochs).Value() - epochsBefore; got != epochs {
+		t.Fatalf("traffic_epochs_recorded delta = %d, want %d", got, epochs)
+	}
+	want := renderRows(rc.Advance())
+	if len(want) == 0 {
+		t.Fatal("original run emitted no rows")
+	}
+
+	conns, err := ReadTrafficCapture(capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conns) != 1 || len(conns[0].Frames) < epochs {
+		t.Fatalf("capture parsed to %d conns (%d frames)", len(conns), len(conns[0].Frames))
+	}
+	var replayed [2][]byte
+	for i := range replayed {
+		fresh := flightTestReceiver(t)
+		n, err := ReplayTraffic(fresh, capture)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("replayed %d conns, want 1", n)
+		}
+		if got := fresh.AppliedSeq(5); got != epochs {
+			t.Fatalf("replay %d applied seq = %d, want %d", i, got, epochs)
+		}
+		replayed[i] = renderRows(fresh.Advance())
+	}
+	if !bytes.Equal(replayed[0], want) {
+		t.Fatalf("replayed state differs from original:\n%s\nvs\n%s", replayed[0], want)
+	}
+	if !bytes.Equal(replayed[0], replayed[1]) {
+		t.Fatal("two replays of the same capture disagree")
+	}
+}
+
+// TestTrafficEpochSplit slices a recorded connection into per-epoch
+// frame runs and replays a prefix: the receiver must apply exactly the
+// replayed epochs. This is the sim's replay-source path.
+func TestTrafficEpochSplit(t *testing.T) {
+	const epochs = 10
+	capture, _ := recordTrafficEpochs(t, epochs, 1_000_000)
+	conns, err := ReadTrafficCapture(capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := conns[0]
+	src, err := c.HelloSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != 5 {
+		t.Fatalf("hello source = %d, want 5", src)
+	}
+	hello, runs, err := c.Epochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hello == nil || len(runs) != epochs {
+		t.Fatalf("split: hello=%v runs=%d, want %d", hello != nil, len(runs), epochs)
+	}
+	// Replay the handshake plus the first four epochs only.
+	part := &TrafficConn{Frames: [][]byte{hello}}
+	for _, run := range runs[:4] {
+		part.Frames = append(part.Frames, run...)
+	}
+	fresh := flightTestReceiver(t)
+	if err := fresh.HandleConn(replayConn{bytes.NewReader(part.WireStream())}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.AppliedSeq(5); got != 4 {
+		t.Fatalf("partial replay applied seq = %d, want 4", got)
+	}
+}
+
+// TestTrafficCaptureDecodeErrors exercises the parser against garbage
+// and truncations.
+func TestTrafficCaptureDecodeErrors(t *testing.T) {
+	if _, err := ReadTrafficCapture([]byte("not a capture")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadTrafficCapture([]byte(TrafficMagic)); err == nil {
+		t.Fatal("empty capture accepted")
+	}
+	capture, _ := recordTrafficEpochs(t, 3, 1_000_000)
+	for _, cut := range []int{1, 7, len(capture) / 2} {
+		if _, err := ReadTrafficCapture(capture[:len(capture)-cut]); err == nil {
+			t.Fatalf("truncation by %d accepted", cut)
+		}
+	}
+}
+
+// TestTrafficReplayRegression replays the committed full-run capture and
+// requires a byte-identical result log — the CI guard that the wire-v2
+// format, columnar decode, and epoch application stay deterministic for
+// complete recorded streams (the flight regression covers only the
+// anomaly-ring subset). Regenerate both files with
+// TRAFFIC_REGEN=1 go test ./internal/transport -run TrafficReplayRegression.
+func TestTrafficReplayRegression(t *testing.T) {
+	capPath := filepath.Join("testdata", "traffic", "regression.capture")
+	goldenPath := filepath.Join("testdata", "traffic", "regression.golden")
+
+	if os.Getenv("TRAFFIC_REGEN") != "" {
+		capture, _ := recordTrafficEpochs(t, 8, 25_000)
+		fresh := flightTestReceiver(t)
+		if _, err := ReplayTraffic(fresh, capture); err != nil {
+			t.Fatal(err)
+		}
+		golden := renderRows(fresh.Advance())
+		if err := os.MkdirAll(filepath.Dir(capPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(capPath, capture, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, golden, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes) and %s (%d bytes)", capPath, len(capture), goldenPath, len(golden))
+	}
+
+	capture, err := os.ReadFile(capPath)
+	if err != nil {
+		t.Fatalf("missing committed capture (regenerate with TRAFFIC_REGEN=1): %v", err)
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := flightTestReceiver(t)
+	if _, err := ReplayTraffic(rc, capture); err != nil {
+		t.Fatal(err)
+	}
+	got := renderRows(rc.Advance())
+	if !bytes.Equal(got, golden) {
+		t.Fatalf("replay result log diverged from golden:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}

@@ -230,6 +230,9 @@ type Receiver struct {
 	// Anomaly flight recorder (nil = unarmed, zero capture cost).
 	flight *FlightRecorder
 
+	// Full-stream traffic recorder (nil = unarmed).
+	traffic *TrafficRecorder
+
 	bytesIn int64
 	frames  int64
 }
@@ -385,6 +388,22 @@ func (rc *Receiver) flightRecorder() *FlightRecorder {
 	return rc.flight
 }
 
+// SetTrafficRecorder arms full-stream traffic capture: every sequenced
+// frame of every connection is appended to the recorder for later
+// replay (ReplayTraffic) or sim ingestion. Call before serving
+// connections; nil disarms.
+func (rc *Receiver) SetTrafficRecorder(t *TrafficRecorder) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.traffic = t
+}
+
+func (rc *Receiver) trafficRecorder() *TrafficRecorder {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.traffic
+}
+
 // Counters exposes the receiver's health counters (shared with the
 // Server wrapping it).
 func (rc *Receiver) Counters() *obs.Registry { return rc.counters }
@@ -488,6 +507,7 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 		ring = fl.newRing()
 		defer ring.close()
 	}
+	tap := rc.trafficRecorder().newTap()
 	defer func() {
 		if sequenced {
 			rc.dropWriter(src, aw)
@@ -506,6 +526,7 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 		}
 		decAccum += obs.ObserveSince(obs.StageDecode, decStart)
 		ring.capture(fr.RawFrame())
+		tap.capture(fr.RawFrame())
 		if st := fr.Stats(); st != lastStats {
 			rc.ctrWireBytes.Add(st.WireBytes - lastStats.WireBytes)
 			rc.ctrRawBytes.Add(st.RawBytes - lastStats.RawBytes)
@@ -608,6 +629,7 @@ func (rc *Receiver) HandleConn(conn io.ReadWriter) error {
 					if err != nil {
 						return err
 					}
+					tap.noteEpoch()
 					rc.sendAcks(targets)
 				}
 			}
@@ -693,8 +715,12 @@ func (rc *Receiver) registerConn(src uint32, helloSeq uint64, aw *ackWriter) uin
 	defer rc.mu.Unlock()
 	rc.engine.RegisterSource(src)
 	rc.writers[src] = aw
-	delete(rc.gapSeen, src)
 	if helloSeq == 0 && rc.applied[src] > 0 {
+		// The outstanding-gap marker belongs to the dead sequence space
+		// too; a resumed hello (Seq > 0) keeps it, so a hole that
+		// survives a full replay still escapes on its second sighting
+		// even when the replay arrives on a new connection.
+		delete(rc.gapSeen, src)
 		rc.applied[src] = 0
 		rc.durable[src] = 0
 		rc.counters.Inc(CtrSourceResets)
@@ -770,12 +796,20 @@ func (rc *Receiver) commitEpoch(src uint32, e *wire.EpochEnd, staged []wire.Fram
 		if e.Seq > next {
 			// A hole below this epoch (a shed, or replay-buffer eviction on
 			// the agent). First sighting: discard and ask for a replay.
-			// Second sighting of the same sequence: the agent has replayed
-			// everything it still buffers and the hole is unfillable —
-			// force-drain the queue and accept the jump.
-			if rc.gapSeen[src] != e.Seq {
+			// A second sighting of the lowest outstanding gap sequence
+			// means the agent has replayed everything it still buffers and
+			// the hole is unfillable — force-drain the queue and accept
+			// the jump. Epochs above the outstanding gap are discarded
+			// without dislodging it: one replay re-ships them all, and
+			// tracking anything but the lowest would let two buffered
+			// epochs alternate the marker and defeat the escape.
+			g, outstanding := rc.gapSeen[src]
+			switch {
+			case !outstanding || e.Seq < g:
 				rc.gapSeen[src] = e.Seq
 				rc.counters.Inc(CtrEpochGaps)
+				return selfAck(true), nil
+			case e.Seq > g:
 				return selfAck(true), nil
 			}
 			delete(rc.gapSeen, src)

@@ -36,8 +36,7 @@ func (g *PingGen) NextWindowCols(durMicros int64, cb *wire.ColumnarBatch) {
 
 	end := g.next + durMicros
 	for g.next < end {
-		peer := g.peerIdx
-		g.peerIdx = (g.peerIdx + 1) % g.cfg.Peers
+		peer := g.pickPeer()
 		dst := g.PeerIP(peer)
 		// Same RNG draw order as one(): RTT first, then the error roll.
 		rtt := g.rtt(peer)
@@ -54,13 +53,48 @@ func (g *PingGen) NextWindowCols(durMicros int64, cb *wire.ColumnarBatch) {
 		c.DstCluster = append(c.DstCluster, dst>>16)
 		c.RTT = append(c.RTT, rtt)
 		c.Err = append(c.Err, errc)
-		g.next += g.cfg.IntervalMicros
+		g.next += g.gap()
 	}
 	if len(a.times) == 0 {
 		return
 	}
 	cb.Secs = append(cb.Secs, wire.ColSec{
 		Tag: wire.TagPingProbe, Times: a.times, Windows: a.wins, Ping: c,
+	})
+}
+
+// spanArena is SpanGen's reusable column storage.
+type spanArena struct {
+	times, wins []int64
+	cols        wire.JobCols
+}
+
+// NextWindowCols emits all spans with event time in [cur, cur+durMicros)
+// as one SoA section appended to cb. Trace-identical to NextWindow.
+func (g *SpanGen) NextWindowCols(durMicros int64, cb *wire.ColumnarBatch) {
+	a := &g.arena
+	a.times, a.wins = a.times[:0], a.wins[:0]
+	c := &a.cols
+	c.TS = c.TS[:0]
+	c.Tenant, c.StatName = c.Tenant[:0], c.StatName[:0]
+	c.Stat, c.Bucket = c.Stat[:0], c.Bucket[:0]
+
+	end := g.next + durMicros
+	for g.next < end {
+		ts, svc, op, dur := g.oneSpan()
+		a.times = append(a.times, ts)
+		a.wins = append(a.wins, 0)
+		c.TS = append(c.TS, ts)
+		c.Tenant = append(c.Tenant, svc)
+		c.StatName = append(c.StatName, op)
+		c.Stat = append(c.Stat, dur)
+		c.Bucket = append(c.Bucket, 0)
+	}
+	if len(a.times) == 0 {
+		return
+	}
+	cb.Secs = append(cb.Secs, wire.ColSec{
+		Tag: wire.TagJobStats, Times: a.times, Windows: a.wins, Job: c,
 	})
 }
 

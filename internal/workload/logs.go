@@ -32,6 +32,13 @@ type LogConfig struct {
 	// StartMicros and IntervalMicros pace event time like PingConfig.
 	StartMicros    int64
 	IntervalMicros int64
+	// NextGap, when set, replaces the fixed IntervalMicros pacing (see
+	// PingConfig.NextGap).
+	NextGap func() int64
+	// TenantPick, when set, replaces uniform tenant selection on
+	// matching lines: it returns the tenant index out of n (hot-key
+	// skew). Out-of-range picks are clamped into [0, n).
+	TenantPick func(n int) int
 }
 
 // DefaultLogConfig matches the evaluation setup: mostly matching lines
@@ -111,10 +118,10 @@ func (g *LogGen) one() telemetry.Record {
 // row and columnar emitters).
 func (g *LogGen) oneLine() (int64, string) {
 	ts := g.next
-	g.next += g.cfg.IntervalMicros
+	g.next += g.gap()
 	var line string
 	if g.rng.Float64() < g.cfg.MatchRate {
-		tenant := g.tenants[g.rng.IntN(len(g.tenants))]
+		tenant := g.tenants[g.pickTenant()]
 		// Zipf-ish job time: mostly short, occasionally long jobs.
 		jobMs := int(g.rng.ExpFloat64() * 40)
 		cpu := g.rng.Float64() * 100
@@ -133,6 +140,34 @@ func (g *LogGen) oneLine() (int64, string) {
 	}
 	return ts, line
 }
+
+// gap returns the event-time advance to the next line.
+func (g *LogGen) gap() int64 {
+	if g.cfg.NextGap != nil {
+		if d := g.cfg.NextGap(); d > 0 {
+			return d
+		}
+		return 1
+	}
+	return g.cfg.IntervalMicros
+}
+
+// pickTenant selects the tenant of a matching line: the configured
+// hook (hot-key skew) or the default uniform draw.
+func (g *LogGen) pickTenant() int {
+	if g.cfg.TenantPick != nil {
+		i := g.cfg.TenantPick(len(g.tenants))
+		if i < 0 || i >= len(g.tenants) {
+			i = 0
+		}
+		return i
+	}
+	return g.rng.IntN(len(g.tenants))
+}
+
+// SkipWindow advances event time by durMicros without emitting records
+// (see PingGen.SkipWindow).
+func (g *LogGen) SkipWindow(durMicros int64) { g.next += durMicros }
 
 // Patterns are the substrings the LogAnalytics query greps for
 // (Listing 3); matching is done on the lowercased line.

@@ -68,6 +68,16 @@ type PingConfig struct {
 	// IntervalMicros is the event-time spacing between consecutive probes
 	// emitted by this node (derived from the target rate).
 	IntervalMicros int64
+	// NextGap, when set, replaces the fixed IntervalMicros pacing: it
+	// returns the event-time gap in microseconds to the next probe.
+	// Workload specs plug renewal-process samplers (Poisson, Gamma,
+	// Weibull inter-arrivals with diurnal modulation) in here; gaps
+	// below 1 µs are clamped to 1.
+	NextGap func() int64
+	// PeerPick, when set, replaces round-robin peer selection: it
+	// returns the peer index to probe out of n peers (hot-key skew).
+	// Out-of-range picks are clamped into [0, n).
+	PeerPick func(n int) int
 }
 
 // DefaultPingConfig returns the configuration used throughout the paper's
@@ -163,8 +173,7 @@ func (g *PingGen) NextWindow(durMicros int64) telemetry.Batch {
 }
 
 func (g *PingGen) one() telemetry.Record {
-	peer := g.peerIdx
-	g.peerIdx = (g.peerIdx + 1) % g.cfg.Peers
+	peer := g.pickPeer()
 	p := &telemetry.PingProbe{
 		Timestamp:  g.next,
 		SrcIP:      g.cfg.SrcIP,
@@ -176,9 +185,40 @@ func (g *PingGen) one() telemetry.Record {
 	if g.rng.Float64() < g.cfg.ErrRate {
 		p.ErrCode = 1 + uint32(g.rng.IntN(4))
 	}
-	g.next += g.cfg.IntervalMicros
+	g.next += g.gap()
 	return telemetry.NewProbeRecord(p)
 }
+
+// pickPeer selects the next probed peer: the configured hook (hot-key
+// skew) or the default round-robin sweep.
+func (g *PingGen) pickPeer() int {
+	if g.cfg.PeerPick != nil {
+		p := g.cfg.PeerPick(g.cfg.Peers)
+		if p < 0 || p >= g.cfg.Peers {
+			p = 0
+		}
+		return p
+	}
+	peer := g.peerIdx
+	g.peerIdx = (g.peerIdx + 1) % g.cfg.Peers
+	return peer
+}
+
+// gap returns the event-time advance to the next probe.
+func (g *PingGen) gap() int64 {
+	if g.cfg.NextGap != nil {
+		if d := g.cfg.NextGap(); d > 0 {
+			return d
+		}
+		return 1
+	}
+	return g.cfg.IntervalMicros
+}
+
+// SkipWindow advances event time by durMicros without emitting records:
+// a churned-out node's clock keeps pace with the cluster, so its stream
+// resumes at current event time when it rejoins.
+func (g *PingGen) SkipWindow(durMicros int64) { g.next += durMicros }
 
 func (g *PingGen) rtt(peer int) uint32 {
 	mean := g.cfg.BaseRTTMicros

@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"jarvis/internal/telemetry"
+)
+
+// Distributed-trace span aggregation: the fourth canonical workload.
+// Each record is one completed span — (service, operation, duration) —
+// reusing the JobStats record shape (Tenant = service, StatName =
+// operation, Stat = duration in milliseconds, Bucket = 0) so spans ride
+// the existing TagJobStats wire sections with zero codec changes. The
+// key space is deliberately high-cardinality (services × operations,
+// Zipf-skewed) to stress GroupAgg hash pressure in ways the 64-tenant
+// LogAnalytics workload does not.
+const (
+	// SpanMbps10x is the default per-node span rate used in experiments,
+	// chosen between the Pingmesh and LogAnalytics rates.
+	SpanMbps10x = 18.7
+	// AvgSpanBytes approximates the serialized span size: two short
+	// interned strings plus the JobStats numeric envelope.
+	AvgSpanBytes = 50
+	// SpanHealthOp is the operation name of health-check spans. They are
+	// operationally uninteresting and the TraceSpanAgg query filters
+	// them out, giving the workload a natural filter-out rate.
+	SpanHealthOp = "healthz"
+)
+
+// SpanConfig configures a span-stream generator for one node.
+type SpanConfig struct {
+	Seed uint64
+	// Services is the number of distinct service names emitted.
+	Services int
+	// OpsPerService is the number of operations per service; the grouped
+	// key cardinality is Services × OpsPerService.
+	OpsPerService int
+	// ZipfS is the Zipf exponent of the (service, operation) popularity
+	// skew; 0 is uniform.
+	ZipfS float64
+	// HealthFrac is the fraction of spans that are health checks
+	// (operation SpanHealthOp), dropped by the query's filter.
+	HealthFrac float64
+	// BaseMillis is the median duration of a healthy operation.
+	BaseMillis float64
+	// SigmaLog is the σ of the lognormal duration noise.
+	SigmaLog float64
+	// SlowOpFrac is the fraction of (service, operation) keys that are
+	// persistently slow; their durations scale by SlowFactor. Ground
+	// truth for latency-regression queries.
+	SlowOpFrac float64
+	// SlowFactor multiplies BaseMillis for slow keys.
+	SlowFactor float64
+	// StartMicros and IntervalMicros pace event time like PingConfig.
+	StartMicros    int64
+	IntervalMicros int64
+	// NextGap, when set, replaces the fixed IntervalMicros pacing (see
+	// PingConfig.NextGap).
+	NextGap func() int64
+	// RankPick, when set, replaces the built-in Zipf draw: it returns
+	// the popularity rank (out of n keys) of the next span's
+	// (service, operation) key. Out-of-range picks are clamped into
+	// [0, n).
+	RankPick func(n int) int
+}
+
+// DefaultSpanConfig returns the canonical setup: 2048 grouped keys with
+// web-like skew, 8% health checks and 2% persistently slow operations.
+func DefaultSpanConfig(seed uint64) SpanConfig {
+	return SpanConfig{
+		Seed:           seed,
+		Services:       32,
+		OpsPerService:  64,
+		ZipfS:          1.1,
+		HealthFrac:     0.08,
+		BaseMillis:     12,
+		SigmaLog:       0.6,
+		SlowOpFrac:     0.02,
+		SlowFactor:     20,
+		StartMicros:    0,
+		IntervalMicros: int64(1e6 / RecordsPerSec(SpanMbps10x, AvgSpanBytes)),
+	}
+}
+
+// SpanGen generates a deterministic span stream for one node.
+type SpanGen struct {
+	cfg      SpanConfig
+	rng      *rand.Rand
+	next     int64
+	zipf     *Zipf
+	services []string
+	ops      []string // indexed by rank: rank r belongs to services[r/OpsPerService]
+	slow     []bool   // per rank: key is persistently slow
+	arena    spanArena
+}
+
+// NewSpanGen builds a generator. Name tables and the slow-key set are
+// precomputed so per-span work is draws plus table lookups.
+func NewSpanGen(cfg SpanConfig) *SpanGen {
+	if cfg.Services <= 0 {
+		cfg.Services = 32
+	}
+	if cfg.OpsPerService <= 0 {
+		cfg.OpsPerService = 64
+	}
+	if cfg.IntervalMicros <= 0 {
+		cfg.IntervalMicros = 1
+	}
+	if cfg.BaseMillis <= 0 {
+		cfg.BaseMillis = 12
+	}
+	if cfg.SlowFactor <= 0 {
+		cfg.SlowFactor = 1
+	}
+	keys := cfg.Services * cfg.OpsPerService
+	g := &SpanGen{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5B3A9D44C27F11E7)),
+		next:     cfg.StartMicros,
+		zipf:     NewZipf(cfg.ZipfS, keys),
+		services: make([]string, cfg.Services),
+		ops:      make([]string, keys),
+		slow:     make([]bool, keys),
+	}
+	for i := range g.services {
+		g.services[i] = fmt.Sprintf("svc-%03d", i)
+	}
+	for r := range g.ops {
+		g.ops[r] = fmt.Sprintf("op-%04d", r%cfg.OpsPerService)
+	}
+	for r := range g.slow {
+		if g.rng.Float64() < cfg.SlowOpFrac {
+			g.slow[r] = true
+		}
+	}
+	return g
+}
+
+// Keys returns the grouped key cardinality (services × operations).
+func (g *SpanGen) Keys() int { return len(g.ops) }
+
+// Slow reports whether popularity rank r is a persistently slow key:
+// ground truth for latency-regression assertions.
+func (g *SpanGen) Slow(r int) bool { return g.slow[r%len(g.slow)] }
+
+// SlowCount returns the number of persistently slow keys.
+func (g *SpanGen) SlowCount() int {
+	n := 0
+	for _, s := range g.slow {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// Next emits the next n span records.
+func (g *SpanGen) Next(n int) telemetry.Batch {
+	out := make(telemetry.Batch, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.one())
+	}
+	return out
+}
+
+// NextWindow emits all spans with event time in [cur, cur+durMicros).
+func (g *SpanGen) NextWindow(durMicros int64) telemetry.Batch {
+	end := g.next + durMicros
+	var out telemetry.Batch
+	for g.next < end {
+		out = append(out, g.one())
+	}
+	return out
+}
+
+func (g *SpanGen) one() telemetry.Record {
+	ts, svc, op, dur := g.oneSpan()
+	j := &telemetry.JobStats{Timestamp: ts, Tenant: svc, StatName: op, Stat: dur}
+	return telemetry.Record{Time: ts, WireSize: j.JobStatsWireSize(), Data: j}
+}
+
+// oneSpan draws the next span without building the record (shared by the
+// row and columnar emitters). Draw order: health roll, key rank,
+// duration noise — fixed so both paths produce identical traces.
+func (g *SpanGen) oneSpan() (ts int64, svc, op string, durMs float64) {
+	ts = g.next
+	g.next += g.gap()
+	health := g.rng.Float64() < g.cfg.HealthFrac
+	rank := g.pickRank()
+	mean := g.cfg.BaseMillis
+	if g.slow[rank] {
+		mean *= g.cfg.SlowFactor
+	}
+	durMs = mean * math.Exp(g.rng.NormFloat64()*g.cfg.SigmaLog)
+	if durMs < 0.001 {
+		durMs = 0.001
+	}
+	svc = g.services[rank/g.cfg.OpsPerService]
+	op = g.ops[rank]
+	if health {
+		op = SpanHealthOp
+	}
+	return ts, svc, op, durMs
+}
+
+// pickRank selects the next span's key rank: the configured hook or the
+// built-in Zipf draw.
+func (g *SpanGen) pickRank() int {
+	if g.cfg.RankPick != nil {
+		r := g.cfg.RankPick(len(g.ops))
+		if r < 0 || r >= len(g.ops) {
+			r = 0
+		}
+		return r
+	}
+	return g.zipf.Rank(g.rng.Float64())
+}
+
+// gap returns the event-time advance to the next span.
+func (g *SpanGen) gap() int64 {
+	if g.cfg.NextGap != nil {
+		if d := g.cfg.NextGap(); d > 0 {
+			return d
+		}
+		return 1
+	}
+	return g.cfg.IntervalMicros
+}
+
+// SkipWindow advances event time by durMicros without emitting records
+// (see PingGen.SkipWindow).
+func (g *SpanGen) SkipWindow(durMicros int64) { g.next += durMicros }

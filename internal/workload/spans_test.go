@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"jarvis/internal/telemetry"
+	"jarvis/internal/wire"
+)
+
+func TestSpanGenDeterministic(t *testing.T) {
+	a := NewSpanGen(DefaultSpanConfig(7))
+	b := NewSpanGen(DefaultSpanConfig(7))
+	ra, rb := a.Next(500), b.Next(500)
+	for i := range ra {
+		ja, jb := ra[i].Data.(*telemetry.JobStats), rb[i].Data.(*telemetry.JobStats)
+		if *ja != *jb {
+			t.Fatalf("record %d differs: %+v vs %+v", i, ja, jb)
+		}
+	}
+	c := NewSpanGen(DefaultSpanConfig(8))
+	rc := c.Next(500)
+	same := 0
+	for i := range ra {
+		if *ra[i].Data.(*telemetry.JobStats) == *rc[i].Data.(*telemetry.JobStats) {
+			same++
+		}
+	}
+	if same == len(ra) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestSpanGenColsParity checks NextWindowCols emits exactly the records
+// NextWindow would — the contract the sim's columnar pipelines rely on.
+func TestSpanGenColsParity(t *testing.T) {
+	row := NewSpanGen(DefaultSpanConfig(11))
+	col := NewSpanGen(DefaultSpanConfig(11))
+	for w := 0; w < 3; w++ {
+		recs := row.NextWindow(1_000_000)
+		var cb wire.ColumnarBatch
+		col.NextWindowCols(1_000_000, &cb)
+		if len(cb.Secs) != 1 {
+			t.Fatalf("window %d: got %d sections", w, len(cb.Secs))
+		}
+		sec := cb.Secs[0]
+		if sec.Tag != wire.TagJobStats || sec.N() != len(recs) {
+			t.Fatalf("window %d: tag %#x n=%d want n=%d", w, sec.Tag, sec.N(), len(recs))
+		}
+		for i, r := range recs {
+			j := r.Data.(*telemetry.JobStats)
+			if sec.Job.TS[i] != j.Timestamp || sec.Job.Tenant[i] != j.Tenant ||
+				sec.Job.StatName[i] != j.StatName || sec.Job.Stat[i] != j.Stat ||
+				sec.Job.Bucket[i] != 0 {
+				t.Fatalf("window %d row %d: columnar %v/%v/%v vs row %+v",
+					w, i, sec.Job.Tenant[i], sec.Job.StatName[i], sec.Job.Stat[i], j)
+			}
+		}
+	}
+}
+
+func TestSpanGenMarginals(t *testing.T) {
+	g := NewSpanGen(DefaultSpanConfig(3))
+	recs := g.Next(20000)
+	health, slowSum, slowN, fastSum, fastN := 0, 0.0, 0, 0.0, 0
+	keys := map[[2]string]int{}
+	for _, r := range recs {
+		j := r.Data.(*telemetry.JobStats)
+		if j.StatName == SpanHealthOp {
+			health++
+			continue
+		}
+		keys[[2]string{j.Tenant, j.StatName}]++
+		if j.Stat > 100 {
+			slowSum, slowN = slowSum+j.Stat, slowN+1
+		} else {
+			fastSum, fastN = fastSum+j.Stat, fastN+1
+		}
+	}
+	frac := float64(health) / float64(len(recs))
+	if math.Abs(frac-0.08) > 0.02 {
+		t.Fatalf("health fraction %.3f, want ≈0.08", frac)
+	}
+	if len(keys) < 100 {
+		t.Fatalf("only %d distinct keys; want high cardinality", len(keys))
+	}
+	if g.SlowCount() == 0 || slowN == 0 {
+		t.Fatalf("no slow keys drawn (slowCount=%d slowN=%d)", g.SlowCount(), slowN)
+	}
+	// Zipf skew: the hottest key should dominate a uniform share.
+	max := 0
+	for _, n := range keys {
+		if n > max {
+			max = n
+		}
+	}
+	if uniform := len(recs) / g.Keys(); max < 4*uniform {
+		t.Fatalf("hottest key %d records, uniform share %d: no visible skew", max, uniform)
+	}
+}
+
+func TestSpanGenHooksAndSkip(t *testing.T) {
+	cfg := DefaultSpanConfig(5)
+	cfg.NextGap = func() int64 { return 250 }
+	cfg.RankPick = func(n int) int { return n + 100 } // out of range → clamped to 0
+	g := NewSpanGen(cfg)
+	recs := g.NextWindow(1000)
+	if len(recs) != 4 {
+		t.Fatalf("got %d records with 250µs gaps in 1ms, want 4", len(recs))
+	}
+	for i, r := range recs {
+		j := r.Data.(*telemetry.JobStats)
+		if j.Timestamp != int64(i)*250 {
+			t.Fatalf("record %d ts=%d, want %d", i, j.Timestamp, int64(i)*250)
+		}
+		if j.Tenant != "svc-000" {
+			t.Fatalf("clamped rank should map to svc-000, got %q", j.Tenant)
+		}
+	}
+	g.SkipWindow(5000)
+	next := g.NextWindow(250)
+	if len(next) != 1 || next[0].Time != 6000 {
+		t.Fatalf("after skip got %v, want one record at t=6000", next)
+	}
+}
+
+func TestZipfSampler(t *testing.T) {
+	z := NewZipf(1.0, 100)
+	if z.N() != 100 {
+		t.Fatalf("N=%d", z.N())
+	}
+	if r := z.Rank(0); r != 0 {
+		t.Fatalf("Rank(0)=%d, want 0", r)
+	}
+	if r := z.Rank(0.9999999); r != 99 {
+		t.Fatalf("Rank(~1)=%d, want 99", r)
+	}
+	// Monotone: larger u never maps to a smaller rank.
+	prev := 0
+	for i := 0; i <= 1000; i++ {
+		r := z.Rank(float64(i) / 1001)
+		if r < prev {
+			t.Fatalf("rank not monotone at u=%d/1001: %d < %d", i, r, prev)
+		}
+		prev = r
+	}
+	// Uniform exponent: ranks spread evenly.
+	u := NewZipf(0, 10)
+	if r := u.Rank(0.55); r != 5 {
+		t.Fatalf("uniform Rank(0.55)=%d, want 5", r)
+	}
+}

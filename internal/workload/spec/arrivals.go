@@ -1,0 +1,96 @@
+package spec
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+)
+
+// Unit-mean renewal samplers: each draw is a positive factor scaling the
+// group's base inter-arrival interval, so the configured rate is
+// preserved in expectation regardless of process.
+
+// sampler returns the group's inter-arrival factor sampler. The RNG is
+// owned by the caller (one per node), keeping draws deterministic per
+// node regardless of scheduling.
+func (a *Arrival) sampler(rng *rand.Rand) func() float64 {
+	if a == nil {
+		return func() float64 { return 1 }
+	}
+	shape := a.Shape
+	if shape <= 0 {
+		shape = 1
+	}
+	switch strings.ToLower(a.Process) {
+	case "poisson":
+		// Exponential gaps — a Poisson arrival process.
+		return func() float64 { return rng.ExpFloat64() }
+	case "gamma":
+		// Gamma(k, 1/k): mean 1, CV 1/√k — burstier than Poisson for
+		// k < 1, smoother for k > 1.
+		return func() float64 { return gammaSample(rng, shape) / shape }
+	case "weibull":
+		// Weibull(k) scaled to unit mean: heavy-tailed gaps for k < 1.
+		scale := 1 / math.Gamma(1+1/shape)
+		return func() float64 {
+			u := rng.Float64()
+			if u <= 0 {
+				u = math.SmallestNonzeroFloat64
+			}
+			return scale * math.Pow(-math.Log(u), 1/shape)
+		}
+	case "uniform":
+		// Uniform on [0.5, 1.5): mild jitter around the base interval.
+		return func() float64 { return 0.5 + rng.Float64() }
+	default: // "fixed"
+		return func() float64 { return 1 }
+	}
+}
+
+// gammaSample draws Gamma(shape, 1) via Marsaglia–Tsang squeeze
+// (boosted below shape 1), using only the caller's RNG.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) · U^(1/a).
+		u := rng.Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// modulator returns the diurnal rate-modulation function over virtual
+// event time (microseconds since run start): the instantaneous rate
+// multiplier, floored at 0.05 so gaps stay bounded.
+func (d *Diurnal) modulator(epochMicros int64) func(tMicros int64) float64 {
+	if d == nil || d.Amplitude == 0 {
+		return func(int64) float64 { return 1 }
+	}
+	period := float64(d.PeriodEpochs) * float64(epochMicros)
+	amp := d.Amplitude
+	return func(t int64) float64 {
+		m := 1 + amp*math.Sin(2*math.Pi*float64(t)/period)
+		if m < 0.05 {
+			m = 0.05
+		}
+		return m
+	}
+}

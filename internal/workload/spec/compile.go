@@ -1,0 +1,310 @@
+package spec
+
+import (
+	"math/rand/v2"
+
+	"jarvis/internal/telemetry"
+	"jarvis/internal/wire"
+	"jarvis/internal/workload"
+)
+
+// ColGen is the generator contract every workload satisfies: emit one
+// virtual window as SoA columns, or skip it entirely (churned-out nodes
+// keep event-time pace without emitting).
+type ColGen interface {
+	NextWindowCols(durMicros int64, cb *wire.ColumnarBatch)
+	SkipWindow(durMicros int64)
+}
+
+// Node is one compiled agent: a seeded generator plus its activity
+// schedule. EmitWindow/Skip must be called for every epoch in order —
+// they advance both the generator's event-time cursor and the arrival
+// process's modulation phase.
+type Node struct {
+	// Index is the node's global index across all groups.
+	Index int
+	// Group and Query identify the population; Query is canonical
+	// ("s2s" | "t2t" | "log" | "spans").
+	Group string
+	Query string
+	// Class is the SLO class string ("gold" | "silver" | "best-effort").
+	Class string
+	// Gen is the node's deterministic generator.
+	Gen ColGen
+	// Active reports whether the node emits data in the given epoch
+	// (join/leave window and churn schedule).
+	Active func(epoch int) bool
+
+	cursor *int64 // arrival-modulation phase, shared with the NextGap closure
+}
+
+// EmitWindow generates one epoch of columns.
+func (n *Node) EmitWindow(durMicros int64, cb *wire.ColumnarBatch) {
+	n.Gen.NextWindowCols(durMicros, cb)
+}
+
+// Skip advances the node through one quiet epoch, keeping the diurnal
+// phase aligned with virtual time.
+func (n *Node) Skip(durMicros int64) {
+	n.Gen.SkipWindow(durMicros)
+	*n.cursor += durMicros
+}
+
+// Scenario is a compiled spec: per-node generators under a shared
+// virtual-time frame, ready for sim.Cluster.
+type Scenario struct {
+	Spec        *Spec
+	EpochMicros int64
+	DrainEpochs int
+	Nodes       []Node
+	// Queries are the distinct canonical queries in first-use order;
+	// the sim runs one SP per entry.
+	Queries []string
+}
+
+// DefaultSpecPeers bounds the ping workloads' peer fan-out in
+// spec-driven runs (overridable via skew.keys): it keeps every peer
+// inside the T2TProbe join table and the grouped key space proportionate
+// to spec-scale rates, unlike the paper's 20 K-peer default.
+const DefaultSpecPeers = 256
+
+// splitmix64 decorrelates derived seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Compile resolves the spec into per-node generators. It is
+// deterministic: node seeds derive from the spec seed and the node's
+// global index only.
+func (s *Spec) Compile() (*Scenario, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	epochMicros := s.EpochMillis * 1000
+	if epochMicros == 0 {
+		epochMicros = 1_000_000
+	}
+	drain := s.DrainEpochs
+	if drain == 0 {
+		drain = 11
+	}
+	sc := &Scenario{Spec: s, EpochMicros: epochMicros, DrainEpochs: drain}
+	idx := 0
+	seenQ := map[string]bool{}
+	for gi := range s.Groups {
+		g := &s.Groups[gi]
+		q, _ := CanonicalQuery(g.Query)
+		if !seenQ[q] {
+			seenQ[q] = true
+			sc.Queries = append(sc.Queries, q)
+		}
+		class := g.Class
+		if class == "" {
+			class = "silver"
+		}
+		mod := s.groupModulator(g, epochMicros)
+		for i := 0; i < g.Nodes; i++ {
+			n := s.compileNode(g, q, class, idx, gi, mod, epochMicros)
+			sc.Nodes = append(sc.Nodes, n)
+			idx++
+		}
+	}
+	return sc, nil
+}
+
+// groupModulator folds the group's diurnal curve and any rate_spike
+// faults into one rate multiplier over virtual time.
+func (s *Spec) groupModulator(g *Group, epochMicros int64) func(tMicros int64) float64 {
+	diurnal := g.Diurnal.modulator(epochMicros)
+	type spike struct {
+		from, until int64 // micros; until 0 = open
+		factor      float64
+	}
+	var spikes []spike
+	for i := range s.Faults {
+		f := &s.Faults[i]
+		if f.Kind != FaultRateSpike || (f.Group != "" && f.Group != g.Name) {
+			continue
+		}
+		sp := spike{from: int64(f.Epoch) * epochMicros, factor: f.Factor}
+		if f.UntilEpoch > 0 {
+			sp.until = int64(f.UntilEpoch) * epochMicros
+		}
+		spikes = append(spikes, sp)
+	}
+	if len(spikes) == 0 {
+		return diurnal
+	}
+	return func(t int64) float64 {
+		m := diurnal(t)
+		for _, sp := range spikes {
+			if t >= sp.from && (sp.until == 0 || t < sp.until) {
+				m *= sp.factor
+			}
+		}
+		return m
+	}
+}
+
+// compileNode builds one node's generator and schedule.
+func (s *Spec) compileNode(g *Group, q, class string, idx, groupIdx int, mod func(int64) float64, epochMicros int64) Node {
+	nodeSeed := splitmix64(s.Seed ^ uint64(idx)*0xA24BAED4963EE407)
+	arrivalRNG := rand.New(rand.NewPCG(nodeSeed, nodeSeed^0x1F83D9ABFB41BD6B))
+	skewRNG := rand.New(rand.NewPCG(nodeSeed, nodeSeed^0x5BE0CD19137E2179))
+	sample := g.Arrival.sampler(arrivalRNG)
+
+	cursor := new(int64)
+	gapper := func(baseMicros float64) func() int64 {
+		return func() int64 {
+			gap := baseMicros * sample() / mod(*cursor)
+			if gap < 1 {
+				gap = 1
+			}
+			if gap > float64(MaxEpochMillis)*1000 {
+				gap = float64(MaxEpochMillis) * 1000
+			}
+			gi := int64(gap)
+			*cursor += gi
+			return gi
+		}
+	}
+	var zipf *workload.Zipf
+	if g.Skew != nil {
+		keys := g.Skew.Keys
+		if keys == 0 {
+			keys = DefaultSpecPeers
+		}
+		zipf = workload.NewZipf(g.Skew.Exponent, keys)
+	}
+	pick := func(n int) int { return zipf.Rank(skewRNG.Float64()) }
+
+	var gen ColGen
+	switch q {
+	case "s2s", "t2t":
+		cfg := workload.DefaultPingConfig(nodeSeed)
+		cfg.SrcIP = 0x0A000000 + uint32(idx+1)
+		cfg.Peers = DefaultSpecPeers
+		rate := g.RateMbps
+		if rate == 0 {
+			rate = workload.PingmeshMbps10x
+		}
+		cfg.IntervalMicros = interval(rate, telemetry.PingProbeWireSize)
+		if zipf != nil {
+			cfg.Peers = zipf.N()
+			cfg.PeerPick = pick
+		}
+		cfg.NextGap = gapper(float64(cfg.IntervalMicros))
+		gen = workload.NewPingGen(cfg)
+	case "log":
+		cfg := workload.DefaultLogConfig(nodeSeed)
+		rate := g.RateMbps
+		if rate == 0 {
+			rate = workload.LogMbps10x
+		}
+		cfg.IntervalMicros = interval(rate, workload.AvgLogLineBytes)
+		if zipf != nil {
+			cfg.Tenants = zipf.N()
+			cfg.TenantPick = pick
+		}
+		cfg.NextGap = gapper(float64(cfg.IntervalMicros))
+		gen = workload.NewLogGen(cfg)
+	case "spans":
+		cfg := workload.DefaultSpanConfig(nodeSeed)
+		rate := g.RateMbps
+		if rate == 0 {
+			rate = workload.SpanMbps10x
+		}
+		cfg.IntervalMicros = interval(rate, workload.AvgSpanBytes)
+		if g.Skew != nil {
+			// Span skew is native: the generator draws ranks from its
+			// own Zipf over the (service, operation) space.
+			cfg.ZipfS = g.Skew.Exponent
+			if g.Skew.Keys > 0 {
+				cfg.OpsPerService = (g.Skew.Keys + cfg.Services - 1) / cfg.Services
+			}
+		}
+		cfg.NextGap = gapper(float64(cfg.IntervalMicros))
+		gen = workload.NewSpanGen(cfg)
+	}
+
+	join, leave, churn := g.JoinEpoch, g.LeaveEpoch, g.Churn
+	seed := s.Seed
+	active := func(epoch int) bool {
+		if epoch < join {
+			return false
+		}
+		if leave > 0 && epoch >= leave {
+			return false
+		}
+		if churn != nil {
+			cycle := epoch / churn.PeriodEpochs
+			h := splitmix64(seed ^ uint64(idx)*0xD6E8FEB86659FD93 ^ uint64(cycle)*0xCA5A826395121157)
+			if float64(h%100000)/100000 < churn.Fraction {
+				return false
+			}
+		}
+		return true
+	}
+
+	return Node{
+		Index: idx, Group: g.Name, Query: q, Class: class,
+		Gen: gen, Active: active, cursor: cursor,
+	}
+}
+
+// interval converts a per-node rate into microseconds per record.
+func interval(mbps float64, recBytes int) int64 {
+	iv := int64(1e6 / workload.RecordsPerSec(mbps, recBytes))
+	if iv < 1 {
+		iv = 1
+	}
+	return iv
+}
+
+// ScaleNodes proportionally rescales group sizes so the total is n
+// (each non-empty group keeps at least one node). It mutates the spec;
+// call before Compile.
+func (s *Spec) ScaleNodes(n int) {
+	if n <= 0 {
+		return
+	}
+	total := 0
+	for i := range s.Groups {
+		total += s.Groups[i].Nodes
+	}
+	if total == 0 || total == n {
+		return
+	}
+	acc := 0
+	for i := range s.Groups {
+		g := &s.Groups[i]
+		scaled := g.Nodes * n / total
+		if scaled < 1 {
+			scaled = 1
+		}
+		g.Nodes = scaled
+		acc += scaled
+	}
+	// Put any rounding remainder on the largest group.
+	if acc < n {
+		big := 0
+		for i := range s.Groups {
+			if s.Groups[i].Nodes > s.Groups[big].Nodes {
+				big = i
+			}
+		}
+		s.Groups[big].Nodes += n - acc
+	}
+}
+
+// TotalNodes returns the spec's node count across groups.
+func (s *Spec) TotalNodes() int {
+	total := 0
+	for i := range s.Groups {
+		total += s.Groups[i].Nodes
+	}
+	return total
+}

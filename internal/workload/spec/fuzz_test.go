@@ -1,0 +1,60 @@
+package spec
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseWorkloadSpec asserts the parser's only contract under
+// arbitrary input: reject or accept quickly, never panic, never hang,
+// and never accept a spec that fails its own validation. Accepted specs
+// must also compile (scaled down so the fuzzer cannot buy gigabytes of
+// generators with a large node count).
+func FuzzParseWorkloadSpec(f *testing.F) {
+	seeds := []string{
+		sampleSpec,
+		``,
+		`{}`,
+		`null`,
+		`[1,2,3]`,
+		`{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":1}]}`,
+		// Malformed mixes.
+		`{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":-3}]}`,
+		`{"epochs": 5, "groups": [{"name":"","query":"log","nodes":1}]}`,
+		`{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":1},{"name":"a","query":"s2s","nodes":1}]}`,
+		// Zero and negative rates.
+		`{"epochs": 5, "groups": [{"name":"a","query":"spans","nodes":1,"rate_mbps":0}]}`,
+		`{"epochs": 5, "groups": [{"name":"a","query":"spans","nodes":1,"rate_mbps":-0.5}]}`,
+		// NaN/Inf modulation: JSON cannot encode NaN, so these exercise
+		// the decode error path.
+		`{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":1,"diurnal":{"period_epochs":2,"amplitude":NaN}}]}`,
+		`{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":1,"diurnal":{"period_epochs":2,"amplitude":1e999}}]}`,
+		// Huge bounds.
+		`{"epochs": 99999999999, "groups": [{"name":"a","query":"s2s","nodes":1}]}`,
+		`{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":1,"skew":{"exponent":1,"keys":999999999}}]}`,
+		// Fault timeline abuse.
+		`{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":1}],"faults":[{"epoch":-1,"kind":"sp_crash"}]}`,
+		`{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":1}],"faults":[{"epoch":1,"kind":"rate_spike","factor":1e308}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		start := time.Now()
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Accepted specs must satisfy their own invariants and compile.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse accepted what Validate rejects: %v", err)
+		}
+		s.ScaleNodes(len(s.Groups)) // one node per group: bounded work
+		if _, err := s.Compile(); err != nil {
+			t.Fatalf("accepted spec failed to compile: %v", err)
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Fatalf("parse+compile took %v", d)
+		}
+	})
+}

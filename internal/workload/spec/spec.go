@@ -1,0 +1,356 @@
+// Package spec defines declarative cluster-workload specifications: a
+// JSON document (a strict subset of YAML, so specs read naturally either
+// way) describing the client mix per tenant and SLO class — arrival
+// processes, diurnal rate modulation, hot-key skew, churn schedules —
+// plus SP sizing and a fault-injection timeline. A parsed spec compiles
+// into per-node columnar generators (workload.PingGen / LogGen /
+// SpanGen) that sim.Cluster drives under a shared virtual clock, so
+// "gold tenant with diurnal Gamma arrivals and hot-key skew, 800 agents,
+// two SP failovers at minute 3" is data, not code.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Hard bounds keeping malformed or adversarial specs (fuzzing, user
+// typos) from allocating unbounded memory or spinning the sim forever.
+const (
+	MaxEpochs      = 1_000_000
+	MaxTotalNodes  = 1_000_000
+	MaxGroups      = 1024
+	MaxFaults      = 4096
+	MaxSkewKeys    = 10_000_000
+	MaxEpochMillis = 3_600_000
+)
+
+// Spec is the root document.
+type Spec struct {
+	// Name labels the scenario in logs and metrics.
+	Name string `json:"name"`
+	// Seed makes every run of the spec deterministic; node seeds derive
+	// from it.
+	Seed uint64 `json:"seed"`
+	// Epochs is the number of data-generating epochs.
+	Epochs int `json:"epochs"`
+	// EpochMillis is the epoch length in virtual milliseconds
+	// (default 1000).
+	EpochMillis int64 `json:"epoch_millis,omitempty"`
+	// DrainEpochs is the number of trailing quiet epochs that flush
+	// open windows (default: enough to close a 10 s window, 11).
+	DrainEpochs int `json:"drain_epochs,omitempty"`
+	// SP sizes the simulated stream processors.
+	SP SPParams `json:"sp,omitempty"`
+	// Groups are the client populations.
+	Groups []Group `json:"groups"`
+	// Faults is the injection timeline.
+	Faults []Fault `json:"faults,omitempty"`
+}
+
+// SPParams sizes the admission controller and checkpoint cadence of
+// each simulated SP. Zero values mean "defaults".
+type SPParams struct {
+	// AdmitRateMbps is the per-tenant admitted-byte refill rate for a
+	// weight-1 class. Zero disables admission control.
+	AdmitRateMbps float64 `json:"admit_rate_mbps,omitempty"`
+	// AdmitBurstKB is the token-bucket capacity (default: 2× the
+	// per-epoch refill).
+	AdmitBurstKB float64 `json:"admit_burst_kb,omitempty"`
+	// MaxDelayedEpochs bounds the delay queue (default 64).
+	MaxDelayedEpochs int `json:"max_delayed_epochs,omitempty"`
+	// CheckpointEvery snapshots SP state every N applied epochs
+	// (default 8).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// Group is one homogeneous client population: N nodes running the same
+// query at the same rate under one tenant and SLO class.
+type Group struct {
+	// Name labels the group; it is also the transport tenant.
+	Name string `json:"name"`
+	// Query is the canonical query the group's agents run:
+	// s2s | t2t | log | spans.
+	Query string `json:"query"`
+	// Class is the SLO class: gold | silver | best-effort (default
+	// silver).
+	Class string `json:"class,omitempty"`
+	// Nodes is the number of agent nodes in the group.
+	Nodes int `json:"nodes"`
+	// RateMbps is the per-node data rate (default: the query's
+	// canonical 10× rate).
+	RateMbps float64 `json:"rate_mbps,omitempty"`
+	// Arrival selects the inter-arrival process (default: fixed
+	// spacing).
+	Arrival *Arrival `json:"arrival,omitempty"`
+	// Diurnal modulates the rate sinusoidally over virtual time.
+	Diurnal *Diurnal `json:"diurnal,omitempty"`
+	// Skew replaces the generator's default key selection with a
+	// Zipf-skewed draw (hot peers / hot tenants / hot span keys).
+	Skew *Skew `json:"skew,omitempty"`
+	// JoinEpoch is the first epoch the group's nodes emit data
+	// (staggered arrival); LeaveEpoch, when > 0, is the first epoch
+	// they stop.
+	JoinEpoch  int `json:"join_epoch,omitempty"`
+	LeaveEpoch int `json:"leave_epoch,omitempty"`
+	// Churn cycles a deterministic fraction of the group's nodes out of
+	// service each period (tenant churn).
+	Churn *Churn `json:"churn,omitempty"`
+}
+
+// Arrival is a renewal inter-arrival process with unit mean; gaps scale
+// the group's base interval.
+type Arrival struct {
+	// Process: fixed | poisson | gamma | weibull | uniform.
+	Process string `json:"process"`
+	// Shape is the gamma/weibull shape parameter (unused otherwise;
+	// default 1, which degenerates to poisson).
+	Shape float64 `json:"shape,omitempty"`
+}
+
+// Diurnal modulates a group's instantaneous rate as
+// rate(t) = base × (1 + Amplitude·sin(2πt/Period)).
+type Diurnal struct {
+	// PeriodEpochs is the modulation period in epochs.
+	PeriodEpochs int `json:"period_epochs"`
+	// Amplitude ∈ [0, 1): peak-to-mean rate swing.
+	Amplitude float64 `json:"amplitude"`
+}
+
+// Skew selects keys (ping peers, log tenants, span operations) from a
+// bounded Zipf distribution instead of the generator's default.
+type Skew struct {
+	// Exponent is the Zipf s parameter (0 = uniform).
+	Exponent float64 `json:"exponent"`
+	// Keys overrides the key-space size (peers / tenants); 0 keeps the
+	// generator's default.
+	Keys int `json:"keys,omitempty"`
+}
+
+// Churn cycles nodes out of service: each period of PeriodEpochs, a
+// deterministic Fraction of the group's nodes goes quiet for that
+// period.
+type Churn struct {
+	PeriodEpochs int     `json:"period_epochs"`
+	Fraction     float64 `json:"fraction"`
+}
+
+// Fault kinds.
+const (
+	// FaultSPCrash crashes the SP serving Query at Epoch; it restores
+	// from its latest checkpoint after OutageEpochs (default 1).
+	FaultSPCrash = "sp_crash"
+	// FaultRateSpike multiplies Group's (or, if Group is empty, every
+	// group's) rate by Factor from Epoch until UntilEpoch.
+	FaultRateSpike = "rate_spike"
+)
+
+// Fault is one timeline entry.
+type Fault struct {
+	Epoch int    `json:"epoch"`
+	Kind  string `json:"kind"`
+	// Query targets sp_crash (the SP of that query).
+	Query string `json:"query,omitempty"`
+	// Group targets rate_spike.
+	Group string `json:"group,omitempty"`
+	// Factor is the rate multiplier for rate_spike.
+	Factor float64 `json:"factor,omitempty"`
+	// UntilEpoch ends a rate_spike (0 = end of run).
+	UntilEpoch int `json:"until_epoch,omitempty"`
+	// OutageEpochs is how long a crashed SP stays down.
+	OutageEpochs int `json:"outage_epochs,omitempty"`
+}
+
+// CanonicalQuery normalizes a query spelling to its short name, or
+// returns false.
+func CanonicalQuery(q string) (string, bool) {
+	switch strings.ToLower(strings.TrimSpace(q)) {
+	case "s2s", "s2sprobe":
+		return "s2s", true
+	case "t2t", "t2tprobe":
+		return "t2t", true
+	case "log", "loganalytics":
+		return "log", true
+	case "spans", "tracespanagg":
+		return "spans", true
+	}
+	return "", false
+}
+
+// Parse decodes and validates a spec document. Unknown fields are
+// rejected so typos fail loudly; a parse error never panics and the
+// input length is the only work bound.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: parse: %w", err)
+	}
+	// Trailing garbage after the document is an error, not ignored.
+	if dec.More() {
+		return nil, fmt.Errorf("spec: trailing data after document")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func bad(format string, args ...any) error {
+	return fmt.Errorf("spec: "+format, args...)
+}
+
+// finite rejects NaN and ±Inf (programmatic construction can produce
+// them even though JSON cannot encode them).
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate checks every bound the compiler and sim rely on.
+func (s *Spec) Validate() error {
+	if s.Epochs <= 0 || s.Epochs > MaxEpochs {
+		return bad("epochs %d out of (0, %d]", s.Epochs, MaxEpochs)
+	}
+	if s.EpochMillis < 0 || s.EpochMillis > MaxEpochMillis {
+		return bad("epoch_millis %d out of [0, %d]", s.EpochMillis, MaxEpochMillis)
+	}
+	if s.DrainEpochs < 0 || s.DrainEpochs > MaxEpochs {
+		return bad("drain_epochs %d out of range", s.DrainEpochs)
+	}
+	if len(s.Groups) == 0 {
+		return bad("no groups")
+	}
+	if len(s.Groups) > MaxGroups {
+		return bad("%d groups exceeds %d", len(s.Groups), MaxGroups)
+	}
+	if len(s.Faults) > MaxFaults {
+		return bad("%d faults exceeds %d", len(s.Faults), MaxFaults)
+	}
+	if !finite(s.SP.AdmitRateMbps) || s.SP.AdmitRateMbps < 0 {
+		return bad("sp.admit_rate_mbps %v invalid", s.SP.AdmitRateMbps)
+	}
+	if !finite(s.SP.AdmitBurstKB) || s.SP.AdmitBurstKB < 0 {
+		return bad("sp.admit_burst_kb %v invalid", s.SP.AdmitBurstKB)
+	}
+	if s.SP.MaxDelayedEpochs < 0 || s.SP.CheckpointEvery < 0 {
+		return bad("sp queue/checkpoint sizes must be non-negative")
+	}
+	total := 0
+	seen := map[string]bool{}
+	for i := range s.Groups {
+		g := &s.Groups[i]
+		if err := g.validate(s.Epochs); err != nil {
+			return fmt.Errorf("%w (group %d %q)", err, i, g.Name)
+		}
+		if seen[g.Name] {
+			return bad("duplicate group name %q", g.Name)
+		}
+		seen[g.Name] = true
+		total += g.Nodes
+	}
+	if total > MaxTotalNodes {
+		return bad("%d total nodes exceeds %d", total, MaxTotalNodes)
+	}
+	for i := range s.Faults {
+		if err := s.Faults[i].validate(s, seen); err != nil {
+			return fmt.Errorf("%w (fault %d)", err, i)
+		}
+	}
+	return nil
+}
+
+func (g *Group) validate(epochs int) error {
+	if g.Name == "" {
+		return bad("group name empty")
+	}
+	if len(g.Name) > 128 {
+		return bad("group name too long")
+	}
+	if _, ok := CanonicalQuery(g.Query); !ok {
+		return bad("unknown query %q", g.Query)
+	}
+	switch strings.ToLower(g.Class) {
+	case "", "gold", "silver", "best-effort", "besteffort", "be":
+	default:
+		return bad("unknown class %q", g.Class)
+	}
+	if g.Nodes <= 0 || g.Nodes > MaxTotalNodes {
+		return bad("nodes %d out of (0, %d]", g.Nodes, MaxTotalNodes)
+	}
+	if !finite(g.RateMbps) || g.RateMbps < 0 || g.RateMbps > 1e6 {
+		return bad("rate_mbps %v invalid", g.RateMbps)
+	}
+	if a := g.Arrival; a != nil {
+		switch strings.ToLower(a.Process) {
+		case "fixed", "poisson", "gamma", "weibull", "uniform":
+		default:
+			return bad("unknown arrival process %q", a.Process)
+		}
+		if !finite(a.Shape) || a.Shape < 0 || a.Shape > 1e3 {
+			return bad("arrival shape %v invalid", a.Shape)
+		}
+	}
+	if d := g.Diurnal; d != nil {
+		if d.PeriodEpochs <= 0 || d.PeriodEpochs > MaxEpochs {
+			return bad("diurnal period_epochs %d invalid", d.PeriodEpochs)
+		}
+		if !finite(d.Amplitude) || d.Amplitude < 0 || d.Amplitude >= 1 {
+			return bad("diurnal amplitude %v out of [0, 1)", d.Amplitude)
+		}
+	}
+	if k := g.Skew; k != nil {
+		if !finite(k.Exponent) || k.Exponent < 0 || k.Exponent > 20 {
+			return bad("skew exponent %v invalid", k.Exponent)
+		}
+		if k.Keys < 0 || k.Keys > MaxSkewKeys {
+			return bad("skew keys %d invalid", k.Keys)
+		}
+	}
+	if g.JoinEpoch < 0 || g.JoinEpoch >= epochs {
+		return bad("join_epoch %d out of [0, %d)", g.JoinEpoch, epochs)
+	}
+	if g.LeaveEpoch < 0 || (g.LeaveEpoch > 0 && g.LeaveEpoch <= g.JoinEpoch) {
+		return bad("leave_epoch %d invalid", g.LeaveEpoch)
+	}
+	if c := g.Churn; c != nil {
+		if c.PeriodEpochs <= 0 || c.PeriodEpochs > MaxEpochs {
+			return bad("churn period_epochs %d invalid", c.PeriodEpochs)
+		}
+		if !finite(c.Fraction) || c.Fraction < 0 || c.Fraction > 1 {
+			return bad("churn fraction %v out of [0, 1]", c.Fraction)
+		}
+	}
+	return nil
+}
+
+func (f *Fault) validate(s *Spec, groups map[string]bool) error {
+	if f.Epoch < 0 || f.Epoch >= s.Epochs {
+		return bad("fault epoch %d out of [0, %d)", f.Epoch, s.Epochs)
+	}
+	switch f.Kind {
+	case FaultSPCrash:
+		if f.Query != "" {
+			if _, ok := CanonicalQuery(f.Query); !ok {
+				return bad("sp_crash targets unknown query %q", f.Query)
+			}
+		}
+		if f.OutageEpochs < 0 || f.OutageEpochs > s.Epochs {
+			return bad("outage_epochs %d invalid", f.OutageEpochs)
+		}
+	case FaultRateSpike:
+		if f.Group != "" && !groups[f.Group] {
+			return bad("rate_spike targets unknown group %q", f.Group)
+		}
+		if !finite(f.Factor) || f.Factor <= 0 || f.Factor > 1e3 {
+			return bad("rate_spike factor %v invalid", f.Factor)
+		}
+		if f.UntilEpoch < 0 || (f.UntilEpoch > 0 && f.UntilEpoch <= f.Epoch) {
+			return bad("until_epoch %d invalid", f.UntilEpoch)
+		}
+	default:
+		return bad("unknown fault kind %q", f.Kind)
+	}
+	return nil
+}

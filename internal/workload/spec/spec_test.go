@@ -1,0 +1,261 @@
+package spec
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"jarvis/internal/telemetry"
+	"jarvis/internal/wire"
+)
+
+const sampleSpec = `{
+  "name": "mixed",
+  "seed": 42,
+  "epochs": 20,
+  "epoch_millis": 1000,
+  "sp": {"admit_rate_mbps": 50, "checkpoint_every": 4},
+  "groups": [
+    {"name": "gold-ping", "query": "s2s", "class": "gold", "nodes": 4, "rate_mbps": 0.5,
+     "arrival": {"process": "gamma", "shape": 2},
+     "diurnal": {"period_epochs": 10, "amplitude": 0.5},
+     "skew": {"exponent": 1.1, "keys": 64}},
+    {"name": "be-logs", "query": "log", "class": "best-effort", "nodes": 3, "rate_mbps": 0.8,
+     "arrival": {"process": "poisson"},
+     "churn": {"period_epochs": 5, "fraction": 0.4}},
+    {"name": "spans", "query": "spans", "nodes": 2, "rate_mbps": 0.6,
+     "join_epoch": 3, "leave_epoch": 15}
+  ],
+  "faults": [
+    {"epoch": 6, "kind": "sp_crash", "query": "s2s", "outage_epochs": 2},
+    {"epoch": 4, "kind": "rate_spike", "group": "be-logs", "factor": 3, "until_epoch": 8}
+  ]
+}`
+
+func TestParseSampleSpec(t *testing.T) {
+	s, err := Parse([]byte(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalNodes() != 9 {
+		t.Fatalf("TotalNodes=%d, want 9", s.TotalNodes())
+	}
+	sc, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Nodes) != 9 {
+		t.Fatalf("compiled %d nodes", len(sc.Nodes))
+	}
+	if len(sc.Queries) != 3 || sc.Queries[0] != "s2s" || sc.Queries[1] != "log" || sc.Queries[2] != "spans" {
+		t.Fatalf("queries %v", sc.Queries)
+	}
+	if sc.EpochMicros != 1_000_000 || sc.DrainEpochs != 11 {
+		t.Fatalf("epochMicros=%d drain=%d", sc.EpochMicros, sc.DrainEpochs)
+	}
+	// Activity schedules: span nodes join at 3, leave at 15.
+	span := sc.Nodes[7]
+	if span.Query != "spans" || span.Active(2) || !span.Active(3) || span.Active(15) {
+		t.Fatalf("span activity schedule wrong")
+	}
+	// Churn: over 20 epochs at fraction 0.4, a be-logs node should be
+	// out during at least one period (deterministically).
+	logNode := sc.Nodes[4]
+	out := 0
+	for e := 0; e < 20; e++ {
+		if !logNode.Active(e) {
+			out++
+		}
+	}
+	if out == 0 || out == 20 {
+		t.Fatalf("churned node inactive %d/20 epochs, want partial", out)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":         ``,
+		"not json":      `nonsense`,
+		"no groups":     `{"epochs": 5, "groups": []}`,
+		"zero epochs":   `{"epochs": 0, "groups": [{"name":"a","query":"s2s","nodes":1}]}`,
+		"unknown field": `{"epochs": 5, "bogus": 1, "groups": [{"name":"a","query":"s2s","nodes":1}]}`,
+		"unknown query": `{"epochs": 5, "groups": [{"name":"a","query":"wat","nodes":1}]}`,
+		"zero nodes":    `{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":0}]}`,
+		"zero rate is ok but negative is not": `{"epochs": 5,
+			"groups": [{"name":"a","query":"s2s","nodes":1,"rate_mbps":-1}]}`,
+		"bad class":   `{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":1,"class":"platinum"}]}`,
+		"bad arrival": `{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":1,"arrival":{"process":"pareto"}}]}`,
+		"amplitude 1": `{"epochs": 5,
+			"groups": [{"name":"a","query":"s2s","nodes":1,"diurnal":{"period_epochs":2,"amplitude":1.0}}]}`,
+		"dup group": `{"epochs": 5, "groups": [
+			{"name":"a","query":"s2s","nodes":1},{"name":"a","query":"log","nodes":1}]}`,
+		"fault unknown kind":  `{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":1}], "faults":[{"epoch":1,"kind":"meteor"}]}`,
+		"fault out of range":  `{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":1}], "faults":[{"epoch":9,"kind":"sp_crash"}]}`,
+		"spike bad group":     `{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":1}], "faults":[{"epoch":1,"kind":"rate_spike","group":"zzz","factor":2}]}`,
+		"spike zero factor":   `{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":1}], "faults":[{"epoch":1,"kind":"rate_spike","factor":0}]}`,
+		"leave before join":   `{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":1,"join_epoch":3,"leave_epoch":2}]}`,
+		"trailing data":       `{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":1}]} extra`,
+		"churn fraction >1":   `{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":1,"churn":{"period_epochs":2,"fraction":1.5}}]}`,
+		"skew exponent burst": `{"epochs": 5, "groups": [{"name":"a","query":"s2s","nodes":1,"skew":{"exponent":999}}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: parse accepted %q", name, doc)
+		}
+	}
+}
+
+func TestValidateNaN(t *testing.T) {
+	s := &Spec{Epochs: 5, Groups: []Group{{Name: "a", Query: "s2s", Nodes: 1, RateMbps: math.NaN()}}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("NaN rate accepted")
+	}
+	s = &Spec{Epochs: 5, Groups: []Group{{Name: "a", Query: "s2s", Nodes: 1,
+		Diurnal: &Diurnal{PeriodEpochs: 2, Amplitude: math.Inf(1)}}}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("Inf amplitude accepted")
+	}
+}
+
+// TestCompileDeterministic pins the core guarantee: two compiles of the
+// same spec produce generators emitting identical columns.
+func TestCompileDeterministic(t *testing.T) {
+	mk := func() *Scenario {
+		s, err := Parse([]byte(sampleSpec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := s.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	a, b := mk(), mk()
+	for i := range a.Nodes {
+		for e := 0; e < 3; e++ {
+			if a.Nodes[i].Active(e) != b.Nodes[i].Active(e) {
+				t.Fatalf("node %d epoch %d: activity differs", i, e)
+			}
+			var ca, cb wire.ColumnarBatch
+			a.Nodes[i].EmitWindow(a.EpochMicros, &ca)
+			b.Nodes[i].EmitWindow(b.EpochMicros, &cb)
+			var ra, rb telemetry.Batch
+			for si := range ca.Secs {
+				ca.Secs[si].AppendRows(&ra)
+			}
+			for si := range cb.Secs {
+				cb.Secs[si].AppendRows(&rb)
+			}
+			if len(ra) != len(rb) {
+				t.Fatalf("node %d epoch %d: %d vs %d records", i, e, len(ra), len(rb))
+			}
+			for j := range ra {
+				if fmt.Sprintf("%+v", ra[j].Data) != fmt.Sprintf("%+v", rb[j].Data) {
+					t.Fatalf("node %d epoch %d record %d differs", i, e, j)
+				}
+			}
+		}
+	}
+}
+
+// TestArrivalSamplers checks the unit-mean property of each process.
+func TestArrivalSamplers(t *testing.T) {
+	for _, proc := range []string{"fixed", "poisson", "gamma", "weibull", "uniform"} {
+		for _, shape := range []float64{0.5, 1, 3} {
+			a := &Arrival{Process: proc, Shape: shape}
+			rng := rand.New(rand.NewPCG(1, 2))
+			sample := a.sampler(rng)
+			sum := 0.0
+			const n = 50000
+			for i := 0; i < n; i++ {
+				v := sample()
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s(%v): bad sample %v", proc, shape, v)
+				}
+				sum += v
+			}
+			if mean := sum / n; math.Abs(mean-1) > 0.05 {
+				t.Fatalf("%s(%v): mean %v, want ≈1", proc, shape, mean)
+			}
+		}
+	}
+}
+
+func TestDiurnalModulation(t *testing.T) {
+	d := &Diurnal{PeriodEpochs: 10, Amplitude: 0.5}
+	mod := d.modulator(1_000_000)
+	if m := mod(0); math.Abs(m-1) > 1e-9 {
+		t.Fatalf("mod(0)=%v", m)
+	}
+	if m := mod(2_500_000); math.Abs(m-1.5) > 1e-9 { // quarter period: peak
+		t.Fatalf("mod(peak)=%v, want 1.5", m)
+	}
+	if m := mod(7_500_000); math.Abs(m-0.5) > 1e-9 { // trough
+		t.Fatalf("mod(trough)=%v, want 0.5", m)
+	}
+}
+
+func TestScaleNodes(t *testing.T) {
+	s, err := Parse([]byte(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ScaleNodes(100)
+	if s.TotalNodes() != 100 {
+		t.Fatalf("scaled total %d, want 100", s.TotalNodes())
+	}
+	for i := range s.Groups {
+		if s.Groups[i].Nodes < 1 {
+			t.Fatalf("group %d scaled to zero", i)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateSpikeModulator(t *testing.T) {
+	s, err := Parse([]byte(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs *Group
+	for i := range s.Groups {
+		if s.Groups[i].Name == "be-logs" {
+			logs = &s.Groups[i]
+		}
+	}
+	mod := s.groupModulator(logs, 1_000_000)
+	if m := mod(5_000_000); m < 2.9 { // spiked ×3 during [4,8)
+		t.Fatalf("mod during spike = %v, want ≈3", m)
+	}
+	if m := mod(9_000_000); m > 1.1 {
+		t.Fatalf("mod after spike = %v, want ≈1", m)
+	}
+}
+
+func TestCanonicalQuery(t *testing.T) {
+	for in, want := range map[string]string{
+		"S2SProbe": "s2s", "t2t": "t2t", "LogAnalytics": "log", "TraceSpanAgg": "spans",
+	} {
+		got, ok := CanonicalQuery(in)
+		if !ok || got != want {
+			t.Fatalf("CanonicalQuery(%q) = %q, %v", in, got, ok)
+		}
+	}
+	if _, ok := CanonicalQuery("nope"); ok {
+		t.Fatal("accepted unknown query")
+	}
+}
+
+func TestSpecStringsAreStrict(t *testing.T) {
+	// Group name length bound guards metric label explosions.
+	long := strings.Repeat("x", 200)
+	s := &Spec{Epochs: 5, Groups: []Group{{Name: long, Query: "s2s", Nodes: 1}}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("accepted 200-char group name")
+	}
+}

@@ -1,0 +1,51 @@
+package workload
+
+import "math"
+
+// Zipf is a bounded Zipf(s) rank sampler over {0, …, n-1}: rank r is
+// drawn with probability proportional to 1/(r+1)^s. math/rand/v2 does
+// not carry rand.Zipf (unlike math/rand), so the hot-key skew the
+// workload specs declare is sampled from a precomputed CDF instead —
+// one uniform draw plus a binary search, deterministic from whatever
+// RNG the caller feeds it, and cheap enough for per-record use.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf precomputes the CDF for n ranks with exponent s. s == 0 is
+// the uniform distribution; larger s concentrates mass on low ranks
+// (s ≈ 1 is the classic web-object skew). n < 1 is clamped to 1.
+func NewZipf(s float64, n int) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	inv := 1 / total
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding leaving the tail unreachable
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Rank maps a uniform draw u ∈ [0,1) to a rank by CDF inversion.
+func (z *Zipf) Rank(u float64) int {
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
